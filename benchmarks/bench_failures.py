@@ -1,0 +1,57 @@
+"""E13 — discrete robustness against machine failures.
+
+The paper lists "sudden machine or link failures" among the uncertainties
+a general robustness approach must cover.  This experiment compares the
+heuristic lineup's allocations by their adversarial **failure radius**
+(largest number of simultaneous machine failures survivable under MCT
+re-balancing and a shared deadline) and by survival probability under
+independent random failures — the discrete analogues of rho.
+"""
+
+from repro.systems.heuristics import MCT, MaxMin, MinMin, OLB, Sufferage
+from repro.systems.independent import (
+    failure_radius,
+    generate_etc_gamma,
+    survival_probability,
+)
+from repro.utils.tables import format_table
+
+
+def test_failure_radius_comparison(benchmark, show):
+    etc = generate_etc_gamma(18, 6, seed=2005)
+    heuristics = [OLB(), MCT(), MinMin(), MaxMin(), Sufferage()]
+    allocations = [(h.name, h.allocate(etc)) for h in heuristics]
+    tau = 2.0 * min(a.makespan(etc) for _, a in allocations)
+
+    def run():
+        rows = []
+        for name, alloc in allocations:
+            ms = alloc.makespan(etc)
+            if ms > tau:
+                rows.append([name, ms, "-", "-", "-"])
+                continue
+            analysis = failure_radius(etc, alloc, tau)
+            p_survive = survival_probability(etc, alloc, tau, p_fail=0.2,
+                                             n_samples=1500, seed=7)
+            rows.append([name, ms, analysis.radius,
+                         "-" if analysis.breaking_set is None
+                         else ",".join(map(str, analysis.breaking_set)),
+                         p_survive])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(format_table(
+        ["heuristic", "makespan", "failure radius",
+         "smallest breaking set", "P(survive | p_fail=0.2)"],
+        rows,
+        title=f"[E13] machine-failure robustness, shared tau = {tau:.4g}"))
+    radii = [r[2] for r in rows if r[2] != "-"]
+    assert radii and all(isinstance(r, int) and r >= 0 for r in radii)
+
+
+def test_single_failure_radius_timing(benchmark):
+    etc = generate_etc_gamma(18, 6, seed=2005)
+    alloc = MCT().allocate(etc)
+    tau = 2.0 * alloc.makespan(etc)
+    benchmark.pedantic(lambda: failure_radius(etc, alloc, tau),
+                       rounds=3, iterations=1)

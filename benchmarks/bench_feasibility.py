@@ -1,0 +1,70 @@
+"""E4 — the operating-point feasibility procedure (Sec. 3.1 steps a-c).
+
+Samples random operating points around a two-kind system, runs the
+paper's radius-ball test against direct constraint evaluation, and prints
+the confusion table.  The procedure must be *sound* (no inside-ball point
+may be infeasible); the conservative (outside-ball but feasible) fraction
+is the price of collapsing the boundary's geometry to one scalar.
+
+The benchmark times a single feasibility check (the operation a runtime
+monitor would run per data set).
+"""
+
+import numpy as np
+
+from repro.core.feasibility import FeasibilityChecker
+from repro.core.features import PerformanceFeature, ToleranceBounds
+from repro.core.fepia import FeatureSpec, RobustnessAnalysis
+from repro.core.mappings import LinearMapping
+from repro.core.perturbation import PerturbationParameter
+from repro.utils.rng import default_rng
+from repro.utils.tables import format_table
+
+
+def _build_checker():
+    exec_times = PerturbationParameter.nonnegative(
+        "exec", [2.0, 3.0, 1.5], unit="s")
+    msg_sizes = PerturbationParameter.nonnegative(
+        "msg", [1e4, 5e3], unit="bytes")
+    mapping = LinearMapping([1.0, 1.0, 1.0, 1e-6, 2e-6])
+    phi0 = mapping.value(np.array([2.0, 3.0, 1.5, 1e4, 5e3]))
+    feature = PerformanceFeature(
+        "latency", ToleranceBounds.relative(phi0, 1.3), unit="s")
+    ana = RobustnessAnalysis([FeatureSpec(feature, mapping)],
+                             [exec_times, msg_sizes])
+    return FeasibilityChecker(ana)
+
+
+def test_feasibility_procedure(benchmark, show):
+    checker = _build_checker()
+    rng = default_rng(2005)
+    ps = checker.analysis.pspace()
+    rho = checker.analysis.rho()
+
+    points = []
+    for _ in range(400):
+        direction = rng.normal(size=ps.dimension)
+        direction /= np.linalg.norm(direction)
+        p = ps.p_orig + direction * rho * rng.uniform(0.0, 2.5)
+        pi = np.maximum(ps.from_p(p), 1e-9)
+        points.append(ps.split_values(pi))
+
+    verdicts = checker.check_many(points)
+    show("[E4] " + FeasibilityChecker.summary_table(verdicts))
+
+    inside_bad = sum(1 for v in verdicts
+                     if v.within_radius and not v.actually_feasible)
+    assert inside_bad == 0, "feasibility procedure must be sound"
+
+    conservative = sum(1 for v in verdicts if v.is_conservative)
+    total_outside = sum(1 for v in verdicts if not v.within_radius)
+    show(format_table(
+        ["quantity", "value"],
+        [["rho", rho],
+         ["points sampled", len(verdicts)],
+         ["soundness violations", inside_bad],
+         ["conservatism (feasible but outside ball)",
+          f"{conservative}/{total_outside}"]],
+        title="[E4] summary"))
+
+    benchmark(checker.check, points[0])

@@ -1,0 +1,60 @@
+"""E1 — Figure 1: the boundary set, the original point, and pi*.
+
+Regenerates the paper's conceptual figure as data on two systems:
+
+* a linear machine-finish-time feature (the hyperplane boundary of the
+  TPDS 2004 example — the ``beta_min`` boundary being the axes);
+* a bilinear HiPer-D computation-time slice (a genuinely curved boundary,
+  the shape sketched in the paper).
+
+The benchmark times the boundary tracing + radius computation; the table
+and ASCII rendering are printed once.
+"""
+
+import numpy as np
+
+from repro.core.features import ToleranceBounds
+from repro.core.mappings import LinearMapping, QuadraticMapping
+from repro.reporting.figures import boundary_figure
+
+
+def _linear_figure():
+    # Machine finish time F = e1 + e2 from original times (3, 4), with
+    # tau = 1.4 * 7.
+    mapping = LinearMapping([1.0, 1.0])
+    origin = np.array([3.0, 4.0])
+    bounds = ToleranceBounds.upper(1.4 * mapping.value(origin))
+    return boundary_figure(mapping, origin, bounds, n_curve_points=192,
+                           sweep_degrees=(0.0, 360.0))
+
+
+def _bilinear_figure():
+    # T_comp = e * lambda from original (unit time 0.002 s/object, load
+    # 100 objects/set) with a 1.5x tolerance.  The two coordinates have
+    # different units, so — this being the paper's whole point — the curve
+    # is traced in the *normalized* P-space (P = pi/pi_orig, P_orig =
+    # (1, 1)), where the boundary is the dimensionless hyperbola
+    # P_1 * P_2 = 1.5 and the Euclidean radius is meaningful.
+    from repro.core.mappings import ReweightedMapping
+
+    Q = np.array([[0.0, 0.5], [0.5, 0.0]])
+    raw = QuadraticMapping(Q)
+    pi_orig = np.array([0.002, 100.0])
+    mapping = ReweightedMapping(raw, 1.0 / pi_orig)   # P = pi / pi_orig
+    origin = np.ones(2)
+    bounds = ToleranceBounds.upper(1.5 * raw.value(pi_orig))
+    return boundary_figure(mapping, origin, bounds, n_curve_points=192)
+
+
+def test_fig1_linear_boundary(benchmark, show):
+    fig = benchmark(_linear_figure)
+    show("[E1] Figure 1 (linear finish-time feature):\n"
+         + fig.render(width=68, height=20))
+    assert fig.radius > 0
+
+
+def test_fig1_bilinear_boundary(benchmark, show):
+    fig = benchmark(_bilinear_figure)
+    show("[E1] Figure 1 (bilinear load x unit-time feature, curved "
+         "boundary):\n" + fig.render(width=68, height=20))
+    assert fig.radius > 0

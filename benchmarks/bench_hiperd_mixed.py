@@ -1,0 +1,63 @@
+"""E6 — multi-kind robustness of a HiPer-D allocation.
+
+The IPDPS'05 setting proper: sensor loads (objects/set), unit execution
+times (s/object), and message sizes (bytes) perturb simultaneously.  The
+bench prints rho and the critical feature per weighting scheme and per
+kind-subset, and times the full three-kind analysis.
+"""
+
+import math
+
+from repro.analysis.comparison import compare_weightings
+from repro.core.weighting import NormalizedWeighting
+from repro.systems.hiperd.constraints import build_analysis
+from repro.utils.tables import format_table
+
+
+def test_weighting_comparison(benchmark, show, bench_hiperd, bench_qos):
+    result = benchmark.pedantic(
+        lambda: compare_weightings(bench_hiperd, bench_qos,
+                                   kinds=("loads", "exec", "msgsize"),
+                                   seed=2005),
+        rounds=3, iterations=1)
+    show(result)
+    for row in result.rows:
+        assert row[1] > 0 and math.isfinite(row[1])
+
+
+def test_kind_subsets(benchmark, show, bench_hiperd, bench_qos):
+    subsets = [("loads",), ("exec",), ("msgsize",),
+               ("loads", "exec"), ("loads", "msgsize"),
+               ("exec", "msgsize"), ("loads", "exec", "msgsize")]
+
+    def run_subsets():
+        rows = []
+        rhos = {}
+        for kinds in subsets:
+            ana = build_analysis(bench_hiperd, bench_qos, kinds=kinds,
+                                 weighting=NormalizedWeighting(), seed=2005)
+            rho = ana.rho()
+            rhos[kinds] = rho
+            rows.append(["+".join(kinds), ana.dimension, rho,
+                         ana.critical_feature().name])
+        return rows, rhos
+
+    rows, rhos = benchmark.pedantic(run_subsets, rounds=1, iterations=1)
+    show(format_table(
+        ["perturbed kinds", "dim", "rho (normalized)", "critical feature"],
+        rows,
+        title="[E6] robustness vs which kinds may perturb"))
+    # More perturbed kinds = more adversary freedom = smaller radius.
+    full = rhos[("loads", "exec", "msgsize")]
+    for kinds, rho in rhos.items():
+        assert full <= rho + 1e-9
+
+
+def test_three_kind_analysis_timing(benchmark, bench_hiperd, bench_qos):
+    def run():
+        ana = build_analysis(bench_hiperd, bench_qos,
+                             kinds=("loads", "exec", "msgsize"), seed=2005)
+        return ana.rho()
+
+    rho = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert rho > 0

@@ -1,0 +1,46 @@
+"""E14 — link-failure robustness of a HiPer-D allocation.
+
+The discrete counterpart of E13 on the communication side: which link's
+degradation hurts the original QoS promises most, and how many
+simultaneous link failures the allocation survives.
+"""
+
+from repro.systems.hiperd.failures import (
+    critical_links,
+    link_failure_radius,
+    used_link_pairs,
+)
+from repro.utils.tables import format_table
+
+
+def test_critical_link_ranking(benchmark, show, bench_hiperd, bench_qos):
+    ranking = benchmark.pedantic(
+        lambda: critical_links(bench_hiperd, bench_qos, degraded_factor=0.05),
+        rounds=1, iterations=1)
+    rows = [["-".join(pair), margin,
+             "VIOLATES" if margin > 0 else ""]
+            for pair, margin in ranking[:10]]
+    show(format_table(
+        ["link", "worst relative margin after failure", ""],
+        rows,
+        title=(f"[E14] single-link criticality "
+               f"({len(used_link_pairs(bench_hiperd))} links, "
+               "bandwidth degraded to 5%)")))
+    margins = [m for _, m in ranking]
+    assert margins == sorted(margins, reverse=True)
+
+
+def test_link_failure_radius(benchmark, show, bench_hiperd, bench_qos):
+    analysis = benchmark.pedantic(
+        lambda: link_failure_radius(bench_hiperd, bench_qos,
+                                    degraded_factor=0.05, max_k=2),
+        rounds=1, iterations=1)
+    breaking = ("-" if analysis.breaking_set is None
+                else "; ".join("-".join(p) for p in analysis.breaking_set))
+    show(format_table(
+        ["quantity", "value"],
+        [["links", analysis.n_links],
+         ["failure radius (max_k=2 search)", analysis.radius],
+         ["smallest breaking set", breaking]],
+        title="[E14] adversarial link-failure radius"))
+    assert 0 <= analysis.radius <= 2

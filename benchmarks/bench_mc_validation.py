@@ -1,0 +1,90 @@
+"""E7 — Monte-Carlo validation of the solvers.
+
+For random linear and convex-quadratic features across dimensions, the
+analytic/numeric radii must be sound (no sampled violation strictly inside
+the ball) and tight (witness on the boundary; overshooting violates).
+Also prints a violation-probability curve around one radius, the empirical
+picture of the boundary the scalar metric summarises.
+"""
+
+import numpy as np
+
+from repro.core.features import ToleranceBounds
+from repro.core.mappings import LinearMapping, QuadraticMapping
+from repro.core.radius import RadiusProblem, compute_radius
+from repro.montecarlo.validate import validate_radius
+from repro.montecarlo.violation import violation_probability_curve
+from repro.utils.rng import default_rng
+from repro.utils.tables import format_table
+
+
+def _random_problem(rng, dim, quadratic):
+    if quadratic:
+        A = rng.normal(size=(dim, dim))
+        mapping = QuadraticMapping(A @ A.T + np.eye(dim),
+                                   rng.normal(size=dim))
+    else:
+        mapping = LinearMapping(rng.normal(size=dim) + 0.1)
+    origin = 0.2 * rng.normal(size=dim)
+    bound = mapping.value(origin) + rng.uniform(1.0, 10.0)
+    return RadiusProblem(mapping=mapping, origin=origin,
+                         bounds=ToleranceBounds.upper(bound))
+
+
+def test_mc_validation_grid(benchmark, show):
+    def run_grid():
+        rng = default_rng(2005)
+        rows = []
+        all_pass = True
+        for quadratic in (False, True):
+            for dim in (2, 4, 8, 16):
+                problem = _random_problem(rng, dim, quadratic)
+                result = compute_radius(problem, seed=0)
+                v = validate_radius(problem, result, n_samples=8000, seed=1)
+                all_pass = all_pass and v.passed
+                rows.append([
+                    "quadratic" if quadratic else "linear", dim,
+                    result.method, result.radius,
+                    "yes" if v.sound else "NO",
+                    "yes" if v.tight else "NO", v.min_violation_distance])
+        return rows, all_pass
+
+    rows, all_pass = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    show(format_table(
+        ["feature", "dim", "solver", "radius", "sound", "tight",
+         "closest sampled violation"],
+        rows, title="[E7] Monte-Carlo validation of computed radii"))
+    assert all_pass
+
+
+def test_violation_curve(benchmark, show):
+    mapping = QuadraticMapping(np.eye(3), [0.5, -0.3, 0.1])
+    origin = np.zeros(3)
+    bounds = ToleranceBounds.upper(mapping.value(origin) + 4.0)
+    problem = RadiusProblem(mapping=mapping, origin=origin, bounds=bounds)
+    result = compute_radius(problem, seed=0)
+    curve = benchmark.pedantic(
+        lambda: violation_probability_curve(
+            mapping, origin, bounds,
+            distances=np.linspace(0.25 * result.radius,
+                                  2.5 * result.radius, 10),
+            n_directions=4000, seed=2),
+        rounds=1, iterations=1)
+    rows = [[f"{d:.4f}", f"{p:.4f}",
+             "<- radius" if abs(d - result.radius) ==
+             min(abs(curve.distances - result.radius)) else ""]
+            for d, p in zip(curve.distances, curve.probabilities)]
+    show(format_table(
+        ["distance", "P(violation)", ""],
+        rows,
+        title=f"[E7] violation probability vs distance "
+              f"(computed radius = {result.radius:.4f})"))
+    assert curve.first_violation_distance() >= result.radius - 1e-9
+
+
+def test_validation_timing(benchmark):
+    rng = default_rng(7)
+    problem = _random_problem(rng, 8, True)
+    result = compute_radius(problem, seed=0)
+    benchmark(lambda: validate_radius(problem, result, n_samples=4000,
+                                      seed=1))

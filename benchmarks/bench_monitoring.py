@@ -1,0 +1,35 @@
+"""E9 — the radius ball as a runtime monitor.
+
+Replays canonical load-drift traces (ramp, spike, random walk, sinusoid)
+through the paper's operating-point procedure and tabulates when the
+monitor alarmed vs when the QoS actually broke.  The soundness guarantee
+(alarm never after violation) is asserted; the lead time is the new
+information this experiment adds over the static radius.
+"""
+
+from repro.analysis.monitoring import monitoring_experiment, replay_trace
+from repro.systems.hiperd.constraints import build_analysis
+from repro.systems.hiperd.traces import ramp_trace
+
+
+def test_monitoring_experiment(benchmark, show, bench_hiperd, bench_qos):
+    analysis = build_analysis(bench_hiperd, bench_qos, kinds=("loads",),
+                              seed=2005)
+    result = benchmark.pedantic(
+        lambda: monitoring_experiment(bench_hiperd, analysis, n_steps=60,
+                                      ramp_factor=2.5, seed=2005),
+        rounds=1, iterations=1)
+    show(result)
+    assert result.summary[
+        "all traces sound (alarm never after violation)"] is True
+
+
+def test_single_check_latency(benchmark, bench_hiperd, bench_qos):
+    """Per-data-set cost of the monitor (the deployable operation)."""
+    analysis = build_analysis(bench_hiperd, bench_qos, kinds=("loads",),
+                              seed=2005)
+    analysis.rho()  # warm the caches, as a deployed monitor would
+    trace = ramp_trace(bench_hiperd.original_loads(), 2, end_factor=1.5)
+    from repro.core.feasibility import FeasibilityChecker
+    checker = FeasibilityChecker(analysis)
+    benchmark(checker.check, {"loads": trace[1]})

@@ -1,0 +1,32 @@
+"""E18 — placement-heuristic comparison on the HiPer-D substrate.
+
+The E5 experiment transplanted to the paper's motivating system: rank
+constructive placements by the robustness metric, then measure how much
+headroom hill-climbing finds beyond the best heuristic.
+"""
+
+import math
+
+from repro.analysis.placement_comparison import compare_placements
+from repro.systems.hiperd import HiPerDGenerationSpec, generate_hiperd_system
+
+
+def test_placement_comparison(benchmark, show, bench_qos):
+    spec = HiPerDGenerationSpec(n_sensors=2, n_actuators=2, n_machines=4,
+                                app_layers=(3, 2))
+    system = generate_hiperd_system(spec, seed=2005)
+    result = benchmark.pedantic(
+        lambda: compare_placements(system, bench_qos, seed=2005),
+        rounds=1, iterations=1)
+    show(result)
+    feasible = [row[1] for row in result.rows
+                if isinstance(row[1], float) and not math.isnan(row[1])]
+    assert feasible
+    # at least one constructive heuristic beats the random baseline
+    by_name = {row[0]: row[1] for row in result.rows}
+    if not math.isnan(by_name.get("random", float("nan"))):
+        best_constructive = max(
+            by_name[n] for n in ("balanced", "fastest", "colocate")
+            if isinstance(by_name.get(n), float)
+            and not math.isnan(by_name[n]))
+        assert best_constructive >= by_name["random"] - 1e-9

@@ -1,0 +1,33 @@
+"""E12 — robustness statistics across generated system populations.
+
+E12a: the distribution of rho over a family of HiPer-D systems and which
+feature family is critical how often.  E12b: the scaling of rho with
+system size — rho is a minimum over per-feature radii, so the population
+mean shrinks as systems (and their feature counts) grow.
+"""
+
+from repro.analysis.study import population_study, scaling_study
+from repro.systems.hiperd.generator import HiPerDGenerationSpec
+
+
+def test_population_distribution(benchmark, show):
+    spec = HiPerDGenerationSpec(n_sensors=2, n_actuators=2, n_machines=4,
+                                app_layers=(3, 2))
+    result = benchmark.pedantic(
+        lambda: population_study(n_systems=12, spec=spec, seed=2005),
+        rounds=1, iterations=1)
+    show(result)
+    stats = {row[0]: row[1] for row in result.rows}
+    assert stats["rho min"] > 0
+
+
+def test_scaling_with_system_size(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: scaling_study(layer_sizes=((2, 2), (3, 3), (4, 4)),
+                              systems_per_size=4, seed=2005),
+        rounds=1, iterations=1)
+    show(result)
+    mean_rhos = [row[2] for row in result.rows]
+    # aggregate trend: the largest family is no more robust than the
+    # smallest (min over more features)
+    assert mean_rhos[-1] <= mean_rhos[0] + 1e-12

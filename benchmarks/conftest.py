@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark prints the experiment table it regenerates (the rows the
+paper's derivations imply) through the ``show`` fixture, which bypasses
+pytest's output capture, and additionally appends it to
+``benchmarks/results/experiments.txt`` so a complete record survives the
+run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def show(capsys):
+    """Print an experiment artifact to the real terminal and the log file."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    log = RESULTS_DIR / "experiments.txt"
+
+    def _show(artifact) -> None:
+        text = str(artifact)
+        with capsys.disabled():
+            print()
+            print(text)
+        with log.open("a", encoding="utf-8") as fh:
+            fh.write(text + "\n\n")
+
+    return _show
+
+
+@pytest.fixture(scope="session")
+def bench_hiperd():
+    """A mid-sized HiPer-D system shared by the HiPer-D benches."""
+    from repro.systems.hiperd import HiPerDGenerationSpec, generate_hiperd_system
+
+    spec = HiPerDGenerationSpec(n_sensors=3, n_actuators=2, n_machines=4,
+                                app_layers=(3, 3, 2))
+    return generate_hiperd_system(spec, seed=2005)
+
+
+@pytest.fixture(scope="session")
+def bench_qos():
+    from repro.systems.hiperd import QoSSpec
+
+    return QoSSpec(latency_slack=1.4, throughput_margin=0.9)

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""The paper's central result, executed: 1/sqrt(n) degeneracy and its fix.
+
+Sweeps random instances of the general linear case (random coefficients,
+random original values, random beta over several orders of magnitude) and
+shows:
+
+* Section 3.1 — under sensitivity-based weighting every instance with the
+  same number of parameters ``n`` has radius exactly ``1/sqrt(n)``: the
+  measure cannot distinguish systems;
+* Section 3.2 — under normalization by original values the radius matches
+  the closed form ``(beta-1) |sum k pi| / sqrt(sum (k pi)^2)`` and spreads
+  widely across instances: the measure is informative again.
+
+Run:  python examples/degeneracy_demo.py
+"""
+
+from repro.analysis import (
+    normalized_dependence_sweep,
+    sensitivity_degeneracy_sweep,
+)
+from repro.analysis.linear_case import analysis_for_case, random_linear_case
+from repro.core.degeneracy import (
+    normalized_radius_linear,
+    sensitivity_radius_linear,
+)
+from repro.core.weighting import NormalizedWeighting, SensitivityWeighting
+from repro.utils.rng import default_rng
+from repro.utils.tables import format_table
+
+SEED = 2005
+
+
+def main() -> None:
+    print(sensitivity_degeneracy_sweep(seed=SEED).to_table())
+    print()
+    print(normalized_dependence_sweep(seed=SEED).to_table())
+
+    # A close-up: five wildly different 3-parameter systems.
+    rng = default_rng(SEED)
+    rows = []
+    for i in range(5):
+        case = random_linear_case(3, rng, decades=4.0)
+        sens = analysis_for_case(case, SensitivityWeighting()).rho()
+        norm = analysis_for_case(case, NormalizedWeighting()).rho()
+        rows.append([
+            i,
+            f"{case.coefficients[0]:.3g},{case.coefficients[1]:.3g},"
+            f"{case.coefficients[2]:.3g}",
+            f"{case.beta:.3f}",
+            sens,
+            sensitivity_radius_linear(case),
+            norm,
+            normalized_radius_linear(case),
+        ])
+    print()
+    print(format_table(
+        ["case", "k values", "beta", "rho (sens)", "closed (sens)",
+         "rho (norm)", "closed (norm)"],
+        rows,
+        title="five different 3-parameter systems: sensitivity weighting "
+              "cannot tell them apart, normalized weighting can"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Robust resource allocation on the independent-task substrate.
+
+The companion paper's use-case: given several candidate allocations of
+independent tasks onto heterogeneous machines, the robustness metric ranks
+them by how much execution-time drift they tolerate before the makespan
+deadline breaks — a ranking that disagrees with ranking by raw makespan.
+
+The script:
+
+1. generates an ETC matrix (gamma/CVB method, inconsistent heterogeneity);
+2. runs the standard heuristic lineup and compares makespan vs robustness
+   under a shared absolute deadline;
+3. uses simulated annealing to *maximise the robustness metric directly*
+   and shows it beating every classical heuristic on rho (usually paying a
+   little makespan for it).
+
+Run:  python examples/heuristic_robustness.py
+"""
+
+from repro.analysis import compare_heuristics
+from repro.systems.heuristics import MCT, SimulatedAnnealer
+from repro.systems.independent import MakespanSystem, generate_etc_gamma
+
+SEED = 7
+
+
+def main() -> None:
+    etc = generate_etc_gamma(24, 6, task_cov=0.9, machine_cov=0.3,
+                             consistency="inconsistent", seed=SEED)
+    result = compare_heuristics(etc, tau_factor=1.3, seed=SEED)
+    print(result.to_table())
+
+    # Shared deadline used above: rebuild it for the optimiser.
+    mct_alloc = MCT().allocate(etc)
+    tau = 1.3 * min(MakespanSystem(etc, mct_alloc).makespan(),
+                    *(row[1] for row in result.rows))
+
+    def negative_rho_factory(etc_matrix):
+        def objective(allocation):
+            system = MakespanSystem(etc_matrix, allocation)
+            if system.makespan() >= tau:
+                # Infeasible under the deadline: push the optimiser back
+                # toward feasibility with a makespan-based penalty.
+                return system.makespan() / tau
+            return -system.analytic_rho(tau=tau)
+        return objective
+
+    annealer = SimulatedAnnealer(negative_rho_factory, n_steps=3000,
+                                 seed=SEED)
+    best = annealer.allocate(etc)
+    system = MakespanSystem(etc, best)
+    print(f"\nsimulated annealing on -rho (same deadline tau={tau:.4g}):")
+    print(f"  makespan = {system.makespan():.4f}")
+    print(f"  rho      = {system.analytic_rho(tau=tau):.4f}")
+    feasible_rhos = [row[2] for row in result.rows
+                     if row[2] == row[2]]  # drop NaNs
+    print(f"  best classical rho was {max(feasible_rhos):.4f} -> "
+          f"SA {'improves' if system.analytic_rho(tau=tau) > max(feasible_rhos) else 'matches/trails'} it")
+
+
+if __name__ == "__main__":
+    main()

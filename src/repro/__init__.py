@@ -1,0 +1,140 @@
+"""repro — a reproduction of *A Measure of Robustness Against Multiple Kinds
+of Perturbations* (Eslamnour & Ali, IPDPS 2005).
+
+The library implements:
+
+* the **FePIA** robustness-metric framework of Ali et al. (TPDS 2004) —
+  performance features, perturbation parameters, impact mappings, and
+  robustness radii (:mod:`repro.core`);
+* the IPDPS'05 extension to **multiple kinds** of perturbations —
+  sensitivity-based and normalized weighting schemes, the dimensionless
+  P-space, the ``1/sqrt(n)`` degeneracy closed forms, and the operating-point
+  feasibility procedure;
+* the **substrates** the papers evaluate on — an independent-task
+  heterogeneous-computing system with ETC matrices and makespan features,
+  and a HiPer-D-like continuously-running sensor/application DAG system with
+  throughput and latency constraints (:mod:`repro.systems`);
+* allocation **heuristics** (OLB/MET/MCT/min-min/max-min/sufferage and
+  robustness-maximising local search) used as comparison baselines;
+* a **Monte-Carlo validation** harness and the experiment/benchmark layer
+  (:mod:`repro.montecarlo`, :mod:`repro.analysis`, :mod:`repro.reporting`).
+
+Quickstart::
+
+    import numpy as np
+    from repro import (PerformanceFeature, ToleranceBounds,
+                       PerturbationParameter, LinearMapping, FeatureSpec,
+                       RobustnessAnalysis, robustness_metric)
+
+    # Feature: phi = 2*e1 + 3*m1, must stay below 1.2x its original value.
+    exec_times = PerturbationParameter.nonnegative("exec", [4.0], unit="s")
+    msg_sizes = PerturbationParameter.nonnegative("msg", [2.0], unit="bytes")
+    mapping = LinearMapping([2.0, 3.0])
+    phi0 = mapping.value(np.array([4.0, 2.0]))
+    feature = PerformanceFeature("latency", ToleranceBounds.relative(phi0, 1.2))
+
+    analysis = RobustnessAnalysis([FeatureSpec(feature, mapping)],
+                                  [exec_times, msg_sizes])
+    print(robustness_metric(analysis))
+"""
+
+from repro.core import (
+    CallableMapping,
+    ConcatenatedPerturbation,
+    CriticalityReport,
+    criticality_report,
+    CustomWeighting,
+    FeasibilityChecker,
+    FeasibilityVerdict,
+    FeatureMapping,
+    FeatureSpec,
+    IdentityWeighting,
+    LinearMapping,
+    MaxMapping,
+    NormalizedWeighting,
+    PerformanceFeature,
+    PerturbationParameter,
+    ProductMapping,
+    QuadraticMapping,
+    RadiusProblem,
+    RadiusResult,
+    RestrictedMapping,
+    ReweightedMapping,
+    RobustnessAnalysis,
+    RobustnessReport,
+    SensitivityWeighting,
+    ToleranceBounds,
+    WeightingScheme,
+    compute_radius,
+    robustness_metric,
+)
+from repro.core.degeneracy import (
+    LinearCase,
+    normalized_radius_linear,
+    per_parameter_radius_linear,
+    sensitivity_alphas_linear,
+    sensitivity_radius_linear,
+)
+from repro.exceptions import (
+    BoundaryNotFoundError,
+    ConvergenceError,
+    DimensionMismatchError,
+    InfeasibleAllocationError,
+    ReproError,
+    SolverError,
+    SpecificationError,
+    UnitMismatchError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # core model
+    "PerformanceFeature",
+    "ToleranceBounds",
+    "PerturbationParameter",
+    "FeatureMapping",
+    "LinearMapping",
+    "QuadraticMapping",
+    "ProductMapping",
+    "CallableMapping",
+    "MaxMapping",
+    "RestrictedMapping",
+    "ReweightedMapping",
+    # radii
+    "RadiusProblem",
+    "RadiusResult",
+    "compute_radius",
+    # weighting / P-space
+    "WeightingScheme",
+    "IdentityWeighting",
+    "SensitivityWeighting",
+    "NormalizedWeighting",
+    "CustomWeighting",
+    "ConcatenatedPerturbation",
+    # orchestration
+    "FeatureSpec",
+    "RobustnessAnalysis",
+    "RobustnessReport",
+    "robustness_metric",
+    "FeasibilityChecker",
+    "FeasibilityVerdict",
+    "CriticalityReport",
+    "criticality_report",
+    # closed forms
+    "LinearCase",
+    "per_parameter_radius_linear",
+    "sensitivity_alphas_linear",
+    "sensitivity_radius_linear",
+    "normalized_radius_linear",
+    # exceptions
+    "ReproError",
+    "SpecificationError",
+    "DimensionMismatchError",
+    "UnitMismatchError",
+    "SolverError",
+    "BoundaryNotFoundError",
+    "ConvergenceError",
+    "InfeasibleAllocationError",
+    "__version__",
+]

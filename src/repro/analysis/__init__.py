@@ -1,0 +1,76 @@
+"""Experiment implementations reproducing the paper's derivations and the
+companion paper's evaluation style.
+
+* :mod:`repro.analysis.linear_case` — the Section 3.1/3.2 sweeps: the
+  ``1/sqrt(n)`` degeneracy of sensitivity weighting (E2) and the
+  parameter-dependence of the normalized radius (E3);
+* :mod:`repro.analysis.comparison` — allocation-heuristic robustness
+  comparisons on the independent-task substrate (E5) and weighting-scheme /
+  norm ablations (E6/E8);
+* :mod:`repro.analysis.experiments` — the result container shared by the
+  benchmark harness.
+"""
+
+from repro.analysis.experiments import ExperimentResult
+from repro.analysis.linear_case import (
+    normalized_dependence_sweep,
+    random_linear_case,
+    sensitivity_degeneracy_sweep,
+)
+from repro.analysis.comparison import (
+    compare_heuristics,
+    compare_norms,
+    compare_weightings,
+)
+from repro.analysis.monitoring import (
+    TraceOutcome,
+    monitoring_experiment,
+    replay_trace,
+)
+from repro.analysis.tradeoff import (
+    TradeoffPoint,
+    pareto_frontier,
+    tradeoff_experiment,
+)
+from repro.analysis.requirement_sweep import requirement_sweep
+from repro.analysis.study import (
+    SystemObservation,
+    population_study,
+    scaling_study,
+)
+from repro.analysis.weighting_sensitivity import (
+    two_kind_analysis_factory,
+    weighting_sensitivity_experiment,
+)
+from repro.analysis.placement_comparison import compare_placements
+from repro.analysis.runner import (
+    EXPERIMENT_REGISTRY,
+    run_all_experiments,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "random_linear_case",
+    "sensitivity_degeneracy_sweep",
+    "normalized_dependence_sweep",
+    "compare_heuristics",
+    "compare_weightings",
+    "compare_norms",
+    "TraceOutcome",
+    "replay_trace",
+    "monitoring_experiment",
+    "TradeoffPoint",
+    "pareto_frontier",
+    "tradeoff_experiment",
+    "requirement_sweep",
+    "SystemObservation",
+    "population_study",
+    "scaling_study",
+    "two_kind_analysis_factory",
+    "weighting_sensitivity_experiment",
+    "compare_placements",
+    "EXPERIMENT_REGISTRY",
+    "run_experiment",
+    "run_all_experiments",
+]

@@ -1,0 +1,54 @@
+"""Shared experiment-result container.
+
+Every experiment returns an :class:`ExperimentResult`: a named table
+(headers + rows) plus free-form scalar summaries, so the benchmark harness
+can print the same rows the paper's derivations imply and
+``EXPERIMENTS.md`` can record paper-vs-measured values uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.utils.tables import format_table
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """A tabular experiment outcome.
+
+    Attributes
+    ----------
+    experiment_id:
+        The DESIGN.md experiment id (e.g. ``"E2"``).
+    title:
+        Human-readable experiment description.
+    headers:
+        Column names of the result table.
+    rows:
+        The result rows.
+    summary:
+        Scalar takeaways keyed by name (e.g. the max deviation from a
+        closed form).
+    """
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: Sequence[Sequence[Any]]
+    summary: dict[str, Any] = field(default_factory=dict)
+
+    def to_table(self, *, float_fmt: str = ".6g") -> str:
+        """Render the result as an aligned text table with the summary."""
+        out = format_table(self.headers, self.rows, float_fmt=float_fmt,
+                           title=f"[{self.experiment_id}] {self.title}")
+        if self.summary:
+            lines = [f"  {k} = {v}" for k, v in self.summary.items()]
+            out += "\nsummary:\n" + "\n".join(lines)
+        return out
+
+    def __str__(self) -> str:
+        return self.to_table()

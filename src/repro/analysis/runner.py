@@ -1,0 +1,129 @@
+"""Run the complete experiment suite programmatically.
+
+:func:`run_all_experiments` executes every registered experiment at a
+configurable (reduced-by-default) scale and returns the results; the CLI's
+``experiments`` command uses it to regenerate a full report in one go, and
+the tests use the registry to guarantee every DESIGN.md experiment id has
+a runnable implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.analysis.experiments import ExperimentResult
+from repro.exceptions import SpecificationError
+
+__all__ = ["EXPERIMENT_REGISTRY", "run_experiment", "run_all_experiments"]
+
+
+def _e2(seed) -> ExperimentResult:
+    from repro.analysis.linear_case import sensitivity_degeneracy_sweep
+    return sensitivity_degeneracy_sweep(ns=(2, 4, 8, 16), cases_per_n=5,
+                                        seed=seed)
+
+
+def _e3(seed) -> ExperimentResult:
+    from repro.analysis.linear_case import normalized_dependence_sweep
+    return normalized_dependence_sweep(ns=(2, 4, 8), cases_per_n=5,
+                                       seed=seed)
+
+
+def _e5(seed) -> ExperimentResult:
+    from repro.analysis.comparison import compare_heuristics
+    from repro.systems.independent import generate_etc_gamma
+    etc = generate_etc_gamma(20, 5, seed=seed)
+    return compare_heuristics(etc, tau_factor=1.3, seed=seed)
+
+
+def _hiperd(seed):
+    from repro.systems.hiperd import QoSSpec, generate_hiperd_system
+    return (generate_hiperd_system(seed=seed),
+            QoSSpec(latency_slack=1.4, throughput_margin=0.9))
+
+
+def _e6(seed) -> ExperimentResult:
+    from repro.analysis.comparison import compare_weightings
+    system, qos = _hiperd(seed)
+    return compare_weightings(system, qos, kinds=("loads", "msgsize"),
+                              seed=seed)
+
+
+def _e8(seed) -> ExperimentResult:
+    from repro.analysis.comparison import compare_norms
+    system, qos = _hiperd(seed)
+    return compare_norms(system, qos, seed=seed)
+
+
+def _e9(seed) -> ExperimentResult:
+    from repro.analysis.monitoring import monitoring_experiment
+    from repro.systems.hiperd.constraints import build_analysis
+    system, qos = _hiperd(seed)
+    analysis = build_analysis(system, qos, kinds=("loads",), seed=seed)
+    return monitoring_experiment(system, analysis, n_steps=40, seed=seed)
+
+
+def _e10(seed) -> ExperimentResult:
+    from repro.analysis.tradeoff import tradeoff_experiment
+    from repro.systems.independent import generate_etc_gamma
+    etc = generate_etc_gamma(14, 4, seed=seed)
+    return tradeoff_experiment(etc, n_random=6, sa_weights=(0.0, 0.5, 1.0),
+                               seed=seed)
+
+
+def _e11(seed) -> ExperimentResult:
+    from repro.analysis.requirement_sweep import requirement_sweep
+    return requirement_sweep([2.0, 3.0, 0.5], [4.0, 2.0, 10.0])
+
+
+def _e12(seed) -> ExperimentResult:
+    from repro.analysis.study import population_study
+    from repro.systems.hiperd.generator import HiPerDGenerationSpec
+    spec = HiPerDGenerationSpec(n_sensors=2, n_actuators=1, n_machines=3,
+                                app_layers=(2, 2))
+    return population_study(n_systems=6, spec=spec, seed=seed)
+
+
+def _e16(seed) -> ExperimentResult:
+    from repro.analysis.weighting_sensitivity import (
+        weighting_sensitivity_experiment,
+    )
+    return weighting_sensitivity_experiment()
+
+
+#: Registered experiment implementations, keyed by DESIGN.md id.  The
+#: figure/validation/failure experiments (E1, E4, E7, E13-E15, E17) live
+#: in the benchmark harness because their primary outputs are figures,
+#: confusion tables, or timings rather than an ExperimentResult.
+EXPERIMENT_REGISTRY: Mapping[str, Callable[[int], ExperimentResult]] = {
+    "E2": _e2,
+    "E3": _e3,
+    "E5": _e5,
+    "E6": _e6,
+    "E8": _e8,
+    "E9": _e9,
+    "E10": _e10,
+    "E11": _e11,
+    "E12": _e12,
+    "E16": _e16,
+}
+
+
+def run_experiment(experiment_id: str, *, seed: int = 2005
+                   ) -> ExperimentResult:
+    """Run one registered experiment by its DESIGN.md id."""
+    try:
+        fn = EXPERIMENT_REGISTRY[experiment_id]
+    except KeyError as exc:
+        raise SpecificationError(
+            f"unknown experiment {experiment_id!r}; registered: "
+            f"{sorted(EXPERIMENT_REGISTRY)}") from exc
+    return fn(seed)
+
+
+def run_all_experiments(*, seed: int = 2005
+                        ) -> dict[str, ExperimentResult]:
+    """Run every registered experiment; returns results keyed by id."""
+    return {eid: run_experiment(eid, seed=seed)
+            for eid in sorted(EXPERIMENT_REGISTRY,
+                              key=lambda e: int(e[1:].rstrip("ab")))}

@@ -1,0 +1,165 @@
+"""Population studies (E12): robustness statistics across system families.
+
+One system's ``rho`` is an anecdote; the measurement campaign the metric
+is built for runs it across a *population* of generated systems and asks
+structural questions:
+
+* how is ``rho`` distributed for a family of HiPer-D systems?
+* which feature family (latency vs throughput) is critical how often?
+* how does ``rho`` scale as systems grow (more applications = more
+  features = a min over more radii = weakly decreasing robustness)?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.experiments import ExperimentResult
+from repro.core.weighting import NormalizedWeighting
+from repro.exceptions import SpecificationError
+from repro.systems.hiperd.constraints import QoSSpec, build_analysis
+from repro.systems.hiperd.generator import (
+    HiPerDGenerationSpec,
+    generate_hiperd_system,
+)
+from repro.utils.rng import spawn_rngs
+
+__all__ = ["SystemObservation", "population_study", "scaling_study"]
+
+
+@dataclass(frozen=True)
+class SystemObservation:
+    """One generated system's robustness observation.
+
+    Attributes
+    ----------
+    rho:
+        The system's robustness metric.
+    critical_feature:
+        Name of the limiting feature.
+    critical_family:
+        Its family prefix (``latency`` / ``throughput`` / ...).
+    n_features:
+        Number of features in the analysis.
+    """
+
+    rho: float
+    critical_feature: str
+    critical_family: str
+    n_features: int
+
+
+def _observe(spec: HiPerDGenerationSpec, qos: QoSSpec, kinds, seed
+             ) -> SystemObservation:
+    system = generate_hiperd_system(spec, seed=seed)
+    analysis = build_analysis(system, qos, kinds=kinds,
+                              weighting=NormalizedWeighting(), seed=seed)
+    rho = analysis.rho()
+    crit = analysis.critical_feature().name
+    family = crit.split("[", 1)[0]
+    return SystemObservation(rho=rho, critical_feature=crit,
+                             critical_family=family,
+                             n_features=len(analysis.features))
+
+
+def population_study(
+    *,
+    n_systems: int = 20,
+    spec: HiPerDGenerationSpec | None = None,
+    qos: QoSSpec | None = None,
+    kinds=("loads", "msgsize"),
+    seed=None,
+) -> ExperimentResult:
+    """E12a: the distribution of rho over a family of generated systems.
+
+    Parameters
+    ----------
+    n_systems:
+        Population size.
+    spec, qos:
+        Generation and QoS configuration (defaults are moderate).
+    kinds:
+        Perturbation kinds for the analyses.
+    seed:
+        Master seed; per-system seeds are spawned independently.
+    """
+    if n_systems < 2:
+        raise SpecificationError("n_systems must be >= 2")
+    spec = spec if spec is not None else HiPerDGenerationSpec()
+    qos = qos if qos is not None else QoSSpec(latency_slack=1.4,
+                                              throughput_margin=0.9)
+    rngs = spawn_rngs(seed, n_systems)
+    observations = [
+        _observe(spec, qos, kinds, rng) for rng in rngs
+    ]
+    rhos = np.array([o.rho for o in observations])
+    families: dict[str, int] = {}
+    for o in observations:
+        families[o.critical_family] = families.get(o.critical_family, 0) + 1
+    rows = [
+        ["systems", n_systems],
+        ["rho mean", float(rhos.mean())],
+        ["rho std", float(rhos.std())],
+        ["rho min", float(rhos.min())],
+        ["rho median", float(np.median(rhos))],
+        ["rho max", float(rhos.max())],
+    ]
+    for family, count in sorted(families.items()):
+        rows.append([f"critical family = {family}", f"{count}/{n_systems}"])
+    return ExperimentResult(
+        experiment_id="E12a",
+        title=(f"rho distribution over {n_systems} generated HiPer-D "
+               f"systems, kinds={tuple(kinds)}"),
+        headers=["statistic", "value"],
+        rows=rows,
+        summary={"dominant critical family":
+                 max(families, key=families.get)},
+    )
+
+
+def scaling_study(
+    *,
+    layer_sizes=((2, 2), (3, 3), (4, 4), (5, 5)),
+    systems_per_size: int = 5,
+    qos: QoSSpec | None = None,
+    kinds=("loads", "msgsize"),
+    seed=None,
+) -> ExperimentResult:
+    """E12b: how rho scales as systems grow.
+
+    Larger systems have more features; since ``rho`` is a minimum over
+    per-feature radii, the *population mean* of ``rho`` should be weakly
+    decreasing in system size (an extreme-value effect, not a theorem per
+    instance — the assertion belongs to the aggregate).
+    """
+    qos = qos if qos is not None else QoSSpec(latency_slack=1.4,
+                                              throughput_margin=0.9)
+    rows = []
+    means = []
+    rngs = spawn_rngs(seed, len(layer_sizes) * systems_per_size)
+    rng_iter = iter(rngs)
+    for layers in layer_sizes:
+        spec = HiPerDGenerationSpec(app_layers=tuple(layers))
+        obs = [_observe(spec, qos, kinds, next(rng_iter))
+               for _ in range(systems_per_size)]
+        rhos = np.array([o.rho for o in obs])
+        n_feat = int(np.mean([o.n_features for o in obs]))
+        means.append(float(rhos.mean()))
+        rows.append(["x".join(map(str, layers)), n_feat,
+                     float(rhos.mean()), float(rhos.min()),
+                     float(rhos.max())])
+    return ExperimentResult(
+        experiment_id="E12b",
+        title="rho vs system size (min over more features shrinks)",
+        headers=["app layers", "mean #features", "mean rho", "min rho",
+                 "max rho"],
+        rows=rows,
+        summary={
+            "mean rho, smallest vs largest systems":
+                f"{means[0]:.4g} -> {means[-1]:.4g}",
+            "monotone non-increasing trend (first vs last)":
+                bool(means[-1] <= means[0] + 1e-12),
+        },
+    )

@@ -1,0 +1,174 @@
+"""Robustness-performance tradeoff study (E10).
+
+The companion paper's closing observation: optimising raw performance
+(makespan) and optimising robustness pull in different directions, so the
+interesting allocations form a Pareto frontier.  This experiment samples a
+population of allocations — the classical heuristics, random draws, and
+simulated-annealing runs with objectives blending makespan and ``-rho`` —
+evaluates each against a shared deadline, and extracts the frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.experiments import ExperimentResult
+from repro.exceptions import SpecificationError
+from repro.systems.heuristics import (
+    MCT,
+    MaxMin,
+    MinMin,
+    OLB,
+    RandomAllocator,
+    SimulatedAnnealer,
+    Sufferage,
+)
+from repro.systems.independent.allocation import Allocation
+from repro.systems.independent.etc import EtcMatrix
+from repro.systems.independent.makespan import MakespanSystem
+from repro.utils.ascii_plot import scatter_plot
+from repro.utils.rng import default_rng
+
+__all__ = ["TradeoffPoint", "pareto_frontier", "tradeoff_experiment"]
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One allocation's position in (makespan, robustness) space.
+
+    Attributes
+    ----------
+    label:
+        Where the allocation came from ("MCT", "SA w=0.3", "random", ...).
+    makespan:
+        Estimated makespan.
+    rho:
+        Robustness under the experiment's shared deadline (``nan`` when
+        the allocation misses the deadline outright).
+    """
+
+    label: str
+    makespan: float
+    rho: float
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the allocation meets the shared deadline."""
+        return self.rho == self.rho  # not NaN
+
+
+def pareto_frontier(points: Sequence[TradeoffPoint]) -> list[TradeoffPoint]:
+    """Non-dominated subset: minimal makespan, maximal robustness.
+
+    A point dominates another if it has both a (weakly) smaller makespan
+    and a (weakly) larger rho, strictly better in at least one.  Infeasible
+    points never enter the frontier.
+    """
+    feas = [p for p in points if p.feasible]
+    frontier = []
+    for p in feas:
+        dominated = any(
+            (q.makespan <= p.makespan and q.rho >= p.rho)
+            and (q.makespan < p.makespan or q.rho > p.rho)
+            for q in feas)
+        if not dominated:
+            frontier.append(p)
+    frontier.sort(key=lambda p: p.makespan)
+    return frontier
+
+
+def _blended_sa(etc: EtcMatrix, tau: float, weight: float, seed) -> Allocation:
+    """SA on ``weight * makespan - (1-weight) * rho`` (both normalised)."""
+    ms_scale = MCT().allocate(etc).makespan(etc)
+
+    def factory(etc_matrix):
+        def objective(allocation):
+            system = MakespanSystem(etc_matrix, allocation)
+            ms = system.makespan()
+            if ms >= tau:
+                return 10.0 + ms / tau  # deep infeasibility penalty
+            rho = system.analytic_rho(tau=tau)
+            return weight * ms / ms_scale - (1.0 - weight) * rho / ms_scale
+        return objective
+
+    return SimulatedAnnealer(factory, n_steps=1200, seed=seed).allocate(etc)
+
+
+def tradeoff_experiment(
+    etc: EtcMatrix,
+    *,
+    tau_factor: float = 1.5,
+    n_random: int = 12,
+    sa_weights: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    seed=None,
+) -> ExperimentResult:
+    """E10: the makespan-robustness Pareto frontier of an instance.
+
+    Parameters
+    ----------
+    etc:
+        The problem instance.
+    tau_factor:
+        Shared deadline as a multiple of the best heuristic makespan.
+    n_random:
+        Number of random allocations in the population.
+    sa_weights:
+        Blend weights for the simulated-annealing runs (0 = pure
+        robustness, 1 = pure makespan).
+    seed:
+        RNG seed.
+    """
+    if tau_factor <= 1.0:
+        raise SpecificationError("tau_factor must exceed 1")
+    rng = default_rng(seed)
+
+    candidates: list[tuple[str, Allocation]] = [
+        (h.name, h.allocate(etc))
+        for h in (OLB(), MCT(), MinMin(), MaxMin(), Sufferage())
+    ]
+    tau = tau_factor * min(a.makespan(etc) for _, a in candidates)
+
+    for i in range(n_random):
+        candidates.append(
+            (f"random{i}", RandomAllocator(rng).allocate(etc)))
+    for w in sa_weights:
+        candidates.append(
+            (f"SA w={w:.2f}", _blended_sa(etc, tau, w, rng)))
+
+    points = []
+    for label, alloc in candidates:
+        system = MakespanSystem(etc, alloc)
+        ms = system.makespan()
+        rho = (system.analytic_rho(tau=tau) if ms < tau else float("nan"))
+        points.append(TradeoffPoint(label=label, makespan=ms, rho=rho))
+
+    frontier = pareto_frontier(points)
+    frontier_set = {(p.label) for p in frontier}
+    rows = [[p.label, p.makespan,
+             p.rho if p.feasible else float("nan"),
+             "*" if p.label in frontier_set else ""]
+            for p in sorted(points, key=lambda q: q.makespan)]
+
+    feas = [p for p in points if p.feasible]
+    plot = scatter_plot(
+        [p.makespan for p in feas], [p.rho for p in feas],
+        xlabel="makespan", ylabel="rho",
+        title=f"robustness vs makespan (tau = {tau:.4g}); "
+              f"{len(frontier)} Pareto points", width=64, height=18)
+
+    return ExperimentResult(
+        experiment_id="E10",
+        title=(f"makespan-robustness tradeoff on {etc.n_tasks} tasks x "
+               f"{etc.n_machines} machines (* = Pareto frontier)"),
+        headers=["allocation", "makespan", "rho", "frontier"],
+        rows=rows,
+        summary={
+            "tau": tau,
+            "frontier size": len(frontier),
+            "frontier labels": ", ".join(p.label for p in frontier),
+            "scatter": "\n" + plot,
+        },
+    )

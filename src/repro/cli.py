@@ -1,0 +1,274 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``
+    Run the quickstart two-kind analysis and print the report.
+``degeneracy``
+    Run the E2/E3 sweeps (the paper's central results) and print their
+    tables.
+``heuristics``
+    Generate an ETC instance and print the heuristic comparison (E5).
+``hiperd``
+    Generate a HiPer-D system, run the multi-kind analysis, and print the
+    robustness report, criticality decomposition, and the monitoring
+    experiment (E6/E9).
+``tradeoff``
+    Print the makespan-robustness Pareto study (E10).
+
+Every command accepts ``--seed`` for reproducibility.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=("Reproduction of 'A Measure of Robustness Against "
+                     "Multiple Kinds of Perturbations' (IPDPS 2005)"))
+    parser.add_argument("--seed", type=int, default=2005,
+                        help="RNG seed (default 2005)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="quickstart two-kind analysis")
+
+    deg = sub.add_parser("degeneracy",
+                         help="the 1/sqrt(n) degeneracy and its fix (E2/E3)")
+    deg.add_argument("--cases", type=int, default=6,
+                     help="random instances per n")
+
+    heu = sub.add_parser("heuristics", help="heuristic comparison (E5)")
+    heu.add_argument("--tasks", type=int, default=24)
+    heu.add_argument("--machines", type=int, default=6)
+    heu.add_argument("--tau-factor", type=float, default=1.3)
+
+    hip = sub.add_parser("hiperd",
+                         help="HiPer-D multi-kind analysis + monitor (E6/E9)")
+    hip.add_argument("--kinds", default="loads,exec,msgsize",
+                     help="comma-separated perturbation kinds")
+    hip.add_argument("--latency-slack", type=float, default=1.4)
+
+    tra = sub.add_parser("tradeoff",
+                         help="makespan-robustness Pareto study (E10)")
+    tra.add_argument("--tasks", type=int, default=20)
+    tra.add_argument("--machines", type=int, default=5)
+
+    fai = sub.add_parser("failures",
+                         help="machine/link failure robustness (E13/E14)")
+    fai.add_argument("--tasks", type=int, default=16)
+    fai.add_argument("--machines", type=int, default=5)
+    fai.add_argument("--tau-factor", type=float, default=2.0)
+
+    pla = sub.add_parser("placement",
+                         help="robustness-aware placement search (E15)")
+    pla.add_argument("--rounds", type=int, default=5)
+
+    exp = sub.add_parser("experiments",
+                         help="run every registered experiment")
+    exp.add_argument("--only", default=None,
+                     help="comma-separated experiment ids (default: all)")
+    exp.add_argument("--markdown", action="store_true",
+                     help="emit GitHub-markdown instead of ASCII tables")
+
+    top = sub.add_parser("topology",
+                         help="path-slack and bottleneck analysis of a "
+                              "generated HiPer-D system")
+    top.add_argument("--latency-slack", type=float, default=1.4)
+    top.add_argument("--top", type=int, default=5)
+    return parser
+
+
+def _cmd_demo(args) -> int:
+    from repro import (FeatureSpec, LinearMapping, PerformanceFeature,
+                       PerturbationParameter, RobustnessAnalysis,
+                       ToleranceBounds, robustness_metric)
+
+    exec_times = PerturbationParameter.nonnegative(
+        "exec_times", [2.0, 3.0], unit="s")
+    msg_sizes = PerturbationParameter.nonnegative(
+        "msg_sizes", [1e4], unit="bytes")
+    mapping = LinearMapping([1.0, 1.0, 1e-6])
+    phi0 = mapping.value(np.array([2.0, 3.0, 1e4]))
+    feature = PerformanceFeature(
+        "latency", ToleranceBounds.relative(phi0, 1.3), unit="s")
+    analysis = RobustnessAnalysis([FeatureSpec(feature, mapping)],
+                                  [exec_times, msg_sizes])
+    print(robustness_metric(analysis))
+    return 0
+
+
+def _cmd_degeneracy(args) -> int:
+    from repro.analysis import (normalized_dependence_sweep,
+                                sensitivity_degeneracy_sweep)
+
+    print(sensitivity_degeneracy_sweep(cases_per_n=args.cases,
+                                       seed=args.seed))
+    print()
+    print(normalized_dependence_sweep(cases_per_n=args.cases,
+                                      seed=args.seed))
+    return 0
+
+
+def _cmd_heuristics(args) -> int:
+    from repro.analysis import compare_heuristics
+    from repro.systems.independent import generate_etc_gamma
+
+    etc = generate_etc_gamma(args.tasks, args.machines, seed=args.seed)
+    print(compare_heuristics(etc, tau_factor=args.tau_factor,
+                             seed=args.seed))
+    return 0
+
+
+def _cmd_hiperd(args) -> int:
+    from repro.analysis.monitoring import monitoring_experiment
+    from repro.core.criticality import criticality_report
+    from repro.core.metric import robustness_metric
+    from repro.systems.hiperd import (QoSSpec, build_analysis,
+                                      generate_hiperd_system)
+
+    kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
+    system = generate_hiperd_system(seed=args.seed)
+    print(system)
+    qos = QoSSpec(latency_slack=args.latency_slack)
+    analysis = build_analysis(system, qos, kinds=kinds, seed=args.seed)
+    print()
+    print(robustness_metric(analysis))
+    print()
+    print(criticality_report(analysis))
+    if "loads" in kinds:
+        print()
+        print(monitoring_experiment(system, analysis, seed=args.seed))
+    return 0
+
+
+def _cmd_tradeoff(args) -> int:
+    from repro.analysis import tradeoff_experiment
+    from repro.systems.independent import generate_etc_gamma
+
+    etc = generate_etc_gamma(args.tasks, args.machines, seed=args.seed)
+    print(tradeoff_experiment(etc, seed=args.seed))
+    return 0
+
+
+def _cmd_failures(args) -> int:
+    from repro.systems.heuristics import MCT, Sufferage
+    from repro.systems.hiperd import QoSSpec, generate_hiperd_system
+    from repro.systems.hiperd.failures import critical_links
+    from repro.systems.independent import (
+        failure_radius,
+        generate_etc_gamma,
+        survival_probability,
+    )
+    from repro.utils.tables import format_table
+
+    etc = generate_etc_gamma(args.tasks, args.machines, seed=args.seed)
+    rows = []
+    for heuristic in (MCT(), Sufferage()):
+        alloc = heuristic.allocate(etc)
+        tau = args.tau_factor * alloc.makespan(etc)
+        fa = failure_radius(etc, alloc, tau)
+        p = survival_probability(etc, alloc, tau, p_fail=0.2,
+                                 n_samples=1000, seed=args.seed)
+        rows.append([heuristic.name, alloc.makespan(etc), fa.radius, p])
+    print(format_table(
+        ["heuristic", "makespan", "failure radius", "P(survive p=0.2)"],
+        rows, title="machine-failure robustness (E13)"))
+
+    system = generate_hiperd_system(seed=args.seed)
+    qos = QoSSpec(latency_slack=1.4)
+    ranking = critical_links(system, qos, degraded_factor=0.05)
+    print()
+    print(format_table(
+        ["link", "worst margin after failure"],
+        [["-".join(pair), margin] for pair, margin in ranking[:8]],
+        title="single-link criticality (E14, bandwidth degraded to 5%)"))
+    return 0
+
+
+def _cmd_placement(args) -> int:
+    from repro.systems.hiperd import (
+        HiPerDGenerationSpec,
+        QoSSpec,
+        generate_hiperd_system,
+    )
+    from repro.systems.hiperd.placement import improve_placement, placement_rho
+    from repro.utils.tables import format_table
+
+    spec = HiPerDGenerationSpec(balanced_placement=False)
+    system = generate_hiperd_system(spec, seed=args.seed)
+    qos = QoSSpec(latency_slack=1.4)
+    before = placement_rho(system, qos)
+    improved, steps = improve_placement(system, qos, max_rounds=args.rounds)
+    rows = [[s.application, s.from_machine, s.to_machine, s.rho]
+            for s in steps]
+    print(format_table(
+        ["moved app", "from", "to", "rho after"],
+        rows,
+        title=(f"placement search (E15): rho {before:.4g} -> "
+               f"{placement_rho(improved, qos):.4g} in {len(steps)} moves")))
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    from repro.analysis.runner import EXPERIMENT_REGISTRY, run_experiment
+    from repro.reporting.markdown import experiment_to_markdown
+
+    if args.only:
+        ids = [e.strip().upper() for e in args.only.split(",") if e.strip()]
+    else:
+        ids = sorted(EXPERIMENT_REGISTRY,
+                     key=lambda e: int(e[1:].rstrip("ab")))
+    for eid in ids:
+        result = run_experiment(eid, seed=args.seed)
+        if args.markdown:
+            print(experiment_to_markdown(result))
+        else:
+            print(result)
+        print()
+    return 0
+
+
+def _cmd_topology(args) -> int:
+    from repro.systems.hiperd import QoSSpec, generate_hiperd_system
+    from repro.systems.hiperd.topology import topology_report
+
+    system = generate_hiperd_system(seed=args.seed)
+    print(system)
+    print()
+    print(topology_report(system,
+                          QoSSpec(latency_slack=args.latency_slack),
+                          top_k=args.top))
+    return 0
+
+
+_COMMANDS = {
+    "demo": _cmd_demo,
+    "degeneracy": _cmd_degeneracy,
+    "heuristics": _cmd_heuristics,
+    "hiperd": _cmd_hiperd,
+    "tradeoff": _cmd_tradeoff,
+    "failures": _cmd_failures,
+    "placement": _cmd_placement,
+    "experiments": _cmd_experiments,
+    "topology": _cmd_topology,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

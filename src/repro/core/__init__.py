@@ -1,0 +1,78 @@
+"""Core robustness-metric framework (the paper's primary contribution).
+
+The subpackage implements the FePIA four-step procedure of Ali et al. (TPDS
+2004) and its IPDPS 2005 multi-kind extension:
+
+* :mod:`repro.core.features` — performance features ``phi_i`` and their
+  tolerable-variation bounds ``<beta_min, beta_max>`` (FePIA step 1);
+* :mod:`repro.core.perturbation` — perturbation parameters ``pi_j``
+  (FePIA step 2);
+* :mod:`repro.core.mappings` — the impact functions ``f_ij`` (FePIA step 3);
+* :mod:`repro.core.radius` and :mod:`repro.core.solvers` — robustness radii
+  ``r_mu(phi_i, pi_j)`` (FePIA step 4, Eq. 1);
+* :mod:`repro.core.weighting` / :mod:`repro.core.pspace` — the multi-kind
+  concatenation ``P`` with sensitivity-based or normalized weighting
+  (Sections 3.1 / 3.2 of the IPDPS 2005 paper, Eqs. 2 and 5);
+* :mod:`repro.core.fepia` / :mod:`repro.core.metric` — orchestration and the
+  final metric ``rho_mu(Phi, P) = min_i r_mu(phi_i, P)``;
+* :mod:`repro.core.degeneracy` — closed forms for the paper's central
+  analytic results (the ``1/sqrt(n)`` degeneracy and its normalized fix);
+* :mod:`repro.core.feasibility` — the operating-point test of Sec. 3.1.
+"""
+
+from repro.core.features import PerformanceFeature, ToleranceBounds
+from repro.core.perturbation import PerturbationParameter
+from repro.core.mappings import (
+    FeatureMapping,
+    LinearMapping,
+    QuadraticMapping,
+    ProductMapping,
+    CallableMapping,
+    MaxMapping,
+    RestrictedMapping,
+    ReweightedMapping,
+)
+from repro.core.radius import RadiusProblem, RadiusResult, compute_radius
+from repro.core.weighting import (
+    WeightingScheme,
+    IdentityWeighting,
+    SensitivityWeighting,
+    NormalizedWeighting,
+    CustomWeighting,
+)
+from repro.core.pspace import ConcatenatedPerturbation
+from repro.core.fepia import RobustnessAnalysis, FeatureSpec
+from repro.core.metric import RobustnessReport, robustness_metric
+from repro.core.feasibility import FeasibilityChecker, FeasibilityVerdict
+from repro.core.criticality import CriticalityReport, criticality_report
+
+__all__ = [
+    "PerformanceFeature",
+    "ToleranceBounds",
+    "PerturbationParameter",
+    "FeatureMapping",
+    "LinearMapping",
+    "QuadraticMapping",
+    "ProductMapping",
+    "CallableMapping",
+    "MaxMapping",
+    "RestrictedMapping",
+    "ReweightedMapping",
+    "RadiusProblem",
+    "RadiusResult",
+    "compute_radius",
+    "WeightingScheme",
+    "IdentityWeighting",
+    "SensitivityWeighting",
+    "NormalizedWeighting",
+    "CustomWeighting",
+    "ConcatenatedPerturbation",
+    "RobustnessAnalysis",
+    "FeatureSpec",
+    "RobustnessReport",
+    "robustness_metric",
+    "FeasibilityChecker",
+    "FeasibilityVerdict",
+    "CriticalityReport",
+    "criticality_report",
+]

@@ -1,0 +1,121 @@
+"""Boundary-set utilities shared by the radius solvers.
+
+The boundary of the robust region for feature ``phi_i`` is the set
+``{x : f(x) = beta_min or f(x) = beta_max}`` (FePIA step 4).  This module
+provides structural analysis of mappings — in particular recognising when a
+mapping (possibly wrapped in restriction/reweighting adapters) is affine, so
+the closed-form hyperplane solver (the paper's Equation 4) applies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.mappings import (
+    FeatureMapping,
+    LinearMapping,
+    QuadraticMapping,
+    RestrictedMapping,
+    ReweightedMapping,
+    SumMapping,
+)
+
+__all__ = ["as_linear", "as_diagonal_quadratic", "BoundaryCrossing"]
+
+
+def as_linear(mapping: FeatureMapping) -> LinearMapping | None:
+    """Extract an equivalent :class:`LinearMapping`, or ``None``.
+
+    Recognises:
+
+    * a :class:`LinearMapping` itself;
+    * a :class:`ReweightedMapping` over a linear base — still affine with
+      coefficients ``k / alpha``;
+    * a :class:`RestrictedMapping` over a linear base — affine in the free
+      block with the frozen coordinates folded into the constant;
+    * a :class:`SumMapping` whose components are all (recursively) linear.
+
+    The radius dispatcher uses this to route any structurally-affine feature
+    to the exact hyperplane solver instead of the iterative one.
+    """
+    if isinstance(mapping, LinearMapping):
+        return mapping
+    if isinstance(mapping, ReweightedMapping):
+        inner = as_linear(mapping.base)
+        if inner is None:
+            return None
+        return LinearMapping(inner.coefficients / mapping.alphas, inner.constant)
+    if isinstance(mapping, RestrictedMapping):
+        inner = as_linear(mapping.base)
+        if inner is None:
+            return None
+        k = inner.coefficients
+        frozen = np.ones(mapping.base.n_inputs, dtype=bool)
+        frozen[mapping.free_indices] = False
+        const = inner.constant + float(
+            k[frozen] @ mapping.reference[frozen])
+        return LinearMapping(k[mapping.free_indices], const)
+    if isinstance(mapping, SumMapping):
+        parts = [as_linear(c) for c in mapping.components]
+        if any(p is None for p in parts):
+            return None
+        coeffs = np.sum([p.coefficients for p in parts], axis=0)
+        const = float(sum(p.constant for p in parts))
+        return LinearMapping(coeffs, const)
+    return None
+
+
+def as_diagonal_quadratic(mapping: FeatureMapping) -> QuadraticMapping | None:
+    """Extract an equivalent diagonal positive quadratic, or ``None``.
+
+    Recognises ``sum_i d_i x_i^2 + c`` with every ``d_i > 0`` and a zero
+    linear term, directly or through a :class:`ReweightedMapping` (which
+    rescales the diagonal by ``1/alpha_i^2``).  The dispatcher routes such
+    features to the exact ellipsoid-projection solver.
+    """
+    if isinstance(mapping, ReweightedMapping):
+        inner = as_diagonal_quadratic(mapping.base)
+        if inner is None:
+            return None
+        d = np.diag(inner.quadratic) / mapping.alphas ** 2
+        return QuadraticMapping(np.diag(d), None, inner.constant)
+    if not isinstance(mapping, QuadraticMapping):
+        return None
+    Q = mapping.quadratic
+    if np.any(mapping.linear != 0.0):
+        return None
+    if np.any(Q - np.diag(np.diag(Q)) != 0.0):
+        return None
+    if not np.all(np.diag(Q) > 0.0):
+        return None
+    return mapping
+
+
+@dataclass(frozen=True)
+class BoundaryCrossing:
+    """A point where a feature crosses one of its tolerance bounds.
+
+    Attributes
+    ----------
+    point:
+        The boundary point in the perturbation space being searched.
+    bound:
+        The bound value (``beta_min`` or ``beta_max``) attained there.
+    distance:
+        Distance of ``point`` from the search origin in the problem's norm.
+    """
+
+    point: np.ndarray
+    bound: float
+    distance: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "point",
+                           np.asarray(self.point, dtype=np.float64))
+        object.__setattr__(self, "bound", float(self.bound))
+        object.__setattr__(self, "distance", float(self.distance))
+        if self.distance < 0 or math.isnan(self.distance):
+            raise ValueError(f"distance must be >= 0, got {self.distance}")

@@ -1,0 +1,188 @@
+"""Criticality analysis: *which* perturbations limit the robustness.
+
+The robustness radius collapses the boundary geometry to one scalar, but
+its witness point ``P*`` carries direction information: the unit vector
+``(P* - P_orig)/r`` is the cheapest way for the environment to break the
+feature.  Decomposing its squared components gives each element's — and,
+aggregated, each perturbation parameter's — share of the critical
+direction, which is exactly the operational question a HiPer-D operator
+asks ("is it the radar load or the track-message size that threatens the
+deadline?").
+
+For affine features this coincides with the normalised gradient
+decomposition (``share_l = k_l^2 / ||k||^2`` in P-space coordinates); for
+curved features it reflects the local geometry at the witness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.fepia import RobustnessAnalysis
+from repro.exceptions import SpecificationError
+from repro.utils.tables import format_table
+
+__all__ = ["ElementShare", "FeatureCriticality", "CriticalityReport",
+           "criticality_report"]
+
+
+@dataclass(frozen=True)
+class ElementShare:
+    """One flat element's share of a feature's critical direction.
+
+    Attributes
+    ----------
+    parameter:
+        Name of the perturbation parameter the element belongs to.
+    index:
+        Element index within the parameter vector.
+    share:
+        Fraction of the squared witness displacement carried by this
+        element (shares over a feature sum to 1).
+    signed_move:
+        The element's signed displacement in P-space at the witness —
+        positive means the dangerous drift is an *increase*.
+    """
+
+    parameter: str
+    index: int
+    share: float
+    signed_move: float
+
+
+@dataclass(frozen=True)
+class FeatureCriticality:
+    """The critical-direction decomposition of one feature.
+
+    Attributes
+    ----------
+    feature:
+        Feature name.
+    radius:
+        The feature's P-space robustness radius.
+    element_shares:
+        Per-element decomposition, sorted by descending share.
+    parameter_shares:
+        Per-parameter aggregation of the element shares.
+    """
+
+    feature: str
+    radius: float
+    element_shares: tuple[ElementShare, ...]
+    parameter_shares: dict[str, float]
+
+    def top_elements(self, k: int = 3) -> tuple[ElementShare, ...]:
+        """The ``k`` largest-share elements."""
+        return self.element_shares[:k]
+
+    @property
+    def dominant_parameter(self) -> str:
+        """The parameter carrying the largest aggregated share."""
+        return max(self.parameter_shares, key=self.parameter_shares.get)
+
+
+@dataclass(frozen=True)
+class CriticalityReport:
+    """Criticality decompositions for every finite-radius feature.
+
+    Attributes
+    ----------
+    rows:
+        One :class:`FeatureCriticality` per analysable feature, ordered by
+        ascending radius (most fragile first).
+    skipped:
+        Names of features with infinite radius (no witness to decompose).
+    """
+
+    rows: tuple[FeatureCriticality, ...]
+    skipped: tuple[str, ...]
+
+    def to_table(self, *, top_k: int = 2) -> str:
+        """Render the report: per feature, radius + dominant contributors."""
+        table_rows = []
+        for row in self.rows:
+            tops = ", ".join(
+                f"{e.parameter}[{e.index}]={e.share:.0%}"
+                for e in row.top_elements(top_k))
+            table_rows.append([row.feature, row.radius,
+                               row.dominant_parameter, tops])
+        out = format_table(
+            ["feature", "radius", "dominant parameter",
+             f"top-{top_k} elements"],
+            table_rows, title="criticality (most fragile feature first)")
+        if self.skipped:
+            out += "\nskipped (infinite radius): " + ", ".join(self.skipped)
+        return out
+
+    def __str__(self) -> str:
+        return self.to_table()
+
+
+def _decompose(analysis: RobustnessAnalysis, spec) -> FeatureCriticality | None:
+    result = analysis.radius(spec)
+    if not math.isfinite(result.radius) or result.boundary_point is None:
+        return None
+    ps = analysis.pspace(spec)
+    move = np.asarray(result.boundary_point) - ps.p_orig
+    total = float(move @ move)
+    if total == 0.0:
+        # Radius zero: the origin sits on the boundary; attribute the
+        # (degenerate) direction via the mapping gradient if available.
+        problem_mapping = ps.transform_mapping(spec.mapping) \
+            if ps.dimension == analysis.dimension else None
+        grad = (problem_mapping.gradient(ps.p_orig)
+                if problem_mapping is not None else None)
+        if grad is None or not np.any(grad):
+            return FeatureCriticality(
+                feature=spec.name, radius=result.radius,
+                element_shares=(), parameter_shares={})
+        move = grad
+        total = float(move @ move)
+    shares = move ** 2 / total
+
+    elements = []
+    parameter_shares: dict[str, float] = {}
+    for p in ps.params:
+        sl = ps.block_slice(p.name)
+        block_shares = shares[sl]
+        parameter_shares[p.name] = float(block_shares.sum())
+        for i, s in enumerate(block_shares):
+            elements.append(ElementShare(
+                parameter=p.name, index=i, share=float(s),
+                signed_move=float(move[sl][i])))
+    elements.sort(key=lambda e: -e.share)
+    return FeatureCriticality(
+        feature=spec.name, radius=result.radius,
+        element_shares=tuple(elements),
+        parameter_shares=parameter_shares)
+
+
+def criticality_report(analysis: RobustnessAnalysis) -> CriticalityReport:
+    """Decompose every feature's critical direction.
+
+    Parameters
+    ----------
+    analysis:
+        A configured :class:`~repro.core.fepia.RobustnessAnalysis`.
+
+    Returns
+    -------
+    CriticalityReport
+        Per-feature decompositions sorted most-fragile first; features
+        with infinite radius are listed as skipped.
+    """
+    rows = []
+    skipped = []
+    for spec in analysis.features:
+        decomposition = _decompose(analysis, spec)
+        if decomposition is None:
+            skipped.append(spec.name)
+        else:
+            rows.append(decomposition)
+    rows.sort(key=lambda r: r.radius)
+    if not rows and not skipped:
+        raise SpecificationError("analysis has no features")  # unreachable
+    return CriticalityReport(rows=tuple(rows), skipped=tuple(skipped))

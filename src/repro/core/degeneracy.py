@@ -1,0 +1,180 @@
+"""Closed forms of the paper's central derivations (Sections 3.1 and 3.2).
+
+Setting: the *general linear case*.  The performance feature is
+
+    phi(pi_1, ..., pi_n) = k_1 pi_1 + ... + k_n pi_n ,
+
+a linear function of ``n`` one-element perturbation parameters of different
+kinds, with original values ``pi_j^orig`` and the relative requirement
+``beta_max = beta * phi_orig`` (``beta > 1``); only the upper bound is
+constrained.
+
+Section 3.1 (sensitivity-based weighting, the 2004 proposal):
+
+* Step 1 — per-parameter radius with the others frozen at their originals:
+
+      r_mu(phi, pi_j) = (beta - 1) / k_j * sum_m k_m pi_m^orig ,
+
+  hence ``alpha_j = 1 / r_mu(phi, pi_j)``.
+* Step 2 — in P-space the constraint collapses to
+  ``P_1 + ... + P_n = beta/(beta-1)`` and the radius is **exactly**
+
+      r_mu(phi, P) = 1 / sqrt(n) ,
+
+  independent of every ``k_j``, ``beta`` and ``pi_j^orig`` — the paper's
+  negative result ("degeneracy").
+
+Section 3.2 (normalization by original values, the 2005 proposal):
+
+      r_mu(phi, P) = (beta - 1) * |sum_j k_j pi_j^orig|
+                     / sqrt(sum_m (k_m pi_m^orig)^2) ,
+
+  which depends on the coefficients, the requirement and the originals, as
+  a useful measure should.
+
+Every function here is pure closed-form arithmetic — no optimisation — so
+the numeric machinery elsewhere in the library can be validated against
+these expressions to machine precision (experiments E2/E3, and the property
+tests in ``tests/core/test_degeneracy.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import SpecificationError
+from repro.utils.validation import as_1d_float_array, check_finite, check_positive
+
+__all__ = [
+    "LinearCase",
+    "per_parameter_radius_linear",
+    "sensitivity_alphas_linear",
+    "sensitivity_radius_linear",
+    "normalized_radius_linear",
+]
+
+
+@dataclass(frozen=True)
+class LinearCase:
+    """The general linear case of Section 3: coefficients, originals, beta.
+
+    Attributes
+    ----------
+    coefficients:
+        The ``k_j`` (nonzero; the paper's derivation divides by ``k_j``).
+    originals:
+        The ``pi_j^orig`` (positive, as they are physical quantities).
+    beta:
+        The relative requirement, ``beta > 1``.
+    """
+
+    coefficients: np.ndarray
+    originals: np.ndarray
+    beta: float
+
+    def __post_init__(self) -> None:
+        k = check_finite(as_1d_float_array(self.coefficients, name="coefficients"),
+                         name="coefficients")
+        orig = check_finite(as_1d_float_array(self.originals, name="originals"),
+                            name="originals")
+        if k.size != orig.size:
+            raise SpecificationError(
+                f"coefficients ({k.size}) and originals ({orig.size}) must "
+                "have equal length")
+        if np.any(k == 0):
+            raise SpecificationError(
+                "coefficients must be nonzero (the derivation divides by k_j)")
+        check_positive(orig, name="originals")
+        beta = float(self.beta)
+        if beta <= 1.0:
+            raise SpecificationError(f"beta must be > 1, got {beta}")
+        object.__setattr__(self, "coefficients", k)
+        object.__setattr__(self, "originals", orig)
+        object.__setattr__(self, "beta", beta)
+
+    @property
+    def n(self) -> int:
+        """Number of one-element perturbation parameters."""
+        return int(self.coefficients.size)
+
+    @property
+    def phi_orig(self) -> float:
+        """Original feature value ``sum_m k_m pi_m^orig``."""
+        return float(self.coefficients @ self.originals)
+
+    @property
+    def beta_max(self) -> float:
+        """The constraint level ``beta * phi_orig``."""
+        return self.beta * self.phi_orig
+
+
+def per_parameter_radius_linear(case: LinearCase, j: int) -> float:
+    """Step-1 radius ``r_mu(phi, pi_j)`` with the other parameters frozen.
+
+    The paper solves the one-dimensional constraint equation for ``pi_j``
+    and obtains
+
+        r_mu(phi, pi_j) = (beta - 1) / k_j * sum_m k_m pi_m^orig .
+
+    Parameters
+    ----------
+    case:
+        The linear case.
+    j:
+        Zero-based parameter index.
+    """
+    if not 0 <= j < case.n:
+        raise SpecificationError(f"index j={j} out of range for n={case.n}")
+    return float((case.beta - 1.0) / case.coefficients[j] * case.phi_orig)
+
+
+def sensitivity_alphas_linear(case: LinearCase) -> np.ndarray:
+    """The sensitivity weights ``alpha_j = 1/r_mu(phi, pi_j)`` (Equation 3).
+
+        alpha_j = k_j / ((beta - 1) * sum_m k_m pi_m^orig) .
+    """
+    denom = (case.beta - 1.0) * case.phi_orig
+    if denom == 0.0:
+        raise SpecificationError(
+            "degenerate case: (beta-1) * phi_orig is zero, alphas undefined")
+    return case.coefficients / denom
+
+
+def sensitivity_radius_linear(case: LinearCase) -> float:
+    """Section 3.1's result: the sensitivity-weighted radius is ``1/sqrt(n)``.
+
+    In P-space the constraint equation collapses to the plane
+    ``P_1 + ... + P_n = beta/(beta-1)`` while
+    ``P_orig`` sums to ``1/(beta-1)``; Equation 4 then gives
+
+        r = |1/(beta-1) - beta/(beta-1)| / sqrt(n) = 1/sqrt(n) .
+
+    The function evaluates the *un-simplified* plane-distance expression so
+    tests can confirm it equals ``1/sqrt(n)`` rather than assuming it.
+    """
+    alphas = sensitivity_alphas_linear(case)
+    p_orig = alphas * case.originals
+    # Plane in P-space: sum_j P_j = beta/(beta-1); normal is the ones vector.
+    rhs = case.beta / (case.beta - 1.0)
+    return abs(float(np.sum(p_orig)) - rhs) / math.sqrt(case.n)
+
+
+def normalized_radius_linear(case: LinearCase) -> float:
+    """Section 3.2's normalized-weighting radius.
+
+    With ``P_j = pi_j / pi_j^orig`` (so ``P_orig = [1..1]``), the constraint
+    plane is ``sum_j k_j pi_j^orig P_j = beta * sum_m k_m pi_m^orig`` and
+    Equation 4 yields
+
+        r = (beta - 1) * |sum_j k_j pi_j^orig|
+            / sqrt(sum_m (k_m pi_m^orig)^2) .
+    """
+    weighted = case.coefficients * case.originals
+    denom = math.sqrt(float(np.sum(weighted ** 2)))
+    if denom == 0.0:
+        raise SpecificationError(
+            "degenerate case: all k_j pi_j^orig vanish, radius undefined")
+    return (case.beta - 1.0) * abs(float(np.sum(weighted))) / denom

@@ -1,0 +1,156 @@
+"""The operating-point feasibility test of Section 3.1.
+
+The paper's procedure for using a P-space robustness value: to decide
+whether the system can operate at a given set of perturbation values
+without violating a constraint,
+
+  (a) convert the ``pi_j`` values into a ``P`` value using the alphas,
+  (b) compute ``||P - P_orig||_2``,
+  (c) check ``||P - P_orig||_2 < r_mu(phi_i, P)``.
+
+If yes, the system will not violate a constraint at those values.  The
+test is **sound** (sufficient) for any feature: the radius ball contains no
+boundary point, and since the original point is feasible and the feature is
+continuous, the whole ball is feasible.  It is deliberately conservative
+(necessary only when the boundary is equidistant in every direction): a
+point outside the ball may still be feasible.  :class:`FeasibilityChecker`
+reports both the ball test and the ground-truth direct evaluation so the
+conservatism can be measured (experiment E4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.fepia import RobustnessAnalysis
+from repro.utils.tables import format_table
+
+__all__ = ["FeasibilityVerdict", "FeasibilityChecker"]
+
+
+@dataclass(frozen=True)
+class FeasibilityVerdict:
+    """Outcome of the radius-ball feasibility test for one operating point.
+
+    Attributes
+    ----------
+    within_radius:
+        The ball test: ``||P - P_orig|| < rho`` (step (c)).
+    distance:
+        ``||P - P_orig||`` (step (b)).  With sensitivity weighting this is
+        the maximum over the per-feature P-spaces, matching the per-feature
+        comparison the paper describes.
+    rho:
+        The robustness metric the distance is compared against.
+    actually_feasible:
+        Ground truth: every feature evaluated directly at the operating
+        point satisfies its bounds.
+    feature_values:
+        The direct feature evaluations.
+    """
+
+    within_radius: bool
+    distance: float
+    rho: float
+    actually_feasible: bool
+    feature_values: dict[str, float]
+
+    @property
+    def is_sound(self) -> bool:
+        """True unless the ball test claimed safety for an infeasible point.
+
+        Soundness (``within_radius`` implies ``actually_feasible``) is the
+        guarantee the paper's procedure provides; a ``False`` here would
+        indicate a solver returning an over-large radius.
+        """
+        return (not self.within_radius) or self.actually_feasible
+
+    @property
+    def is_conservative(self) -> bool:
+        """The point is feasible but outside the ball (expected slack)."""
+        return self.actually_feasible and not self.within_radius
+
+
+class FeasibilityChecker:
+    """Run the paper's (a)-(c) feasibility procedure against ground truth.
+
+    Parameters
+    ----------
+    analysis:
+        A configured :class:`~repro.core.fepia.RobustnessAnalysis`; its
+        weighting determines the P-space(s) used in step (a).
+    """
+
+    def __init__(self, analysis: RobustnessAnalysis) -> None:
+        self.analysis = analysis
+
+    def check(self, values: Mapping[str, Sequence[float]]) -> FeasibilityVerdict:
+        """Apply steps (a)-(c) to an operating point and compare with truth.
+
+        Parameters
+        ----------
+        values:
+            Per-parameter operating values; parameters omitted default to
+            their originals.
+        """
+        analysis = self.analysis
+        if analysis.weighting.requires_radii:
+            # Per-feature P-spaces: the paper compares each feature's
+            # distance against that feature's radius; the point is safe when
+            # every feature passes.  Summarise with the worst margin.
+            distance = 0.0
+            within = True
+            rho = analysis.rho()
+            for spec in analysis.features:
+                if not math.isfinite(analysis.radius(spec).radius):
+                    continue  # feature cannot be violated at all
+                ps = analysis.pspace(spec)
+                kept = {p.name for p in ps.params}
+                sub = {k: v for k, v in values.items() if k in kept}
+                d = ps.distance_from_orig(sub, norm=analysis.norm)
+                r = analysis.radius(spec).radius
+                distance = max(distance, d)
+                within = within and (d < r)
+        else:
+            ps = analysis.pspace()
+            distance = ps.distance_from_orig(values, norm=analysis.norm)
+            rho = analysis.rho()
+            within = distance < rho
+        feature_values = analysis.feature_values(values)
+        feasible = all(
+            analysis._get_spec(name).feature.is_satisfied(v)
+            for name, v in feature_values.items())
+        return FeasibilityVerdict(
+            within_radius=bool(within),
+            distance=float(distance),
+            rho=float(rho),
+            actually_feasible=bool(feasible),
+            feature_values=feature_values,
+        )
+
+    def check_many(
+        self, points: Sequence[Mapping[str, Sequence[float]]]
+    ) -> list[FeasibilityVerdict]:
+        """Vector of verdicts for several operating points."""
+        return [self.check(p) for p in points]
+
+    @staticmethod
+    def summary_table(verdicts: Sequence[FeasibilityVerdict]) -> str:
+        """Aggregate a batch of verdicts into a confusion-style table."""
+        n = len(verdicts)
+        inside_ok = sum(1 for v in verdicts if v.within_radius and v.actually_feasible)
+        inside_bad = sum(1 for v in verdicts if v.within_radius and not v.actually_feasible)
+        outside_ok = sum(1 for v in verdicts if v.is_conservative)
+        outside_bad = sum(1 for v in verdicts
+                          if not v.within_radius and not v.actually_feasible)
+        rows = [
+            ["inside ball", inside_ok, inside_bad],
+            ["outside ball", outside_ok, outside_bad],
+        ]
+        table = format_table(["ball test", "feasible", "infeasible"], rows,
+                             title=f"feasibility procedure vs ground truth (n={n})")
+        if inside_bad:
+            table += "\nWARNING: soundness violated (inside-ball infeasible points)"
+        return table

@@ -1,0 +1,156 @@
+"""Performance features and their tolerable-variation bounds (FePIA step 1).
+
+A *performance feature* ``phi_i`` is a scalar quantity-of-service that the
+robustness requirement limits in variation — e.g. makespan, a machine's
+finish time, an application's end-to-end latency, or a fractional
+throughput utilisation.  The tolerable variation is an interval
+``<beta_min, beta_max>``; the system is *robust* while every feature stays
+inside its interval.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.exceptions import SpecificationError
+
+__all__ = ["ToleranceBounds", "PerformanceFeature"]
+
+
+@dataclass(frozen=True)
+class ToleranceBounds:
+    """The tuple ``<beta_min, beta_max>`` bounding a feature's variation.
+
+    Either end may be infinite: a latency constraint typically has
+    ``beta_min = -inf`` (only the upper bound matters), while a throughput
+    constraint may bound only from below.
+
+    Attributes
+    ----------
+    beta_min:
+        Lower bound of the tolerable interval (may be ``-inf``).
+    beta_max:
+        Upper bound of the tolerable interval (may be ``+inf``).
+    """
+
+    beta_min: float = -math.inf
+    beta_max: float = math.inf
+
+    def __post_init__(self) -> None:
+        bmin = float(self.beta_min)
+        bmax = float(self.beta_max)
+        if math.isnan(bmin) or math.isnan(bmax):
+            raise SpecificationError("tolerance bounds must not be NaN")
+        if bmin >= bmax:
+            raise SpecificationError(
+                f"tolerance interval is empty: beta_min={bmin} >= beta_max={bmax}")
+        if math.isinf(bmin) and math.isinf(bmax):
+            raise SpecificationError(
+                "at least one tolerance bound must be finite; an unbounded "
+                "feature imposes no robustness requirement")
+        object.__setattr__(self, "beta_min", bmin)
+        object.__setattr__(self, "beta_max", bmax)
+
+    @classmethod
+    def upper(cls, beta_max: float) -> "ToleranceBounds":
+        """Bounds with only a finite upper limit (latency-style constraint)."""
+        return cls(beta_min=-math.inf, beta_max=beta_max)
+
+    @classmethod
+    def lower(cls, beta_min: float) -> "ToleranceBounds":
+        """Bounds with only a finite lower limit (throughput-style constraint)."""
+        return cls(beta_min=beta_min, beta_max=math.inf)
+
+    @classmethod
+    def relative(cls, original_value: float, beta: float,
+                 *, two_sided: bool = False) -> "ToleranceBounds":
+        """Bounds proportional to the feature's original value.
+
+        This is the paper's canonical form ``beta_max = beta * phi_orig``
+        with ``beta > 1`` ("makespan should not exceed 1.2 times its
+        original value").  With ``two_sided=True`` the lower bound is set
+        symmetrically to ``(2 - beta) * phi_orig``.
+
+        Parameters
+        ----------
+        original_value:
+            The unperturbed feature value ``phi_orig``.
+        beta:
+            Relative requirement, must be ``> 1``.
+        two_sided:
+            Also constrain from below.
+        """
+        beta = float(beta)
+        original_value = float(original_value)
+        if beta <= 1.0:
+            raise SpecificationError(f"relative bound requires beta > 1, got {beta}")
+        if original_value <= 0.0:
+            raise SpecificationError(
+                "relative bounds need a positive original value, got "
+                f"{original_value}")
+        upper = beta * original_value
+        lower = (2.0 - beta) * original_value if two_sided else -math.inf
+        return cls(beta_min=lower, beta_max=upper)
+
+    @property
+    def finite_bounds(self) -> tuple[float, ...]:
+        """The subset of ``(beta_min, beta_max)`` that is finite."""
+        out = []
+        if math.isfinite(self.beta_min):
+            out.append(self.beta_min)
+        if math.isfinite(self.beta_max):
+            out.append(self.beta_max)
+        return tuple(out)
+
+    def contains(self, value: float, *, strict: bool = False) -> bool:
+        """Whether ``value`` lies in the tolerable interval.
+
+        With ``strict=True`` boundary values are considered *outside*, which
+        matches the open "region of robust operation" used when checking
+        that a point strictly inside the robustness ball is safe.
+        """
+        if strict:
+            return self.beta_min < value < self.beta_max
+        return self.beta_min <= value <= self.beta_max
+
+    def violation_amount(self, value: float) -> float:
+        """Distance by which ``value`` exceeds the interval (0 if inside)."""
+        if value > self.beta_max:
+            return value - self.beta_max
+        if value < self.beta_min:
+            return self.beta_min - value
+        return 0.0
+
+
+@dataclass(frozen=True)
+class PerformanceFeature:
+    """A named QoS performance feature ``phi_i`` with its tolerance bounds.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (unique within an analysis).
+    bounds:
+        The tolerable-variation interval ``<beta_min, beta_max>``.
+    unit:
+        Unit of the feature's value (informational; used in reports).
+    description:
+        Optional free-text description for reports.
+    """
+
+    name: str
+    bounds: ToleranceBounds
+    unit: str = ""
+    description: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecificationError("feature name must be non-empty")
+        if not isinstance(self.bounds, ToleranceBounds):
+            raise SpecificationError(
+                f"bounds must be a ToleranceBounds, got {type(self.bounds).__name__}")
+
+    def is_satisfied(self, value: float, *, strict: bool = False) -> bool:
+        """Whether a feature value satisfies this feature's QoS requirement."""
+        return self.bounds.contains(value, strict=strict)

@@ -1,0 +1,142 @@
+"""The robustness metric ``rho`` and structured reporting.
+
+``rho_mu(Phi, P) = min_{phi_i in Phi} r_mu(phi_i, P)`` — the robustness of
+resource allocation ``mu`` with respect to the feature set ``Phi`` against
+the perturbation parameter set ``Pi`` — plus a tabular report of the
+per-feature radii, witness bounds, and solver provenance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.fepia import RobustnessAnalysis
+from repro.utils.tables import format_table
+
+__all__ = ["FeatureRadiusRow", "RobustnessReport", "robustness_metric"]
+
+
+@dataclass(frozen=True)
+class FeatureRadiusRow:
+    """One feature's contribution to the robustness report.
+
+    Attributes
+    ----------
+    feature:
+        Feature name.
+    radius:
+        P-space robustness radius ``r_mu(phi_i, P)``.
+    original_value:
+        ``phi_i`` at the original operating point.
+    beta_min, beta_max:
+        The tolerance interval.
+    bound_hit:
+        Which bound the witness boundary point attains (``None`` for an
+        infinite radius).
+    method:
+        Solver that produced the radius.
+    is_critical:
+        Whether this feature attains the system minimum ``rho``.
+    """
+
+    feature: str
+    radius: float
+    original_value: float
+    beta_min: float
+    beta_max: float
+    bound_hit: float | None
+    method: str
+    is_critical: bool
+
+
+@dataclass(frozen=True)
+class RobustnessReport:
+    """Complete robustness assessment of one resource allocation.
+
+    Attributes
+    ----------
+    rho:
+        The system robustness metric (minimum radius over features).
+    rows:
+        Per-feature breakdown.
+    weighting:
+        Name of the weighting scheme used to build P-space.
+    norm:
+        The distance norm radii were measured in.
+    """
+
+    rho: float
+    rows: tuple[FeatureRadiusRow, ...]
+    weighting: str
+    norm: float
+
+    @property
+    def critical_feature(self) -> str:
+        """Name of the feature that limits the system's robustness."""
+        for row in self.rows:
+            if row.is_critical:
+                return row.feature
+        raise RuntimeError("report has no critical feature")  # pragma: no cover
+
+    def to_table(self) -> str:
+        """Render the report as an aligned text table."""
+        headers = ["feature", "radius r(phi,P)", "phi_orig", "beta_min",
+                   "beta_max", "bound hit", "solver", "critical"]
+        rows = []
+        for r in self.rows:
+            rows.append([
+                r.feature,
+                r.radius,
+                r.original_value,
+                r.beta_min,
+                r.beta_max,
+                "-" if r.bound_hit is None else f"{r.bound_hit:.6g}",
+                r.method,
+                "*" if r.is_critical else "",
+            ])
+        title = (f"robustness rho = {self.rho:.6g}  "
+                 f"(weighting={self.weighting}, norm=l{self.norm})")
+        return format_table(headers, rows, title=title)
+
+    def __str__(self) -> str:
+        return self.to_table()
+
+
+def robustness_metric(analysis: RobustnessAnalysis) -> RobustnessReport:
+    """Run the full FePIA analysis and assemble a :class:`RobustnessReport`.
+
+    Parameters
+    ----------
+    analysis:
+        A configured :class:`~repro.core.fepia.RobustnessAnalysis`.
+
+    Returns
+    -------
+    RobustnessReport
+        ``rho`` plus the per-feature radii; features whose radius equals
+        ``rho`` (within exact float equality, as ``rho`` is one of the
+        radii) are flagged critical.
+    """
+    results = {spec.name: analysis.radius(spec) for spec in analysis.features}
+    rho = min(res.radius for res in results.values())
+    rows = []
+    for spec in analysis.features:
+        res = results[spec.name]
+        rows.append(FeatureRadiusRow(
+            feature=spec.name,
+            radius=res.radius,
+            original_value=res.original_value,
+            beta_min=spec.feature.bounds.beta_min,
+            beta_max=spec.feature.bounds.beta_max,
+            bound_hit=res.bound_hit,
+            method=res.method,
+            is_critical=(res.radius == rho) or (
+                math.isinf(rho) and math.isinf(res.radius)),
+        ))
+    return RobustnessReport(
+        rho=rho,
+        rows=tuple(rows),
+        weighting=analysis.weighting.name,
+        norm=analysis.norm,
+    )

@@ -1,0 +1,124 @@
+"""Perturbation parameters ``pi_j`` (FePIA step 2).
+
+A *perturbation parameter* is a vector of like-kind uncertain quantities —
+all task execution times, or all message lengths, or all sensor loads.  The
+defining property is that every element of one parameter shares a **unit**
+(the paper: "representation of the perturbation parameters as separate
+elements of Pi would be based on their nature or kind").  Parameters of
+different kinds may only be combined through a
+:class:`~repro.core.weighting.WeightingScheme`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro.exceptions import DimensionMismatchError, SpecificationError
+from repro.utils.validation import as_1d_float_array, check_finite
+
+__all__ = ["PerturbationParameter"]
+
+
+@dataclass(frozen=True)
+class PerturbationParameter:
+    """A named vector of like-kind uncertain quantities.
+
+    Attributes
+    ----------
+    name:
+        Identifier, unique within an analysis (e.g. ``"exec_times"``).
+    original:
+        The assumed/estimated values ``pi_j^orig`` the allocation was made
+        under, as a 1-D float array.
+    unit:
+        Physical unit shared by every element (e.g. ``"s"``, ``"bytes"``,
+        ``"objects/set"``).  Used to detect illegal unit-mixing.
+    lower, upper:
+        Optional elementwise box bounds on the values the parameter can
+        physically take (e.g. execution times are non-negative).  Radius
+        solvers restrict the boundary search to this box; ``None`` means
+        unbounded on that side.
+    description:
+        Free text for reports.
+    """
+
+    name: str
+    original: np.ndarray
+    unit: str = ""
+    lower: np.ndarray | None = None
+    upper: np.ndarray | None = None
+    description: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecificationError("perturbation parameter name must be non-empty")
+        orig = check_finite(as_1d_float_array(self.original, name="original"),
+                            name="original")
+        object.__setattr__(self, "original", orig)
+        for attr in ("lower", "upper"):
+            value = getattr(self, attr)
+            if value is None:
+                continue
+            if np.isscalar(value):
+                value = np.full(orig.shape, float(value))
+            bound = as_1d_float_array(value, name=attr)
+            if bound.shape != orig.shape:
+                raise DimensionMismatchError(
+                    f"{attr} bound of parameter {self.name!r} has length "
+                    f"{bound.size}, expected {orig.size}")
+            object.__setattr__(self, attr, bound)
+        if self.lower is not None and np.any(orig < self.lower):
+            raise SpecificationError(
+                f"original values of {self.name!r} violate the lower bound")
+        if self.upper is not None and np.any(orig > self.upper):
+            raise SpecificationError(
+                f"original values of {self.name!r} violate the upper bound")
+        if self.lower is not None and self.upper is not None and np.any(
+                self.lower > self.upper):
+            raise SpecificationError(
+                f"lower bound of {self.name!r} exceeds its upper bound")
+
+    def __len__(self) -> int:
+        return int(self.original.size)
+
+    @property
+    def dimension(self) -> int:
+        """Number of elements ``n_pi_j`` in this parameter vector."""
+        return int(self.original.size)
+
+    def clip_to_bounds(self, values: np.ndarray) -> np.ndarray:
+        """Clip ``values`` into the parameter's physical box bounds."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape[-1] != self.dimension:
+            raise DimensionMismatchError(
+                f"values have trailing dimension {values.shape[-1]}, expected "
+                f"{self.dimension}")
+        lo = -np.inf if self.lower is None else self.lower
+        hi = np.inf if self.upper is None else self.upper
+        return np.clip(values, lo, hi)
+
+    def within_bounds(self, values: np.ndarray, *, atol: float = 0.0) -> bool:
+        """Whether ``values`` respects the physical box bounds (elementwise)."""
+        values = np.asarray(values, dtype=np.float64)
+        ok = True
+        if self.lower is not None:
+            ok = ok and bool(np.all(values >= self.lower - atol))
+        if self.upper is not None:
+            ok = ok and bool(np.all(values <= self.upper + atol))
+        return ok
+
+    @classmethod
+    def nonnegative(cls, name: str, original: Iterable[float], *, unit: str = "",
+                    description: str = "") -> "PerturbationParameter":
+        """Convenience constructor for physically non-negative quantities.
+
+        Execution times, message lengths and sensor loads can grow without
+        (modelled) limit but cannot be negative; this sets ``lower = 0``.
+        """
+        orig = as_1d_float_array(original, name="original")
+        return cls(name=name, original=orig, unit=unit,
+                   lower=np.zeros(orig.shape), upper=None,
+                   description=description)

@@ -1,0 +1,207 @@
+"""The concatenated, dimensionless perturbation space ``P`` (Section 3).
+
+:class:`ConcatenatedPerturbation` owns the bookkeeping between the
+*pi-space* (the physical values of all perturbation parameters, flattened
+in declaration order) and the *P-space* (the weighted, dimensionless
+concatenation in which radii are measured):
+
+    P = alpha (elementwise) * pi_flat,        pi_flat = P / alpha .
+
+It transports feature mappings, physical box bounds, and operating points
+between the two spaces, so the rest of the library can run the ordinary
+single-parameter machinery of Section 2 unchanged in P-space — exactly the
+paper's construction ("the vector P is analogous to the vector pi_j
+discussed in Section 2").
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.mappings import FeatureMapping, ReweightedMapping
+from repro.core.perturbation import PerturbationParameter
+from repro.core.weighting import WeightingScheme
+from repro.exceptions import DimensionMismatchError, SpecificationError
+from repro.utils.validation import as_1d_float_array
+
+__all__ = ["ConcatenatedPerturbation"]
+
+
+class ConcatenatedPerturbation:
+    """Weighted concatenation of perturbation parameters into P-space.
+
+    Build one with :meth:`from_weighting` (the normal path) or directly
+    from a flat weight vector.
+
+    Parameters
+    ----------
+    params:
+        Perturbation parameters in concatenation order.
+    alphas:
+        Flat positive weight vector, one entry per element of the
+        concatenation.
+    weighting_name:
+        Label for reports.
+    """
+
+    def __init__(self, params: Sequence[PerturbationParameter], alphas,
+                 *, weighting_name: str = "custom") -> None:
+        params = list(params)
+        if not params:
+            raise SpecificationError("need at least one perturbation parameter")
+        names = [p.name for p in params]
+        if len(set(names)) != len(names):
+            raise SpecificationError(f"duplicate parameter names in {names}")
+        self.params = params
+        self.weighting_name = str(weighting_name)
+        self._slices: dict[str, slice] = {}
+        offset = 0
+        for p in params:
+            self._slices[p.name] = slice(offset, offset + p.dimension)
+            offset += p.dimension
+        self._dim = offset
+        a = as_1d_float_array(alphas, name="alphas")
+        if a.size != self._dim:
+            raise DimensionMismatchError(
+                f"alphas has length {a.size}, expected {self._dim}")
+        if np.any(~np.isfinite(a)) or np.any(a <= 0):
+            raise SpecificationError("alphas must be positive and finite")
+        self.alphas = a
+        self.pi_orig = np.concatenate([p.original for p in params])
+        self.p_orig = self.alphas * self.pi_orig
+
+    @classmethod
+    def from_weighting(
+        cls,
+        params: Sequence[PerturbationParameter],
+        weighting: WeightingScheme,
+        per_param_radii: Mapping[str, float] | None = None,
+    ) -> "ConcatenatedPerturbation":
+        """Construct P-space using a :class:`WeightingScheme`.
+
+        ``per_param_radii`` is required for radius-dependent schemes
+        (sensitivity weighting).
+        """
+        alphas = weighting.elementwise_alphas(params, per_param_radii)
+        return cls(params, alphas, weighting_name=weighting.name)
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def dimension(self) -> int:
+        """Total number of elements across all parameters."""
+        return self._dim
+
+    def block_slice(self, param_name: str) -> slice:
+        """Slice of the flat vectors occupied by ``param_name``."""
+        try:
+            return self._slices[param_name]
+        except KeyError as exc:
+            raise SpecificationError(
+                f"unknown perturbation parameter {param_name!r}; have "
+                f"{sorted(self._slices)}") from exc
+
+    # ------------------------------------------------------------------
+    # value transport
+    # ------------------------------------------------------------------
+    def flatten_values(
+        self, values: Mapping[str, Sequence[float]]
+    ) -> np.ndarray:
+        """Assemble a flat pi-space vector from per-parameter values.
+
+        Missing parameters default to their original values, so partial
+        what-if queries ("only the sensor loads moved") are convenient.
+        """
+        unknown = set(values) - set(self._slices)
+        if unknown:
+            raise SpecificationError(
+                f"unknown perturbation parameter(s) {sorted(unknown)}")
+        flat = self.pi_orig.copy()
+        for name, vals in values.items():
+            block = as_1d_float_array(vals, name=name)
+            sl = self._slices[name]
+            if block.size != sl.stop - sl.start:
+                raise DimensionMismatchError(
+                    f"values for {name!r} have length {block.size}, expected "
+                    f"{sl.stop - sl.start}")
+            flat[sl] = block
+        return flat
+
+    def split_values(self, flat: np.ndarray) -> dict[str, np.ndarray]:
+        """Split a flat pi-space vector into per-parameter arrays."""
+        flat = as_1d_float_array(flat, name="flat")
+        if flat.size != self._dim:
+            raise DimensionMismatchError(
+                f"flat vector has length {flat.size}, expected {self._dim}")
+        return {name: flat[sl].copy() for name, sl in self._slices.items()}
+
+    def to_p(self, pi_flat: np.ndarray) -> np.ndarray:
+        """Map a flat pi-space vector into P-space (``P = alpha * pi``)."""
+        pi_flat = as_1d_float_array(pi_flat, name="pi_flat")
+        if pi_flat.size != self._dim:
+            raise DimensionMismatchError(
+                f"pi vector has length {pi_flat.size}, expected {self._dim}")
+        return self.alphas * pi_flat
+
+    def from_p(self, p: np.ndarray) -> np.ndarray:
+        """Map a P-space vector back to the flat pi-space."""
+        p = as_1d_float_array(p, name="p")
+        if p.size != self._dim:
+            raise DimensionMismatchError(
+                f"P vector has length {p.size}, expected {self._dim}")
+        return p / self.alphas
+
+    def values_to_p(self, values: Mapping[str, Sequence[float]]) -> np.ndarray:
+        """Per-parameter values -> P-space vector (paper's step (a))."""
+        return self.to_p(self.flatten_values(values))
+
+    def distance_from_orig(
+        self, values: Mapping[str, Sequence[float]], *, norm: float = 2
+    ) -> float:
+        """``||P - P_orig||`` for an operating point (paper's step (b))."""
+        p = self.values_to_p(values)
+        order = np.inf if norm in (np.inf, "inf") else norm
+        return float(np.linalg.norm(p - self.p_orig, ord=order))
+
+    # ------------------------------------------------------------------
+    # mapping / bound transport
+    # ------------------------------------------------------------------
+    def transform_mapping(self, mapping: FeatureMapping) -> FeatureMapping:
+        """Transport a pi-space feature mapping into P-space.
+
+        The returned mapping satisfies ``g(P) = f(P / alpha)``; its radius
+        problems are posed at ``P_orig``.
+        """
+        if mapping.n_inputs != self._dim:
+            raise DimensionMismatchError(
+                f"mapping expects {mapping.n_inputs} inputs, concatenation "
+                f"has {self._dim}")
+        return ReweightedMapping(mapping, self.alphas)
+
+    def p_lower(self) -> np.ndarray | None:
+        """Physical lower box bound transported to P-space (or ``None``)."""
+        if all(p.lower is None for p in self.params):
+            return None
+        lo = np.full(self._dim, -np.inf)
+        for p in self.params:
+            if p.lower is not None:
+                lo[self._slices[p.name]] = p.lower
+        return np.where(np.isfinite(lo), self.alphas * lo, -np.inf)
+
+    def p_upper(self) -> np.ndarray | None:
+        """Physical upper box bound transported to P-space (or ``None``)."""
+        if all(p.upper is None for p in self.params):
+            return None
+        hi = np.full(self._dim, np.inf)
+        for p in self.params:
+            if p.upper is not None:
+                hi[self._slices[p.name]] = p.upper
+        return np.where(np.isfinite(hi), self.alphas * hi, np.inf)
+
+    def __repr__(self) -> str:
+        names = ", ".join(p.name for p in self.params)
+        return (f"ConcatenatedPerturbation([{names}], dim={self._dim}, "
+                f"weighting={self.weighting_name!r})")

@@ -1,0 +1,281 @@
+"""Robustness radius computation (FePIA step 4, Equations 1 and 2).
+
+The robustness radius of a feature ``phi`` against a perturbation vector is
+the minimum distance from the original perturbation values to the boundary
+set ``{x : f(x) = beta_min or f(x) = beta_max}``:
+
+    r = min over finite bounds b of  min_{x : f(x)=b} ||x - x_orig|| .
+
+:func:`compute_radius` dispatches on the mapping's structure: affine
+features go to the exact hyperplane solver; everything else goes through a
+multistart numeric projection seeded by directional bisection.  A bound
+whose level set is unreachable contributes ``inf``; if *no* finite bound is
+reachable, the radius is infinite (the allocation can never be driven out
+of specification by these perturbations).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Literal
+
+import numpy as np
+
+from repro.core.boundary import (
+    BoundaryCrossing,
+    as_diagonal_quadratic,
+    as_linear,
+)
+from repro.core.features import ToleranceBounds
+from repro.core.mappings import FeatureMapping
+from repro.core.solvers.analytic import solve_linear_radius
+from repro.core.solvers.bisection import solve_bisection_radius
+from repro.core.solvers.box_linear import solve_linear_box_radius
+from repro.core.solvers.ellipsoid import solve_ellipsoid_radius
+from repro.core.solvers.numeric import solve_numeric_radius
+from repro.exceptions import (
+    BoundaryNotFoundError,
+    InfeasibleAllocationError,
+    SpecificationError,
+)
+from repro.utils.validation import as_1d_float_array, check_finite
+
+__all__ = ["RadiusProblem", "RadiusResult", "compute_radius"]
+
+Method = Literal["auto", "analytic", "numeric", "bisection"]
+
+
+@dataclass(frozen=True)
+class RadiusProblem:
+    """A fully-specified robustness-radius computation.
+
+    Attributes
+    ----------
+    mapping:
+        The impact function ``f`` of the feature under study, over the flat
+        perturbation vector being searched (pi-space or P-space).
+    origin:
+        The original values of that vector (``pi_orig`` or ``P_orig``).
+    bounds:
+        The feature's tolerable-variation interval.
+    lower, upper:
+        Optional box bounds restricting the search to physically reachable
+        perturbations (``None`` reproduces the paper's unconstrained
+        geometry).
+    norm:
+        Distance norm ``p`` in {1, 2, inf}; the paper uses the Euclidean
+        norm (2).
+    """
+
+    mapping: FeatureMapping
+    origin: np.ndarray
+    bounds: ToleranceBounds
+    lower: np.ndarray | None = None
+    upper: np.ndarray | None = None
+    norm: float = 2
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.mapping, FeatureMapping):
+            raise SpecificationError(
+                f"mapping must be a FeatureMapping, got {type(self.mapping).__name__}")
+        if not isinstance(self.bounds, ToleranceBounds):
+            raise SpecificationError(
+                f"bounds must be a ToleranceBounds, got {type(self.bounds).__name__}")
+        origin = check_finite(as_1d_float_array(self.origin, name="origin"),
+                              name="origin")
+        if origin.size != self.mapping.n_inputs:
+            raise SpecificationError(
+                f"origin has length {origin.size} but mapping expects "
+                f"{self.mapping.n_inputs}")
+        object.__setattr__(self, "origin", origin)
+        for attr in ("lower", "upper"):
+            value = getattr(self, attr)
+            if value is None:
+                continue
+            bound = as_1d_float_array(value, name=attr)
+            if bound.size != origin.size:
+                raise SpecificationError(
+                    f"{attr} has length {bound.size}, expected {origin.size}")
+            object.__setattr__(self, attr, bound)
+        if self.norm not in (1, 2, math.inf, np.inf, "inf"):
+            raise SpecificationError(
+                f"unsupported norm {self.norm!r}; use 1, 2 or inf")
+
+    @property
+    def original_value(self) -> float:
+        """Feature value at the original point, ``f(x_orig)``."""
+        return self.mapping.value(self.origin)
+
+
+@dataclass(frozen=True)
+class RadiusResult:
+    """Result of a robustness-radius computation.
+
+    Attributes
+    ----------
+    radius:
+        The robustness radius (``inf`` when no tolerance bound is reachable).
+    boundary_point:
+        The witness boundary point ``pi*``/``P*`` realising the radius,
+        or ``None`` for an infinite radius.
+    bound_hit:
+        Which bound value (``beta_min`` or ``beta_max``) the witness attains.
+    method:
+        The solver that produced the winning answer
+        (``"analytic" | "numeric" | "bisection" | "degenerate"``).
+    original_value:
+        Feature value at the original point.
+    per_bound:
+        Mapping from each finite bound value to the distance found for it
+        (``inf`` for unreachable bounds), for diagnostic reporting.
+    """
+
+    radius: float
+    boundary_point: np.ndarray | None
+    bound_hit: float | None
+    method: str
+    original_value: float
+    per_bound: dict = field(default_factory=dict)
+
+    @property
+    def is_finite(self) -> bool:
+        """Whether the radius is finite (some bound is reachable)."""
+        return math.isfinite(self.radius)
+
+
+def _solve_one_bound(problem: RadiusProblem, bound: float, method: Method,
+                     seed) -> tuple[BoundaryCrossing | None, str]:
+    """Distance to one bound's level set; returns (crossing | None, method)."""
+    linear = as_linear(problem.mapping)
+    if method in ("auto", "analytic") and linear is not None:
+        has_box = problem.lower is not None or problem.upper is not None
+        if method == "auto" and has_box and problem.norm == 2:
+            # Exact clamped-multiplier projection handles the box directly.
+            try:
+                return (
+                    solve_linear_box_radius(
+                        linear, problem.origin, bound,
+                        lower=problem.lower, upper=problem.upper),
+                    "analytic-box",
+                )
+            except BoundaryNotFoundError:
+                return None, "analytic-box"
+        try:
+            return (
+                solve_linear_radius(
+                    linear, problem.origin, bound, norm=problem.norm,
+                    lower=problem.lower, upper=problem.upper),
+                "analytic",
+            )
+        except BoundaryNotFoundError:
+            if method == "analytic":
+                return None, "analytic"
+            # Box-constrained affine case in a non-Euclidean norm: fall
+            # through to the directional/numeric solvers.
+    if method == "auto" and problem.norm == 2 and problem.lower is None \
+            and problem.upper is None:
+        diag = as_diagonal_quadratic(problem.mapping)
+        if diag is not None:
+            try:
+                return (
+                    solve_ellipsoid_radius(diag, problem.origin, bound),
+                    "ellipsoid",
+                )
+            except BoundaryNotFoundError:
+                return None, "ellipsoid"
+    if method == "analytic":
+        raise SpecificationError(
+            "method='analytic' requires a structurally affine mapping; "
+            f"got {type(problem.mapping).__name__}")
+    if method == "bisection":
+        try:
+            return (
+                solve_bisection_radius(
+                    problem.mapping, problem.origin, bound, norm=problem.norm,
+                    lower=problem.lower, upper=problem.upper, seed=seed),
+                "bisection",
+            )
+        except BoundaryNotFoundError:
+            return None, "bisection"
+    if problem.norm != 2:
+        # The numeric projection minimises the Euclidean distance; other
+        # norms are served by the directional solver.
+        try:
+            return (
+                solve_bisection_radius(
+                    problem.mapping, problem.origin, bound, norm=problem.norm,
+                    lower=problem.lower, upper=problem.upper, seed=seed),
+                "bisection",
+            )
+        except BoundaryNotFoundError:
+            return None, "bisection"
+    try:
+        return (
+            solve_numeric_radius(
+                problem.mapping, problem.origin, bound,
+                lower=problem.lower, upper=problem.upper, seed=seed),
+            "numeric",
+        )
+    except BoundaryNotFoundError:
+        return None, "numeric"
+
+
+def compute_radius(problem: RadiusProblem, *, method: Method = "auto",
+                   seed=None) -> RadiusResult:
+    """Compute the robustness radius for ``problem``.
+
+    Parameters
+    ----------
+    problem:
+        The radius computation to perform.
+    method:
+        ``"auto"`` (default) picks the exact solver for affine features and
+        the numeric projection otherwise; ``"analytic"``, ``"numeric"`` and
+        ``"bisection"`` force a specific solver.
+    seed:
+        Seed for the stochastic components (multistart, random directions).
+
+    Returns
+    -------
+    RadiusResult
+
+    Raises
+    ------
+    InfeasibleAllocationError
+        If the feature already violates its tolerance interval at the
+        original point — there is no robust region to measure.
+    """
+    value0 = problem.original_value
+    if not problem.bounds.contains(value0):
+        raise InfeasibleAllocationError(
+            f"feature value {value0:g} violates the tolerance interval "
+            f"[{problem.bounds.beta_min:g}, {problem.bounds.beta_max:g}] at "
+            "the original operating point; robustness is undefined")
+    finite_bounds = problem.bounds.finite_bounds
+    # Original point exactly on a bound: the radius is zero by definition.
+    for b in finite_bounds:
+        if value0 == b:
+            return RadiusResult(
+                radius=0.0, boundary_point=problem.origin.copy(),
+                bound_hit=b, method="degenerate", original_value=value0,
+                per_bound={b: 0.0})
+
+    best: BoundaryCrossing | None = None
+    best_method = "none"
+    per_bound: dict[float, float] = {}
+    for b in finite_bounds:
+        crossing, used = _solve_one_bound(problem, b, method, seed)
+        per_bound[b] = crossing.distance if crossing is not None else math.inf
+        if crossing is not None and (best is None or crossing.distance < best.distance):
+            best = crossing
+            best_method = used
+    if best is None:
+        return RadiusResult(
+            radius=math.inf, boundary_point=None, bound_hit=None,
+            method=best_method if best_method != "none" else method,
+            original_value=value0, per_bound=per_bound)
+    return RadiusResult(
+        radius=best.distance, boundary_point=best.point,
+        bound_hit=best.bound, method=best_method,
+        original_value=value0, per_bound=per_bound)

@@ -1,0 +1,178 @@
+"""Numeric boundary-projection radius solver.
+
+Solves, for one finite tolerance bound ``b``,
+
+    minimise   || x - x0 ||_2
+    subject to f(x) = b,    lower <= x <= upper,
+
+with SciPy's SLSQP from multiple starting points: the original point, the
+directional-bisection crossings (which are feasible boundary points and so
+excellent warm starts), and random offsets.  For general smooth mappings
+the result is a *local* projection; the multistart converts this into a
+best-effort global one, and the directional crossings guarantee the answer
+is never worse than the bisection upper bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize
+
+from repro.core.boundary import BoundaryCrossing
+from repro.core.mappings import FeatureMapping
+from repro.core.solvers.bisection import directional_crossing
+from repro.exceptions import BoundaryNotFoundError, SpecificationError
+from repro.utils.linalg import sample_on_sphere
+from repro.utils.rng import default_rng
+
+__all__ = ["solve_numeric_radius"]
+
+
+def _finite_diff_gradient(mapping: FeatureMapping, x: np.ndarray,
+                          eps: float = 1e-7) -> np.ndarray:
+    """Central finite-difference gradient, used when no analytic one exists."""
+    g = np.empty_like(x)
+    for i in range(x.size):
+        h = eps * max(1.0, abs(x[i]))
+        xp = x.copy()
+        xm = x.copy()
+        xp[i] += h
+        xm[i] -= h
+        g[i] = (mapping.value(xp) - mapping.value(xm)) / (2.0 * h)
+    return g
+
+
+def _constraint_jac(mapping: FeatureMapping):
+    def jac(x: np.ndarray) -> np.ndarray:
+        g = mapping.gradient(x)
+        if g is None:
+            g = _finite_diff_gradient(mapping, x)
+        return g
+    return jac
+
+
+def solve_numeric_radius(
+    mapping: FeatureMapping,
+    origin: np.ndarray,
+    bound: float,
+    *,
+    lower: np.ndarray | None = None,
+    upper: np.ndarray | None = None,
+    n_starts: int = 8,
+    n_seed_directions: int = 32,
+    constraint_tol: float = 1e-7,
+    t_max: float = 1e6,
+    seed=None,
+) -> BoundaryCrossing:
+    """Best boundary projection over a multistart SLSQP sweep.
+
+    Parameters
+    ----------
+    mapping, origin, bound:
+        The feature ``f``, the original point ``x0``, and the boundary level.
+    lower, upper:
+        Optional elementwise box bounds on reachable perturbations.
+    n_starts:
+        Number of random-offset starting points (beyond the deterministic
+        starts).
+    n_seed_directions:
+        Random directions probed by the bisection pre-pass whose crossings
+        seed the projection.
+    constraint_tol:
+        Accept a solution only if ``|f(x) - b| <= constraint_tol * (1+|b|)``.
+    t_max:
+        Bracket limit for the seeding pre-pass.
+    seed:
+        RNG seed for the multistart.
+
+    Returns
+    -------
+    BoundaryCrossing
+        The best verified boundary point found.
+
+    Raises
+    ------
+    BoundaryNotFoundError
+        If no start converges to a verified boundary point — treated by the
+        dispatcher as an infinite radius for this bound.
+    """
+    origin = np.asarray(origin, dtype=np.float64)
+    n = origin.size
+    if mapping.n_inputs != n:
+        raise SpecificationError(
+            f"origin has length {n} but mapping expects {mapping.n_inputs}")
+    rng = default_rng(seed)
+    scale = max(1.0, float(np.linalg.norm(origin)))
+
+    # --- seed with directional crossings (true boundary points) ---------
+    starts: list[np.ndarray] = []
+    crossings: list[BoundaryCrossing] = []
+    dirs = np.vstack([np.eye(n), -np.eye(n),
+                      sample_on_sphere(rng, n_seed_directions, n)])
+    for d in dirs:
+        t = directional_crossing(mapping, origin, d, bound,
+                                 t_max=t_max, lower=lower, upper=upper)
+        if t is not None:
+            pt = origin + t * d
+            crossings.append(BoundaryCrossing(pt, bound, t))
+            starts.append(pt)
+    starts.sort(key=lambda p: float(np.linalg.norm(p - origin)))
+    starts = starts[:max(4, n_starts)]
+    starts.append(origin.copy())
+    for _ in range(n_starts):
+        starts.append(origin + 0.1 * scale * rng.standard_normal(n))
+
+    # --- box bounds for SLSQP -------------------------------------------
+    if lower is None and upper is None:
+        slsqp_bounds = None
+    else:
+        lo = np.full(n, -np.inf) if lower is None else np.asarray(lower, float)
+        hi = np.full(n, np.inf) if upper is None else np.asarray(upper, float)
+        slsqp_bounds = list(zip(lo, hi))
+
+    def objective(x: np.ndarray) -> float:
+        dx = x - origin
+        return float(dx @ dx)
+
+    def objective_grad(x: np.ndarray) -> np.ndarray:
+        return 2.0 * (x - origin)
+
+    cons = {
+        "type": "eq",
+        "fun": lambda x: mapping.value(x) - bound,
+        "jac": _constraint_jac(mapping),
+    }
+
+    best: BoundaryCrossing | None = min(crossings, key=lambda c: c.distance,
+                                        default=None)
+    accept = constraint_tol * (1.0 + abs(bound))
+    for x0 in starts:
+        if slsqp_bounds is not None:
+            x0 = np.clip(x0, [b[0] for b in slsqp_bounds],
+                         [b[1] for b in slsqp_bounds])
+        try:
+            res = optimize.minimize(
+                objective, x0, jac=objective_grad, method="SLSQP",
+                bounds=slsqp_bounds, constraints=[cons],
+                options={"maxiter": 200, "ftol": 1e-12},
+            )
+        except (ValueError, ArithmeticError, SpecificationError):
+            # SciPy numerical quirk, or the iterate left a mapping's
+            # restricted domain (e.g. positive-only monomials): this start
+            # failed, the others may still succeed.
+            continue
+        x = np.asarray(res.x, dtype=np.float64)
+        if not np.all(np.isfinite(x)):
+            continue
+        try:
+            if abs(mapping.value(x) - bound) > accept:
+                continue
+        except SpecificationError:
+            continue
+        dist = float(np.linalg.norm(x - origin))
+        if best is None or dist < best.distance:
+            best = BoundaryCrossing(point=x, bound=float(bound), distance=dist)
+    if best is None:
+        raise BoundaryNotFoundError(
+            f"numeric solver found no boundary point at level {bound}")
+    return best

@@ -1,0 +1,217 @@
+"""Weighting schemes for concatenating unlike perturbation parameters.
+
+The IPDPS'05 paper's subject: perturbation parameters of different *kinds*
+(units) cannot be concatenated directly — "one cannot assemble ``e_j`` and
+``m_k`` in one ``pi_j`` without first adjusting for the unit changes".  A
+:class:`WeightingScheme` supplies the per-element positive weights
+``alpha`` that make the concatenation ``P = (alpha_1 x pi_1) * ...``
+dimensionless:
+
+* :class:`IdentityWeighting` — no adjustment; only legal when every
+  parameter shares one unit (the single-kind case of the 2004 paper).
+  Mixing units under it raises :class:`~repro.exceptions.UnitMismatchError`.
+* :class:`SensitivityWeighting` — the 2004 paper's proposal,
+  ``alpha_j = 1 / r_mu(phi_i, pi_j)``; shown *degenerate* in Section 3.1
+  (radius is always ``1/sqrt(n)`` for linear features of one-element
+  parameters).
+* :class:`NormalizedWeighting` — the 2005 paper's fix (Equation 5):
+  normalise every element by its own original value, so ``P_orig = [1..1]``.
+* :class:`CustomWeighting` — user-chosen alphas (e.g. domain-derived
+  exchange rates between seconds and bytes).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.perturbation import PerturbationParameter
+from repro.exceptions import SpecificationError, UnitMismatchError
+from repro.utils.validation import as_1d_float_array
+
+__all__ = [
+    "WeightingScheme",
+    "IdentityWeighting",
+    "SensitivityWeighting",
+    "NormalizedWeighting",
+    "CustomWeighting",
+]
+
+
+class WeightingScheme(abc.ABC):
+    """Strategy producing the per-element weights ``alpha`` for P-space.
+
+    Subclasses implement :meth:`elementwise_alphas`; the returned flat array
+    is positive, finite, and has one entry per element of the concatenated
+    parameters, in declaration order.
+    """
+
+    #: Whether this scheme's alphas depend on per-parameter robustness
+    #: radii (and therefore on the feature under analysis).
+    requires_radii: bool = False
+
+    @abc.abstractmethod
+    def elementwise_alphas(
+        self,
+        params: Sequence[PerturbationParameter],
+        per_param_radii: Mapping[str, float] | None = None,
+    ) -> np.ndarray:
+        """Flat positive weight vector for the concatenation of ``params``.
+
+        Parameters
+        ----------
+        params:
+            Perturbation parameters in concatenation order.
+        per_param_radii:
+            Map from parameter name to the single-parameter robustness
+            radius ``r_mu(phi_i, pi_j)``; required only by schemes with
+            ``requires_radii = True``.
+        """
+
+    @property
+    def name(self) -> str:
+        """Short scheme name used in reports."""
+        return type(self).__name__.removesuffix("Weighting").lower()
+
+    @staticmethod
+    def _validate(alphas: np.ndarray) -> np.ndarray:
+        alphas = np.asarray(alphas, dtype=np.float64)
+        if np.any(~np.isfinite(alphas)) or np.any(alphas <= 0):
+            raise SpecificationError(
+                f"weights must be positive and finite, got {alphas!r}")
+        return alphas
+
+
+class IdentityWeighting(WeightingScheme):
+    """No weighting: ``P = pi`` (the single-kind case of the 2004 paper).
+
+    Refuses to combine parameters with different declared units — this is
+    exactly the misuse the 2005 paper warns against, so the library makes it
+    a hard error rather than a silent wrong answer.  Parameters with empty
+    units are treated as mutually compatible (the caller asserts
+    unit-consistency by leaving units unset).
+    """
+
+    def elementwise_alphas(
+        self,
+        params: Sequence[PerturbationParameter],
+        per_param_radii: Mapping[str, float] | None = None,
+    ) -> np.ndarray:
+        units = {p.unit for p in params if p.unit}
+        if len(units) > 1:
+            raise UnitMismatchError(
+                "IdentityWeighting cannot concatenate parameters with "
+                f"different units {sorted(units)}; the Euclidean norm of the "
+                "concatenation would add unlike units. Use Normalized- or "
+                "SensitivityWeighting (Section 3 of the paper).")
+        total = sum(p.dimension for p in params)
+        return np.ones(total)
+
+
+class SensitivityWeighting(WeightingScheme):
+    """The 2004 paper's sensitivity-based weighting, ``alpha_j = 1/r_j``.
+
+    Each parameter vector is scaled by the reciprocal of its own
+    single-parameter robustness radius, so each weighted block is
+    dimensionless.  The 2005 paper proves this degenerates for linear
+    features of one-element parameters (radius always ``1/sqrt(n)``);
+    the library keeps it as a first-class scheme precisely so that the
+    degeneracy experiments (E2) can exercise it.
+    """
+
+    requires_radii = True
+
+    def elementwise_alphas(
+        self,
+        params: Sequence[PerturbationParameter],
+        per_param_radii: Mapping[str, float] | None = None,
+    ) -> np.ndarray:
+        if per_param_radii is None:
+            raise SpecificationError(
+                "SensitivityWeighting needs per-parameter radii "
+                "r_mu(phi_i, pi_j); compute them first (RobustnessAnalysis "
+                "does this automatically)")
+        blocks = []
+        for p in params:
+            try:
+                r = float(per_param_radii[p.name])
+            except KeyError as exc:
+                raise SpecificationError(
+                    f"missing per-parameter radius for {p.name!r}") from exc
+            if not math.isfinite(r) or r <= 0:
+                raise SpecificationError(
+                    f"sensitivity weighting needs a positive finite radius "
+                    f"for {p.name!r}, got {r}; a zero radius means the "
+                    "allocation sits on its boundary and an infinite one "
+                    "means the parameter cannot violate the feature")
+            blocks.append(np.full(p.dimension, 1.0 / r))
+        return self._validate(np.concatenate(blocks))
+
+
+class NormalizedWeighting(WeightingScheme):
+    """The 2005 paper's proposal (Eq. 5): normalise by original values.
+
+    ``P_l = pi_l / pi_l^orig`` elementwise, so ``P_orig = [1 1 ... 1]`` and
+    the radius measures *relative* perturbations.  Requires every original
+    value to be nonzero (the paper implicitly assumes positive originals;
+    we accept any nonzero value and take the reciprocal's magnitude —
+    weights must be positive for the box-bound transforms to be monotone,
+    so negative originals are rejected explicitly).
+    """
+
+    def elementwise_alphas(
+        self,
+        params: Sequence[PerturbationParameter],
+        per_param_radii: Mapping[str, float] | None = None,
+    ) -> np.ndarray:
+        blocks = []
+        for p in params:
+            if np.any(p.original <= 0):
+                raise SpecificationError(
+                    f"NormalizedWeighting requires strictly positive original "
+                    f"values; parameter {p.name!r} has "
+                    f"min {p.original.min():g}")
+            blocks.append(1.0 / p.original)
+        return self._validate(np.concatenate(blocks))
+
+
+class CustomWeighting(WeightingScheme):
+    """User-supplied weights, per parameter (scalar) or per element (array).
+
+    Parameters
+    ----------
+    alphas:
+        Mapping from parameter name to either a positive scalar applied to
+        every element of that parameter, or a positive array with one entry
+        per element.
+    """
+
+    def __init__(self, alphas: Mapping[str, float | Sequence[float]]) -> None:
+        if not alphas:
+            raise SpecificationError("CustomWeighting needs at least one weight")
+        self._alphas = dict(alphas)
+
+    def elementwise_alphas(
+        self,
+        params: Sequence[PerturbationParameter],
+        per_param_radii: Mapping[str, float] | None = None,
+    ) -> np.ndarray:
+        blocks = []
+        for p in params:
+            if p.name not in self._alphas:
+                raise SpecificationError(
+                    f"CustomWeighting has no weight for parameter {p.name!r}")
+            a = self._alphas[p.name]
+            if np.isscalar(a):
+                block = np.full(p.dimension, float(a))
+            else:
+                block = as_1d_float_array(a, name=f"alphas[{p.name}]")
+                if block.size != p.dimension:
+                    raise SpecificationError(
+                        f"weight array for {p.name!r} has length {block.size}, "
+                        f"expected {p.dimension}")
+            blocks.append(block)
+        return self._validate(np.concatenate(blocks))

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while still letting programming errors (``TypeError`` from
+misuse of the Python API itself, etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SpecificationError",
+    "DimensionMismatchError",
+    "UnitMismatchError",
+    "SolverError",
+    "BoundaryNotFoundError",
+    "InfeasibleAllocationError",
+    "ConvergenceError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class SpecificationError(ReproError):
+    """An analysis component (feature, perturbation, mapping) is ill-specified.
+
+    Raised, for example, when a tolerance interval is empty, when a
+    perturbation parameter has non-positive original values but a
+    normalized weighting is requested, or when a mapping is attached to a
+    perturbation parameter of the wrong dimension.
+    """
+
+
+class DimensionMismatchError(SpecificationError):
+    """Vector dimensions disagree (e.g. gradient length vs. parameter length)."""
+
+
+class UnitMismatchError(SpecificationError):
+    """Quantities with different units were combined without a weighting.
+
+    This is the error the IPDPS'05 paper is *about*: elements with different
+    units must not be concatenated into one perturbation vector, because the
+    Euclidean norm of the concatenation would add unlike units.  The library
+    raises this error instead of silently computing a meaningless radius.
+    """
+
+
+class SolverError(ReproError):
+    """A robustness-radius solver failed to produce a usable answer."""
+
+
+class BoundaryNotFoundError(SolverError):
+    """No boundary point ``f(pi) = beta`` exists in the searched region.
+
+    A system whose feature can never reach its tolerance bound has infinite
+    robustness radius; solvers raise this so the caller can map it to
+    ``math.inf`` explicitly rather than returning an arbitrary large number.
+    """
+
+
+class ConvergenceError(SolverError):
+    """An iterative solver exhausted its budget without converging."""
+
+
+class InfeasibleAllocationError(ReproError):
+    """A resource allocation violates its QoS constraints at the *original*
+    (unperturbed) operating point, so its robustness is undefined (there is
+    no robust region to measure the radius of)."""

@@ -1,0 +1,18 @@
+"""Serialization: save and load analyses, systems, and reports as JSON.
+
+Every core object has a stable dictionary form, so robustness studies can
+be archived, diffed, and re-run:
+
+* :func:`to_dict` / :func:`from_dict` — recursive conversion dispatching
+  on a ``"type"`` tag;
+* :func:`dump_json` / :func:`load_json` — file-level convenience.
+
+Mappings serialise structurally (:class:`LinearMapping` coefficients,
+:class:`QuadraticMapping` matrices, ...); :class:`CallableMapping` is
+rejected with a clear error because arbitrary Python callables have no
+faithful portable representation.
+"""
+
+from repro.io.serialize import dump_json, from_dict, load_json, to_dict
+
+__all__ = ["to_dict", "from_dict", "dump_json", "load_json"]

@@ -1,0 +1,273 @@
+"""Dictionary/JSON serialization for the core object model.
+
+The format is a tagged tree: every serialised object is a dict with a
+``"type"`` key naming its class and the remaining keys holding its state
+(NumPy arrays as nested lists).  ``from_dict`` inverts ``to_dict``
+exactly; round-tripping is covered by property-based tests.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+from typing import Any
+
+import numpy as np
+
+from repro.core.features import PerformanceFeature, ToleranceBounds
+from repro.core.fepia import FeatureSpec, RobustnessAnalysis
+from repro.core.weighting import (
+    CustomWeighting,
+    IdentityWeighting,
+    NormalizedWeighting,
+    SensitivityWeighting,
+    WeightingScheme,
+)
+from repro.core.mappings import (
+    FeatureMapping,
+    LinearMapping,
+    MaxMapping,
+    ProductMapping,
+    QuadraticMapping,
+    RestrictedMapping,
+    ReweightedMapping,
+    SumMapping,
+)
+from repro.core.perturbation import PerturbationParameter
+from repro.exceptions import SpecificationError
+from repro.systems.hiperd.model import (
+    Actuator,
+    Application,
+    HiPerDSystem,
+    Machine,
+    Message,
+    Sensor,
+)
+from repro.systems.independent.allocation import Allocation
+from repro.systems.independent.etc import EtcMatrix
+
+__all__ = ["to_dict", "from_dict", "dump_json", "load_json"]
+
+
+def _arr(a: np.ndarray | None):
+    return None if a is None else np.asarray(a).tolist()
+
+
+def _num(x: float):
+    """JSON-safe float: infinities become strings, round-tripped back."""
+    if math.isinf(x):
+        return "inf" if x > 0 else "-inf"
+    return float(x)
+
+
+def _unnum(x) -> float:
+    if x == "inf":
+        return math.inf
+    if x == "-inf":
+        return -math.inf
+    return float(x)
+
+
+# ----------------------------------------------------------------------
+# to_dict
+# ----------------------------------------------------------------------
+def to_dict(obj: Any) -> dict:
+    """Serialise a supported object into its tagged dictionary form.
+
+    Raises
+    ------
+    SpecificationError
+        For unsupported objects (including :class:`CallableMapping`, which
+        has no portable representation).
+    """
+    if isinstance(obj, ToleranceBounds):
+        return {"type": "ToleranceBounds",
+                "beta_min": _num(obj.beta_min), "beta_max": _num(obj.beta_max)}
+    if isinstance(obj, PerformanceFeature):
+        return {"type": "PerformanceFeature", "name": obj.name,
+                "bounds": to_dict(obj.bounds), "unit": obj.unit,
+                "description": obj.description}
+    if isinstance(obj, PerturbationParameter):
+        return {"type": "PerturbationParameter", "name": obj.name,
+                "original": _arr(obj.original), "unit": obj.unit,
+                "lower": _arr(obj.lower), "upper": _arr(obj.upper),
+                "description": obj.description}
+    if isinstance(obj, LinearMapping):
+        return {"type": "LinearMapping",
+                "coefficients": _arr(obj.coefficients),
+                "constant": obj.constant}
+    if isinstance(obj, QuadraticMapping):
+        return {"type": "QuadraticMapping", "quadratic": _arr(obj.quadratic),
+                "linear": _arr(obj.linear), "constant": obj.constant}
+    if isinstance(obj, ProductMapping):
+        return {"type": "ProductMapping", "powers": _arr(obj.powers),
+                "coefficient": obj.coefficient}
+    if isinstance(obj, MaxMapping):
+        return {"type": "MaxMapping",
+                "components": [to_dict(c) for c in obj.components]}
+    if isinstance(obj, SumMapping):
+        return {"type": "SumMapping",
+                "components": [to_dict(c) for c in obj.components]}
+    if isinstance(obj, RestrictedMapping):
+        return {"type": "RestrictedMapping", "base": to_dict(obj.base),
+                "free_indices": obj.free_indices.tolist(),
+                "reference": _arr(obj.reference)}
+    if isinstance(obj, ReweightedMapping):
+        return {"type": "ReweightedMapping", "base": to_dict(obj.base),
+                "alphas": _arr(obj.alphas)}
+    if isinstance(obj, FeatureSpec):
+        return {"type": "FeatureSpec", "feature": to_dict(obj.feature),
+                "mapping": to_dict(obj.mapping)}
+    if isinstance(obj, IdentityWeighting):
+        return {"type": "IdentityWeighting"}
+    if isinstance(obj, NormalizedWeighting):
+        return {"type": "NormalizedWeighting"}
+    if isinstance(obj, SensitivityWeighting):
+        return {"type": "SensitivityWeighting"}
+    if isinstance(obj, CustomWeighting):
+        return {"type": "CustomWeighting",
+                "alphas": {k: (_arr(v) if isinstance(v, np.ndarray)
+                               else (list(v) if isinstance(v, (list, tuple))
+                                     else float(v)))
+                           for k, v in obj._alphas.items()}}
+    if isinstance(obj, RobustnessAnalysis):
+        return {
+            "type": "RobustnessAnalysis",
+            "features": [to_dict(s) for s in obj.features],
+            "params": [to_dict(p) for p in obj.params],
+            "weighting": to_dict(obj.weighting),
+            "respect_physical_bounds": obj.respect_physical_bounds,
+            "method": obj.method,
+            "norm": _num(obj.norm) if obj.norm not in (1, 2) else obj.norm,
+        }
+    if isinstance(obj, EtcMatrix):
+        return {"type": "EtcMatrix", "values": _arr(obj.values)}
+    if isinstance(obj, Allocation):
+        return {"type": "Allocation", "assignment": obj.assignment.tolist(),
+                "n_machines": obj.n_machines}
+    if isinstance(obj, HiPerDSystem):
+        return {
+            "type": "HiPerDSystem",
+            "machines": [{"name": m.name, "speed": m.speed}
+                         for m in obj.machines],
+            "sensors": [{"name": s.name, "load": s.load, "period": s.period}
+                        for s in obj.sensors],
+            "applications": [{"name": a.name, "complexity": a.complexity}
+                             for a in obj.applications],
+            "actuators": [{"name": a.name} for a in obj.actuators],
+            "messages": [{"src": m.src, "dst": m.dst, "size": m.size}
+                         for m in obj.messages],
+            "allocation": dict(obj.allocation),
+            "bandwidths": [[list(k), v] for k, v in obj.bandwidths.items()],
+            "default_bandwidth": obj.default_bandwidth,
+        }
+    if isinstance(obj, FeatureMapping):
+        raise SpecificationError(
+            f"{type(obj).__name__} cannot be serialised: arbitrary Python "
+            "callables have no portable representation; use a structural "
+            "mapping (Linear/Quadratic/Product/Max/Sum)")
+    raise SpecificationError(
+        f"unsupported object for serialization: {type(obj).__name__}")
+
+
+# ----------------------------------------------------------------------
+# from_dict
+# ----------------------------------------------------------------------
+def from_dict(data: dict) -> Any:
+    """Reconstruct an object from its tagged dictionary form."""
+    if not isinstance(data, dict) or "type" not in data:
+        raise SpecificationError(
+            f"not a serialised object (missing 'type'): {data!r}")
+    t = data["type"]
+    if t == "ToleranceBounds":
+        return ToleranceBounds(_unnum(data["beta_min"]),
+                               _unnum(data["beta_max"]))
+    if t == "PerformanceFeature":
+        return PerformanceFeature(
+            name=data["name"], bounds=from_dict(data["bounds"]),
+            unit=data.get("unit", ""),
+            description=data.get("description", ""))
+    if t == "PerturbationParameter":
+        return PerturbationParameter(
+            name=data["name"], original=np.asarray(data["original"]),
+            unit=data.get("unit", ""),
+            lower=None if data.get("lower") is None else np.asarray(data["lower"]),
+            upper=None if data.get("upper") is None else np.asarray(data["upper"]),
+            description=data.get("description", ""))
+    if t == "LinearMapping":
+        return LinearMapping(np.asarray(data["coefficients"]),
+                             data.get("constant", 0.0))
+    if t == "QuadraticMapping":
+        return QuadraticMapping(np.asarray(data["quadratic"]),
+                                np.asarray(data["linear"]),
+                                data.get("constant", 0.0))
+    if t == "ProductMapping":
+        return ProductMapping(np.asarray(data["powers"]),
+                              data.get("coefficient", 1.0))
+    if t == "MaxMapping":
+        return MaxMapping([from_dict(c) for c in data["components"]])
+    if t == "SumMapping":
+        return SumMapping([from_dict(c) for c in data["components"]])
+    if t == "RestrictedMapping":
+        return RestrictedMapping(from_dict(data["base"]),
+                                 np.asarray(data["free_indices"]),
+                                 np.asarray(data["reference"]))
+    if t == "ReweightedMapping":
+        return ReweightedMapping(from_dict(data["base"]),
+                                 np.asarray(data["alphas"]))
+    if t == "FeatureSpec":
+        return FeatureSpec(from_dict(data["feature"]),
+                           from_dict(data["mapping"]))
+    if t == "IdentityWeighting":
+        return IdentityWeighting()
+    if t == "NormalizedWeighting":
+        return NormalizedWeighting()
+    if t == "SensitivityWeighting":
+        return SensitivityWeighting()
+    if t == "CustomWeighting":
+        return CustomWeighting({k: (v if np.isscalar(v) else np.asarray(v))
+                                for k, v in data["alphas"].items()})
+    if t == "RobustnessAnalysis":
+        norm = data.get("norm", 2)
+        return RobustnessAnalysis(
+            [from_dict(s) for s in data["features"]],
+            [from_dict(p) for p in data["params"]],
+            weighting=from_dict(data["weighting"]),
+            respect_physical_bounds=data.get("respect_physical_bounds",
+                                             False),
+            method=data.get("method", "auto"),
+            norm=_unnum(norm) if isinstance(norm, str) else norm,
+        )
+    if t == "EtcMatrix":
+        return EtcMatrix(np.asarray(data["values"]))
+    if t == "Allocation":
+        return Allocation(np.asarray(data["assignment"], dtype=np.intp),
+                          int(data["n_machines"]))
+    if t == "HiPerDSystem":
+        return HiPerDSystem(
+            machines=[Machine(**m) for m in data["machines"]],
+            sensors=[Sensor(**s) for s in data["sensors"]],
+            applications=[Application(**a) for a in data["applications"]],
+            actuators=[Actuator(**a) for a in data["actuators"]],
+            messages=[Message(**m) for m in data["messages"]],
+            allocation={k: int(v) for k, v in data["allocation"].items()},
+            bandwidths={tuple(k): v for k, v in data["bandwidths"]},
+            default_bandwidth=data.get("default_bandwidth", 1e6),
+        )
+    raise SpecificationError(f"unknown serialised type {t!r}")
+
+
+# ----------------------------------------------------------------------
+# files
+# ----------------------------------------------------------------------
+def dump_json(obj: Any, path) -> None:
+    """Serialise ``obj`` and write it as pretty-printed JSON to ``path``."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(to_dict(obj), indent=2), encoding="utf-8")
+
+
+def load_json(path) -> Any:
+    """Read a JSON file written by :func:`dump_json` and reconstruct it."""
+    path = pathlib.Path(path)
+    return from_dict(json.loads(path.read_text(encoding="utf-8")))

@@ -1,0 +1,28 @@
+"""Monte-Carlo validation of robustness radii.
+
+The radius solvers make a geometric claim: *no* perturbation closer than
+``r`` to the original point violates the feature's tolerance interval, and
+some perturbation at distance ``r`` sits exactly on the boundary.  This
+package tests both halves empirically:
+
+* :mod:`repro.montecarlo.validate` — soundness (no violation strictly
+  inside the ball) and tightness (the witness is on the boundary and
+  stepping just past it violates);
+* :mod:`repro.montecarlo.violation` — empirical violation-probability
+  curves as a function of distance, which must be zero below the radius
+  and typically rise beyond it.
+"""
+
+from repro.montecarlo.validate import (
+    RadiusValidation,
+    validate_radius,
+    validate_analysis,
+)
+from repro.montecarlo.violation import violation_probability_curve
+
+__all__ = [
+    "RadiusValidation",
+    "validate_radius",
+    "validate_analysis",
+    "violation_probability_curve",
+]

@@ -1,0 +1,185 @@
+"""Soundness and tightness validation of computed radii.
+
+Given a :class:`~repro.core.radius.RadiusProblem` and the
+:class:`~repro.core.radius.RadiusResult` a solver produced for it:
+
+* **soundness** — sample points at distances up to ``(1 - margin) * r``
+  from the origin; none may violate the tolerance interval.  A violation
+  inside the ball refutes the radius (it is too large).
+* **tightness** — the witness boundary point must satisfy
+  ``f(witness) ~= bound_hit``, its distance must equal the radius, and
+  stepping slightly *past* the witness along the witness direction must
+  violate the interval (so the radius is not needlessly small).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.fepia import RobustnessAnalysis
+from repro.core.radius import RadiusProblem, RadiusResult
+from repro.core.solvers.sampling import sampling_upper_bound
+from repro.exceptions import SpecificationError
+from repro.utils.linalg import vector_norm
+
+__all__ = ["RadiusValidation", "validate_radius", "validate_analysis"]
+
+
+@dataclass(frozen=True)
+class RadiusValidation:
+    """Outcome of validating one radius claim.
+
+    Attributes
+    ----------
+    sound:
+        No sampled point strictly inside the ball violated the interval.
+    tight:
+        The witness lies on the claimed boundary at the claimed distance,
+        and overshooting it violates (``True`` vacuously for infinite
+        radii, which have no witness).
+    n_samples:
+        Points used for the soundness search.
+    min_violation_distance:
+        Closest sampled violation (``inf`` if none) — must exceed the
+        claimed radius for a sound result.
+    witness_value_error:
+        ``|f(witness) - bound_hit|`` (``0`` for infinite radii).
+    witness_distance_error:
+        ``| ||witness - origin|| - radius |`` (``0`` for infinite radii).
+    """
+
+    sound: bool
+    tight: bool
+    n_samples: int
+    min_violation_distance: float
+    witness_value_error: float
+    witness_distance_error: float
+
+    @property
+    def passed(self) -> bool:
+        """Both soundness and tightness hold."""
+        return self.sound and self.tight
+
+
+def validate_radius(
+    problem: RadiusProblem,
+    result: RadiusResult,
+    *,
+    n_samples: int = 20000,
+    margin: float = 1e-6,
+    overshoot: float = 1e-3,
+    value_rtol: float = 1e-6,
+    distance_rtol: float = 1e-6,
+    seed=None,
+) -> RadiusValidation:
+    """Validate a radius claim by sampling and witness inspection.
+
+    Parameters
+    ----------
+    problem, result:
+        The radius computation and its claimed answer.
+    n_samples:
+        Monte-Carlo sample count for the soundness half.
+    margin:
+        Relative shrink of the ball sampled for soundness (guards the
+        open-ball semantics against float round-off).
+    overshoot:
+        Relative step past the witness for the violation probe.
+    value_rtol, distance_rtol:
+        Tolerances for the witness checks.
+    seed:
+        RNG seed.
+    """
+    if not 0 <= margin < 1:
+        raise SpecificationError(f"margin must be in [0, 1), got {margin}")
+    radius = result.radius
+
+    # ---- soundness -----------------------------------------------------
+    if radius == 0.0 or not math.isfinite(radius):
+        # Zero radius: the open ball is empty, trivially sound.  Infinite
+        # radius: sample a wide ball around the origin scale instead —
+        # finding any violation refutes the infinity claim outright.
+        if math.isinf(radius):
+            probe = 10.0 * max(1.0, float(np.linalg.norm(problem.origin)))
+            report = sampling_upper_bound(
+                problem.mapping, problem.origin, problem.bounds,
+                max_distance=probe, n_samples=n_samples, norm=problem.norm,
+                lower=problem.lower, upper=problem.upper, seed=seed)
+            sound = report.n_violations == 0
+            min_viol = report.min_violation_distance
+            n_used = report.n_samples
+        else:
+            sound, min_viol, n_used = True, math.inf, 0
+    else:
+        report = sampling_upper_bound(
+            problem.mapping, problem.origin, problem.bounds,
+            max_distance=radius * (1.0 - margin), n_samples=n_samples,
+            norm=problem.norm, lower=problem.lower, upper=problem.upper,
+            seed=seed)
+        sound = report.n_violations == 0
+        min_viol = report.min_violation_distance
+        n_used = report.n_samples
+
+    # ---- tightness -----------------------------------------------------
+    if result.boundary_point is None:
+        tight = not math.isfinite(radius)  # finite radius must carry a witness
+        value_err = 0.0
+        dist_err = 0.0
+    else:
+        witness = np.asarray(result.boundary_point, dtype=np.float64)
+        f_w = problem.mapping.value(witness)
+        bound = result.bound_hit if result.bound_hit is not None else f_w
+        value_err = abs(f_w - bound)
+        d_w = vector_norm(witness - problem.origin, problem.norm)
+        dist_err = abs(d_w - radius)
+        scale_v = 1.0 + abs(bound)
+        scale_d = 1.0 + radius
+        tight = (value_err <= value_rtol * scale_v
+                 and dist_err <= distance_rtol * scale_d)
+        if tight and radius > 0:
+            # Overshoot probe: just past the witness must violate (use the
+            # strict-containment check so landing exactly on the boundary
+            # does not count as a violation).
+            direction = (witness - problem.origin) / max(d_w, 1e-300)
+            beyond = problem.origin + direction * d_w * (1.0 + overshoot)
+            tight = not problem.bounds.contains(
+                problem.mapping.value(beyond), strict=True)
+    return RadiusValidation(
+        sound=bool(sound),
+        tight=bool(tight),
+        n_samples=n_used,
+        min_violation_distance=float(min_viol),
+        witness_value_error=float(value_err),
+        witness_distance_error=float(dist_err),
+    )
+
+
+def validate_analysis(
+    analysis: RobustnessAnalysis,
+    *,
+    n_samples: int = 20000,
+    seed=None,
+) -> dict[str, RadiusValidation]:
+    """Validate every feature's P-space radius of an analysis.
+
+    Returns a dict from feature name to its :class:`RadiusValidation`.
+    """
+    out: dict[str, RadiusValidation] = {}
+    for spec in analysis.features:
+        result = analysis.radius(spec)
+        try:
+            problem = analysis.pspace_problem(spec)
+        except SpecificationError:
+            # Feature insensitive to every parameter (empty P-space under
+            # sensitivity weighting): infinite radius, vacuously valid.
+            out[spec.name] = RadiusValidation(
+                sound=True, tight=True, n_samples=0,
+                min_violation_distance=math.inf,
+                witness_value_error=0.0, witness_distance_error=0.0)
+            continue
+        out[spec.name] = validate_radius(
+            problem, result, n_samples=n_samples, seed=seed)
+    return out

@@ -1,0 +1,19 @@
+"""Reporting: boundary-figure generation (the paper's Figure 1) and
+combined robustness/validation reports."""
+
+from repro.reporting.figures import BoundaryFigure, boundary_figure
+from repro.reporting.report import full_report
+from repro.reporting.markdown import (
+    experiment_to_markdown,
+    markdown_table,
+    report_to_markdown,
+)
+
+__all__ = [
+    "BoundaryFigure",
+    "boundary_figure",
+    "full_report",
+    "markdown_table",
+    "experiment_to_markdown",
+    "report_to_markdown",
+]

@@ -1,0 +1,82 @@
+"""GitHub-markdown rendering of reports and experiment results.
+
+The ASCII tables are for terminals; these renderers produce the pipe
+tables used in ``EXPERIMENTS.md`` and project READMEs, so documentation
+can be regenerated from the same objects the experiments return.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.analysis.experiments import ExperimentResult
+from repro.core.metric import RobustnessReport
+
+__all__ = ["markdown_table", "experiment_to_markdown", "report_to_markdown"]
+
+
+def _cell(value: Any, float_fmt: str) -> str:
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value).replace("|", "\\|")
+
+
+def markdown_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                   *, float_fmt: str = ".6g") -> str:
+    """Render a GitHub pipe table.
+
+    Parameters
+    ----------
+    headers, rows:
+        Column titles and row tuples; floats use ``float_fmt``, pipes in
+        cells are escaped.
+    """
+    str_rows = [[_cell(c, float_fmt) for c in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}")
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in str_rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def experiment_to_markdown(result: ExperimentResult, *,
+                           float_fmt: str = ".6g",
+                           include_summary: bool = True) -> str:
+    """Render an :class:`ExperimentResult` as a markdown section.
+
+    Multi-line summary values (embedded ASCII plots) are placed in fenced
+    code blocks so they survive markdown rendering.
+    """
+    parts = [f"### {result.experiment_id} — {result.title}", "",
+             markdown_table(result.headers, result.rows,
+                            float_fmt=float_fmt)]
+    if include_summary and result.summary:
+        parts.append("")
+        for key, value in result.summary.items():
+            text = str(value)
+            if "\n" in text:
+                parts.append(f"**{key}**:\n\n```\n{text.strip()}\n```")
+            else:
+                parts.append(f"- **{key}**: {text}")
+    return "\n".join(parts)
+
+
+def report_to_markdown(report: RobustnessReport, *,
+                       float_fmt: str = ".6g") -> str:
+    """Render a :class:`RobustnessReport` as a markdown section."""
+    headers = ["feature", "radius", "phi_orig", "beta_min", "beta_max",
+               "bound hit", "solver", "critical"]
+    rows = []
+    for r in report.rows:
+        rows.append([
+            r.feature, r.radius, r.original_value, r.beta_min, r.beta_max,
+            "-" if r.bound_hit is None else format(r.bound_hit, float_fmt),
+            r.method, "yes" if r.is_critical else "",
+        ])
+    head = (f"**rho = {report.rho:{float_fmt}}** "
+            f"(weighting: {report.weighting}, norm: l{report.norm})")
+    return head + "\n\n" + markdown_table(headers, rows, float_fmt=float_fmt)

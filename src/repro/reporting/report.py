@@ -1,0 +1,44 @@
+"""Combined robustness + validation reporting."""
+
+from __future__ import annotations
+
+from repro.core.fepia import RobustnessAnalysis
+from repro.core.metric import robustness_metric
+from repro.montecarlo.validate import validate_analysis
+from repro.utils.tables import format_table
+
+__all__ = ["full_report"]
+
+
+def full_report(analysis: RobustnessAnalysis, *, validate: bool = True,
+                n_samples: int = 5000, seed=None) -> str:
+    """Render the robustness report, optionally with MC validation rows.
+
+    Parameters
+    ----------
+    analysis:
+        The configured analysis.
+    validate:
+        Append a per-feature Monte-Carlo soundness/tightness table.
+    n_samples:
+        Samples per feature for the validation.
+    seed:
+        Validation RNG seed.
+
+    Returns
+    -------
+    str
+        A multi-section text report.
+    """
+    sections = [robustness_metric(analysis).to_table()]
+    if validate:
+        checks = validate_analysis(analysis, n_samples=n_samples, seed=seed)
+        rows = [
+            [name, "yes" if v.sound else "NO", "yes" if v.tight else "NO",
+             v.n_samples, v.min_violation_distance]
+            for name, v in checks.items()
+        ]
+        sections.append(format_table(
+            ["feature", "sound", "tight", "samples", "closest violation"],
+            rows, title="Monte-Carlo validation"))
+    return "\n\n".join(sections)

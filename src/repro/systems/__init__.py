@@ -1,0 +1,34 @@
+"""Substrate systems the papers evaluate the robustness metric on.
+
+* :mod:`repro.systems.independent` — independent-task heterogeneous
+  computing: ETC matrices, allocations, and makespan-style features (the
+  running example of the companion TPDS 2004 paper);
+* :mod:`repro.systems.hiperd` — a HiPer-D-like continuously-running
+  sensor/application DAG system with throughput, latency, and utilisation
+  constraints and *multiple kinds* of perturbation parameters (sensor
+  loads, execution times, message sizes) — the motivating system of the
+  IPDPS 2005 paper;
+* :mod:`repro.systems.heuristics` — resource-allocation heuristics used as
+  comparison baselines (OLB, MET, MCT, min-min, max-min, sufferage,
+  random, and robustness-maximising local search / simulated annealing /
+  a genetic algorithm).
+"""
+
+from repro.systems.independent import (
+    Allocation,
+    EtcMatrix,
+    MakespanSystem,
+    generate_etc_gamma,
+    generate_etc_range_based,
+)
+from repro.systems.hiperd import HiPerDSystem, generate_hiperd_system
+
+__all__ = [
+    "Allocation",
+    "EtcMatrix",
+    "MakespanSystem",
+    "generate_etc_gamma",
+    "generate_etc_range_based",
+    "HiPerDSystem",
+    "generate_hiperd_system",
+]

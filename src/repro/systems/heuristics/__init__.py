@@ -1,0 +1,40 @@
+"""Resource-allocation heuristics for the independent-task substrate.
+
+These are the standard immediate- and batch-mode mapping heuristics from
+the HC-scheduling literature, used by the experiments to produce the sets
+of candidate allocations whose robustness the metric compares:
+
+* immediate greedy: :class:`OLB`, :class:`MET`, :class:`MCT`;
+* batch: :class:`MinMin`, :class:`MaxMin`, :class:`Sufferage`;
+* baselines: :class:`RandomAllocator`, :class:`RoundRobin`;
+* metaheuristics that optimise an arbitrary objective (makespan or the
+  robustness metric itself): :class:`HillClimber`,
+  :class:`SimulatedAnnealer`, :class:`GeneticAllocator`.
+"""
+
+from repro.systems.heuristics.base import AllocationHeuristic, makespan_objective
+from repro.systems.heuristics.greedy import MCT, MET, OLB, RoundRobin
+from repro.systems.heuristics.minmin import MaxMin, MinMin, Sufferage
+from repro.systems.heuristics.random_alloc import RandomAllocator
+from repro.systems.heuristics.local_search import HillClimber, SimulatedAnnealer
+from repro.systems.heuristics.ga import GeneticAllocator
+
+__all__ = [
+    "AllocationHeuristic",
+    "makespan_objective",
+    "OLB",
+    "MET",
+    "MCT",
+    "RoundRobin",
+    "MinMin",
+    "MaxMin",
+    "Sufferage",
+    "RandomAllocator",
+    "HillClimber",
+    "SimulatedAnnealer",
+    "GeneticAllocator",
+]
+
+#: The standard heuristic lineup used by comparison experiments.
+STANDARD_LINEUP = (OLB, MET, MCT, RoundRobin, MinMin, MaxMin, Sufferage,
+                   RandomAllocator)

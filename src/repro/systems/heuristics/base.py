@@ -1,0 +1,40 @@
+"""Heuristic interface and shared objective functions."""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable
+
+from repro.systems.independent.allocation import Allocation
+from repro.systems.independent.etc import EtcMatrix
+
+__all__ = ["AllocationHeuristic", "makespan_objective"]
+
+
+class AllocationHeuristic(abc.ABC):
+    """Strategy producing an :class:`Allocation` from an ETC matrix.
+
+    Heuristics are stateless value objects; randomised ones take a ``seed``
+    at construction so runs are reproducible.
+    """
+
+    #: Short display name used in comparison tables; subclasses override.
+    name: str = "heuristic"
+
+    @abc.abstractmethod
+    def allocate(self, etc: EtcMatrix) -> Allocation:
+        """Map every task of ``etc`` to a machine."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def makespan_objective(etc: EtcMatrix) -> Callable[[Allocation], float]:
+    """An objective (to minimise) returning the allocation's makespan.
+
+    Used by the metaheuristics; the robustness experiments pass a
+    ``-rho`` objective instead to *maximise* robustness.
+    """
+    def objective(allocation: Allocation) -> float:
+        return allocation.makespan(etc)
+    return objective

@@ -1,0 +1,74 @@
+"""Immediate-mode greedy mapping heuristics: OLB, MET, MCT, round-robin.
+
+Each considers tasks one at a time in index order (the immediate-mode
+convention) and assigns without revisiting earlier decisions:
+
+* **OLB** (opportunistic load balancing) — the machine that becomes idle
+  soonest, ignoring the task's execution time;
+* **MET** (minimum execution time) — the machine with the smallest ETC for
+  the task, ignoring current load (can overload the fastest machine);
+* **MCT** (minimum completion time) — the machine minimising current load
+  plus the task's ETC (the classic compromise);
+* **round-robin** — cyclic assignment, a structure-free baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.systems.heuristics.base import AllocationHeuristic
+from repro.systems.independent.allocation import Allocation
+from repro.systems.independent.etc import EtcMatrix
+
+__all__ = ["OLB", "MET", "MCT", "RoundRobin"]
+
+
+class OLB(AllocationHeuristic):
+    """Opportunistic load balancing: next task to the earliest-idle machine."""
+
+    name = "OLB"
+
+    def allocate(self, etc: EtcMatrix) -> Allocation:
+        loads = np.zeros(etc.n_machines)
+        assignment = np.empty(etc.n_tasks, dtype=np.intp)
+        for i in range(etc.n_tasks):
+            j = int(np.argmin(loads))
+            assignment[i] = j
+            loads[j] += etc.values[i, j]
+        return Allocation(assignment, etc.n_machines)
+
+
+class MET(AllocationHeuristic):
+    """Minimum execution time: each task to its fastest machine."""
+
+    name = "MET"
+
+    def allocate(self, etc: EtcMatrix) -> Allocation:
+        assignment = np.argmin(etc.values, axis=1).astype(np.intp)
+        return Allocation(assignment, etc.n_machines)
+
+
+class MCT(AllocationHeuristic):
+    """Minimum completion time: each task to the machine finishing it first."""
+
+    name = "MCT"
+
+    def allocate(self, etc: EtcMatrix) -> Allocation:
+        loads = np.zeros(etc.n_machines)
+        assignment = np.empty(etc.n_tasks, dtype=np.intp)
+        for i in range(etc.n_tasks):
+            completion = loads + etc.values[i]
+            j = int(np.argmin(completion))
+            assignment[i] = j
+            loads[j] = completion[j]
+        return Allocation(assignment, etc.n_machines)
+
+
+class RoundRobin(AllocationHeuristic):
+    """Cyclic assignment ignoring all timing information."""
+
+    name = "RR"
+
+    def allocate(self, etc: EtcMatrix) -> Allocation:
+        assignment = (np.arange(etc.n_tasks) % etc.n_machines).astype(np.intp)
+        return Allocation(assignment, etc.n_machines)

@@ -1,0 +1,146 @@
+"""Local-search metaheuristics over allocations.
+
+Both optimisers minimise an arbitrary ``objective(Allocation) -> float``:
+pass :func:`~repro.systems.heuristics.base.makespan_objective` to minimise
+makespan, or ``lambda a: -rho(a)`` to *maximise* the robustness metric —
+the comparison the companion paper's experiments are built around
+(robust allocations are not the same as short ones).
+
+The neighbourhood is single-task reassignment plus pairwise swap.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.exceptions import SpecificationError
+from repro.systems.heuristics.base import AllocationHeuristic
+from repro.systems.heuristics.greedy import MCT
+from repro.systems.independent.allocation import Allocation
+from repro.systems.independent.etc import EtcMatrix
+from repro.utils.rng import default_rng
+
+__all__ = ["HillClimber", "SimulatedAnnealer"]
+
+Objective = Callable[[Allocation], float]
+
+
+def _random_neighbour(allocation: Allocation, rng) -> Allocation:
+    """A random move or swap neighbour."""
+    if allocation.n_tasks >= 2 and rng.random() < 0.3:
+        a, b = rng.choice(allocation.n_tasks, size=2, replace=False)
+        return allocation.with_swap(int(a), int(b))
+    task = int(rng.integers(allocation.n_tasks))
+    machine = int(rng.integers(allocation.n_machines))
+    return allocation.with_move(task, machine)
+
+
+class HillClimber(AllocationHeuristic):
+    """Steepest-descent over the move/swap neighbourhood.
+
+    Parameters
+    ----------
+    objective_factory:
+        ``factory(etc) -> objective``; the objective is minimised.
+    max_iterations:
+        Stop after this many accepted improvements at the latest.
+    n_neighbours:
+        Random neighbours examined per step (sampled, not exhaustive, so
+        large instances stay tractable).
+    initial:
+        Heuristic producing the starting allocation (default MCT).
+    seed:
+        RNG seed.
+    """
+
+    name = "HillClimb"
+
+    def __init__(self, objective_factory: Callable[[EtcMatrix], Objective],
+                 *, max_iterations: int = 200, n_neighbours: int = 32,
+                 initial: AllocationHeuristic | None = None, seed=None) -> None:
+        if max_iterations < 1 or n_neighbours < 1:
+            raise SpecificationError(
+                "max_iterations and n_neighbours must be >= 1")
+        self._objective_factory = objective_factory
+        self._max_iterations = max_iterations
+        self._n_neighbours = n_neighbours
+        self._initial = initial if initial is not None else MCT()
+        self._seed = seed
+
+    def allocate(self, etc: EtcMatrix) -> Allocation:
+        rng = default_rng(self._seed)
+        objective = self._objective_factory(etc)
+        current = self._initial.allocate(etc)
+        current_val = objective(current)
+        for _ in range(self._max_iterations):
+            best_neigh = None
+            best_val = current_val
+            for _ in range(self._n_neighbours):
+                cand = _random_neighbour(current, rng)
+                val = objective(cand)
+                if val < best_val:
+                    best_neigh, best_val = cand, val
+            if best_neigh is None:
+                break
+            current, current_val = best_neigh, best_val
+        return current
+
+
+class SimulatedAnnealer(AllocationHeuristic):
+    """Simulated annealing with geometric cooling.
+
+    Parameters
+    ----------
+    objective_factory:
+        ``factory(etc) -> objective`` (minimised).
+    n_steps:
+        Total proposal count.
+    t_initial, t_final:
+        Temperature schedule endpoints (geometric interpolation); the
+        acceptance rule is Metropolis on the objective difference.
+    initial:
+        Starting-allocation heuristic (default MCT).
+    seed:
+        RNG seed.
+    """
+
+    name = "SA"
+
+    def __init__(self, objective_factory: Callable[[EtcMatrix], Objective],
+                 *, n_steps: int = 2000, t_initial: float = 1.0,
+                 t_final: float = 1e-3,
+                 initial: AllocationHeuristic | None = None, seed=None) -> None:
+        if n_steps < 1:
+            raise SpecificationError("n_steps must be >= 1")
+        if t_initial <= 0 or t_final <= 0 or t_final > t_initial:
+            raise SpecificationError(
+                "need 0 < t_final <= t_initial for the cooling schedule")
+        self._objective_factory = objective_factory
+        self._n_steps = n_steps
+        self._t_initial = float(t_initial)
+        self._t_final = float(t_final)
+        self._initial = initial if initial is not None else MCT()
+        self._seed = seed
+
+    def allocate(self, etc: EtcMatrix) -> Allocation:
+        rng = default_rng(self._seed)
+        objective = self._objective_factory(etc)
+        current = self._initial.allocate(etc)
+        current_val = objective(current)
+        best, best_val = current, current_val
+        # Normalise temperatures by the initial objective scale so the
+        # schedule works across problem magnitudes.
+        scale = max(abs(current_val), 1e-12)
+        cooling = (self._t_final / self._t_initial) ** (1.0 / self._n_steps)
+        temp = self._t_initial
+        for _ in range(self._n_steps):
+            cand = _random_neighbour(current, rng)
+            val = objective(cand)
+            delta = (val - current_val) / scale
+            if delta <= 0 or rng.random() < math.exp(-delta / temp):
+                current, current_val = cand, val
+                if val < best_val:
+                    best, best_val = cand, val
+            temp *= cooling
+        return best

@@ -1,0 +1,77 @@
+"""Batch-mode mapping heuristics: min-min, max-min, sufferage.
+
+All three maintain, for every unmapped task, its minimum completion time
+(MCT) over machines given the current loads, then differ in which task they
+commit next:
+
+* **min-min** — the task with the *smallest* MCT (keeps machines balanced
+  by placing easy work first);
+* **max-min** — the task with the *largest* MCT (places hard work first so
+  it doesn't dominate the tail);
+* **sufferage** — the task that would "suffer" most if denied its best
+  machine (largest difference between its best and second-best completion
+  times).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.systems.heuristics.base import AllocationHeuristic
+from repro.systems.independent.allocation import Allocation
+from repro.systems.independent.etc import EtcMatrix
+
+__all__ = ["MinMin", "MaxMin", "Sufferage"]
+
+
+def _batch_allocate(etc: EtcMatrix, select) -> Allocation:
+    """Shared batch loop; ``select(best_ct, second_ct)`` picks the task."""
+    n_tasks, n_machines = etc.n_tasks, etc.n_machines
+    loads = np.zeros(n_machines)
+    assignment = np.empty(n_tasks, dtype=np.intp)
+    unmapped = np.ones(n_tasks, dtype=bool)
+    for _ in range(n_tasks):
+        idx = np.flatnonzero(unmapped)
+        completion = loads[None, :] + etc.values[idx]       # (u, m)
+        best_machine = np.argmin(completion, axis=1)
+        best_ct = completion[np.arange(idx.size), best_machine]
+        if n_machines > 1:
+            part = np.partition(completion, 1, axis=1)
+            second_ct = part[:, 1]
+        else:
+            second_ct = best_ct
+        pick = select(best_ct, second_ct)
+        task = idx[pick]
+        machine = int(best_machine[pick])
+        assignment[task] = machine
+        loads[machine] += etc.values[task, machine]
+        unmapped[task] = False
+    return Allocation(assignment, n_machines)
+
+
+class MinMin(AllocationHeuristic):
+    """Commit the task with the smallest minimum completion time first."""
+
+    name = "MinMin"
+
+    def allocate(self, etc: EtcMatrix) -> Allocation:
+        return _batch_allocate(etc, lambda best, second: int(np.argmin(best)))
+
+
+class MaxMin(AllocationHeuristic):
+    """Commit the task with the largest minimum completion time first."""
+
+    name = "MaxMin"
+
+    def allocate(self, etc: EtcMatrix) -> Allocation:
+        return _batch_allocate(etc, lambda best, second: int(np.argmax(best)))
+
+
+class Sufferage(AllocationHeuristic):
+    """Commit the task with the greatest best-vs-second-best gap first."""
+
+    name = "Sufferage"
+
+    def allocate(self, etc: EtcMatrix) -> Allocation:
+        return _batch_allocate(
+            etc, lambda best, second: int(np.argmax(second - best)))

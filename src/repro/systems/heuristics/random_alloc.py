@@ -1,0 +1,32 @@
+"""Uniformly random allocation — the floor every heuristic should beat."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.systems.heuristics.base import AllocationHeuristic
+from repro.systems.independent.allocation import Allocation
+from repro.systems.independent.etc import EtcMatrix
+from repro.utils.rng import default_rng
+
+__all__ = ["RandomAllocator"]
+
+
+class RandomAllocator(AllocationHeuristic):
+    """Assign every task to a uniformly random machine.
+
+    Parameters
+    ----------
+    seed:
+        RNG seed for reproducible draws.
+    """
+
+    name = "Random"
+
+    def __init__(self, seed=None) -> None:
+        self._rng = default_rng(seed)
+
+    def allocate(self, etc: EtcMatrix) -> Allocation:
+        assignment = self._rng.integers(
+            0, etc.n_machines, size=etc.n_tasks).astype(np.intp)
+        return Allocation(assignment, etc.n_machines)

@@ -1,0 +1,119 @@
+"""HiPer-D-like continuously-running distributed system substrate.
+
+The motivating system of the IPDPS 2005 paper (DARPA Quorum's HiPer-D): a
+set of sensors streams data sets into a DAG of continuously-running
+applications on dedicated heterogeneous machines; outputs drive actuators.
+The allocation must satisfy **throughput** constraints (every application
+and message keeps up with its sensors' data-set period), **latency**
+constraints (every sensor-to-actuator path completes within a deadline),
+and optional per-machine **utilisation** constraints.
+
+Three *kinds* of perturbation parameters act on these features — exactly
+the multi-kind setting the paper addresses:
+
+* ``loads`` — sensor loads (objects per data set),
+* ``exec`` — per-application unit execution times (seconds per object),
+* ``msgsize`` — message sizes (bytes per data set).
+
+Computation times are bilinear (load x unit-time), so with both kinds free
+the features are genuinely *quadratic* and the boundary sets are curved —
+the situation sketched in the paper's Figure 1.
+"""
+
+from repro.systems.hiperd.model import (
+    Actuator,
+    Application,
+    HiPerDSystem,
+    Machine,
+    Message,
+    Sensor,
+)
+from repro.systems.hiperd.timing import KINDS, FlatLayout, MappingAssembler
+from repro.systems.hiperd.constraints import (
+    QoSSpec,
+    build_analysis,
+    build_feature_specs,
+)
+from repro.systems.hiperd.generator import (
+    HiPerDGenerationSpec,
+    generate_hiperd_system,
+)
+from repro.systems.hiperd.simulate import (
+    DataflowRecord,
+    simulate_dataflow,
+    steady_state_features,
+)
+from repro.systems.hiperd.traces import (
+    ramp_trace,
+    random_walk_trace,
+    sinusoid_trace,
+    spike_trace,
+)
+from repro.systems.hiperd.failures import (
+    LinkFailureAnalysis,
+    critical_links,
+    link_failure_radius,
+    system_with_failed_links,
+    used_link_pairs,
+)
+from repro.systems.hiperd.placement import (
+    PlacementStep,
+    improve_placement,
+    placement_rho,
+)
+from repro.systems.hiperd.heuristics import (
+    PLACEMENT_HEURISTICS,
+    balanced_work_placement,
+    colocate_paths_placement,
+    fastest_machine_placement,
+    random_placement,
+    replace_allocation,
+)
+from repro.systems.hiperd.topology import (
+    bottleneck_stages,
+    path_overlap_matrix,
+    path_slack_table,
+    topology_report,
+)
+
+__all__ = [
+    "Machine",
+    "Sensor",
+    "Application",
+    "Actuator",
+    "Message",
+    "HiPerDSystem",
+    "KINDS",
+    "FlatLayout",
+    "MappingAssembler",
+    "QoSSpec",
+    "build_feature_specs",
+    "build_analysis",
+    "HiPerDGenerationSpec",
+    "generate_hiperd_system",
+    "DataflowRecord",
+    "simulate_dataflow",
+    "steady_state_features",
+    "ramp_trace",
+    "spike_trace",
+    "random_walk_trace",
+    "sinusoid_trace",
+    "LinkFailureAnalysis",
+    "used_link_pairs",
+    "system_with_failed_links",
+    "critical_links",
+    "link_failure_radius",
+    "PlacementStep",
+    "placement_rho",
+    "improve_placement",
+    "PLACEMENT_HEURISTICS",
+    "replace_allocation",
+    "balanced_work_placement",
+    "fastest_machine_placement",
+    "colocate_paths_placement",
+    "random_placement",
+    "path_slack_table",
+    "bottleneck_stages",
+    "path_overlap_matrix",
+    "topology_report",
+]

@@ -1,0 +1,214 @@
+"""QoS constraints and the FePIA analysis builder for HiPer-D systems.
+
+A HiPer-D allocation "must enforce these quality of service constraints by
+ensuring that the computation and communication times are within certain
+limits" (Section 1).  Three feature families are built:
+
+* **latency** — one feature per sensor-to-actuator path, bounded above by
+  either an absolute deadline or ``latency_slack x`` its original value;
+* **throughput** — one feature per application (and optionally per
+  message), its per-data-set processing time bounded by the tightest
+  period among the sensors that feed it, scaled by ``throughput_margin``;
+* **utilization** — one feature per machine, the summed computation time
+  of its applications bounded by the system's tightest sensor period.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.features import PerformanceFeature, ToleranceBounds
+from repro.core.fepia import FeatureSpec, RobustnessAnalysis
+from repro.core.weighting import NormalizedWeighting, WeightingScheme
+from repro.exceptions import SpecificationError
+from repro.systems.hiperd.model import HiPerDSystem
+from repro.systems.hiperd.timing import FlatLayout, MappingAssembler
+
+__all__ = ["QoSSpec", "build_feature_specs", "build_analysis"]
+
+
+@dataclass(frozen=True)
+class QoSSpec:
+    """The quality-of-service requirements imposed on a HiPer-D system.
+
+    Attributes
+    ----------
+    latency_slack:
+        Relative latency budget: every path's deadline is
+        ``latency_slack * (its original latency)``.  Must exceed 1 so the
+        original point is strictly feasible.  Ignored for paths that have
+        an absolute deadline.
+    absolute_latency_limits:
+        Optional absolute per-path deadlines keyed by the path tuple.
+    throughput_margin:
+        Fraction of a stage's driving period that its processing time may
+        use (in ``(0, 1]``); smaller is stricter.
+    include_latency, include_throughput, include_message_throughput,
+    include_utilization:
+        Which feature families to build.
+    """
+
+    latency_slack: float = 1.3
+    absolute_latency_limits: Mapping[tuple[str, ...], float] = field(
+        default_factory=dict)
+    throughput_margin: float = 1.0
+    include_latency: bool = True
+    include_throughput: bool = True
+    include_message_throughput: bool = False
+    include_utilization: bool = False
+
+    def __post_init__(self) -> None:
+        if self.latency_slack <= 1.0:
+            raise SpecificationError(
+                f"latency_slack must exceed 1, got {self.latency_slack}")
+        if not 0 < self.throughput_margin <= 1:
+            raise SpecificationError(
+                f"throughput_margin must be in (0, 1], got "
+                f"{self.throughput_margin}")
+        if not (self.include_latency or self.include_throughput
+                or self.include_message_throughput or self.include_utilization):
+            raise SpecificationError("QoSSpec selects no feature family")
+
+
+def _driving_period(system: HiPerDSystem, app_name: str) -> float:
+    """Tightest period among the sensors that reach an application."""
+    w = system.reach_weights()[system.app_index(app_name)]
+    periods = [system.sensors[int(s)].period for s in np.flatnonzero(w)]
+    if not periods:  # unreachable apps are rejected at construction
+        raise SpecificationError(
+            f"application {app_name!r} is fed by no sensor")
+    return min(periods)
+
+
+def build_feature_specs(system: HiPerDSystem, layout: FlatLayout,
+                        qos: QoSSpec) -> list[FeatureSpec]:
+    """Construct the FePIA feature specifications for a system under a QoS.
+
+    Raises
+    ------
+    SpecificationError
+        If a throughput or utilisation constraint is already violated at
+        the original operating point (the allocation is invalid, not
+        merely fragile — robustness is undefined for it).
+    """
+    assembler = MappingAssembler(layout)
+    origin = layout.flat_origin()
+    specs: list[FeatureSpec] = []
+
+    if qos.include_latency:
+        for path in system.sensor_actuator_paths():
+            mapping = assembler.path_latency(path)
+            orig = mapping.value(origin)
+            limit = qos.absolute_latency_limits.get(path)
+            if limit is None:
+                limit = qos.latency_slack * orig
+            label = "->".join(path)
+            specs.append(FeatureSpec(
+                PerformanceFeature(
+                    name=f"latency[{label}]",
+                    bounds=ToleranceBounds.upper(float(limit)),
+                    unit="s",
+                    description=f"end-to-end latency of path {label}"),
+                mapping))
+
+    if qos.include_throughput:
+        for app in system.applications:
+            mapping = assembler.computation_time(app.name)
+            limit = qos.throughput_margin * _driving_period(system, app.name)
+            specs.append(FeatureSpec(
+                PerformanceFeature(
+                    name=f"throughput[{app.name}]",
+                    bounds=ToleranceBounds.upper(limit),
+                    unit="s",
+                    description=(f"per-data-set computation time of "
+                                 f"{app.name} vs its driving period")),
+                mapping))
+
+    if qos.include_message_throughput:
+        for i, msg in enumerate(system.messages):
+            if math.isinf(system.message_bandwidth(msg)):
+                continue  # co-located transfer: zero time, no constraint
+            mapping = assembler.communication_time(msg)
+            src_app = msg.src if msg.src in {a.name for a in system.applications} else None
+            if src_app is not None:
+                period = _driving_period(system, src_app)
+            else:
+                period = system.sensors[system.sensor_index(msg.src)].period
+            limit = qos.throughput_margin * period
+            specs.append(FeatureSpec(
+                PerformanceFeature(
+                    name=f"msg_throughput[{msg.src}->{msg.dst}]",
+                    bounds=ToleranceBounds.upper(limit),
+                    unit="s",
+                    description=f"transfer time of message {i} vs period"),
+                mapping))
+
+    if qos.include_utilization:
+        tightest = min(s.period for s in system.sensors)
+        for j, machine in enumerate(system.machines):
+            if not system.apps_on_machine(j):
+                continue
+            mapping = assembler.machine_utilization(j)
+            limit = qos.throughput_margin * tightest
+            specs.append(FeatureSpec(
+                PerformanceFeature(
+                    name=f"utilization[{machine.name}]",
+                    bounds=ToleranceBounds.upper(limit),
+                    unit="s",
+                    description=(f"summed per-data-set computation time on "
+                                 f"{machine.name}")),
+                mapping))
+
+    infeasible = [s.name for s in specs
+                  if not s.feature.is_satisfied(s.mapping.value(origin))]
+    if infeasible:
+        raise SpecificationError(
+            "QoS is violated at the original operating point by "
+            f"{infeasible}; tighten the allocation or loosen the QoS")
+    return specs
+
+
+def build_analysis(
+    system: HiPerDSystem,
+    qos: QoSSpec,
+    *,
+    kinds: Sequence[str] = ("loads", "exec", "msgsize"),
+    weighting: WeightingScheme | None = None,
+    respect_physical_bounds: bool = False,
+    norm: float = 2,
+    seed=None,
+) -> RobustnessAnalysis:
+    """The full FePIA robustness analysis of a HiPer-D allocation.
+
+    Parameters
+    ----------
+    system:
+        The system (with its allocation) under study.
+    qos:
+        The QoS requirements defining the performance features.
+    kinds:
+        Which perturbation kinds are free (subset of
+        ``("loads", "exec", "msgsize")``).
+    weighting:
+        Multi-kind weighting; defaults to the paper's
+        :class:`NormalizedWeighting`.
+    respect_physical_bounds:
+        Restrict boundary searches to non-negative perturbations.
+    norm:
+        Distance norm.
+    seed:
+        Solver seed.
+    """
+    layout = FlatLayout(system, kinds)
+    specs = build_feature_specs(system, layout, qos)
+    params = layout.parameters()
+    if weighting is None:
+        weighting = NormalizedWeighting()
+    return RobustnessAnalysis(
+        specs, params, weighting=weighting,
+        respect_physical_bounds=respect_physical_bounds,
+        norm=norm, seed=seed)

@@ -1,0 +1,217 @@
+"""Link failures in HiPer-D systems (the paper's other discrete uncertainty).
+
+Section 1 lists "sudden machine or link failures" among the uncertainties.
+For the continuously-running HiPer-D model a link failure is modelled as
+**bandwidth degradation**: traffic between the affected location pair is
+rerouted over a slow shared backup, multiplying the pair's bandwidth by
+``degraded_factor`` (a full outage with no backup is the limit
+``degraded_factor -> 0``; default 0.1).
+
+Two questions are answered:
+
+* :func:`critical_links` — which single link's failure hurts the QoS
+  margins most (ranked by the worst post-failure violation margin);
+* :func:`link_failure_radius` — the discrete analogue of the robustness
+  radius: the largest ``k`` such that the system still meets every QoS
+  constraint at the original operating point after *any* ``k`` simultaneous
+  link failures.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.exceptions import SpecificationError
+from repro.systems.hiperd.constraints import QoSSpec, build_feature_specs
+from repro.systems.hiperd.model import HiPerDSystem
+from repro.systems.hiperd.timing import FlatLayout
+
+__all__ = ["used_link_pairs", "system_with_failed_links",
+           "critical_links", "LinkFailureAnalysis", "link_failure_radius"]
+
+
+def used_link_pairs(system: HiPerDSystem) -> list[tuple[str, str]]:
+    """The location pairs actually carrying at least one message.
+
+    Co-located transfers (infinite bandwidth) carry no link and are
+    excluded.  Pairs are canonicalised so ``(a, b)`` and ``(b, a)`` are the
+    same link.
+    """
+    pairs = set()
+    for msg in system.messages:
+        loc_u = system.location_of(msg.src)
+        loc_v = system.location_of(msg.dst)
+        if loc_u == loc_v:
+            continue
+        pairs.add(tuple(sorted((loc_u, loc_v))))
+    return sorted(pairs)
+
+
+def system_with_failed_links(
+    system: HiPerDSystem,
+    failed_pairs,
+    *,
+    degraded_factor: float = 0.1,
+) -> HiPerDSystem:
+    """A copy of the system with the given links degraded.
+
+    Parameters
+    ----------
+    system:
+        The original system (not modified).
+    failed_pairs:
+        Iterable of location pairs (order-insensitive).
+    degraded_factor:
+        Multiplier applied to each failed pair's bandwidth, in ``(0, 1]``.
+    """
+    if not 0.0 < degraded_factor <= 1.0:
+        raise SpecificationError(
+            f"degraded_factor must be in (0, 1], got {degraded_factor}")
+    failed = {tuple(sorted(p)) for p in failed_pairs}
+    known = set(used_link_pairs(system))
+    unknown = failed - known
+    if unknown:
+        raise SpecificationError(
+            f"failed pairs {sorted(unknown)} carry no message in this system")
+    bandwidths = dict(system.bandwidths)
+    for pair in failed:
+        # the stored table may hold either orientation (or neither, when
+        # the pair rides the default bandwidth)
+        a, b = pair
+        if (a, b) in bandwidths:
+            bandwidths[(a, b)] *= degraded_factor
+        elif (b, a) in bandwidths:
+            bandwidths[(b, a)] *= degraded_factor
+        else:
+            bandwidths[(a, b)] = system.default_bandwidth * degraded_factor
+    return HiPerDSystem(
+        machines=system.machines,
+        sensors=system.sensors,
+        applications=system.applications,
+        actuators=system.actuators,
+        messages=system.messages,
+        allocation=system.allocation,
+        bandwidths=bandwidths,
+        default_bandwidth=system.default_bandwidth,
+    )
+
+
+def _worst_margin(system: HiPerDSystem, qos: QoSSpec) -> float:
+    """Worst relative QoS margin at the original operating point.
+
+    Positive = some feature violates its bound; the magnitude is the
+    relative overshoot.  Negative = all constraints met with room.
+    Feature specs are built against the *original* (pre-failure) system's
+    bounds, so degraded systems are judged by the original promises.
+    """
+    layout = FlatLayout(system, ("loads",))
+    origin = layout.flat_origin()
+    worst = -float("inf")
+    for spec in build_feature_specs(system, layout, qos):
+        value = spec.mapping.value(origin)
+        bound = spec.feature.bounds.beta_max
+        worst = max(worst, (value - bound) / abs(bound))
+    return worst
+
+
+def critical_links(system: HiPerDSystem, qos: QoSSpec, *,
+                   degraded_factor: float = 0.1
+                   ) -> list[tuple[tuple[str, str], float]]:
+    """Rank single-link failures by post-failure worst QoS margin.
+
+    Returns ``(pair, margin)`` tuples sorted most-damaging first; a
+    positive margin means that single failure already violates the QoS.
+
+    Note the baseline bounds come from the *original* system (relative
+    latency budgets are computed pre-failure and held fixed).
+    """
+    # Freeze the original bounds: build absolute limits from the healthy
+    # system, then re-evaluate the degraded systems against them.
+    layout = FlatLayout(system, ("loads",))
+    origin = layout.flat_origin()
+    healthy_specs = build_feature_specs(system, layout, qos)
+    limits = {s.name: s.feature.bounds.beta_max for s in healthy_specs}
+
+    results = []
+    for pair in used_link_pairs(system):
+        degraded = system_with_failed_links(system, [pair],
+                                            degraded_factor=degraded_factor)
+        d_layout = FlatLayout(degraded, ("loads",))
+        assembler_specs = _evaluate_against_limits(degraded, d_layout, limits)
+        results.append((pair, assembler_specs))
+    results.sort(key=lambda t: -t[1])
+    return results
+
+
+def _evaluate_against_limits(system: HiPerDSystem, layout: FlatLayout,
+                             limits: dict[str, float]) -> float:
+    """Worst relative margin of a (possibly degraded) system against fixed
+    absolute limits from the healthy system."""
+    from repro.systems.hiperd.simulate import steady_state_features
+
+    values = steady_state_features(system)
+    worst = -float("inf")
+    for name, bound in limits.items():
+        if name not in values:  # pragma: no cover - names are stable
+            continue
+        worst = max(worst, (values[name] - bound) / abs(bound))
+    return worst
+
+
+@dataclass(frozen=True)
+class LinkFailureAnalysis:
+    """Result of the adversarial link-failure search.
+
+    Attributes
+    ----------
+    radius:
+        Largest ``k`` such that every ``k``-subset of link failures keeps
+        all original QoS promises.
+    breaking_set:
+        A smallest set of links whose joint failure violates the QoS
+        (``None`` if even all-links-degraded is survivable).
+    n_links:
+        Number of distinct links considered.
+    """
+
+    radius: int
+    breaking_set: tuple[tuple[str, str], ...] | None
+    n_links: int
+
+
+def link_failure_radius(system: HiPerDSystem, qos: QoSSpec, *,
+                        degraded_factor: float = 0.1,
+                        max_k: int | None = None) -> LinkFailureAnalysis:
+    """Adversarial link-failure radius by exhaustive subset search.
+
+    Parameters
+    ----------
+    system, qos:
+        The system and its QoS promises (bounds frozen at the healthy
+        system's values).
+    degraded_factor:
+        Bandwidth multiplier per failed link.
+    max_k:
+        Cap on the searched subset size (defaults to all links); with
+        ``L`` links the search is ``O(sum_k C(L, k))``, fine for the
+        papers' scales.
+    """
+    pairs = used_link_pairs(system)
+    layout = FlatLayout(system, ("loads",))
+    healthy_specs = build_feature_specs(system, layout, qos)
+    limits = {s.name: s.feature.bounds.beta_max for s in healthy_specs}
+
+    limit_k = len(pairs) if max_k is None else min(max_k, len(pairs))
+    for k in range(1, limit_k + 1):
+        for subset in itertools.combinations(pairs, k):
+            degraded = system_with_failed_links(
+                system, subset, degraded_factor=degraded_factor)
+            d_layout = FlatLayout(degraded, ("loads",))
+            margin = _evaluate_against_limits(degraded, d_layout, limits)
+            if margin > 0.0:
+                return LinkFailureAnalysis(radius=k - 1,
+                                           breaking_set=subset,
+                                           n_links=len(pairs))
+    return LinkFailureAnalysis(radius=limit_k, breaking_set=None,
+                               n_links=len(pairs))

@@ -1,0 +1,215 @@
+"""Random HiPer-D system generation.
+
+Builds layered sensor -> application -> actuator DAGs with heterogeneous
+machines and links, places applications with a load-balancing rule (or
+randomly), and returns a system whose original operating point is feasible
+under a configurable QoS slack — the precondition for a well-defined
+robustness radius.
+
+This generator is the substitute for the proprietary HiPer-D testbed: the
+papers' metric only consumes the functional relationships (bilinear
+computation times, linear communication times, DAG path latencies), all of
+which the synthetic systems exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import SpecificationError
+from repro.systems.hiperd.model import (
+    Actuator,
+    Application,
+    HiPerDSystem,
+    Machine,
+    Message,
+    Sensor,
+)
+from repro.utils.rng import default_rng
+
+__all__ = ["HiPerDGenerationSpec", "generate_hiperd_system"]
+
+
+@dataclass(frozen=True)
+class HiPerDGenerationSpec:
+    """Knobs for :func:`generate_hiperd_system`.
+
+    Attributes
+    ----------
+    n_sensors, n_actuators, n_machines:
+        Population sizes.
+    app_layers:
+        Application counts per DAG layer, e.g. ``(3, 2)`` for a two-stage
+        pipeline with 3 then 2 applications.
+    load_range:
+        Uniform range of sensor loads (objects per data set).
+    period_range:
+        Uniform range of sensor periods (seconds).
+    complexity_range:
+        Uniform range of application complexities (ops per object).
+    speed_range:
+        Uniform range of machine speeds (ops per second).
+    msg_size_range:
+        Uniform range of message sizes (bytes per data set).
+    bandwidth_range:
+        Uniform range of pairwise link bandwidths (bytes per second).
+    extra_edge_prob:
+        Probability of adding each possible extra skip/cross edge beyond
+        the spanning connections.
+    balanced_placement:
+        Place each application on the machine with the least accumulated
+        work (True) or uniformly at random (False).
+    """
+
+    n_sensors: int = 2
+    n_actuators: int = 2
+    n_machines: int = 4
+    app_layers: tuple[int, ...] = (3, 3)
+    load_range: tuple[float, float] = (50.0, 200.0)
+    period_range: tuple[float, float] = (0.5, 2.0)
+    complexity_range: tuple[float, float] = (1e3, 1e4)
+    speed_range: tuple[float, float] = (1e6, 5e6)
+    msg_size_range: tuple[float, float] = (1e4, 1e5)
+    bandwidth_range: tuple[float, float] = (1e6, 1e7)
+    extra_edge_prob: float = 0.25
+    balanced_placement: bool = True
+
+    def __post_init__(self) -> None:
+        if (self.n_sensors < 1 or self.n_actuators < 1
+                or self.n_machines < 1):
+            raise SpecificationError("populations must be >= 1")
+        if not self.app_layers or any(n < 1 for n in self.app_layers):
+            raise SpecificationError("app_layers must be non-empty positives")
+        for name in ("load_range", "period_range", "complexity_range",
+                     "speed_range", "msg_size_range", "bandwidth_range"):
+            lo, hi = getattr(self, name)
+            if not 0 < lo <= hi:
+                raise SpecificationError(
+                    f"{name} must satisfy 0 < lo <= hi, got ({lo}, {hi})")
+        if not 0.0 <= self.extra_edge_prob <= 1.0:
+            raise SpecificationError("extra_edge_prob must be in [0, 1]")
+
+
+def _uniform(rng, rng_pair) -> float:
+    lo, hi = rng_pair
+    return float(rng.uniform(lo, hi))
+
+
+def generate_hiperd_system(
+    spec: HiPerDGenerationSpec | None = None, *, seed=None
+) -> HiPerDSystem:
+    """Generate a random, feasibility-checked HiPer-D system.
+
+    The DAG is layered: every sensor feeds at least one first-layer
+    application; each application in layer ``l+1`` receives from at least
+    one application in layer ``l``; every last-layer application drives at
+    least one actuator.  Extra forward edges are sprinkled with
+    ``extra_edge_prob``.  Machine speeds are then rescaled, if necessary,
+    so every application's computation time fits within half of its
+    driving period — guaranteeing room for a meaningful robustness radius.
+
+    Parameters
+    ----------
+    spec:
+        Generation knobs (defaults to :class:`HiPerDGenerationSpec()`).
+    seed:
+        RNG seed.
+    """
+    spec = spec if spec is not None else HiPerDGenerationSpec()
+    rng = default_rng(seed)
+
+    machines = [Machine(f"m{j}", _uniform(rng, spec.speed_range))
+                for j in range(spec.n_machines)]
+    sensors = [Sensor(f"s{i}", _uniform(rng, spec.load_range),
+                      _uniform(rng, spec.period_range))
+               for i in range(spec.n_sensors)]
+    actuators = [Actuator(f"act{i}") for i in range(spec.n_actuators)]
+
+    layers: list[list[Application]] = []
+    counter = 0
+    for layer_size in spec.app_layers:
+        layer = [Application(f"a{counter + i}",
+                             _uniform(rng, spec.complexity_range))
+                 for i in range(layer_size)]
+        counter += layer_size
+        layers.append(layer)
+    applications = [a for layer in layers for a in layer]
+
+    messages: list[Message] = []
+    edges: set[tuple[str, str]] = set()
+
+    def add_edge(u: str, v: str) -> None:
+        if (u, v) not in edges:
+            edges.add((u, v))
+            messages.append(Message(u, v, _uniform(rng, spec.msg_size_range)))
+
+    # Spanning connections: sensors -> layer 0.
+    for i, app in enumerate(layers[0]):
+        add_edge(sensors[i % spec.n_sensors].name, app.name)
+    for s in sensors:
+        if not any(u == s.name for u, _ in edges):
+            add_edge(s.name, rng.choice(layers[0]).name)
+    # Layer l -> layer l+1.
+    for prev, nxt in zip(layers, layers[1:]):
+        for i, app in enumerate(nxt):
+            add_edge(prev[i % len(prev)].name, app.name)
+        for app in prev:
+            if not any(u == app.name for u, _ in edges):
+                add_edge(app.name, rng.choice(nxt).name)
+    # Last layer -> actuators.
+    for i, act in enumerate(actuators):
+        add_edge(layers[-1][i % len(layers[-1])].name, act.name)
+    for app in layers[-1]:
+        if not any(u == app.name for u, _ in edges):
+            add_edge(app.name, rng.choice(actuators).name)
+    # Extra forward edges.
+    for li, layer in enumerate(layers[:-1]):
+        for u in layer:
+            for nxt in layers[li + 1:]:
+                for v in nxt:
+                    if rng.random() < spec.extra_edge_prob:
+                        add_edge(u.name, v.name)
+
+    # Placement.
+    allocation: dict[str, int] = {}
+    if spec.balanced_placement:
+        work = np.zeros(spec.n_machines)
+        for app in applications:
+            j = int(np.argmin(work))
+            allocation[app.name] = j
+            work[j] += app.complexity / machines[j].speed
+    else:
+        for app in applications:
+            allocation[app.name] = int(rng.integers(spec.n_machines))
+
+    # Link table over all location pairs that occur.
+    locations = ([m.name for m in machines]
+                 + [s.name for s in sensors]
+                 + [a.name for a in actuators])
+    bandwidths = {}
+    for i, u in enumerate(locations):
+        for v in locations[i + 1:]:
+            bandwidths[(u, v)] = _uniform(rng, spec.bandwidth_range)
+
+    system = HiPerDSystem(
+        machines, sensors, applications, actuators, messages, allocation,
+        bandwidths=bandwidths)
+
+    # Feasibility head-room: rescale machine speeds until every
+    # application's computation time is at most half its driving period.
+    factor = 1.0
+    for app in applications:
+        w = system.reach_weights()[system.app_index(app.name)]
+        periods = [sensors[int(s)].period for s in np.flatnonzero(w)]
+        period = min(periods)
+        t_comp = system.computation_time(app.name)
+        needed = t_comp / (0.5 * period)
+        factor = max(factor, needed)
+    if factor > 1.0:
+        machines = [Machine(m.name, m.speed * factor) for m in machines]
+        system = HiPerDSystem(
+            machines, sensors, applications, actuators, messages, allocation,
+            bandwidths=bandwidths)
+    return system

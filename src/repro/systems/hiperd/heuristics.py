@@ -1,0 +1,119 @@
+"""Initial-placement heuristics for HiPer-D applications.
+
+The HiPer-D analogue of the independent-task mapping heuristics: given the
+topology, produce the application-to-machine map the robustness metric
+then evaluates.  Three constructive strategies plus a random baseline:
+
+* :func:`balanced_work_placement` — greedy least-accumulated-work (what
+  the generator uses by default);
+* :func:`fastest_machine_placement` — every application on the fastest
+  machine (the MET analogue: minimises each computation time in
+  isolation, piles work onto one node);
+* :func:`colocate_paths_placement` — walk sensor-to-actuator paths and
+  keep consecutive applications co-located where possible (co-located
+  messages cost zero), balancing across paths;
+* :func:`random_placement` — the floor.
+
+All return a *new* :class:`HiPerDSystem` with the same topology.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.systems.hiperd.model import HiPerDSystem
+from repro.utils.rng import default_rng
+
+__all__ = [
+    "replace_allocation",
+    "balanced_work_placement",
+    "fastest_machine_placement",
+    "colocate_paths_placement",
+    "random_placement",
+    "PLACEMENT_HEURISTICS",
+]
+
+
+def replace_allocation(system: HiPerDSystem,
+                       allocation: dict[str, int]) -> HiPerDSystem:
+    """A copy of ``system`` under a different application placement."""
+    return HiPerDSystem(
+        machines=system.machines,
+        sensors=system.sensors,
+        applications=system.applications,
+        actuators=system.actuators,
+        messages=system.messages,
+        allocation=allocation,
+        bandwidths=system.bandwidths,
+        default_bandwidth=system.default_bandwidth,
+    )
+
+
+def balanced_work_placement(system: HiPerDSystem, *, seed=None
+                            ) -> HiPerDSystem:
+    """Greedy least-accumulated-work placement.
+
+    Applications are placed in declaration order on the machine whose
+    accumulated per-data-set computation time is smallest, accounting for
+    speeds and arriving loads.
+    """
+    loads = system.reach_weights() @ system.original_loads()
+    work = np.zeros(len(system.machines))
+    allocation: dict[str, int] = {}
+    for i, app in enumerate(system.applications):
+        per_machine = app.complexity * loads[i] / np.array(
+            [m.speed for m in system.machines])
+        j = int(np.argmin(work + per_machine))
+        allocation[app.name] = j
+        work[j] += per_machine[j]
+    return replace_allocation(system, allocation)
+
+
+def fastest_machine_placement(system: HiPerDSystem, *, seed=None
+                              ) -> HiPerDSystem:
+    """Every application on the single fastest machine (MET analogue)."""
+    j = int(np.argmax([m.speed for m in system.machines]))
+    return replace_allocation(
+        system, {a.name: j for a in system.applications})
+
+
+def colocate_paths_placement(system: HiPerDSystem, *, seed=None
+                             ) -> HiPerDSystem:
+    """Keep consecutive path applications co-located, balance across paths.
+
+    Paths are assigned to machines round-robin (fastest first); every
+    application takes the machine of the first path it appears on, so
+    intra-path messages are free wherever the DAG allows.
+    """
+    order = np.argsort([-m.speed for m in system.machines])
+    allocation: dict[str, int] = {}
+    app_names = {a.name for a in system.applications}
+    for p_idx, path in enumerate(system.sensor_actuator_paths()):
+        machine = int(order[p_idx % len(order)])
+        for node in path:
+            if node in app_names and node not in allocation:
+                allocation[node] = machine
+    # apps on no enumerated path (possible with exotic topologies) fall
+    # back to the fastest machine
+    for a in system.applications:
+        allocation.setdefault(a.name, int(order[0]))
+    return replace_allocation(system, allocation)
+
+
+def random_placement(system: HiPerDSystem, *, seed=None) -> HiPerDSystem:
+    """Uniformly random placement (the baseline)."""
+    rng = default_rng(seed)
+    allocation = {a.name: int(rng.integers(len(system.machines)))
+                  for a in system.applications}
+    return replace_allocation(system, allocation)
+
+
+#: Named placement strategies used by the comparison experiment.
+PLACEMENT_HEURISTICS: dict[str, Callable[..., HiPerDSystem]] = {
+    "balanced": balanced_work_placement,
+    "fastest": fastest_machine_placement,
+    "colocate": colocate_paths_placement,
+    "random": random_placement,
+}

@@ -1,0 +1,437 @@
+"""Entities and the assembled HiPer-D system model.
+
+A :class:`HiPerDSystem` is a DAG whose sources are :class:`Sensor`\\ s,
+sinks are :class:`Actuator`\\ s, and interior nodes are continuously
+running :class:`Application`\\ s placed on dedicated :class:`Machine`\\ s;
+edges are :class:`Message`\\ s carried over links with finite bandwidth.
+
+Timing model (the functional forms the papers compute with):
+
+* each application ``a`` has a *unit execution time* ``e_a`` (seconds per
+  object) on its assigned machine, ``e_a = complexity_a / speed(machine)``;
+* the load arriving at ``a`` per data set is the sum of the loads of every
+  sensor that reaches ``a`` through the DAG, so its computation time per
+  data set is ``T_comp(a) = e_a * sum_s w_as * lambda_s`` — bilinear in
+  (unit times, loads);
+* a message ``k`` of size ``m_k`` bytes between different locations with
+  bandwidth ``B_k`` takes ``T_comm(k) = m_k / B_k`` (zero when source and
+  destination share a location);
+* a sensor-to-actuator path's latency is the sum of the computation and
+  communication times along it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import networkx as nx
+import numpy as np
+
+from repro.exceptions import SpecificationError
+from repro.utils.validation import check_same_length
+
+__all__ = [
+    "Machine",
+    "Sensor",
+    "Application",
+    "Actuator",
+    "Message",
+    "HiPerDSystem",
+]
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A dedicated compute node.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier.
+    speed:
+        Processing rate in operations per second (positive).
+    """
+
+    name: str
+    speed: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecificationError("machine name must be non-empty")
+        if self.speed <= 0:
+            raise SpecificationError(
+                f"machine {self.name!r} must have positive speed")
+
+
+@dataclass(frozen=True)
+class Sensor:
+    """A data-set source (radar, sonar, ...).
+
+    Attributes
+    ----------
+    name:
+        Unique identifier.
+    load:
+        Original load ``lambda_s^orig`` in objects per data set.
+    period:
+        Data-set inter-arrival time in seconds; the throughput requirement
+        asks each stage to process one data set within this period.
+    """
+
+    name: str
+    load: float
+    period: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecificationError("sensor name must be non-empty")
+        if self.load <= 0:
+            raise SpecificationError(f"sensor {self.name!r} needs positive load")
+        if self.period <= 0:
+            raise SpecificationError(f"sensor {self.name!r} needs positive period")
+
+
+@dataclass(frozen=True)
+class Application:
+    """A continuously-running processing stage.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier.
+    complexity:
+        Work per object, in operations per object (positive).
+    """
+
+    name: str
+    complexity: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecificationError("application name must be non-empty")
+        if self.complexity <= 0:
+            raise SpecificationError(
+                f"application {self.name!r} needs positive complexity")
+
+
+@dataclass(frozen=True)
+class Actuator:
+    """A data sink (display, weapon system, logger, ...)."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecificationError("actuator name must be non-empty")
+
+
+@dataclass(frozen=True)
+class Message:
+    """A directed data transfer between two nodes of the DAG.
+
+    Attributes
+    ----------
+    src, dst:
+        Names of the endpoint nodes (sensor/application -> application/
+        actuator).
+    size:
+        Original size ``m_k^orig`` in bytes per data set (positive).
+    """
+
+    src: str
+    dst: str
+    size: float
+
+    def __post_init__(self) -> None:
+        if not self.src or not self.dst:
+            raise SpecificationError("message endpoints must be non-empty")
+        if self.src == self.dst:
+            raise SpecificationError(f"message {self.src!r} -> itself is illegal")
+        if self.size <= 0:
+            raise SpecificationError(
+                f"message {self.src}->{self.dst} needs positive size")
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """The (src, dst) edge key."""
+        return (self.src, self.dst)
+
+
+class HiPerDSystem:
+    """A complete HiPer-D system: topology, placement, and link table.
+
+    Parameters
+    ----------
+    machines:
+        The compute nodes.
+    sensors, applications, actuators:
+        DAG node populations (names must be globally unique).
+    messages:
+        DAG edges.  Every application must be reachable from some sensor
+        (otherwise its computation time is zero and it does no work), and
+        the graph must be acyclic.
+    allocation:
+        Mapping from application name to machine index — the resource
+        allocation ``mu`` whose robustness the metric measures.
+    bandwidths:
+        Mapping from *location pairs* to bandwidth in bytes per second.
+        An application's location is its machine's name; sensors and
+        actuators are their own locations.  Missing pairs fall back to
+        ``default_bandwidth``; same-location transfers cost zero.
+    default_bandwidth:
+        Fallback bandwidth (bytes/second).
+    """
+
+    def __init__(
+        self,
+        machines: Iterable[Machine],
+        sensors: Iterable[Sensor],
+        applications: Iterable[Application],
+        actuators: Iterable[Actuator],
+        messages: Iterable[Message],
+        allocation: Mapping[str, int],
+        *,
+        bandwidths: Mapping[tuple[str, str], float] | None = None,
+        default_bandwidth: float = 1e6,
+    ) -> None:
+        self.machines = list(machines)
+        self.sensors = list(sensors)
+        self.applications = list(applications)
+        self.actuators = list(actuators)
+        self.messages = list(messages)
+        if not self.machines:
+            raise SpecificationError("need at least one machine")
+        if not self.sensors:
+            raise SpecificationError("need at least one sensor")
+        if not self.applications:
+            raise SpecificationError("need at least one application")
+        if not self.actuators:
+            raise SpecificationError("need at least one actuator")
+        if default_bandwidth <= 0:
+            raise SpecificationError("default_bandwidth must be positive")
+        self.default_bandwidth = float(default_bandwidth)
+        self.bandwidths = dict(bandwidths) if bandwidths else {}
+        for pair, bw in self.bandwidths.items():
+            if bw <= 0:
+                raise SpecificationError(
+                    f"bandwidth for {pair} must be positive, got {bw}")
+
+        names = ([m.name for m in self.machines]
+                 + [s.name for s in self.sensors]
+                 + [a.name for a in self.applications]
+                 + [a.name for a in self.actuators])
+        app_sens_act = names[len(self.machines):]
+        if len(set(app_sens_act)) != len(app_sens_act):
+            raise SpecificationError("node names must be unique")
+
+        self._sensor_index = {s.name: i for i, s in enumerate(self.sensors)}
+        self._app_index = {a.name: i for i, a in enumerate(self.applications)}
+        self._actuator_names = {a.name for a in self.actuators}
+
+        self.allocation = dict(allocation)
+        missing = set(self._app_index) - set(self.allocation)
+        if missing:
+            raise SpecificationError(
+                f"allocation missing applications {sorted(missing)}")
+        for app_name, m in self.allocation.items():
+            if app_name not in self._app_index:
+                raise SpecificationError(
+                    f"allocation mentions unknown application {app_name!r}")
+            if not 0 <= m < len(self.machines):
+                raise SpecificationError(
+                    f"allocation of {app_name!r} refers to machine {m}, "
+                    f"have {len(self.machines)}")
+
+        self.graph = self._build_graph()
+        self._reach = self._reachability()
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def _build_graph(self) -> nx.DiGraph:
+        g = nx.DiGraph()
+        for s in self.sensors:
+            g.add_node(s.name, kind="sensor")
+        for a in self.applications:
+            g.add_node(a.name, kind="application")
+        for a in self.actuators:
+            g.add_node(a.name, kind="actuator")
+        for msg in self.messages:
+            for end in (msg.src, msg.dst):
+                if end not in g:
+                    raise SpecificationError(
+                        f"message endpoint {end!r} is not a declared node")
+            if g.nodes[msg.src]["kind"] == "actuator":
+                raise SpecificationError(
+                    f"actuator {msg.src!r} cannot send messages")
+            if g.nodes[msg.dst]["kind"] == "sensor":
+                raise SpecificationError(
+                    f"sensor {msg.dst!r} cannot receive messages")
+            if g.has_edge(msg.src, msg.dst):
+                raise SpecificationError(
+                    f"duplicate message {msg.src!r} -> {msg.dst!r}")
+            g.add_edge(msg.src, msg.dst, message=msg)
+        if not nx.is_directed_acyclic_graph(g):
+            raise SpecificationError("the message graph must be acyclic")
+        for a in self.applications:
+            if g.in_degree(a.name) == 0:
+                raise SpecificationError(
+                    f"application {a.name!r} receives no input")
+        return g
+
+    def _reachability(self) -> np.ndarray:
+        """``w[a, s] = 1`` iff sensor ``s`` reaches application ``a``."""
+        w = np.zeros((len(self.applications), len(self.sensors)))
+        for s_name, s_idx in self._sensor_index.items():
+            for node in nx.descendants(self.graph, s_name):
+                a_idx = self._app_index.get(node)
+                if a_idx is not None:
+                    w[a_idx, s_idx] = 1.0
+        return w
+
+    # ------------------------------------------------------------------
+    # indices / lookups
+    # ------------------------------------------------------------------
+    @property
+    def n_sensors(self) -> int:
+        """Number of sensors."""
+        return len(self.sensors)
+
+    @property
+    def n_applications(self) -> int:
+        """Number of applications."""
+        return len(self.applications)
+
+    @property
+    def n_messages(self) -> int:
+        """Number of messages."""
+        return len(self.messages)
+
+    def sensor_index(self, name: str) -> int:
+        """Index of a sensor by name."""
+        try:
+            return self._sensor_index[name]
+        except KeyError as exc:
+            raise SpecificationError(f"unknown sensor {name!r}") from exc
+
+    def app_index(self, name: str) -> int:
+        """Index of an application by name."""
+        try:
+            return self._app_index[name]
+        except KeyError as exc:
+            raise SpecificationError(f"unknown application {name!r}") from exc
+
+    def machine_of(self, app_name: str) -> Machine:
+        """The machine an application is placed on."""
+        return self.machines[self.allocation[app_name]]
+
+    def location_of(self, node: str) -> str:
+        """The location label used by the link table for a node."""
+        if node in self._app_index:
+            return self.machine_of(node).name
+        return node
+
+    def reach_weights(self) -> np.ndarray:
+        """Copy of the (apps x sensors) reachability weight matrix."""
+        return self._reach.copy()
+
+    def apps_on_machine(self, machine_index: int) -> list[str]:
+        """Names of applications placed on a machine."""
+        if not 0 <= machine_index < len(self.machines):
+            raise SpecificationError(f"machine {machine_index} out of range")
+        return [a for a, m in self.allocation.items() if m == machine_index]
+
+    # ------------------------------------------------------------------
+    # original timing quantities
+    # ------------------------------------------------------------------
+    def original_loads(self) -> np.ndarray:
+        """Sensor loads ``lambda^orig`` (objects per data set)."""
+        return np.array([s.load for s in self.sensors])
+
+    def original_unit_times(self) -> np.ndarray:
+        """Unit execution times ``e^orig = complexity / speed`` per app."""
+        return np.array([
+            a.complexity / self.machine_of(a.name).speed
+            for a in self.applications
+        ])
+
+    def original_msg_sizes(self) -> np.ndarray:
+        """Message sizes ``m^orig`` (bytes per data set)."""
+        return np.array([m.size for m in self.messages])
+
+    def message_bandwidth(self, msg: Message) -> float:
+        """Effective bandwidth of a message, ``inf`` for co-located ends."""
+        loc_u = self.location_of(msg.src)
+        loc_v = self.location_of(msg.dst)
+        if loc_u == loc_v:
+            return float("inf")
+        bw = self.bandwidths.get((loc_u, loc_v))
+        if bw is None:
+            bw = self.bandwidths.get((loc_v, loc_u), self.default_bandwidth)
+        return float(bw)
+
+    def arriving_load(self, app_name: str,
+                      loads: np.ndarray | None = None) -> float:
+        """Objects per data set arriving at an application."""
+        lam = self.original_loads() if loads is None else np.asarray(loads, float)
+        check_same_length(lam, self.sensors, names=["loads", "sensors"])
+        return float(self._reach[self.app_index(app_name)] @ lam)
+
+    def computation_time(self, app_name: str, *,
+                         loads: np.ndarray | None = None,
+                         unit_times: np.ndarray | None = None) -> float:
+        """Per-data-set computation time ``T_comp(a) = e_a * arriving load``."""
+        e = (self.original_unit_times() if unit_times is None
+             else np.asarray(unit_times, float))
+        check_same_length(e, self.applications, names=["unit_times", "apps"])
+        return float(e[self.app_index(app_name)]
+                     * self.arriving_load(app_name, loads))
+
+    def communication_time(self, msg: Message, *,
+                           sizes: np.ndarray | None = None) -> float:
+        """Per-data-set transfer time ``m_k / bandwidth`` (0 co-located)."""
+        m = (self.original_msg_sizes() if sizes is None
+             else np.asarray(sizes, float))
+        check_same_length(m, self.messages, names=["sizes", "messages"])
+        idx = self.messages.index(msg)
+        bw = self.message_bandwidth(msg)
+        if np.isinf(bw):
+            return 0.0
+        return float(m[idx] / bw)
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+    def sensor_actuator_paths(self) -> list[tuple[str, ...]]:
+        """Every sensor-to-actuator path, as node-name tuples.
+
+        Sorted for determinism; these drive the per-path latency features.
+        """
+        paths = []
+        for s in self.sensors:
+            for a in sorted(self._actuator_names):
+                for p in nx.all_simple_paths(self.graph, s.name, a):
+                    paths.append(tuple(p))
+        paths.sort()
+        return paths
+
+    def path_latency(self, path: tuple[str, ...], *,
+                     loads: np.ndarray | None = None,
+                     unit_times: np.ndarray | None = None,
+                     sizes: np.ndarray | None = None) -> float:
+        """End-to-end latency of a path: sum of comp + comm along it."""
+        total = 0.0
+        for u, v in zip(path, path[1:]):
+            msg = self.graph.edges[u, v]["message"]
+            total += self.communication_time(msg, sizes=sizes)
+            if v in self._app_index:
+                total += self.computation_time(v, loads=loads,
+                                               unit_times=unit_times)
+        return total
+
+    def __repr__(self) -> str:
+        return (f"HiPerDSystem({self.n_sensors} sensors, "
+                f"{self.n_applications} apps, {len(self.actuators)} "
+                f"actuators, {len(self.machines)} machines, "
+                f"{self.n_messages} messages)")

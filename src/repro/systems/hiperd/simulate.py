@@ -1,0 +1,191 @@
+"""Dataflow simulation of a HiPer-D system.
+
+Two independent evaluation paths for the same quantities the feature
+mappings compute, used to cross-validate the assembled mappings and to
+study time-varying load traces:
+
+* :func:`steady_state_features` — direct graph-recursion evaluation of
+  every computation time, communication time, and path latency at one
+  operating point (no mapping assembly involved);
+* :func:`simulate_dataflow` — a per-data-set pipeline simulation over a
+  trace of time-varying sensor loads (and optional unit-time / size
+  traces): data set ``t`` is emitted by all sensors, flows through the
+  DAG (each application starts when *all* its inputs have arrived), and
+  the simulator records each actuator's arrival lag and any QoS
+  violations — the runtime counterpart of the paper's operating-point
+  feasibility test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import SpecificationError
+from repro.systems.hiperd.model import HiPerDSystem
+from repro.utils.validation import as_2d_float_array
+
+__all__ = ["steady_state_features", "DataflowRecord", "simulate_dataflow"]
+
+
+def steady_state_features(
+    system: HiPerDSystem,
+    *,
+    loads: np.ndarray | None = None,
+    unit_times: np.ndarray | None = None,
+    sizes: np.ndarray | None = None,
+) -> dict[str, float]:
+    """Evaluate all timing features directly from the graph.
+
+    Returns a dict with keys matching the feature names produced by
+    :func:`repro.systems.hiperd.constraints.build_feature_specs`
+    (``latency[...]``, ``throughput[...]``, ``msg_throughput[...]``,
+    ``utilization[...]``), so mapping-based and direct evaluations can be
+    compared key-by-key.
+    """
+    out: dict[str, float] = {}
+    for path in system.sensor_actuator_paths():
+        label = "->".join(path)
+        out[f"latency[{label}]"] = system.path_latency(
+            path, loads=loads, unit_times=unit_times, sizes=sizes)
+    for app in system.applications:
+        out[f"throughput[{app.name}]"] = system.computation_time(
+            app.name, loads=loads, unit_times=unit_times)
+    for msg in system.messages:
+        out[f"msg_throughput[{msg.src}->{msg.dst}]"] = (
+            system.communication_time(msg, sizes=sizes))
+    for j, machine in enumerate(system.machines):
+        apps = system.apps_on_machine(j)
+        if apps:
+            out[f"utilization[{machine.name}]"] = sum(
+                system.computation_time(a, loads=loads, unit_times=unit_times)
+                for a in apps)
+    return out
+
+
+@dataclass(frozen=True)
+class DataflowRecord:
+    """Result of a dataflow simulation run.
+
+    Attributes
+    ----------
+    completion_times:
+        ``(n_datasets, n_nodes)`` matrix of completion times, columns
+        ordered by ``node_order``.
+    node_order:
+        The node names corresponding to the columns.
+    actuator_latencies:
+        ``(n_datasets, n_actuators)`` end-to-end latencies (arrival at the
+        actuator minus emission time), columns ordered as
+        ``system.actuators``.
+    violations:
+        ``(n_datasets,)`` boolean array: data set exceeded ``deadline``.
+    deadline:
+        The latency deadline violations were checked against (``inf``
+        disables the check).
+    """
+
+    completion_times: np.ndarray
+    node_order: tuple[str, ...]
+    actuator_latencies: np.ndarray
+    violations: np.ndarray
+    deadline: float
+
+
+def simulate_dataflow(
+    system: HiPerDSystem,
+    load_trace: np.ndarray,
+    *,
+    unit_time_trace: np.ndarray | None = None,
+    size_trace: np.ndarray | None = None,
+    deadline: float = float("inf"),
+) -> DataflowRecord:
+    """Run data sets with time-varying parameters through the DAG.
+
+    Each data set is processed independently (dedicated machines, pipeline
+    semantics): within a data set, an application starts once every input
+    message has arrived, so its completion time is
+
+        C(v) = max over predecessors u of [C(u) + T_comm(u->v)] + T_comp(v),
+
+    with sensor completion times equal to the emission instant (taken as 0
+    for every data set; latencies are relative).
+
+    Parameters
+    ----------
+    system:
+        The HiPer-D system.
+    load_trace:
+        ``(n_datasets, n_sensors)`` sensor loads per data set.
+    unit_time_trace:
+        Optional ``(n_datasets, n_apps)`` unit execution times per data
+        set (default: originals, constant).
+    size_trace:
+        Optional ``(n_datasets, n_messages)`` message sizes per data set
+        (default: originals, constant).
+    deadline:
+        Latency deadline used to flag per-data-set violations (applied to
+        the *maximum* actuator latency of the data set).
+    """
+    import networkx as nx
+
+    loads = as_2d_float_array(load_trace, name="load_trace")
+    n_datasets = loads.shape[0]
+    if loads.shape[1] != system.n_sensors:
+        raise SpecificationError(
+            f"load_trace has {loads.shape[1]} columns, expected "
+            f"{system.n_sensors} sensors")
+
+    def _trace_or_default(trace, n_cols: int, default: np.ndarray, name: str):
+        if trace is None:
+            return np.tile(default, (n_datasets, 1))
+        arr = as_2d_float_array(trace, name=name)
+        if arr.shape != (n_datasets, n_cols):
+            raise SpecificationError(
+                f"{name} must have shape ({n_datasets}, {n_cols}), got "
+                f"{arr.shape}")
+        return arr
+
+    unit_times = _trace_or_default(
+        unit_time_trace, system.n_applications,
+        system.original_unit_times(), "unit_time_trace")
+    sizes = _trace_or_default(
+        size_trace, system.n_messages,
+        system.original_msg_sizes(), "size_trace")
+
+    order = tuple(nx.topological_sort(system.graph))
+    col = {name: i for i, name in enumerate(order)}
+    app_names = {a.name for a in system.applications}
+    msg_index = {m.key: i for i, m in enumerate(system.messages)}
+
+    completion = np.zeros((n_datasets, len(order)))
+    for v in order:
+        preds = list(system.graph.predecessors(v))
+        if not preds:
+            continue  # sensors complete at the emission instant (0)
+        arrive = np.zeros(n_datasets)
+        for u in preds:
+            msg = system.graph.edges[u, v]["message"]
+            bw = system.message_bandwidth(msg)
+            comm = (np.zeros(n_datasets) if np.isinf(bw)
+                    else sizes[:, msg_index[msg.key]] / bw)
+            arrive = np.maximum(arrive, completion[:, col[u]] + comm)
+        if v in app_names:
+            a = system.app_index(v)
+            w = system.reach_weights()[a]
+            comp = unit_times[:, a] * (loads @ w)
+            completion[:, col[v]] = arrive + comp
+        else:
+            completion[:, col[v]] = arrive
+
+    act_cols = [col[a.name] for a in system.actuators]
+    latencies = completion[:, act_cols]
+    worst = latencies.max(axis=1)
+    return DataflowRecord(
+        completion_times=completion,
+        node_order=order,
+        actuator_latencies=latencies,
+        violations=worst > deadline,
+        deadline=float(deadline),
+    )

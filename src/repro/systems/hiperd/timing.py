@@ -1,0 +1,204 @@
+"""Assembling HiPer-D timing quantities into FePIA feature mappings.
+
+The flat perturbation layout concatenates the *selected* perturbation
+kinds in canonical order:
+
+    [ loads (n_sensors) | exec (n_apps) | msgsize (n_messages) ]
+
+with unselected kinds frozen at their original values and folded into the
+mappings' coefficients/constants.  Because a computation time is bilinear
+(``e_a * sum_s w_as * lambda_s``), features are assembled as a quadratic
+accumulator ``x' Q x + k . x + c`` and emitted as a
+:class:`~repro.core.mappings.QuadraticMapping` when any cross term is
+active — or collapsed to an exactly-solvable
+:class:`~repro.core.mappings.LinearMapping` when not.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.mappings import FeatureMapping, LinearMapping, QuadraticMapping
+from repro.core.perturbation import PerturbationParameter
+from repro.exceptions import SpecificationError
+from repro.systems.hiperd.model import HiPerDSystem, Message
+
+__all__ = ["KINDS", "FlatLayout", "MappingAssembler"]
+
+#: Canonical ordering of the perturbation kinds.
+KINDS = ("loads", "exec", "msgsize")
+
+#: Units per kind, as the paper lists them ("seconds, objects per data
+#: set, bytes, etc.").
+_UNITS = {"loads": "objects/set", "exec": "s/object", "msgsize": "bytes"}
+
+
+class FlatLayout:
+    """Index bookkeeping for a chosen subset of perturbation kinds.
+
+    Parameters
+    ----------
+    system:
+        The HiPer-D system the layout describes.
+    kinds:
+        Subset of :data:`KINDS` to expose as perturbations; order is
+        normalised to canonical order.
+    """
+
+    def __init__(self, system: HiPerDSystem, kinds: Sequence[str]) -> None:
+        chosen = [k for k in KINDS if k in kinds]
+        unknown = set(kinds) - set(KINDS)
+        if unknown:
+            raise SpecificationError(
+                f"unknown perturbation kind(s) {sorted(unknown)}; "
+                f"valid kinds are {KINDS}")
+        if not chosen:
+            raise SpecificationError("select at least one perturbation kind")
+        self.system = system
+        self.kinds = tuple(chosen)
+        sizes = {
+            "loads": system.n_sensors,
+            "exec": system.n_applications,
+            "msgsize": system.n_messages,
+        }
+        self._slices: dict[str, slice] = {}
+        offset = 0
+        for k in self.kinds:
+            self._slices[k] = slice(offset, offset + sizes[k])
+            offset += sizes[k]
+        self.dimension = offset
+        self._originals = {
+            "loads": system.original_loads(),
+            "exec": system.original_unit_times(),
+            "msgsize": system.original_msg_sizes(),
+        }
+
+    def has(self, kind: str) -> bool:
+        """Whether ``kind`` is a free perturbation in this layout."""
+        return kind in self._slices
+
+    def index(self, kind: str, local_index: int) -> int:
+        """Flat index of element ``local_index`` of ``kind``."""
+        sl = self._slices[kind]
+        if not 0 <= local_index < sl.stop - sl.start:
+            raise SpecificationError(
+                f"index {local_index} out of range for kind {kind!r}")
+        return sl.start + local_index
+
+    def original(self, kind: str) -> np.ndarray:
+        """Original values of a kind (frozen or free)."""
+        return self._originals[kind].copy()
+
+    def flat_origin(self) -> np.ndarray:
+        """Original values of the free kinds, concatenated."""
+        return np.concatenate([self._originals[k] for k in self.kinds])
+
+    def parameters(self) -> list[PerturbationParameter]:
+        """One :class:`PerturbationParameter` per free kind, in order."""
+        return [
+            PerturbationParameter.nonnegative(
+                kind, self._originals[kind], unit=_UNITS[kind],
+                description=f"HiPer-D {kind} perturbation")
+            for kind in self.kinds
+        ]
+
+
+class MappingAssembler:
+    """Builds feature mappings over a :class:`FlatLayout`.
+
+    The assembler produces one mapping per feature; each call returns a
+    fresh mapping (no shared mutable state).
+    """
+
+    def __init__(self, layout: FlatLayout) -> None:
+        self.layout = layout
+        self.system = layout.system
+
+    # ------------------------------------------------------------------
+    # accumulator plumbing
+    # ------------------------------------------------------------------
+    def _new_acc(self) -> tuple[np.ndarray, np.ndarray, float]:
+        d = self.layout.dimension
+        return np.zeros((d, d)), np.zeros(d), 0.0
+
+    def _add_comp(self, acc, app_name: str) -> tuple:
+        """Accumulate ``T_comp(app) = e_a * sum_s w_as lambda_s``."""
+        Q, k, c = acc
+        layout, system = self.layout, self.system
+        a = system.app_index(app_name)
+        w = system.reach_weights()[a]            # (n_sensors,)
+        e_orig = layout.original("exec")[a]
+        lam_orig = layout.original("loads")
+        has_e = layout.has("exec")
+        has_l = layout.has("loads")
+        if has_e and has_l:
+            ie = layout.index("exec", a)
+            for s in np.flatnonzero(w):
+                il = layout.index("loads", int(s))
+                Q[ie, il] += 0.5 * w[s]
+                Q[il, ie] += 0.5 * w[s]
+        elif has_l:
+            for s in np.flatnonzero(w):
+                k[layout.index("loads", int(s))] += e_orig * w[s]
+        elif has_e:
+            k[layout.index("exec", a)] += float(w @ lam_orig)
+        else:
+            c += e_orig * float(w @ lam_orig)
+        return Q, k, c
+
+    def _add_comm(self, acc, msg: Message) -> tuple:
+        """Accumulate ``T_comm(msg) = m_k / bandwidth`` (0 co-located)."""
+        Q, k, c = acc
+        layout, system = self.layout, self.system
+        bw = system.message_bandwidth(msg)
+        if np.isinf(bw):
+            return Q, k, c
+        idx = system.messages.index(msg)
+        if layout.has("msgsize"):
+            k[layout.index("msgsize", idx)] += 1.0 / bw
+        else:
+            c += layout.original("msgsize")[idx] / bw
+        return Q, k, c
+
+    @staticmethod
+    def _emit(acc) -> FeatureMapping:
+        Q, k, c = acc
+        if np.any(Q):
+            return QuadraticMapping(Q, k, c)
+        return LinearMapping(k, c)
+
+    # ------------------------------------------------------------------
+    # feature mappings
+    # ------------------------------------------------------------------
+    def computation_time(self, app_name: str) -> FeatureMapping:
+        """Mapping for one application's per-data-set computation time."""
+        return self._emit(self._add_comp(self._new_acc(), app_name))
+
+    def communication_time(self, msg: Message) -> FeatureMapping:
+        """Mapping for one message's per-data-set transfer time."""
+        return self._emit(self._add_comm(self._new_acc(), msg))
+
+    def path_latency(self, path: tuple[str, ...]) -> FeatureMapping:
+        """Mapping for the end-to-end latency of a sensor-actuator path."""
+        system = self.system
+        acc = self._new_acc()
+        for u, v in zip(path, path[1:]):
+            msg = system.graph.edges[u, v]["message"]
+            acc = self._add_comm(acc, msg)
+            if v in {a.name for a in system.applications}:
+                acc = self._add_comp(acc, v)
+        return self._emit(acc)
+
+    def machine_utilization(self, machine_index: int) -> FeatureMapping:
+        """Mapping for the summed computation time on one machine.
+
+        Interpreted against the data-set period, this is the machine's
+        utilisation constraint: the dedicated machine must finish all its
+        applications' work for one data set before the next arrives.
+        """
+        acc = self._new_acc()
+        for app_name in self.system.apps_on_machine(machine_index):
+            acc = self._add_comp(acc, app_name)
+        return self._emit(acc)

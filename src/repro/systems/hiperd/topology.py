@@ -1,0 +1,99 @@
+"""Topology analysis of HiPer-D systems.
+
+Operator-facing structural views that complement the robustness metric:
+
+* :func:`path_slack_table` — per sensor-to-actuator path, the original
+  latency, its budget, and the relative slack (the metric's critical
+  feature is always a minimal-slack path when latency binds);
+* :func:`bottleneck_stages` — applications ranked by per-data-set
+  utilisation of their driving period (throughput pressure);
+* :func:`path_overlap_matrix` — how many applications each pair of paths
+  shares; overlapping paths fail together, which is why the per-feature
+  radii of overlapping latency features are correlated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SpecificationError
+from repro.systems.hiperd.constraints import QoSSpec, _driving_period
+from repro.systems.hiperd.model import HiPerDSystem
+from repro.utils.tables import format_table
+
+__all__ = ["path_slack_table", "bottleneck_stages", "path_overlap_matrix",
+           "topology_report"]
+
+
+def path_slack_table(system: HiPerDSystem, qos: QoSSpec
+                     ) -> list[tuple[tuple[str, ...], float, float, float]]:
+    """Per-path ``(path, latency, budget, relative slack)`` rows.
+
+    Relative slack is ``budget/latency - 1``; rows are sorted tightest
+    first.  Absolute per-path limits in the QoS override the relative
+    budget, exactly as the feature builder does.
+    """
+    rows = []
+    for path in system.sensor_actuator_paths():
+        latency = system.path_latency(path)
+        budget = qos.absolute_latency_limits.get(path)
+        if budget is None:
+            budget = qos.latency_slack * latency
+        rows.append((path, latency, float(budget), budget / latency - 1.0))
+    rows.sort(key=lambda r: r[3])
+    return rows
+
+
+def bottleneck_stages(system: HiPerDSystem
+                      ) -> list[tuple[str, float, float, float]]:
+    """Applications ranked by throughput pressure.
+
+    Returns ``(app, computation time, driving period, utilisation)`` rows
+    sorted by descending utilisation (``T_comp / period``); utilisation
+    close to 1 means the stage barely keeps up with its sensors.
+    """
+    rows = []
+    for app in system.applications:
+        t = system.computation_time(app.name)
+        period = _driving_period(system, app.name)
+        rows.append((app.name, t, period, t / period))
+    rows.sort(key=lambda r: -r[3])
+    return rows
+
+
+def path_overlap_matrix(system: HiPerDSystem) -> np.ndarray:
+    """``(n_paths, n_paths)`` counts of shared applications between paths.
+
+    The diagonal holds each path's own application count.  Heavily
+    overlapping paths share fate: a single stage's slowdown moves all
+    their latency features at once.
+    """
+    paths = system.sensor_actuator_paths()
+    if not paths:
+        raise SpecificationError("system has no sensor-to-actuator paths")
+    app_names = {a.name for a in system.applications}
+    sets = [frozenset(n for n in p if n in app_names) for p in paths]
+    n = len(sets)
+    overlap = np.zeros((n, n), dtype=int)
+    for i in range(n):
+        for j in range(n):
+            overlap[i, j] = len(sets[i] & sets[j])
+    return overlap
+
+
+def topology_report(system: HiPerDSystem, qos: QoSSpec, *,
+                    top_k: int = 5) -> str:
+    """A combined text report: tightest paths and busiest stages."""
+    slack_rows = [["->".join(p), lat, budget, f"{slack:.1%}"]
+                  for p, lat, budget, slack in
+                  path_slack_table(system, qos)[:top_k]]
+    stage_rows = [[name, t, period, f"{util:.1%}"]
+                  for name, t, period, util in
+                  bottleneck_stages(system)[:top_k]]
+    return "\n\n".join([
+        format_table(["path", "latency", "budget", "slack"], slack_rows,
+                     title=f"tightest {len(slack_rows)} paths"),
+        format_table(["application", "T_comp", "period", "utilisation"],
+                     stage_rows,
+                     title=f"busiest {len(stage_rows)} stages"),
+    ])

@@ -1,0 +1,140 @@
+"""Synthetic time-varying load traces.
+
+The HiPer-D scenario is a *dynamic environment*: "the sensor loads are
+expected to change unpredictably" (Section 1).  These generators produce
+the canonical drift shapes used by the runtime-monitoring experiment —
+slow ramps (a developing engagement), transient spikes (a burst of
+contacts), mean-reverting random walks (clutter), and periodic swells
+(scan patterns) — as ``(n_steps, n_sensors)`` matrices of loads.
+
+All generators clip at a small positive floor: a sensor can fall silent
+but cannot emit negative objects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SpecificationError
+from repro.utils.rng import default_rng
+from repro.utils.validation import as_1d_float_array
+
+__all__ = ["ramp_trace", "spike_trace", "random_walk_trace", "sinusoid_trace"]
+
+_FLOOR = 1e-9
+
+
+def _base(base) -> np.ndarray:
+    arr = as_1d_float_array(base, name="base")
+    if np.any(arr <= 0):
+        raise SpecificationError("base loads must be positive")
+    return arr
+
+
+def _steps(n_steps: int) -> int:
+    if n_steps < 1:
+        raise SpecificationError(f"n_steps must be >= 1, got {n_steps}")
+    return int(n_steps)
+
+
+def ramp_trace(base, n_steps: int, *, end_factor: float = 2.0) -> np.ndarray:
+    """Linear ramp from the base loads to ``end_factor`` times them.
+
+    Parameters
+    ----------
+    base:
+        Original sensor loads.
+    n_steps:
+        Number of data sets.
+    end_factor:
+        Multiplier reached at the final step (may be below 1 for a
+        decaying load).
+    """
+    base = _base(base)
+    n_steps = _steps(n_steps)
+    if end_factor <= 0:
+        raise SpecificationError("end_factor must be positive")
+    factors = np.linspace(1.0, end_factor, n_steps)
+    return np.maximum(base[None, :] * factors[:, None], _FLOOR)
+
+
+def spike_trace(base, n_steps: int, *, spike_at: int, magnitude: float = 3.0,
+                width: int = 3) -> np.ndarray:
+    """A Gaussian-shaped transient spike on top of constant loads.
+
+    Parameters
+    ----------
+    base, n_steps:
+        As in :func:`ramp_trace`.
+    spike_at:
+        Step index of the spike's peak.
+    magnitude:
+        Peak load multiplier.
+    width:
+        Spike standard deviation in steps.
+    """
+    base = _base(base)
+    n_steps = _steps(n_steps)
+    if not 0 <= spike_at < n_steps:
+        raise SpecificationError(
+            f"spike_at={spike_at} outside [0, {n_steps})")
+    if magnitude <= 0 or width <= 0:
+        raise SpecificationError("magnitude and width must be positive")
+    t = np.arange(n_steps)
+    bump = (magnitude - 1.0) * np.exp(-0.5 * ((t - spike_at) / width) ** 2)
+    factors = 1.0 + bump
+    return np.maximum(base[None, :] * factors[:, None], _FLOOR)
+
+
+def random_walk_trace(base, n_steps: int, *, step_std: float = 0.05,
+                      reversion: float = 0.05, seed=None) -> np.ndarray:
+    """Mean-reverting multiplicative random walk (Ornstein-Uhlenbeck-ish).
+
+    Each sensor's log-multiplier follows
+    ``x_{t+1} = (1 - reversion) * x_t + N(0, step_std)``, so the loads
+    wander but are pulled back toward the base.
+
+    Parameters
+    ----------
+    step_std:
+        Per-step log-multiplier noise.
+    reversion:
+        Pull-back strength in ``[0, 1]``.
+    seed:
+        RNG seed.
+    """
+    base = _base(base)
+    n_steps = _steps(n_steps)
+    if step_std < 0 or not 0 <= reversion <= 1:
+        raise SpecificationError(
+            "need step_std >= 0 and reversion in [0, 1]")
+    rng = default_rng(seed)
+    log_mult = np.zeros((n_steps, base.size))
+    for t in range(1, n_steps):
+        log_mult[t] = ((1.0 - reversion) * log_mult[t - 1]
+                       + rng.normal(0.0, step_std, size=base.size))
+    return np.maximum(base[None, :] * np.exp(log_mult), _FLOOR)
+
+
+def sinusoid_trace(base, n_steps: int, *, amplitude: float = 0.3,
+                   period: float = 20.0, phase: float = 0.0) -> np.ndarray:
+    """Periodic load swell: ``base * (1 + amplitude * sin(...))``.
+
+    Parameters
+    ----------
+    amplitude:
+        Relative swing; must be in ``[0, 1)`` so loads stay positive.
+    period:
+        Oscillation period in steps.
+    phase:
+        Phase offset in radians.
+    """
+    base = _base(base)
+    n_steps = _steps(n_steps)
+    if not 0 <= amplitude < 1:
+        raise SpecificationError("amplitude must be in [0, 1)")
+    if period <= 0:
+        raise SpecificationError("period must be positive")
+    t = np.arange(n_steps)
+    factors = 1.0 + amplitude * np.sin(2.0 * np.pi * t / period + phase)
+    return np.maximum(base[None, :] * factors[:, None], _FLOOR)

@@ -1,0 +1,48 @@
+"""Independent-task heterogeneous computing substrate.
+
+The running example of the companion TPDS 2004 paper: ``T`` independent
+tasks mapped onto ``M`` heterogeneous machines, characterised by an
+*estimated time to compute* (ETC) matrix.  The robustness question: by how
+much may the actual execution times drift from the ETC estimates before the
+makespan exceeds ``beta`` times its predicted value?
+"""
+
+from repro.systems.independent.etc import (
+    EtcMatrix,
+    generate_etc_gamma,
+    generate_etc_range_based,
+)
+from repro.systems.independent.allocation import Allocation
+from repro.systems.independent.makespan import MakespanSystem
+from repro.systems.independent.workloads import (
+    WorkloadSpec,
+    braun_suite,
+    generate_workload,
+)
+from repro.systems.independent.failures import (
+    FailureAnalysis,
+    failure_radius,
+    makespan_after_failures,
+    survival_probability,
+)
+from repro.systems.independent.stochastic import (
+    stochastic_robustness_clt,
+    stochastic_robustness_mc,
+)
+
+__all__ = [
+    "EtcMatrix",
+    "generate_etc_gamma",
+    "generate_etc_range_based",
+    "Allocation",
+    "MakespanSystem",
+    "WorkloadSpec",
+    "braun_suite",
+    "generate_workload",
+    "FailureAnalysis",
+    "failure_radius",
+    "makespan_after_failures",
+    "survival_probability",
+    "stochastic_robustness_mc",
+    "stochastic_robustness_clt",
+]

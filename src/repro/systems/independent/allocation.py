@@ -1,0 +1,104 @@
+"""Resource allocations for the independent-task system.
+
+An :class:`Allocation` assigns every task to exactly one machine.  It is
+the object whose robustness ``rho_mu`` the metric framework measures — the
+``mu`` subscript of the paper's notation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import SpecificationError
+from repro.systems.independent.etc import EtcMatrix
+
+__all__ = ["Allocation"]
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """Assignment of tasks to machines.
+
+    Attributes
+    ----------
+    assignment:
+        Integer array; ``assignment[i]`` is the machine index of task ``i``.
+    n_machines:
+        Total machine count (machines may be unused).
+    """
+
+    assignment: np.ndarray
+    n_machines: int
+
+    def __post_init__(self) -> None:
+        a = np.asarray(self.assignment, dtype=np.intp)
+        if a.ndim != 1 or a.size == 0:
+            raise SpecificationError("assignment must be a non-empty 1-D array")
+        if self.n_machines < 1:
+            raise SpecificationError("n_machines must be >= 1")
+        if np.any(a < 0) or np.any(a >= self.n_machines):
+            raise SpecificationError(
+                f"assignment refers to machines outside [0, {self.n_machines})")
+        object.__setattr__(self, "assignment", a)
+
+    @property
+    def n_tasks(self) -> int:
+        """Number of tasks assigned."""
+        return int(self.assignment.size)
+
+    def tasks_on(self, machine: int) -> np.ndarray:
+        """Indices of the tasks mapped to ``machine``."""
+        if not 0 <= machine < self.n_machines:
+            raise SpecificationError(
+                f"machine {machine} out of range [0, {self.n_machines})")
+        return np.flatnonzero(self.assignment == machine)
+
+    def assigned_times(self, etc: EtcMatrix) -> np.ndarray:
+        """Per-task estimated times on their assigned machines.
+
+        These are the original values of the execution-time perturbation
+        parameter: ``pi_orig[i] = ETC[i, assignment[i]]``.
+        """
+        self._check_etc(etc)
+        return etc.values[np.arange(self.n_tasks), self.assignment].copy()
+
+    def machine_loads(self, etc: EtcMatrix) -> np.ndarray:
+        """Estimated finish time of every machine under this allocation."""
+        self._check_etc(etc)
+        loads = np.zeros(self.n_machines)
+        np.add.at(loads, self.assignment, self.assigned_times(etc))
+        return loads
+
+    def makespan(self, etc: EtcMatrix) -> float:
+        """Estimated makespan: the maximum machine finish time."""
+        return float(self.machine_loads(etc).max())
+
+    def _check_etc(self, etc: EtcMatrix) -> None:
+        if etc.n_tasks != self.n_tasks:
+            raise SpecificationError(
+                f"allocation has {self.n_tasks} tasks but ETC has "
+                f"{etc.n_tasks}")
+        if etc.n_machines != self.n_machines:
+            raise SpecificationError(
+                f"allocation has {self.n_machines} machines but ETC has "
+                f"{etc.n_machines}")
+
+    def with_move(self, task: int, machine: int) -> "Allocation":
+        """A new allocation with one task moved (local-search neighbour)."""
+        if not 0 <= task < self.n_tasks:
+            raise SpecificationError(f"task {task} out of range")
+        if not 0 <= machine < self.n_machines:
+            raise SpecificationError(f"machine {machine} out of range")
+        new = self.assignment.copy()
+        new[task] = machine
+        return Allocation(new, self.n_machines)
+
+    def with_swap(self, task_a: int, task_b: int) -> "Allocation":
+        """A new allocation with two tasks' machines exchanged."""
+        if not (0 <= task_a < self.n_tasks and 0 <= task_b < self.n_tasks):
+            raise SpecificationError("task index out of range")
+        new = self.assignment.copy()
+        new[task_a], new[task_b] = new[task_b], new[task_a]
+        return Allocation(new, self.n_machines)

@@ -1,0 +1,255 @@
+"""Wiring the independent-task system into the FePIA framework.
+
+The companion paper's makespan example, reproduced exactly:
+
+* **Perturbation parameter** ``pi`` = the vector of actual task execution
+  times on the machines they were assigned to; original values come from
+  the ETC matrix (a single *kind* — all elements are seconds).
+* **Performance features** ``phi_j`` = the finish time of each machine
+  ``F_j = sum_{i on j} pi_i`` — a linear (0/1-coefficient) function of the
+  execution times.
+* **Robustness requirement**: the actual makespan must not exceed
+  ``beta`` times the predicted makespan, i.e. every machine finish time is
+  bounded by ``tau = beta * makespan_orig``.
+
+With the Euclidean norm and no physical bounds, the analytic radius of
+machine ``j`` is ``(tau - F_j^orig) / sqrt(n_j)`` with ``n_j`` the number
+of tasks on the machine — the well-known closed form from the TPDS 2004
+paper, which the tests verify against the generic solver.
+
+The class also supports a **two-kind** variant for the IPDPS'05 setting:
+an optional per-machine background-load parameter (different unit) that
+adds ``F_j = sum pi_i + b_j`` — exercising the weighting schemes on this
+substrate too.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.features import PerformanceFeature, ToleranceBounds
+from repro.core.fepia import FeatureSpec, RobustnessAnalysis
+from repro.core.mappings import LinearMapping
+from repro.core.perturbation import PerturbationParameter
+from repro.core.weighting import IdentityWeighting, WeightingScheme
+from repro.exceptions import SpecificationError
+from repro.systems.independent.allocation import Allocation
+from repro.systems.independent.etc import EtcMatrix
+
+__all__ = ["MakespanSystem"]
+
+
+@dataclass
+class MakespanSystem:
+    """An (ETC, allocation) pair exposing FePIA robustness analyses.
+
+    Attributes
+    ----------
+    etc:
+        The estimated-time-to-compute matrix.
+    allocation:
+        The resource allocation ``mu`` under study.
+    background_loads:
+        Optional per-machine constant loads of a *different kind* (e.g.
+        OS/daemon overhead measured in load units with a seconds-per-unit
+        conversion of 1); enables the multi-kind variant.
+    """
+
+    etc: EtcMatrix
+    allocation: Allocation
+    background_loads: np.ndarray | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        # Allocation validates shape compatibility against the ETC.
+        self.allocation._check_etc(self.etc)
+        if self.background_loads is not None:
+            b = np.asarray(self.background_loads, dtype=np.float64)
+            if b.shape != (self.allocation.n_machines,):
+                raise SpecificationError(
+                    f"background_loads must have shape "
+                    f"({self.allocation.n_machines},), got {b.shape}")
+            if np.any(b < 0):
+                raise SpecificationError("background_loads must be >= 0")
+            self.background_loads = b
+
+    # ------------------------------------------------------------------
+    # plain performance quantities
+    # ------------------------------------------------------------------
+    @property
+    def n_tasks(self) -> int:
+        """Number of tasks."""
+        return self.allocation.n_tasks
+
+    @property
+    def n_machines(self) -> int:
+        """Number of machines."""
+        return self.allocation.n_machines
+
+    def original_times(self) -> np.ndarray:
+        """Original execution times ``pi_orig`` (ETC on assigned machines)."""
+        return self.allocation.assigned_times(self.etc)
+
+    def machine_finish_times(self) -> np.ndarray:
+        """Original machine finish times (plus background loads if any)."""
+        loads = self.allocation.machine_loads(self.etc)
+        if self.background_loads is not None:
+            loads = loads + self.background_loads
+        return loads
+
+    def makespan(self) -> float:
+        """Original makespan (max machine finish time)."""
+        return float(self.machine_finish_times().max())
+
+    # ------------------------------------------------------------------
+    # FePIA wiring
+    # ------------------------------------------------------------------
+    def execution_time_parameter(self) -> PerturbationParameter:
+        """The execution-time perturbation parameter (seconds)."""
+        return PerturbationParameter.nonnegative(
+            "exec_times", self.original_times(), unit="s",
+            description="actual task execution times on assigned machines")
+
+    def background_parameter(self) -> PerturbationParameter:
+        """The background-load parameter (load units), multi-kind variant."""
+        if self.background_loads is None:
+            raise SpecificationError(
+                "system has no background loads; construct MakespanSystem "
+                "with background_loads to use the multi-kind variant")
+        return PerturbationParameter.nonnegative(
+            "background", self.background_loads, unit="load",
+            description="per-machine background load")
+
+    def finish_time_specs(self, beta: float | None = None,
+                          *, tau: float | None = None,
+                          include_background: bool = False
+                          ) -> list[FeatureSpec]:
+        """Per-machine finish-time features bounded by a makespan limit.
+
+        The limit is either relative (``tau = beta * makespan_orig``, the
+        paper's form) or an absolute ``tau`` — the latter is what makes
+        robustness comparisons across *different* allocations fair (all
+        candidates are held to the same deadline).
+
+        Machines with no tasks (and zero background) are skipped: their
+        finish time is constant zero and contributes no constraint.
+
+        Parameters
+        ----------
+        beta:
+            Relative robustness requirement, ``> 1``; mutually exclusive
+            with ``tau``.
+        tau:
+            Absolute makespan limit in seconds; must exceed the original
+            makespan.
+        include_background:
+            Lay the mappings out over ``[exec_times, background]`` instead
+            of ``[exec_times]`` alone.
+        """
+        tau = self._resolve_tau(beta, tau)
+        n = self.n_tasks
+        dim = n + (self.n_machines if include_background else 0)
+        specs: list[FeatureSpec] = []
+        for j in range(self.n_machines):
+            coeffs = np.zeros(dim)
+            coeffs[self.allocation.tasks_on(j)] = 1.0
+            if include_background:
+                coeffs[n + j] = 1.0
+            if not np.any(coeffs):
+                continue
+            mapping = LinearMapping(coeffs)
+            feature = PerformanceFeature(
+                name=f"finish_time_m{j}",
+                bounds=ToleranceBounds.upper(tau),
+                unit="s",
+                description=f"finish time of machine {j}")
+            specs.append(FeatureSpec(feature, mapping))
+        if not specs:
+            raise SpecificationError("no machine has any load; nothing to bound")
+        return specs
+
+    def _resolve_tau(self, beta: float | None, tau: float | None) -> float:
+        """Validate and resolve the (beta | tau) makespan-limit choice."""
+        if (beta is None) == (tau is None):
+            raise SpecificationError(
+                "specify exactly one of beta (relative) or tau (absolute)")
+        if beta is not None:
+            if beta <= 1.0:
+                raise SpecificationError(f"beta must be > 1, got {beta}")
+            return beta * self.makespan()
+        if tau <= self.makespan():
+            raise SpecificationError(
+                f"tau={tau:g} must exceed the original makespan "
+                f"{self.makespan():g}; the allocation is infeasible under it")
+        return float(tau)
+
+    def robustness_analysis(
+        self,
+        beta: float | None = None,
+        *,
+        tau: float | None = None,
+        weighting: WeightingScheme | None = None,
+        include_background: bool = False,
+        respect_physical_bounds: bool = False,
+        norm: float = 2,
+        seed=None,
+    ) -> RobustnessAnalysis:
+        """Build the full FePIA analysis for this allocation.
+
+        Parameters
+        ----------
+        beta:
+            Relative makespan requirement (``tau = beta * makespan_orig``);
+            mutually exclusive with ``tau``.
+        tau:
+            Absolute makespan limit (for cross-allocation comparisons).
+        weighting:
+            P-space weighting; defaults to identity for the single-kind
+            case (matching the 2004 paper) and must be a multi-kind scheme
+            when ``include_background`` is set.
+        include_background:
+            Include the per-machine background-load parameter (second kind).
+        respect_physical_bounds:
+            Restrict boundary searches to non-negative times/loads.
+        norm:
+            Distance norm.
+        seed:
+            Solver seed.
+        """
+        params = [self.execution_time_parameter()]
+        if include_background:
+            params.append(self.background_parameter())
+        if weighting is None:
+            weighting = IdentityWeighting()
+        specs = self.finish_time_specs(beta, tau=tau,
+                                       include_background=include_background)
+        return RobustnessAnalysis(
+            specs, params, weighting=weighting,
+            respect_physical_bounds=respect_physical_bounds,
+            norm=norm, seed=seed)
+
+    def analytic_radii(self, beta: float | None = None,
+                       *, tau: float | None = None) -> np.ndarray:
+        """Closed-form single-kind radii ``(tau - F_j)/sqrt(n_j)`` per machine.
+
+        The TPDS 2004 closed form for the identity-weighted Euclidean case
+        (machines with no tasks give ``inf``).  Used to validate the
+        generic solver on this substrate.
+        """
+        tau = self._resolve_tau(beta, tau)
+        finish = self.machine_finish_times()
+        radii = np.empty(self.n_machines)
+        for j in range(self.n_machines):
+            n_j = self.allocation.tasks_on(j).size
+            if n_j == 0:
+                radii[j] = math.inf
+            else:
+                radii[j] = (tau - finish[j]) / math.sqrt(n_j)
+        return radii
+
+    def analytic_rho(self, beta: float | None = None,
+                     *, tau: float | None = None) -> float:
+        """Closed-form ``rho`` = min over machines of the analytic radii."""
+        return float(np.min(self.analytic_radii(beta, tau=tau)))

@@ -1,0 +1,90 @@
+"""Canned workload scenarios for the independent-task experiments.
+
+Bundles ETC generation parameters into named scenarios mirroring the
+heterogeneity/consistency grid of the Braun et al. benchmark suite that the
+HC-scheduling literature (including the companion paper's experiments)
+standardises on: {high, low} task heterogeneity x {high, low} machine
+heterogeneity x {consistent, semiconsistent, inconsistent}.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import SpecificationError
+from repro.systems.independent.etc import EtcMatrix, generate_etc_gamma
+
+__all__ = ["WorkloadSpec", "braun_suite", "generate_workload"]
+
+#: Coefficient-of-variation values used for "high" and "low" heterogeneity.
+_HETEROGENEITY_COV = {"high": 0.9, "low": 0.3}
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named independent-task workload configuration.
+
+    Attributes
+    ----------
+    name:
+        Scenario label, e.g. ``"hihi-consistent"``.
+    n_tasks, n_machines:
+        Problem size.
+    task_heterogeneity, machine_heterogeneity:
+        ``"high"`` or ``"low"``.
+    consistency:
+        ETC consistency class.
+    mean_task_time:
+        Grand mean execution time (seconds).
+    """
+
+    name: str
+    n_tasks: int
+    n_machines: int
+    task_heterogeneity: str
+    machine_heterogeneity: str
+    consistency: str
+    mean_task_time: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.task_heterogeneity not in _HETEROGENEITY_COV:
+            raise SpecificationError(
+                f"task_heterogeneity must be 'high' or 'low', got "
+                f"{self.task_heterogeneity!r}")
+        if self.machine_heterogeneity not in _HETEROGENEITY_COV:
+            raise SpecificationError(
+                f"machine_heterogeneity must be 'high' or 'low', got "
+                f"{self.machine_heterogeneity!r}")
+        if self.n_tasks < 1 or self.n_machines < 1:
+            raise SpecificationError("need at least one task and one machine")
+
+
+def generate_workload(spec: WorkloadSpec, *, seed=None) -> EtcMatrix:
+    """Generate the ETC matrix of a :class:`WorkloadSpec` (gamma method)."""
+    return generate_etc_gamma(
+        spec.n_tasks,
+        spec.n_machines,
+        mean_task_time=spec.mean_task_time,
+        task_cov=_HETEROGENEITY_COV[spec.task_heterogeneity],
+        machine_cov=_HETEROGENEITY_COV[spec.machine_heterogeneity],
+        consistency=spec.consistency,  # validated by the generator
+        seed=seed,
+    )
+
+
+def braun_suite(n_tasks: int = 24, n_machines: int = 6) -> list[WorkloadSpec]:
+    """The 12-scenario heterogeneity/consistency grid at a given size.
+
+    Returns scenarios named ``"<hh><mm>-<consistency>"`` with ``hh``/``mm``
+    in {``hi``, ``lo``}, e.g. ``"hilo-semiconsistent"``.
+    """
+    specs = []
+    for th in ("high", "low"):
+        for mh in ("high", "low"):
+            for cons in ("consistent", "semiconsistent", "inconsistent"):
+                name = f"{th[:2]}{mh[:2]}-{cons}"
+                specs.append(WorkloadSpec(
+                    name=name, n_tasks=n_tasks, n_machines=n_machines,
+                    task_heterogeneity=th, machine_heterogeneity=mh,
+                    consistency=cons))
+    return specs

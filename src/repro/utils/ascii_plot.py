@@ -1,0 +1,143 @@
+"""Terminal (ASCII) plotting, used to regenerate the paper's Figure 1.
+
+The paper has a single conceptual figure: the boundary curve
+``{pi : f(pi) = beta_max}`` in a 2-D perturbation space, the original
+operating point, and the minimum-distance (robustness-radius) point.  No
+plotting libraries are available offline, so figures are rendered as
+character rasters — adequate to verify the *shape* of the reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import SpecificationError
+
+__all__ = ["AsciiCanvas", "scatter_plot", "line_plot"]
+
+
+class AsciiCanvas:
+    """A fixed-size character raster with data-space coordinates.
+
+    Parameters
+    ----------
+    width, height:
+        Raster size in characters.
+    xlim, ylim:
+        Data-space extents ``(lo, hi)`` mapped onto the raster.
+    """
+
+    def __init__(
+        self,
+        width: int = 72,
+        height: int = 24,
+        xlim: tuple[float, float] = (0.0, 1.0),
+        ylim: tuple[float, float] = (0.0, 1.0),
+    ) -> None:
+        if width < 2 or height < 2:
+            raise SpecificationError("canvas must be at least 2x2")
+        if xlim[1] <= xlim[0] or ylim[1] <= ylim[0]:
+            raise SpecificationError("limits must satisfy lo < hi")
+        self.width = int(width)
+        self.height = int(height)
+        self.xlim = (float(xlim[0]), float(xlim[1]))
+        self.ylim = (float(ylim[0]), float(ylim[1]))
+        self._grid = [[" "] * self.width for _ in range(self.height)]
+
+    def _to_cell(self, x: float, y: float) -> tuple[int, int] | None:
+        """Map data coordinates to (row, col), or None when off-canvas."""
+        fx = (x - self.xlim[0]) / (self.xlim[1] - self.xlim[0])
+        fy = (y - self.ylim[0]) / (self.ylim[1] - self.ylim[0])
+        if not (0.0 <= fx <= 1.0 and 0.0 <= fy <= 1.0):
+            return None
+        col = min(self.width - 1, int(fx * self.width))
+        row = min(self.height - 1, int((1.0 - fy) * self.height))
+        return row, col
+
+    def plot_points(self, xs: Sequence[float], ys: Sequence[float], marker: str = "*") -> None:
+        """Mark each (x, y) pair with ``marker`` (single character)."""
+        if len(marker) != 1:
+            raise SpecificationError("marker must be a single character")
+        for x, y in zip(xs, ys):
+            cell = self._to_cell(float(x), float(y))
+            if cell is not None:
+                r, c = cell
+                self._grid[r][c] = marker
+
+    def plot_line(self, x0: float, y0: float, x1: float, y1: float, marker: str = ".") -> None:
+        """Draw a straight segment by dense sampling in data space."""
+        n = 4 * max(self.width, self.height)
+        ts = np.linspace(0.0, 1.0, n)
+        self.plot_points(x0 + ts * (x1 - x0), y0 + ts * (y1 - y0), marker)
+
+    def render(self, *, xlabel: str = "", ylabel: str = "", title: str = "") -> str:
+        """Return the canvas as a bordered string with axis annotations."""
+        border = "+" + "-" * self.width + "+"
+        lines = []
+        if title:
+            lines.append(title.center(self.width + 2))
+        if ylabel:
+            lines.append(ylabel)
+        lines.append(border)
+        for row in self._grid:
+            lines.append("|" + "".join(row) + "|")
+        lines.append(border)
+        footer = f"{self.xlim[0]:g}".ljust(self.width // 2)
+        footer += f"{self.xlim[1]:g}".rjust(self.width - len(footer) + 2)
+        lines.append(footer)
+        if xlabel:
+            lines.append(xlabel.center(self.width + 2))
+        return "\n".join(lines)
+
+
+def _auto_limits(values: np.ndarray) -> tuple[float, float]:
+    lo, hi = float(np.min(values)), float(np.max(values))
+    if lo == hi:
+        lo, hi = lo - 0.5, hi + 0.5
+    pad = 0.05 * (hi - lo)
+    return lo - pad, hi + pad
+
+
+def scatter_plot(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    *,
+    marker: str = "*",
+    width: int = 72,
+    height: int = 24,
+    xlabel: str = "",
+    ylabel: str = "",
+    title: str = "",
+) -> str:
+    """Render a scatter plot of (xs, ys) with automatic limits."""
+    xs = np.asarray(list(xs), dtype=np.float64)
+    ys = np.asarray(list(ys), dtype=np.float64)
+    if xs.size == 0:
+        raise SpecificationError("cannot plot zero points")
+    canvas = AsciiCanvas(width, height, _auto_limits(xs), _auto_limits(ys))
+    canvas.plot_points(xs, ys, marker)
+    return canvas.render(xlabel=xlabel, ylabel=ylabel, title=title)
+
+
+def line_plot(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    *,
+    marker: str = ".",
+    width: int = 72,
+    height: int = 24,
+    xlabel: str = "",
+    ylabel: str = "",
+    title: str = "",
+) -> str:
+    """Render a polyline through consecutive (xs, ys) points."""
+    xs = np.asarray(list(xs), dtype=np.float64)
+    ys = np.asarray(list(ys), dtype=np.float64)
+    if xs.size < 2:
+        raise SpecificationError("need at least two points for a line plot")
+    canvas = AsciiCanvas(width, height, _auto_limits(xs), _auto_limits(ys))
+    for i in range(xs.size - 1):
+        canvas.plot_line(xs[i], ys[i], xs[i + 1], ys[i + 1], marker)
+    return canvas.render(xlabel=xlabel, ylabel=ylabel, title=title)

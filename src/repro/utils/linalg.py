@@ -1,0 +1,139 @@
+"""Small geometric/linear-algebra helpers used by the radius solvers.
+
+The central closed form is the point-to-hyperplane distance (Equation 4 of
+the paper): for a plane ``a . x = b`` and a point ``x0``,
+
+    d = |a . x0 - b| / ||a||_2 .
+
+Everything here is vectorised NumPy; these routines sit on the hot path of
+the analytic solvers and the Monte-Carlo validator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DimensionMismatchError, SpecificationError
+
+__all__ = [
+    "point_to_hyperplane_distance",
+    "project_point_to_hyperplane",
+    "vector_norm",
+    "unit_vector",
+    "sample_on_sphere",
+    "sample_in_ball",
+]
+
+
+def point_to_hyperplane_distance(
+    point: np.ndarray, normal: np.ndarray, offset: float
+) -> float:
+    """Distance from ``point`` to the hyperplane ``normal . x = offset``.
+
+    Implements Equation 4 of the paper.
+
+    Parameters
+    ----------
+    point:
+        The query point ``x0`` (1-D array).
+    normal:
+        The plane's coefficient vector ``a`` (1-D array, not all zero).
+    offset:
+        The plane's constant ``b``.
+
+    Returns
+    -------
+    float
+        ``|a . x0 - b| / ||a||_2``.
+
+    Raises
+    ------
+    SpecificationError
+        If the normal vector is (numerically) zero.
+    DimensionMismatchError
+        If ``point`` and ``normal`` have different lengths.
+    """
+    point = np.asarray(point, dtype=np.float64)
+    normal = np.asarray(normal, dtype=np.float64)
+    if point.shape != normal.shape:
+        raise DimensionMismatchError(
+            f"point has shape {point.shape} but normal has shape {normal.shape}")
+    nn = float(np.linalg.norm(normal))
+    if nn == 0.0 or not np.isfinite(nn):
+        raise SpecificationError("hyperplane normal must be nonzero and finite")
+    return abs(float(normal @ point) - float(offset)) / nn
+
+
+def project_point_to_hyperplane(
+    point: np.ndarray, normal: np.ndarray, offset: float
+) -> np.ndarray:
+    """Orthogonal projection of ``point`` onto the plane ``normal . x = offset``.
+
+    The projection is the *witness* boundary point realising the
+    point-to-hyperplane distance; the radius solvers return it so callers can
+    inspect the direction of least robustness.
+    """
+    point = np.asarray(point, dtype=np.float64)
+    normal = np.asarray(normal, dtype=np.float64)
+    if point.shape != normal.shape:
+        raise DimensionMismatchError(
+            f"point has shape {point.shape} but normal has shape {normal.shape}")
+    nn2 = float(normal @ normal)
+    if nn2 == 0.0:
+        raise SpecificationError("hyperplane normal must be nonzero")
+    t = (float(offset) - float(normal @ point)) / nn2
+    return point + t * normal
+
+
+def vector_norm(x: np.ndarray, order: float | str = 2) -> float:
+    """Norm of a vector with the library's supported orders (1, 2, ``inf``).
+
+    A thin wrapper over :func:`numpy.linalg.norm` that validates ``order``;
+    the ablation benchmarks (E8) sweep this argument.
+    """
+    if order not in (1, 2, np.inf, "inf"):
+        raise SpecificationError(f"unsupported norm order {order!r}; use 1, 2 or inf")
+    if order == "inf":
+        order = np.inf
+    return float(np.linalg.norm(np.asarray(x, dtype=np.float64), ord=order))
+
+
+def unit_vector(x: np.ndarray) -> np.ndarray:
+    """Return ``x / ||x||_2``, raising on the zero vector."""
+    x = np.asarray(x, dtype=np.float64)
+    n = float(np.linalg.norm(x))
+    if n == 0.0:
+        raise SpecificationError("cannot normalise the zero vector")
+    return x / n
+
+
+def sample_on_sphere(rng: np.random.Generator, n_points: int, dim: int) -> np.ndarray:
+    """Sample ``n_points`` uniformly on the unit sphere in ``dim`` dimensions.
+
+    Uses the Gaussian-normalisation method; degenerate (near-zero) draws are
+    resampled implicitly by the vanishing probability of the event, but we
+    guard against exact zeros for robustness of downstream division.
+    """
+    if dim < 1:
+        raise SpecificationError(f"dim must be >= 1, got {dim}")
+    pts = rng.standard_normal((n_points, dim))
+    norms = np.linalg.norm(pts, axis=1, keepdims=True)
+    # A standard normal draw is exactly zero with probability 0, but guard
+    # anyway so the division below can never produce NaN.
+    norms[norms == 0.0] = 1.0
+    return pts / norms
+
+
+def sample_in_ball(
+    rng: np.random.Generator, n_points: int, dim: int, radius: float = 1.0
+) -> np.ndarray:
+    """Sample ``n_points`` uniformly in the closed ball of ``radius``.
+
+    Combines a uniform direction with a radius drawn as ``U^(1/dim)`` so the
+    density is uniform over the ball volume.
+    """
+    if radius < 0:
+        raise SpecificationError(f"radius must be >= 0, got {radius}")
+    dirs = sample_on_sphere(rng, n_points, dim)
+    radii = radius * rng.random(n_points) ** (1.0 / dim)
+    return dirs * radii[:, None]

@@ -1,0 +1,65 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints the same rows the paper's derivations imply
+(and the companion paper's tables report); this module renders them as
+aligned monospace tables so ``EXPERIMENTS.md`` and benchmark output read
+like the originals.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table"]
+
+
+def _fmt_cell(value: Any, float_fmt: str) -> str:
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    float_fmt: str = ".6g",
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table.
+
+    Parameters
+    ----------
+    headers:
+        Column titles.
+    rows:
+        Iterable of row tuples; floats are formatted with ``float_fmt``,
+        everything else via ``str``.
+    float_fmt:
+        ``format()`` spec applied to float cells.
+    title:
+        Optional title printed above the table.
+
+    Returns
+    -------
+    str
+        The rendered table, ending without a trailing newline.
+    """
+    str_rows = [[_fmt_cell(c, float_fmt) for c in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells but there are {len(headers)} headers")
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,137 @@
+"""Array and scalar validation helpers.
+
+These helpers normalise user input into NumPy arrays with consistent dtype
+and layout, and raise :class:`repro.exceptions.SpecificationError` (or a
+subclass) with actionable messages on bad input.  Centralising validation
+keeps the hot numerical code free of defensive branching, per the
+"make it work reliably, then optimise the bottleneck" workflow.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import DimensionMismatchError, SpecificationError
+
+__all__ = [
+    "as_1d_float_array",
+    "as_2d_float_array",
+    "check_finite",
+    "check_positive",
+    "check_nonnegative",
+    "check_probability",
+    "check_same_length",
+]
+
+
+def as_1d_float_array(values: Iterable[float], *, name: str = "array") -> np.ndarray:
+    """Coerce ``values`` to a contiguous 1-D ``float64`` array.
+
+    Parameters
+    ----------
+    values:
+        Any iterable of numbers (list, tuple, ndarray, generator).
+    name:
+        Name used in error messages.
+
+    Returns
+    -------
+    numpy.ndarray
+        A fresh (never aliased) contiguous 1-D float64 array.
+
+    Raises
+    ------
+    SpecificationError
+        If the input is empty, not 1-D, or not numeric.
+    """
+    try:
+        if isinstance(values, np.ndarray):
+            arr = np.array(values, dtype=np.float64)
+        elif np.isscalar(values):
+            arr = np.array([values], dtype=np.float64)
+        else:
+            arr = np.array(list(values), dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise SpecificationError(f"{name} must be numeric, got {values!r}") from exc
+    if arr.ndim == 0:
+        arr = arr.reshape(1)
+    if arr.ndim != 1:
+        raise SpecificationError(
+            f"{name} must be 1-dimensional, got shape {arr.shape}")
+    if arr.size == 0:
+        raise SpecificationError(f"{name} must be non-empty")
+    return np.ascontiguousarray(arr)
+
+
+def as_2d_float_array(values, *, name: str = "matrix") -> np.ndarray:
+    """Coerce ``values`` to a contiguous 2-D ``float64`` array.
+
+    Raises
+    ------
+    SpecificationError
+        If the input cannot be interpreted as a non-empty 2-D numeric array.
+    """
+    try:
+        arr = np.asarray(values, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise SpecificationError(f"{name} must be numeric, got {values!r}") from exc
+    if arr.ndim != 2:
+        raise SpecificationError(
+            f"{name} must be 2-dimensional, got shape {arr.shape}")
+    if arr.size == 0:
+        raise SpecificationError(f"{name} must be non-empty")
+    return np.ascontiguousarray(arr)
+
+
+def check_finite(arr: np.ndarray, *, name: str = "array") -> np.ndarray:
+    """Raise :class:`SpecificationError` if ``arr`` contains NaN or infinity."""
+    if not np.all(np.isfinite(arr)):
+        raise SpecificationError(f"{name} must be finite, got {arr!r}")
+    return arr
+
+
+def check_positive(arr: np.ndarray, *, name: str = "array") -> np.ndarray:
+    """Raise :class:`SpecificationError` unless every element is ``> 0``."""
+    if not np.all(np.asarray(arr) > 0):
+        raise SpecificationError(f"every element of {name} must be positive, got {arr!r}")
+    return arr
+
+
+def check_nonnegative(arr: np.ndarray, *, name: str = "array") -> np.ndarray:
+    """Raise :class:`SpecificationError` unless every element is ``>= 0``."""
+    if not np.all(np.asarray(arr) >= 0):
+        raise SpecificationError(
+            f"every element of {name} must be non-negative, got {arr!r}")
+    return arr
+
+
+def check_probability(value: float, *, name: str = "probability") -> float:
+    """Validate a scalar in the closed interval ``[0, 1]`` and return it."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise SpecificationError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_same_length(*arrays: Sequence, names: Sequence[str] | None = None) -> int:
+    """Check that all supplied sequences have equal length.
+
+    Returns
+    -------
+    int
+        The common length.
+
+    Raises
+    ------
+    DimensionMismatchError
+        If the lengths disagree.
+    """
+    lengths = [len(a) for a in arrays]
+    if len(set(lengths)) > 1:
+        if names is None:
+            names = [f"argument {i}" for i in range(len(arrays))]
+        detail = ", ".join(f"{n}={l}" for n, l in zip(names, lengths))
+        raise DimensionMismatchError(f"length mismatch: {detail}")
+    return lengths[0]

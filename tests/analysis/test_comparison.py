@@ -1,0 +1,85 @@
+"""Tests for the comparison experiments (E5/E6/E8)."""
+
+import math
+
+import pytest
+
+from repro.analysis.comparison import (
+    compare_heuristics,
+    compare_norms,
+    compare_weightings,
+    default_heuristics,
+)
+from repro.systems.independent import generate_etc_gamma
+
+
+class TestCompareHeuristics:
+    def test_structure(self, small_etc):
+        result = compare_heuristics(small_etc, seed=0)
+        assert result.experiment_id == "E5"
+        assert len(result.rows) == len(default_heuristics())
+
+    def test_feasible_candidates_have_rho(self, small_etc):
+        result = compare_heuristics(small_etc, tau_factor=2.0, seed=0)
+        feasible = [r for r in result.rows if r[3] == ""]
+        assert feasible
+        for row in feasible:
+            assert row[2] > 0
+            assert not math.isnan(row[2])
+
+    def test_shared_tau_from_best_makespan(self, small_etc):
+        result = compare_heuristics(small_etc, tau_factor=1.3, seed=0)
+        best_ms = min(row[1] for row in result.rows)
+        assert f"{1.3 * best_ms:.4g}" in result.title
+
+    def test_infeasible_marked(self):
+        etc = generate_etc_gamma(20, 5, task_cov=0.9, seed=9)
+        # tau barely above the best: most heuristics become infeasible
+        result = compare_heuristics(etc, tau_factor=1.01, seed=0)
+        notes = [row[3] for row in result.rows]
+        assert "infeasible" in notes
+
+    def test_summary_names_best(self, small_etc):
+        result = compare_heuristics(small_etc, seed=0)
+        assert "most-robust heuristic" in result.summary
+        assert "shortest-makespan heuristic" in result.summary
+
+    def test_rows_sorted_by_rho_desc(self, small_etc):
+        result = compare_heuristics(small_etc, tau_factor=2.0, seed=0)
+        rhos = [row[2] for row in result.rows if not math.isnan(row[2])]
+        assert rhos == sorted(rhos, reverse=True)
+
+
+class TestCompareWeightings:
+    def test_structure(self, hiperd_system, hiperd_qos):
+        result = compare_weightings(hiperd_system, hiperd_qos,
+                                    kinds=("loads", "msgsize"), seed=0)
+        assert result.experiment_id == "E6"
+        names = [row[0] for row in result.rows]
+        assert "sensitivity" in names
+        assert "normalized" in names
+
+    def test_identity_included_for_single_kind(self, hiperd_system,
+                                               hiperd_qos):
+        result = compare_weightings(hiperd_system, hiperd_qos,
+                                    kinds=("loads",), seed=0)
+        names = [row[0] for row in result.rows]
+        assert "identity" in names
+
+    def test_rhos_finite(self, hiperd_system, hiperd_qos):
+        result = compare_weightings(hiperd_system, hiperd_qos,
+                                    kinds=("loads", "msgsize"), seed=0)
+        for row in result.rows:
+            assert row[1] > 0 and math.isfinite(row[1])
+
+
+class TestCompareNorms:
+    def test_ordering_confirmed(self, hiperd_system, hiperd_qos):
+        result = compare_norms(hiperd_system, hiperd_qos, seed=0)
+        assert result.experiment_id == "E8"
+        key = "r_l1 >= r_l2 >= r_linf (expected for norms 1,2,inf)"
+        assert result.summary[key] is True
+
+    def test_three_rows(self, hiperd_system, hiperd_qos):
+        result = compare_norms(hiperd_system, hiperd_qos, seed=0)
+        assert [row[0] for row in result.rows] == ["l1", "l2", "linf"]

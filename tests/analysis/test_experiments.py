@@ -1,0 +1,23 @@
+"""Tests for the experiment result container."""
+
+from repro.analysis.experiments import ExperimentResult
+
+
+class TestExperimentResult:
+    def test_table_contains_id_and_title(self):
+        r = ExperimentResult("E9", "my experiment", ["a"], [[1.0]])
+        out = r.to_table()
+        assert "[E9]" in out and "my experiment" in out
+
+    def test_summary_rendered(self):
+        r = ExperimentResult("E9", "t", ["a"], [[1]], summary={"k": "v"})
+        assert "k = v" in r.to_table()
+
+    def test_str_matches_table(self):
+        r = ExperimentResult("E9", "t", ["a"], [[1]])
+        assert str(r) == r.to_table()
+
+    def test_float_format_passthrough(self):
+        r = ExperimentResult("E9", "t", ["a"], [[0.123456789]])
+        assert "0.12" in r.to_table(float_fmt=".2g")
+        assert "0.123456789" not in r.to_table(float_fmt=".2g")

@@ -1,0 +1,76 @@
+"""Tests for the Section 3 sweep experiments (E2/E3)."""
+
+import math
+
+import pytest
+
+from repro.analysis.linear_case import (
+    analysis_for_case,
+    normalized_dependence_sweep,
+    random_linear_case,
+    sensitivity_degeneracy_sweep,
+)
+from repro.core.weighting import NormalizedWeighting, SensitivityWeighting
+from repro.utils.rng import default_rng
+
+
+class TestRandomLinearCase:
+    def test_dimensions(self):
+        case = random_linear_case(5, default_rng(0))
+        assert case.n == 5
+
+    def test_beta_fixed(self):
+        case = random_linear_case(3, default_rng(0), beta=1.7)
+        assert case.beta == 1.7
+
+    def test_decades_spread(self):
+        rng = default_rng(1)
+        case = random_linear_case(50, rng, decades=4.0)
+        assert case.coefficients.max() / case.coefficients.min() > 10.0
+
+
+class TestAnalysisForCase:
+    def test_one_param_per_element(self):
+        case = random_linear_case(4, default_rng(2))
+        ana = analysis_for_case(case, NormalizedWeighting())
+        assert len(ana.params) == 4
+        assert all(p.dimension == 1 for p in ana.params)
+
+    def test_units_are_distinct(self):
+        case = random_linear_case(3, default_rng(3))
+        ana = analysis_for_case(case, NormalizedWeighting())
+        units = {p.unit for p in ana.params}
+        assert len(units) == 3
+
+    def test_sensitivity_gives_inverse_sqrt_n(self):
+        case = random_linear_case(6, default_rng(4))
+        ana = analysis_for_case(case, SensitivityWeighting())
+        assert ana.rho() == pytest.approx(1.0 / math.sqrt(6), rel=1e-9)
+
+
+class TestSweeps:
+    def test_degeneracy_sweep_structure(self):
+        result = sensitivity_degeneracy_sweep(ns=(2, 3), cases_per_n=3, seed=0)
+        assert result.experiment_id == "E2"
+        assert len(result.rows) == 2
+        assert result.summary["worst relative deviation from 1/sqrt(n)"] < 1e-9
+
+    def test_degeneracy_sweep_spread_is_zero(self):
+        result = sensitivity_degeneracy_sweep(ns=(4,), cases_per_n=8, seed=1)
+        assert result.summary["worst spread across random instances"] < 1e-12
+
+    def test_dependence_sweep_structure(self):
+        result = normalized_dependence_sweep(ns=(2, 3), cases_per_n=4, seed=0)
+        assert result.experiment_id == "E3"
+        assert result.summary[
+            "worst pipeline-vs-closed-form relative error"] < 1e-9
+
+    def test_dependence_sweep_has_spread(self):
+        result = normalized_dependence_sweep(ns=(3,), cases_per_n=8, seed=2)
+        # normalized radii must differ across random instances
+        assert result.summary[
+            "smallest relative spread across instances"] > 0.01
+
+    def test_tables_render(self):
+        r = sensitivity_degeneracy_sweep(ns=(2,), cases_per_n=2, seed=0)
+        assert "E2" in r.to_table()

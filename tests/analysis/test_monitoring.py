@@ -1,0 +1,79 @@
+"""Tests for the radius-ball monitoring experiment (E9)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.monitoring import monitoring_experiment, replay_trace
+from repro.exceptions import SpecificationError
+from repro.systems.hiperd.constraints import build_analysis
+from repro.systems.hiperd.traces import ramp_trace
+
+
+@pytest.fixture(scope="module")
+def monitor_setup():
+    from repro.systems.hiperd import (HiPerDGenerationSpec, QoSSpec,
+                                      generate_hiperd_system)
+    system = generate_hiperd_system(
+        HiPerDGenerationSpec(n_sensors=2, n_actuators=1, n_machines=3,
+                             app_layers=(2, 2)), seed=55)
+    qos = QoSSpec(latency_slack=1.3)
+    analysis = build_analysis(system, qos, kinds=("loads",), seed=0)
+    return system, analysis
+
+
+class TestReplayTrace:
+    def test_benign_trace_never_alarms(self, monitor_setup):
+        system, analysis = monitor_setup
+        trace = np.tile(system.original_loads(), (10, 1))
+        outcome = replay_trace(analysis, trace)
+        assert outcome.alarm_step is None
+        assert outcome.violation_step is None
+        assert outcome.sound
+        assert outcome.lead_time is None
+
+    def test_ramp_alarm_before_violation(self, monitor_setup):
+        system, analysis = monitor_setup
+        trace = ramp_trace(system.original_loads(), 50, end_factor=3.0)
+        outcome = replay_trace(analysis, trace, name="ramp")
+        assert outcome.alarm_step is not None
+        assert outcome.violation_step is not None
+        assert outcome.alarm_step <= outcome.violation_step
+        assert outcome.lead_time >= 0
+        assert outcome.sound
+
+    def test_immediate_violation_still_sound(self, monitor_setup):
+        system, analysis = monitor_setup
+        trace = np.tile(50.0 * system.original_loads(), (3, 1))
+        outcome = replay_trace(analysis, trace)
+        assert outcome.alarm_step == 0
+        assert outcome.violation_step == 0
+        assert outcome.sound
+
+    def test_unknown_param_rejected(self, monitor_setup):
+        _, analysis = monitor_setup
+        with pytest.raises(SpecificationError, match="no perturbation"):
+            replay_trace(analysis, np.ones((2, 2)), load_param="bogus")
+
+
+class TestMonitoringExperiment:
+    def test_structure_and_soundness(self, monitor_setup):
+        system, analysis = monitor_setup
+        result = monitoring_experiment(system, analysis, n_steps=40, seed=0)
+        assert result.experiment_id == "E9"
+        assert len(result.rows) == 4
+        assert result.summary[
+            "all traces sound (alarm never after violation)"] is True
+
+    def test_ramp_row_has_lead_time(self, monitor_setup):
+        system, analysis = monitor_setup
+        result = monitoring_experiment(system, analysis, n_steps=40,
+                                       ramp_factor=3.0, seed=0)
+        ramp_row = next(r for r in result.rows if r[0] == "ramp")
+        assert ramp_row[2] != "-"      # alarmed
+        assert ramp_row[4] != "-"      # lead time defined
+
+    def test_table_renders(self, monitor_setup):
+        system, analysis = monitor_setup
+        out = monitoring_experiment(system, analysis, n_steps=20,
+                                    seed=0).to_table()
+        assert "E9" in out and "ramp" in out

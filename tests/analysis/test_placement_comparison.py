@@ -1,0 +1,54 @@
+"""Tests for the HiPer-D placement comparison (E18)."""
+
+import math
+
+import pytest
+
+from repro.analysis.placement_comparison import compare_placements
+from repro.systems.hiperd import (
+    HiPerDGenerationSpec,
+    QoSSpec,
+    generate_hiperd_system,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    spec = HiPerDGenerationSpec(n_sensors=2, n_actuators=1, n_machines=3,
+                                app_layers=(2, 2))
+    return (generate_hiperd_system(spec, seed=71),
+            QoSSpec(latency_slack=1.5, throughput_margin=0.9))
+
+
+class TestComparePlacements:
+    @pytest.fixture(scope="class")
+    def result(self, setup):
+        system, qos = setup
+        return compare_placements(system, qos, seed=71)
+
+    def test_structure(self, result):
+        assert result.experiment_id == "E18"
+        names = {row[0] for row in result.rows}
+        assert {"balanced", "fastest", "colocate", "random"} <= names
+
+    def test_refined_row_present(self, result):
+        assert any("+hillclimb" in str(row[0]) for row in result.rows)
+
+    def test_refined_at_least_best(self, result):
+        best_constructive = max(
+            row[1] for row in result.rows
+            if "+hillclimb" not in str(row[0])
+            and isinstance(row[1], float) and not math.isnan(row[1]))
+        refined = next(row[1] for row in result.rows
+                       if "+hillclimb" in str(row[0]))
+        assert refined >= best_constructive - 1e-12
+
+    def test_sorted_descending(self, result):
+        rhos = [row[1] for row in result.rows
+                if isinstance(row[1], float) and not math.isnan(row[1])]
+        assert rhos == sorted(rhos, reverse=True)
+
+    def test_no_refine_option(self, setup):
+        system, qos = setup
+        result = compare_placements(system, qos, refine_best=False, seed=71)
+        assert not any("+hillclimb" in str(row[0]) for row in result.rows)

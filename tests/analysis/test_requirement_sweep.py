@@ -1,0 +1,44 @@
+"""Tests for the rho-vs-beta requirement sweep (E11)."""
+
+import pytest
+
+from repro.analysis.requirement_sweep import requirement_sweep
+from repro.exceptions import SpecificationError
+
+
+class TestRequirementSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return requirement_sweep([2.0, 3.0, 0.5], [4.0, 2.0, 10.0],
+                                 betas=(1.1, 1.5, 2.0, 3.0))
+
+    def test_structure(self, result):
+        assert result.experiment_id == "E11"
+        assert len(result.rows) == 4
+
+    def test_sensitivity_curve_flat(self, result):
+        sens = [row[1] for row in result.rows]
+        assert max(sens) - min(sens) < 1e-12
+        assert result.summary[
+            "sensitivity curve spread (paper: exactly 0)"] < 1e-12
+
+    def test_sensitivity_value_is_inverse_sqrt_n(self, result):
+        assert result.rows[0][1] == pytest.approx(1.0 / 3.0 ** 0.5)
+
+    def test_normalized_curve_strictly_increasing(self, result):
+        norm = [row[2] for row in result.rows]
+        assert all(b > a for a, b in zip(norm, norm[1:]))
+
+    def test_normalized_growth_linear_in_beta_minus_one(self, result):
+        rows = {row[0]: row[2] for row in result.rows}
+        # (beta - 1) doubles from 1.5 to 2.0: radius must double
+        assert rows[2.0] == pytest.approx(2.0 * rows[1.5], rel=1e-9)
+
+    def test_plot_in_summary(self, result):
+        assert "beta" in result.summary["plot"]
+
+    def test_betas_validated(self):
+        with pytest.raises(SpecificationError):
+            requirement_sweep([1.0], [1.0], betas=(1.0, 2.0))
+        with pytest.raises(SpecificationError):
+            requirement_sweep([1.0], [1.0], betas=())

@@ -1,0 +1,43 @@
+"""Tests for the experiment runner/registry."""
+
+import pytest
+
+from repro.analysis.experiments import ExperimentResult
+from repro.analysis.runner import (
+    EXPERIMENT_REGISTRY,
+    run_all_experiments,
+    run_experiment,
+)
+from repro.exceptions import SpecificationError
+
+
+class TestRegistry:
+    def test_core_experiments_registered(self):
+        # the two headline results of the paper must be runnable
+        assert "E2" in EXPERIMENT_REGISTRY
+        assert "E3" in EXPERIMENT_REGISTRY
+        assert "E11" in EXPERIMENT_REGISTRY
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(SpecificationError, match="unknown experiment"):
+            run_experiment("E999")
+
+    @pytest.mark.parametrize("eid", ["E2", "E3", "E11", "E16"])
+    def test_fast_experiments_run(self, eid):
+        result = run_experiment(eid, seed=1)
+        assert isinstance(result, ExperimentResult)
+        assert result.experiment_id.startswith(eid[:2])
+        assert result.rows
+
+    def test_ids_match_results(self):
+        result = run_experiment("E2", seed=1)
+        assert result.experiment_id == "E2"
+
+
+class TestRunAll:
+    @pytest.mark.slow
+    def test_run_all(self):
+        results = run_all_experiments(seed=1)
+        assert set(results) == set(EXPERIMENT_REGISTRY)
+        for eid, result in results.items():
+            assert isinstance(result, ExperimentResult)

@@ -1,0 +1,62 @@
+"""Tests for the population and scaling studies (E12)."""
+
+import pytest
+
+from repro.analysis.study import population_study, scaling_study
+from repro.exceptions import SpecificationError
+from repro.systems.hiperd.generator import HiPerDGenerationSpec
+
+
+class TestPopulationStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        spec = HiPerDGenerationSpec(n_sensors=2, n_actuators=1,
+                                    n_machines=3, app_layers=(2, 2))
+        return population_study(n_systems=6, spec=spec, seed=13)
+
+    def test_structure(self, result):
+        assert result.experiment_id == "E12a"
+        stats = {row[0]: row[1] for row in result.rows}
+        assert stats["systems"] == 6
+
+    def test_statistics_consistent(self, result):
+        stats = {row[0]: row[1] for row in result.rows}
+        assert stats["rho min"] <= stats["rho median"] <= stats["rho max"]
+        assert stats["rho min"] <= stats["rho mean"] <= stats["rho max"]
+        assert stats["rho min"] > 0
+
+    def test_family_counts_sum(self, result):
+        counts = [row[1] for row in result.rows
+                  if str(row[0]).startswith("critical family")]
+        total = sum(int(str(c).split("/")[0]) for c in counts)
+        assert total == 6
+
+    def test_dominant_family_reported(self, result):
+        assert result.summary["dominant critical family"]
+
+    def test_reproducible(self):
+        spec = HiPerDGenerationSpec(n_sensors=2, n_actuators=1,
+                                    n_machines=3, app_layers=(2,))
+        a = population_study(n_systems=3, spec=spec, seed=7)
+        b = population_study(n_systems=3, spec=spec, seed=7)
+        assert a.rows == b.rows
+
+    def test_too_few_systems(self):
+        with pytest.raises(SpecificationError):
+            population_study(n_systems=1)
+
+
+class TestScalingStudy:
+    def test_structure_and_trend(self):
+        result = scaling_study(layer_sizes=((2, 2), (4, 4)),
+                               systems_per_size=3, seed=17)
+        assert result.experiment_id == "E12b"
+        assert len(result.rows) == 2
+        # larger systems have more features
+        assert result.rows[1][1] > result.rows[0][1]
+
+    def test_rhos_positive(self):
+        result = scaling_study(layer_sizes=((2, 2), (3, 3)),
+                               systems_per_size=2, seed=19)
+        for row in result.rows:
+            assert row[2] > 0 and row[3] > 0

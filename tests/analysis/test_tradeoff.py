@@ -1,0 +1,73 @@
+"""Tests for the makespan-robustness tradeoff experiment (E10)."""
+
+import math
+
+import pytest
+
+from repro.analysis.tradeoff import (
+    TradeoffPoint,
+    pareto_frontier,
+    tradeoff_experiment,
+)
+from repro.exceptions import SpecificationError
+from repro.systems.independent import generate_etc_gamma
+
+
+class TestParetoFrontier:
+    def test_dominated_point_excluded(self):
+        pts = [TradeoffPoint("a", 10.0, 5.0),
+               TradeoffPoint("b", 12.0, 4.0),   # dominated by a
+               TradeoffPoint("c", 8.0, 3.0)]
+        frontier = pareto_frontier(pts)
+        assert {p.label for p in frontier} == {"a", "c"}
+
+    def test_infeasible_never_in_frontier(self):
+        pts = [TradeoffPoint("a", 10.0, 5.0),
+               TradeoffPoint("bad", 1.0, float("nan"))]
+        frontier = pareto_frontier(pts)
+        assert {p.label for p in frontier} == {"a"}
+
+    def test_sorted_by_makespan(self):
+        pts = [TradeoffPoint("a", 10.0, 5.0), TradeoffPoint("b", 8.0, 3.0)]
+        frontier = pareto_frontier(pts)
+        assert [p.label for p in frontier] == ["b", "a"]
+
+    def test_duplicate_points_kept(self):
+        pts = [TradeoffPoint("a", 10.0, 5.0), TradeoffPoint("b", 10.0, 5.0)]
+        assert len(pareto_frontier(pts)) == 2
+
+    def test_empty(self):
+        assert pareto_frontier([]) == []
+
+
+class TestTradeoffExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        etc = generate_etc_gamma(14, 4, seed=41)
+        return tradeoff_experiment(etc, n_random=6,
+                                   sa_weights=(0.0, 0.5, 1.0), seed=41)
+
+    def test_structure(self, result):
+        assert result.experiment_id == "E10"
+        assert result.summary["frontier size"] >= 1
+
+    def test_frontier_points_marked(self, result):
+        starred = [r for r in result.rows if r[3] == "*"]
+        assert len(starred) == result.summary["frontier size"]
+
+    def test_frontier_is_nondominated_in_rows(self, result):
+        feas = [(r[1], r[2]) for r in result.rows
+                if isinstance(r[2], float) and not math.isnan(r[2])]
+        starred = [(r[1], r[2]) for r in result.rows if r[3] == "*"]
+        for ms, rho in starred:
+            assert not any(
+                (m2 <= ms and r2 >= rho) and (m2 < ms or r2 > rho)
+                for m2, r2 in feas)
+
+    def test_scatter_in_summary(self, result):
+        assert "makespan" in result.summary["scatter"]
+
+    def test_bad_tau_factor(self):
+        etc = generate_etc_gamma(6, 2, seed=1)
+        with pytest.raises(SpecificationError):
+            tradeoff_experiment(etc, tau_factor=1.0)

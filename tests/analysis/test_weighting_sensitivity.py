@@ -1,0 +1,69 @@
+"""Tests for the weighting-choice sensitivity experiment (E16)."""
+
+import math
+
+import pytest
+
+from repro.analysis.weighting_sensitivity import (
+    two_kind_analysis_factory,
+    weighting_sensitivity_experiment,
+)
+from repro.core.weighting import CustomWeighting, NormalizedWeighting
+from repro.exceptions import SpecificationError
+
+
+class TestExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return weighting_sensitivity_experiment(
+            alpha_exponents=(-9, -7, -6, -5, -3))
+
+    def test_structure(self, result):
+        assert result.experiment_id == "E16"
+        assert len(result.rows) == 5
+
+    def test_rho_varies_substantially(self, result):
+        assert result.summary["spread across exchange rates (max/min)"] > 10.0
+
+    def test_all_rhos_positive_finite(self, result):
+        for row in result.rows:
+            assert row[1] > 0 and math.isfinite(row[1])
+
+    def test_reference_is_normalized(self, result):
+        make = two_kind_analysis_factory(beta=1.3)
+        assert result.summary["rho(normalized reference)"] == pytest.approx(
+            make(NormalizedWeighting()).rho())
+
+    def test_plot_present(self, result):
+        assert "exchange" in result.summary["plot"]
+
+    def test_empty_exponents_rejected(self):
+        with pytest.raises(SpecificationError):
+            weighting_sensitivity_experiment(alpha_exponents=())
+
+
+class TestLimitingBehaviour:
+    def test_huge_alpha_approaches_frozen_parameter(self):
+        """alpha_msg -> inf: msg moves become infinitely expensive, so rho
+        tends to the radius with msg frozen (the exec-only restricted
+        radius)."""
+        make = two_kind_analysis_factory(beta=1.3)
+        ana_big = make(CustomWeighting({"exec": 1.0, "msg": 1e9}))
+        rho_big = ana_big.rho()
+        # exec-only restricted radius of the same feature
+        frozen = ana_big.single_parameter_radius("latency", "exec").radius
+        assert rho_big == pytest.approx(frozen, rel=1e-6)
+
+    def test_tiny_alpha_approaches_zero(self):
+        """alpha_msg -> 0: msg moves become free; since msg alone can
+        violate the latency bound, rho tends to 0."""
+        make = two_kind_analysis_factory(beta=1.3)
+        rho_tiny = make(CustomWeighting({"exec": 1.0, "msg": 1e-12})).rho()
+        assert rho_tiny < 1e-3
+
+    def test_monotone_in_alpha(self):
+        """Raising the price of msg moves can only increase the radius."""
+        make = two_kind_analysis_factory(beta=1.3)
+        rhos = [make(CustomWeighting({"exec": 1.0, "msg": a})).rho()
+                for a in (1e-4, 1e-2, 1.0, 1e2)]
+        assert all(b >= a - 1e-12 for a, b in zip(rhos, rhos[1:]))

@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.features import PerformanceFeature, ToleranceBounds
+from repro.core.fepia import FeatureSpec, RobustnessAnalysis
+from repro.core.mappings import LinearMapping
+from repro.core.perturbation import PerturbationParameter
+from repro.systems.hiperd import (
+    HiPerDGenerationSpec,
+    QoSSpec,
+    generate_hiperd_system,
+)
+from repro.systems.independent import Allocation, MakespanSystem, generate_etc_gamma
+
+
+@pytest.fixture
+def rng():
+    """A seeded generator shared by stochastic tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def two_kind_analysis() -> RobustnessAnalysis:
+    """A tiny two-kind (seconds + bytes) linear analysis.
+
+    Feature: latency = e1 + e2 + m1/1e6 with originals e=(2,3), m=(1e4,);
+    bound 1.3x original.
+    """
+    exec_times = PerturbationParameter.nonnegative(
+        "exec_times", [2.0, 3.0], unit="s")
+    msg_sizes = PerturbationParameter.nonnegative(
+        "msg_sizes", [1e4], unit="bytes")
+    mapping = LinearMapping([1.0, 1.0, 1e-6])
+    phi0 = mapping.value(np.array([2.0, 3.0, 1e4]))
+    feature = PerformanceFeature(
+        "latency", ToleranceBounds.relative(phi0, 1.3), unit="s")
+    return RobustnessAnalysis([FeatureSpec(feature, mapping)],
+                              [exec_times, msg_sizes])
+
+
+@pytest.fixture
+def small_etc():
+    """A small reproducible gamma ETC matrix (10 tasks x 3 machines)."""
+    return generate_etc_gamma(10, 3, seed=7)
+
+
+@pytest.fixture
+def small_makespan_system(small_etc) -> MakespanSystem:
+    """A MakespanSystem under a fixed deterministic allocation."""
+    assignment = np.arange(small_etc.n_tasks) % small_etc.n_machines
+    return MakespanSystem(small_etc, Allocation(assignment, small_etc.n_machines))
+
+
+@pytest.fixture(scope="session")
+def hiperd_system():
+    """A session-scoped random HiPer-D system (generation is not free)."""
+    spec = HiPerDGenerationSpec(n_sensors=2, n_actuators=2, n_machines=3,
+                                app_layers=(3, 2))
+    return generate_hiperd_system(spec, seed=99)
+
+
+@pytest.fixture(scope="session")
+def hiperd_qos() -> QoSSpec:
+    """A QoS spec with comfortable slack for the session system."""
+    return QoSSpec(latency_slack=1.5, throughput_margin=0.9)

@@ -1,0 +1,90 @@
+"""Tests for repro.core.boundary (affine-structure recognition)."""
+
+import numpy as np
+import pytest
+
+from repro.core.boundary import BoundaryCrossing, as_linear
+from repro.core.mappings import (
+    CallableMapping,
+    LinearMapping,
+    QuadraticMapping,
+    RestrictedMapping,
+    ReweightedMapping,
+    SumMapping,
+)
+
+
+class TestAsLinear:
+    def test_linear_identity(self):
+        m = LinearMapping([1.0, 2.0], 3.0)
+        assert as_linear(m) is m
+
+    def test_quadratic_not_linear(self):
+        assert as_linear(QuadraticMapping(np.eye(2))) is None
+
+    def test_callable_not_linear(self):
+        assert as_linear(CallableMapping(lambda x: 0.0, 2)) is None
+
+    def test_reweighted_linear(self, rng):
+        base = LinearMapping([2.0, 6.0], 1.0)
+        alphas = np.array([2.0, 3.0])
+        lin = as_linear(ReweightedMapping(base, alphas))
+        assert lin is not None
+        np.testing.assert_allclose(lin.coefficients, [1.0, 2.0])
+        assert lin.constant == 1.0
+        # the extracted mapping agrees with the wrapped one everywhere
+        x = rng.normal(size=2)
+        assert lin.value(x) == pytest.approx(
+            ReweightedMapping(base, alphas).value(x))
+
+    def test_reweighted_quadratic_is_none(self):
+        m = ReweightedMapping(QuadraticMapping(np.eye(2)), [1.0, 1.0])
+        assert as_linear(m) is None
+
+    def test_restricted_linear_folds_constant(self):
+        base = LinearMapping([1.0, 10.0, 100.0], 5.0)
+        ref = np.array([1.0, 2.0, 3.0])
+        r = RestrictedMapping(base, [1], ref)
+        lin = as_linear(r)
+        assert lin is not None
+        np.testing.assert_allclose(lin.coefficients, [10.0])
+        # frozen: 1*1 + 100*3 + 5 = 306
+        assert lin.constant == pytest.approx(306.0)
+        assert lin.value(np.array([2.0])) == pytest.approx(r.value(np.array([2.0])))
+
+    def test_sum_of_linear(self):
+        m = SumMapping([LinearMapping([1.0, 0.0], 1.0),
+                        LinearMapping([0.0, 2.0], 2.0)])
+        lin = as_linear(m)
+        np.testing.assert_allclose(lin.coefficients, [1.0, 2.0])
+        assert lin.constant == 3.0
+
+    def test_sum_with_nonlinear_is_none(self):
+        m = SumMapping([LinearMapping([1.0, 0.0]),
+                        QuadraticMapping(np.eye(2))])
+        assert as_linear(m) is None
+
+    def test_nested_restricted_reweighted(self, rng):
+        base = LinearMapping(rng.normal(size=4), 0.5)
+        rew = ReweightedMapping(base, rng.uniform(1.0, 2.0, size=4))
+        res = RestrictedMapping(rew, [0, 2], rng.normal(size=4))
+        lin = as_linear(res)
+        assert lin is not None
+        y = rng.normal(size=2)
+        assert lin.value(y) == pytest.approx(res.value(y))
+
+
+class TestBoundaryCrossing:
+    def test_coercion(self):
+        c = BoundaryCrossing([1, 2], 3, 4)
+        assert c.point.dtype == np.float64
+        assert c.bound == 3.0
+        assert c.distance == 4.0
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            BoundaryCrossing(np.zeros(2), 1.0, -1.0)
+
+    def test_nan_distance_rejected(self):
+        with pytest.raises(ValueError):
+            BoundaryCrossing(np.zeros(2), 1.0, float("nan"))

@@ -1,0 +1,140 @@
+"""Tests for the criticality (witness-direction) decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.core.criticality import criticality_report
+from repro.core.features import PerformanceFeature, ToleranceBounds
+from repro.core.fepia import FeatureSpec, RobustnessAnalysis
+from repro.core.mappings import LinearMapping
+from repro.core.perturbation import PerturbationParameter
+from repro.core.weighting import IdentityWeighting, NormalizedWeighting
+
+
+def build(ks, bound, origs=None, weighting=None, names=None):
+    origs = origs if origs is not None else np.ones(len(ks))
+    if names is None:
+        params = [PerturbationParameter("x", origs)]
+    else:
+        params = [PerturbationParameter(n, [o]) for n, o in zip(names, origs)]
+    spec = FeatureSpec(PerformanceFeature("f", ToleranceBounds.upper(bound)),
+                       LinearMapping(ks))
+    return RobustnessAnalysis([spec], params,
+                              weighting=weighting or IdentityWeighting())
+
+
+class TestSharesLinear:
+    def test_shares_proportional_to_squared_coefficients(self):
+        # witness direction of a hyperplane is k/||k||; shares = k^2/||k||^2
+        ana = build([3.0, 4.0], bound=10.0)
+        report = criticality_report(ana)
+        row = report.rows[0]
+        shares = {e.index: e.share for e in row.element_shares}
+        assert shares[0] == pytest.approx(9.0 / 25.0)
+        assert shares[1] == pytest.approx(16.0 / 25.0)
+
+    def test_shares_sum_to_one(self):
+        ana = build([1.0, 2.0, 3.0, 4.0], bound=50.0)
+        row = criticality_report(ana).rows[0]
+        assert sum(e.share for e in row.element_shares) == pytest.approx(1.0)
+
+    def test_signed_move_positive_for_upper_bound(self):
+        ana = build([1.0, 1.0], bound=10.0)
+        row = criticality_report(ana).rows[0]
+        assert all(e.signed_move > 0 for e in row.element_shares)
+
+    def test_signed_move_negative_for_lower_bound(self):
+        params = [PerturbationParameter("x", [5.0, 5.0])]
+        spec = FeatureSpec(
+            PerformanceFeature("f", ToleranceBounds.lower(2.0)),
+            LinearMapping([1.0, 1.0]))
+        ana = RobustnessAnalysis([spec], params,
+                                 weighting=IdentityWeighting())
+        row = criticality_report(ana).rows[0]
+        assert all(e.signed_move < 0 for e in row.element_shares)
+
+    def test_sorted_descending(self):
+        ana = build([1.0, 5.0, 3.0], bound=30.0)
+        row = criticality_report(ana).rows[0]
+        shares = [e.share for e in row.element_shares]
+        assert shares == sorted(shares, reverse=True)
+
+    def test_top_elements(self):
+        ana = build([1.0, 5.0, 3.0], bound=30.0)
+        row = criticality_report(ana).rows[0]
+        assert len(row.top_elements(2)) == 2
+        assert row.top_elements(1)[0].index == 1
+
+
+class TestParameterAggregation:
+    def test_dominant_parameter(self):
+        ana = build([1.0, 10.0], bound=50.0, names=["weak", "strong"])
+        row = criticality_report(ana).rows[0]
+        assert row.dominant_parameter == "strong"
+        assert row.parameter_shares["strong"] > 0.9
+
+    def test_parameter_shares_sum_to_one(self):
+        ana = build([2.0, 3.0], bound=30.0, names=["a", "b"])
+        row = criticality_report(ana).rows[0]
+        assert sum(row.parameter_shares.values()) == pytest.approx(1.0)
+
+
+class TestZeroRadius:
+    def test_boundary_origin_uses_gradient_shares(self):
+        # origin exactly on the boundary: radius 0, witness == origin, so
+        # shares come from the gradient direction instead
+        p = PerturbationParameter("x", [1.0, 1.0])
+        ana = RobustnessAnalysis(
+            [FeatureSpec(PerformanceFeature("on_boundary",
+                                            ToleranceBounds.upper(7.0)),
+                         LinearMapping([3.0, 4.0]))],
+            [p], weighting=IdentityWeighting())
+        report = criticality_report(ana)
+        row = report.rows[0]
+        assert row.radius == 0.0
+        shares = {e.index: e.share for e in row.element_shares}
+        assert shares[0] == pytest.approx(9.0 / 25.0)
+        assert shares[1] == pytest.approx(16.0 / 25.0)
+
+
+class TestReportStructure:
+    def test_rows_sorted_by_radius(self):
+        p = PerturbationParameter("x", [1.0, 1.0])
+        near = FeatureSpec(PerformanceFeature("near", ToleranceBounds.upper(3.0)),
+                           LinearMapping([1.0, 1.0]))
+        far = FeatureSpec(PerformanceFeature("far", ToleranceBounds.upper(30.0)),
+                          LinearMapping([1.0, 1.0]))
+        ana = RobustnessAnalysis([far, near], [p],
+                                 weighting=IdentityWeighting())
+        report = criticality_report(ana)
+        assert [r.feature for r in report.rows] == ["near", "far"]
+
+    def test_infinite_radius_skipped(self):
+        p = PerturbationParameter("x", [1.0])
+        finite = FeatureSpec(
+            PerformanceFeature("finite", ToleranceBounds.upper(5.0)),
+            LinearMapping([1.0]))
+        never = FeatureSpec(
+            PerformanceFeature("never", ToleranceBounds.upper(5.0)),
+            LinearMapping([0.0], constant=1.0))
+        ana = RobustnessAnalysis([finite, never], [p],
+                                 weighting=IdentityWeighting())
+        report = criticality_report(ana)
+        assert report.skipped == ("never",)
+        assert [r.feature for r in report.rows] == ["finite"]
+
+    def test_table_renders(self):
+        ana = build([1.0, 2.0], bound=10.0)
+        out = criticality_report(ana).to_table()
+        assert "criticality" in out
+        assert "f" in out
+
+    def test_normalized_weighting_path(self, hiperd_system, hiperd_qos):
+        from repro.systems.hiperd.constraints import build_analysis
+        ana = build_analysis(hiperd_system, hiperd_qos,
+                             kinds=("loads", "msgsize"), seed=0)
+        report = criticality_report(ana)
+        assert report.rows
+        for row in report.rows:
+            assert set(row.parameter_shares) == {"loads", "msgsize"}
+            assert sum(row.parameter_shares.values()) == pytest.approx(1.0)

@@ -1,0 +1,169 @@
+"""Tests for the Section 3 closed forms — the paper's headline results."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.degeneracy import (
+    LinearCase,
+    normalized_radius_linear,
+    per_parameter_radius_linear,
+    sensitivity_alphas_linear,
+    sensitivity_radius_linear,
+)
+from repro.exceptions import SpecificationError
+
+positive = st.floats(min_value=1e-3, max_value=1e3, allow_nan=False)
+betas = st.floats(min_value=1.01, max_value=10.0, allow_nan=False)
+
+
+def cases(n_min=1, n_max=8):
+    """Hypothesis strategy for random LinearCase instances."""
+    return st.integers(min_value=n_min, max_value=n_max).flatmap(
+        lambda n: st.tuples(
+            st.lists(positive, min_size=n, max_size=n),
+            st.lists(positive, min_size=n, max_size=n),
+            betas,
+        )).map(lambda t: LinearCase(t[0], t[1], t[2]))
+
+
+class TestLinearCase:
+    def test_basic_properties(self):
+        case = LinearCase([2.0, 3.0], [4.0, 2.0], 1.2)
+        assert case.n == 2
+        assert case.phi_orig == pytest.approx(14.0)
+        assert case.beta_max == pytest.approx(16.8)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SpecificationError):
+            LinearCase([1.0], [1.0, 2.0], 1.5)
+
+    def test_zero_coefficient_rejected(self):
+        with pytest.raises(SpecificationError, match="nonzero"):
+            LinearCase([0.0, 1.0], [1.0, 1.0], 1.5)
+
+    def test_nonpositive_original_rejected(self):
+        with pytest.raises(SpecificationError):
+            LinearCase([1.0], [0.0], 1.5)
+
+    def test_beta_at_most_one_rejected(self):
+        with pytest.raises(SpecificationError, match="beta"):
+            LinearCase([1.0], [1.0], 1.0)
+
+
+class TestPerParameterRadius:
+    def test_paper_formula(self):
+        # r_j = (beta - 1)/k_j * sum_m k_m pi_m^orig
+        case = LinearCase([2.0, 3.0], [4.0, 2.0], 1.2)
+        assert per_parameter_radius_linear(case, 0) == pytest.approx(
+            0.2 / 2.0 * 14.0)
+        assert per_parameter_radius_linear(case, 1) == pytest.approx(
+            0.2 / 3.0 * 14.0)
+
+    def test_index_checked(self):
+        case = LinearCase([1.0], [1.0], 1.5)
+        with pytest.raises(SpecificationError):
+            per_parameter_radius_linear(case, 1)
+
+    def test_matches_direct_boundary_solve(self, rng):
+        # Independently: freeze other params, solve k_j pi_j = beta_max -
+        # sum_{m != j} k_m pi_m^orig for pi_j, subtract the original.
+        for _ in range(10):
+            n = int(rng.integers(2, 6))
+            case = LinearCase(rng.uniform(0.5, 5.0, n),
+                              rng.uniform(0.5, 5.0, n),
+                              float(rng.uniform(1.05, 2.0)))
+            j = int(rng.integers(n))
+            frozen = case.phi_orig - case.coefficients[j] * case.originals[j]
+            pi_boundary = (case.beta_max - frozen) / case.coefficients[j]
+            expected = pi_boundary - case.originals[j]
+            assert per_parameter_radius_linear(case, j) == pytest.approx(expected)
+
+
+class TestSensitivityAlphas:
+    def test_equation_3(self):
+        case = LinearCase([2.0, 3.0], [4.0, 2.0], 1.2)
+        alphas = sensitivity_alphas_linear(case)
+        denom = 0.2 * 14.0
+        np.testing.assert_allclose(alphas, [2.0 / denom, 3.0 / denom])
+
+    def test_reciprocal_of_radii(self):
+        case = LinearCase([1.0, 5.0, 0.3], [2.0, 0.1, 7.0], 1.7)
+        alphas = sensitivity_alphas_linear(case)
+        for j in range(case.n):
+            assert alphas[j] == pytest.approx(
+                1.0 / per_parameter_radius_linear(case, j))
+
+
+class TestDegeneracyTheorem:
+    """The paper's central negative result: r == 1/sqrt(n), always."""
+
+    @given(case=cases())
+    @settings(max_examples=200)
+    def test_sensitivity_radius_is_inverse_sqrt_n(self, case):
+        assert sensitivity_radius_linear(case) == pytest.approx(
+            1.0 / math.sqrt(case.n), rel=1e-9)
+
+    def test_independent_of_beta(self):
+        for beta in (1.01, 1.2, 2.0, 10.0, 100.0):
+            case = LinearCase([1.0, 2.0, 3.0], [4.0, 5.0, 6.0], beta)
+            assert sensitivity_radius_linear(case) == pytest.approx(
+                1.0 / math.sqrt(3))
+
+    def test_independent_of_scale(self):
+        base = LinearCase([1.0, 2.0], [3.0, 4.0], 1.5)
+        scaled = LinearCase([1e6, 2e-6], [3e-3, 4e9], 1.5)
+        assert sensitivity_radius_linear(base) == pytest.approx(
+            sensitivity_radius_linear(scaled))
+
+
+class TestNormalizedRadius:
+    def test_paper_formula(self):
+        case = LinearCase([2.0, 3.0], [4.0, 2.0], 1.2)
+        weighted = np.array([8.0, 6.0])
+        expected = 0.2 * 14.0 / math.sqrt(float(np.sum(weighted ** 2)))
+        assert normalized_radius_linear(case) == pytest.approx(expected)
+
+    @given(case=cases())
+    @settings(max_examples=100)
+    def test_scales_linearly_with_beta_minus_one(self, case):
+        r1 = normalized_radius_linear(case)
+        case2 = LinearCase(case.coefficients, case.originals,
+                           1.0 + 2.0 * (case.beta - 1.0))
+        assert normalized_radius_linear(case2) == pytest.approx(2.0 * r1,
+                                                                rel=1e-9)
+
+    @given(case=cases(n_min=2))
+    @settings(max_examples=100)
+    def test_depends_on_coefficients(self, case):
+        # Doubling one coefficient changes the radius (unless a symmetric
+        # coincidence, which the strategy's continuous draws make
+        # measure-zero; we only require inequality beyond float noise
+        # *or* detectable formula agreement).
+        k2 = case.coefficients.copy()
+        k2[0] *= 2.0
+        case2 = LinearCase(k2, case.originals, case.beta)
+        r1 = normalized_radius_linear(case)
+        r2 = normalized_radius_linear(case2)
+        w1 = case.coefficients * case.originals
+        w2 = k2 * case.originals
+        expected_ratio = (np.sum(w2) / math.sqrt(np.sum(w2 ** 2))) / (
+            np.sum(w1) / math.sqrt(np.sum(w1 ** 2)))
+        assert r2 / r1 == pytest.approx(expected_ratio, rel=1e-9)
+
+    @given(case=cases())
+    @settings(max_examples=100)
+    def test_bounded_by_sqrt_n_times_beta_minus_one(self, case):
+        # |sum w| / sqrt(sum w^2) <= sqrt(n) (Cauchy-Schwarz); with
+        # positive weights it is also >= 1.
+        r = normalized_radius_linear(case)
+        assert r <= (case.beta - 1.0) * math.sqrt(case.n) * (1 + 1e-12)
+        assert r >= (case.beta - 1.0) * (1 - 1e-12)
+
+    def test_single_parameter_reduces_to_relative_slack(self):
+        # n = 1: radius = (beta - 1) exactly (relative change to boundary).
+        case = LinearCase([7.0], [3.0], 1.4)
+        assert normalized_radius_linear(case) == pytest.approx(0.4)

@@ -1,0 +1,121 @@
+"""Tests for the operating-point feasibility procedure (Sec. 3.1 a-c)."""
+
+import numpy as np
+import pytest
+
+from repro.core.feasibility import FeasibilityChecker, FeasibilityVerdict
+from repro.core.features import PerformanceFeature, ToleranceBounds
+from repro.core.fepia import FeatureSpec, RobustnessAnalysis
+from repro.core.mappings import LinearMapping
+from repro.core.perturbation import PerturbationParameter
+from repro.core.weighting import NormalizedWeighting, SensitivityWeighting
+
+
+@pytest.fixture
+def checker():
+    exec_p = PerturbationParameter.nonnegative("exec", [2.0, 4.0], unit="s")
+    msg_p = PerturbationParameter.nonnegative("msg", [100.0], unit="bytes")
+    spec = FeatureSpec(
+        PerformanceFeature("latency", ToleranceBounds.upper(12.0)),
+        LinearMapping([1.0, 1.0, 0.01]))
+    ana = RobustnessAnalysis([spec], [exec_p, msg_p],
+                             weighting=NormalizedWeighting())
+    return FeasibilityChecker(ana)
+
+
+class TestVerdicts:
+    def test_original_point_is_safe(self, checker):
+        v = checker.check({})
+        assert v.within_radius
+        assert v.actually_feasible
+        assert v.distance == 0.0
+        assert v.is_sound
+        assert not v.is_conservative
+
+    def test_small_move_safe(self, checker):
+        v = checker.check({"exec": [2.1, 4.1]})
+        assert v.within_radius and v.actually_feasible
+
+    def test_large_move_flagged_and_infeasible(self, checker):
+        v = checker.check({"exec": [10.0, 10.0]})
+        assert not v.within_radius
+        assert not v.actually_feasible
+        assert v.is_sound
+
+    def test_conservative_region_exists(self, checker):
+        # Move far in a harmless direction (decreasing times): outside the
+        # ball but still feasible -> the documented conservatism.
+        v = checker.check({"exec": [0.1, 0.1], "msg": [1.0]})
+        assert v.is_conservative
+        assert v.is_sound
+
+    def test_soundness_everywhere_inside_ball(self, checker, rng):
+        # Random points with ||P - P_orig|| < rho must all be feasible.
+        ana = checker.analysis
+        ps = ana.pspace()
+        rho = ana.rho()
+        for _ in range(200):
+            direction = rng.normal(size=ps.dimension)
+            direction /= np.linalg.norm(direction)
+            p = ps.p_orig + direction * rho * rng.random() * 0.999
+            pi = ps.from_p(p)
+            values = ps.split_values(pi)
+            v = checker.check(values)
+            assert v.is_sound
+            if v.within_radius:
+                assert v.actually_feasible
+
+    def test_feature_values_reported(self, checker):
+        v = checker.check({"msg": [200.0]})
+        assert v.feature_values["latency"] == pytest.approx(8.0)
+
+
+class TestSensitivityWeightingPath:
+    def test_per_feature_distances(self):
+        exec_p = PerturbationParameter.nonnegative("exec", [2.0], unit="s")
+        msg_p = PerturbationParameter.nonnegative("msg", [100.0], unit="bytes")
+        f1 = FeatureSpec(
+            PerformanceFeature("exec_only", ToleranceBounds.upper(4.0)),
+            LinearMapping([1.0, 0.0]))
+        f2 = FeatureSpec(
+            PerformanceFeature("msg_only", ToleranceBounds.upper(300.0)),
+            LinearMapping([0.0, 1.0]))
+        ana = RobustnessAnalysis([f1, f2], [exec_p, msg_p],
+                                 weighting=SensitivityWeighting())
+        checker = FeasibilityChecker(ana)
+        v = checker.check({"exec": [2.5], "msg": [150.0]})
+        assert v.is_sound
+        assert v.within_radius
+        assert v.actually_feasible
+
+    def test_violating_point_detected(self):
+        exec_p = PerturbationParameter.nonnegative("exec", [2.0], unit="s")
+        f1 = FeatureSpec(
+            PerformanceFeature("exec_only", ToleranceBounds.upper(4.0)),
+            LinearMapping([1.0]))
+        ana = RobustnessAnalysis([f1], [exec_p],
+                                 weighting=SensitivityWeighting())
+        v = FeasibilityChecker(ana).check({"exec": [5.0]})
+        assert not v.actually_feasible
+        assert not v.within_radius
+
+
+class TestBatchAndSummary:
+    def test_check_many(self, checker):
+        verdicts = checker.check_many([{}, {"exec": [10.0, 10.0]}])
+        assert len(verdicts) == 2
+        assert verdicts[0].within_radius and not verdicts[1].within_radius
+
+    def test_summary_table(self, checker):
+        verdicts = checker.check_many(
+            [{}, {"exec": [10.0, 10.0]}, {"exec": [0.1, 0.1]}])
+        table = FeasibilityChecker.summary_table(verdicts)
+        assert "inside ball" in table
+        assert "outside ball" in table
+        assert "WARNING" not in table
+
+    def test_summary_flags_unsoundness(self):
+        bad = FeasibilityVerdict(within_radius=True, distance=0.1, rho=1.0,
+                                 actually_feasible=False, feature_values={})
+        table = FeasibilityChecker.summary_table([bad])
+        assert "WARNING" in table

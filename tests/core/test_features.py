@@ -1,0 +1,113 @@
+"""Tests for repro.core.features (FePIA step 1)."""
+
+import math
+
+import pytest
+
+from repro.core.features import PerformanceFeature, ToleranceBounds
+from repro.exceptions import SpecificationError
+
+
+class TestToleranceBounds:
+    def test_two_sided(self):
+        b = ToleranceBounds(1.0, 2.0)
+        assert b.beta_min == 1.0 and b.beta_max == 2.0
+
+    def test_upper_only(self):
+        b = ToleranceBounds.upper(5.0)
+        assert math.isinf(b.beta_min) and b.beta_max == 5.0
+
+    def test_lower_only(self):
+        b = ToleranceBounds.lower(0.5)
+        assert b.beta_min == 0.5 and math.isinf(b.beta_max)
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(SpecificationError, match="empty"):
+            ToleranceBounds(2.0, 2.0)
+
+    def test_inverted_rejected(self):
+        with pytest.raises(SpecificationError, match="empty"):
+            ToleranceBounds(3.0, 1.0)
+
+    def test_both_infinite_rejected(self):
+        with pytest.raises(SpecificationError, match="finite"):
+            ToleranceBounds()
+
+    def test_nan_rejected(self):
+        with pytest.raises(SpecificationError, match="NaN"):
+            ToleranceBounds(float("nan"), 1.0)
+
+    def test_relative_upper(self):
+        b = ToleranceBounds.relative(10.0, 1.2)
+        assert b.beta_max == pytest.approx(12.0)
+        assert math.isinf(b.beta_min)
+
+    def test_relative_two_sided(self):
+        b = ToleranceBounds.relative(10.0, 1.2, two_sided=True)
+        assert b.beta_min == pytest.approx(8.0)
+        assert b.beta_max == pytest.approx(12.0)
+
+    def test_relative_requires_beta_above_one(self):
+        with pytest.raises(SpecificationError, match="beta > 1"):
+            ToleranceBounds.relative(10.0, 1.0)
+
+    def test_relative_requires_positive_original(self):
+        with pytest.raises(SpecificationError, match="positive"):
+            ToleranceBounds.relative(0.0, 1.5)
+
+    def test_finite_bounds(self):
+        assert ToleranceBounds(1.0, 2.0).finite_bounds == (1.0, 2.0)
+        assert ToleranceBounds.upper(2.0).finite_bounds == (2.0,)
+        assert ToleranceBounds.lower(1.0).finite_bounds == (1.0,)
+
+    @pytest.mark.parametrize("value,expected", [
+        (0.5, False), (1.0, True), (1.5, True), (2.0, True), (2.5, False)])
+    def test_contains_closed(self, value, expected):
+        assert ToleranceBounds(1.0, 2.0).contains(value) is expected
+
+    def test_contains_strict_excludes_boundary(self):
+        b = ToleranceBounds(1.0, 2.0)
+        assert not b.contains(1.0, strict=True)
+        assert not b.contains(2.0, strict=True)
+        assert b.contains(1.5, strict=True)
+
+    def test_violation_amount(self):
+        b = ToleranceBounds(1.0, 2.0)
+        assert b.violation_amount(1.5) == 0.0
+        assert b.violation_amount(2.5) == pytest.approx(0.5)
+        assert b.violation_amount(0.25) == pytest.approx(0.75)
+
+    def test_frozen(self):
+        b = ToleranceBounds.upper(1.0)
+        with pytest.raises(AttributeError):
+            b.beta_max = 2.0
+
+
+class TestPerformanceFeature:
+    def test_construction(self):
+        f = PerformanceFeature("makespan", ToleranceBounds.upper(100.0),
+                               unit="s")
+        assert f.name == "makespan"
+        assert f.unit == "s"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SpecificationError, match="non-empty"):
+            PerformanceFeature("", ToleranceBounds.upper(1.0))
+
+    def test_wrong_bounds_type_rejected(self):
+        with pytest.raises(SpecificationError, match="ToleranceBounds"):
+            PerformanceFeature("f", (0.0, 1.0))
+
+    def test_is_satisfied(self):
+        f = PerformanceFeature("f", ToleranceBounds.upper(10.0))
+        assert f.is_satisfied(9.9)
+        assert f.is_satisfied(10.0)
+        assert not f.is_satisfied(10.0, strict=True)
+        assert not f.is_satisfied(10.1)
+
+    def test_description_not_compared(self):
+        a = PerformanceFeature("f", ToleranceBounds.upper(1.0),
+                               description="one")
+        b = PerformanceFeature("f", ToleranceBounds.upper(1.0),
+                               description="two")
+        assert a == b

@@ -1,0 +1,202 @@
+"""Tests for the FePIA orchestration (RobustnessAnalysis)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.features import PerformanceFeature, ToleranceBounds
+from repro.core.fepia import FeatureSpec, RobustnessAnalysis
+from repro.core.mappings import LinearMapping
+from repro.core.perturbation import PerturbationParameter
+from repro.core.weighting import (
+    CustomWeighting,
+    IdentityWeighting,
+    NormalizedWeighting,
+    SensitivityWeighting,
+)
+from repro.exceptions import SpecificationError
+
+
+def make_analysis(weighting=None, **kw):
+    """phi1 = e1 + e2 (bound 12), phi2 = m1 (bound 300); e=(2,4), m=(100,)."""
+    exec_p = PerturbationParameter.nonnegative("exec", [2.0, 4.0], unit="s")
+    msg_p = PerturbationParameter.nonnegative("msg", [100.0], unit="bytes")
+    phi1 = FeatureSpec(
+        PerformanceFeature("sum_exec", ToleranceBounds.upper(12.0)),
+        LinearMapping([1.0, 1.0, 0.0]))
+    phi2 = FeatureSpec(
+        PerformanceFeature("msg_len", ToleranceBounds.upper(300.0)),
+        LinearMapping([0.0, 0.0, 1.0]))
+    return RobustnessAnalysis([phi1, phi2], [exec_p, msg_p],
+                              weighting=weighting, **kw)
+
+
+class TestConstruction:
+    def test_dimension(self):
+        assert make_analysis().dimension == 3
+
+    def test_duplicate_feature_names_rejected(self):
+        p = PerturbationParameter("x", [1.0])
+        spec = FeatureSpec(PerformanceFeature("f", ToleranceBounds.upper(5.0)),
+                           LinearMapping([1.0]))
+        with pytest.raises(SpecificationError, match="duplicate"):
+            RobustnessAnalysis([spec, spec], [p])
+
+    def test_mapping_dimension_mismatch_rejected(self):
+        p = PerturbationParameter("x", [1.0])
+        spec = FeatureSpec(PerformanceFeature("f", ToleranceBounds.upper(5.0)),
+                           LinearMapping([1.0, 1.0]))
+        with pytest.raises(SpecificationError, match="flat"):
+            RobustnessAnalysis([spec], [p])
+
+    def test_empty_features_rejected(self):
+        p = PerturbationParameter("x", [1.0])
+        with pytest.raises(SpecificationError):
+            RobustnessAnalysis([], [p])
+
+    def test_default_weighting_is_normalized(self):
+        assert isinstance(make_analysis().weighting, NormalizedWeighting)
+
+
+class TestSingleParameterRadii:
+    def test_restricted_to_one_parameter(self):
+        ana = make_analysis()
+        # phi1 = e1 + e2, orig 6, bound 12: radius vs exec alone is
+        # 6/sqrt(2) in exec units.
+        res = ana.single_parameter_radius("sum_exec", "exec")
+        assert res.radius == pytest.approx(6.0 / np.sqrt(2))
+
+    def test_insensitive_parameter_gives_infinity(self):
+        ana = make_analysis()
+        # phi1 does not depend on msg at all
+        res = ana.single_parameter_radius("sum_exec", "msg")
+        assert math.isinf(res.radius)
+
+    def test_per_parameter_radii_dict(self):
+        ana = make_analysis()
+        radii = ana.per_parameter_radii("msg_len")
+        assert math.isinf(radii["exec"])
+        assert radii["msg"] == pytest.approx(200.0)
+
+    def test_unknown_feature(self):
+        with pytest.raises(SpecificationError, match="unknown feature"):
+            make_analysis().single_parameter_radius("nope", "exec")
+
+    def test_unknown_parameter(self):
+        with pytest.raises(SpecificationError, match="unknown parameter"):
+            make_analysis().single_parameter_radius("sum_exec", "nope")
+
+    def test_caching_returns_same_object(self):
+        ana = make_analysis()
+        r1 = ana.single_parameter_radius("sum_exec", "exec")
+        r2 = ana.single_parameter_radius("sum_exec", "exec")
+        assert r1 is r2
+
+
+class TestPSpaceRadii:
+    def test_normalized_matches_closed_form(self):
+        ana = make_analysis()
+        # phi1 in P-space: 2*P1 + 4*P2 = 12 from (1,1): gap 6, ||k||=sqrt(20)
+        assert ana.radius("sum_exec").radius == pytest.approx(
+            6.0 / np.sqrt(20.0))
+
+    def test_rho_is_min(self):
+        ana = make_analysis()
+        radii = [ana.radius(s).radius for s in ana.features]
+        assert ana.rho() == pytest.approx(min(radii))
+
+    def test_critical_feature(self):
+        ana = make_analysis()
+        crit = ana.critical_feature()
+        assert ana.radius(crit).radius == pytest.approx(ana.rho())
+
+    def test_sensitivity_weighting_drops_insensitive_params(self):
+        ana = make_analysis(weighting=SensitivityWeighting())
+        # phi2 depends only on msg: with exec dropped, P-space is 1-D and
+        # the radius is (300-100)/100 / (1/r) ... alpha = 1/200 so
+        # P_orig = 0.5, boundary at P = 1.5 -> radius 1.
+        res = ana.radius("msg_len")
+        assert res.radius == pytest.approx(1.0)
+
+    def test_sensitivity_one_param_feature_radius_is_one(self):
+        # For a feature linear in ONE one-element parameter, the paper's
+        # 1/sqrt(n) with n=1 gives exactly 1.
+        ana = make_analysis(weighting=SensitivityWeighting())
+        assert ana.radius("msg_len").radius == pytest.approx(1.0)
+
+    def test_identity_weighting_rejected_for_mixed_units(self):
+        from repro.exceptions import UnitMismatchError
+        ana = make_analysis(weighting=IdentityWeighting())
+        with pytest.raises(UnitMismatchError):
+            ana.rho()
+
+    def test_custom_weighting(self):
+        ana = make_analysis(weighting=CustomWeighting(
+            {"exec": 1.0, "msg": 0.01}))
+        assert np.isfinite(ana.rho())
+
+    def test_pspace_shared_for_normalized(self):
+        ana = make_analysis()
+        assert ana.pspace("sum_exec") is ana.pspace("msg_len")
+
+    def test_pspace_per_feature_for_sensitivity(self):
+        ana = make_analysis(weighting=SensitivityWeighting())
+        ps1 = ana.pspace("sum_exec")
+        ps2 = ana.pspace("msg_len")
+        assert ps1 is not ps2
+
+    def test_pspace_requires_feature_for_sensitivity(self):
+        ana = make_analysis(weighting=SensitivityWeighting())
+        with pytest.raises(SpecificationError, match="per-feature"):
+            ana.pspace()
+
+    def test_radius_cached(self):
+        ana = make_analysis()
+        assert ana.radius("sum_exec") is ana.radius("sum_exec")
+
+
+class TestDirectEvaluation:
+    def test_feature_values_at_original(self):
+        vals = make_analysis().feature_values()
+        assert vals["sum_exec"] == pytest.approx(6.0)
+        assert vals["msg_len"] == pytest.approx(100.0)
+
+    def test_feature_values_partial_override(self):
+        vals = make_analysis().feature_values({"msg": [250.0]})
+        assert vals["sum_exec"] == pytest.approx(6.0)
+        assert vals["msg_len"] == pytest.approx(250.0)
+
+    def test_feature_values_flat_vector(self):
+        vals = make_analysis().feature_values(np.array([1.0, 1.0, 50.0]))
+        assert vals["sum_exec"] == pytest.approx(2.0)
+
+    def test_all_satisfied(self):
+        ana = make_analysis()
+        assert ana.all_satisfied()
+        assert not ana.all_satisfied({"msg": [301.0]})
+
+    def test_flat_vector_length_checked(self):
+        with pytest.raises(SpecificationError):
+            make_analysis().feature_values(np.zeros(5))
+
+
+class TestPhysicalBounds:
+    def test_respecting_bounds_changes_search(self):
+        # phi = e1 - e2 style: lower bound violation only reachable by
+        # negative values, which physical bounds forbid.
+        exec_p = PerturbationParameter.nonnegative("exec", [1.0, 1.0])
+        spec = FeatureSpec(
+            PerformanceFeature("diff", ToleranceBounds(-1.5, 10.0)),
+            LinearMapping([1.0, 1.0]))
+        free = RobustnessAnalysis(
+            [spec], [exec_p], weighting=IdentityWeighting())
+        constrained = RobustnessAnalysis(
+            [spec], [exec_p], weighting=IdentityWeighting(),
+            respect_physical_bounds=True)
+        # Unconstrained: distance to plane e1+e2=-1.5 is 3.5/sqrt(2) < to
+        # the upper plane 8/sqrt(2); constrained, the lower plane is
+        # unreachable (e >= 0 means e1+e2 >= 0 > -1.5) so the radius jumps
+        # to the upper plane's distance.
+        assert free.rho() == pytest.approx(3.5 / np.sqrt(2))
+        assert constrained.rho() == pytest.approx(8.0 / np.sqrt(2), rel=1e-5)

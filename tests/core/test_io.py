@@ -1,0 +1,205 @@
+"""Tests for JSON serialization (repro.io)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.features import PerformanceFeature, ToleranceBounds
+from repro.core.fepia import FeatureSpec
+from repro.core.mappings import (
+    CallableMapping,
+    LinearMapping,
+    MaxMapping,
+    ProductMapping,
+    QuadraticMapping,
+    RestrictedMapping,
+    ReweightedMapping,
+    SumMapping,
+)
+from repro.core.perturbation import PerturbationParameter
+from repro.exceptions import SpecificationError
+from repro.io import dump_json, from_dict, load_json, to_dict
+from repro.systems.independent import Allocation, EtcMatrix
+
+
+def roundtrip(obj):
+    return from_dict(to_dict(obj))
+
+
+class TestSimpleObjects:
+    def test_tolerance_bounds(self):
+        b = ToleranceBounds(1.0, 2.0)
+        assert roundtrip(b) == b
+
+    def test_tolerance_bounds_infinite(self):
+        b = ToleranceBounds.upper(5.0)
+        rt = roundtrip(b)
+        assert math.isinf(rt.beta_min) and rt.beta_max == 5.0
+
+    def test_performance_feature(self):
+        f = PerformanceFeature("lat", ToleranceBounds.upper(2.0), unit="s",
+                               description="d")
+        rt = roundtrip(f)
+        assert rt == f
+        assert rt.description == "d"
+
+    def test_perturbation_parameter(self):
+        p = PerturbationParameter("x", [1.0, 2.0], unit="s",
+                                  lower=[0.0, 0.0], upper=[9.0, 9.0])
+        rt = roundtrip(p)
+        assert rt.name == p.name
+        np.testing.assert_array_equal(rt.original, p.original)
+        np.testing.assert_array_equal(rt.lower, p.lower)
+        np.testing.assert_array_equal(rt.upper, p.upper)
+
+    def test_perturbation_parameter_no_bounds(self):
+        p = PerturbationParameter("x", [1.0])
+        rt = roundtrip(p)
+        assert rt.lower is None and rt.upper is None
+
+
+class TestMappings:
+    @pytest.mark.parametrize("mapping", [
+        LinearMapping([1.0, -2.0], 3.0),
+        QuadraticMapping(np.array([[1.0, 0.5], [0.5, 2.0]]), [1.0, 0.0], 1.5),
+        ProductMapping([1.0, -1.0], 2.0),
+    ], ids=["linear", "quadratic", "product"])
+    def test_structural_mappings_roundtrip(self, mapping, rng):
+        rt = roundtrip(mapping)
+        x = rng.uniform(0.5, 2.0, size=mapping.n_inputs)
+        assert rt.value(x) == pytest.approx(mapping.value(x))
+
+    def test_composite_mappings(self, rng):
+        m = MaxMapping([LinearMapping([1.0, 0.0]),
+                        SumMapping([LinearMapping([0.0, 1.0]),
+                                    QuadraticMapping(np.eye(2))])])
+        rt = roundtrip(m)
+        x = rng.normal(size=2)
+        assert rt.value(x) == pytest.approx(m.value(x))
+
+    def test_adapters(self, rng):
+        base = LinearMapping([1.0, 2.0, 3.0])
+        m = ReweightedMapping(
+            RestrictedMapping(base, [0, 2], np.array([1.0, 5.0, 2.0])),
+            [2.0, 0.5])
+        rt = roundtrip(m)
+        y = rng.uniform(0.5, 2.0, size=2)
+        assert rt.value(y) == pytest.approx(m.value(y))
+
+    def test_callable_rejected(self):
+        with pytest.raises(SpecificationError, match="portable"):
+            to_dict(CallableMapping(lambda x: 0.0, 2))
+
+    def test_feature_spec(self, rng):
+        spec = FeatureSpec(
+            PerformanceFeature("f", ToleranceBounds.upper(2.0)),
+            LinearMapping([1.0, 1.0]))
+        rt = roundtrip(spec)
+        assert rt.feature == spec.feature
+        x = rng.normal(size=2)
+        assert rt.mapping.value(x) == pytest.approx(spec.mapping.value(x))
+
+
+class TestSystems:
+    def test_etc_matrix(self, small_etc):
+        rt = roundtrip(small_etc)
+        np.testing.assert_array_equal(rt.values, small_etc.values)
+
+    def test_allocation(self):
+        a = Allocation(np.array([0, 1, 0]), 2)
+        rt = roundtrip(a)
+        np.testing.assert_array_equal(rt.assignment, a.assignment)
+        assert rt.n_machines == 2
+
+    def test_hiperd_system(self, hiperd_system):
+        rt = roundtrip(hiperd_system)
+        assert rt.n_sensors == hiperd_system.n_sensors
+        assert rt.n_applications == hiperd_system.n_applications
+        assert rt.allocation == hiperd_system.allocation
+        # behavioural equivalence: identical path latencies
+        for path in hiperd_system.sensor_actuator_paths():
+            assert rt.path_latency(path) == pytest.approx(
+                hiperd_system.path_latency(path))
+
+
+class TestWeightings:
+    def test_simple_schemes_roundtrip(self):
+        from repro.core.weighting import (IdentityWeighting,
+                                          NormalizedWeighting,
+                                          SensitivityWeighting)
+        for scheme in (IdentityWeighting(), NormalizedWeighting(),
+                       SensitivityWeighting()):
+            rt = roundtrip(scheme)
+            assert type(rt) is type(scheme)
+
+    def test_custom_weighting_roundtrip(self):
+        from repro.core.weighting import CustomWeighting
+        scheme = CustomWeighting({"a": 2.0, "b": [1.0, 3.0]})
+        rt = roundtrip(scheme)
+        p1 = PerturbationParameter("a", [1.0])
+        p2 = PerturbationParameter("b", [1.0, 1.0])
+        np.testing.assert_allclose(
+            rt.elementwise_alphas([p1, p2]),
+            scheme.elementwise_alphas([p1, p2]))
+
+
+class TestRobustnessAnalysis:
+    def test_roundtrip_preserves_rho(self, two_kind_analysis):
+        rt = roundtrip(two_kind_analysis)
+        assert rt.rho() == pytest.approx(two_kind_analysis.rho(), rel=1e-12)
+        assert rt.weighting.name == two_kind_analysis.weighting.name
+        assert [p.name for p in rt.params] == \
+            [p.name for p in two_kind_analysis.params]
+
+    def test_roundtrip_with_options(self):
+        from repro.core.weighting import IdentityWeighting
+        p = PerturbationParameter("x", [1.0, 1.0])
+        spec = FeatureSpec(
+            PerformanceFeature("f", ToleranceBounds.upper(5.0)),
+            LinearMapping([1.0, 1.0]))
+        from repro.core.fepia import RobustnessAnalysis
+        ana = RobustnessAnalysis([spec], [p],
+                                 weighting=IdentityWeighting(),
+                                 respect_physical_bounds=True,
+                                 norm=np.inf)
+        rt = roundtrip(ana)
+        assert rt.respect_physical_bounds is True
+        assert rt.norm == np.inf
+        assert rt.rho() == pytest.approx(ana.rho())
+
+    def test_json_file_roundtrip(self, tmp_path, two_kind_analysis):
+        path = tmp_path / "analysis.json"
+        dump_json(two_kind_analysis, path)
+        loaded = load_json(path)
+        assert loaded.rho() == pytest.approx(two_kind_analysis.rho())
+
+
+class TestErrors:
+    def test_unknown_type(self):
+        with pytest.raises(SpecificationError, match="unknown"):
+            from_dict({"type": "Bogus"})
+
+    def test_missing_type(self):
+        with pytest.raises(SpecificationError, match="type"):
+            from_dict({"name": "x"})
+
+    def test_unsupported_object(self):
+        with pytest.raises(SpecificationError, match="unsupported"):
+            to_dict(object())
+
+
+class TestFiles:
+    def test_json_file_roundtrip(self, tmp_path, hiperd_system):
+        path = tmp_path / "system.json"
+        dump_json(hiperd_system, path)
+        loaded = load_json(path)
+        assert loaded.allocation == hiperd_system.allocation
+
+    def test_json_is_valid_json(self, tmp_path):
+        import json
+        path = tmp_path / "b.json"
+        dump_json(ToleranceBounds.upper(1.0), path)
+        data = json.loads(path.read_text())
+        assert data["type"] == "ToleranceBounds"
+        assert data["beta_min"] == "-inf"

@@ -1,0 +1,85 @@
+"""Tests for the robustness metric and report."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.features import PerformanceFeature, ToleranceBounds
+from repro.core.fepia import FeatureSpec, RobustnessAnalysis
+from repro.core.mappings import LinearMapping
+from repro.core.metric import robustness_metric
+from repro.core.perturbation import PerturbationParameter
+from repro.core.weighting import IdentityWeighting
+
+
+@pytest.fixture
+def analysis():
+    p = PerturbationParameter("x", [1.0, 1.0])
+    near = FeatureSpec(PerformanceFeature("near", ToleranceBounds.upper(3.0)),
+                       LinearMapping([1.0, 1.0]))
+    far = FeatureSpec(PerformanceFeature("far", ToleranceBounds.upper(30.0)),
+                      LinearMapping([1.0, 1.0]))
+    return RobustnessAnalysis([near, far], [p],
+                              weighting=IdentityWeighting())
+
+
+class TestRobustnessMetric:
+    def test_rho_is_min_radius(self, analysis):
+        report = robustness_metric(analysis)
+        assert report.rho == pytest.approx(1.0 / np.sqrt(2))
+
+    def test_critical_flagging(self, analysis):
+        report = robustness_metric(analysis)
+        crit = {r.feature for r in report.rows if r.is_critical}
+        assert crit == {"near"}
+        assert report.critical_feature == "near"
+
+    def test_rows_carry_bounds(self, analysis):
+        report = robustness_metric(analysis)
+        near = next(r for r in report.rows if r.feature == "near")
+        assert near.beta_max == 3.0
+        assert math.isinf(near.beta_min)
+        assert near.original_value == pytest.approx(2.0)
+        assert near.bound_hit == 3.0
+        assert near.method == "analytic"
+
+    def test_table_renders(self, analysis):
+        table = robustness_metric(analysis).to_table()
+        assert "near" in table and "far" in table
+        assert "rho" in table
+        assert "*" in table  # critical marker
+
+    def test_str_is_table(self, analysis):
+        report = robustness_metric(analysis)
+        assert str(report) == report.to_table()
+
+    def test_weighting_and_norm_recorded(self, analysis):
+        report = robustness_metric(analysis)
+        assert report.weighting == "identity"
+        assert report.norm == 2
+
+    def test_infinite_radius_feature(self):
+        p = PerturbationParameter("x", [1.0])
+        finite = FeatureSpec(
+            PerformanceFeature("finite", ToleranceBounds.upper(3.0)),
+            LinearMapping([1.0]))
+        never = FeatureSpec(
+            PerformanceFeature("never", ToleranceBounds.upper(3.0)),
+            LinearMapping([0.0], constant=1.0))
+        report = robustness_metric(RobustnessAnalysis(
+            [finite, never], [p], weighting=IdentityWeighting()))
+        row = next(r for r in report.rows if r.feature == "never")
+        assert math.isinf(row.radius)
+        assert not row.is_critical
+        assert "-" in report.to_table()  # missing bound-hit rendered as dash
+
+    def test_all_infinite_rho(self):
+        p = PerturbationParameter("x", [1.0])
+        never = FeatureSpec(
+            PerformanceFeature("never", ToleranceBounds.upper(3.0)),
+            LinearMapping([0.0], constant=1.0))
+        report = robustness_metric(RobustnessAnalysis(
+            [never], [p], weighting=IdentityWeighting()))
+        assert math.isinf(report.rho)
+        assert report.rows[0].is_critical

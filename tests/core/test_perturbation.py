@@ -1,0 +1,93 @@
+"""Tests for repro.core.perturbation (FePIA step 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.perturbation import PerturbationParameter
+from repro.exceptions import DimensionMismatchError, SpecificationError
+
+
+class TestConstruction:
+    def test_basic(self):
+        p = PerturbationParameter("exec", np.array([1.0, 2.0]), unit="s")
+        assert p.dimension == 2
+        assert len(p) == 2
+        assert p.unit == "s"
+
+    def test_list_accepted(self):
+        p = PerturbationParameter("x", [1, 2, 3])
+        assert p.original.dtype == np.float64
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SpecificationError, match="non-empty"):
+            PerturbationParameter("", [1.0])
+
+    def test_nan_original_rejected(self):
+        with pytest.raises(SpecificationError, match="finite"):
+            PerturbationParameter("x", [1.0, float("nan")])
+
+    def test_scalar_bounds_broadcast(self):
+        p = PerturbationParameter("x", [1.0, 2.0], lower=0.0, upper=10.0)
+        np.testing.assert_array_equal(p.lower, [0.0, 0.0])
+        np.testing.assert_array_equal(p.upper, [10.0, 10.0])
+
+    def test_bound_length_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            PerturbationParameter("x", [1.0, 2.0], lower=[0.0])
+
+    def test_original_below_lower_rejected(self):
+        with pytest.raises(SpecificationError, match="lower"):
+            PerturbationParameter("x", [1.0], lower=[2.0])
+
+    def test_original_above_upper_rejected(self):
+        with pytest.raises(SpecificationError, match="upper"):
+            PerturbationParameter("x", [5.0], upper=[2.0])
+
+    def test_crossed_bounds_rejected(self):
+        with pytest.raises(SpecificationError):
+            PerturbationParameter("x", [1.0], lower=[0.0], upper=[-1.0])
+
+    def test_nonnegative_factory(self):
+        p = PerturbationParameter.nonnegative("loads", [3.0, 4.0], unit="obj")
+        np.testing.assert_array_equal(p.lower, [0.0, 0.0])
+        assert p.upper is None
+
+
+class TestBoundsOps:
+    def test_clip(self):
+        p = PerturbationParameter("x", [1.0, 1.0], lower=0.0, upper=2.0)
+        clipped = p.clip_to_bounds(np.array([-1.0, 5.0]))
+        np.testing.assert_array_equal(clipped, [0.0, 2.0])
+
+    def test_clip_without_bounds_identity(self):
+        p = PerturbationParameter("x", [1.0, 1.0])
+        vals = np.array([-5.0, 100.0])
+        np.testing.assert_array_equal(p.clip_to_bounds(vals), vals)
+
+    def test_clip_shape_check(self):
+        p = PerturbationParameter("x", [1.0, 1.0])
+        with pytest.raises(DimensionMismatchError):
+            p.clip_to_bounds(np.zeros(3))
+
+    def test_within_bounds(self):
+        p = PerturbationParameter("x", [1.0], lower=0.0, upper=2.0)
+        assert p.within_bounds(np.array([1.5]))
+        assert not p.within_bounds(np.array([-0.1]))
+        assert not p.within_bounds(np.array([2.1]))
+
+    def test_within_bounds_atol(self):
+        p = PerturbationParameter("x", [1.0], lower=0.0)
+        assert p.within_bounds(np.array([-1e-12]), atol=1e-9)
+
+    def test_batch_clip(self):
+        p = PerturbationParameter("x", [1.0, 1.0], lower=0.0)
+        batch = np.array([[-1.0, 2.0], [0.5, -0.5]])
+        out = p.clip_to_bounds(batch)
+        assert np.all(out >= 0.0)
+
+
+class TestImmutability:
+    def test_frozen(self):
+        p = PerturbationParameter("x", [1.0])
+        with pytest.raises(AttributeError):
+            p.name = "y"

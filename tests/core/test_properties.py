@@ -1,0 +1,158 @@
+"""Property-based tests of the core invariants (hypothesis).
+
+These are the library's contract with the paper:
+
+* pipeline radii match the closed forms on the general linear case, for
+  both weightings;
+* the sensitivity degeneracy holds end-to-end through the generic solver;
+* normalized radii are invariant under per-parameter unit rescaling;
+* rho is monotone under adding features;
+* radii are non-negative and zero exactly on the boundary.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.linear_case import analysis_for_case
+from repro.core.degeneracy import (
+    LinearCase,
+    normalized_radius_linear,
+    sensitivity_radius_linear,
+)
+from repro.core.features import PerformanceFeature, ToleranceBounds
+from repro.core.fepia import FeatureSpec, RobustnessAnalysis
+from repro.core.mappings import LinearMapping
+from repro.core.perturbation import PerturbationParameter
+from repro.core.weighting import (
+    IdentityWeighting,
+    NormalizedWeighting,
+    SensitivityWeighting,
+)
+
+positive = st.floats(min_value=1e-2, max_value=1e2, allow_nan=False)
+betas = st.floats(min_value=1.05, max_value=5.0, allow_nan=False)
+
+slow = settings(max_examples=30, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+def case_strategy(n_max=5):
+    return st.integers(min_value=1, max_value=n_max).flatmap(
+        lambda n: st.tuples(
+            st.lists(positive, min_size=n, max_size=n),
+            st.lists(positive, min_size=n, max_size=n),
+            betas,
+        )).map(lambda t: LinearCase(t[0], t[1], t[2]))
+
+
+class TestPipelineMatchesClosedForms:
+    @given(case=case_strategy())
+    @slow
+    def test_sensitivity_pipeline_equals_inverse_sqrt_n(self, case):
+        rho = analysis_for_case(case, SensitivityWeighting()).rho()
+        assert rho == pytest.approx(1.0 / math.sqrt(case.n), rel=1e-9)
+
+    @given(case=case_strategy())
+    @slow
+    def test_normalized_pipeline_equals_closed_form(self, case):
+        rho = analysis_for_case(case, NormalizedWeighting()).rho()
+        assert rho == pytest.approx(normalized_radius_linear(case), rel=1e-9)
+
+    @given(case=case_strategy())
+    @slow
+    def test_sensitivity_closed_form_self_consistent(self, case):
+        assert sensitivity_radius_linear(case) == pytest.approx(
+            1.0 / math.sqrt(case.n), rel=1e-9)
+
+
+class TestUnitInvariance:
+    @given(case=case_strategy(n_max=4),
+           scales=st.lists(positive, min_size=4, max_size=4))
+    @slow
+    def test_normalized_radius_invariant_to_unit_rescaling(self, case, scales):
+        # Express parameter j in different units: pi' = c * pi and
+        # k' = k / c leave the feature unchanged; the normalized radius
+        # must not move (it is dimensionless).
+        c = np.array(scales[:case.n])
+        case2 = LinearCase(case.coefficients / c, case.originals * c,
+                           case.beta)
+        assert normalized_radius_linear(case2) == pytest.approx(
+            normalized_radius_linear(case), rel=1e-9)
+
+    @given(case=case_strategy(n_max=4),
+           scales=st.lists(positive, min_size=4, max_size=4))
+    @slow
+    def test_pipeline_normalized_invariance(self, case, scales):
+        c = np.array(scales[:case.n])
+        case2 = LinearCase(case.coefficients / c, case.originals * c,
+                           case.beta)
+        rho1 = analysis_for_case(case, NormalizedWeighting()).rho()
+        rho2 = analysis_for_case(case2, NormalizedWeighting()).rho()
+        assert rho1 == pytest.approx(rho2, rel=1e-9)
+
+
+class TestMetricStructure:
+    @given(ks=st.lists(positive, min_size=2, max_size=4),
+           origs=st.lists(positive, min_size=2, max_size=4),
+           bound_scale=betas)
+    @slow
+    def test_adding_a_feature_cannot_increase_rho(self, ks, origs,
+                                                  bound_scale):
+        n = min(len(ks), len(origs))
+        ks, origs = ks[:n], origs[:n]
+        p = PerturbationParameter("x", origs)
+        m1 = LinearMapping(ks)
+        phi0 = m1.value(np.array(origs))
+        spec1 = FeatureSpec(
+            PerformanceFeature("f1", ToleranceBounds.upper(bound_scale * phi0)),
+            m1)
+        m2 = LinearMapping(list(reversed(ks)))
+        phi2 = m2.value(np.array(origs))
+        spec2 = FeatureSpec(
+            PerformanceFeature("f2",
+                               ToleranceBounds.upper(1.1 * phi2)),
+            m2)
+        rho_one = RobustnessAnalysis([spec1], [p],
+                                     weighting=IdentityWeighting()).rho()
+        rho_two = RobustnessAnalysis([spec1, spec2], [p],
+                                     weighting=IdentityWeighting()).rho()
+        assert rho_two <= rho_one + 1e-12
+
+    @given(case=case_strategy())
+    @slow
+    def test_radius_nonnegative(self, case):
+        assert analysis_for_case(case, NormalizedWeighting()).rho() >= 0.0
+
+    @given(ks=st.lists(positive, min_size=1, max_size=4))
+    @slow
+    def test_radius_zero_on_boundary(self, ks):
+        p = PerturbationParameter("x", np.ones(len(ks)))
+        m = LinearMapping(ks)
+        phi0 = m.value(np.ones(len(ks)))
+        spec = FeatureSpec(
+            PerformanceFeature("f", ToleranceBounds.upper(phi0)), m)
+        ana = RobustnessAnalysis([spec], [p], weighting=IdentityWeighting())
+        assert ana.rho() == 0.0
+
+    @given(case=case_strategy(), factor=st.floats(min_value=1.1,
+                                                  max_value=3.0))
+    @slow
+    def test_loosening_beta_increases_normalized_radius(self, case, factor):
+        looser = LinearCase(case.coefficients, case.originals,
+                            1.0 + factor * (case.beta - 1.0))
+        assert normalized_radius_linear(looser) > normalized_radius_linear(case)
+
+    @given(case=case_strategy(), factor=st.floats(min_value=1.1,
+                                                  max_value=3.0))
+    @slow
+    def test_loosening_beta_does_not_change_sensitivity_radius(self, case,
+                                                               factor):
+        """The paper's complaint, as an executable property."""
+        looser = LinearCase(case.coefficients, case.originals,
+                            1.0 + factor * (case.beta - 1.0))
+        assert sensitivity_radius_linear(looser) == pytest.approx(
+            sensitivity_radius_linear(case), rel=1e-9)

@@ -1,0 +1,135 @@
+"""Property-based tests: serialization round-trips and mapping algebra.
+
+Hypothesis strategies generate random structural mappings (linear,
+quadratic, product, and compositions through sum/max/restrict/reweight)
+and assert that
+
+* ``from_dict(to_dict(m))`` evaluates identically to ``m`` everywhere;
+* the adapter algebra holds: restriction and reweighting commute the way
+  the P-space construction relies on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mappings import (
+    LinearMapping,
+    MaxMapping,
+    ProductMapping,
+    QuadraticMapping,
+    RestrictedMapping,
+    ReweightedMapping,
+    SumMapping,
+)
+from repro.io import from_dict, to_dict
+
+DIM = 3
+coef = st.floats(min_value=-10, max_value=10, allow_nan=False)
+pos = st.floats(min_value=0.1, max_value=10, allow_nan=False)
+
+
+def linear_mappings():
+    return st.builds(
+        lambda ks, c: LinearMapping(ks, c),
+        st.lists(coef, min_size=DIM, max_size=DIM), coef)
+
+
+def quadratic_mappings():
+    return st.builds(
+        lambda qs, ks, c: QuadraticMapping(
+            np.array(qs).reshape(DIM, DIM), ks, c),
+        st.lists(coef, min_size=DIM * DIM, max_size=DIM * DIM),
+        st.lists(coef, min_size=DIM, max_size=DIM), coef)
+
+
+def product_mappings():
+    return st.builds(
+        lambda ps, c: ProductMapping(ps, c),
+        st.lists(st.floats(min_value=-2, max_value=2, allow_nan=False),
+                 min_size=DIM, max_size=DIM), pos)
+
+
+def base_mappings():
+    return st.one_of(linear_mappings(), quadratic_mappings(),
+                     product_mappings())
+
+
+def composite_mappings():
+    two = st.lists(st.one_of(linear_mappings(), quadratic_mappings()),
+                   min_size=2, max_size=3)
+    return st.one_of(
+        two.map(SumMapping),
+        two.map(MaxMapping),
+        st.builds(lambda m, alphas: ReweightedMapping(m, alphas),
+                  st.one_of(linear_mappings(), quadratic_mappings()),
+                  st.lists(pos, min_size=DIM, max_size=DIM)),
+    )
+
+
+class TestSerializationRoundtrip:
+    @given(mapping=st.one_of(base_mappings(), composite_mappings()),
+           point=st.lists(pos, min_size=DIM, max_size=DIM))
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_preserves_values(self, mapping, point):
+        rt = from_dict(to_dict(mapping))
+        x = np.array(point)
+        assert rt.value(x) == pytest.approx(mapping.value(x), rel=1e-12,
+                                            abs=1e-12)
+
+    @given(mapping=base_mappings(), point=st.lists(pos, min_size=DIM,
+                                                   max_size=DIM))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_preserves_gradients(self, mapping, point):
+        rt = from_dict(to_dict(mapping))
+        x = np.array(point)
+        g1 = mapping.gradient(x)
+        g2 = rt.gradient(x)
+        np.testing.assert_allclose(g2, g1, rtol=1e-12, atol=1e-12)
+
+    @given(mapping=base_mappings())
+    @settings(max_examples=30, deadline=None)
+    def test_double_roundtrip_stable(self, mapping):
+        d1 = to_dict(mapping)
+        d2 = to_dict(from_dict(d1))
+        assert d1 == d2
+
+
+class TestAdapterAlgebra:
+    @given(mapping=quadratic_mappings(),
+           alphas=st.lists(pos, min_size=DIM, max_size=DIM),
+           point=st.lists(pos, min_size=DIM, max_size=DIM))
+    @settings(max_examples=50, deadline=None)
+    def test_reweight_roundtrip_identity(self, mapping, alphas, point):
+        """g(P) = f(P/alpha) implies g(alpha * x) = f(x)."""
+        a = np.array(alphas)
+        x = np.array(point)
+        rew = ReweightedMapping(mapping, a)
+        assert rew.value(a * x) == pytest.approx(mapping.value(x),
+                                                 rel=1e-10, abs=1e-10)
+
+    @given(mapping=quadratic_mappings(),
+           alphas=st.lists(pos, min_size=DIM, max_size=DIM),
+           ref=st.lists(pos, min_size=DIM, max_size=DIM),
+           free_y=pos)
+    @settings(max_examples=50, deadline=None)
+    def test_restrict_then_reweight_commutes(self, mapping, alphas, ref,
+                                             free_y):
+        """Restricting in pi-space then reweighting the free block equals
+        reweighting the full space then restricting at the scaled
+        reference — the identity the per-feature P-space construction
+        relies on."""
+        a = np.array(alphas)
+        r = np.array(ref)
+        free = [1]
+        # path 1: restrict f to coordinate 1 at reference r, then scale
+        # the free coordinate by alpha[1]
+        path1 = ReweightedMapping(RestrictedMapping(mapping, free, r),
+                                  a[free])
+        # path 2: scale the whole space by alpha, then restrict at the
+        # scaled reference
+        path2 = RestrictedMapping(ReweightedMapping(mapping, a), free, a * r)
+        y = np.array([free_y])
+        assert path1.value(y) == pytest.approx(path2.value(y),
+                                               rel=1e-10, abs=1e-10)

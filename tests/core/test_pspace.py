@@ -1,0 +1,130 @@
+"""Tests for the P-space concatenation bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.core.mappings import LinearMapping
+from repro.core.perturbation import PerturbationParameter
+from repro.core.pspace import ConcatenatedPerturbation
+from repro.core.weighting import NormalizedWeighting
+from repro.exceptions import DimensionMismatchError, SpecificationError
+
+
+@pytest.fixture
+def pspace():
+    params = [
+        PerturbationParameter.nonnegative("exec", [2.0, 4.0], unit="s"),
+        PerturbationParameter.nonnegative("msg", [100.0], unit="bytes"),
+    ]
+    return ConcatenatedPerturbation.from_weighting(
+        params, NormalizedWeighting())
+
+
+class TestConstruction:
+    def test_dimension(self, pspace):
+        assert pspace.dimension == 3
+
+    def test_p_orig_is_ones_for_normalized(self, pspace):
+        np.testing.assert_allclose(pspace.p_orig, [1.0, 1.0, 1.0])
+
+    def test_block_slices(self, pspace):
+        assert pspace.block_slice("exec") == slice(0, 2)
+        assert pspace.block_slice("msg") == slice(2, 3)
+
+    def test_unknown_block(self, pspace):
+        with pytest.raises(SpecificationError, match="unknown"):
+            pspace.block_slice("nope")
+
+    def test_duplicate_names_rejected(self):
+        p = PerturbationParameter("x", [1.0])
+        with pytest.raises(SpecificationError, match="duplicate"):
+            ConcatenatedPerturbation([p, p], [1.0, 1.0])
+
+    def test_alpha_length_checked(self):
+        p = PerturbationParameter("x", [1.0, 2.0])
+        with pytest.raises(DimensionMismatchError):
+            ConcatenatedPerturbation([p], [1.0])
+
+    def test_nonpositive_alpha_rejected(self):
+        p = PerturbationParameter("x", [1.0])
+        with pytest.raises(SpecificationError, match="positive"):
+            ConcatenatedPerturbation([p], [0.0])
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(SpecificationError):
+            ConcatenatedPerturbation([], [])
+
+
+class TestValueTransport:
+    def test_flatten_with_defaults(self, pspace):
+        flat = pspace.flatten_values({"msg": [200.0]})
+        np.testing.assert_allclose(flat, [2.0, 4.0, 200.0])
+
+    def test_flatten_full(self, pspace):
+        flat = pspace.flatten_values({"exec": [1.0, 1.0], "msg": [1.0]})
+        np.testing.assert_allclose(flat, [1.0, 1.0, 1.0])
+
+    def test_flatten_unknown_param(self, pspace):
+        with pytest.raises(SpecificationError, match="unknown"):
+            pspace.flatten_values({"bogus": [1.0]})
+
+    def test_flatten_wrong_length(self, pspace):
+        with pytest.raises(DimensionMismatchError):
+            pspace.flatten_values({"exec": [1.0]})
+
+    def test_split_roundtrip(self, pspace):
+        flat = np.array([1.0, 2.0, 3.0])
+        parts = pspace.split_values(flat)
+        np.testing.assert_allclose(parts["exec"], [1.0, 2.0])
+        np.testing.assert_allclose(parts["msg"], [3.0])
+
+    def test_to_from_p_roundtrip(self, pspace, rng):
+        pi = rng.uniform(0.5, 5.0, size=3)
+        np.testing.assert_allclose(pspace.from_p(pspace.to_p(pi)), pi)
+
+    def test_values_to_p(self, pspace):
+        p = pspace.values_to_p({"exec": [4.0, 8.0], "msg": [200.0]})
+        np.testing.assert_allclose(p, [2.0, 2.0, 2.0])
+
+    def test_distance_from_orig(self, pspace):
+        # doubling every parameter moves P from (1,1,1) to (2,2,2)
+        d = pspace.distance_from_orig({"exec": [4.0, 8.0], "msg": [200.0]})
+        assert d == pytest.approx(np.sqrt(3))
+
+    def test_distance_other_norm(self, pspace):
+        d = pspace.distance_from_orig({"exec": [4.0, 8.0], "msg": [200.0]},
+                                      norm=np.inf)
+        assert d == pytest.approx(1.0)
+
+
+class TestMappingTransport:
+    def test_transformed_mapping_agrees(self, pspace, rng):
+        mapping = LinearMapping([1.0, 2.0, 0.01])
+        g = pspace.transform_mapping(mapping)
+        pi = rng.uniform(0.5, 5.0, size=3)
+        assert g.value(pspace.to_p(pi)) == pytest.approx(mapping.value(pi))
+
+    def test_transform_dimension_checked(self, pspace):
+        with pytest.raises(DimensionMismatchError):
+            pspace.transform_mapping(LinearMapping([1.0]))
+
+    def test_p_bounds_transported(self, pspace):
+        lo = pspace.p_lower()
+        assert lo is not None
+        np.testing.assert_allclose(lo, [0.0, 0.0, 0.0])
+        assert pspace.p_upper() is None
+
+    def test_p_bounds_none_when_unbounded(self):
+        p = PerturbationParameter("x", [1.0])
+        cp = ConcatenatedPerturbation([p], [1.0])
+        assert cp.p_lower() is None
+        assert cp.p_upper() is None
+
+    def test_p_upper_scaling(self):
+        p = PerturbationParameter("x", [1.0], upper=[10.0])
+        cp = ConcatenatedPerturbation([p], [2.0])
+        np.testing.assert_allclose(cp.p_upper(), [20.0])
+
+    def test_repr(self, pspace):
+        assert "exec" in repr(pspace)
+        assert "normalized" in repr(pspace)

@@ -1,0 +1,87 @@
+"""Property-based tests of the P-space transport invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mappings import LinearMapping
+from repro.core.perturbation import PerturbationParameter
+from repro.core.pspace import ConcatenatedPerturbation
+from repro.core.weighting import CustomWeighting, NormalizedWeighting
+
+pos = st.floats(min_value=0.05, max_value=50.0, allow_nan=False)
+
+
+def pspaces():
+    def build(d1, d2, origs, alphas):
+        params = [
+            PerturbationParameter.nonnegative("a", origs[:d1], unit="s"),
+            PerturbationParameter.nonnegative("b", origs[d1:d1 + d2],
+                                              unit="bytes"),
+        ]
+        return ConcatenatedPerturbation(
+            params, np.array(alphas[:d1 + d2]))
+
+    return st.tuples(
+        st.integers(1, 3), st.integers(1, 3),
+        st.lists(pos, min_size=6, max_size=6),
+        st.lists(pos, min_size=6, max_size=6),
+    ).map(lambda t: build(*t))
+
+
+class TestTransportInvariants:
+    @given(ps=pspaces(), values=st.lists(pos, min_size=6, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_to_from_p_inverse(self, ps, values):
+        pi = np.array(values[:ps.dimension])
+        np.testing.assert_allclose(ps.from_p(ps.to_p(pi)), pi, rtol=1e-12)
+
+    @given(ps=pspaces())
+    @settings(max_examples=40, deadline=None)
+    def test_p_orig_consistent(self, ps):
+        np.testing.assert_allclose(ps.to_p(ps.pi_orig), ps.p_orig,
+                                   rtol=1e-12)
+
+    @given(ps=pspaces(), coeffs=st.lists(
+        st.floats(min_value=-5, max_value=5, allow_nan=False),
+        min_size=6, max_size=6),
+        values=st.lists(pos, min_size=6, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_mapping_transport_preserves_values(self, ps, coeffs, values):
+        mapping = LinearMapping(coeffs[:ps.dimension])
+        g = ps.transform_mapping(mapping)
+        pi = np.array(values[:ps.dimension])
+        assert g.value(ps.to_p(pi)) == pytest.approx(mapping.value(pi),
+                                                     rel=1e-10, abs=1e-10)
+
+    @given(ps=pspaces())
+    @settings(max_examples=40, deadline=None)
+    def test_split_flatten_roundtrip(self, ps):
+        parts = ps.split_values(ps.pi_orig)
+        flat = ps.flatten_values(parts)
+        np.testing.assert_allclose(flat, ps.pi_orig)
+
+    @given(origs=st.lists(pos, min_size=2, max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_normalized_p_orig_is_ones(self, origs):
+        params = [PerturbationParameter("x", origs)]
+        ps = ConcatenatedPerturbation.from_weighting(
+            params, NormalizedWeighting())
+        np.testing.assert_allclose(ps.p_orig, np.ones(len(origs)),
+                                   rtol=1e-12)
+
+    @given(origs=st.lists(pos, min_size=2, max_size=4),
+           scale=pos)
+    @settings(max_examples=40, deadline=None)
+    def test_distance_scales_with_custom_alpha(self, origs, scale):
+        """Scaling every alpha by c scales every P-distance by c."""
+        params = [PerturbationParameter("x", origs)]
+        base = CustomWeighting({"x": 1.0})
+        scaled = CustomWeighting({"x": float(scale)})
+        ps1 = ConcatenatedPerturbation.from_weighting(params, base)
+        ps2 = ConcatenatedPerturbation.from_weighting(params, scaled)
+        probe = {"x": [v * 1.7 for v in origs]}
+        d1 = ps1.distance_from_orig(probe)
+        d2 = ps2.distance_from_orig(probe)
+        assert d2 == pytest.approx(scale * d1, rel=1e-9)

@@ -1,0 +1,127 @@
+"""Edge-case coverage of the radius dispatcher across solver routes.
+
+Complements ``test_radius.py`` with two-sided intervals on every solver
+family, per-bound diagnostics, and corner configurations (degenerate
+boxes, huge scale separations, reweighted transports of each family).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.features import ToleranceBounds
+from repro.core.mappings import (
+    CallableMapping,
+    LinearMapping,
+    QuadraticMapping,
+    ReweightedMapping,
+)
+from repro.core.radius import RadiusProblem, compute_radius
+from repro.exceptions import InfeasibleAllocationError
+
+
+def problem(mapping, origin, bounds, **kw):
+    return RadiusProblem(mapping=mapping, origin=np.asarray(origin, float),
+                         bounds=bounds, **kw)
+
+
+class TestTwoSidedIntervals:
+    def test_linear_nearer_lower_bound(self):
+        p = problem(LinearMapping([1.0]), [2.0], ToleranceBounds(0.0, 10.0))
+        res = compute_radius(p)
+        assert res.bound_hit == 0.0
+        assert res.radius == pytest.approx(2.0)
+        assert res.per_bound == pytest.approx({0.0: 2.0, 10.0: 8.0})
+
+    def test_ellipsoid_lower_bound_handled(self):
+        # f = x^2 + y^2 in [1, 9], origin at radius 2: both bounds are
+        # reachable; the nearer one is distance 1 either way.
+        m = QuadraticMapping(np.eye(2))
+        p = problem(m, [2.0, 0.0], ToleranceBounds(1.0, 9.0))
+        res = compute_radius(p, seed=0)
+        assert res.radius == pytest.approx(1.0, rel=1e-9)
+        assert set(res.per_bound) == {1.0, 9.0}
+        assert res.per_bound[1.0] == pytest.approx(1.0, rel=1e-9)
+        assert res.per_bound[9.0] == pytest.approx(1.0, rel=1e-9)
+
+    def test_ellipsoid_unreachable_lower_bound(self):
+        # f = x^2 + y^2 + 5 in [1, 14]: the lower boundary f = 1 needs
+        # x^2+y^2 = -4, impossible; only the upper bound binds.
+        m = QuadraticMapping(np.eye(2), None, 5.0)
+        p = problem(m, [1.0, 0.0], ToleranceBounds(1.0, 14.0))
+        res = compute_radius(p, seed=0)
+        assert math.isinf(res.per_bound[1.0])
+        assert res.bound_hit == 14.0
+        assert res.radius == pytest.approx(2.0, rel=1e-9)
+
+    def test_callable_two_sided(self):
+        m = CallableMapping(lambda x: float(np.sin(x[0])), 1)
+        p = problem(m, [0.0], ToleranceBounds(-0.5, 0.5))
+        res = compute_radius(p, seed=0)
+        assert res.radius == pytest.approx(np.arcsin(0.5), rel=1e-4)
+
+
+class TestScaleRobustness:
+    def test_tiny_and_huge_coefficients(self):
+        m = LinearMapping([1e-9, 1e9])
+        p = problem(m, [0.0, 0.0], ToleranceBounds.upper(1.0))
+        res = compute_radius(p)
+        # dominated by the huge coefficient: distance ~ 1/1e9
+        assert res.radius == pytest.approx(1.0 / np.sqrt(1e-18 + 1e18),
+                                           rel=1e-9)
+
+    def test_reweighted_ellipsoid_route(self):
+        base = QuadraticMapping(np.diag([4.0, 1.0]))
+        m = ReweightedMapping(base, [2.0, 1.0])   # P-space transport
+        p = problem(m, [0.0, 0.0], ToleranceBounds.upper(1.0))
+        res = compute_radius(p, seed=0)
+        assert res.method == "ellipsoid"
+        # g(P) = 4 (P1/2)^2 + P2^2 = P1^2 + P2^2: the unit circle
+        assert res.radius == pytest.approx(1.0, rel=1e-12)
+
+    def test_origin_far_from_zero(self):
+        m = LinearMapping([1.0, 1.0])
+        origin = [1e6, 1e6]
+        p = problem(m, origin, ToleranceBounds.upper(2e6 + 2.0))
+        res = compute_radius(p)
+        assert res.radius == pytest.approx(np.sqrt(2), rel=1e-9)
+
+
+class TestDegenerateBoxes:
+    def test_point_box_feasible_level(self):
+        # box pins x to exactly the origin; any other level is unreachable
+        m = LinearMapping([1.0])
+        p = problem(m, [1.0], ToleranceBounds.upper(5.0),
+                    lower=np.array([1.0]), upper=np.array([1.0]))
+        res = compute_radius(p, seed=0)
+        assert math.isinf(res.radius)
+
+    def test_box_exactly_at_bound(self):
+        # the boundary level is attainable only at the box edge
+        m = LinearMapping([1.0])
+        p = problem(m, [0.0], ToleranceBounds.upper(2.0),
+                    lower=np.array([0.0]), upper=np.array([2.0]))
+        res = compute_radius(p, seed=0)
+        assert res.radius == pytest.approx(2.0, abs=1e-9)
+        assert res.method == "analytic-box"
+
+
+class TestFeasibilityEdge:
+    def test_violating_origin_raises_for_all_routes(self):
+        for mapping in (LinearMapping([1.0, 1.0]),
+                        QuadraticMapping(np.eye(2)),
+                        CallableMapping(lambda x: float(x @ x), 2)):
+            p = problem(mapping, [3.0, 3.0], ToleranceBounds.upper(1.0))
+            with pytest.raises(InfeasibleAllocationError):
+                compute_radius(p, seed=0)
+
+    def test_lower_violation_raises(self):
+        p = problem(LinearMapping([1.0]), [0.0], ToleranceBounds.lower(1.0))
+        with pytest.raises(InfeasibleAllocationError):
+            compute_radius(p)
+
+    def test_on_lower_boundary_zero_radius(self):
+        p = problem(LinearMapping([1.0]), [1.0], ToleranceBounds.lower(1.0))
+        res = compute_radius(p)
+        assert res.radius == 0.0

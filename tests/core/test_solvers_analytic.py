@@ -1,0 +1,127 @@
+"""Tests for the closed-form hyperplane radius solver (Equation 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.mappings import LinearMapping, QuadraticMapping
+from repro.core.solvers.analytic import dual_norm_order, solve_linear_radius
+from repro.exceptions import BoundaryNotFoundError, SpecificationError
+
+coef = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+class TestDualNormOrder:
+    def test_pairs(self):
+        assert dual_norm_order(2) == 2
+        assert dual_norm_order(1) == np.inf
+        assert dual_norm_order(np.inf) == 1
+
+    def test_unsupported(self):
+        with pytest.raises(SpecificationError):
+            dual_norm_order(3)
+
+
+class TestEuclidean:
+    def test_matches_geometry(self):
+        # f = x + y, origin (0, 0), bound 2: distance sqrt(2).
+        m = LinearMapping([1.0, 1.0])
+        c = solve_linear_radius(m, np.zeros(2), 2.0)
+        assert c.distance == pytest.approx(np.sqrt(2))
+        np.testing.assert_allclose(c.point, [1.0, 1.0])
+
+    def test_constant_folded(self):
+        m = LinearMapping([1.0], constant=5.0)
+        c = solve_linear_radius(m, np.zeros(1), 7.0)
+        assert c.distance == pytest.approx(2.0)
+
+    def test_witness_on_boundary(self, rng):
+        for _ in range(20):
+            k = rng.normal(size=4)
+            if np.linalg.norm(k) < 1e-6:
+                continue
+            m = LinearMapping(k, rng.normal())
+            origin = rng.normal(size=4)
+            bound = m.value(origin) + rng.normal()
+            c = solve_linear_radius(m, origin, bound)
+            assert m.value(c.point) == pytest.approx(bound, abs=1e-9)
+
+    def test_zero_gradient_raises(self):
+        m = LinearMapping([0.0, 0.0])
+        with pytest.raises(BoundaryNotFoundError, match="zero gradient"):
+            solve_linear_radius(m, np.zeros(2), 1.0)
+
+    def test_nonlinear_rejected(self):
+        with pytest.raises(SpecificationError):
+            solve_linear_radius(QuadraticMapping(np.eye(2)), np.zeros(2), 1.0)
+
+    def test_origin_shape_checked(self):
+        with pytest.raises(SpecificationError):
+            solve_linear_radius(LinearMapping([1.0]), np.zeros(2), 1.0)
+
+
+class TestOtherNorms:
+    def test_l1_distance_uses_dual_linf(self):
+        # f = 2x + y = 4 from origin: l1 distance = 4 / max(2,1) = 2.
+        m = LinearMapping([2.0, 1.0])
+        c = solve_linear_radius(m, np.zeros(2), 4.0, norm=1)
+        assert c.distance == pytest.approx(2.0)
+        # witness moves only along the steepest coordinate
+        np.testing.assert_allclose(c.point, [2.0, 0.0])
+        assert m.value(c.point) == pytest.approx(4.0)
+
+    def test_linf_distance_uses_dual_l1(self):
+        # f = 2x + y = 6 from origin: linf distance = 6 / (2+1) = 2.
+        m = LinearMapping([2.0, 1.0])
+        c = solve_linear_radius(m, np.zeros(2), 6.0, norm=np.inf)
+        assert c.distance == pytest.approx(2.0)
+        np.testing.assert_allclose(c.point, [2.0, 2.0])
+        assert m.value(c.point) == pytest.approx(6.0)
+
+    @given(k=arrays(np.float64, 3, elements=coef),
+           origin=arrays(np.float64, 3, elements=coef),
+           gap=st.floats(min_value=-50, max_value=50, allow_nan=False))
+    @settings(max_examples=60)
+    def test_norm_ordering(self, k, origin, gap):
+        # d_l1 >= d_l2 >= d_linf because ||k||_inf <= ||k||_2 <= ||k||_1.
+        if np.linalg.norm(k) < 1e-3:
+            return
+        m = LinearMapping(k)
+        bound = m.value(origin) + gap
+        d1 = solve_linear_radius(m, origin, bound, norm=1).distance
+        d2 = solve_linear_radius(m, origin, bound, norm=2).distance
+        dinf = solve_linear_radius(m, origin, bound, norm=np.inf).distance
+        assert d1 >= d2 - 1e-9 * (1 + d2)
+        assert d2 >= dinf - 1e-9 * (1 + dinf)
+
+    def test_witness_norm_equals_distance(self, rng):
+        for norm in (1, 2, np.inf):
+            k = rng.normal(size=5)
+            m = LinearMapping(k)
+            origin = rng.normal(size=5)
+            bound = m.value(origin) + 3.0
+            c = solve_linear_radius(m, origin, bound, norm=norm)
+            assert np.linalg.norm(c.point - origin, ord=norm) == pytest.approx(
+                c.distance, rel=1e-9)
+
+
+class TestBoxBounds:
+    def test_witness_inside_box_ok(self):
+        m = LinearMapping([1.0, 1.0])
+        c = solve_linear_radius(m, np.zeros(2), 2.0,
+                                lower=np.array([-5.0, -5.0]),
+                                upper=np.array([5.0, 5.0]))
+        assert c.distance == pytest.approx(np.sqrt(2))
+
+    def test_witness_outside_box_raises(self):
+        m = LinearMapping([1.0, 1.0])
+        with pytest.raises(BoundaryNotFoundError, match="box"):
+            solve_linear_radius(m, np.zeros(2), 2.0,
+                                upper=np.array([0.5, 0.5]))
+
+    def test_lower_box_violation(self):
+        m = LinearMapping([1.0])
+        with pytest.raises(BoundaryNotFoundError):
+            solve_linear_radius(m, np.zeros(1), -2.0, lower=np.array([-1.0]))

@@ -1,0 +1,119 @@
+"""Tests for the exact box-constrained affine projection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mappings import LinearMapping
+from repro.core.solvers.box_linear import solve_linear_box_radius
+from repro.core.solvers.numeric import solve_numeric_radius
+from repro.exceptions import BoundaryNotFoundError, SpecificationError
+
+coef = st.floats(min_value=-5, max_value=5, allow_nan=False)
+
+
+class TestUnconstrainedAgreement:
+    def test_matches_hyperplane_projection_without_box(self):
+        m = LinearMapping([1.0, 1.0])
+        c = solve_linear_box_radius(m, np.zeros(2), 2.0)
+        assert c.distance == pytest.approx(np.sqrt(2), abs=1e-12)
+        np.testing.assert_allclose(c.point, [1.0, 1.0], atol=1e-10)
+
+    def test_origin_already_on_plane(self):
+        m = LinearMapping([1.0, 0.0])
+        c = solve_linear_box_radius(m, np.array([3.0, 7.0]), 3.0)
+        assert c.distance == 0.0
+
+
+class TestActiveBox:
+    def test_one_clamped_component(self):
+        # project origin onto x + y = 2 with x <= 0.5: (0.5, 1.5)
+        m = LinearMapping([1.0, 1.0])
+        c = solve_linear_box_radius(m, np.zeros(2), 2.0,
+                                    upper=np.array([0.5, np.inf]))
+        np.testing.assert_allclose(c.point, [0.5, 1.5], atol=1e-10)
+        assert c.distance == pytest.approx(np.sqrt(2.5), abs=1e-12)
+
+    def test_lower_bound_active(self):
+        # project (0,0) onto x + y = -2 with x >= -0.5: (-0.5, -1.5)
+        m = LinearMapping([1.0, 1.0])
+        c = solve_linear_box_radius(m, np.zeros(2), -2.0,
+                                    lower=np.array([-0.5, -np.inf]))
+        np.testing.assert_allclose(c.point, [-0.5, -1.5], atol=1e-10)
+
+    def test_negative_coefficients(self):
+        # f = -x, target level -3, x in [0, 2]: unreachable (min f = -2)
+        m = LinearMapping([-1.0])
+        with pytest.raises(BoundaryNotFoundError, match="unreachable"):
+            solve_linear_box_radius(m, np.array([1.0]), -3.0,
+                                    lower=np.array([0.0]),
+                                    upper=np.array([2.0]))
+
+    def test_exactly_reachable_corner(self):
+        # level attainable only at the box corner
+        m = LinearMapping([1.0, 1.0])
+        c = solve_linear_box_radius(m, np.zeros(2), 4.0,
+                                    upper=np.array([2.0, 2.0]))
+        np.testing.assert_allclose(c.point, [2.0, 2.0], atol=1e-8)
+
+    def test_witness_satisfies_constraints(self, rng):
+        for _ in range(20):
+            k = rng.normal(size=4)
+            if np.all(np.abs(k) < 1e-6):
+                continue
+            m = LinearMapping(k, rng.normal())
+            origin = rng.normal(size=4)
+            lo = origin - rng.uniform(0.1, 2.0, size=4)
+            hi = origin + rng.uniform(0.1, 2.0, size=4)
+            reach_lo = m.constant + float(np.sum(np.where(k > 0, k * lo, k * hi)))
+            reach_hi = m.constant + float(np.sum(np.where(k > 0, k * hi, k * lo)))
+            bound = rng.uniform(reach_lo, reach_hi)
+            c = solve_linear_box_radius(m, origin, bound, lower=lo, upper=hi)
+            assert m.value(c.point) == pytest.approx(bound, abs=1e-8)
+            assert np.all(c.point >= lo - 1e-10)
+            assert np.all(c.point <= hi + 1e-10)
+
+    @given(ks=st.lists(coef, min_size=3, max_size=3),
+           gap=st.floats(min_value=-3, max_value=3, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_never_worse_than_slsqp(self, ks, gap):
+        k = np.array(ks)
+        if np.linalg.norm(k) < 1e-3:
+            return
+        m = LinearMapping(k)
+        origin = np.zeros(3)
+        lo = np.full(3, -1.0)
+        hi = np.full(3, 1.0)
+        bound = float(k @ np.clip(np.sign(k) * 0.4, lo, hi)) + gap * 0.1
+        reach_lo = float(np.sum(np.where(k > 0, k * lo, k * hi)))
+        reach_hi = float(np.sum(np.where(k > 0, k * hi, k * lo)))
+        if not reach_lo <= bound <= reach_hi:
+            return
+        exact = solve_linear_box_radius(m, origin, bound, lower=lo, upper=hi)
+        numeric = solve_numeric_radius(m, origin, bound, lower=lo, upper=hi,
+                                       seed=0)
+        assert exact.distance <= numeric.distance + 1e-6 * (
+            1 + numeric.distance)
+
+
+class TestValidation:
+    def test_zero_gradient(self):
+        with pytest.raises(BoundaryNotFoundError):
+            solve_linear_box_radius(LinearMapping([0.0]), np.zeros(1), 1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(SpecificationError):
+            solve_linear_box_radius(LinearMapping([1.0]), np.zeros(2), 1.0)
+
+    def test_crossed_box(self):
+        with pytest.raises(SpecificationError):
+            solve_linear_box_radius(LinearMapping([1.0]), np.zeros(1), 1.0,
+                                    lower=np.array([1.0]),
+                                    upper=np.array([0.0]))
+
+    def test_non_linear_rejected(self):
+        from repro.core.mappings import QuadraticMapping
+        with pytest.raises(SpecificationError):
+            solve_linear_box_radius(QuadraticMapping(np.eye(2)),
+                                    np.zeros(2), 1.0)

@@ -1,0 +1,113 @@
+"""Tests for the exact ellipsoid-projection solver (secular equation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.boundary import as_diagonal_quadratic
+from repro.core.mappings import LinearMapping, QuadraticMapping, ReweightedMapping
+from repro.core.solvers.ellipsoid import (
+    is_diagonal_quadratic,
+    solve_ellipsoid_radius,
+)
+from repro.core.solvers.numeric import solve_numeric_radius
+from repro.exceptions import BoundaryNotFoundError, SpecificationError
+
+positive = st.floats(min_value=0.1, max_value=10.0, allow_nan=False)
+
+
+class TestRecognition:
+    def test_sphere_recognised(self):
+        assert is_diagonal_quadratic(QuadraticMapping(np.eye(3)))
+
+    def test_off_diagonal_rejected(self):
+        Q = np.array([[1.0, 0.1], [0.1, 1.0]])
+        assert not is_diagonal_quadratic(QuadraticMapping(Q))
+
+    def test_linear_term_rejected(self):
+        assert not is_diagonal_quadratic(
+            QuadraticMapping(np.eye(2), [1.0, 0.0]))
+
+    def test_indefinite_rejected(self):
+        assert not is_diagonal_quadratic(
+            QuadraticMapping(np.diag([1.0, -1.0])))
+
+    def test_as_diagonal_quadratic_through_reweighting(self):
+        base = QuadraticMapping(np.diag([2.0, 8.0]))
+        rew = ReweightedMapping(base, [2.0, 4.0])
+        diag = as_diagonal_quadratic(rew)
+        assert diag is not None
+        np.testing.assert_allclose(np.diag(diag.quadratic), [0.5, 0.5])
+        x = np.array([1.5, -0.5])
+        assert diag.value(x) == pytest.approx(rew.value(x))
+
+    def test_as_diagonal_quadratic_none_for_linear(self):
+        assert as_diagonal_quadratic(LinearMapping([1.0])) is None
+
+
+class TestExactProjection:
+    def test_sphere_from_origin_offset(self):
+        # f = x^2 + y^2 = 4 from (3, 0): closest point (2, 0), distance 1.
+        m = QuadraticMapping(np.eye(2))
+        c = solve_ellipsoid_radius(m, np.array([3.0, 0.0]), 4.0)
+        np.testing.assert_allclose(c.point, [2.0, 0.0], atol=1e-10)
+        assert c.distance == pytest.approx(1.0, abs=1e-12)
+
+    def test_inside_pushed_out(self):
+        m = QuadraticMapping(np.eye(2))
+        c = solve_ellipsoid_radius(m, np.array([0.5, 0.0]), 4.0)
+        np.testing.assert_allclose(c.point, [2.0, 0.0], atol=1e-10)
+        assert c.distance == pytest.approx(1.5, abs=1e-12)
+
+    def test_anisotropic_axes(self):
+        # f = x^2/4 + y^2 = 1 from origin: closest boundary point is
+        # (0, +-1) at distance 1 (minor axis).
+        m = QuadraticMapping(np.diag([0.25, 1.0]))
+        c = solve_ellipsoid_radius(m, np.zeros(2), 1.0)
+        assert c.distance == pytest.approx(1.0, abs=1e-12)
+
+    def test_origin_on_boundary(self):
+        m = QuadraticMapping(np.eye(2))
+        c = solve_ellipsoid_radius(m, np.array([2.0, 0.0]), 4.0)
+        assert c.distance == 0.0
+
+    def test_constant_folded(self):
+        m = QuadraticMapping(np.eye(1), None, 3.0)
+        c = solve_ellipsoid_radius(m, np.array([0.0]), 7.0)
+        assert c.distance == pytest.approx(2.0, abs=1e-12)
+
+    def test_empty_level_set(self):
+        m = QuadraticMapping(np.eye(2), None, 5.0)
+        with pytest.raises(BoundaryNotFoundError, match="empty"):
+            solve_ellipsoid_radius(m, np.zeros(2), 4.0)
+
+    def test_nondiagonal_rejected(self):
+        Q = np.array([[1.0, 0.2], [0.2, 1.0]])
+        with pytest.raises(SpecificationError):
+            solve_ellipsoid_radius(QuadraticMapping(Q), np.zeros(2), 1.0)
+
+    def test_witness_on_boundary_exactly(self, rng):
+        for _ in range(10):
+            d = rng.uniform(0.2, 5.0, size=4)
+            m = QuadraticMapping(np.diag(d))
+            origin = rng.normal(size=4)
+            bound = rng.uniform(0.5, 10.0)
+            c = solve_ellipsoid_radius(m, origin, bound)
+            assert m.value(c.point) == pytest.approx(bound, rel=1e-10)
+
+    @given(d=st.lists(positive, min_size=2, max_size=5),
+           bound=st.floats(min_value=0.5, max_value=20.0))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_numeric_solver(self, d, bound):
+        m = QuadraticMapping(np.diag(d))
+        origin = np.full(len(d), 0.3)
+        exact = solve_ellipsoid_radius(m, origin, bound)
+        numeric = solve_numeric_radius(m, origin, bound, seed=0)
+        assert exact.distance == pytest.approx(numeric.distance,
+                                               rel=1e-5, abs=1e-8)
+        # The exact answer can never be worse than the numeric local one,
+        # except that SLSQP's constraint tolerance (~1e-7 relative) lets
+        # its point sit marginally inside the boundary.
+        assert exact.distance <= numeric.distance + 1e-6 * (
+            1.0 + numeric.distance)

@@ -1,0 +1,106 @@
+"""Tests for the numeric boundary-projection solver."""
+
+import numpy as np
+import pytest
+
+from repro.core.mappings import (
+    CallableMapping,
+    LinearMapping,
+    ProductMapping,
+    QuadraticMapping,
+)
+from repro.core.solvers.numeric import solve_numeric_radius
+from repro.exceptions import BoundaryNotFoundError, SpecificationError
+
+
+class TestAgainstClosedForms:
+    def test_hyperplane(self):
+        m = LinearMapping([1.0, 1.0])
+        c = solve_numeric_radius(m, np.zeros(2), 2.0, seed=0)
+        assert c.distance == pytest.approx(np.sqrt(2), rel=1e-6)
+
+    def test_sphere(self):
+        # f = ||x||^2 = 9 from origin: radius 3 exactly in any dimension.
+        m = QuadraticMapping(np.eye(4))
+        c = solve_numeric_radius(m, np.zeros(4), 9.0, seed=0)
+        assert c.distance == pytest.approx(3.0, rel=1e-6)
+
+    def test_shifted_sphere(self):
+        # f = ||x - c||^2, boundary at level r^2 is a sphere around c;
+        # min distance from origin = ||c|| - r.
+        center = np.array([3.0, 4.0])
+
+        def f(x):
+            return float((x - center) @ (x - center))
+
+        m = CallableMapping(f, 2, gradient_fn=lambda x: 2 * (x - center))
+        c = solve_numeric_radius(m, np.zeros(2), 4.0, seed=0)
+        assert c.distance == pytest.approx(5.0 - 2.0, rel=1e-5)
+
+    def test_ellipse(self):
+        # f = x^2/4 + y^2 = 1 from origin: closest point is (0, +-1),
+        # distance 1.
+        Q = np.diag([0.25, 1.0])
+        m = QuadraticMapping(Q)
+        c = solve_numeric_radius(m, np.zeros(2), 1.0, seed=1)
+        assert c.distance == pytest.approx(1.0, rel=1e-5)
+
+    def test_monomial(self):
+        # f = x*y = 4 from (1, 1): symmetric optimum at (2, 2),
+        # distance sqrt(2).
+        m = ProductMapping([1.0, 1.0])
+        c = solve_numeric_radius(m, np.array([1.0, 1.0]), 4.0, seed=2)
+        assert c.distance == pytest.approx(np.sqrt(2.0), rel=1e-4)
+
+
+class TestConstraintQuality:
+    def test_witness_exactly_on_boundary(self, rng):
+        for _ in range(5):
+            Q = rng.normal(size=(3, 3))
+            m = QuadraticMapping(Q @ Q.T + np.eye(3), rng.normal(size=3))
+            origin = rng.normal(size=3) * 0.1
+            bound = m.value(origin) + 5.0
+            c = solve_numeric_radius(m, origin, bound, seed=0)
+            assert m.value(c.point) == pytest.approx(bound, abs=1e-5 * (1 + abs(bound)))
+
+    def test_gradient_free_callable_still_works(self):
+        m = CallableMapping(lambda x: float(np.sum(x ** 2)), 2)
+        c = solve_numeric_radius(m, np.zeros(2), 4.0, seed=0)
+        assert c.distance == pytest.approx(2.0, rel=1e-4)
+
+
+class TestBoxConstraints:
+    def test_projection_respects_box(self):
+        # f = x + y = 2 with x <= 0.5: constrained projection is
+        # (0.5, 1.5), distance sqrt(0.25 + 2.25).
+        m = LinearMapping([1.0, 1.0])
+        c = solve_numeric_radius(m, np.zeros(2), 2.0,
+                                 upper=np.array([0.5, np.inf]), seed=0)
+        assert c.distance == pytest.approx(np.sqrt(2.5), rel=1e-5)
+        assert c.point[0] <= 0.5 + 1e-8
+
+    def test_unreachable_level_raises(self):
+        # f = x with x in [0, 1] can never reach 5.
+        m = LinearMapping([1.0])
+        with pytest.raises(BoundaryNotFoundError):
+            solve_numeric_radius(m, np.array([0.5]), 5.0,
+                                 lower=np.array([0.0]),
+                                 upper=np.array([1.0]), seed=0)
+
+
+class TestValidation:
+    def test_dimension_mismatch(self):
+        with pytest.raises(SpecificationError):
+            solve_numeric_radius(LinearMapping([1.0]), np.zeros(2), 1.0)
+
+    def test_never_worse_than_bisection_seed(self, rng):
+        # The numeric answer must be <= the best directional crossing,
+        # because those crossings are multistart seeds.
+        from repro.core.solvers.bisection import solve_bisection_radius
+        Q = rng.normal(size=(3, 3))
+        m = QuadraticMapping(Q @ Q.T + 0.5 * np.eye(3))
+        origin = np.zeros(3)
+        bis = solve_bisection_radius(m, origin, 4.0,
+                                     n_random_directions=64, seed=5)
+        num = solve_numeric_radius(m, origin, 4.0, seed=5)
+        assert num.distance <= bis.distance + 1e-9

@@ -1,0 +1,70 @@
+"""Tests for the Monte-Carlo violation-search solver."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import ToleranceBounds
+from repro.core.mappings import LinearMapping, QuadraticMapping
+from repro.core.solvers.sampling import sampling_upper_bound
+from repro.exceptions import SpecificationError
+
+
+class TestSamplingUpperBound:
+    def test_no_violation_inside_safe_ball(self):
+        # f = x + y <= 2 from origin, true radius sqrt(2); a ball of
+        # radius 1 < sqrt(2) contains no violations.
+        m = LinearMapping([1.0, 1.0])
+        rep = sampling_upper_bound(m, np.zeros(2), ToleranceBounds.upper(2.0),
+                                   max_distance=1.0, n_samples=5000, seed=0)
+        assert rep.n_violations == 0
+        assert rep.min_violation_distance == float("inf")
+        assert rep.closest_violation is None
+
+    def test_violations_found_beyond_radius(self):
+        m = LinearMapping([1.0, 1.0])
+        rep = sampling_upper_bound(m, np.zeros(2), ToleranceBounds.upper(2.0),
+                                   max_distance=4.0, n_samples=20000, seed=0)
+        assert rep.n_violations > 0
+        # min distance among violations upper-bounds and approaches sqrt(2)
+        assert rep.min_violation_distance >= np.sqrt(2) - 1e-9
+        assert rep.min_violation_distance <= np.sqrt(2) * 1.2
+
+    def test_closest_violation_actually_violates(self):
+        m = QuadraticMapping(np.eye(2))
+        bounds = ToleranceBounds.upper(1.0)
+        rep = sampling_upper_bound(m, np.zeros(2), bounds,
+                                   max_distance=3.0, n_samples=5000, seed=1)
+        assert rep.closest_violation is not None
+        assert m.value(rep.closest_violation) > bounds.beta_max
+
+    def test_lower_bound_violations(self):
+        m = LinearMapping([1.0])
+        bounds = ToleranceBounds.lower(-1.0)
+        rep = sampling_upper_bound(m, np.zeros(1), bounds,
+                                   max_distance=3.0, n_samples=2000, seed=2)
+        assert rep.n_violations > 0
+        assert rep.min_violation_distance >= 1.0 - 1e-9
+
+    def test_box_clipping_suppresses_unreachable_violations(self):
+        # f = -x violates the lower bound only for x > 1; with an upper
+        # box at 0.5 no reachable point violates.
+        m = LinearMapping([-1.0])
+        bounds = ToleranceBounds.lower(-1.0)
+        rep = sampling_upper_bound(m, np.zeros(1), bounds,
+                                   max_distance=10.0, n_samples=2000,
+                                   upper=np.array([0.5]), seed=3)
+        assert rep.n_violations == 0
+
+    def test_bad_max_distance(self):
+        with pytest.raises(SpecificationError):
+            sampling_upper_bound(LinearMapping([1.0]), np.zeros(1),
+                                 ToleranceBounds.upper(1.0), max_distance=0.0)
+
+    def test_linf_norm_distances(self):
+        # f = x + y <= 2; linf radius is 1.
+        m = LinearMapping([1.0, 1.0])
+        rep = sampling_upper_bound(m, np.zeros(2), ToleranceBounds.upper(2.0),
+                                   max_distance=3.0, n_samples=20000,
+                                   norm=np.inf, seed=4)
+        assert rep.min_violation_distance >= 1.0 - 1e-9
+        assert rep.min_violation_distance <= 1.2

@@ -1,0 +1,127 @@
+"""Tests for the weighting schemes (Section 3 concatenations)."""
+
+import numpy as np
+import pytest
+
+from repro.core.perturbation import PerturbationParameter
+from repro.core.weighting import (
+    CustomWeighting,
+    IdentityWeighting,
+    NormalizedWeighting,
+    SensitivityWeighting,
+)
+from repro.exceptions import SpecificationError, UnitMismatchError
+
+
+@pytest.fixture
+def seconds_param():
+    return PerturbationParameter("exec", [2.0, 4.0], unit="s")
+
+
+@pytest.fixture
+def bytes_param():
+    return PerturbationParameter("msg", [100.0], unit="bytes")
+
+
+class TestIdentityWeighting:
+    def test_same_unit_ok(self, seconds_param):
+        other = PerturbationParameter("exec2", [1.0], unit="s")
+        a = IdentityWeighting().elementwise_alphas([seconds_param, other])
+        np.testing.assert_array_equal(a, np.ones(3))
+
+    def test_mixed_units_rejected(self, seconds_param, bytes_param):
+        with pytest.raises(UnitMismatchError, match="unlike units"):
+            IdentityWeighting().elementwise_alphas([seconds_param, bytes_param])
+
+    def test_unitless_params_compatible(self):
+        p1 = PerturbationParameter("a", [1.0])
+        p2 = PerturbationParameter("b", [2.0], unit="s")
+        a = IdentityWeighting().elementwise_alphas([p1, p2])
+        assert a.size == 2
+
+    def test_name(self):
+        assert IdentityWeighting().name == "identity"
+
+    def test_does_not_require_radii(self):
+        assert not IdentityWeighting().requires_radii
+
+
+class TestSensitivityWeighting:
+    def test_alphas_are_reciprocal_radii(self, seconds_param, bytes_param):
+        radii = {"exec": 2.0, "msg": 10.0}
+        a = SensitivityWeighting().elementwise_alphas(
+            [seconds_param, bytes_param], radii)
+        np.testing.assert_allclose(a, [0.5, 0.5, 0.1])
+
+    def test_requires_radii_flag(self):
+        assert SensitivityWeighting().requires_radii
+
+    def test_missing_radii_dict(self, seconds_param):
+        with pytest.raises(SpecificationError, match="per-parameter radii"):
+            SensitivityWeighting().elementwise_alphas([seconds_param])
+
+    def test_missing_entry(self, seconds_param, bytes_param):
+        with pytest.raises(SpecificationError, match="missing"):
+            SensitivityWeighting().elementwise_alphas(
+                [seconds_param, bytes_param], {"exec": 1.0})
+
+    def test_infinite_radius_rejected(self, seconds_param):
+        with pytest.raises(SpecificationError, match="positive finite"):
+            SensitivityWeighting().elementwise_alphas(
+                [seconds_param], {"exec": float("inf")})
+
+    def test_zero_radius_rejected(self, seconds_param):
+        with pytest.raises(SpecificationError, match="positive finite"):
+            SensitivityWeighting().elementwise_alphas(
+                [seconds_param], {"exec": 0.0})
+
+
+class TestNormalizedWeighting:
+    def test_alphas_reciprocal_originals(self, seconds_param, bytes_param):
+        a = NormalizedWeighting().elementwise_alphas(
+            [seconds_param, bytes_param])
+        np.testing.assert_allclose(a, [0.5, 0.25, 0.01])
+
+    def test_p_orig_becomes_ones(self, seconds_param, bytes_param):
+        a = NormalizedWeighting().elementwise_alphas(
+            [seconds_param, bytes_param])
+        flat = np.concatenate([seconds_param.original, bytes_param.original])
+        np.testing.assert_allclose(a * flat, np.ones(3))
+
+    def test_zero_original_rejected(self):
+        p = PerturbationParameter("x", [0.0, 1.0])
+        with pytest.raises(SpecificationError, match="positive original"):
+            NormalizedWeighting().elementwise_alphas([p])
+
+    def test_negative_original_rejected(self):
+        p = PerturbationParameter("x", [-1.0])
+        with pytest.raises(SpecificationError):
+            NormalizedWeighting().elementwise_alphas([p])
+
+
+class TestCustomWeighting:
+    def test_scalar_per_param(self, seconds_param, bytes_param):
+        w = CustomWeighting({"exec": 2.0, "msg": 0.5})
+        a = w.elementwise_alphas([seconds_param, bytes_param])
+        np.testing.assert_allclose(a, [2.0, 2.0, 0.5])
+
+    def test_array_per_param(self, seconds_param):
+        w = CustomWeighting({"exec": [1.0, 3.0]})
+        a = w.elementwise_alphas([seconds_param])
+        np.testing.assert_allclose(a, [1.0, 3.0])
+
+    def test_missing_param(self, seconds_param):
+        with pytest.raises(SpecificationError, match="no weight"):
+            CustomWeighting({"other": 1.0}).elementwise_alphas([seconds_param])
+
+    def test_wrong_length_array(self, seconds_param):
+        with pytest.raises(SpecificationError, match="length"):
+            CustomWeighting({"exec": [1.0]}).elementwise_alphas([seconds_param])
+
+    def test_nonpositive_rejected(self, seconds_param):
+        with pytest.raises(SpecificationError, match="positive"):
+            CustomWeighting({"exec": -1.0}).elementwise_alphas([seconds_param])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SpecificationError):
+            CustomWeighting({})

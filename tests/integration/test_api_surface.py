@@ -1,0 +1,90 @@
+"""Meta-tests on the public API surface.
+
+Deliverable-level guarantees: every exported name resolves, every public
+class/function carries a docstring, and the package-level ``__all__``
+lists stay consistent with what the modules actually define.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.core.solvers",
+    "repro.systems",
+    "repro.systems.independent",
+    "repro.systems.hiperd",
+    "repro.systems.heuristics",
+    "repro.montecarlo",
+    "repro.analysis",
+    "repro.reporting",
+    "repro.io",
+    "repro.utils",
+]
+
+
+def _all_modules():
+    seen = []
+    for pkg_name in PACKAGES:
+        pkg = importlib.import_module(pkg_name)
+        seen.append(pkg)
+        if hasattr(pkg, "__path__"):
+            for info in pkgutil.iter_modules(pkg.__path__):
+                seen.append(importlib.import_module(
+                    f"{pkg_name}.{info.name}"))
+    return {m.__name__: m for m in seen}.values()
+
+
+class TestExports:
+    @pytest.mark.parametrize("pkg_name", PACKAGES)
+    def test_all_names_resolve(self, pkg_name):
+        pkg = importlib.import_module(pkg_name)
+        for name in getattr(pkg, "__all__", []):
+            assert hasattr(pkg, name), f"{pkg_name}.__all__ lists missing {name}"
+
+    def test_top_level_reexports_core(self):
+        from repro.core import RobustnessAnalysis
+        assert repro.RobustnessAnalysis is RobustnessAnalysis
+
+
+class TestDocstrings:
+    def test_every_module_documented(self):
+        for module in _all_modules():
+            assert module.__doc__, f"module {module.__name__} lacks a docstring"
+
+    def test_every_public_object_documented(self):
+        missing = []
+        for module in _all_modules():
+            for name in getattr(module, "__all__", []):
+                obj = getattr(module, name)
+                if inspect.isclass(obj) or inspect.isfunction(obj):
+                    if not inspect.getdoc(obj):
+                        missing.append(f"{module.__name__}.{name}")
+        assert not missing, f"undocumented public objects: {missing}"
+
+    def test_public_methods_documented(self):
+        from repro.core.fepia import RobustnessAnalysis
+        from repro.core.pspace import ConcatenatedPerturbation
+        from repro.systems.hiperd.model import HiPerDSystem
+        missing = []
+        for cls in (RobustnessAnalysis, ConcatenatedPerturbation,
+                    HiPerDSystem):
+            for name, member in inspect.getmembers(cls):
+                if name.startswith("_"):
+                    continue
+                if callable(member) and not inspect.getdoc(member):
+                    missing.append(f"{cls.__name__}.{name}")
+        assert not missing, f"undocumented public methods: {missing}"
+
+
+class TestVersioning:
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)

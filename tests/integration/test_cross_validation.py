@@ -1,0 +1,121 @@
+"""Cross-validation of the independent computation paths.
+
+Three implementations of each quantity exist in the repository:
+
+* closed forms (degeneracy module, makespan analytic radii);
+* the generic solver pipeline (analytic hyperplane / numeric projection /
+  directional bisection);
+* Monte-Carlo estimates (sampling, violation curves).
+
+These tests assert the three agree on shared instances — the strongest
+correctness evidence the reproduction produces.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.features import ToleranceBounds
+from repro.core.mappings import QuadraticMapping
+from repro.core.radius import RadiusProblem, compute_radius
+from repro.core.solvers.bisection import solve_bisection_radius
+from repro.montecarlo.validate import validate_analysis, validate_radius
+from repro.montecarlo.violation import violation_probability_curve
+from repro.systems.hiperd.constraints import build_analysis
+from repro.systems.independent import Allocation, MakespanSystem, generate_etc_gamma
+
+
+class TestMakespanThreeWay:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_closed_form_vs_pipeline_vs_mc(self, seed, rng):
+        etc = generate_etc_gamma(12, 4, seed=seed)
+        alloc = Allocation(rng.integers(0, 4, size=12).astype(np.intp), 4)
+        system = MakespanSystem(etc, alloc)
+        beta = 1.25
+
+        # closed form vs pipeline
+        ana = system.robustness_analysis(beta, seed=seed)
+        assert ana.rho() == pytest.approx(system.analytic_rho(beta),
+                                          rel=1e-9)
+
+        # pipeline vs Monte-Carlo (soundness + tightness of every radius)
+        checks = validate_analysis(ana, n_samples=4000, seed=seed)
+        assert all(v.passed for v in checks.values())
+
+    def test_violation_curve_brackets_rho(self):
+        etc = generate_etc_gamma(10, 3, seed=5)
+        alloc = Allocation(np.arange(10, dtype=np.intp) % 3, 3)
+        system = MakespanSystem(etc, alloc)
+        ana = system.robustness_analysis(1.3)
+        rho = ana.rho()
+        spec = ana.critical_feature()
+        curve = violation_probability_curve(
+            spec.mapping, ana.pi_orig, spec.feature.bounds,
+            distances=np.linspace(0.5 * rho, 2.0 * rho, 12),
+            n_directions=3000, seed=6)
+        first = curve.first_violation_distance()
+        assert first >= rho - 1e-9
+        assert first <= 2.0 * rho
+
+
+class TestQuadraticThreeWay:
+    def test_numeric_vs_bisection_vs_mc(self, rng):
+        # random convex quadratic features in several dimensions
+        for dim in (2, 4, 8):
+            A = rng.normal(size=(dim, dim))
+            m = QuadraticMapping(A @ A.T + np.eye(dim), rng.normal(size=dim))
+            origin = 0.1 * rng.normal(size=dim)
+            bound = m.value(origin) + 5.0
+            problem = RadiusProblem(
+                mapping=m, origin=origin,
+                bounds=ToleranceBounds.upper(bound))
+            res = compute_radius(problem, seed=0)
+            # bisection upper bound must not be beaten by more than noise
+            bis = solve_bisection_radius(m, origin, bound,
+                                         n_random_directions=256, seed=1)
+            assert res.radius <= bis.distance + 1e-9
+            assert bis.distance <= res.radius * 1.3
+            # MC validation
+            v = validate_radius(problem, res, n_samples=4000, seed=2)
+            assert v.passed, f"dim={dim}: {v}"
+
+
+class TestHiPerDThreeWay:
+    def test_all_weightings_validate(self, hiperd_system, hiperd_qos):
+        from repro.core.weighting import (NormalizedWeighting,
+                                          SensitivityWeighting)
+        for weighting in (NormalizedWeighting(), SensitivityWeighting()):
+            ana = build_analysis(hiperd_system, hiperd_qos,
+                                 kinds=("loads", "exec", "msgsize"),
+                                 weighting=weighting, seed=0)
+            checks = validate_analysis(ana, n_samples=1500, seed=3)
+            bad = {k: v for k, v in checks.items() if not v.sound}
+            assert not bad, f"{weighting.name}: unsound radii {bad}"
+
+    def test_simulator_confirms_critical_radius(self, hiperd_system,
+                                                hiperd_qos):
+        """Walk along the witness direction in load space; the dataflow
+        simulator must agree with the feature mapping about when the
+        latency deadline breaks."""
+        from repro.systems.hiperd.simulate import simulate_dataflow
+        ana = build_analysis(hiperd_system, hiperd_qos, kinds=("loads",),
+                             seed=0)
+        latency_specs = [s for s in ana.features
+                         if s.name.startswith("latency[")]
+        spec = min(latency_specs, key=lambda s: ana.radius(s).radius)
+        res = ana.radius(spec)
+        ps = ana.pspace()
+        witness_loads = ps.from_p(res.boundary_point)
+        # slightly beyond the witness the deadline must be broken;
+        # slightly inside it must hold
+        orig = hiperd_system.original_loads()
+        for factor, expect_violation in ((0.98, False), (1.02, True)):
+            loads = orig + factor * (witness_loads - orig)
+            rec = simulate_dataflow(hiperd_system, loads[None, :],
+                                    deadline=spec.feature.bounds.beta_max)
+            # the simulator reports the max over actuators; the critical
+            # path drives it at the witness
+            mapped = spec.mapping.value(ana.flatten_values({"loads": loads}))
+            assert (mapped > spec.feature.bounds.beta_max) == expect_violation
+            if expect_violation:
+                assert rec.actuator_latencies.max() > (
+                    spec.feature.bounds.beta_max * 0.99)

@@ -1,0 +1,128 @@
+"""End-to-end workflow tests: the public API as a user drives it."""
+
+import math
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    FeasibilityChecker,
+    FeatureSpec,
+    LinearMapping,
+    NormalizedWeighting,
+    PerformanceFeature,
+    PerturbationParameter,
+    RobustnessAnalysis,
+    SensitivityWeighting,
+    ToleranceBounds,
+    robustness_metric,
+)
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_quickstart_flow(self):
+        # the README example, verbatim in spirit
+        exec_times = PerturbationParameter.nonnegative(
+            "exec", [4.0], unit="s")
+        msg_sizes = PerturbationParameter.nonnegative(
+            "msg", [2.0], unit="bytes")
+        mapping = LinearMapping([2.0, 3.0])
+        phi0 = mapping.value(np.array([4.0, 2.0]))
+        feature = PerformanceFeature(
+            "latency", ToleranceBounds.relative(phi0, 1.2))
+        analysis = RobustnessAnalysis(
+            [FeatureSpec(feature, mapping)], [exec_times, msg_sizes])
+        report = robustness_metric(analysis)
+        assert report.rho == pytest.approx(0.28, rel=1e-9)
+        assert report.critical_feature == "latency"
+
+
+class TestHeuristicWorkflow:
+    def test_compare_and_optimise(self):
+        from repro.analysis import compare_heuristics
+        from repro.systems.heuristics import SimulatedAnnealer
+        from repro.systems.independent import MakespanSystem, generate_etc_gamma
+
+        etc = generate_etc_gamma(16, 4, seed=31)
+        result = compare_heuristics(etc, tau_factor=1.5, seed=31)
+        feasible = [(row[0], row[2]) for row in result.rows
+                    if isinstance(row[2], float) and not math.isnan(row[2])]
+        assert feasible
+        best_name, best_rho = feasible[0]
+
+        tau = 1.5 * min(row[1] for row in result.rows)
+
+        def objective_factory(etc_matrix):
+            def objective(allocation):
+                system = MakespanSystem(etc_matrix, allocation)
+                if system.makespan() >= tau:
+                    return system.makespan() / tau
+                return -system.analytic_rho(tau=tau)
+            return objective
+
+        sa = SimulatedAnnealer(objective_factory, n_steps=800, seed=31)
+        tuned = MakespanSystem(etc, sa.allocate(etc))
+        assert tuned.makespan() < tau
+        assert tuned.analytic_rho(tau=tau) >= best_rho - 1e-9
+
+
+class TestHiPerDWorkflow:
+    def test_generate_analyse_monitor(self):
+        from repro.systems.hiperd import (
+            QoSSpec,
+            build_analysis,
+            generate_hiperd_system,
+        )
+
+        system = generate_hiperd_system(seed=77)
+        qos = QoSSpec(latency_slack=1.4)
+        ana = build_analysis(system, qos, kinds=("loads", "msgsize"),
+                             seed=0)
+        rho = ana.rho()
+        assert rho > 0 and math.isfinite(rho)
+
+        checker = FeasibilityChecker(ana)
+        # unchanged operating point is safe
+        assert checker.check({}).within_radius
+        # extreme load is flagged and genuinely infeasible
+        verdict = checker.check({"loads": system.original_loads() * 50.0})
+        assert not verdict.within_radius
+        assert not verdict.actually_feasible
+
+    def test_weighting_switch_changes_rho_not_semantics(self):
+        from repro.systems.hiperd import QoSSpec, build_analysis, generate_hiperd_system
+
+        system = generate_hiperd_system(seed=78)
+        qos = QoSSpec(latency_slack=1.4)
+        rho_norm = build_analysis(system, qos, kinds=("loads", "msgsize"),
+                                  weighting=NormalizedWeighting(),
+                                  seed=0).rho()
+        rho_sens = build_analysis(system, qos, kinds=("loads", "msgsize"),
+                                  weighting=SensitivityWeighting(),
+                                  seed=0).rho()
+        assert rho_norm > 0 and rho_sens > 0
+        # both finite; values differ because the geometries differ
+        assert math.isfinite(rho_norm) and math.isfinite(rho_sens)
+
+
+class TestReportingWorkflow:
+    def test_full_report_runs(self, two_kind_analysis):
+        from repro.reporting import full_report
+        out = full_report(two_kind_analysis, n_samples=500, seed=0)
+        assert "rho" in out and "Monte-Carlo" in out
+
+    def test_boundary_figure_workflow(self):
+        from repro.reporting import boundary_figure
+        m = LinearMapping([1.0, 2.0])
+        fig = boundary_figure(m, np.array([1.0, 1.0]),
+                              ToleranceBounds.upper(6.0))
+        rendered = fig.render(width=40, height=12)
+        assert "O" in rendered

@@ -1,0 +1,86 @@
+"""Max-composite features: makespan as a single MaxMapping.
+
+For upper-bound-only constraints the robust region of a max feature is
+the intersection of the components' sublevel sets, so escaping it means
+crossing *some* component's boundary:
+
+    dist(x0, boundary{max_i f_i <= tau}) = min_i dist(x0, {f_i = tau}) .
+
+These tests verify the identity end-to-end: the radius of the single
+``MaxMapping`` makespan feature equals the minimum of the per-machine
+finish-time radii — i.e. the two equivalent FePIA formulations of the
+makespan example agree through the generic solvers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.features import PerformanceFeature, ToleranceBounds
+from repro.core.fepia import FeatureSpec, RobustnessAnalysis
+from repro.core.mappings import LinearMapping, MaxMapping
+from repro.core.radius import RadiusProblem, compute_radius
+from repro.core.weighting import IdentityWeighting
+from repro.systems.independent import Allocation, MakespanSystem
+from repro.systems.independent.etc import generate_etc_gamma
+
+
+def _machine_mappings(system: MakespanSystem) -> list[LinearMapping]:
+    n = system.n_tasks
+    mappings = []
+    for j in range(system.n_machines):
+        coeffs = np.zeros(n)
+        coeffs[system.allocation.tasks_on(j)] = 1.0
+        if np.any(coeffs):
+            mappings.append(LinearMapping(coeffs))
+    return mappings
+
+
+class TestMaxEqualsMinOfComponents:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_makespan_max_feature_equals_per_machine_min(self, seed, rng):
+        etc = generate_etc_gamma(10, 3, seed=seed)
+        alloc = Allocation(rng.integers(0, 3, size=10).astype(np.intp), 3)
+        system = MakespanSystem(etc, alloc)
+        tau = 1.3 * system.makespan()
+
+        components = _machine_mappings(system)
+        max_mapping = MaxMapping(components)
+        problem = RadiusProblem(
+            mapping=max_mapping,
+            origin=system.original_times(),
+            bounds=ToleranceBounds.upper(tau))
+        res = compute_radius(problem, seed=seed)
+
+        per_machine = min(
+            compute_radius(RadiusProblem(
+                mapping=comp, origin=system.original_times(),
+                bounds=ToleranceBounds.upper(tau))).radius
+            for comp in components)
+        assert res.radius == pytest.approx(per_machine, rel=1e-4)
+
+    def test_agrees_with_analysis_formulation(self, rng):
+        etc = generate_etc_gamma(8, 2, seed=5)
+        alloc = Allocation(rng.integers(0, 2, size=8).astype(np.intp), 2)
+        system = MakespanSystem(etc, alloc)
+        tau = 1.25 * system.makespan()
+
+        # formulation A: per-machine features through RobustnessAnalysis
+        rho_components = system.robustness_analysis(tau=tau).rho()
+
+        # formulation B: one max feature
+        max_mapping = MaxMapping(_machine_mappings(system))
+        feature = PerformanceFeature("makespan", ToleranceBounds.upper(tau))
+        param = system.execution_time_parameter()
+        rho_max = RobustnessAnalysis(
+            [FeatureSpec(feature, max_mapping)], [param],
+            weighting=IdentityWeighting(), seed=0).rho()
+
+        assert rho_max == pytest.approx(rho_components, rel=1e-4)
+
+    def test_max_value_is_makespan(self, rng):
+        etc = generate_etc_gamma(12, 4, seed=6)
+        alloc = Allocation(rng.integers(0, 4, size=12).astype(np.intp), 4)
+        system = MakespanSystem(etc, alloc)
+        max_mapping = MaxMapping(_machine_mappings(system))
+        assert max_mapping.value(system.original_times()) == pytest.approx(
+            system.makespan())

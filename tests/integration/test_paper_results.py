@@ -1,0 +1,137 @@
+"""Integration tests pinning the paper's results end to end.
+
+These are the repository's acceptance tests: every claim the paper makes
+analytically must emerge from the full pipeline (perturbation parameters ->
+weighting -> P-space -> generic radius solvers -> rho), not just from the
+closed-form module.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.linear_case import analysis_for_case, random_linear_case
+from repro.core.degeneracy import (
+    LinearCase,
+    normalized_radius_linear,
+    per_parameter_radius_linear,
+    sensitivity_alphas_linear,
+)
+from repro.core.weighting import NormalizedWeighting, SensitivityWeighting
+from repro.utils.rng import default_rng
+
+
+class TestSection31Degeneracy:
+    """Sensitivity weighting: r == 1/sqrt(n), whatever the system."""
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 13, 21])
+    def test_exact_inverse_sqrt_n_through_pipeline(self, n):
+        rng = default_rng(n)
+        for _ in range(3):
+            case = random_linear_case(n, rng)
+            rho = analysis_for_case(case, SensitivityWeighting()).rho()
+            assert rho == pytest.approx(1.0 / math.sqrt(n), rel=1e-9)
+
+    def test_two_wildly_different_systems_indistinguishable(self):
+        weak = LinearCase([1.0, 1.0], [1.0, 1.0], 1.01)     # 1% slack
+        strong = LinearCase([1e-3, 1e3], [1e2, 1e-2], 5.0)  # 400% slack
+        r_weak = analysis_for_case(weak, SensitivityWeighting()).rho()
+        r_strong = analysis_for_case(strong, SensitivityWeighting()).rho()
+        assert r_weak == pytest.approx(r_strong, rel=1e-9)
+
+    def test_same_systems_distinguished_by_normalized(self):
+        weak = LinearCase([1.0, 1.0], [1.0, 1.0], 1.01)
+        strong = LinearCase([1e-3, 1e3], [1e2, 1e-2], 5.0)
+        r_weak = analysis_for_case(weak, NormalizedWeighting()).rho()
+        r_strong = analysis_for_case(strong, NormalizedWeighting()).rho()
+        assert r_strong > 10.0 * r_weak
+
+    def test_step1_per_parameter_radii_through_pipeline(self):
+        """The paper's Step 1 example formulas, via the generic solver."""
+        case = LinearCase([2.0, 3.0, 0.5], [4.0, 2.0, 10.0], 1.2)
+        ana = analysis_for_case(case, SensitivityWeighting())
+        for j, p in enumerate(ana.params):
+            res = ana.single_parameter_radius("phi", p.name)
+            assert res.radius == pytest.approx(
+                per_parameter_radius_linear(case, j), rel=1e-9)
+
+    def test_step1_alphas_equation_3(self):
+        case = LinearCase([2.0, 3.0], [4.0, 2.0], 1.2)
+        ana = analysis_for_case(case, SensitivityWeighting())
+        ps = ana.pspace("phi")
+        np.testing.assert_allclose(ps.alphas,
+                                   sensitivity_alphas_linear(case),
+                                   rtol=1e-9)
+
+    def test_step2_constraint_plane_in_pspace(self):
+        """In P-space the constraint is P_1 + ... + P_n = beta/(beta-1)."""
+        case = LinearCase([2.0, 3.0], [4.0, 2.0], 1.2)
+        ana = analysis_for_case(case, SensitivityWeighting())
+        ps = ana.pspace("phi")
+        mapping_p = ps.transform_mapping(ana.features[0].mapping)
+        rhs = case.beta / (case.beta - 1.0)
+        # pick several points with sum P = rhs; all must hit beta_max
+        rng = default_rng(0)
+        for _ in range(5):
+            p = rng.uniform(0.1, 2.0, size=case.n)
+            p *= rhs / p.sum()
+            assert mapping_p.value(p) == pytest.approx(case.beta_max,
+                                                       rel=1e-9)
+
+
+class TestSection32NormalizedMeasure:
+    """Normalization by originals: dimensionless, informative radius."""
+
+    def test_p_orig_is_all_ones(self):
+        case = random_linear_case(4, default_rng(5))
+        ana = analysis_for_case(case, NormalizedWeighting())
+        np.testing.assert_allclose(ana.pspace().p_orig, np.ones(4))
+
+    def test_closed_form_equals_pipeline(self):
+        rng = default_rng(6)
+        for n in (1, 2, 4, 7):
+            case = random_linear_case(n, rng)
+            rho = analysis_for_case(case, NormalizedWeighting()).rho()
+            assert rho == pytest.approx(normalized_radius_linear(case),
+                                        rel=1e-9)
+
+    def test_radius_grows_with_beta(self):
+        rng = default_rng(7)
+        base = random_linear_case(3, rng, beta=1.1)
+        radii = []
+        for beta in (1.1, 1.5, 2.0, 3.0):
+            case = LinearCase(base.coefficients, base.originals, beta)
+            radii.append(analysis_for_case(case, NormalizedWeighting()).rho())
+        assert radii == sorted(radii)
+        assert radii[-1] > radii[0]
+
+    def test_radius_depends_on_originals(self):
+        k = [1.0, 1.0]
+        a = LinearCase(k, [1.0, 1.0], 1.5)
+        b = LinearCase(k, [10.0, 0.1], 1.5)
+        ra = analysis_for_case(a, NormalizedWeighting()).rho()
+        rb = analysis_for_case(b, NormalizedWeighting()).rho()
+        assert ra != pytest.approx(rb, rel=1e-3)
+
+
+class TestUsageProcedure:
+    """The paper's steps (a)-(c) give a sound operating-point test."""
+
+    def test_procedure_on_random_cases(self):
+        from repro.core.feasibility import FeasibilityChecker
+        rng = default_rng(8)
+        for trial in range(5):
+            case = random_linear_case(3, rng)
+            ana = analysis_for_case(case, NormalizedWeighting())
+            checker = FeasibilityChecker(ana)
+            ps = ana.pspace()
+            rho = ana.rho()
+            for _ in range(30):
+                direction = rng.normal(size=3)
+                direction /= np.linalg.norm(direction)
+                scale = rng.uniform(0.0, 2.0)
+                p = ps.p_orig + direction * rho * scale
+                pi_vals = ps.split_values(ps.from_p(p))
+                verdict = checker.check(pi_vals)
+                assert verdict.is_sound

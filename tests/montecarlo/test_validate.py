@@ -1,0 +1,134 @@
+"""Tests for Monte-Carlo radius validation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.features import ToleranceBounds
+from repro.core.mappings import LinearMapping, QuadraticMapping
+from repro.core.radius import RadiusProblem, RadiusResult, compute_radius
+from repro.montecarlo.validate import validate_analysis, validate_radius
+
+
+def solve(mapping, origin, bounds, **kw):
+    p = RadiusProblem(mapping=mapping, origin=np.asarray(origin, float),
+                      bounds=bounds, **kw)
+    return p, compute_radius(p, seed=0)
+
+
+class TestValidateRadius:
+    def test_correct_linear_radius_passes(self):
+        p, res = solve(LinearMapping([1.0, 1.0]), [0.0, 0.0],
+                       ToleranceBounds.upper(2.0))
+        v = validate_radius(p, res, n_samples=5000, seed=1)
+        assert v.sound and v.tight and v.passed
+
+    def test_correct_quadratic_radius_passes(self):
+        p, res = solve(QuadraticMapping(np.eye(3)), [0.0, 0.0, 0.0],
+                       ToleranceBounds.upper(4.0))
+        v = validate_radius(p, res, n_samples=5000, seed=2)
+        assert v.passed
+
+    def test_overlarge_radius_refuted(self):
+        p, res = solve(LinearMapping([1.0, 1.0]), [0.0, 0.0],
+                       ToleranceBounds.upper(2.0))
+        inflated = RadiusResult(
+            radius=res.radius * 2.0, boundary_point=res.boundary_point,
+            bound_hit=res.bound_hit, method="fake",
+            original_value=res.original_value)
+        v = validate_radius(p, inflated, n_samples=20000, seed=3)
+        assert not v.sound
+        assert v.min_violation_distance < inflated.radius
+
+    def test_undersized_radius_fails_tightness(self):
+        p, res = solve(LinearMapping([1.0, 1.0]), [0.0, 0.0],
+                       ToleranceBounds.upper(2.0))
+        # witness at half the distance is not on the boundary
+        shrunk = RadiusResult(
+            radius=res.radius / 2.0,
+            boundary_point=res.boundary_point / 2.0,
+            bound_hit=res.bound_hit, method="fake",
+            original_value=res.original_value)
+        v = validate_radius(p, shrunk, n_samples=2000, seed=4)
+        assert v.sound          # smaller ball is still safe
+        assert not v.tight      # but the witness is off the boundary
+
+    def test_witness_distance_mismatch_detected(self):
+        p, res = solve(LinearMapping([1.0, 1.0]), [0.0, 0.0],
+                       ToleranceBounds.upper(2.0))
+        lied = RadiusResult(
+            radius=res.radius * 0.9, boundary_point=res.boundary_point,
+            bound_hit=res.bound_hit, method="fake",
+            original_value=res.original_value)
+        v = validate_radius(p, lied, n_samples=500, seed=5)
+        assert not v.tight
+        assert v.witness_distance_error > 0
+
+    def test_zero_radius_trivially_sound(self):
+        p, res = solve(LinearMapping([1.0]), [2.0], ToleranceBounds.upper(2.0))
+        assert res.radius == 0.0
+        v = validate_radius(p, res, seed=6)
+        assert v.sound
+
+    def test_infinite_radius_probe(self):
+        p, res = solve(LinearMapping([0.0, 0.0], constant=1.0), [0.0, 0.0],
+                       ToleranceBounds.upper(2.0))
+        assert math.isinf(res.radius)
+        v = validate_radius(p, res, n_samples=3000, seed=7)
+        assert v.sound and v.tight
+
+    def test_false_infinity_refuted(self):
+        p, res = solve(LinearMapping([1.0, 1.0]), [0.0, 0.0],
+                       ToleranceBounds.upper(2.0))
+        fake_inf = RadiusResult(
+            radius=math.inf, boundary_point=None, bound_hit=None,
+            method="fake", original_value=res.original_value)
+        v = validate_radius(p, fake_inf, n_samples=10000, seed=8)
+        assert not v.sound
+
+    def test_bad_margin_rejected(self):
+        p, res = solve(LinearMapping([1.0]), [0.0], ToleranceBounds.upper(1.0))
+        with pytest.raises(Exception):
+            validate_radius(p, res, margin=1.5)
+
+
+class TestValidateAnalysis:
+    def test_all_features_validated(self, two_kind_analysis):
+        out = validate_analysis(two_kind_analysis, n_samples=3000, seed=0)
+        assert set(out) == {"latency"}
+        assert all(v.passed for v in out.values())
+
+    def test_insensitive_feature_under_sensitivity_weighting(self):
+        """A feature no parameter can violate has an empty per-feature
+        P-space under sensitivity weighting; validation must report it as
+        vacuously valid instead of crashing."""
+        import numpy as np
+
+        from repro.core.features import PerformanceFeature, ToleranceBounds
+        from repro.core.fepia import FeatureSpec, RobustnessAnalysis
+        from repro.core.mappings import LinearMapping
+        from repro.core.perturbation import PerturbationParameter
+        from repro.core.weighting import SensitivityWeighting
+
+        p = PerturbationParameter("x", [1.0], unit="s")
+        sensitive = FeatureSpec(
+            PerformanceFeature("sensitive", ToleranceBounds.upper(5.0)),
+            LinearMapping([1.0]))
+        immune = FeatureSpec(
+            PerformanceFeature("immune", ToleranceBounds.upper(5.0)),
+            LinearMapping([0.0], constant=1.0))
+        ana = RobustnessAnalysis([sensitive, immune], [p],
+                                 weighting=SensitivityWeighting())
+        out = validate_analysis(ana, n_samples=500, seed=0)
+        assert out["immune"].passed
+        assert out["immune"].n_samples == 0
+        assert out["sensitive"].passed
+
+    def test_hiperd_analysis_validates(self, hiperd_system, hiperd_qos):
+        from repro.systems.hiperd.constraints import build_analysis
+        ana = build_analysis(hiperd_system, hiperd_qos,
+                             kinds=("loads", "msgsize"), seed=0)
+        out = validate_analysis(ana, n_samples=2000, seed=1)
+        assert all(v.sound for v in out.values())
+        assert all(v.tight for v in out.values())

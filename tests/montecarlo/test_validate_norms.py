@@ -1,0 +1,80 @@
+"""Monte-Carlo validation under non-Euclidean norms.
+
+The validators stratify their sampling in the problem's norm, so the
+soundness/tightness machinery must hold for l1 and linf radii too — these
+tests close that gap.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.features import ToleranceBounds
+from repro.core.mappings import LinearMapping
+from repro.core.radius import RadiusProblem, compute_radius
+from repro.montecarlo.validate import validate_radius
+from repro.montecarlo.violation import violation_probability_curve
+
+
+def solve(norm):
+    p = RadiusProblem(mapping=LinearMapping([2.0, 1.0]),
+                      origin=np.zeros(2),
+                      bounds=ToleranceBounds.upper(4.0),
+                      norm=norm)
+    return p, compute_radius(p, seed=0)
+
+
+class TestL1:
+    def test_radius_value(self):
+        _, res = solve(1)
+        # |gap| / ||k||_inf = 4 / 2
+        assert res.radius == pytest.approx(2.0)
+
+    def test_validation_passes(self):
+        p, res = solve(1)
+        v = validate_radius(p, res, n_samples=8000, seed=1)
+        assert v.passed
+
+    def test_violation_curve_in_l1(self):
+        curve = violation_probability_curve(
+            LinearMapping([2.0, 1.0]), np.zeros(2),
+            ToleranceBounds.upper(4.0),
+            distances=[1.0, 1.9, 2.2, 4.0],
+            n_directions=4000, norm=1, seed=2)
+        probs = dict(zip(curve.distances, curve.probabilities))
+        assert probs[1.0] == 0.0
+        assert probs[1.9] == 0.0
+        assert probs[2.2] > 0.0
+
+
+class TestLinf:
+    def test_radius_value(self):
+        _, res = solve(np.inf)
+        # |gap| / ||k||_1 = 4 / 3
+        assert res.radius == pytest.approx(4.0 / 3.0)
+
+    def test_validation_passes(self):
+        p, res = solve(np.inf)
+        v = validate_radius(p, res, n_samples=8000, seed=3)
+        assert v.passed
+
+    def test_inflated_linf_radius_refuted(self):
+        p, res = solve(np.inf)
+        from repro.core.radius import RadiusResult
+        inflated = RadiusResult(
+            radius=res.radius * 1.5, boundary_point=res.boundary_point,
+            bound_hit=res.bound_hit, method="fake",
+            original_value=res.original_value)
+        v = validate_radius(p, inflated, n_samples=20000, seed=4)
+        assert not v.sound
+
+
+class TestConsistencyAcrossNorms:
+    def test_radius_ordering(self):
+        radii = {norm: solve(norm)[1].radius for norm in (1, 2, np.inf)}
+        assert radii[1] >= radii[2] >= radii[np.inf]
+
+    def test_witness_norm_matches_problem_norm(self):
+        for norm in (1, 2, np.inf):
+            p, res = solve(norm)
+            d = np.linalg.norm(res.boundary_point - p.origin, ord=norm)
+            assert d == pytest.approx(res.radius, rel=1e-9)

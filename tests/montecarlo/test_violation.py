@@ -1,0 +1,87 @@
+"""Tests for empirical violation-probability curves."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import ToleranceBounds
+from repro.core.mappings import LinearMapping, QuadraticMapping
+from repro.exceptions import SpecificationError
+from repro.montecarlo.violation import violation_probability_curve
+
+
+class TestViolationCurve:
+    def test_zero_below_radius_positive_above(self):
+        # f = x + y <= 2 from origin: radius sqrt(2) ~ 1.414
+        m = LinearMapping([1.0, 1.0])
+        curve = violation_probability_curve(
+            m, np.zeros(2), ToleranceBounds.upper(2.0),
+            distances=[0.5, 1.0, 1.4, 1.5, 2.0, 4.0],
+            n_directions=4000, seed=0)
+        probs = dict(zip(curve.distances, curve.probabilities))
+        assert probs[0.5] == 0.0
+        assert probs[1.0] == 0.0
+        assert probs[1.4] == 0.0
+        assert probs[1.5] > 0.0
+        assert probs[4.0] > probs[1.5]
+
+    def test_first_violation_distance_brackets_radius(self):
+        m = QuadraticMapping(np.eye(2))
+        curve = violation_probability_curve(
+            m, np.zeros(2), ToleranceBounds.upper(4.0),
+            distances=np.linspace(0.5, 4.0, 15), n_directions=500, seed=1)
+        first = curve.first_violation_distance()
+        assert first >= 2.0 - 1e-9  # true radius
+        assert first <= 2.3
+
+    def test_no_violation_returns_inf(self):
+        m = LinearMapping([0.0, 0.0], constant=1.0)
+        curve = violation_probability_curve(
+            m, np.zeros(2), ToleranceBounds.upper(2.0),
+            distances=[1.0, 10.0], n_directions=100, seed=2)
+        assert curve.first_violation_distance() == float("inf")
+        assert np.all(curve.probabilities == 0.0)
+
+    def test_sphere_boundary_jumps_to_one(self):
+        # f = ||x||^2: beyond the radius EVERY direction violates.
+        m = QuadraticMapping(np.eye(2))
+        curve = violation_probability_curve(
+            m, np.zeros(2), ToleranceBounds.upper(1.0),
+            distances=[0.9, 1.1], n_directions=1000, seed=3)
+        assert curve.probabilities[0] == 0.0
+        assert curve.probabilities[1] == 1.0
+
+    def test_distances_sorted_in_output(self):
+        m = LinearMapping([1.0])
+        curve = violation_probability_curve(
+            m, np.zeros(1), ToleranceBounds.upper(1.0),
+            distances=[3.0, 1.0, 2.0], n_directions=50, seed=4)
+        assert list(curve.distances) == [1.0, 2.0, 3.0]
+
+    def test_empty_distances_rejected(self):
+        with pytest.raises(SpecificationError):
+            violation_probability_curve(
+                LinearMapping([1.0]), np.zeros(1),
+                ToleranceBounds.upper(1.0), distances=[])
+
+    def test_nonpositive_distance_rejected(self):
+        with pytest.raises(SpecificationError):
+            violation_probability_curve(
+                LinearMapping([1.0]), np.zeros(1),
+                ToleranceBounds.upper(1.0), distances=[0.0, 1.0])
+
+    def test_box_clipping(self):
+        # violations only reachable at x > 1 but box caps x at 0.5
+        m = LinearMapping([1.0])
+        curve = violation_probability_curve(
+            m, np.zeros(1), ToleranceBounds.upper(1.0),
+            distances=[2.0, 5.0], n_directions=200,
+            upper=np.array([0.5]), seed=5)
+        assert np.all(curve.probabilities == 0.0)
+
+    def test_two_sided_bounds(self):
+        m = LinearMapping([1.0])
+        curve = violation_probability_curve(
+            m, np.zeros(1), ToleranceBounds(-1.0, 1.0),
+            distances=[0.5, 1.5], n_directions=400, seed=6)
+        assert curve.probabilities[0] == 0.0
+        assert curve.probabilities[1] == 1.0  # both directions violate

@@ -1,0 +1,71 @@
+"""Tests for the Figure-1 boundary reproduction."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import ToleranceBounds
+from repro.core.mappings import LinearMapping, QuadraticMapping
+from repro.exceptions import SpecificationError
+from repro.reporting.figures import boundary_figure
+
+
+class TestBoundaryFigure:
+    def test_linear_boundary_points_on_line(self):
+        m = LinearMapping([1.0, 1.0])
+        fig = boundary_figure(m, np.array([0.5, 0.5]),
+                              ToleranceBounds.upper(2.0), n_curve_points=32)
+        sums = fig.boundary_points.sum(axis=1)
+        np.testing.assert_allclose(sums, 2.0, atol=1e-6)
+
+    def test_radius_matches_closed_form(self):
+        m = LinearMapping([1.0, 1.0])
+        fig = boundary_figure(m, np.array([0.0, 0.0]),
+                              ToleranceBounds.upper(2.0))
+        assert fig.radius == pytest.approx(np.sqrt(2))
+        np.testing.assert_allclose(fig.witness, [1.0, 1.0], atol=1e-9)
+
+    def test_curved_boundary(self):
+        # bilinear f = x*y traced from (1,1); boundary x*y = 2
+        Q = np.array([[0.0, 0.5], [0.5, 0.0]])
+        m = QuadraticMapping(Q)
+        fig = boundary_figure(m, np.array([1.0, 1.0]),
+                              ToleranceBounds.upper(2.0), n_curve_points=64)
+        prods = fig.boundary_points.prod(axis=1)
+        np.testing.assert_allclose(prods, 2.0, atol=1e-6)
+        # min distance from (1,1) to xy=2 is at (sqrt2, sqrt2)
+        assert fig.radius == pytest.approx(
+            np.linalg.norm(np.sqrt(2.0) - np.array([1.0])) * np.sqrt(2),
+            rel=1e-4)
+
+    def test_render_contains_markers(self):
+        m = LinearMapping([1.0, 1.0])
+        fig = boundary_figure(m, np.array([0.5, 0.5]),
+                              ToleranceBounds.upper(2.0))
+        out = fig.render()
+        assert "O" in out and "*" in out and "." in out
+        assert "radius" in out
+
+    def test_requires_2d(self):
+        with pytest.raises(SpecificationError, match="2-D"):
+            boundary_figure(LinearMapping([1.0]), np.array([0.0]),
+                            ToleranceBounds.upper(1.0))
+
+    def test_requires_finite_upper(self):
+        with pytest.raises(SpecificationError, match="beta_max"):
+            boundary_figure(LinearMapping([1.0, 1.0]), np.zeros(2),
+                            ToleranceBounds.lower(0.0))
+
+    def test_no_crossing_in_fan_raises(self):
+        # f decreases in the positive quadrant: fan never reaches the bound
+        m = LinearMapping([-1.0, -1.0])
+        with pytest.raises(SpecificationError, match="no boundary"):
+            boundary_figure(m, np.array([1.0, 1.0]),
+                            ToleranceBounds.upper(0.5),
+                            sweep_degrees=(0.0, 90.0))
+
+    def test_full_sweep_finds_other_side(self):
+        m = LinearMapping([-1.0, -1.0])
+        fig = boundary_figure(m, np.array([1.0, 1.0]),
+                              ToleranceBounds.upper(-0.5),
+                              sweep_degrees=(0.0, 360.0))
+        assert fig.boundary_points.shape[0] > 0

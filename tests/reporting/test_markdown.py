@@ -1,0 +1,64 @@
+"""Tests for markdown rendering."""
+
+import pytest
+
+from repro.analysis.experiments import ExperimentResult
+from repro.core.metric import robustness_metric
+from repro.reporting.markdown import (
+    experiment_to_markdown,
+    markdown_table,
+    report_to_markdown,
+)
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        out = markdown_table(["a", "b"], [[1, 2.5], ["x", 0.123456]])
+        lines = out.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert len(lines) == 4
+
+    def test_float_format(self):
+        out = markdown_table(["v"], [[0.123456789]], float_fmt=".3g")
+        assert "0.123" in out and "0.123456789" not in out
+
+    def test_pipe_escaped(self):
+        out = markdown_table(["v"], [["a|b"]])
+        assert "a\\|b" in out
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            markdown_table(["a", "b"], [["only"]])
+
+
+class TestExperimentToMarkdown:
+    def test_heading_and_table(self):
+        r = ExperimentResult("E99", "demo", ["x"], [[1.0]],
+                             summary={"key": "value"})
+        out = experiment_to_markdown(r)
+        assert out.startswith("### E99 — demo")
+        assert "| x |" in out
+        assert "- **key**: value" in out
+
+    def test_multiline_summary_fenced(self):
+        r = ExperimentResult("E99", "demo", ["x"], [[1.0]],
+                             summary={"plot": "line1\nline2"})
+        out = experiment_to_markdown(r)
+        assert "```" in out
+        assert "line1" in out
+
+    def test_summary_suppressed(self):
+        r = ExperimentResult("E99", "demo", ["x"], [[1.0]],
+                             summary={"k": "v"})
+        out = experiment_to_markdown(r, include_summary=False)
+        assert "k" not in out.splitlines()[-1]
+
+
+class TestReportToMarkdown:
+    def test_renders(self, two_kind_analysis):
+        report = robustness_metric(two_kind_analysis)
+        out = report_to_markdown(report)
+        assert out.startswith("**rho = ")
+        assert "| latency |" in out
+        assert "| feature |" in out

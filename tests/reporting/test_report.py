@@ -1,0 +1,20 @@
+"""Tests for the combined report."""
+
+from repro.reporting.report import full_report
+
+
+class TestFullReport:
+    def test_contains_metric_table(self, two_kind_analysis):
+        out = full_report(two_kind_analysis, validate=False)
+        assert "rho" in out
+        assert "latency" in out
+
+    def test_validation_section(self, two_kind_analysis):
+        out = full_report(two_kind_analysis, validate=True, n_samples=1000,
+                          seed=0)
+        assert "Monte-Carlo validation" in out
+        assert "NO" not in out  # everything sound and tight
+
+    def test_no_validation_section_when_disabled(self, two_kind_analysis):
+        out = full_report(two_kind_analysis, validate=False)
+        assert "Monte-Carlo" not in out

@@ -1,0 +1,89 @@
+"""Tests for task-to-machine allocations."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.systems.independent.allocation import Allocation
+from repro.systems.independent.etc import EtcMatrix
+
+
+@pytest.fixture
+def etc():
+    return EtcMatrix(np.array([[1.0, 10.0],
+                               [2.0, 20.0],
+                               [3.0, 30.0]]))
+
+
+@pytest.fixture
+def alloc():
+    return Allocation(np.array([0, 1, 0]), 2)
+
+
+class TestConstruction:
+    def test_basic(self, alloc):
+        assert alloc.n_tasks == 3
+        assert alloc.n_machines == 2
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(SpecificationError, match="outside"):
+            Allocation(np.array([0, 2]), 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(SpecificationError):
+            Allocation(np.array([-1]), 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SpecificationError):
+            Allocation(np.array([], dtype=int), 2)
+
+
+class TestDerivedQuantities:
+    def test_tasks_on(self, alloc):
+        np.testing.assert_array_equal(alloc.tasks_on(0), [0, 2])
+        np.testing.assert_array_equal(alloc.tasks_on(1), [1])
+
+    def test_tasks_on_range_checked(self, alloc):
+        with pytest.raises(SpecificationError):
+            alloc.tasks_on(5)
+
+    def test_assigned_times(self, alloc, etc):
+        np.testing.assert_allclose(alloc.assigned_times(etc), [1.0, 20.0, 3.0])
+
+    def test_machine_loads(self, alloc, etc):
+        np.testing.assert_allclose(alloc.machine_loads(etc), [4.0, 20.0])
+
+    def test_makespan(self, alloc, etc):
+        assert alloc.makespan(etc) == 20.0
+
+    def test_etc_shape_checked(self, alloc):
+        bad = EtcMatrix(np.ones((2, 2)))
+        with pytest.raises(SpecificationError):
+            alloc.machine_loads(bad)
+
+    def test_etc_machine_count_checked(self, alloc):
+        bad = EtcMatrix(np.ones((3, 3)))
+        with pytest.raises(SpecificationError):
+            alloc.makespan(bad)
+
+
+class TestNeighbourhood:
+    def test_with_move(self, alloc):
+        moved = alloc.with_move(0, 1)
+        assert moved.assignment[0] == 1
+        assert alloc.assignment[0] == 0  # original untouched
+
+    def test_with_move_range_checked(self, alloc):
+        with pytest.raises(SpecificationError):
+            alloc.with_move(9, 0)
+        with pytest.raises(SpecificationError):
+            alloc.with_move(0, 9)
+
+    def test_with_swap(self, alloc):
+        swapped = alloc.with_swap(0, 1)
+        assert swapped.assignment[0] == 1
+        assert swapped.assignment[1] == 0
+
+    def test_with_swap_range_checked(self, alloc):
+        with pytest.raises(SpecificationError):
+            alloc.with_swap(0, 9)

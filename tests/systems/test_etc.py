@@ -1,0 +1,114 @@
+"""Tests for ETC matrix generation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.systems.independent.etc import (
+    EtcMatrix,
+    generate_etc_gamma,
+    generate_etc_range_based,
+)
+
+
+class TestEtcMatrix:
+    def test_shape_accessors(self):
+        etc = EtcMatrix(np.ones((4, 2)))
+        assert etc.n_tasks == 4
+        assert etc.n_machines == 2
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(SpecificationError, match="positive"):
+            EtcMatrix(np.zeros((2, 2)))
+
+    def test_time_lookup(self):
+        etc = EtcMatrix(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        assert etc.time(1, 0) == 3.0
+
+    def test_best_machine(self):
+        etc = EtcMatrix(np.array([[5.0, 2.0, 9.0]]))
+        assert etc.best_machine(0) == 1
+
+    def test_heterogeneity_positive(self):
+        etc = generate_etc_gamma(50, 8, seed=0)
+        assert etc.task_heterogeneity() > 0
+        assert etc.machine_heterogeneity() > 0
+
+
+class TestRangeBased:
+    def test_shape_and_positivity(self):
+        etc = generate_etc_range_based(10, 4, seed=1)
+        assert etc.values.shape == (10, 4)
+        assert np.all(etc.values > 0)
+
+    def test_reproducible(self):
+        a = generate_etc_range_based(5, 3, seed=42)
+        b = generate_etc_range_based(5, 3, seed=42)
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_values_within_product_range(self):
+        etc = generate_etc_range_based(100, 5, task_range=10.0,
+                                       machine_range=5.0, seed=2)
+        assert np.all(etc.values >= 1.0)
+        assert np.all(etc.values <= 50.0)
+
+    def test_consistent_rows_sorted(self):
+        etc = generate_etc_range_based(20, 6, consistency="consistent", seed=3)
+        assert np.all(np.diff(etc.values, axis=1) >= 0)
+
+    def test_semiconsistent_even_columns_sorted(self):
+        etc = generate_etc_range_based(20, 6, consistency="semiconsistent",
+                                       seed=4)
+        even = etc.values[:, ::2]
+        assert np.all(np.diff(even, axis=1) >= 0)
+
+    def test_inconsistent_not_all_sorted(self):
+        etc = generate_etc_range_based(50, 6, consistency="inconsistent",
+                                       seed=5)
+        assert not np.all(np.diff(etc.values, axis=1) >= 0)
+
+    def test_bad_consistency(self):
+        with pytest.raises(SpecificationError, match="consistency"):
+            generate_etc_range_based(5, 3, consistency="sorted")
+
+    def test_bad_ranges(self):
+        with pytest.raises(SpecificationError):
+            generate_etc_range_based(5, 3, task_range=1.0)
+
+    def test_bad_shape(self):
+        with pytest.raises(SpecificationError):
+            generate_etc_range_based(0, 3)
+
+
+class TestGammaBased:
+    def test_shape_and_positivity(self):
+        etc = generate_etc_gamma(10, 4, seed=1)
+        assert etc.values.shape == (10, 4)
+        assert np.all(etc.values > 0)
+
+    def test_reproducible(self):
+        a = generate_etc_gamma(5, 3, seed=42)
+        b = generate_etc_gamma(5, 3, seed=42)
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_mean_roughly_controlled(self):
+        etc = generate_etc_gamma(400, 10, mean_task_time=50.0,
+                                 task_cov=0.3, machine_cov=0.3, seed=6)
+        assert etc.values.mean() == pytest.approx(50.0, rel=0.15)
+
+    def test_high_cov_more_heterogeneous(self):
+        lo = generate_etc_gamma(300, 8, task_cov=0.1, machine_cov=0.3, seed=7)
+        hi = generate_etc_gamma(300, 8, task_cov=1.2, machine_cov=0.3, seed=7)
+        assert hi.task_heterogeneity() > lo.task_heterogeneity()
+
+    def test_consistent_class(self):
+        etc = generate_etc_gamma(10, 5, consistency="consistent", seed=8)
+        assert np.all(np.diff(etc.values, axis=1) >= 0)
+
+    def test_bad_cov(self):
+        with pytest.raises(SpecificationError):
+            generate_etc_gamma(5, 3, task_cov=0.0)
+
+    def test_bad_mean(self):
+        with pytest.raises(SpecificationError):
+            generate_etc_gamma(5, 3, mean_task_time=-1.0)

@@ -1,0 +1,139 @@
+"""Tests for discrete machine-failure robustness."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.systems.independent import (
+    Allocation,
+    EtcMatrix,
+    failure_radius,
+    makespan_after_failures,
+    survival_probability,
+)
+from repro.systems.independent.etc import generate_etc_gamma
+
+
+@pytest.fixture
+def balanced():
+    """4 identical tasks on 4 identical machines, one each."""
+    etc = EtcMatrix(np.ones((4, 4)))
+    return etc, Allocation(np.arange(4, dtype=np.intp), 4)
+
+
+class TestMakespanAfterFailures:
+    def test_no_failures_is_plain_makespan(self, balanced):
+        etc, alloc = balanced
+        assert makespan_after_failures(etc, alloc, ()) == 1.0
+
+    def test_one_failure_rebalances(self, balanced):
+        etc, alloc = balanced
+        # task of the failed machine goes to some survivor: one machine
+        # now runs two unit tasks.
+        assert makespan_after_failures(etc, alloc, (0,)) == 2.0
+
+    def test_all_failed_is_infinite(self, balanced):
+        etc, alloc = balanced
+        assert math.isinf(makespan_after_failures(etc, alloc, range(4)))
+
+    def test_rebalance_uses_mct(self):
+        # Failed machine's task is cheap on machine 1, expensive on 2:
+        # MCT must pick machine 1.
+        etc = EtcMatrix(np.array([[1.0, 2.0, 50.0],
+                                  [9.0, 1.0, 1.0]]))
+        alloc = Allocation(np.array([0, 2]), 3)
+        ms = makespan_after_failures(etc, alloc, (0,))
+        # task 0 re-mapped to machine 1 (2.0) not machine 2 (50 + 1)
+        assert ms == pytest.approx(2.0)
+
+    def test_bad_machine_index(self, balanced):
+        etc, alloc = balanced
+        with pytest.raises(SpecificationError):
+            makespan_after_failures(etc, alloc, (9,))
+
+    def test_monotone_in_failure_set(self, balanced):
+        etc, alloc = balanced
+        ms1 = makespan_after_failures(etc, alloc, (0,))
+        ms2 = makespan_after_failures(etc, alloc, (0, 1))
+        assert ms2 >= ms1
+
+
+class TestFailureRadius:
+    def test_balanced_instance(self, balanced):
+        etc, alloc = balanced
+        # tau = 2.5: one failure gives 2.0 (ok), two failures give 2.0
+        # (4 tasks on 2 machines), three failures give 4.0 (> tau).
+        analysis = failure_radius(etc, alloc, tau=2.5)
+        assert analysis.radius == 2
+        assert analysis.breaking_set is not None
+        assert len(analysis.breaking_set) == 3
+
+    def test_tight_tau_gives_zero_radius(self, balanced):
+        etc, alloc = balanced
+        analysis = failure_radius(etc, alloc, tau=1.5)
+        assert analysis.radius == 0
+        assert len(analysis.breaking_set) == 1
+
+    def test_generous_tau_survives_everything(self, balanced):
+        etc, alloc = balanced
+        analysis = failure_radius(etc, alloc, tau=100.0)
+        assert analysis.radius == 3  # n_machines - 1
+        assert analysis.breaking_set is None
+
+    def test_infeasible_base_rejected(self, balanced):
+        etc, alloc = balanced
+        with pytest.raises(SpecificationError, match="zero failures"):
+            failure_radius(etc, alloc, tau=0.5)
+
+    def test_worst_makespans_monotone(self, balanced):
+        etc, alloc = balanced
+        analysis = failure_radius(etc, alloc, tau=100.0)
+        worst = analysis.worst_makespans
+        assert all(b >= a for a, b in zip(worst, worst[1:]))
+
+    def test_random_instance_consistency(self):
+        etc = generate_etc_gamma(12, 4, seed=3)
+        from repro.systems.heuristics import MCT
+        alloc = MCT().allocate(etc)
+        tau = 2.0 * alloc.makespan(etc)
+        analysis = failure_radius(etc, alloc, tau)
+        # the radius-th worst makespan meets tau; radius+1-th (if
+        # recorded) exceeds it
+        assert analysis.worst_makespans[analysis.radius] <= tau
+        if analysis.breaking_set is not None:
+            assert analysis.worst_makespans[analysis.radius + 1] > tau
+
+
+class TestSurvivalProbability:
+    def test_p_zero_always_survives(self, balanced):
+        etc, alloc = balanced
+        assert survival_probability(etc, alloc, tau=1.5, p_fail=0.0,
+                                    n_samples=50, seed=0) == 1.0
+
+    def test_p_one_with_generous_tau(self, balanced):
+        etc, alloc = balanced
+        # all machines fail -> infinite makespan -> never survives
+        assert survival_probability(etc, alloc, tau=100.0, p_fail=1.0,
+                                    n_samples=50, seed=0) == 0.0
+
+    def test_monotone_in_p(self, balanced):
+        etc, alloc = balanced
+        probs = [survival_probability(etc, alloc, tau=2.5, p_fail=p,
+                                      n_samples=800, seed=1)
+                 for p in (0.05, 0.3, 0.7)]
+        assert probs[0] >= probs[1] >= probs[2]
+
+    def test_bad_p(self, balanced):
+        etc, alloc = balanced
+        with pytest.raises(SpecificationError):
+            survival_probability(etc, alloc, tau=2.0, p_fail=1.5)
+
+    def test_reproducible(self, balanced):
+        etc, alloc = balanced
+        a = survival_probability(etc, alloc, tau=2.5, p_fail=0.3,
+                                 n_samples=200, seed=5)
+        b = survival_probability(etc, alloc, tau=2.5, p_fail=0.3,
+                                 n_samples=200, seed=5)
+        assert a == b

@@ -1,0 +1,136 @@
+"""Tests for HiPer-D QoS constraints and the analysis builder."""
+
+import numpy as np
+import pytest
+
+from repro.core.weighting import NormalizedWeighting, SensitivityWeighting
+from repro.exceptions import SpecificationError
+from repro.systems.hiperd.constraints import (
+    QoSSpec,
+    build_analysis,
+    build_feature_specs,
+)
+from repro.systems.hiperd.timing import FlatLayout
+
+
+class TestQoSSpec:
+    def test_defaults_valid(self):
+        QoSSpec()
+
+    def test_latency_slack_above_one(self):
+        with pytest.raises(SpecificationError):
+            QoSSpec(latency_slack=1.0)
+
+    def test_throughput_margin_range(self):
+        with pytest.raises(SpecificationError):
+            QoSSpec(throughput_margin=0.0)
+        with pytest.raises(SpecificationError):
+            QoSSpec(throughput_margin=1.1)
+
+    def test_no_family_rejected(self):
+        with pytest.raises(SpecificationError, match="no feature"):
+            QoSSpec(include_latency=False, include_throughput=False)
+
+
+class TestBuildFeatureSpecs:
+    def test_latency_features_per_path(self, hiperd_system, hiperd_qos):
+        layout = FlatLayout(hiperd_system, ("loads",))
+        specs = build_feature_specs(hiperd_system, layout, hiperd_qos)
+        latency = [s for s in specs if s.name.startswith("latency[")]
+        assert len(latency) == len(hiperd_system.sensor_actuator_paths())
+
+    def test_throughput_features_per_app(self, hiperd_system, hiperd_qos):
+        layout = FlatLayout(hiperd_system, ("loads",))
+        specs = build_feature_specs(hiperd_system, layout, hiperd_qos)
+        thr = [s for s in specs if s.name.startswith("throughput[")]
+        assert len(thr) == hiperd_system.n_applications
+
+    def test_original_point_feasible(self, hiperd_system, hiperd_qos):
+        layout = FlatLayout(hiperd_system, ("loads", "exec", "msgsize"))
+        specs = build_feature_specs(hiperd_system, layout, hiperd_qos)
+        origin = layout.flat_origin()
+        for s in specs:
+            assert s.feature.is_satisfied(s.mapping.value(origin))
+
+    def test_latency_bound_is_slack_times_original(self, hiperd_system):
+        qos = QoSSpec(latency_slack=2.0, include_throughput=False)
+        layout = FlatLayout(hiperd_system, ("loads",))
+        specs = build_feature_specs(hiperd_system, layout, qos)
+        origin = layout.flat_origin()
+        for s in specs:
+            assert s.feature.bounds.beta_max == pytest.approx(
+                2.0 * s.mapping.value(origin))
+
+    def test_absolute_latency_limit_override(self, hiperd_system):
+        path = hiperd_system.sensor_actuator_paths()[0]
+        qos = QoSSpec(latency_slack=1.5, include_throughput=False,
+                      absolute_latency_limits={path: 100.0})
+        layout = FlatLayout(hiperd_system, ("loads",))
+        specs = build_feature_specs(hiperd_system, layout, qos)
+        label = "->".join(path)
+        spec = next(s for s in specs if s.name == f"latency[{label}]")
+        assert spec.feature.bounds.beta_max == 100.0
+
+    def test_message_throughput_features(self, hiperd_system):
+        qos = QoSSpec(include_message_throughput=True)
+        layout = FlatLayout(hiperd_system, ("msgsize",))
+        specs = build_feature_specs(hiperd_system, layout, qos)
+        assert any(s.name.startswith("msg_throughput[") for s in specs)
+
+    def test_utilization_features(self, hiperd_system):
+        qos = QoSSpec(include_utilization=True)
+        layout = FlatLayout(hiperd_system, ("loads",))
+        specs = build_feature_specs(hiperd_system, layout, qos)
+        util = [s for s in specs if s.name.startswith("utilization[")]
+        loaded = sum(1 for j in range(len(hiperd_system.machines))
+                     if hiperd_system.apps_on_machine(j))
+        assert len(util) == loaded
+
+    def test_infeasible_qos_rejected(self, hiperd_system):
+        # An absurdly tight throughput margin makes the original point
+        # infeasible, which must be reported at build time.
+        qos = QoSSpec(throughput_margin=1e-9)
+        layout = FlatLayout(hiperd_system, ("loads",))
+        with pytest.raises(SpecificationError, match="violated"):
+            build_feature_specs(hiperd_system, layout, qos)
+
+
+class TestBuildAnalysis:
+    def test_three_kinds(self, hiperd_system, hiperd_qos):
+        ana = build_analysis(hiperd_system, hiperd_qos, seed=0)
+        assert {p.name for p in ana.params} == {"loads", "exec", "msgsize"}
+        assert np.isfinite(ana.rho())
+        assert ana.rho() > 0
+
+    def test_single_kind(self, hiperd_system, hiperd_qos):
+        ana = build_analysis(hiperd_system, hiperd_qos, kinds=("loads",),
+                             seed=0)
+        assert [p.name for p in ana.params] == ["loads"]
+        assert ana.rho() > 0
+
+    def test_default_weighting_is_normalized(self, hiperd_system, hiperd_qos):
+        ana = build_analysis(hiperd_system, hiperd_qos, seed=0)
+        assert isinstance(ana.weighting, NormalizedWeighting)
+
+    def test_sensitivity_weighting_runs(self, hiperd_system, hiperd_qos):
+        ana = build_analysis(hiperd_system, hiperd_qos,
+                             kinds=("loads", "msgsize"),
+                             weighting=SensitivityWeighting(), seed=0)
+        assert np.isfinite(ana.rho())
+
+    def test_more_kinds_cannot_increase_normalized_rho(self, hiperd_system,
+                                                       hiperd_qos):
+        # Adding a perturbation kind adds degrees of freedom for the
+        # adversary; with normalized weighting (shared P-space) the radius
+        # cannot grow.
+        rho_one = build_analysis(hiperd_system, hiperd_qos, kinds=("loads",),
+                                 seed=0).rho()
+        rho_all = build_analysis(hiperd_system, hiperd_qos, seed=0).rho()
+        assert rho_all <= rho_one + 1e-9
+
+    def test_norm_parameter_respected(self, hiperd_system, hiperd_qos):
+        rho_l1 = build_analysis(hiperd_system, hiperd_qos, kinds=("loads",),
+                                norm=1, seed=0).rho()
+        rho_linf = build_analysis(hiperd_system, hiperd_qos, kinds=("loads",),
+                                  norm=np.inf, seed=0).rho()
+        assert rho_l1 >= rho_linf - 1e-9

@@ -1,0 +1,118 @@
+"""Tests for HiPer-D link-failure robustness."""
+
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.systems.hiperd import QoSSpec
+from repro.systems.hiperd.failures import (
+    critical_links,
+    link_failure_radius,
+    system_with_failed_links,
+    used_link_pairs,
+)
+
+
+@pytest.fixture(scope="module")
+def qos():
+    return QoSSpec(latency_slack=1.5, throughput_margin=0.9)
+
+
+class TestUsedLinkPairs:
+    def test_pairs_canonical_and_sorted(self, hiperd_system):
+        pairs = used_link_pairs(hiperd_system)
+        assert pairs == sorted(pairs)
+        for a, b in pairs:
+            assert a < b
+
+    def test_colocation_excluded(self, hiperd_system):
+        pairs = set(used_link_pairs(hiperd_system))
+        for msg in hiperd_system.messages:
+            lu = hiperd_system.location_of(msg.src)
+            lv = hiperd_system.location_of(msg.dst)
+            if lu == lv:
+                assert tuple(sorted((lu, lv))) not in pairs
+
+
+class TestSystemWithFailedLinks:
+    def test_bandwidth_degraded(self, hiperd_system):
+        pairs = used_link_pairs(hiperd_system)
+        target = pairs[0]
+        degraded = system_with_failed_links(hiperd_system, [target],
+                                            degraded_factor=0.5)
+        # find a message on that link and compare effective bandwidths
+        for msg in hiperd_system.messages:
+            pair = tuple(sorted((hiperd_system.location_of(msg.src),
+                                 hiperd_system.location_of(msg.dst))))
+            if pair == target:
+                before = hiperd_system.message_bandwidth(msg)
+                after = degraded.message_bandwidth(msg)
+                assert after == pytest.approx(0.5 * before)
+                return
+        pytest.fail("no message found on the degraded link")
+
+    def test_original_untouched(self, hiperd_system):
+        pairs = used_link_pairs(hiperd_system)
+        before = dict(hiperd_system.bandwidths)
+        system_with_failed_links(hiperd_system, [pairs[0]])
+        assert hiperd_system.bandwidths == before
+
+    def test_latency_increases(self, hiperd_system):
+        pairs = used_link_pairs(hiperd_system)
+        degraded = system_with_failed_links(hiperd_system, pairs,
+                                            degraded_factor=0.1)
+        worst_before = max(hiperd_system.path_latency(p)
+                           for p in hiperd_system.sensor_actuator_paths())
+        worst_after = max(degraded.path_latency(p)
+                          for p in degraded.sensor_actuator_paths())
+        assert worst_after > worst_before
+
+    def test_unknown_pair_rejected(self, hiperd_system):
+        with pytest.raises(SpecificationError, match="no message"):
+            system_with_failed_links(hiperd_system, [("ghost", "town")])
+
+    def test_bad_factor(self, hiperd_system):
+        pairs = used_link_pairs(hiperd_system)
+        with pytest.raises(SpecificationError):
+            system_with_failed_links(hiperd_system, [pairs[0]],
+                                     degraded_factor=0.0)
+
+
+class TestCriticalLinks:
+    def test_ranking_order(self, hiperd_system, qos):
+        ranking = critical_links(hiperd_system, qos)
+        margins = [m for _, m in ranking]
+        assert margins == sorted(margins, reverse=True)
+        assert len(ranking) == len(used_link_pairs(hiperd_system))
+
+    def test_margins_worse_with_more_degradation(self, hiperd_system, qos):
+        mild = dict(critical_links(hiperd_system, qos, degraded_factor=0.5))
+        harsh = dict(critical_links(hiperd_system, qos, degraded_factor=0.05))
+        for pair, margin in mild.items():
+            assert harsh[pair] >= margin - 1e-12
+
+
+class TestLinkFailureRadius:
+    def test_radius_semantics(self, hiperd_system, qos):
+        analysis = link_failure_radius(hiperd_system, qos,
+                                       degraded_factor=0.05, max_k=2)
+        assert 0 <= analysis.radius <= analysis.n_links
+        if analysis.breaking_set is not None:
+            assert len(analysis.breaking_set) == analysis.radius + 1
+
+    def test_generous_degradation_survives(self, hiperd_system, qos):
+        # degraded_factor ~ 1: failures barely hurt, everything survives
+        analysis = link_failure_radius(hiperd_system, qos,
+                                       degraded_factor=0.999, max_k=2)
+        assert analysis.radius == 2
+        assert analysis.breaking_set is None
+
+    def test_consistent_with_critical_links(self, hiperd_system, qos):
+        # if the worst single link has positive margin, radius must be 0
+        worst_margin = critical_links(hiperd_system, qos,
+                                      degraded_factor=0.01)[0][1]
+        analysis = link_failure_radius(hiperd_system, qos,
+                                       degraded_factor=0.01, max_k=1)
+        if worst_margin > 0:
+            assert analysis.radius == 0
+        else:
+            assert analysis.radius >= 1

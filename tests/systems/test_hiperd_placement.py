@@ -1,0 +1,83 @@
+"""Tests for robustness-aware placement improvement."""
+
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.systems.hiperd import (
+    HiPerDGenerationSpec,
+    QoSSpec,
+    generate_hiperd_system,
+)
+from repro.systems.hiperd.placement import (
+    improve_placement,
+    placement_rho,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    spec = HiPerDGenerationSpec(n_sensors=2, n_actuators=1, n_machines=3,
+                                app_layers=(2, 2), balanced_placement=False)
+    system = generate_hiperd_system(spec, seed=23)
+    qos = QoSSpec(latency_slack=1.5, throughput_margin=0.9)
+    return system, qos
+
+
+class TestPlacementRho:
+    def test_feasible_placement_has_finite_rho(self, setup):
+        system, qos = setup
+        rho = placement_rho(system, qos)
+        assert rho > 0
+
+    def test_infeasible_gives_minus_inf(self, setup):
+        system, _ = setup
+        tight = QoSSpec(latency_slack=1.0001, throughput_margin=1e-6)
+        assert placement_rho(system, tight) == float("-inf")
+
+
+class TestImprovePlacement:
+    def test_rho_never_decreases(self, setup):
+        system, qos = setup
+        before = placement_rho(system, qos)
+        improved, steps = improve_placement(system, qos, max_rounds=3)
+        after = placement_rho(improved, qos)
+        assert after >= before - 1e-12
+
+    def test_steps_strictly_improving(self, setup):
+        system, qos = setup
+        _, steps = improve_placement(system, qos, max_rounds=4)
+        rhos = [placement_rho(system, qos)] + [s.rho for s in steps]
+        assert all(b > a for a, b in zip(rhos, rhos[1:]))
+
+    def test_steps_record_real_moves(self, setup):
+        system, qos = setup
+        improved, steps = improve_placement(system, qos, max_rounds=3)
+        for step in steps:
+            assert step.from_machine != step.to_machine
+        if steps:
+            last = steps[-1]
+            assert improved.allocation[last.application] == last.to_machine
+
+    def test_original_system_untouched(self, setup):
+        system, qos = setup
+        alloc_before = dict(system.allocation)
+        improve_placement(system, qos, max_rounds=2)
+        assert system.allocation == alloc_before
+
+    def test_converges_to_local_optimum(self, setup):
+        system, qos = setup
+        improved, _ = improve_placement(system, qos, max_rounds=20)
+        # a second run from the optimum makes no further moves
+        _, more = improve_placement(improved, qos, max_rounds=5)
+        assert more == []
+
+    def test_infeasible_start_rejected(self, setup):
+        system, _ = setup
+        tight = QoSSpec(latency_slack=1.0001, throughput_margin=1e-6)
+        with pytest.raises(SpecificationError, match="infeasible"):
+            improve_placement(system, tight)
+
+    def test_bad_rounds(self, setup):
+        system, qos = setup
+        with pytest.raises(SpecificationError):
+            improve_placement(system, qos, max_rounds=0)

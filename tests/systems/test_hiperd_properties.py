@@ -1,0 +1,95 @@
+"""Property-based tests over randomly generated HiPer-D systems.
+
+Hypothesis drives the *generator parameters* (not the internals), and the
+invariants must hold for every system produced: mapping/direct-evaluation
+agreement, latency monotonicity, and radius consistency.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.systems.hiperd.constraints import QoSSpec, build_feature_specs
+from repro.systems.hiperd.generator import (
+    HiPerDGenerationSpec,
+    generate_hiperd_system,
+)
+from repro.systems.hiperd.simulate import simulate_dataflow, steady_state_features
+from repro.systems.hiperd.timing import FlatLayout
+
+gen_params = st.fixed_dictionaries({
+    "n_sensors": st.integers(1, 3),
+    "n_actuators": st.integers(1, 2),
+    "n_machines": st.integers(2, 4),
+    "layers": st.lists(st.integers(1, 3), min_size=1, max_size=3),
+    "seed": st.integers(0, 10_000),
+})
+
+relaxed = settings(max_examples=15, deadline=None,
+                   suppress_health_check=[HealthCheck.too_slow])
+
+
+def make_system(params):
+    spec = HiPerDGenerationSpec(
+        n_sensors=params["n_sensors"],
+        n_actuators=params["n_actuators"],
+        n_machines=params["n_machines"],
+        app_layers=tuple(params["layers"]))
+    return generate_hiperd_system(spec, seed=params["seed"])
+
+
+class TestGeneratedSystemInvariants:
+    @given(params=gen_params)
+    @relaxed
+    def test_mappings_agree_with_direct_evaluation(self, params):
+        system = make_system(params)
+        qos = QoSSpec(latency_slack=1.5, throughput_margin=1.0)
+        layout = FlatLayout(system, ("loads", "exec", "msgsize"))
+        origin = layout.flat_origin()
+        direct = steady_state_features(system)
+        for spec in build_feature_specs(system, layout, qos):
+            assert spec.mapping.value(origin) == pytest.approx(
+                direct[spec.name], rel=1e-9, abs=1e-12)
+
+    @given(params=gen_params,
+           factor=st.floats(min_value=1.1, max_value=4.0))
+    @relaxed
+    def test_latency_monotone_in_loads(self, params, factor):
+        system = make_system(params)
+        base = system.original_loads()
+        for path in system.sensor_actuator_paths():
+            l0 = system.path_latency(path)
+            l1 = system.path_latency(path, loads=factor * base)
+            assert l1 >= l0 - 1e-12
+
+    @given(params=gen_params)
+    @relaxed
+    def test_simulator_worst_latency_is_max_path(self, params):
+        system = make_system(params)
+        rec = simulate_dataflow(system,
+                                system.original_loads()[None, :])
+        worst_path = max(system.path_latency(p)
+                         for p in system.sensor_actuator_paths())
+        assert rec.actuator_latencies.max() == pytest.approx(worst_path)
+
+    @given(params=gen_params)
+    @relaxed
+    def test_reach_weights_are_binary_and_complete(self, params):
+        system = make_system(params)
+        w = system.reach_weights()
+        assert set(np.unique(w)) <= {0.0, 1.0}
+        # every application is reached by at least one sensor
+        assert np.all(w.sum(axis=1) >= 1.0)
+
+    @given(params=gen_params)
+    @relaxed
+    def test_generator_feasibility_guarantee(self, params):
+        system = make_system(params)
+        # build_feature_specs raises on infeasibility, so constructing the
+        # default-QoS specs is itself the assertion
+        layout = FlatLayout(system, ("loads",))
+        specs = build_feature_specs(
+            system, layout, QoSSpec(latency_slack=1.3,
+                                    throughput_margin=1.0))
+        assert specs

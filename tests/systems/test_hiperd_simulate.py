@@ -1,0 +1,98 @@
+"""Tests for the HiPer-D dataflow simulator and direct feature evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.systems.hiperd.constraints import build_feature_specs
+from repro.systems.hiperd.simulate import simulate_dataflow, steady_state_features
+from repro.systems.hiperd.timing import FlatLayout
+
+
+class TestSteadyStateFeatures:
+    def test_matches_mappings_at_origin(self, hiperd_system, hiperd_qos):
+        layout = FlatLayout(hiperd_system, ("loads", "exec", "msgsize"))
+        specs = build_feature_specs(hiperd_system, layout, hiperd_qos)
+        origin = layout.flat_origin()
+        direct = steady_state_features(hiperd_system)
+        for s in specs:
+            assert s.name in direct
+            assert s.mapping.value(origin) == pytest.approx(direct[s.name])
+
+    def test_matches_mappings_perturbed(self, hiperd_system, hiperd_qos, rng):
+        layout = FlatLayout(hiperd_system, ("loads", "exec", "msgsize"))
+        specs = build_feature_specs(hiperd_system, layout, hiperd_qos)
+        x = layout.flat_origin() * rng.uniform(0.7, 1.6, layout.dimension)
+        n_s, n_a = hiperd_system.n_sensors, hiperd_system.n_applications
+        direct = steady_state_features(
+            hiperd_system, loads=x[:n_s], unit_times=x[n_s:n_s + n_a],
+            sizes=x[n_s + n_a:])
+        for s in specs:
+            assert s.mapping.value(x) == pytest.approx(direct[s.name])
+
+    def test_includes_utilization_keys(self, hiperd_system):
+        direct = steady_state_features(hiperd_system)
+        assert any(k.startswith("utilization[") for k in direct)
+
+
+class TestSimulateDataflow:
+    def test_constant_trace_matches_max_path_latency(self, hiperd_system):
+        loads = np.tile(hiperd_system.original_loads(), (4, 1))
+        rec = simulate_dataflow(hiperd_system, loads)
+        worst_path = max(hiperd_system.path_latency(p)
+                         for p in hiperd_system.sensor_actuator_paths())
+        assert rec.actuator_latencies.max() == pytest.approx(worst_path)
+
+    def test_latencies_shape(self, hiperd_system):
+        loads = np.tile(hiperd_system.original_loads(), (3, 1))
+        rec = simulate_dataflow(hiperd_system, loads)
+        assert rec.actuator_latencies.shape == (3, len(hiperd_system.actuators))
+        assert rec.completion_times.shape[0] == 3
+
+    def test_latency_monotone_in_load(self, hiperd_system):
+        base = hiperd_system.original_loads()
+        loads = np.vstack([base, 2.0 * base])
+        rec = simulate_dataflow(hiperd_system, loads)
+        assert np.all(rec.actuator_latencies[1] >= rec.actuator_latencies[0])
+
+    def test_violations_flagged(self, hiperd_system):
+        base = hiperd_system.original_loads()
+        worst = max(hiperd_system.path_latency(p)
+                    for p in hiperd_system.sensor_actuator_paths())
+        loads = np.vstack([base, 10.0 * base])
+        rec = simulate_dataflow(hiperd_system, loads, deadline=1.5 * worst)
+        assert not rec.violations[0]
+        assert rec.violations[1]
+
+    def test_unit_time_trace(self, hiperd_system):
+        base = hiperd_system.original_loads()
+        loads = np.tile(base, (2, 1))
+        unit = np.tile(hiperd_system.original_unit_times(), (2, 1))
+        unit[1] *= 3.0
+        rec = simulate_dataflow(hiperd_system, loads, unit_time_trace=unit)
+        assert rec.actuator_latencies[1].max() > rec.actuator_latencies[0].max()
+
+    def test_size_trace(self, hiperd_system):
+        base = hiperd_system.original_loads()
+        loads = np.tile(base, (2, 1))
+        sizes = np.tile(hiperd_system.original_msg_sizes(), (2, 1))
+        sizes[1] *= 5.0
+        rec = simulate_dataflow(hiperd_system, loads, size_trace=sizes)
+        assert rec.actuator_latencies[1].max() >= rec.actuator_latencies[0].max()
+
+    def test_wrong_load_columns(self, hiperd_system):
+        with pytest.raises(SpecificationError, match="columns"):
+            simulate_dataflow(hiperd_system, np.ones((2, 99)))
+
+    def test_wrong_trace_shape(self, hiperd_system):
+        loads = np.tile(hiperd_system.original_loads(), (2, 1))
+        with pytest.raises(SpecificationError, match="shape"):
+            simulate_dataflow(hiperd_system, loads,
+                              unit_time_trace=np.ones((3, 2)))
+
+    def test_node_order_topological(self, hiperd_system):
+        loads = np.tile(hiperd_system.original_loads(), (1, 1))
+        rec = simulate_dataflow(hiperd_system, loads)
+        pos = {n: i for i, n in enumerate(rec.node_order)}
+        for u, v in hiperd_system.graph.edges:
+            assert pos[u] < pos[v]

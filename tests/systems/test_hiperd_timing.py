@@ -1,0 +1,164 @@
+"""Tests for the HiPer-D mapping assembler (FlatLayout / MappingAssembler)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mappings import LinearMapping, QuadraticMapping
+from repro.exceptions import SpecificationError
+from repro.systems.hiperd.timing import KINDS, FlatLayout, MappingAssembler
+
+
+@pytest.fixture
+def layout(hiperd_system):
+    return FlatLayout(hiperd_system, KINDS)
+
+
+@pytest.fixture
+def assembler(layout):
+    return MappingAssembler(layout)
+
+
+class TestFlatLayout:
+    def test_dimension(self, hiperd_system, layout):
+        expected = (hiperd_system.n_sensors + hiperd_system.n_applications
+                    + hiperd_system.n_messages)
+        assert layout.dimension == expected
+
+    def test_canonical_ordering(self, hiperd_system):
+        layout = FlatLayout(hiperd_system, ("msgsize", "loads"))
+        assert layout.kinds == ("loads", "msgsize")
+
+    def test_unknown_kind_rejected(self, hiperd_system):
+        with pytest.raises(SpecificationError, match="unknown"):
+            FlatLayout(hiperd_system, ("loads", "sizes"))
+
+    def test_empty_rejected(self, hiperd_system):
+        with pytest.raises(SpecificationError):
+            FlatLayout(hiperd_system, ())
+
+    def test_index(self, hiperd_system):
+        layout = FlatLayout(hiperd_system, ("loads", "exec"))
+        assert layout.index("loads", 0) == 0
+        assert layout.index("exec", 0) == hiperd_system.n_sensors
+
+    def test_index_range_checked(self, layout):
+        with pytest.raises(SpecificationError):
+            layout.index("loads", 999)
+
+    def test_flat_origin(self, hiperd_system, layout):
+        origin = layout.flat_origin()
+        n_s = hiperd_system.n_sensors
+        np.testing.assert_allclose(origin[:n_s],
+                                   hiperd_system.original_loads())
+
+    def test_parameters_units(self, layout):
+        params = layout.parameters()
+        units = {p.name: p.unit for p in params}
+        assert units == {"loads": "objects/set", "exec": "s/object",
+                         "msgsize": "bytes"}
+
+    def test_parameters_nonnegative(self, layout):
+        for p in layout.parameters():
+            assert p.lower is not None
+            assert np.all(p.lower == 0.0)
+
+
+class TestMappingStructure:
+    def test_comp_time_quadratic_when_both_free(self, assembler):
+        app = assembler.system.applications[0].name
+        m = assembler.computation_time(app)
+        assert isinstance(m, QuadraticMapping)
+
+    def test_comp_time_linear_when_only_loads_free(self, hiperd_system):
+        layout = FlatLayout(hiperd_system, ("loads",))
+        m = MappingAssembler(layout).computation_time(
+            hiperd_system.applications[0].name)
+        assert isinstance(m, LinearMapping)
+
+    def test_comp_time_linear_when_only_exec_free(self, hiperd_system):
+        layout = FlatLayout(hiperd_system, ("exec",))
+        m = MappingAssembler(layout).computation_time(
+            hiperd_system.applications[0].name)
+        assert isinstance(m, LinearMapping)
+
+    def test_comm_time_always_linear(self, hiperd_system):
+        layout = FlatLayout(hiperd_system, ("msgsize",))
+        asm = MappingAssembler(layout)
+        for msg in hiperd_system.messages:
+            assert isinstance(asm.communication_time(msg), LinearMapping)
+
+    def test_msgsize_frozen_becomes_constant(self, hiperd_system):
+        layout = FlatLayout(hiperd_system, ("loads",))
+        asm = MappingAssembler(layout)
+        msg = hiperd_system.messages[0]
+        m = asm.communication_time(msg)
+        assert isinstance(m, LinearMapping)
+        assert not np.any(m.coefficients)
+        assert m.constant == pytest.approx(
+            hiperd_system.communication_time(msg))
+
+
+class TestMappingValues:
+    def test_comp_time_matches_direct(self, hiperd_system, assembler, layout):
+        origin = layout.flat_origin()
+        for app in hiperd_system.applications:
+            m = assembler.computation_time(app.name)
+            assert m.value(origin) == pytest.approx(
+                hiperd_system.computation_time(app.name))
+
+    def test_comp_time_perturbed_loads(self, hiperd_system, assembler, layout):
+        x = layout.flat_origin()
+        loads = hiperd_system.original_loads() * 1.7
+        x[:hiperd_system.n_sensors] = loads
+        for app in hiperd_system.applications:
+            m = assembler.computation_time(app.name)
+            assert m.value(x) == pytest.approx(
+                hiperd_system.computation_time(app.name, loads=loads))
+
+    def test_comp_time_perturbed_exec(self, hiperd_system, assembler, layout):
+        x = layout.flat_origin()
+        sl = slice(hiperd_system.n_sensors,
+                   hiperd_system.n_sensors + hiperd_system.n_applications)
+        unit = hiperd_system.original_unit_times() * 0.5
+        x[sl] = unit
+        for app in hiperd_system.applications:
+            m = assembler.computation_time(app.name)
+            assert m.value(x) == pytest.approx(
+                hiperd_system.computation_time(app.name, unit_times=unit))
+
+    def test_comm_time_matches_direct(self, hiperd_system, assembler, layout):
+        origin = layout.flat_origin()
+        for msg in hiperd_system.messages:
+            m = assembler.communication_time(msg)
+            assert m.value(origin) == pytest.approx(
+                hiperd_system.communication_time(msg))
+
+    def test_path_latency_matches_direct(self, hiperd_system, assembler,
+                                         layout):
+        origin = layout.flat_origin()
+        for path in hiperd_system.sensor_actuator_paths():
+            m = assembler.path_latency(path)
+            assert m.value(origin) == pytest.approx(
+                hiperd_system.path_latency(path))
+
+    def test_path_latency_under_joint_perturbation(self, hiperd_system,
+                                                   assembler, layout, rng):
+        x = layout.flat_origin() * rng.uniform(0.8, 1.5,
+                                               size=layout.dimension)
+        n_s = hiperd_system.n_sensors
+        n_a = hiperd_system.n_applications
+        loads, unit, sizes = (x[:n_s], x[n_s:n_s + n_a], x[n_s + n_a:])
+        for path in hiperd_system.sensor_actuator_paths():
+            m = assembler.path_latency(path)
+            assert m.value(x) == pytest.approx(
+                hiperd_system.path_latency(path, loads=loads,
+                                           unit_times=unit, sizes=sizes))
+
+    def test_machine_utilization_sums_apps(self, hiperd_system, assembler,
+                                           layout):
+        origin = layout.flat_origin()
+        for j in range(len(hiperd_system.machines)):
+            apps = hiperd_system.apps_on_machine(j)
+            m = assembler.machine_utilization(j)
+            expected = sum(hiperd_system.computation_time(a) for a in apps)
+            assert m.value(origin) == pytest.approx(expected)

@@ -1,0 +1,110 @@
+"""Tests for the synthetic load-trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.systems.hiperd.traces import (
+    ramp_trace,
+    random_walk_trace,
+    sinusoid_trace,
+    spike_trace,
+)
+
+BASE = np.array([100.0, 50.0])
+
+
+class TestRamp:
+    def test_endpoints(self):
+        trace = ramp_trace(BASE, 10, end_factor=3.0)
+        np.testing.assert_allclose(trace[0], BASE)
+        np.testing.assert_allclose(trace[-1], 3.0 * BASE)
+
+    def test_monotone_increasing(self):
+        trace = ramp_trace(BASE, 20, end_factor=2.0)
+        assert np.all(np.diff(trace, axis=0) >= 0)
+
+    def test_decaying_ramp(self):
+        trace = ramp_trace(BASE, 10, end_factor=0.5)
+        assert np.all(np.diff(trace, axis=0) <= 0)
+        assert np.all(trace > 0)
+
+    def test_single_step(self):
+        trace = ramp_trace(BASE, 1)
+        assert trace.shape == (1, 2)
+
+    def test_bad_factor(self):
+        with pytest.raises(SpecificationError):
+            ramp_trace(BASE, 5, end_factor=0.0)
+
+    def test_bad_base(self):
+        with pytest.raises(SpecificationError):
+            ramp_trace([0.0, 1.0], 5)
+
+
+class TestSpike:
+    def test_peak_at_spike(self):
+        trace = spike_trace(BASE, 21, spike_at=10, magnitude=3.0)
+        peak_step = int(np.argmax(trace[:, 0]))
+        assert peak_step == 10
+        np.testing.assert_allclose(trace[10], 3.0 * BASE)
+
+    def test_returns_to_base(self):
+        trace = spike_trace(BASE, 41, spike_at=20, magnitude=4.0, width=2)
+        np.testing.assert_allclose(trace[0], BASE, rtol=1e-6)
+        np.testing.assert_allclose(trace[-1], BASE, rtol=1e-6)
+
+    def test_spike_bounds_checked(self):
+        with pytest.raises(SpecificationError):
+            spike_trace(BASE, 10, spike_at=10)
+
+    def test_bad_width(self):
+        with pytest.raises(SpecificationError):
+            spike_trace(BASE, 10, spike_at=5, width=0)
+
+
+class TestRandomWalk:
+    def test_reproducible(self):
+        a = random_walk_trace(BASE, 30, seed=1)
+        b = random_walk_trace(BASE, 30, seed=1)
+        np.testing.assert_array_equal(a, b)
+
+    def test_starts_at_base(self):
+        trace = random_walk_trace(BASE, 10, seed=2)
+        np.testing.assert_allclose(trace[0], BASE)
+
+    def test_positive(self):
+        trace = random_walk_trace(BASE, 200, step_std=0.5, seed=3)
+        assert np.all(trace > 0)
+
+    def test_mean_reversion_bounds_drift(self):
+        trace = random_walk_trace(BASE, 2000, step_std=0.05, reversion=0.2,
+                                  seed=4)
+        # strong reversion: long-run mean within a factor ~1.5 of base
+        means = trace.mean(axis=0)
+        assert np.all(means < 1.5 * BASE)
+        assert np.all(means > BASE / 1.5)
+
+    def test_bad_params(self):
+        with pytest.raises(SpecificationError):
+            random_walk_trace(BASE, 10, reversion=2.0)
+
+
+class TestSinusoid:
+    def test_oscillates_around_base(self):
+        trace = sinusoid_trace(BASE, 40, amplitude=0.5, period=20.0)
+        assert trace.max() > BASE.max()
+        assert trace.min() < BASE.min()
+        np.testing.assert_allclose(trace.mean(axis=0), BASE, rtol=0.1)
+
+    def test_amplitude_bound(self):
+        with pytest.raises(SpecificationError):
+            sinusoid_trace(BASE, 10, amplitude=1.0)
+
+    def test_positive(self):
+        trace = sinusoid_trace(BASE, 100, amplitude=0.99)
+        assert np.all(trace > 0)
+
+    def test_period_respected(self):
+        trace = sinusoid_trace(BASE, 40, amplitude=0.5, period=20.0)
+        np.testing.assert_allclose(trace[0], trace[20], rtol=1e-9)

@@ -1,0 +1,130 @@
+"""Tests for the makespan FePIA wiring (the TPDS 2004 example)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.weighting import NormalizedWeighting
+from repro.exceptions import SpecificationError
+from repro.systems.independent.allocation import Allocation
+from repro.systems.independent.etc import EtcMatrix
+from repro.systems.independent.makespan import MakespanSystem
+
+
+@pytest.fixture
+def system():
+    etc = EtcMatrix(np.array([[2.0, 9.0],
+                              [4.0, 9.0],
+                              [9.0, 5.0]]))
+    return MakespanSystem(etc, Allocation(np.array([0, 0, 1]), 2))
+
+
+class TestPlainQuantities:
+    def test_original_times(self, system):
+        np.testing.assert_allclose(system.original_times(), [2.0, 4.0, 5.0])
+
+    def test_finish_times(self, system):
+        np.testing.assert_allclose(system.machine_finish_times(), [6.0, 5.0])
+
+    def test_makespan(self, system):
+        assert system.makespan() == 6.0
+
+    def test_background_loads_added(self):
+        etc = EtcMatrix(np.array([[2.0, 9.0]]))
+        sys2 = MakespanSystem(etc, Allocation(np.array([0]), 2),
+                              background_loads=np.array([1.0, 3.0]))
+        np.testing.assert_allclose(sys2.machine_finish_times(), [3.0, 3.0])
+
+    def test_background_shape_checked(self):
+        etc = EtcMatrix(np.array([[2.0, 9.0]]))
+        with pytest.raises(SpecificationError):
+            MakespanSystem(etc, Allocation(np.array([0]), 2),
+                           background_loads=np.array([1.0]))
+
+    def test_negative_background_rejected(self):
+        etc = EtcMatrix(np.array([[2.0, 9.0]]))
+        with pytest.raises(SpecificationError):
+            MakespanSystem(etc, Allocation(np.array([0]), 2),
+                           background_loads=np.array([-1.0, 0.0]))
+
+
+class TestAnalyticClosedForm:
+    def test_radii_formula(self, system):
+        # tau = 1.5 * 6 = 9; machine 0: (9-6)/sqrt(2); machine 1: (9-5)/1.
+        radii = system.analytic_radii(1.5)
+        assert radii[0] == pytest.approx(3.0 / np.sqrt(2))
+        assert radii[1] == pytest.approx(4.0)
+
+    def test_rho_is_min(self, system):
+        assert system.analytic_rho(1.5) == pytest.approx(3.0 / np.sqrt(2))
+
+    def test_empty_machine_infinite(self):
+        etc = EtcMatrix(np.array([[1.0, 2.0]]))
+        sys2 = MakespanSystem(etc, Allocation(np.array([0]), 2))
+        radii = sys2.analytic_radii(1.2)
+        assert math.isinf(radii[1])
+
+    def test_absolute_tau(self, system):
+        radii = system.analytic_radii(tau=12.0)
+        assert radii[0] == pytest.approx(6.0 / np.sqrt(2))
+
+    def test_tau_below_makespan_rejected(self, system):
+        with pytest.raises(SpecificationError, match="exceed"):
+            system.analytic_radii(tau=5.0)
+
+    def test_both_beta_and_tau_rejected(self, system):
+        with pytest.raises(SpecificationError, match="exactly one"):
+            system.analytic_radii(1.5, tau=9.0)
+
+    def test_neither_rejected(self, system):
+        with pytest.raises(SpecificationError, match="exactly one"):
+            system.analytic_radii()
+
+
+class TestFePIAWiring:
+    def test_generic_solver_matches_closed_form(self, system):
+        ana = system.robustness_analysis(1.5)
+        assert ana.rho() == pytest.approx(system.analytic_rho(1.5))
+
+    def test_matches_across_random_instances(self, rng):
+        from repro.systems.independent.etc import generate_etc_gamma
+        for trial in range(5):
+            etc = generate_etc_gamma(12, 4, seed=100 + trial)
+            alloc = Allocation(
+                rng.integers(0, 4, size=12).astype(np.intp), 4)
+            sys2 = MakespanSystem(etc, alloc)
+            ana = sys2.robustness_analysis(1.3)
+            assert ana.rho() == pytest.approx(sys2.analytic_rho(1.3),
+                                              rel=1e-9)
+
+    def test_feature_per_loaded_machine(self, system):
+        specs = system.finish_time_specs(1.5)
+        assert {s.name for s in specs} == {"finish_time_m0", "finish_time_m1"}
+
+    def test_empty_machines_skipped(self):
+        etc = EtcMatrix(np.array([[1.0, 2.0]]))
+        sys2 = MakespanSystem(etc, Allocation(np.array([0]), 2))
+        specs = sys2.finish_time_specs(1.2)
+        assert [s.name for s in specs] == ["finish_time_m0"]
+
+    def test_multi_kind_variant(self):
+        etc = EtcMatrix(np.array([[2.0, 9.0], [4.0, 9.0]]))
+        sys2 = MakespanSystem(etc, Allocation(np.array([0, 0]), 2),
+                              background_loads=np.array([1.0, 0.5]))
+        ana = sys2.robustness_analysis(
+            1.5, weighting=NormalizedWeighting(), include_background=True)
+        # mapping layout must be [exec(2), background(2)]
+        assert ana.dimension == 4
+        assert np.isfinite(ana.rho())
+
+    def test_background_param_requires_loads(self, system):
+        with pytest.raises(SpecificationError, match="background"):
+            system.background_parameter()
+
+    def test_physical_bounds_variant_runs(self, system):
+        ana = system.robustness_analysis(1.5, respect_physical_bounds=True)
+        # all coefficients positive and bound above: the unconstrained
+        # witness increases times, which is inside the non-negativity box,
+        # so the radius must equal the unconstrained one.
+        assert ana.rho() == pytest.approx(system.analytic_rho(1.5))

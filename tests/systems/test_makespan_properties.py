@@ -1,0 +1,92 @@
+"""Property-based tests of the makespan closed form.
+
+The analytic radius ``r_j(tau) = (tau - F_j)/sqrt(n_j)`` is affine and
+increasing in ``tau``; ``rho(tau) = min_j r_j(tau)`` is therefore a
+piecewise-affine, increasing, concave function of the deadline — structure
+these tests pin on random instances.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.systems.independent import Allocation, EtcMatrix, MakespanSystem
+
+sizes = st.tuples(st.integers(min_value=2, max_value=10),
+                  st.integers(min_value=2, max_value=4))
+
+
+def random_system(n_tasks, n_machines, seed):
+    rng = np.random.default_rng(seed)
+    etc = EtcMatrix(rng.uniform(1.0, 50.0, size=(n_tasks, n_machines)))
+    alloc = Allocation(rng.integers(0, n_machines, size=n_tasks).astype(np.intp),
+                       n_machines)
+    return MakespanSystem(etc, alloc)
+
+
+class TestRhoVsTau:
+    @given(shape=sizes, seed=st.integers(0, 1000),
+           f1=st.floats(min_value=1.05, max_value=1.5),
+           f2=st.floats(min_value=1.6, max_value=3.0))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_tau(self, shape, seed, f1, f2):
+        system = random_system(*shape, seed)
+        ms = system.makespan()
+        assert system.analytic_rho(tau=f1 * ms) < system.analytic_rho(
+            tau=f2 * ms)
+
+    @given(shape=sizes, seed=st.integers(0, 1000),
+           f1=st.floats(min_value=1.1, max_value=2.0),
+           f2=st.floats(min_value=2.1, max_value=4.0))
+    @settings(max_examples=60, deadline=None)
+    def test_concave_in_tau(self, shape, seed, f1, f2):
+        """min of affine functions is concave: rho((t1+t2)/2) >=
+        (rho(t1) + rho(t2))/2."""
+        system = random_system(*shape, seed)
+        ms = system.makespan()
+        t1, t2 = f1 * ms, f2 * ms
+        mid = system.analytic_rho(tau=0.5 * (t1 + t2))
+        avg = 0.5 * (system.analytic_rho(tau=t1)
+                     + system.analytic_rho(tau=t2))
+        assert mid >= avg - 1e-9 * (1 + abs(avg))
+
+    @given(shape=sizes, seed=st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_rho_vanishes_at_makespan(self, shape, seed):
+        """At tau = makespan the critical machine is on its boundary."""
+        system = random_system(*shape, seed)
+        ms = system.makespan()
+        # approach tau -> makespan from above: radius -> 0 linearly
+        eps = 1e-6 * ms
+        rho = system.analytic_rho(tau=ms + eps)
+        # critical machine has F_j = ms, so rho = eps/sqrt(n_j) <= eps
+        # (relative tolerance: (tau - F_j) suffers float cancellation)
+        assert 0 < rho <= eps * (1.0 + 1e-9)
+
+    @given(shape=sizes, seed=st.integers(0, 1000),
+           factor=st.floats(min_value=1.1, max_value=3.0),
+           scale=st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=40, deadline=None)
+    def test_radius_scales_with_time_units(self, shape, seed, factor, scale):
+        """Rescaling all times (a unit change) rescales rho identically —
+        the single-kind radius carries the parameter's unit, as the paper
+        notes."""
+        system = random_system(*shape, seed)
+        scaled = MakespanSystem(EtcMatrix(system.etc.values * scale),
+                                system.allocation)
+        tau = factor * system.makespan()
+        assert scaled.analytic_rho(tau=scale * tau) == pytest.approx(
+            scale * system.analytic_rho(tau=tau), rel=1e-9)
+
+
+class TestPipelineAgreesUnderRandomisation:
+    @given(shape=sizes, seed=st.integers(0, 500),
+           factor=st.floats(min_value=1.1, max_value=2.0))
+    @settings(max_examples=25, deadline=None)
+    def test_generic_solver_matches_closed_form(self, shape, seed, factor):
+        system = random_system(*shape, seed)
+        tau = factor * system.makespan()
+        ana = system.robustness_analysis(tau=tau)
+        assert ana.rho() == pytest.approx(system.analytic_rho(tau=tau),
+                                          rel=1e-9)

@@ -1,0 +1,106 @@
+"""Tests for the local-search and GA metaheuristics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.systems.heuristics import (
+    MCT,
+    GeneticAllocator,
+    HillClimber,
+    SimulatedAnnealer,
+    makespan_objective,
+)
+from repro.systems.independent import MakespanSystem, generate_etc_gamma
+
+
+@pytest.fixture
+def etc():
+    return generate_etc_gamma(15, 4, seed=21)
+
+
+class TestHillClimber:
+    def test_improves_or_matches_initial(self, etc):
+        initial = MCT().allocate(etc)
+        hc = HillClimber(makespan_objective, max_iterations=50,
+                         n_neighbours=16, seed=0)
+        result = hc.allocate(etc)
+        assert result.makespan(etc) <= initial.makespan(etc)
+
+    def test_custom_initial(self, etc):
+        from repro.systems.heuristics import RoundRobin
+        hc = HillClimber(makespan_objective, max_iterations=5,
+                         n_neighbours=4, initial=RoundRobin(), seed=0)
+        assert hc.allocate(etc).n_tasks == etc.n_tasks
+
+    def test_bad_params(self):
+        with pytest.raises(SpecificationError):
+            HillClimber(makespan_objective, max_iterations=0)
+
+    def test_robustness_objective(self, etc):
+        tau = 1.4 * MCT().allocate(etc).makespan(etc)
+
+        def neg_rho(etc_matrix):
+            def objective(allocation):
+                system = MakespanSystem(etc_matrix, allocation)
+                if system.makespan() >= tau:
+                    return system.makespan() / tau
+                return -system.analytic_rho(tau=tau)
+            return objective
+
+        hc = HillClimber(neg_rho, max_iterations=30, n_neighbours=16, seed=1)
+        best = hc.allocate(etc)
+        mct_sys = MakespanSystem(etc, MCT().allocate(etc))
+        best_sys = MakespanSystem(etc, best)
+        assert best_sys.makespan() < tau
+        assert best_sys.analytic_rho(tau=tau) >= mct_sys.analytic_rho(tau=tau)
+
+
+class TestSimulatedAnnealer:
+    def test_runs_and_is_reasonable(self, etc):
+        sa = SimulatedAnnealer(makespan_objective, n_steps=400, seed=2)
+        result = sa.allocate(etc)
+        mct = MCT().allocate(etc)
+        # SA keeps the best-seen solution, which starts at MCT.
+        assert result.makespan(etc) <= mct.makespan(etc) + 1e-9
+
+    def test_reproducible(self, etc):
+        a = SimulatedAnnealer(makespan_objective, n_steps=100, seed=5).allocate(etc)
+        b = SimulatedAnnealer(makespan_objective, n_steps=100, seed=5).allocate(etc)
+        np.testing.assert_array_equal(a.assignment, b.assignment)
+
+    def test_bad_schedule(self):
+        with pytest.raises(SpecificationError):
+            SimulatedAnnealer(makespan_objective, t_initial=1.0, t_final=2.0)
+
+    def test_bad_steps(self):
+        with pytest.raises(SpecificationError):
+            SimulatedAnnealer(makespan_objective, n_steps=0)
+
+
+class TestGeneticAllocator:
+    def test_beats_or_matches_mct_with_seeding(self, etc):
+        ga = GeneticAllocator(makespan_objective, population=16,
+                              generations=20, seed=3)
+        result = ga.allocate(etc)
+        mct = MCT().allocate(etc)
+        assert result.makespan(etc) <= mct.makespan(etc) + 1e-9
+
+    def test_without_mct_seed_still_valid(self, etc):
+        ga = GeneticAllocator(makespan_objective, population=8,
+                              generations=5, seed_with_mct=False, seed=4)
+        assert ga.allocate(etc).n_tasks == etc.n_tasks
+
+    def test_reproducible(self, etc):
+        a = GeneticAllocator(makespan_objective, population=8, generations=5,
+                             seed=9).allocate(etc)
+        b = GeneticAllocator(makespan_objective, population=8, generations=5,
+                             seed=9).allocate(etc)
+        np.testing.assert_array_equal(a.assignment, b.assignment)
+
+    @pytest.mark.parametrize("kw,val", [
+        ("population", 2), ("generations", 0), ("mutation_rate", 1.5),
+        ("tournament", 1)])
+    def test_bad_params(self, kw, val):
+        with pytest.raises(SpecificationError):
+            GeneticAllocator(makespan_objective, **{kw: val})

@@ -1,0 +1,121 @@
+"""Tests for stochastic robustness estimators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.systems.independent import Allocation, EtcMatrix, MakespanSystem
+from repro.systems.independent.etc import generate_etc_gamma
+from repro.systems.independent.stochastic import (
+    stochastic_robustness_clt,
+    stochastic_robustness_mc,
+)
+
+
+@pytest.fixture
+def instance():
+    etc = generate_etc_gamma(20, 4, seed=61)
+    alloc = Allocation(np.arange(20, dtype=np.intp) % 4, 4)
+    return etc, alloc
+
+
+class TestMonteCarlo:
+    def test_generous_tau_near_one(self, instance):
+        etc, alloc = instance
+        tau = 5.0 * alloc.makespan(etc)
+        p = stochastic_robustness_mc(etc, alloc, tau, cov=0.2,
+                                     n_samples=1000, seed=0)
+        assert p == 1.0
+
+    def test_tight_tau_near_zero(self, instance):
+        etc, alloc = instance
+        tau = 0.2 * alloc.makespan(etc)
+        p = stochastic_robustness_mc(etc, alloc, tau, cov=0.2,
+                                     n_samples=1000, seed=0)
+        assert p == 0.0
+
+    def test_monotone_in_tau(self, instance):
+        etc, alloc = instance
+        ms = alloc.makespan(etc)
+        ps = [stochastic_robustness_mc(etc, alloc, f * ms, cov=0.3,
+                                       n_samples=2000, seed=1)
+              for f in (0.9, 1.0, 1.1, 1.3)]
+        assert all(b >= a for a, b in zip(ps, ps[1:]))
+
+    def test_monotone_in_cov(self, instance):
+        etc, alloc = instance
+        tau = 1.3 * alloc.makespan(etc)
+        ps = [stochastic_robustness_mc(etc, alloc, tau, cov=c,
+                                       n_samples=3000, seed=2)
+              for c in (0.05, 0.2, 0.6)]
+        assert ps[0] >= ps[1] >= ps[2]
+
+    def test_reproducible(self, instance):
+        etc, alloc = instance
+        tau = 1.2 * alloc.makespan(etc)
+        a = stochastic_robustness_mc(etc, alloc, tau, n_samples=500, seed=3)
+        b = stochastic_robustness_mc(etc, alloc, tau, n_samples=500, seed=3)
+        assert a == b
+
+    def test_bad_params(self, instance):
+        etc, alloc = instance
+        with pytest.raises(SpecificationError):
+            stochastic_robustness_mc(etc, alloc, tau=-1.0)
+        with pytest.raises(SpecificationError):
+            stochastic_robustness_mc(etc, alloc, tau=1.0, cov=0.0)
+        with pytest.raises(SpecificationError):
+            stochastic_robustness_mc(etc, alloc, tau=1.0, n_samples=0)
+
+
+class TestCltApproximation:
+    def test_agrees_with_monte_carlo(self, instance):
+        etc, alloc = instance
+        tau = 1.15 * alloc.makespan(etc)
+        mc = stochastic_robustness_mc(etc, alloc, tau, cov=0.2,
+                                      n_samples=20000, seed=4)
+        clt = stochastic_robustness_clt(etc, alloc, tau, cov=0.2)
+        assert clt == pytest.approx(mc, abs=0.03)
+
+    def test_extremes(self, instance):
+        etc, alloc = instance
+        ms = alloc.makespan(etc)
+        assert stochastic_robustness_clt(etc, alloc, 5.0 * ms) > 0.999
+        assert stochastic_robustness_clt(etc, alloc, 0.2 * ms) < 1e-6
+
+    def test_empty_machines_ignored(self):
+        etc = EtcMatrix(np.ones((2, 3)))
+        alloc = Allocation(np.array([0, 0]), 3)
+        p = stochastic_robustness_clt(etc, alloc, tau=3.0, cov=0.2)
+        assert 0.9 < p <= 1.0
+
+    def test_at_mean_half_per_machine(self):
+        # One machine, tau exactly at the mean: CLT gives ~0.5.
+        etc = EtcMatrix(np.ones((10, 1)))
+        alloc = Allocation(np.zeros(10, dtype=np.intp), 1)
+        p = stochastic_robustness_clt(etc, alloc, tau=10.0, cov=0.3)
+        assert p == pytest.approx(0.5, abs=1e-9)
+
+
+class TestRadiusConnection:
+    def test_radius_ball_lower_bounds_survival(self, instance):
+        """Noise staying within the robustness radius can never violate,
+        so P(survive) >= P(||noise|| < radius).  Verified empirically:
+        conditioning MC draws on the ball shows zero violations."""
+        etc, alloc = instance
+        system = MakespanSystem(etc, alloc)
+        tau = 1.3 * system.makespan()
+        radius = system.analytic_rho(tau=tau)
+        means = alloc.assigned_times(etc)
+        rng = np.random.default_rng(5)
+        shape = 1.0 / 0.2 ** 2
+        times = rng.gamma(shape=shape, scale=means / shape,
+                          size=(4000, means.size))
+        dists = np.linalg.norm(times - means, axis=1)
+        inside = dists < radius
+        if not inside.any():
+            pytest.skip("no draws landed inside the ball at this cov")
+        finish = np.zeros((int(inside.sum()), alloc.n_machines))
+        for j in range(alloc.n_machines):
+            tasks = np.flatnonzero(alloc.assignment == j)
+            finish[:, j] = times[inside][:, tasks].sum(axis=1)
+        assert np.all(finish.max(axis=1) <= tau + 1e-9)

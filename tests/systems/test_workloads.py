@@ -1,0 +1,73 @@
+"""Tests for the canned workload suite."""
+
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.systems.independent.workloads import (
+    WorkloadSpec,
+    braun_suite,
+    generate_workload,
+)
+
+
+class TestWorkloadSpec:
+    def test_valid(self):
+        spec = WorkloadSpec("t", 10, 4, "high", "low", "consistent")
+        assert spec.n_tasks == 10
+
+    def test_bad_heterogeneity(self):
+        with pytest.raises(SpecificationError):
+            WorkloadSpec("t", 10, 4, "medium", "low", "consistent")
+
+    def test_bad_machine_heterogeneity(self):
+        with pytest.raises(SpecificationError):
+            WorkloadSpec("t", 10, 4, "high", "med", "consistent")
+
+    def test_bad_size(self):
+        with pytest.raises(SpecificationError):
+            WorkloadSpec("t", 0, 4, "high", "low", "consistent")
+
+
+class TestBraunSuite:
+    def test_twelve_scenarios(self):
+        suite = braun_suite()
+        assert len(suite) == 12
+
+    def test_names_unique(self):
+        names = [s.name for s in braun_suite()]
+        assert len(set(names)) == 12
+
+    def test_covers_grid(self):
+        names = {s.name for s in braun_suite()}
+        assert "hihi-consistent" in names
+        assert "lolo-inconsistent" in names
+        assert "hilo-semiconsistent" in names
+
+    def test_size_passthrough(self):
+        suite = braun_suite(n_tasks=7, n_machines=2)
+        assert all(s.n_tasks == 7 and s.n_machines == 2 for s in suite)
+
+
+class TestGenerateWorkload:
+    def test_shape(self):
+        spec = WorkloadSpec("t", 9, 3, "high", "low", "inconsistent")
+        etc = generate_workload(spec, seed=0)
+        assert etc.values.shape == (9, 3)
+
+    def test_reproducible(self):
+        spec = WorkloadSpec("t", 5, 2, "low", "low", "consistent")
+        a = generate_workload(spec, seed=3)
+        b = generate_workload(spec, seed=3)
+        assert (a.values == b.values).all()
+
+    def test_high_vs_low_heterogeneity(self):
+        hi = WorkloadSpec("hi", 400, 4, "high", "low", "inconsistent")
+        lo = WorkloadSpec("lo", 400, 4, "low", "low", "inconsistent")
+        etc_hi = generate_workload(hi, seed=1)
+        etc_lo = generate_workload(lo, seed=1)
+        assert etc_hi.task_heterogeneity() > etc_lo.task_heterogeneity()
+
+    def test_bad_consistency_propagates(self):
+        spec = WorkloadSpec("t", 5, 2, "low", "low", "diagonal")
+        with pytest.raises(SpecificationError):
+            generate_workload(spec, seed=0)

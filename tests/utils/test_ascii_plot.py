@@ -1,0 +1,69 @@
+"""Tests for repro.utils.ascii_plot."""
+
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.utils.ascii_plot import AsciiCanvas, line_plot, scatter_plot
+
+
+class TestAsciiCanvas:
+    def test_point_lands_in_grid(self):
+        c = AsciiCanvas(10, 5, (0, 1), (0, 1))
+        c.plot_points([0.5], [0.5], "X")
+        assert "X" in c.render()
+
+    def test_off_canvas_ignored(self):
+        c = AsciiCanvas(10, 5, (0, 1), (0, 1))
+        c.plot_points([2.0], [2.0], "X")
+        assert "X" not in c.render()
+
+    def test_corners(self):
+        c = AsciiCanvas(10, 5, (0, 1), (0, 1))
+        c.plot_points([0.0, 1.0], [0.0, 1.0], "X")
+        rendered = c.render()
+        assert rendered.count("X") == 2
+
+    def test_multichar_marker_rejected(self):
+        c = AsciiCanvas()
+        with pytest.raises(SpecificationError):
+            c.plot_points([0.5], [0.5], "XY")
+
+    def test_bad_limits(self):
+        with pytest.raises(SpecificationError):
+            AsciiCanvas(10, 5, (1, 0), (0, 1))
+
+    def test_too_small(self):
+        with pytest.raises(SpecificationError):
+            AsciiCanvas(1, 1)
+
+    def test_line_connects(self):
+        c = AsciiCanvas(20, 10, (0, 1), (0, 1))
+        c.plot_line(0.0, 0.0, 1.0, 1.0, "*")
+        assert c.render().count("*") >= 10
+
+    def test_render_annotations(self):
+        c = AsciiCanvas(10, 5, (0, 1), (0, 1))
+        out = c.render(xlabel="xx", ylabel="yy", title="tt")
+        assert "xx" in out and "yy" in out and "tt" in out
+
+
+class TestHighLevelPlots:
+    def test_scatter_contains_markers(self):
+        out = scatter_plot([1, 2, 3], [1, 4, 9])
+        assert "*" in out
+
+    def test_scatter_empty_rejected(self):
+        with pytest.raises(SpecificationError):
+            scatter_plot([], [])
+
+    def test_scatter_constant_values_ok(self):
+        out = scatter_plot([1, 1], [2, 2])
+        assert "*" in out
+
+    def test_line_plot(self):
+        out = line_plot([0, 1, 2], [0, 1, 0])
+        assert "." in out
+
+    def test_line_needs_two_points(self):
+        with pytest.raises(SpecificationError):
+            line_plot([1], [1])

@@ -1,0 +1,140 @@
+"""Tests for repro.utils.linalg (Equation 4 and sampling geometry)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import DimensionMismatchError, SpecificationError
+from repro.utils.linalg import (
+    point_to_hyperplane_distance,
+    project_point_to_hyperplane,
+    sample_in_ball,
+    sample_on_sphere,
+    unit_vector,
+    vector_norm,
+)
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False, allow_infinity=False)
+
+
+class TestPointToHyperplaneDistance:
+    def test_textbook_2d(self):
+        # Plane x + y = 2, point at origin: distance sqrt(2).
+        d = point_to_hyperplane_distance(np.zeros(2), np.ones(2), 2.0)
+        assert d == pytest.approx(np.sqrt(2))
+
+    def test_point_on_plane(self):
+        d = point_to_hyperplane_distance(np.array([1.0, 1.0]), np.ones(2), 2.0)
+        assert d == 0.0
+
+    def test_sign_irrelevant(self):
+        p = np.array([3.0, -1.0])
+        d1 = point_to_hyperplane_distance(p, np.array([2.0, 1.0]), 5.0)
+        d2 = point_to_hyperplane_distance(p, -np.array([2.0, 1.0]), -5.0)
+        assert d1 == pytest.approx(d2)
+
+    def test_zero_normal_rejected(self):
+        with pytest.raises(SpecificationError, match="nonzero"):
+            point_to_hyperplane_distance(np.zeros(2), np.zeros(2), 1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            point_to_hyperplane_distance(np.zeros(2), np.zeros(3), 1.0)
+
+    @given(point=arrays(np.float64, 4, elements=finite_floats),
+           normal=arrays(np.float64, 4, elements=finite_floats),
+           offset=finite_floats)
+    @settings(max_examples=50)
+    def test_projection_realises_distance(self, point, normal, offset):
+        if np.linalg.norm(normal) < 1e-6:
+            return
+        d = point_to_hyperplane_distance(point, normal, offset)
+        proj = project_point_to_hyperplane(point, normal, offset)
+        # projection lies on the plane and at exactly the distance; the
+        # residual tolerance scales with the magnitudes involved.
+        scale = 1 + abs(offset) + float(
+            np.linalg.norm(normal) * np.linalg.norm(point))
+        assert normal @ proj == pytest.approx(offset, abs=1e-9 * scale)
+        assert np.linalg.norm(proj - point) == pytest.approx(
+            d, abs=1e-8 * (1 + d))
+
+
+class TestProjection:
+    def test_projection_of_on_plane_point_is_identity(self):
+        p = np.array([1.0, 1.0])
+        proj = project_point_to_hyperplane(p, np.ones(2), 2.0)
+        np.testing.assert_allclose(proj, p)
+
+    def test_zero_normal_rejected(self):
+        with pytest.raises(SpecificationError):
+            project_point_to_hyperplane(np.zeros(2), np.zeros(2), 1.0)
+
+
+class TestVectorNorm:
+    def test_l2(self):
+        assert vector_norm(np.array([3.0, 4.0])) == 5.0
+
+    def test_l1(self):
+        assert vector_norm(np.array([3.0, -4.0]), 1) == 7.0
+
+    def test_linf(self):
+        assert vector_norm(np.array([3.0, -4.0]), np.inf) == 4.0
+
+    def test_inf_string(self):
+        assert vector_norm(np.array([1.0, -2.0]), "inf") == 2.0
+
+    def test_unsupported_order(self):
+        with pytest.raises(SpecificationError, match="unsupported"):
+            vector_norm(np.ones(2), 3)
+
+
+class TestUnitVector:
+    def test_normalises(self):
+        v = unit_vector(np.array([0.0, 5.0]))
+        np.testing.assert_allclose(v, [0.0, 1.0])
+
+    def test_zero_rejected(self):
+        with pytest.raises(SpecificationError):
+            unit_vector(np.zeros(3))
+
+
+class TestSphereSampling:
+    def test_unit_norms(self, rng):
+        pts = sample_on_sphere(rng, 500, 6)
+        np.testing.assert_allclose(np.linalg.norm(pts, axis=1), 1.0,
+                                   atol=1e-12)
+
+    def test_shape(self, rng):
+        assert sample_on_sphere(rng, 10, 3).shape == (10, 3)
+
+    def test_dim_one(self, rng):
+        pts = sample_on_sphere(rng, 100, 1)
+        assert set(np.unique(pts)) <= {-1.0, 1.0}
+
+    def test_bad_dim(self, rng):
+        with pytest.raises(SpecificationError):
+            sample_on_sphere(rng, 10, 0)
+
+    def test_mean_near_zero(self, rng):
+        pts = sample_on_sphere(rng, 20000, 3)
+        assert np.linalg.norm(pts.mean(axis=0)) < 0.05
+
+
+class TestBallSampling:
+    def test_within_radius(self, rng):
+        pts = sample_in_ball(rng, 1000, 4, radius=2.5)
+        assert np.all(np.linalg.norm(pts, axis=1) <= 2.5 + 1e-12)
+
+    def test_negative_radius_rejected(self, rng):
+        with pytest.raises(SpecificationError):
+            sample_in_ball(rng, 10, 2, radius=-1.0)
+
+    def test_radius_distribution_uniform_in_volume(self, rng):
+        # For uniform-in-ball samples in dim d, P(r <= t*R) = t^d.
+        pts = sample_in_ball(rng, 50000, 2, radius=1.0)
+        r = np.linalg.norm(pts, axis=1)
+        frac_inside_half = np.mean(r <= 0.5)
+        assert frac_inside_half == pytest.approx(0.25, abs=0.02)

@@ -1,0 +1,56 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import default_rng, spawn_rngs
+
+
+class TestDefaultRng:
+    def test_none_gives_generator(self):
+        assert isinstance(default_rng(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = default_rng(42).random(5)
+        b = default_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passed_through(self):
+        g = np.random.default_rng(0)
+        assert default_rng(g) is g
+
+    def test_seed_sequence_accepted(self):
+        ss = np.random.SeedSequence(7)
+        g = default_rng(ss)
+        assert isinstance(g, np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_streams(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_streams_differ(self):
+        a, b = spawn_rngs(123, 2)
+        assert not np.allclose(a.random(10), b.random(10))
+
+    def test_reproducible_across_calls(self):
+        a1, b1 = spawn_rngs(9, 2)
+        a2, b2 = spawn_rngs(9, 2)
+        np.testing.assert_array_equal(a1.random(4), a2.random(4))
+        np.testing.assert_array_equal(b1.random(4), b2.random(4))
+
+    def test_spawn_from_generator(self):
+        g = np.random.default_rng(3)
+        kids = spawn_rngs(g, 3)
+        assert len(kids) == 3
+
+    def test_spawn_from_seed_sequence(self):
+        kids = spawn_rngs(np.random.SeedSequence(1), 2)
+        assert len(kids) == 2

@@ -1,0 +1,39 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["a", "bb"], [["x", 1.0], ["yyyy", 2.5]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, sep, two rows
+        # all lines equal width
+        assert len({len(l) for l in lines}) == 1
+
+    def test_title(self):
+        out = format_table(["c"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.123456789]], float_fmt=".3g")
+        assert "0.123" in out
+        assert "0.123456789" not in out
+
+    def test_ints_not_float_formatted(self):
+        out = format_table(["v"], [[7]])
+        assert "7" in out
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError, match="row 0"):
+            format_table(["a", "b"], [["only one"]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+    def test_header_separator_dashes(self):
+        out = format_table(["col"], [["val"]])
+        assert set(out.splitlines()[1]) <= {"-", "+"}

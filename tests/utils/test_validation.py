@@ -1,0 +1,113 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionMismatchError, SpecificationError
+from repro.utils.validation import (
+    as_1d_float_array,
+    as_2d_float_array,
+    check_finite,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+    check_same_length,
+)
+
+
+class TestAs1dFloatArray:
+    def test_list_coerced(self):
+        arr = as_1d_float_array([1, 2, 3])
+        assert arr.dtype == np.float64
+        assert arr.tolist() == [1.0, 2.0, 3.0]
+
+    def test_scalar_becomes_length_one(self):
+        assert as_1d_float_array(np.float64(5.0)).shape == (1,)
+
+    def test_generator_accepted(self):
+        arr = as_1d_float_array(x * 0.5 for x in range(4))
+        assert arr.tolist() == [0.0, 0.5, 1.0, 1.5]
+
+    def test_returns_fresh_array_for_lists(self):
+        src = [1.0, 2.0]
+        arr = as_1d_float_array(src)
+        arr[0] = 99.0
+        assert src[0] == 1.0
+
+    def test_2d_rejected(self):
+        with pytest.raises(SpecificationError, match="1-dimensional"):
+            as_1d_float_array(np.zeros((2, 2)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(SpecificationError, match="non-empty"):
+            as_1d_float_array([])
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(SpecificationError, match="numeric"):
+            as_1d_float_array(["a", "b"])
+
+    def test_name_in_message(self):
+        with pytest.raises(SpecificationError, match="myvec"):
+            as_1d_float_array([[1], [2]], name="myvec")
+
+
+class TestAs2dFloatArray:
+    def test_nested_list(self):
+        arr = as_2d_float_array([[1, 2], [3, 4]])
+        assert arr.shape == (2, 2)
+        assert arr.dtype == np.float64
+
+    def test_1d_rejected(self):
+        with pytest.raises(SpecificationError, match="2-dimensional"):
+            as_2d_float_array([1, 2, 3])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SpecificationError, match="non-empty"):
+            as_2d_float_array(np.zeros((0, 3)))
+
+    def test_contiguous(self):
+        arr = as_2d_float_array(np.zeros((4, 4))[::2])
+        assert arr.flags["C_CONTIGUOUS"]
+
+
+class TestScalarChecks:
+    def test_check_finite_passes(self):
+        arr = np.array([1.0, 2.0])
+        assert check_finite(arr) is arr
+
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_check_finite_rejects(self, bad):
+        with pytest.raises(SpecificationError, match="finite"):
+            check_finite(np.array([1.0, bad]))
+
+    def test_check_positive(self):
+        check_positive(np.array([1e-300, 5.0]))
+        with pytest.raises(SpecificationError, match="positive"):
+            check_positive(np.array([1.0, 0.0]))
+
+    def test_check_nonnegative(self):
+        check_nonnegative(np.array([0.0, 5.0]))
+        with pytest.raises(SpecificationError, match="non-negative"):
+            check_nonnegative(np.array([-1e-12]))
+
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_check_probability_accepts(self, ok):
+        assert check_probability(ok) == ok
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, 2.0])
+    def test_check_probability_rejects(self, bad):
+        with pytest.raises(SpecificationError):
+            check_probability(bad)
+
+
+class TestCheckSameLength:
+    def test_equal_lengths(self):
+        assert check_same_length([1, 2], (3, 4), np.zeros(2)) == 2
+
+    def test_mismatch_raises_with_names(self):
+        with pytest.raises(DimensionMismatchError, match="a=2.*b=3"):
+            check_same_length([1, 2], [1, 2, 3], names=["a", "b"])
+
+    def test_mismatch_default_names(self):
+        with pytest.raises(DimensionMismatchError, match="argument 1"):
+            check_same_length([1], [1, 2])
