@@ -7,7 +7,7 @@ monitor alarmed vs when the QoS actually broke.  The soundness guarantee
 information this experiment adds over the static radius.
 """
 
-from repro.analysis.monitoring import monitoring_experiment, replay_trace
+from repro.analysis.monitoring import monitoring_experiment
 from repro.systems.hiperd.constraints import build_analysis
 from repro.systems.hiperd.traces import ramp_trace
 

@@ -56,6 +56,7 @@ from repro.core import (
     PerturbationParameter,
     ProductMapping,
     QuadraticMapping,
+    Quality,
     RadiusProblem,
     RadiusResult,
     RestrictedMapping,
@@ -63,6 +64,7 @@ from repro.core import (
     RobustnessAnalysis,
     RobustnessReport,
     SensitivityWeighting,
+    SolverAttempt,
     ToleranceBounds,
     WeightingScheme,
     compute_radius,
@@ -77,13 +79,23 @@ from repro.core.degeneracy import (
 )
 from repro.exceptions import (
     BoundaryNotFoundError,
+    CheckpointError,
     ConvergenceError,
+    DegradedResultWarning,
     DimensionMismatchError,
     InfeasibleAllocationError,
     ReproError,
     SolverError,
+    SolverTimeoutError,
     SpecificationError,
     UnitMismatchError,
+)
+from repro.resilience import (
+    CascadeConfig,
+    FaultInjector,
+    FaultSpec,
+    RetryPolicy,
+    SolverCascade,
 )
 
 __version__ = "1.0.0"
@@ -127,6 +139,14 @@ __all__ = [
     "sensitivity_alphas_linear",
     "sensitivity_radius_linear",
     "normalized_radius_linear",
+    # resilience
+    "Quality",
+    "SolverAttempt",
+    "SolverCascade",
+    "CascadeConfig",
+    "FaultInjector",
+    "FaultSpec",
+    "RetryPolicy",
     # exceptions
     "ReproError",
     "SpecificationError",
@@ -135,6 +155,9 @@ __all__ = [
     "SolverError",
     "BoundaryNotFoundError",
     "ConvergenceError",
+    "SolverTimeoutError",
+    "CheckpointError",
+    "DegradedResultWarning",
     "InfeasibleAllocationError",
     "__version__",
 ]

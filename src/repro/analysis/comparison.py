@@ -11,7 +11,6 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
-import numpy as np
 
 from repro.analysis.experiments import ExperimentResult
 from repro.core.weighting import (

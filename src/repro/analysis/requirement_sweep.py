@@ -11,7 +11,6 @@ not change the robustness value is troubling").  This module sweeps
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.analysis.experiments import ExperimentResult
 from repro.analysis.linear_case import analysis_for_case

@@ -9,12 +9,16 @@ a runnable implementation.
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+import logging
+from typing import Callable, Mapping, Sequence
 
 from repro.analysis.experiments import ExperimentResult
 from repro.exceptions import SpecificationError
+from repro.resilience.checkpoint import run_checkpointed
 
 __all__ = ["EXPERIMENT_REGISTRY", "run_experiment", "run_all_experiments"]
+
+logger = logging.getLogger(__name__)
 
 
 def _e2(seed) -> ExperimentResult:
@@ -118,12 +122,51 @@ def run_experiment(experiment_id: str, *, seed: int = 2005
         raise SpecificationError(
             f"unknown experiment {experiment_id!r}; registered: "
             f"{sorted(EXPERIMENT_REGISTRY)}") from exc
+    logger.info("running experiment %s (seed=%s)", experiment_id, seed)
     return fn(seed)
 
 
-def run_all_experiments(*, seed: int = 2005
-                        ) -> dict[str, ExperimentResult]:
-    """Run every registered experiment; returns results keyed by id."""
-    return {eid: run_experiment(eid, seed=seed)
-            for eid in sorted(EXPERIMENT_REGISTRY,
-                              key=lambda e: int(e[1:].rstrip("ab")))}
+def run_all_experiments(
+    *,
+    seed: int = 2005,
+    ids: Sequence[str] | None = None,
+    checkpoint_path=None,
+    resume: bool = True,
+    checkpoint_every: int = 1,
+) -> dict[str, ExperimentResult]:
+    """Run every registered experiment; returns results keyed by id.
+
+    Parameters
+    ----------
+    seed:
+        Master seed passed to every experiment.
+    ids:
+        Optional subset of experiment ids (validated against the
+        registry); defaults to all of them.
+    checkpoint_path:
+        Optional checkpoint file.  Each finished experiment is persisted
+        there (via :mod:`repro.io.serialize`) so a killed sweep resumes
+        from the last completed experiment instead of starting over.
+    resume:
+        Whether to load an existing checkpoint at ``checkpoint_path``.
+    checkpoint_every:
+        Persist after this many freshly completed experiments.
+    """
+    from repro.io.serialize import from_dict, to_dict
+
+    if ids is None:
+        ids = sorted(EXPERIMENT_REGISTRY,
+                     key=lambda e: int(e[1:].rstrip("ab")))
+    else:
+        unknown = [e for e in ids if e not in EXPERIMENT_REGISTRY]
+        if unknown:
+            raise SpecificationError(
+                f"unknown experiment ids {unknown}; registered: "
+                f"{sorted(EXPERIMENT_REGISTRY)}")
+    items = [(eid, lambda eid=eid: run_experiment(eid, seed=seed))
+             for eid in ids]
+    meta = {"kind": "experiment-sweep", "seed": int(seed),
+            "ids": list(ids)}
+    return run_checkpointed(
+        items, path=checkpoint_path, meta=meta, every=checkpoint_every,
+        resume=resume, encode=to_dict, decode=from_dict)

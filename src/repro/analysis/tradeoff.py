@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-import numpy as np
 
 from repro.analysis.experiments import ExperimentResult
 from repro.exceptions import SpecificationError

@@ -16,7 +16,11 @@ Commands
 ``tradeoff``
     Print the makespan-robustness Pareto study (E10).
 
-Every command accepts ``--seed`` for reproducibility.
+Every command accepts ``--seed`` for reproducibility and
+``--solver-timeout`` to route radius computations through the
+fault-tolerant :class:`~repro.resilience.SolverCascade`; the
+``experiments`` command additionally supports ``--checkpoint``/
+``--resume`` for kill-safe sweeps.
 """
 
 from __future__ import annotations
@@ -38,6 +42,13 @@ def build_parser() -> argparse.ArgumentParser:
                      "Multiple Kinds of Perturbations' (IPDPS 2005)"))
     parser.add_argument("--seed", type=int, default=2005,
                         help="RNG seed (default 2005)")
+    parser.add_argument("--solver-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-solver wall-clock budget; radii are then "
+                             "computed through the fault-tolerant solver "
+                             "cascade with graceful degradation")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="-v logs solver WARNINGs, -vv full DEBUG trail")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("demo", help="quickstart two-kind analysis")
@@ -79,6 +90,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="comma-separated experiment ids (default: all)")
     exp.add_argument("--markdown", action="store_true",
                      help="emit GitHub-markdown instead of ASCII tables")
+    exp.add_argument("--checkpoint", default=None, metavar="PATH",
+                     help="persist each finished experiment to this JSON "
+                          "checkpoint so a killed sweep can resume")
+    exp.add_argument("--resume", action="store_true",
+                     help="resume from an existing --checkpoint file "
+                          "(without this flag a stale checkpoint is "
+                          "discarded)")
 
     top = sub.add_parser("topology",
                          help="path-slack and bottleneck analysis of a "
@@ -102,7 +120,9 @@ def _cmd_demo(args) -> int:
     feature = PerformanceFeature(
         "latency", ToleranceBounds.relative(phi0, 1.3), unit="s")
     analysis = RobustnessAnalysis([FeatureSpec(feature, mapping)],
-                                  [exec_times, msg_sizes])
+                                  [exec_times, msg_sizes],
+                                  seed=args.seed,
+                                  solver_timeout=args.solver_timeout)
     print(robustness_metric(analysis))
     return 0
 
@@ -140,7 +160,8 @@ def _cmd_hiperd(args) -> int:
     system = generate_hiperd_system(seed=args.seed)
     print(system)
     qos = QoSSpec(latency_slack=args.latency_slack)
-    analysis = build_analysis(system, qos, kinds=kinds, seed=args.seed)
+    analysis = build_analysis(system, qos, kinds=kinds, seed=args.seed,
+                              solver_timeout=args.solver_timeout)
     print()
     print(robustness_metric(analysis))
     print()
@@ -220,16 +241,17 @@ def _cmd_placement(args) -> int:
 
 
 def _cmd_experiments(args) -> int:
-    from repro.analysis.runner import EXPERIMENT_REGISTRY, run_experiment
+    from repro.analysis.runner import run_all_experiments
     from repro.reporting.markdown import experiment_to_markdown
 
     if args.only:
         ids = [e.strip().upper() for e in args.only.split(",") if e.strip()]
     else:
-        ids = sorted(EXPERIMENT_REGISTRY,
-                     key=lambda e: int(e[1:].rstrip("ab")))
-    for eid in ids:
-        result = run_experiment(eid, seed=args.seed)
+        ids = None
+    results = run_all_experiments(
+        seed=args.seed, ids=ids, checkpoint_path=args.checkpoint,
+        resume=args.resume)
+    for result in results.values():
         if args.markdown:
             print(experiment_to_markdown(result))
         else:
@@ -267,6 +289,12 @@ _COMMANDS = {
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.verbose:
+        import logging
+        level = logging.DEBUG if args.verbose > 1 else logging.WARNING
+        logging.basicConfig(
+            level=level,
+            format="%(levelname)s %(name)s: %(message)s")
     return _COMMANDS[args.command](args)
 
 

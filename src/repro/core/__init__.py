@@ -32,6 +32,7 @@ from repro.core.mappings import (
     RestrictedMapping,
     ReweightedMapping,
 )
+from repro.core.diagnostics import Quality, SolverAttempt
 from repro.core.radius import RadiusProblem, RadiusResult, compute_radius
 from repro.core.weighting import (
     WeightingScheme,
@@ -61,6 +62,8 @@ __all__ = [
     "RadiusProblem",
     "RadiusResult",
     "compute_radius",
+    "Quality",
+    "SolverAttempt",
     "WeightingScheme",
     "IdentityWeighting",
     "SensitivityWeighting",

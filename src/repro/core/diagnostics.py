@@ -1,0 +1,114 @@
+"""Result-quality grades and per-attempt solver diagnostics.
+
+Every robustness-radius answer carries a :class:`Quality` tag stating how
+much the caller may rely on it, and a trail of :class:`SolverAttempt`
+records describing what each solver did (including the failures that were
+previously swallowed silently).  The resilient cascade
+(:mod:`repro.resilience.cascade`) degrades through these grades instead of
+raising: an exact hyperplane projection is ``EXACT``; a verified numeric
+projection is ``CONVERGED``; a directional-bisection or sampling witness is
+a rigorous ``UPPER_BOUND`` on the radius; and ``FAILED`` means no usable
+information survived at all (the radius field is then NaN).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Quality", "SolverAttempt", "quality_of_method"]
+
+
+class Quality(str, enum.Enum):
+    """How trustworthy a :class:`~repro.core.radius.RadiusResult` is.
+
+    Members
+    -------
+    EXACT:
+        Every tolerance bound was resolved in closed form (hyperplane /
+        ellipsoid projection, or a degenerate on-boundary origin); the
+        radius is the true radius up to floating point.
+    CONVERGED:
+        Every bound was resolved at least by a verified numeric projection;
+        the radius is a locally-converged estimate (exact for the paper's
+        affine features, best-effort for general smooth ones).
+    UPPER_BOUND:
+        At least one bound only yielded a rigorous upper bound (a verified
+        boundary crossing or a sampled violation); the true radius is
+        **at most** the reported value.
+    FAILED:
+        No solver produced any usable value; the reported radius is NaN.
+    """
+
+    EXACT = "exact"
+    CONVERGED = "converged"
+    UPPER_BOUND = "upper_bound"
+    FAILED = "failed"
+
+    def __str__(self) -> str:  # stable rendering across Python versions
+        return self.value
+
+    @property
+    def is_usable(self) -> bool:
+        """Whether the result carries a meaningful radius value."""
+        return self is not Quality.FAILED
+
+
+@dataclass(frozen=True)
+class SolverAttempt:
+    """One solver invocation inside a radius computation.
+
+    Attributes
+    ----------
+    solver:
+        Solver name (``"analytic"``, ``"numeric"``, ``"bisection"``, ...).
+    bound:
+        The tolerance bound the attempt targeted (``None`` for attempts
+        not tied to a single bound, e.g. the whole-interval sampling
+        fallback or the origin-evaluation probe).
+    attempt:
+        1-based retry index of this invocation.
+    elapsed:
+        Wall-clock seconds the invocation took.
+    outcome:
+        ``"ok"`` (usable answer), ``"unreachable"`` (the solver proved or
+        reported no boundary at this bound), ``"timeout"``, ``"rejected"``
+        (an answer failed verification), or ``"error"``.
+    detail:
+        Free-form context: the exception message, the distance found, etc.
+    """
+
+    solver: str
+    bound: float | None
+    attempt: int
+    elapsed: float
+    outcome: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        at = "interval" if self.bound is None else f"bound={self.bound:g}"
+        out = (f"{self.solver}[{at}] try {self.attempt}: {self.outcome} "
+               f"({self.elapsed * 1e3:.1f} ms)")
+        if self.detail:
+            out += f" — {self.detail}"
+        return out
+
+
+#: Winning-method strings whose answers are exact up to floating point.
+_EXACT_METHODS = frozenset({"analytic", "analytic-box", "ellipsoid",
+                            "degenerate"})
+#: Winning-method strings whose answers are rigorous upper bounds only.
+_UPPER_METHODS = frozenset({"bisection", "sampling"})
+
+
+def quality_of_method(method: str) -> Quality:
+    """The :class:`Quality` grade implied by a winning solver name.
+
+    Unknown method strings grade as ``CONVERGED`` (a best-effort numeric
+    answer) so forward-compatible callers never over-claim exactness.
+    """
+    if method in _EXACT_METHODS:
+        return Quality.EXACT
+    if method in _UPPER_METHODS:
+        return Quality.UPPER_BOUND
+    return Quality.CONVERGED

@@ -21,7 +21,7 @@ for the identity/normalized/custom schemes it is shared.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -84,6 +84,17 @@ class RobustnessAnalysis:
         Distance norm for radii (the paper uses 2).
     seed:
         Seed for stochastic solver components.
+    solver_timeout:
+        When set, radii are computed through a fault-tolerant
+        :class:`~repro.resilience.cascade.SolverCascade` with this
+        per-solver wall-clock budget (seconds) instead of the plain
+        dispatcher: solver failures degrade to rigorous upper bounds
+        (tagged on each :class:`~repro.core.radius.RadiusResult`) rather
+        than raising.
+    cascade:
+        An explicit pre-configured
+        :class:`~repro.resilience.cascade.SolverCascade` to route every
+        radius computation through; overrides ``solver_timeout``.
     """
 
     def __init__(
@@ -96,6 +107,8 @@ class RobustnessAnalysis:
         method: str = "auto",
         norm: float = 2,
         seed=None,
+        solver_timeout: float | None = None,
+        cascade=None,
     ) -> None:
         self.features = list(features)
         self.params = list(params)
@@ -114,6 +127,13 @@ class RobustnessAnalysis:
         self.method = method
         self.norm = norm
         self.seed = seed
+        self.solver_timeout = solver_timeout
+        if cascade is None and solver_timeout is not None:
+            # Imported lazily: repro.resilience imports repro.core.radius.
+            from repro.resilience.cascade import CascadeConfig, SolverCascade
+            cascade = SolverCascade(
+                CascadeConfig(solver_timeout=solver_timeout), seed=seed)
+        self.cascade = cascade
 
         self._dim = sum(p.dimension for p in self.params)
         for spec in self.features:
@@ -131,6 +151,12 @@ class RobustnessAnalysis:
         self._per_param_cache: dict[tuple[str, str], RadiusResult] = {}
         self._pspace_cache: dict[str, ConcatenatedPerturbation] = {}
         self._radius_cache: dict[str, RadiusResult] = {}
+
+    def _solve(self, problem: RadiusProblem) -> RadiusResult:
+        """Route a radius computation through the configured solver path."""
+        if self.cascade is not None:
+            return self.cascade.compute(problem, method=self.method)
+        return compute_radius(problem, method=self.method, seed=self.seed)
 
     # ------------------------------------------------------------------
     # flat-space helpers
@@ -203,8 +229,7 @@ class RobustnessAnalysis:
                 upper=None if hi is None else hi[sl],
                 norm=self.norm,
             )
-            self._per_param_cache[key] = compute_radius(
-                problem, method=self.method, seed=self.seed)
+            self._per_param_cache[key] = self._solve(problem)
         return self._per_param_cache[key]
 
     def per_parameter_radii(self, feature: "FeatureSpec | str") -> dict[str, float]:
@@ -331,8 +356,7 @@ class RobustnessAnalysis:
                     method="degenerate",
                     original_value=spec.mapping.value(self.pi_orig),
                     per_bound={})
-        return compute_radius(self.pspace_problem(spec), method=self.method,
-                              seed=self.seed)
+        return self._solve(self.pspace_problem(spec))
 
     def rho(self) -> float:
         """The robustness metric ``rho_mu(Phi, P) = min_i r_mu(phi_i, P)``."""

@@ -16,7 +16,9 @@ of specification by these perturbations).
 
 from __future__ import annotations
 
+import logging
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Literal
 
@@ -27,6 +29,7 @@ from repro.core.boundary import (
     as_diagonal_quadratic,
     as_linear,
 )
+from repro.core.diagnostics import Quality, SolverAttempt, quality_of_method
 from repro.core.features import ToleranceBounds
 from repro.core.mappings import FeatureMapping
 from repro.core.solvers.analytic import solve_linear_radius
@@ -42,6 +45,8 @@ from repro.exceptions import (
 from repro.utils.validation import as_1d_float_array, check_finite
 
 __all__ = ["RadiusProblem", "RadiusResult", "compute_radius"]
+
+logger = logging.getLogger(__name__)
 
 Method = Literal["auto", "analytic", "numeric", "bisection"]
 
@@ -129,6 +134,16 @@ class RadiusResult:
     per_bound:
         Mapping from each finite bound value to the distance found for it
         (``inf`` for unreachable bounds), for diagnostic reporting.
+    quality:
+        How trustworthy the radius is (see
+        :class:`~repro.core.diagnostics.Quality`): closed-form answers are
+        ``EXACT``, verified numeric projections ``CONVERGED``, degraded
+        answers rigorous ``UPPER_BOUND``\\s, and ``FAILED`` results carry a
+        NaN radius.
+    diagnostics:
+        Chronological :class:`~repro.core.diagnostics.SolverAttempt` trail
+        of every solver invocation behind this result, including failures
+        that used to be swallowed silently.
     """
 
     radius: float
@@ -137,88 +152,118 @@ class RadiusResult:
     method: str
     original_value: float
     per_bound: dict = field(default_factory=dict)
+    quality: Quality = Quality.EXACT
+    diagnostics: tuple[SolverAttempt, ...] = ()
 
     @property
     def is_finite(self) -> bool:
         """Whether the radius is finite (some bound is reachable)."""
         return math.isfinite(self.radius)
 
+    @property
+    def is_degraded(self) -> bool:
+        """Whether the result is weaker than a converged radius."""
+        return self.quality in (Quality.UPPER_BOUND, Quality.FAILED)
+
+
+def _timed_solve(solver: str, bound: float, fn,
+                 trail: list[SolverAttempt]) -> BoundaryCrossing | None:
+    """Run one solver call, recording its attempt (success or suppressed
+    :class:`BoundaryNotFoundError`) in the diagnostics trail."""
+    t0 = time.perf_counter()
+    try:
+        crossing = fn()
+    except BoundaryNotFoundError as exc:
+        trail.append(SolverAttempt(
+            solver=solver, bound=float(bound), attempt=1,
+            elapsed=time.perf_counter() - t0, outcome="unreachable",
+            detail=str(exc)))
+        logger.debug("solver %s found no boundary at %g: %s",
+                     solver, bound, exc)
+        return None
+    trail.append(SolverAttempt(
+        solver=solver, bound=float(bound), attempt=1,
+        elapsed=time.perf_counter() - t0, outcome="ok",
+        detail=f"distance={crossing.distance:.6g}"))
+    return crossing
+
 
 def _solve_one_bound(problem: RadiusProblem, bound: float, method: Method,
-                     seed) -> tuple[BoundaryCrossing | None, str]:
-    """Distance to one bound's level set; returns (crossing | None, method)."""
+                     seed, trail: list[SolverAttempt]
+                     ) -> tuple[BoundaryCrossing | None, str]:
+    """Distance to one bound's level set; returns (crossing | None, method).
+
+    Every solver invocation — including the ones whose
+    :class:`BoundaryNotFoundError` is absorbed into an infinite per-bound
+    distance — is appended to ``trail``.
+    """
     linear = as_linear(problem.mapping)
     if method in ("auto", "analytic") and linear is not None:
         has_box = problem.lower is not None or problem.upper is not None
         if method == "auto" and has_box and problem.norm == 2:
             # Exact clamped-multiplier projection handles the box directly.
-            try:
-                return (
-                    solve_linear_box_radius(
+            logger.debug("bound %g: dispatching to analytic-box solver", bound)
+            return (
+                _timed_solve(
+                    "analytic-box", bound,
+                    lambda: solve_linear_box_radius(
                         linear, problem.origin, bound,
                         lower=problem.lower, upper=problem.upper),
-                    "analytic-box",
-                )
-            except BoundaryNotFoundError:
-                return None, "analytic-box"
-        try:
-            return (
-                solve_linear_radius(
-                    linear, problem.origin, bound, norm=problem.norm,
-                    lower=problem.lower, upper=problem.upper),
-                "analytic",
+                    trail),
+                "analytic-box",
             )
-        except BoundaryNotFoundError:
-            if method == "analytic":
-                return None, "analytic"
-            # Box-constrained affine case in a non-Euclidean norm: fall
-            # through to the directional/numeric solvers.
+        logger.debug("bound %g: dispatching to analytic solver", bound)
+        crossing = _timed_solve(
+            "analytic", bound,
+            lambda: solve_linear_radius(
+                linear, problem.origin, bound, norm=problem.norm,
+                lower=problem.lower, upper=problem.upper),
+            trail)
+        if crossing is not None or method == "analytic" \
+                or trail[-1].outcome == "unreachable" and not has_box:
+            return crossing, "analytic"
+        # Box-constrained affine case in a non-Euclidean norm: fall
+        # through to the directional/numeric solvers.
     if method == "auto" and problem.norm == 2 and problem.lower is None \
             and problem.upper is None:
         diag = as_diagonal_quadratic(problem.mapping)
         if diag is not None:
-            try:
-                return (
-                    solve_ellipsoid_radius(diag, problem.origin, bound),
-                    "ellipsoid",
-                )
-            except BoundaryNotFoundError:
-                return None, "ellipsoid"
+            logger.debug("bound %g: dispatching to ellipsoid solver", bound)
+            return (
+                _timed_solve(
+                    "ellipsoid", bound,
+                    lambda: solve_ellipsoid_radius(diag, problem.origin,
+                                                   bound),
+                    trail),
+                "ellipsoid",
+            )
     if method == "analytic":
         raise SpecificationError(
             "method='analytic' requires a structurally affine mapping; "
             f"got {type(problem.mapping).__name__}")
-    if method == "bisection":
-        try:
-            return (
-                solve_bisection_radius(
-                    problem.mapping, problem.origin, bound, norm=problem.norm,
-                    lower=problem.lower, upper=problem.upper, seed=seed),
-                "bisection",
-            )
-        except BoundaryNotFoundError:
-            return None, "bisection"
-    if problem.norm != 2:
-        # The numeric projection minimises the Euclidean distance; other
-        # norms are served by the directional solver.
-        try:
-            return (
-                solve_bisection_radius(
-                    problem.mapping, problem.origin, bound, norm=problem.norm,
-                    lower=problem.lower, upper=problem.upper, seed=seed),
-                "bisection",
-            )
-        except BoundaryNotFoundError:
-            return None, "bisection"
-    try:
+    if method == "bisection" or problem.norm != 2:
+        # Forced directional solver, or a non-Euclidean norm (the numeric
+        # projection minimises the Euclidean distance only).
+        logger.debug("bound %g: dispatching to bisection solver", bound)
         return (
-            solve_numeric_radius(
+            _timed_solve(
+                "bisection", bound,
+                lambda: solve_bisection_radius(
+                    problem.mapping, problem.origin, bound, norm=problem.norm,
+                    lower=problem.lower, upper=problem.upper, seed=seed),
+                trail),
+            "bisection",
+        )
+    logger.debug("bound %g: dispatching to numeric solver", bound)
+    return (
+        _timed_solve(
+            "numeric", bound,
+            lambda: solve_numeric_radius(
                 problem.mapping, problem.origin, bound,
                 lower=problem.lower, upper=problem.upper, seed=seed),
-            "numeric",
-        )
-    except BoundaryNotFoundError:
-        return None, "numeric"
+            trail),
+        "numeric",
+    )
 
 
 def compute_radius(problem: RadiusProblem, *, method: Method = "auto",
@@ -259,23 +304,32 @@ def compute_radius(problem: RadiusProblem, *, method: Method = "auto",
             return RadiusResult(
                 radius=0.0, boundary_point=problem.origin.copy(),
                 bound_hit=b, method="degenerate", original_value=value0,
-                per_bound={b: 0.0})
+                per_bound={b: 0.0}, quality=Quality.EXACT)
 
     best: BoundaryCrossing | None = None
     best_method = "none"
     per_bound: dict[float, float] = {}
+    trail: list[SolverAttempt] = []
+    methods_used: list[str] = []
     for b in finite_bounds:
-        crossing, used = _solve_one_bound(problem, b, method, seed)
+        crossing, used = _solve_one_bound(problem, b, method, seed, trail)
+        methods_used.append(used)
         per_bound[b] = crossing.distance if crossing is not None else math.inf
         if crossing is not None and (best is None or crossing.distance < best.distance):
             best = crossing
             best_method = used
+    # The radius is exact only if every bound was resolved by an exact
+    # solver; a single numeric/bisection answer degrades the whole claim.
+    qualities = [quality_of_method(m) for m in methods_used]
+    quality = max(qualities, key=list(Quality).index, default=Quality.EXACT)
     if best is None:
         return RadiusResult(
             radius=math.inf, boundary_point=None, bound_hit=None,
             method=best_method if best_method != "none" else method,
-            original_value=value0, per_bound=per_bound)
+            original_value=value0, per_bound=per_bound,
+            quality=quality, diagnostics=tuple(trail))
     return RadiusResult(
         radius=best.distance, boundary_point=best.point,
         bound_hit=best.bound, method=best_method,
-        original_value=value0, per_bound=per_bound)
+        original_value=value0, per_bound=per_bound,
+        quality=quality, diagnostics=tuple(trail))

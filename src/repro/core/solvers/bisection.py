@@ -15,6 +15,8 @@ projection solver with good starting points.
 
 from __future__ import annotations
 
+import logging
+
 import numpy as np
 from scipy.optimize import brentq
 
@@ -25,6 +27,8 @@ from repro.utils.linalg import sample_on_sphere
 from repro.utils.rng import default_rng
 
 __all__ = ["directional_crossing", "solve_bisection_radius"]
+
+logger = logging.getLogger(__name__)
 
 
 def _ray_exit_t(origin: np.ndarray, direction: np.ndarray,
@@ -157,6 +161,8 @@ def solve_bisection_radius(
     norms = np.linalg.norm(directions, ord=p, axis=1, keepdims=True)
     directions = directions / norms
 
+    logger.debug("bisection search at level %g over %d directions",
+                 bound, directions.shape[0])
     best_t = np.inf
     best_dir = None
     for d in directions:
@@ -166,6 +172,7 @@ def solve_bisection_radius(
             best_t = t
             best_dir = d
     if best_dir is None:
+        logger.debug("no crossing at level %g within t_max=%g", bound, t_max)
         raise BoundaryNotFoundError(
             f"no boundary crossing for bound {bound} within t_max={t_max} "
             f"over {directions.shape[0]} directions")

@@ -15,6 +15,8 @@ is never worse than the bisection upper bound.
 
 from __future__ import annotations
 
+import logging
+
 import numpy as np
 from scipy import optimize
 
@@ -26,6 +28,8 @@ from repro.utils.linalg import sample_on_sphere
 from repro.utils.rng import default_rng
 
 __all__ = ["solve_numeric_radius"]
+
+logger = logging.getLogger(__name__)
 
 
 def _finite_diff_gradient(mapping: FeatureMapping, x: np.ndarray,
@@ -143,9 +147,12 @@ def solve_numeric_radius(
         "jac": _constraint_jac(mapping),
     }
 
+    logger.debug("numeric projection to level %g: %d crossing seeds, "
+                 "%d starts", bound, len(crossings), len(starts))
     best: BoundaryCrossing | None = min(crossings, key=lambda c: c.distance,
                                         default=None)
     accept = constraint_tol * (1.0 + abs(bound))
+    n_failed = 0
     for x0 in starts:
         if slsqp_bounds is not None:
             x0 = np.clip(x0, [b[0] for b in slsqp_bounds],
@@ -156,10 +163,12 @@ def solve_numeric_radius(
                 bounds=slsqp_bounds, constraints=[cons],
                 options={"maxiter": 200, "ftol": 1e-12},
             )
-        except (ValueError, ArithmeticError, SpecificationError):
+        except (ValueError, ArithmeticError, SpecificationError) as exc:
             # SciPy numerical quirk, or the iterate left a mapping's
             # restricted domain (e.g. positive-only monomials): this start
             # failed, the others may still succeed.
+            n_failed += 1
+            logger.debug("SLSQP start failed at level %g: %s", bound, exc)
             continue
         x = np.asarray(res.x, dtype=np.float64)
         if not np.all(np.isfinite(x)):
@@ -172,6 +181,9 @@ def solve_numeric_radius(
         dist = float(np.linalg.norm(x - origin))
         if best is None or dist < best.distance:
             best = BoundaryCrossing(point=x, bound=float(bound), distance=dist)
+    if n_failed:
+        logger.warning("numeric solver: %d/%d SLSQP starts failed at "
+                       "level %g", n_failed, len(starts), bound)
     if best is None:
         raise BoundaryNotFoundError(
             f"numeric solver found no boundary point at level {bound}")

@@ -10,6 +10,7 @@ numeric solvers.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 import numpy as np
@@ -21,6 +22,8 @@ from repro.utils.linalg import sample_on_sphere, vector_norm
 from repro.utils.rng import default_rng
 
 __all__ = ["SamplingReport", "sampling_upper_bound"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -98,6 +101,8 @@ def sampling_upper_bound(
     values = mapping.value_many(points)
     violating = (values > bounds.beta_max) | (values < bounds.beta_min)
     n_viol = int(np.count_nonzero(violating))
+    logger.debug("sampled %d points within distance %g: %d violation(s)",
+                 n_samples, max_distance, n_viol)
     if n_viol == 0:
         return SamplingReport(n_samples=n_samples, n_violations=0,
                               min_violation_distance=float("inf"),

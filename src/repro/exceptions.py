@@ -17,6 +17,9 @@ __all__ = [
     "BoundaryNotFoundError",
     "InfeasibleAllocationError",
     "ConvergenceError",
+    "SolverTimeoutError",
+    "CheckpointError",
+    "DegradedResultWarning",
 ]
 
 
@@ -63,6 +66,33 @@ class BoundaryNotFoundError(SolverError):
 
 class ConvergenceError(SolverError):
     """An iterative solver exhausted its budget without converging."""
+
+
+class SolverTimeoutError(SolverError):
+    """A solver exceeded its wall-clock budget.
+
+    Raised by the resilient cascade's timeout wrapper
+    (:func:`repro.resilience.timeouts.call_with_timeout`); the cascade
+    treats it as a signal to degrade to the next, cheaper solver rather
+    than as a fatal error.
+    """
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file is unusable for the requested run.
+
+    Raised when a checkpoint's recorded run metadata (seed, sample counts,
+    chunking) disagrees with the resuming run's — resuming would silently
+    mix results from two different experiments."""
+
+
+class DegradedResultWarning(UserWarning):
+    """A radius computation completed in a degraded mode.
+
+    Emitted (via :mod:`warnings`) when the resilient cascade returns an
+    ``UPPER_BOUND`` or ``FAILED`` quality result instead of an exact or
+    converged radius, so non-interactive sweeps leave an audit trail
+    without aborting."""
 
 
 class InfeasibleAllocationError(ReproError):

@@ -15,8 +15,11 @@ from typing import Any
 
 import numpy as np
 
+from repro.analysis.experiments import ExperimentResult
+from repro.core.diagnostics import Quality, SolverAttempt
 from repro.core.features import PerformanceFeature, ToleranceBounds
 from repro.core.fepia import FeatureSpec, RobustnessAnalysis
+from repro.core.radius import RadiusResult
 from repro.core.weighting import (
     CustomWeighting,
     IdentityWeighting,
@@ -55,18 +58,38 @@ def _arr(a: np.ndarray | None):
 
 
 def _num(x: float):
-    """JSON-safe float: infinities become strings, round-tripped back."""
+    """JSON-safe float: non-finite values become strings, round-tripped."""
+    if math.isnan(x):
+        return "nan"
     if math.isinf(x):
         return "inf" if x > 0 else "-inf"
     return float(x)
 
 
 def _unnum(x) -> float:
+    if x == "nan":
+        return math.nan
     if x == "inf":
         return math.inf
     if x == "-inf":
         return -math.inf
     return float(x)
+
+
+def _cell(c):
+    """JSON-safe table cell: NumPy scalars unboxed, non-finite floats
+    string-encoded, everything else passed through."""
+    if isinstance(c, (bool, np.bool_)):
+        return bool(c)
+    if isinstance(c, (float, np.floating)):
+        return _num(float(c))
+    if isinstance(c, (int, np.integer)):
+        return int(c)
+    return c
+
+
+def _uncell(c):
+    return _unnum(c) if c in ("nan", "inf", "-inf") else c
 
 
 # ----------------------------------------------------------------------
@@ -140,6 +163,33 @@ def to_dict(obj: Any) -> dict:
             "respect_physical_bounds": obj.respect_physical_bounds,
             "method": obj.method,
             "norm": _num(obj.norm) if obj.norm not in (1, 2) else obj.norm,
+            "solver_timeout": obj.solver_timeout,
+        }
+    if isinstance(obj, SolverAttempt):
+        return {"type": "SolverAttempt", "solver": obj.solver,
+                "bound": None if obj.bound is None else _num(obj.bound),
+                "attempt": obj.attempt, "elapsed": obj.elapsed,
+                "outcome": obj.outcome, "detail": obj.detail}
+    if isinstance(obj, RadiusResult):
+        return {
+            "type": "RadiusResult",
+            "radius": _num(obj.radius),
+            "boundary_point": _arr(obj.boundary_point),
+            "bound_hit": None if obj.bound_hit is None else _num(obj.bound_hit),
+            "method": obj.method,
+            "original_value": _num(obj.original_value),
+            "per_bound": [[_num(k), _num(v)] for k, v in obj.per_bound.items()],
+            "quality": obj.quality.value,
+            "diagnostics": [to_dict(a) for a in obj.diagnostics],
+        }
+    if isinstance(obj, ExperimentResult):
+        return {
+            "type": "ExperimentResult",
+            "experiment_id": obj.experiment_id,
+            "title": obj.title,
+            "headers": list(obj.headers),
+            "rows": [[_cell(c) for c in row] for row in obj.rows],
+            "summary": {k: _cell(v) for k, v in obj.summary.items()},
         }
     if isinstance(obj, EtcMatrix):
         return {"type": "EtcMatrix", "values": _arr(obj.values)}
@@ -238,7 +288,38 @@ def from_dict(data: dict) -> Any:
                                              False),
             method=data.get("method", "auto"),
             norm=_unnum(norm) if isinstance(norm, str) else norm,
+            solver_timeout=data.get("solver_timeout"),
         )
+    if t == "SolverAttempt":
+        bound = data.get("bound")
+        return SolverAttempt(
+            solver=data["solver"],
+            bound=None if bound is None else _unnum(bound),
+            attempt=int(data["attempt"]), elapsed=float(data["elapsed"]),
+            outcome=data["outcome"], detail=data.get("detail", ""))
+    if t == "RadiusResult":
+        bp = data.get("boundary_point")
+        bh = data.get("bound_hit")
+        return RadiusResult(
+            radius=_unnum(data["radius"]),
+            boundary_point=None if bp is None else np.asarray(
+                bp, dtype=np.float64),
+            bound_hit=None if bh is None else _unnum(bh),
+            method=data["method"],
+            original_value=_unnum(data["original_value"]),
+            per_bound={_unnum(k): _unnum(v)
+                       for k, v in data.get("per_bound", [])},
+            quality=Quality(data.get("quality", "exact")),
+            diagnostics=tuple(from_dict(a)
+                              for a in data.get("diagnostics", [])))
+    if t == "ExperimentResult":
+        return ExperimentResult(
+            experiment_id=data["experiment_id"],
+            title=data["title"],
+            headers=list(data["headers"]),
+            rows=[[_uncell(c) for c in row] for row in data["rows"]],
+            summary={k: _uncell(v) for k, v in data.get("summary",
+                                                        {}).items()})
     if t == "EtcMatrix":
         return EtcMatrix(np.asarray(data["values"]))
     if t == "Allocation":

@@ -14,18 +14,23 @@ Given a :class:`~repro.core.radius.RadiusProblem` and the
 
 from __future__ import annotations
 
+import logging
 import math
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
 from repro.core.fepia import RobustnessAnalysis
 from repro.core.radius import RadiusProblem, RadiusResult
-from repro.core.solvers.sampling import sampling_upper_bound
+from repro.core.solvers.sampling import SamplingReport, sampling_upper_bound
 from repro.exceptions import SpecificationError
+from repro.resilience.checkpoint import run_checkpointed
 from repro.utils.linalg import vector_norm
+from repro.utils.rng import spawn_rngs
 
 __all__ = ["RadiusValidation", "validate_radius", "validate_analysis"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -64,6 +69,83 @@ class RadiusValidation:
         return self.sound and self.tight
 
 
+def _report_to_payload(report: SamplingReport) -> dict:
+    """JSON-safe encoding of a :class:`SamplingReport` chunk."""
+    cv = report.closest_violation
+    return {
+        "n_samples": int(report.n_samples),
+        "n_violations": int(report.n_violations),
+        "min_violation_distance": (
+            None if math.isinf(report.min_violation_distance)
+            else float(report.min_violation_distance)),
+        "closest_violation": None if cv is None else [float(v) for v in cv],
+    }
+
+
+def _report_from_payload(payload: dict) -> SamplingReport:
+    """Inverse of :func:`_report_to_payload`."""
+    cv = payload["closest_violation"]
+    mvd = payload["min_violation_distance"]
+    return SamplingReport(
+        n_samples=int(payload["n_samples"]),
+        n_violations=int(payload["n_violations"]),
+        min_violation_distance=math.inf if mvd is None else float(mvd),
+        closest_violation=None if cv is None else np.asarray(
+            cv, dtype=np.float64))
+
+
+def _soundness_reports(
+    problem: RadiusProblem,
+    max_distance: float,
+    *,
+    n_samples: int,
+    chunk_size: int | None,
+    seed,
+    checkpoint_path,
+    resume: bool,
+    checkpoint_every: int,
+) -> list[SamplingReport]:
+    """Run the soundness sampling, optionally chunked and checkpointed.
+
+    With ``chunk_size=None`` this is a single :func:`sampling_upper_bound`
+    call, bit-identical to the historical behaviour.  With chunking, each
+    chunk draws from its own :func:`~repro.utils.rng.spawn_rngs` stream so
+    a killed-and-resumed run reproduces the uninterrupted one exactly.
+    """
+    if chunk_size is None:
+        return [sampling_upper_bound(
+            problem.mapping, problem.origin, problem.bounds,
+            max_distance=max_distance, n_samples=n_samples,
+            norm=problem.norm, lower=problem.lower, upper=problem.upper,
+            seed=seed)]
+    if chunk_size < 1:
+        raise SpecificationError(
+            f"chunk_size must be >= 1, got {chunk_size}")
+    sizes = [chunk_size] * (n_samples // chunk_size)
+    if n_samples % chunk_size:
+        sizes.append(n_samples % chunk_size)
+    rngs = spawn_rngs(seed, len(sizes))
+    items = []
+    for i, (size, rng) in enumerate(zip(sizes, rngs)):
+        def thunk(size=size, rng=rng):
+            return sampling_upper_bound(
+                problem.mapping, problem.origin, problem.bounds,
+                max_distance=max_distance, n_samples=size,
+                norm=problem.norm, lower=problem.lower,
+                upper=problem.upper, seed=rng)
+        items.append((f"chunk-{i:05d}", thunk))
+    meta = {"kind": "validate_radius", "seed": repr(seed),
+            "n_samples": int(n_samples), "chunk_size": int(chunk_size),
+            "max_distance": float(max_distance)}
+    logger.debug("soundness sampling in %d chunk(s) of <=%d samples",
+                 len(sizes), chunk_size)
+    reports = run_checkpointed(
+        items, path=checkpoint_path, meta=meta, every=checkpoint_every,
+        resume=resume, encode=_report_to_payload,
+        decode=_report_from_payload)
+    return list(reports.values())
+
+
 def validate_radius(
     problem: RadiusProblem,
     result: RadiusResult,
@@ -74,6 +156,10 @@ def validate_radius(
     value_rtol: float = 1e-6,
     distance_rtol: float = 1e-6,
     seed=None,
+    chunk_size: int | None = None,
+    checkpoint_path=None,
+    resume: bool = True,
+    checkpoint_every: int = 1,
 ) -> RadiusValidation:
     """Validate a radius claim by sampling and witness inspection.
 
@@ -92,9 +178,25 @@ def validate_radius(
         Tolerances for the witness checks.
     seed:
         RNG seed.
+    chunk_size:
+        When set, the soundness sampling runs in chunks of this many
+        samples, each with an independent spawned RNG stream — required
+        for checkpointing, and deterministic across kill/resume for a
+        fixed ``seed``.
+    checkpoint_path:
+        Optional checkpoint file for the chunked sampling; completed
+        chunks are persisted there and skipped on resume.  Defaults
+        ``chunk_size`` to ``n_samples`` when omitted.
+    resume:
+        Whether to load an existing checkpoint at ``checkpoint_path``
+        (``False`` discards it and starts over).
+    checkpoint_every:
+        Persist after this many freshly completed chunks.
     """
     if not 0 <= margin < 1:
         raise SpecificationError(f"margin must be in [0, 1), got {margin}")
+    if checkpoint_path is not None and chunk_size is None:
+        chunk_size = n_samples
     radius = result.radius
 
     # ---- soundness -----------------------------------------------------
@@ -104,24 +206,28 @@ def validate_radius(
         # finding any violation refutes the infinity claim outright.
         if math.isinf(radius):
             probe = 10.0 * max(1.0, float(np.linalg.norm(problem.origin)))
-            report = sampling_upper_bound(
-                problem.mapping, problem.origin, problem.bounds,
-                max_distance=probe, n_samples=n_samples, norm=problem.norm,
-                lower=problem.lower, upper=problem.upper, seed=seed)
-            sound = report.n_violations == 0
-            min_viol = report.min_violation_distance
-            n_used = report.n_samples
+            reports = _soundness_reports(
+                problem, probe, n_samples=n_samples, chunk_size=chunk_size,
+                seed=seed, checkpoint_path=checkpoint_path, resume=resume,
+                checkpoint_every=checkpoint_every)
         else:
-            sound, min_viol, n_used = True, math.inf, 0
+            reports = []
     else:
-        report = sampling_upper_bound(
-            problem.mapping, problem.origin, problem.bounds,
-            max_distance=radius * (1.0 - margin), n_samples=n_samples,
-            norm=problem.norm, lower=problem.lower, upper=problem.upper,
-            seed=seed)
-        sound = report.n_violations == 0
-        min_viol = report.min_violation_distance
-        n_used = report.n_samples
+        reports = _soundness_reports(
+            problem, radius * (1.0 - margin), n_samples=n_samples,
+            chunk_size=chunk_size, seed=seed,
+            checkpoint_path=checkpoint_path, resume=resume,
+            checkpoint_every=checkpoint_every)
+    if reports:
+        sound = all(r.n_violations == 0 for r in reports)
+        min_viol = min(r.min_violation_distance for r in reports)
+        n_used = sum(r.n_samples for r in reports)
+    else:
+        sound, min_viol, n_used = True, math.inf, 0
+    if not sound:
+        logger.warning(
+            "radius claim %.6g refuted by sampling: violation at "
+            "distance %.6g", radius, min_viol)
 
     # ---- tightness -----------------------------------------------------
     if result.boundary_point is None:
@@ -157,29 +263,62 @@ def validate_radius(
     )
 
 
+def _validation_to_payload(validation: RadiusValidation) -> dict:
+    """JSON-safe encoding of a :class:`RadiusValidation`."""
+    payload = asdict(validation)
+    if math.isinf(payload["min_violation_distance"]):
+        payload["min_violation_distance"] = None
+    return payload
+
+
+def _validation_from_payload(payload: dict) -> RadiusValidation:
+    """Inverse of :func:`_validation_to_payload`."""
+    data = dict(payload)
+    if data["min_violation_distance"] is None:
+        data["min_violation_distance"] = math.inf
+    return RadiusValidation(**data)
+
+
 def validate_analysis(
     analysis: RobustnessAnalysis,
     *,
     n_samples: int = 20000,
     seed=None,
+    checkpoint_path=None,
+    resume: bool = True,
+    checkpoint_every: int = 1,
 ) -> dict[str, RadiusValidation]:
     """Validate every feature's P-space radius of an analysis.
 
     Returns a dict from feature name to its :class:`RadiusValidation`.
+
+    With ``checkpoint_path`` set, each feature's finished validation is
+    persisted there and skipped when the run is resumed after a kill; the
+    stored metadata (seed, sample count) must match or resuming raises
+    :class:`~repro.exceptions.CheckpointError`.
     """
-    out: dict[str, RadiusValidation] = {}
-    for spec in analysis.features:
-        result = analysis.radius(spec)
-        try:
-            problem = analysis.pspace_problem(spec)
-        except SpecificationError:
-            # Feature insensitive to every parameter (empty P-space under
-            # sensitivity weighting): infinite radius, vacuously valid.
-            out[spec.name] = RadiusValidation(
-                sound=True, tight=True, n_samples=0,
-                min_violation_distance=math.inf,
-                witness_value_error=0.0, witness_distance_error=0.0)
-            continue
-        out[spec.name] = validate_radius(
-            problem, result, n_samples=n_samples, seed=seed)
-    return out
+    def make_thunk(spec):
+        def thunk():
+            logger.debug("validating feature %r", spec.name)
+            result = analysis.radius(spec)
+            try:
+                problem = analysis.pspace_problem(spec)
+            except SpecificationError:
+                # Feature insensitive to every parameter (empty P-space
+                # under sensitivity weighting): infinite radius,
+                # vacuously valid.
+                return RadiusValidation(
+                    sound=True, tight=True, n_samples=0,
+                    min_violation_distance=math.inf,
+                    witness_value_error=0.0, witness_distance_error=0.0)
+            return validate_radius(
+                problem, result, n_samples=n_samples, seed=seed)
+        return thunk
+
+    items = [(spec.name, make_thunk(spec)) for spec in analysis.features]
+    meta = {"kind": "validate_analysis", "seed": repr(seed),
+            "n_samples": int(n_samples)}
+    return run_checkpointed(
+        items, path=checkpoint_path, meta=meta, every=checkpoint_every,
+        resume=resume, encode=_validation_to_payload,
+        decode=_validation_from_payload)

@@ -1,0 +1,42 @@
+"""Fault tolerance for the radius pipeline.
+
+The paper quantifies how *systems* survive perturbations; this package
+makes the measurement pipeline itself survive them:
+
+* :mod:`repro.resilience.cascade` — a graceful-degradation
+  :class:`SolverCascade` (analytic → numeric → bisection → sampling) with
+  per-solver wall-clock timeouts, bounded jittered retries, answer
+  re-verification, and honest
+  :class:`~repro.core.diagnostics.Quality` tagging instead of exceptions;
+* :mod:`repro.resilience.faults` — deterministic :class:`FaultInjector`
+  for mappings and solver callables (NaN/Inf returns, raised exceptions,
+  artificial latency, fake non-convergence), used to *prove* every
+  degradation path;
+* :mod:`repro.resilience.checkpoint` — atomic JSON checkpoint/resume for
+  long chunked runs (Monte-Carlo validation, experiment sweeps);
+* :mod:`repro.resilience.timeouts` / :mod:`repro.resilience.retry` — the
+  wall-clock and backoff primitives the cascade is built from.
+
+See ``docs/RESILIENCE.md`` for the full design.
+"""
+
+from repro.core.diagnostics import Quality, SolverAttempt
+from repro.resilience.cascade import CascadeConfig, SolverCascade
+from repro.resilience.checkpoint import Checkpoint, run_checkpointed
+from repro.resilience.faults import FaultInjector, FaultSpec, InjectedFaultError
+from repro.resilience.retry import RetryPolicy
+from repro.resilience.timeouts import call_with_timeout
+
+__all__ = [
+    "Quality",
+    "SolverAttempt",
+    "CascadeConfig",
+    "SolverCascade",
+    "Checkpoint",
+    "run_checkpointed",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFaultError",
+    "RetryPolicy",
+    "call_with_timeout",
+]

@@ -1,0 +1,67 @@
+"""Bounded retries with jittered exponential backoff.
+
+Stochastic solvers (the multistart numeric projection, directional
+bisection, Monte-Carlo sampling) can fail transiently — an injected fault,
+an unlucky start set, a NumPy numerical quirk — and succeed on a re-roll
+with a fresh RNG stream.  :class:`RetryPolicy` captures how often to
+re-roll and how long to wait between attempts.
+
+The jitter is drawn from an explicit seeded generator so a retried sweep
+is still bit-for-bit reproducible; exponential growth with a cap keeps a
+persistent failure from stalling a sweep for more than
+``max_retries * backoff_cap`` seconds per solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import SpecificationError
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How to retry a failing solver invocation.
+
+    Attributes
+    ----------
+    max_retries:
+        Re-invocations allowed *after* the first attempt (0 disables
+        retrying entirely).
+    backoff_base:
+        Sleep before the first retry, in seconds; doubles per retry.
+    backoff_cap:
+        Upper limit on any single sleep.
+    jitter:
+        Fractional random spread added on top of the deterministic delay:
+        the sleep is ``delay * (1 + jitter * u)`` with ``u ~ U[0, 1)``.
+        Jitter decorrelates retry storms when many workers share a
+        failing resource.
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.02
+    backoff_cap: float = 1.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise SpecificationError(
+                f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise SpecificationError("backoff values must be non-negative")
+        if not 0 <= self.jitter:
+            raise SpecificationError(
+                f"jitter must be non-negative, got {self.jitter}")
+
+    def delay(self, retry_index: int, rng: np.random.Generator) -> float:
+        """Sleep before the ``retry_index``-th retry (0-based), in seconds."""
+        if retry_index < 0:
+            raise SpecificationError(
+                f"retry_index must be >= 0, got {retry_index}")
+        base = min(self.backoff_cap, self.backoff_base * (2.0 ** retry_index))
+        return float(base * (1.0 + self.jitter * rng.random()))

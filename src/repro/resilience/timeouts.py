@@ -1,0 +1,82 @@
+"""Wall-clock timeout enforcement for solver calls.
+
+The radius solvers are synchronous NumPy/SciPy code with no cooperative
+cancellation points, so a hung or pathologically slow solve (an injected
+latency fault, an adversarial mapping, a multistart that brackets forever)
+would stall an entire sweep.  :func:`call_with_timeout` runs the callable
+in a worker thread and abandons it when the budget expires, raising
+:class:`~repro.exceptions.SolverTimeoutError` so the cascade can degrade
+to the next solver.
+
+The abandoned thread is a daemon and cannot be killed — it finishes (or
+hangs) in the background without blocking interpreter exit.  This is the
+standard CPython trade-off for timing out uncancellable code; the cascade
+bounds how many such threads can pile up by refusing to retry timed-out
+solvers.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from typing import Any, Callable, TypeVar
+
+from repro.exceptions import SolverTimeoutError, SpecificationError
+
+__all__ = ["call_with_timeout"]
+
+logger = logging.getLogger(__name__)
+
+T = TypeVar("T")
+
+
+def call_with_timeout(fn: Callable[[], T], *, timeout: float | None,
+                      name: str = "solver") -> T:
+    """Run ``fn()`` with a wall-clock budget.
+
+    Parameters
+    ----------
+    fn:
+        Zero-argument callable to run.
+    timeout:
+        Budget in seconds; ``None`` or non-positive values disable the
+        timeout and call ``fn`` directly on the current thread.
+    name:
+        Label used in the timeout error message and logs.
+
+    Returns
+    -------
+    Whatever ``fn`` returns.
+
+    Raises
+    ------
+    SolverTimeoutError
+        If ``fn`` does not finish within ``timeout`` seconds.  The worker
+        thread keeps running as a daemon but its eventual result is
+        discarded.
+    """
+    if timeout is not None and timeout != timeout:  # NaN guard
+        raise SpecificationError("timeout must not be NaN")
+    if timeout is None or timeout <= 0:
+        return fn()
+
+    outcome: dict[str, Any] = {}
+
+    def _worker() -> None:
+        try:
+            outcome["value"] = fn()
+        except BaseException as exc:  # propagated to the caller below
+            outcome["error"] = exc
+
+    thread = threading.Thread(target=_worker, name=f"timeout-{name}",
+                              daemon=True)
+    thread.start()
+    thread.join(timeout)
+    if thread.is_alive():
+        logger.warning("%s exceeded its %.3g s wall-clock budget; "
+                       "abandoning the worker thread", name, timeout)
+        raise SolverTimeoutError(
+            f"{name} exceeded its wall-clock budget of {timeout:g} s")
+    if "error" in outcome:
+        raise outcome["error"]
+    return outcome["value"]

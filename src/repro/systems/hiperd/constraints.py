@@ -181,6 +181,7 @@ def build_analysis(
     respect_physical_bounds: bool = False,
     norm: float = 2,
     seed=None,
+    solver_timeout: float | None = None,
 ) -> RobustnessAnalysis:
     """The full FePIA robustness analysis of a HiPer-D allocation.
 
@@ -202,6 +203,10 @@ def build_analysis(
         Distance norm.
     seed:
         Solver seed.
+    solver_timeout:
+        Optional per-solver wall-clock budget in seconds; when set, radii
+        are computed through the fault-tolerant
+        :class:`~repro.resilience.SolverCascade`.
     """
     layout = FlatLayout(system, kinds)
     specs = build_feature_specs(system, layout, qos)
@@ -211,4 +216,4 @@ def build_analysis(
     return RobustnessAnalysis(
         specs, params, weighting=weighting,
         respect_physical_bounds=respect_physical_bounds,
-        norm=norm, seed=seed)
+        norm=norm, seed=seed, solver_timeout=solver_timeout)

@@ -106,7 +106,6 @@ def _worst_margin(system: HiPerDSystem, qos: QoSSpec) -> float:
     bounds, so degraded systems are judged by the original promises.
     """
     layout = FlatLayout(system, ("loads",))
-    origin = layout.flat_origin()
     worst = -float("inf")
     for spec in build_feature_specs(system, layout, qos):
         value = spec.mapping.value(origin)
@@ -129,7 +128,6 @@ def critical_links(system: HiPerDSystem, qos: QoSSpec, *,
     # Freeze the original bounds: build absolute limits from the healthy
     # system, then re-evaluate the degraded systems against them.
     layout = FlatLayout(system, ("loads",))
-    origin = layout.flat_origin()
     healthy_specs = build_feature_specs(system, layout, qos)
     limits = {s.name: s.feature.bounds.beta_max for s in healthy_specs}
 

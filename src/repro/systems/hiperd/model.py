@@ -22,7 +22,7 @@ Timing model (the functional forms the papers compute with):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 import networkx as nx

@@ -19,7 +19,6 @@ from dataclasses import dataclass
 from repro.exceptions import SpecificationError
 from repro.systems.hiperd.constraints import QoSSpec, build_analysis
 from repro.systems.hiperd.model import HiPerDSystem
-from repro.utils.rng import default_rng
 
 __all__ = ["placement_rho", "PlacementStep", "improve_placement"]
 

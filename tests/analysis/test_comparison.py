@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro.analysis.comparison import (
     compare_heuristics,

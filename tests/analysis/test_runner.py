@@ -41,3 +41,39 @@ class TestRunAll:
         assert set(results) == set(EXPERIMENT_REGISTRY)
         for eid, result in results.items():
             assert isinstance(result, ExperimentResult)
+
+    def test_unknown_subset_rejected(self):
+        with pytest.raises(SpecificationError, match="unknown experiment"):
+            run_all_experiments(seed=1, ids=["E2", "E999"])
+
+    def test_subset_runs_in_registry_order(self):
+        results = run_all_experiments(seed=1, ids=["E11", "E2"])
+        assert list(results) == ["E11", "E2"]
+
+    def test_checkpointed_sweep_resumes(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        first = run_all_experiments(seed=1, ids=["E2", "E11"],
+                                    checkpoint_path=path)
+
+        calls = []
+        orig = EXPERIMENT_REGISTRY["E2"]
+        try:
+            EXPERIMENT_REGISTRY["E2"] = \
+                lambda seed: calls.append(seed) or orig(seed)
+            resumed = run_all_experiments(seed=1, ids=["E2", "E11"],
+                                          checkpoint_path=path)
+        finally:
+            EXPERIMENT_REGISTRY["E2"] = orig
+        assert calls == []  # E2 came from the checkpoint, not a re-run
+        assert set(resumed) == {"E2", "E11"}
+        for eid in first:
+            assert [list(r) for r in resumed[eid].rows] == \
+                [list(r) for r in first[eid].rows]
+            assert resumed[eid].title == first[eid].title
+
+    def test_checkpoint_seed_mismatch_refuses(self, tmp_path):
+        from repro.exceptions import CheckpointError
+        path = tmp_path / "sweep.json"
+        run_all_experiments(seed=1, ids=["E11"], checkpoint_path=path)
+        with pytest.raises(CheckpointError):
+            run_all_experiments(seed=2, ids=["E11"], checkpoint_path=path)

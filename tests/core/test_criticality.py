@@ -8,7 +8,7 @@ from repro.core.features import PerformanceFeature, ToleranceBounds
 from repro.core.fepia import FeatureSpec, RobustnessAnalysis
 from repro.core.mappings import LinearMapping
 from repro.core.perturbation import PerturbationParameter
-from repro.core.weighting import IdentityWeighting, NormalizedWeighting
+from repro.core.weighting import IdentityWeighting
 
 
 def build(ks, bound, origs=None, weighting=None, names=None):

@@ -20,7 +20,7 @@ from repro.core.mappings import (
 from repro.core.perturbation import PerturbationParameter
 from repro.exceptions import SpecificationError
 from repro.io import dump_json, from_dict, load_json, to_dict
-from repro.systems.independent import Allocation, EtcMatrix
+from repro.systems.independent import Allocation
 
 
 def roundtrip(obj):

@@ -12,7 +12,7 @@ from repro.core.mappings import (
     QuadraticMapping,
     ReweightedMapping,
 )
-from repro.core.radius import RadiusProblem, RadiusResult, compute_radius
+from repro.core.radius import RadiusProblem, compute_radius
 from repro.exceptions import InfeasibleAllocationError, SpecificationError
 
 

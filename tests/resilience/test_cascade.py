@@ -1,0 +1,290 @@
+"""Tests for the graceful-degradation solver cascade.
+
+Every degradation path is forced deterministically with the fault
+injector; the acceptance test at the bottom runs the cascade under the
+fault cocktail from the issue (exception rate 0.3, NaN rate 0.2,
+per-solver timeout 0.5 s) and checks it never raises and never
+under-reports a radius.
+"""
+
+import math
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.features import ToleranceBounds
+from repro.core.mappings import CallableMapping, LinearMapping, QuadraticMapping
+from repro.core.radius import RadiusProblem, compute_radius
+from repro.exceptions import (
+    DegradedResultWarning,
+    InfeasibleAllocationError,
+    SpecificationError,
+)
+from repro.resilience import (
+    CascadeConfig,
+    FaultInjector,
+    FaultSpec,
+    Quality,
+    RetryPolicy,
+    SolverCascade,
+)
+
+FAST_RETRY = RetryPolicy(max_retries=2, backoff_base=0.0, backoff_cap=0.0,
+                         jitter=0.0)
+
+
+def linear_problem(**kwargs):
+    """f(x) = 3 x1 + 4 x2 from (1, 1), upper bound 12 -> radius 1.0."""
+    return RadiusProblem(LinearMapping([3.0, 4.0]), np.array([1.0, 1.0]),
+                         ToleranceBounds.upper(12.0), **kwargs)
+
+
+def hidden_linear_problem(**kwargs):
+    """Same geometry, but opaque to the structural probes."""
+    mapping = CallableMapping(
+        lambda x: 3.0 * x[0] + 4.0 * x[1], 2,
+        gradient_fn=lambda x: np.array([3.0, 4.0]), name="hidden")
+    return RadiusProblem(mapping, np.array([1.0, 1.0]),
+                         ToleranceBounds.upper(12.0), **kwargs)
+
+
+class TargetedInjector(FaultInjector):
+    """Injector that only faults the named solver stages."""
+
+    def __init__(self, targets, spec, *, seed=None):
+        super().__init__(spec, seed=seed)
+        self.targets = set(targets)
+
+    def wrap_callable(self, fn, name="solver"):
+        if name in self.targets:
+            return super().wrap_callable(fn, name)
+        return fn
+
+
+class TestCleanPaths:
+    def test_analytic_exact(self):
+        cascade = SolverCascade(seed=0)
+        result = cascade.compute(linear_problem())
+        assert result.quality is Quality.EXACT
+        assert not result.is_degraded
+        assert result.radius == pytest.approx(1.0)
+        assert result.method == "analytic"
+        assert result.radius == pytest.approx(
+            compute_radius(linear_problem()).radius)
+
+    def test_analytic_box_exact(self):
+        problem = linear_problem(lower=np.zeros(2),
+                                 upper=np.full(2, 10.0))
+        result = SolverCascade(seed=0).compute(problem)
+        assert result.quality is Quality.EXACT
+        assert result.method == "analytic-box"
+        assert result.radius == pytest.approx(
+            compute_radius(problem).radius)
+
+    def test_ellipsoid_exact(self):
+        mapping = QuadraticMapping(np.diag([1.0, 2.0]), np.zeros(2))
+        problem = RadiusProblem(mapping, np.array([0.5, 0.5]),
+                                ToleranceBounds.upper(4.0))
+        result = SolverCascade(seed=0).compute(problem)
+        assert result.quality is Quality.EXACT
+        assert result.method == "ellipsoid"
+        assert result.radius == pytest.approx(
+            compute_radius(problem).radius)
+
+    def test_numeric_converged(self):
+        result = SolverCascade(seed=0).compute(hidden_linear_problem())
+        assert result.quality is Quality.CONVERGED
+        assert result.method == "numeric"
+        assert result.radius == pytest.approx(1.0, rel=1e-4)
+
+    def test_bisection_upper_bound_in_l1(self):
+        # No numeric stage outside the Euclidean norm, so a structurally
+        # opaque mapping lands on directional bisection.
+        with pytest.warns(DegradedResultWarning):
+            result = SolverCascade(seed=0).compute(
+                hidden_linear_problem(norm=1))
+        assert result.quality is Quality.UPPER_BOUND
+        assert result.method == "bisection"
+        # l1 radius = gap / ||k||_inf = 5/4; the axis directions find it.
+        assert result.radius == pytest.approx(1.25, rel=1e-6)
+
+    def test_degenerate_on_bound(self):
+        problem = RadiusProblem(LinearMapping([1.0]), np.array([2.0]),
+                                ToleranceBounds(-math.inf, 2.0))
+        result = SolverCascade(seed=0).compute(problem)
+        assert result.radius == 0.0
+        assert result.quality is Quality.EXACT
+        assert result.method == "degenerate"
+
+    def test_proven_unreachable_is_exact_infinity(self):
+        problem = RadiusProblem(LinearMapping([0.0, 0.0], constant=1.0),
+                                np.array([1.0, 1.0]),
+                                ToleranceBounds.upper(5.0))
+        result = SolverCascade(seed=0).compute(problem)
+        assert math.isinf(result.radius)
+        assert result.quality is Quality.EXACT
+
+    def test_evidence_unreachable_is_converged_infinity(self):
+        mapping = CallableMapping(lambda x: 0.0, 1, name="flat")
+        problem = RadiusProblem(mapping, np.array([1.0]),
+                                ToleranceBounds.upper(5.0))
+        result = SolverCascade(seed=0).compute(problem)
+        assert math.isinf(result.radius)
+        assert result.quality is Quality.CONVERGED
+
+    def test_infeasible_origin_still_raises(self):
+        problem = RadiusProblem(LinearMapping([3.0, 4.0]),
+                                np.array([10.0, 10.0]),
+                                ToleranceBounds.upper(12.0))
+        with pytest.raises(InfeasibleAllocationError):
+            SolverCascade(seed=0).compute(problem)
+
+    def test_method_argument_accepted_for_compat(self):
+        result = SolverCascade(seed=0).compute(linear_problem(),
+                                               method="numeric")
+        assert result.radius == pytest.approx(1.0)
+
+    def test_rejects_non_problem(self):
+        with pytest.raises(SpecificationError):
+            SolverCascade(seed=0).compute("not a problem")
+
+    def test_diagnostics_trail_recorded(self):
+        result = SolverCascade(seed=0).compute(hidden_linear_problem())
+        assert result.diagnostics
+        assert {a.solver for a in result.diagnostics} >= {"numeric"}
+        assert all(a.elapsed >= 0 for a in result.diagnostics)
+
+
+class TestForcedDegradation:
+    def test_numeric_faults_degrade_to_bisection(self):
+        injector = TargetedInjector(
+            {"numeric"}, FaultSpec(exception_rate=1.0), seed=0)
+        cascade = SolverCascade(CascadeConfig(retry=FAST_RETRY,
+                                              warn_on_degraded=False),
+                                seed=0, fault_injector=injector)
+        result = cascade.compute(hidden_linear_problem())
+        assert result.quality is Quality.UPPER_BOUND
+        assert result.method == "bisection"
+        assert result.radius >= 1.0 - 1e-9
+        assert injector.counts["numeric:exception"] == 3  # 1 + 2 retries
+        outcomes = [a.outcome for a in result.diagnostics
+                    if a.solver == "numeric"]
+        assert outcomes == ["error"] * 3
+
+    def test_all_ladder_faults_degrade_to_sampling(self):
+        injector = TargetedInjector(
+            {"numeric", "bisection"}, FaultSpec(exception_rate=1.0), seed=0)
+        cascade = SolverCascade(CascadeConfig(retry=FAST_RETRY,
+                                              warn_on_degraded=False),
+                                seed=0, fault_injector=injector)
+        result = cascade.compute(hidden_linear_problem())
+        assert result.quality is Quality.UPPER_BOUND
+        assert result.method == "sampling"
+        assert result.radius >= 1.0 - 1e-9
+        assert math.isfinite(result.radius)
+
+    def test_total_failure_returns_failed_nan(self):
+        injector = TargetedInjector(
+            {"numeric", "bisection", "sampling"},
+            FaultSpec(exception_rate=1.0), seed=0)
+        cascade = SolverCascade(CascadeConfig(retry=FAST_RETRY,
+                                              warn_on_degraded=False),
+                                seed=0, fault_injector=injector)
+        result = cascade.compute(hidden_linear_problem())
+        assert result.quality is Quality.FAILED
+        assert math.isnan(result.radius)
+        assert not result.quality.is_usable
+
+    def test_unevaluable_origin_returns_failed(self):
+        injector = FaultInjector(FaultSpec(exception_rate=1.0), seed=0)
+        mapping = injector.wrap_mapping(LinearMapping([3.0, 4.0]))
+        problem = RadiusProblem(mapping, np.array([1.0, 1.0]),
+                                ToleranceBounds.upper(12.0))
+        cascade = SolverCascade(CascadeConfig(warn_on_degraded=False),
+                                seed=0)
+        result = cascade.compute(problem)
+        assert result.quality is Quality.FAILED
+        assert math.isnan(result.radius)
+
+    def test_timeout_degrades_without_retry(self):
+        injector = TargetedInjector(
+            {"numeric"}, FaultSpec(latency_rate=1.0, latency=5.0), seed=0)
+        cascade = SolverCascade(
+            CascadeConfig(solver_timeout=0.2, retry=FAST_RETRY,
+                          warn_on_degraded=False),
+            seed=0, fault_injector=injector)
+        result = cascade.compute(hidden_linear_problem())
+        assert result.quality is Quality.UPPER_BOUND
+        assert result.method == "bisection"
+        numeric = [a for a in result.diagnostics if a.solver == "numeric"]
+        assert [a.outcome for a in numeric] == ["timeout"]  # no retry
+
+    def test_degraded_result_warns(self):
+        injector = TargetedInjector(
+            {"numeric"}, FaultSpec(exception_rate=1.0), seed=0)
+        cascade = SolverCascade(CascadeConfig(retry=FAST_RETRY),
+                                seed=0, fault_injector=injector)
+        with pytest.warns(DegradedResultWarning):
+            cascade.compute(hidden_linear_problem())
+
+    def test_warning_suppressible(self):
+        injector = TargetedInjector(
+            {"numeric"}, FaultSpec(exception_rate=1.0), seed=0)
+        cascade = SolverCascade(
+            CascadeConfig(retry=FAST_RETRY, warn_on_degraded=False),
+            seed=0, fault_injector=injector)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            cascade.compute(hidden_linear_problem())
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_results(self):
+        def run():
+            injector = FaultInjector(
+                FaultSpec(exception_rate=0.3, nan_rate=0.2), seed=11)
+            cascade = SolverCascade(
+                CascadeConfig(retry=FAST_RETRY, warn_on_degraded=False),
+                seed=5, fault_injector=injector)
+            mapping = injector.wrap_mapping(LinearMapping([3.0, 4.0]))
+            problem = RadiusProblem(mapping, np.array([1.0, 1.0]),
+                                    ToleranceBounds.upper(12.0))
+            return cascade.compute(problem)
+
+        a, b = run(), run()
+        assert repr(a.radius) == repr(b.radius)
+        assert a.quality is b.quality
+        assert a.method == b.method
+        assert len(a.diagnostics) == len(b.diagnostics)
+
+
+class TestAcceptance:
+    """The issue's acceptance criterion: under exception rate 0.3, NaN
+    rate 0.2 and a 0.5 s per-solver timeout the cascade never raises and
+    reports honest qualities whose values never under-cut the fault-free
+    radius."""
+
+    @pytest.mark.parametrize("fault_seed", [1, 2, 3, 4, 5])
+    def test_never_raises_and_never_undercuts(self, fault_seed):
+        fault_free = SolverCascade(seed=0).compute(linear_problem()).radius
+        assert fault_free == pytest.approx(1.0)
+
+        injector = FaultInjector(
+            FaultSpec(exception_rate=0.3, nan_rate=0.2), seed=fault_seed)
+        cascade = SolverCascade(
+            CascadeConfig(solver_timeout=0.5, retry=FAST_RETRY,
+                          warn_on_degraded=False),
+            seed=fault_seed, fault_injector=injector)
+        mapping = injector.wrap_mapping(LinearMapping([3.0, 4.0]))
+        problem = RadiusProblem(mapping, np.array([1.0, 1.0]),
+                                ToleranceBounds.upper(12.0))
+
+        result = cascade.compute(problem)  # must not raise
+        assert result.quality in tuple(Quality)
+        if result.quality is Quality.FAILED:
+            assert math.isnan(result.radius)
+        else:
+            # every usable answer is a valid upper bound on the radius
+            assert result.radius >= fault_free - 1e-6
+        assert result.diagnostics

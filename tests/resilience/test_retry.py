@@ -1,0 +1,59 @@
+"""Tests for the jittered-backoff retry policy."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.resilience import RetryPolicy
+
+
+class TestRetryPolicyValidation:
+    def test_defaults_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_retries == 2
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(SpecificationError):
+            RetryPolicy(max_retries=-1)
+
+    def test_negative_backoff_rejected(self):
+        with pytest.raises(SpecificationError):
+            RetryPolicy(backoff_base=-0.1)
+        with pytest.raises(SpecificationError):
+            RetryPolicy(backoff_cap=-1.0)
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(SpecificationError):
+            RetryPolicy(jitter=-0.5)
+
+    def test_negative_retry_index_rejected(self):
+        with pytest.raises(SpecificationError):
+            RetryPolicy().delay(-1, np.random.default_rng(0))
+
+
+class TestDelay:
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_cap=10.0, jitter=0.0)
+        rng = np.random.default_rng(0)
+        assert policy.delay(0, rng) == pytest.approx(0.1)
+        assert policy.delay(1, rng) == pytest.approx(0.2)
+        assert policy.delay(2, rng) == pytest.approx(0.4)
+
+    def test_cap_limits_delay(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_cap=2.5, jitter=0.0)
+        rng = np.random.default_rng(0)
+        assert policy.delay(10, rng) == pytest.approx(2.5)
+
+    def test_jitter_bounded(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_cap=10.0, jitter=0.5)
+        rng = np.random.default_rng(7)
+        for i in range(5):
+            d = policy.delay(i, rng)
+            base = min(10.0, 0.1 * 2.0 ** i)
+            assert base <= d <= base * 1.5
+
+    def test_jitter_deterministic_under_seed(self):
+        policy = RetryPolicy(jitter=0.9)
+        a = [policy.delay(i, np.random.default_rng(3)) for i in range(4)]
+        b = [policy.delay(i, np.random.default_rng(3)) for i in range(4)]
+        assert a == b

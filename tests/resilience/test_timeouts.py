@@ -1,0 +1,54 @@
+"""Tests for wall-clock timeout enforcement."""
+
+import time
+
+import pytest
+
+from repro.exceptions import SolverTimeoutError, SpecificationError
+from repro.resilience import call_with_timeout
+
+
+class TestCallWithTimeout:
+    def test_returns_value(self):
+        assert call_with_timeout(lambda: 42, timeout=5.0) == 42
+
+    def test_none_timeout_runs_inline(self):
+        assert call_with_timeout(lambda: "x", timeout=None) == "x"
+
+    def test_nonpositive_timeout_disables(self):
+        assert call_with_timeout(lambda: 1, timeout=0) == 1
+        assert call_with_timeout(lambda: 1, timeout=-3.0) == 1
+
+    def test_nan_timeout_rejected(self):
+        with pytest.raises(SpecificationError):
+            call_with_timeout(lambda: 1, timeout=float("nan"))
+
+    def test_slow_call_times_out(self):
+        t0 = time.perf_counter()
+        with pytest.raises(SolverTimeoutError, match="wall-clock budget"):
+            call_with_timeout(lambda: time.sleep(5.0), timeout=0.1,
+                              name="sleepy")
+        # the caller is released promptly, not after the full sleep
+        assert time.perf_counter() - t0 < 2.0
+
+    def test_timeout_error_names_the_solver(self):
+        with pytest.raises(SolverTimeoutError, match="sleepy"):
+            call_with_timeout(lambda: time.sleep(5.0), timeout=0.05,
+                              name="sleepy")
+
+    def test_worker_exception_propagates(self):
+        def boom():
+            raise ValueError("inner failure")
+
+        with pytest.raises(ValueError, match="inner failure"):
+            call_with_timeout(boom, timeout=5.0)
+
+    def test_worker_exception_propagates_inline(self):
+        def boom():
+            raise KeyError("inline")
+
+        with pytest.raises(KeyError):
+            call_with_timeout(boom, timeout=None)
+
+    def test_fast_call_under_budget(self):
+        assert call_with_timeout(lambda: sum(range(10)), timeout=10.0) == 45

@@ -137,3 +137,69 @@ class TestSurvivalProbability:
         b = survival_probability(etc, alloc, tau=2.5, p_fail=0.3,
                                  n_samples=200, seed=5)
         assert a == b
+
+    def test_generator_seed_matches_int_seed(self, balanced):
+        # default_rng must accept an existing Generator and reproduce the
+        # stream an equal int seed would produce
+        etc, alloc = balanced
+        a = survival_probability(etc, alloc, tau=2.5, p_fail=0.3,
+                                 n_samples=200, seed=5)
+        b = survival_probability(etc, alloc, tau=2.5, p_fail=0.3,
+                                 n_samples=200,
+                                 seed=np.random.default_rng(5))
+        assert a == b
+
+    def test_bad_n_samples(self, balanced):
+        etc, alloc = balanced
+        with pytest.raises(SpecificationError):
+            survival_probability(etc, alloc, tau=2.0, p_fail=0.5,
+                                 n_samples=0)
+
+
+class TestEdgeCases:
+    def test_single_machine_system(self):
+        # with one machine there is no proper failure subset to search:
+        # the radius degenerates to 0 with no breaking set (losing the
+        # only machine is total loss, outside the adversarial search)
+        etc = EtcMatrix(np.ones((3, 1)))
+        alloc = Allocation(np.zeros(3, dtype=np.intp), 1)
+        assert makespan_after_failures(etc, alloc, ()) == 3.0
+        assert math.isinf(makespan_after_failures(etc, alloc, (0,)))
+        analysis = failure_radius(etc, alloc, tau=10.0)
+        assert analysis.radius == 0
+        assert analysis.breaking_set is None
+        assert analysis.worst_makespans == (3.0,)
+
+    def test_tau_exactly_at_worst_makespan_survives(self, balanced):
+        # the deadline semantics are "misses only when strictly past tau":
+        # tau equal to the worst k-failure makespan still counts as
+        # surviving k failures
+        etc, alloc = balanced
+        analysis = failure_radius(etc, alloc, tau=2.0)
+        assert analysis.worst_makespans[2] == 2.0
+        assert analysis.radius == 2
+
+    def test_duplicate_failure_indices_collapse(self, balanced):
+        etc, alloc = balanced
+        assert makespan_after_failures(etc, alloc, (0, 0, 0)) == \
+            makespan_after_failures(etc, alloc, (0,))
+
+    def test_negative_machine_index_rejected(self, balanced):
+        etc, alloc = balanced
+        with pytest.raises(SpecificationError):
+            makespan_after_failures(etc, alloc, (-1,))
+
+    def test_zero_radius_with_breaking_singleton(self):
+        # one giant task: losing its machine forces it onto the slow one
+        etc = EtcMatrix(np.array([[1.0, 100.0]]))
+        alloc = Allocation(np.array([0], dtype=np.intp), 2)
+        analysis = failure_radius(etc, alloc, tau=50.0)
+        assert analysis.radius == 0
+        assert analysis.breaking_set == (0,)
+
+    def test_survival_zero_samples_all_fail_probability_one(self, balanced):
+        # p_fail=1 with finite tau: every draw fails all machines
+        etc, alloc = balanced
+        p = survival_probability(etc, alloc, tau=2.5, p_fail=1.0,
+                                 n_samples=64, seed=0)
+        assert p == 0.0

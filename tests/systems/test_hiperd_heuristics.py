@@ -1,6 +1,5 @@
 """Tests for the HiPer-D placement heuristics."""
 
-import numpy as np
 import pytest
 
 from repro.systems.hiperd.heuristics import (

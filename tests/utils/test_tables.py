@@ -11,7 +11,7 @@ class TestFormatTable:
         lines = out.splitlines()
         assert len(lines) == 4  # header, sep, two rows
         # all lines equal width
-        assert len({len(l) for l in lines}) == 1
+        assert len({len(line) for line in lines}) == 1
 
     def test_title(self):
         out = format_table(["c"], [[1]], title="My Table")
