@@ -1,0 +1,36 @@
+"""Parallel execution engine — serial vs process-pool experiment sweep.
+
+Runs the registered experiment suite twice (serial, then fanned out over
+a :class:`~repro.parallel.executor.ParallelExecutor`), asserts the
+determinism contract (bit-identical serialized results), and writes the
+stable ``repro-bench-parallel-v1`` payload to
+``benchmarks/results/BENCH_parallel.json`` so speedups and cache hit
+rates can be tracked across commits.  CI runs the same harness at tiny
+scale through ``python -m repro bench-parallel``.
+"""
+
+import json
+import pathlib
+
+from repro.parallel.bench import (
+    run_parallel_benchmark,
+    validate_bench_payload,
+    write_benchmark,
+)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def test_parallel_benchmark(benchmark, show):
+    payload = benchmark.pedantic(
+        lambda: run_parallel_benchmark(
+            workers=2, ids=["E2", "E3", "E5", "E11", "E16"]),
+        rounds=1, iterations=1)
+    validate_bench_payload(payload)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    write_benchmark(payload, RESULTS_DIR / "BENCH_parallel.json")
+    show(json.dumps(payload, indent=2))
+    assert payload["identical"], "parallel results diverged from serial"
+    # waves of `workers` tasks; a trailing single-task wave runs in-process
+    assert payload["executor"]["dispatched"] == 4
+    assert payload["executor"]["fallbacks"] == 0

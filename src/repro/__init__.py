@@ -90,6 +90,13 @@ from repro.exceptions import (
     SpecificationError,
     UnitMismatchError,
 )
+from repro.parallel import (
+    ParallelExecutor,
+    RadiusCache,
+    Task,
+    install_default_cache,
+    uninstall_default_cache,
+)
 from repro.resilience import (
     CascadeConfig,
     FaultInjector,
@@ -139,6 +146,12 @@ __all__ = [
     "sensitivity_alphas_linear",
     "sensitivity_radius_linear",
     "normalized_radius_linear",
+    # parallel execution + caching
+    "ParallelExecutor",
+    "Task",
+    "RadiusCache",
+    "install_default_cache",
+    "uninstall_default_cache",
     # resilience
     "Quality",
     "SolverAttempt",

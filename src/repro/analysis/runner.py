@@ -14,6 +14,7 @@ from typing import Callable, Mapping, Sequence
 
 from repro.analysis.experiments import ExperimentResult
 from repro.exceptions import SpecificationError
+from repro.parallel.executor import Task, executor_scope
 from repro.resilience.checkpoint import run_checkpointed
 
 __all__ = ["EXPERIMENT_REGISTRY", "run_experiment", "run_all_experiments"]
@@ -133,6 +134,8 @@ def run_all_experiments(
     checkpoint_path=None,
     resume: bool = True,
     checkpoint_every: int = 1,
+    workers: int = 1,
+    executor=None,
 ) -> dict[str, ExperimentResult]:
     """Run every registered experiment; returns results keyed by id.
 
@@ -151,6 +154,15 @@ def run_all_experiments(
         Whether to load an existing checkpoint at ``checkpoint_path``.
     checkpoint_every:
         Persist after this many freshly completed experiments.
+    workers:
+        Run experiments concurrently over this many worker processes.
+        Every experiment seeds itself from the master ``seed``
+        independently, so the results are bit-identical to a serial run;
+        checkpoints written under either mode resume under the other.
+    executor:
+        Explicit :class:`~repro.parallel.executor.ParallelExecutor` to
+        use instead of creating one from ``workers`` (the caller keeps
+        ownership and must close it).
     """
     from repro.io.serialize import from_dict, to_dict
 
@@ -163,10 +175,11 @@ def run_all_experiments(
             raise SpecificationError(
                 f"unknown experiment ids {unknown}; registered: "
                 f"{sorted(EXPERIMENT_REGISTRY)}")
-    items = [(eid, lambda eid=eid: run_experiment(eid, seed=seed))
+    items = [(eid, Task(run_experiment, (eid,), {"seed": seed}))
              for eid in ids]
     meta = {"kind": "experiment-sweep", "seed": int(seed),
             "ids": list(ids)}
-    return run_checkpointed(
-        items, path=checkpoint_path, meta=meta, every=checkpoint_every,
-        resume=resume, encode=to_dict, decode=from_dict)
+    with executor_scope(executor, workers) as pool:
+        return run_checkpointed(
+            items, path=checkpoint_path, meta=meta, every=checkpoint_every,
+            resume=resume, encode=to_dict, decode=from_dict, executor=pool)

@@ -16,11 +16,16 @@ Commands
 ``tradeoff``
     Print the makespan-robustness Pareto study (E10).
 
-Every command accepts ``--seed`` for reproducibility and
+Every command accepts ``--seed`` for reproducibility,
 ``--solver-timeout`` to route radius computations through the
-fault-tolerant :class:`~repro.resilience.SolverCascade`; the
-``experiments`` command additionally supports ``--checkpoint``/
-``--resume`` for kill-safe sweeps.
+fault-tolerant :class:`~repro.resilience.SolverCascade`, ``--workers N``
+to fan independent work out over worker processes (results are
+bit-identical to a serial run — see ``docs/PERFORMANCE.md``), and
+``--no-cache`` to disable the process-wide radius cache installed by
+default.  The ``experiments`` command additionally supports
+``--checkpoint``/``--resume`` for kill-safe sweeps, and
+``bench-parallel`` times the sweep serially vs in parallel, writing a
+``repro-bench-parallel-v1`` JSON payload.
 """
 
 from __future__ import annotations
@@ -47,6 +52,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-solver wall-clock budget; radii are then "
                              "computed through the fault-tolerant solver "
                              "cascade with graceful degradation")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="worker processes for parallelisable work "
+                             "(default 1 = serial; results are "
+                             "bit-identical for any value)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the process-wide radius result cache")
     parser.add_argument("-v", "--verbose", action="count", default=0,
                         help="-v logs solver WARNINGs, -vv full DEBUG trail")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -97,6 +108,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="resume from an existing --checkpoint file "
                           "(without this flag a stale checkpoint is "
                           "discarded)")
+
+    ben = sub.add_parser("bench-parallel",
+                         help="time the experiment sweep serially vs in "
+                              "parallel and write a JSON benchmark payload")
+    ben.add_argument("--only", default=None,
+                     help="comma-separated experiment ids (default: all)")
+    ben.add_argument("--out", default="BENCH_parallel.json", metavar="PATH",
+                     help="benchmark payload destination "
+                          "(default BENCH_parallel.json)")
 
     top = sub.add_parser("topology",
                          help="path-slack and bottleneck analysis of a "
@@ -250,7 +270,7 @@ def _cmd_experiments(args) -> int:
         ids = None
     results = run_all_experiments(
         seed=args.seed, ids=ids, checkpoint_path=args.checkpoint,
-        resume=args.resume)
+        resume=args.resume, workers=args.workers)
     for result in results.values():
         if args.markdown:
             print(experiment_to_markdown(result))
@@ -258,6 +278,29 @@ def _cmd_experiments(args) -> int:
             print(result)
         print()
     return 0
+
+
+def _cmd_bench_parallel(args) -> int:
+    from repro.parallel.bench import run_parallel_benchmark, write_benchmark
+
+    if args.only:
+        ids = [e.strip().upper() for e in args.only.split(",") if e.strip()]
+    else:
+        ids = None
+    # --workers 1 (the global default) would make the parallel leg a
+    # no-op; benchmark with every core instead unless told otherwise.
+    workers = args.workers if args.workers > 1 else None
+    payload = run_parallel_benchmark(workers=workers, seed=args.seed,
+                                     ids=ids)
+    write_benchmark(payload, args.out)
+    print(f"serial   {payload['serial_seconds']:.3f}s")
+    print(f"parallel {payload['parallel_seconds']:.3f}s "
+          f"({payload['workers']} workers)")
+    print(f"speedup  {payload['speedup']:.2f}x")
+    print(f"identical results: {payload['identical']}")
+    print(f"cache: {payload['cache']}")
+    print(f"written to {args.out}")
+    return 0 if payload["identical"] else 1
 
 
 def _cmd_topology(args) -> int:
@@ -282,6 +325,7 @@ _COMMANDS = {
     "failures": _cmd_failures,
     "placement": _cmd_placement,
     "experiments": _cmd_experiments,
+    "bench-parallel": _cmd_bench_parallel,
     "topology": _cmd_topology,
 }
 
@@ -295,6 +339,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         logging.basicConfig(
             level=level,
             format="%(levelname)s %(name)s: %(message)s")
+    if not args.no_cache:
+        from repro.parallel.cache import install_default_cache
+        install_default_cache()
     return _COMMANDS[args.command](args)
 
 

@@ -33,8 +33,21 @@ from repro.core.pspace import ConcatenatedPerturbation
 from repro.core.radius import RadiusProblem, RadiusResult, compute_radius
 from repro.core.weighting import NormalizedWeighting, WeightingScheme
 from repro.exceptions import SpecificationError
+from repro.parallel.cache import resolve_cache
+from repro.parallel.executor import ParallelExecutor, Task
 
 __all__ = ["FeatureSpec", "RobustnessAnalysis"]
+
+
+def _solve_radius_task(problem: RadiusProblem, method: str,
+                       seed) -> RadiusResult:
+    """Picklable worker body for one independent radius solve.
+
+    Each worker process keeps its own default radius cache (if one is
+    installed there); the parent consults *its* cache before dispatching,
+    so caching never changes which answer comes back, only how fast.
+    """
+    return compute_radius(problem, method=method, seed=seed)
 
 
 @dataclass(frozen=True)
@@ -95,6 +108,20 @@ class RobustnessAnalysis:
         An explicit pre-configured
         :class:`~repro.resilience.cascade.SolverCascade` to route every
         radius computation through; overrides ``solver_timeout``.
+    workers:
+        When ``> 1``, independent radius solves (the per-parameter radii
+        behind sensitivity weighting and the per-feature P-space radii
+        behind :meth:`rho`) fan out over a process pool.  Results are
+        bit-identical to ``workers=1`` for any stateless ``seed``; a
+        stateful :class:`numpy.random.Generator` seed forces the serial
+        path to preserve its stream order.
+    executor:
+        An explicit :class:`~repro.parallel.executor.ParallelExecutor`
+        to reuse (overrides ``workers``); the caller owns its lifetime.
+    radius_cache:
+        A :class:`~repro.parallel.cache.RadiusCache` consulted before
+        every radius solve, ``None`` to defer to the installed default
+        cache, or ``False`` to disable caching for this analysis.
     """
 
     def __init__(
@@ -109,6 +136,9 @@ class RobustnessAnalysis:
         seed=None,
         solver_timeout: float | None = None,
         cascade=None,
+        workers: int = 1,
+        executor: ParallelExecutor | None = None,
+        radius_cache=None,
     ) -> None:
         self.features = list(features)
         self.params = list(params)
@@ -134,6 +164,10 @@ class RobustnessAnalysis:
             cascade = SolverCascade(
                 CascadeConfig(solver_timeout=solver_timeout), seed=seed)
         self.cascade = cascade
+        if executor is None and workers > 1:
+            executor = ParallelExecutor(workers)
+        self.executor = executor
+        self.radius_cache = radius_cache
 
         self._dim = sum(p.dimension for p in self.params)
         for spec in self.features:
@@ -154,9 +188,56 @@ class RobustnessAnalysis:
 
     def _solve(self, problem: RadiusProblem) -> RadiusResult:
         """Route a radius computation through the configured solver path."""
+        cache = resolve_cache(self.radius_cache)
+        key = None
+        if cache is not None:
+            key = cache.key(problem, method=self.method, seed=self.seed)
+            cached = cache.get(key)
+            if cached is not None:
+                return cached
         if self.cascade is not None:
-            return self.cascade.compute(problem, method=self.method)
-        return compute_radius(problem, method=self.method, seed=self.seed)
+            result = self.cascade.compute(problem, method=self.method)
+        else:
+            result = compute_radius(problem, method=self.method,
+                                    seed=self.seed, cache=False)
+        if cache is not None:
+            cache.put(key, result)
+        return result
+
+    def _can_fan_out(self) -> bool:
+        """Whether independent solves may run on the process pool.
+
+        The cascade path stays serial (its timeout threads and retry
+        state are not worth shipping across processes), and a stateful
+        Generator seed must consume its stream in serial order.
+        """
+        return (self.executor is not None
+                and self.executor.workers > 1
+                and self.cascade is None
+                and not isinstance(self.seed, np.random.Generator))
+
+    def _fan_out(self, problems: Sequence[RadiusProblem]
+                 ) -> list[RadiusResult]:
+        """Solve independent problems on the pool, caching the answers.
+
+        The cache is consulted in the parent (worker processes keep their
+        own caches), so sweeps revisiting operating points skip the
+        dispatch entirely.
+        """
+        cache = resolve_cache(self.radius_cache)
+        keys = [cache.key(p, method=self.method, seed=self.seed)
+                if cache is not None else None for p in problems]
+        results: list[RadiusResult | None] = [
+            cache.get(k) if cache is not None else None for k in keys]
+        pending = [i for i, r in enumerate(results) if r is None]
+        solved = self.executor.run([
+            Task(_solve_radius_task, (problems[i], self.method, self.seed))
+            for i in pending])
+        for i, result in zip(pending, solved):
+            results[i] = result
+            if cache is not None:
+                cache.put(keys[i], result)
+        return results
 
     # ------------------------------------------------------------------
     # flat-space helpers
@@ -217,24 +298,37 @@ class RobustnessAnalysis:
         p = self._get_param(param)
         key = (spec.name, p.name)
         if key not in self._per_param_cache:
-            sl = self._slices[p.name]
-            idx = np.arange(sl.start, sl.stop)
-            restricted = RestrictedMapping(spec.mapping, idx, self.pi_orig)
-            lo, hi = self._flat_bounds()
-            problem = RadiusProblem(
-                mapping=restricted,
-                origin=p.original,
-                bounds=spec.feature.bounds,
-                lower=None if lo is None else lo[sl],
-                upper=None if hi is None else hi[sl],
-                norm=self.norm,
-            )
-            self._per_param_cache[key] = self._solve(problem)
+            self._per_param_cache[key] = self._solve(
+                self._single_parameter_problem(spec, p))
         return self._per_param_cache[key]
+
+    def _single_parameter_problem(
+        self, spec: FeatureSpec, p: PerturbationParameter
+    ) -> RadiusProblem:
+        """The Eq. 1 problem: one parameter free, the others frozen."""
+        sl = self._slices[p.name]
+        idx = np.arange(sl.start, sl.stop)
+        restricted = RestrictedMapping(spec.mapping, idx, self.pi_orig)
+        lo, hi = self._flat_bounds()
+        return RadiusProblem(
+            mapping=restricted,
+            origin=p.original,
+            bounds=spec.feature.bounds,
+            lower=None if lo is None else lo[sl],
+            upper=None if hi is None else hi[sl],
+            norm=self.norm,
+        )
 
     def per_parameter_radii(self, feature: "FeatureSpec | str") -> dict[str, float]:
         """All single-parameter radii of a feature, keyed by parameter name."""
         spec = self._get_spec(feature)
+        pending = [p for p in self.params
+                   if (spec.name, p.name) not in self._per_param_cache]
+        if len(pending) > 1 and self._can_fan_out():
+            problems = [self._single_parameter_problem(spec, p)
+                        for p in pending]
+            for p, result in zip(pending, self._fan_out(problems)):
+                self._per_param_cache[(spec.name, p.name)] = result
         return {p.name: self.single_parameter_radius(spec, p).radius
                 for p in self.params}
 
@@ -298,6 +392,32 @@ class RobustnessAnalysis:
             self._radius_cache[spec.name] = self._compute_pspace_radius(spec)
         return self._radius_cache[spec.name]
 
+    def radii(self) -> dict[str, RadiusResult]:
+        """Every feature's P-space radius, keyed by feature name.
+
+        With a parallel executor configured, the independent per-feature
+        solves fan out over the process pool (after the per-parameter
+        radii any radius-dependent weighting needs are in place); the
+        results are identical to calling :meth:`radius` feature by
+        feature.
+        """
+        pending = [s for s in self.features
+                   if s.name not in self._radius_cache]
+        if len(pending) > 1 and self._can_fan_out():
+            solvable: list[FeatureSpec] = []
+            problems: list[RadiusProblem] = []
+            for spec in pending:
+                if self.weighting.requires_radii \
+                        and not self._effective_params(spec)[0]:
+                    self._radius_cache[spec.name] = \
+                        self._insensitive_result(spec)
+                    continue
+                solvable.append(spec)
+                problems.append(self.pspace_problem(spec))
+            for spec, result in zip(solvable, self._fan_out(problems)):
+                self._radius_cache[spec.name] = result
+        return {spec.name: self.radius(spec) for spec in self.features}
+
     def pspace_problem(self, feature: "FeatureSpec | str") -> RadiusProblem:
         """The exact P-space :class:`RadiusProblem` behind :meth:`radius`.
 
@@ -345,25 +465,30 @@ class RobustnessAnalysis:
             norm=self.norm,
         )
 
+    def _insensitive_result(self, spec: FeatureSpec) -> RadiusResult:
+        """The degenerate infinite radius of an all-insensitive feature."""
+        return RadiusResult(
+            radius=math.inf, boundary_point=None, bound_hit=None,
+            method="degenerate",
+            original_value=spec.mapping.value(self.pi_orig),
+            per_bound={})
+
     def _compute_pspace_radius(self, spec: FeatureSpec) -> RadiusResult:
         if self.weighting.requires_radii:
             params, _ = self._effective_params(spec)
             if not params:
                 # Insensitive to everything: no perturbation of any kind
                 # can violate the feature.
-                return RadiusResult(
-                    radius=math.inf, boundary_point=None, bound_hit=None,
-                    method="degenerate",
-                    original_value=spec.mapping.value(self.pi_orig),
-                    per_bound={})
+                return self._insensitive_result(spec)
         return self._solve(self.pspace_problem(spec))
 
     def rho(self) -> float:
         """The robustness metric ``rho_mu(Phi, P) = min_i r_mu(phi_i, P)``."""
-        return min(self.radius(spec).radius for spec in self.features)
+        return min(result.radius for result in self.radii().values())
 
     def critical_feature(self) -> FeatureSpec:
         """The feature whose radius attains the minimum (ties: first)."""
+        self.radii()
         best = None
         best_r = math.inf
         for spec in self.features:

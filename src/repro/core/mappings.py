@@ -94,6 +94,18 @@ class FeatureMapping(abc.ABC):
         """Analytic gradient ``df/dx`` at ``x``, or ``None`` if unavailable."""
         return None
 
+    def structure_key(self) -> tuple | None:
+        """A stable fingerprint of the mapping's exact structure, or ``None``.
+
+        Two mappings with equal structure keys compute the same function,
+        so a radius solved for one is valid for the other — this is what
+        :class:`~repro.parallel.cache.RadiusCache` keys on.  Mappings that
+        cannot guarantee this (arbitrary callables) return ``None`` and
+        are never cached.  Composite mappings are fingerprintable only
+        when every component is.
+        """
+        return None
+
     def __call__(self, x: np.ndarray) -> float:
         return self.value(x)
 
@@ -142,6 +154,9 @@ class LinearMapping(FeatureMapping):
         """
         return self.coefficients.copy(), float(bound) - self.constant
 
+    def structure_key(self) -> tuple:
+        return ("linear", self.coefficients.tobytes(), self.constant)
+
     def __repr__(self) -> str:
         return (f"LinearMapping(n={self.n_inputs}, "
                 f"constant={self.constant:g})")
@@ -186,6 +201,10 @@ class QuadraticMapping(FeatureMapping):
     def gradient(self, x: np.ndarray) -> np.ndarray:
         x = self._check_input(x)
         return 2.0 * (self.quadratic @ x) + self.linear
+
+    def structure_key(self) -> tuple:
+        return ("quadratic", self.quadratic.tobytes(), self.linear.tobytes(),
+                self.constant)
 
     def __repr__(self) -> str:
         return f"QuadraticMapping(n={self.n_inputs}, constant={self.constant:g})"
@@ -236,6 +255,9 @@ class ProductMapping(FeatureMapping):
         self._check_positive(x)
         f = self.value(x)
         return f * self.powers / x
+
+    def structure_key(self) -> tuple:
+        return ("product", self.powers.tobytes(), self.coefficient)
 
     def __repr__(self) -> str:
         return f"ProductMapping(n={self.n_inputs}, coefficient={self.coefficient:g})"
@@ -335,6 +357,12 @@ class MaxMapping(FeatureMapping):
         comp = self.components[self.argmax_component(x)]
         return comp.gradient(x)
 
+    def structure_key(self) -> tuple | None:
+        keys = [comp.structure_key() for comp in self.components]
+        if any(k is None for k in keys):
+            return None
+        return ("max", tuple(keys))
+
     def __repr__(self) -> str:
         return f"MaxMapping({len(self.components)} components, n={self.n_inputs})"
 
@@ -371,6 +399,12 @@ class SumMapping(FeatureMapping):
         if any(g is None for g in grads):
             return None
         return np.sum(grads, axis=0)
+
+    def structure_key(self) -> tuple | None:
+        keys = [comp.structure_key() for comp in self.components]
+        if any(k is None for k in keys):
+            return None
+        return ("sum", tuple(keys))
 
     def __repr__(self) -> str:
         return f"SumMapping({len(self.components)} components, n={self.n_inputs})"
@@ -436,6 +470,13 @@ class RestrictedMapping(FeatureMapping):
             return None
         return g[self.free_indices]
 
+    def structure_key(self) -> tuple | None:
+        base_key = self.base.structure_key()
+        if base_key is None:
+            return None
+        return ("restricted", base_key, self.free_indices.tobytes(),
+                self.reference.tobytes())
+
     def __repr__(self) -> str:
         return (f"RestrictedMapping(base={self.base!r}, "
                 f"n_free={self.n_inputs})")
@@ -480,6 +521,12 @@ class ReweightedMapping(FeatureMapping):
         if g is None:
             return None
         return g / self.alphas
+
+    def structure_key(self) -> tuple | None:
+        base_key = self.base.structure_key()
+        if base_key is None:
+            return None
+        return ("reweighted", base_key, self.alphas.tobytes())
 
     def __repr__(self) -> str:
         return f"ReweightedMapping(base={self.base!r})"

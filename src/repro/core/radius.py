@@ -42,6 +42,8 @@ from repro.exceptions import (
     InfeasibleAllocationError,
     SpecificationError,
 )
+from repro.parallel.cache import resolve_cache
+from repro.parallel.executor import Task
 from repro.utils.validation import as_1d_float_array, check_finite
 
 __all__ = ["RadiusProblem", "RadiusResult", "compute_radius"]
@@ -266,8 +268,17 @@ def _solve_one_bound(problem: RadiusProblem, bound: float, method: Method,
     )
 
 
+def _solve_bound_task(problem: RadiusProblem, bound: float, method: Method,
+                      seed) -> tuple[BoundaryCrossing | None, str,
+                                     list[SolverAttempt]]:
+    """One bound's solve as a self-contained, picklable unit of work."""
+    trail: list[SolverAttempt] = []
+    crossing, used = _solve_one_bound(problem, bound, method, seed, trail)
+    return crossing, used, trail
+
+
 def compute_radius(problem: RadiusProblem, *, method: Method = "auto",
-                   seed=None) -> RadiusResult:
+                   seed=None, cache=None, executor=None) -> RadiusResult:
     """Compute the robustness radius for ``problem``.
 
     Parameters
@@ -280,6 +291,16 @@ def compute_radius(problem: RadiusProblem, *, method: Method = "auto",
         ``"bisection"`` force a specific solver.
     seed:
         Seed for the stochastic components (multistart, random directions).
+    cache:
+        A :class:`~repro.parallel.cache.RadiusCache` to consult before
+        solving (and populate after), ``None`` to defer to the installed
+        process-wide default cache, or ``False`` to disable caching for
+        this call.  Cached answers are bit-identical to fresh solves.
+    executor:
+        Optional :class:`~repro.parallel.executor.ParallelExecutor`; when
+        the interval has two finite bounds and the seed is stateless, the
+        per-bound solves fan out in parallel.  Results (including the
+        diagnostics trail order) are identical to the serial path.
 
     Returns
     -------
@@ -291,6 +312,13 @@ def compute_radius(problem: RadiusProblem, *, method: Method = "auto",
         If the feature already violates its tolerance interval at the
         original point — there is no robust region to measure.
     """
+    cache = resolve_cache(cache)
+    cache_key = None
+    if cache is not None:
+        cache_key = cache.key(problem, method=method, seed=seed)
+        cached = cache.get(cache_key)
+        if cached is not None:
+            return cached
     value0 = problem.original_value
     if not problem.bounds.contains(value0):
         raise InfeasibleAllocationError(
@@ -311,8 +339,22 @@ def compute_radius(problem: RadiusProblem, *, method: Method = "auto",
     per_bound: dict[float, float] = {}
     trail: list[SolverAttempt] = []
     methods_used: list[str] = []
-    for b in finite_bounds:
-        crossing, used = _solve_one_bound(problem, b, method, seed, trail)
+    fanned_out = None
+    if executor is not None and getattr(executor, "workers", 1) > 1 \
+            and len(finite_bounds) > 1 \
+            and not isinstance(seed, np.random.Generator):
+        # Independent per-bound solves: each worker re-derives its solver
+        # randomness from the same stateless seed, so the merged answer
+        # (including trail order, merged in bound order) matches serial.
+        fanned_out = executor.run([
+            Task(_solve_bound_task, (problem, b, method, seed))
+            for b in finite_bounds])
+    for i, b in enumerate(finite_bounds):
+        if fanned_out is not None:
+            crossing, used, sub_trail = fanned_out[i]
+            trail.extend(sub_trail)
+        else:
+            crossing, used = _solve_one_bound(problem, b, method, seed, trail)
         methods_used.append(used)
         per_bound[b] = crossing.distance if crossing is not None else math.inf
         if crossing is not None and (best is None or crossing.distance < best.distance):
@@ -323,13 +365,17 @@ def compute_radius(problem: RadiusProblem, *, method: Method = "auto",
     qualities = [quality_of_method(m) for m in methods_used]
     quality = max(qualities, key=list(Quality).index, default=Quality.EXACT)
     if best is None:
-        return RadiusResult(
+        result = RadiusResult(
             radius=math.inf, boundary_point=None, bound_hit=None,
             method=best_method if best_method != "none" else method,
             original_value=value0, per_bound=per_bound,
             quality=quality, diagnostics=tuple(trail))
-    return RadiusResult(
-        radius=best.distance, boundary_point=best.point,
-        bound_hit=best.bound, method=best_method,
-        original_value=value0, per_bound=per_bound,
-        quality=quality, diagnostics=tuple(trail))
+    else:
+        result = RadiusResult(
+            radius=best.distance, boundary_point=best.point,
+            bound_hit=best.bound, method=best_method,
+            original_value=value0, per_bound=per_bound,
+            quality=quality, diagnostics=tuple(trail))
+    if cache is not None:
+        cache.put(cache_key, result)
+    return result

@@ -24,6 +24,7 @@ from repro.core.fepia import RobustnessAnalysis
 from repro.core.radius import RadiusProblem, RadiusResult
 from repro.core.solvers.sampling import SamplingReport, sampling_upper_bound
 from repro.exceptions import SpecificationError
+from repro.parallel.executor import Task, executor_scope
 from repro.resilience.checkpoint import run_checkpointed
 from repro.utils.linalg import vector_norm
 from repro.utils.rng import spawn_rngs
@@ -94,6 +95,16 @@ def _report_from_payload(payload: dict) -> SamplingReport:
             cv, dtype=np.float64))
 
 
+def _sampling_chunk(problem: RadiusProblem, max_distance: float,
+                    size: int, rng) -> SamplingReport:
+    """One soundness-sampling chunk (picklable for the process pool)."""
+    return sampling_upper_bound(
+        problem.mapping, problem.origin, problem.bounds,
+        max_distance=max_distance, n_samples=size,
+        norm=problem.norm, lower=problem.lower, upper=problem.upper,
+        seed=rng)
+
+
 def _soundness_reports(
     problem: RadiusProblem,
     max_distance: float,
@@ -104,20 +115,19 @@ def _soundness_reports(
     checkpoint_path,
     resume: bool,
     checkpoint_every: int,
+    executor=None,
 ) -> list[SamplingReport]:
     """Run the soundness sampling, optionally chunked and checkpointed.
 
     With ``chunk_size=None`` this is a single :func:`sampling_upper_bound`
     call, bit-identical to the historical behaviour.  With chunking, each
     chunk draws from its own :func:`~repro.utils.rng.spawn_rngs` stream so
-    a killed-and-resumed run reproduces the uninterrupted one exactly.
+    a killed-and-resumed run reproduces the uninterrupted one exactly —
+    and, because the streams are independent, the chunks may execute on a
+    process pool in any order without changing a single sample.
     """
     if chunk_size is None:
-        return [sampling_upper_bound(
-            problem.mapping, problem.origin, problem.bounds,
-            max_distance=max_distance, n_samples=n_samples,
-            norm=problem.norm, lower=problem.lower, upper=problem.upper,
-            seed=seed)]
+        return [_sampling_chunk(problem, max_distance, n_samples, seed)]
     if chunk_size < 1:
         raise SpecificationError(
             f"chunk_size must be >= 1, got {chunk_size}")
@@ -125,15 +135,11 @@ def _soundness_reports(
     if n_samples % chunk_size:
         sizes.append(n_samples % chunk_size)
     rngs = spawn_rngs(seed, len(sizes))
-    items = []
-    for i, (size, rng) in enumerate(zip(sizes, rngs)):
-        def thunk(size=size, rng=rng):
-            return sampling_upper_bound(
-                problem.mapping, problem.origin, problem.bounds,
-                max_distance=max_distance, n_samples=size,
-                norm=problem.norm, lower=problem.lower,
-                upper=problem.upper, seed=rng)
-        items.append((f"chunk-{i:05d}", thunk))
+    items = [
+        (f"chunk-{i:05d}",
+         Task(_sampling_chunk, (problem, max_distance, size, rng)))
+        for i, (size, rng) in enumerate(zip(sizes, rngs))
+    ]
     meta = {"kind": "validate_radius", "seed": repr(seed),
             "n_samples": int(n_samples), "chunk_size": int(chunk_size),
             "max_distance": float(max_distance)}
@@ -142,7 +148,7 @@ def _soundness_reports(
     reports = run_checkpointed(
         items, path=checkpoint_path, meta=meta, every=checkpoint_every,
         resume=resume, encode=_report_to_payload,
-        decode=_report_from_payload)
+        decode=_report_from_payload, executor=executor)
     return list(reports.values())
 
 
@@ -160,6 +166,8 @@ def validate_radius(
     checkpoint_path=None,
     resume: bool = True,
     checkpoint_every: int = 1,
+    workers: int = 1,
+    executor=None,
 ) -> RadiusValidation:
     """Validate a radius claim by sampling and witness inspection.
 
@@ -192,6 +200,15 @@ def validate_radius(
         (``False`` discards it and starts over).
     checkpoint_every:
         Persist after this many freshly completed chunks.
+    workers:
+        When ``> 1`` (and the sampling is chunked), chunks run on a
+        process pool.  Each chunk's samples come from its own spawned
+        stream, so the validation is bit-identical for any worker count
+        at a fixed ``chunk_size`` — the chunk structure, not the
+        scheduling, defines the randomness.
+    executor:
+        An explicit :class:`~repro.parallel.executor.ParallelExecutor`
+        to reuse (overrides ``workers``).
     """
     if not 0 <= margin < 1:
         raise SpecificationError(f"margin must be in [0, 1), got {margin}")
@@ -200,24 +217,27 @@ def validate_radius(
     radius = result.radius
 
     # ---- soundness -----------------------------------------------------
-    if radius == 0.0 or not math.isfinite(radius):
-        # Zero radius: the open ball is empty, trivially sound.  Infinite
-        # radius: sample a wide ball around the origin scale instead —
-        # finding any violation refutes the infinity claim outright.
-        if math.isinf(radius):
-            probe = 10.0 * max(1.0, float(np.linalg.norm(problem.origin)))
-            reports = _soundness_reports(
-                problem, probe, n_samples=n_samples, chunk_size=chunk_size,
-                seed=seed, checkpoint_path=checkpoint_path, resume=resume,
-                checkpoint_every=checkpoint_every)
+    with executor_scope(executor, workers) as pool:
+        if radius == 0.0 or not math.isfinite(radius):
+            # Zero radius: the open ball is empty, trivially sound.
+            # Infinite radius: sample a wide ball around the origin scale
+            # instead — finding any violation refutes the infinity claim
+            # outright.
+            if math.isinf(radius):
+                probe = 10.0 * max(1.0, float(np.linalg.norm(problem.origin)))
+                reports = _soundness_reports(
+                    problem, probe, n_samples=n_samples,
+                    chunk_size=chunk_size, seed=seed,
+                    checkpoint_path=checkpoint_path, resume=resume,
+                    checkpoint_every=checkpoint_every, executor=pool)
+            else:
+                reports = []
         else:
-            reports = []
-    else:
-        reports = _soundness_reports(
-            problem, radius * (1.0 - margin), n_samples=n_samples,
-            chunk_size=chunk_size, seed=seed,
-            checkpoint_path=checkpoint_path, resume=resume,
-            checkpoint_every=checkpoint_every)
+            reports = _soundness_reports(
+                problem, radius * (1.0 - margin), n_samples=n_samples,
+                chunk_size=chunk_size, seed=seed,
+                checkpoint_path=checkpoint_path, resume=resume,
+                checkpoint_every=checkpoint_every, executor=pool)
     if reports:
         sound = all(r.n_violations == 0 for r in reports)
         min_viol = min(r.min_violation_distance for r in reports)
@@ -279,6 +299,23 @@ def _validation_from_payload(payload: dict) -> RadiusValidation:
     return RadiusValidation(**data)
 
 
+def _validate_feature(analysis: RobustnessAnalysis, feature_name: str,
+                      n_samples: int, seed) -> RadiusValidation:
+    """Validate one feature of an analysis (picklable unit of work)."""
+    logger.debug("validating feature %r", feature_name)
+    result = analysis.radius(feature_name)
+    try:
+        problem = analysis.pspace_problem(feature_name)
+    except SpecificationError:
+        # Feature insensitive to every parameter (empty P-space under
+        # sensitivity weighting): infinite radius, vacuously valid.
+        return RadiusValidation(
+            sound=True, tight=True, n_samples=0,
+            min_violation_distance=math.inf,
+            witness_value_error=0.0, witness_distance_error=0.0)
+    return validate_radius(problem, result, n_samples=n_samples, seed=seed)
+
+
 def validate_analysis(
     analysis: RobustnessAnalysis,
     *,
@@ -287,6 +324,8 @@ def validate_analysis(
     checkpoint_path=None,
     resume: bool = True,
     checkpoint_every: int = 1,
+    workers: int = 1,
+    executor=None,
 ) -> dict[str, RadiusValidation]:
     """Validate every feature's P-space radius of an analysis.
 
@@ -296,29 +335,23 @@ def validate_analysis(
     persisted there and skipped when the run is resumed after a kill; the
     stored metadata (seed, sample count) must match or resuming raises
     :class:`~repro.exceptions.CheckpointError`.
-    """
-    def make_thunk(spec):
-        def thunk():
-            logger.debug("validating feature %r", spec.name)
-            result = analysis.radius(spec)
-            try:
-                problem = analysis.pspace_problem(spec)
-            except SpecificationError:
-                # Feature insensitive to every parameter (empty P-space
-                # under sensitivity weighting): infinite radius,
-                # vacuously valid.
-                return RadiusValidation(
-                    sound=True, tight=True, n_samples=0,
-                    min_violation_distance=math.inf,
-                    witness_value_error=0.0, witness_distance_error=0.0)
-            return validate_radius(
-                problem, result, n_samples=n_samples, seed=seed)
-        return thunk
 
-    items = [(spec.name, make_thunk(spec)) for spec in analysis.features]
+    With ``workers > 1`` (or an explicit ``executor``), the per-feature
+    validations fan out over a process pool; because every feature's
+    sampling derives its randomness from the same stateless ``seed``
+    independently, the outcome is bit-identical for any worker count.
+    Analyses whose mappings cannot be pickled fall back to serial
+    execution transparently.
+    """
+    items = [
+        (spec.name,
+         Task(_validate_feature, (analysis, spec.name, n_samples, seed)))
+        for spec in analysis.features
+    ]
     meta = {"kind": "validate_analysis", "seed": repr(seed),
             "n_samples": int(n_samples)}
-    return run_checkpointed(
-        items, path=checkpoint_path, meta=meta, every=checkpoint_every,
-        resume=resume, encode=_validation_to_payload,
-        decode=_validation_from_payload)
+    with executor_scope(executor, workers) as pool:
+        return run_checkpointed(
+            items, path=checkpoint_path, meta=meta, every=checkpoint_every,
+            resume=resume, encode=_validation_to_payload,
+            decode=_validation_from_payload, executor=pool)

@@ -1,0 +1,51 @@
+"""Parallel execution engine and radius caching.
+
+The ROADMAP north-star is a system that runs as fast as the hardware
+allows; this package supplies the two mechanisms the rest of the library
+uses to get there without ever changing a numerical answer:
+
+* :mod:`repro.parallel.executor` — :class:`ParallelExecutor`, an
+  order-preserving process-pool fan-out with a deterministic serial
+  fallback (``workers=1``, non-picklable work, broken pools), plus the
+  picklable :class:`Task` unit of work.  Used by the experiment runner,
+  the chunked Monte-Carlo validator, and the per-parameter /
+  per-bound radius solves.
+* :mod:`repro.parallel.cache` — :class:`RadiusCache`, memoisation of
+  radius solves keyed by a stable fingerprint of the problem (mapping
+  structure, origin, bounds, norm, box constraints, method, seed), with
+  hit/miss/skip counters surfaced in diagnostics and the benchmark
+  payload.
+* :mod:`repro.parallel.bench` — the serial-vs-parallel benchmark harness
+  behind ``BENCH_parallel.json`` (imported lazily; it pulls in the whole
+  experiment suite).
+
+The determinism contract — results bit-identical for any worker count —
+is documented in ``docs/PERFORMANCE.md`` and enforced by
+``tests/parallel/test_worker_invariance.py``.
+"""
+
+from repro.parallel.cache import (
+    RadiusCache,
+    get_default_cache,
+    install_default_cache,
+    resolve_cache,
+    uninstall_default_cache,
+)
+from repro.parallel.executor import (
+    ParallelExecutor,
+    Task,
+    default_workers,
+    executor_scope,
+)
+
+__all__ = [
+    "ParallelExecutor",
+    "Task",
+    "default_workers",
+    "executor_scope",
+    "RadiusCache",
+    "install_default_cache",
+    "uninstall_default_cache",
+    "get_default_cache",
+    "resolve_cache",
+]

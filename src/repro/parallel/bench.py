@@ -1,0 +1,210 @@
+"""Benchmark harness: serial vs parallel experiment sweeps.
+
+:func:`run_parallel_benchmark` runs the registered experiment suite twice
+— once serially, once fanned out over a :class:`ParallelExecutor` — and
+emits a ``repro-bench-parallel-v1`` payload with wall-clock timings, the
+speedup, a byte-identity verdict over the serialized results (the
+determinism contract, measured rather than assumed), and the radius-cache
+hit counters from the serial leg.
+
+The payload schema is stable so CI can smoke-test it and downstream
+tooling can track speedups across commits; :func:`validate_bench_payload`
+is the single source of truth for what a well-formed payload looks like.
+
+This module is deliberately *not* imported by ``repro.parallel`` — it
+pulls in the analysis layer, which already depends on the executor, and
+eager import would create a cycle.  Import it explicitly::
+
+    from repro.parallel.bench import run_parallel_benchmark
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import numbers
+import pathlib
+import time
+from typing import Sequence
+
+from repro.exceptions import SpecificationError
+from repro.parallel.cache import (
+    RadiusCache,
+    get_default_cache,
+    install_default_cache,
+    uninstall_default_cache,
+)
+from repro.parallel.executor import ParallelExecutor, default_workers
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "run_parallel_benchmark",
+    "validate_bench_payload",
+    "write_benchmark",
+]
+
+logger = logging.getLogger(__name__)
+
+BENCH_SCHEMA = "repro-bench-parallel-v1"
+
+
+def _canonical(results) -> str:
+    """Canonical JSON serialization of a results dict (for byte-identity)."""
+    from repro.io.serialize import to_dict
+
+    return json.dumps({eid: to_dict(res) for eid, res in results.items()},
+                      sort_keys=True)
+
+
+def run_parallel_benchmark(
+    *,
+    workers: int | None = None,
+    seed: int = 2005,
+    ids: Sequence[str] | None = None,
+) -> dict:
+    """Benchmark the experiment sweep serially and in parallel.
+
+    Parameters
+    ----------
+    workers:
+        Worker-process count for the parallel leg; defaults to
+        :func:`~repro.parallel.executor.default_workers`.
+    seed:
+        Master seed for both legs (they must match for the identity
+        check to be meaningful).
+    ids:
+        Optional subset of experiment ids; defaults to the full registry.
+
+    Returns
+    -------
+    dict
+        A ``repro-bench-parallel-v1`` payload (see
+        :func:`validate_bench_payload` for the exact field set).  The
+        cache counters come from the serial leg: worker processes build
+        their own caches, whose counters do not propagate back.
+    """
+    from repro.analysis.runner import EXPERIMENT_REGISTRY, run_all_experiments
+
+    if workers is None:
+        workers = default_workers()
+    if workers < 1:
+        raise SpecificationError(f"workers must be >= 1, got {workers}")
+    if ids is None:
+        ids = sorted(EXPERIMENT_REGISTRY,
+                     key=lambda e: int(e[1:].rstrip("ab")))
+    ids = list(ids)
+
+    # Give the serial leg a fresh default cache so the reported counters
+    # describe this run alone, restoring whatever was installed before.
+    previous = get_default_cache()
+    cache = RadiusCache()
+    install_default_cache(cache)
+    try:
+        logger.info("benchmark: serial leg over %d experiment(s)", len(ids))
+        t0 = time.perf_counter()
+        serial = run_all_experiments(seed=seed, ids=ids)
+        serial_seconds = time.perf_counter() - t0
+        cache_stats = cache.stats()
+
+        logger.info("benchmark: parallel leg with %d worker(s)", workers)
+        with ParallelExecutor(workers) as pool:
+            t0 = time.perf_counter()
+            parallel = run_all_experiments(seed=seed, ids=ids, executor=pool)
+            parallel_seconds = time.perf_counter() - t0
+            executor_stats = pool.stats()
+    finally:
+        if previous is None:
+            uninstall_default_cache()
+        else:
+            install_default_cache(previous)
+
+    identical = _canonical(serial) == _canonical(parallel)
+    if not identical:  # pragma: no cover - determinism contract violation
+        logger.error("parallel results DIFFER from serial results")
+    return {
+        "schema": BENCH_SCHEMA,
+        "workers": int(workers),
+        "seed": int(seed),
+        "ids": ids,
+        "serial_seconds": float(serial_seconds),
+        "parallel_seconds": float(parallel_seconds),
+        "speedup": (float(serial_seconds / parallel_seconds)
+                    if parallel_seconds > 0 else 0.0),
+        "identical": bool(identical),
+        "executor": executor_stats,
+        "cache": cache_stats,
+    }
+
+
+_CACHE_FIELDS = ("hits", "misses", "skips", "entries", "hit_rate")
+_EXECUTOR_FIELDS = ("workers", "dispatched", "fallbacks")
+
+
+def validate_bench_payload(payload) -> dict:
+    """Check a benchmark payload against the ``repro-bench-parallel-v1`` schema.
+
+    Returns the payload unchanged when valid; raises
+    :class:`~repro.exceptions.SpecificationError` listing every problem
+    found otherwise.  CI runs this against the freshly emitted
+    ``BENCH_parallel.json`` so schema drift fails loudly.
+    """
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        raise SpecificationError(
+            f"payload must be a dict, got {type(payload).__name__}")
+
+    def check_number(container: dict, field: str, where: str,
+                     minimum: float = 0.0) -> None:
+        value = container.get(field)
+        if isinstance(value, bool) or not isinstance(value, numbers.Real):
+            problems.append(f"{where}{field!r} must be a number, "
+                            f"got {value!r}")
+        elif value < minimum:
+            problems.append(f"{where}{field!r} must be >= {minimum}, "
+                            f"got {value!r}")
+
+    if payload.get("schema") != BENCH_SCHEMA:
+        problems.append(f"'schema' must be {BENCH_SCHEMA!r}, "
+                        f"got {payload.get('schema')!r}")
+    check_number(payload, "workers", "", minimum=1)
+    check_number(payload, "seed", "")
+    ids = payload.get("ids")
+    if not isinstance(ids, list) or not ids \
+            or not all(isinstance(e, str) for e in ids):
+        problems.append(f"'ids' must be a non-empty list of strings, "
+                        f"got {ids!r}")
+    for field in ("serial_seconds", "parallel_seconds", "speedup"):
+        check_number(payload, field, "")
+    if not isinstance(payload.get("identical"), bool):
+        problems.append(f"'identical' must be a bool, "
+                        f"got {payload.get('identical')!r}")
+    executor = payload.get("executor")
+    if not isinstance(executor, dict):
+        problems.append(f"'executor' must be a dict, got {executor!r}")
+    else:
+        for field in _EXECUTOR_FIELDS:
+            check_number(executor, field, "executor.",
+                         minimum=1 if field == "workers" else 0)
+    cache = payload.get("cache")
+    if not isinstance(cache, dict):
+        problems.append(f"'cache' must be a dict, got {cache!r}")
+    else:
+        for field in _CACHE_FIELDS:
+            check_number(cache, field, "cache.")
+        rate = cache.get("hit_rate")
+        if isinstance(rate, numbers.Real) and not isinstance(rate, bool) \
+                and rate > 1.0:
+            problems.append(f"cache.'hit_rate' must be <= 1, got {rate!r}")
+    if problems:
+        raise SpecificationError(
+            "invalid benchmark payload: " + "; ".join(problems))
+    return payload
+
+
+def write_benchmark(payload: dict, path) -> pathlib.Path:
+    """Validate a payload and write it to ``path`` as indented JSON."""
+    validate_bench_payload(payload)
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    logger.info("benchmark payload written to %s", path)
+    return path

@@ -1,0 +1,224 @@
+"""Radius-result caching keyed by a stable problem fingerprint.
+
+Requirement sweeps, weighting-sensitivity studies, and placement
+comparisons revisit the same operating points over and over: the same
+mapping, origin, tolerance interval, norm, and box constraints produce
+the same :class:`~repro.core.radius.RadiusResult` every time (for a fixed
+seed), yet each visit used to pay for a fresh solve.  "Fast Construction
+of Robustness Degradation Function" (Chen et al.) motivates exactly this
+reuse across repeated radius evaluations at nearby operating points.
+
+:class:`RadiusCache` memoises solved radii under a fingerprint built from
+
+* the mapping's *structure key* (see
+  :meth:`~repro.core.mappings.FeatureMapping.structure_key`) — exact
+  coefficient bytes, recursively for composite mappings;
+* the origin vector, tolerance bounds, norm, and box constraints;
+* the solver ``method`` and the ``seed`` (stochastic solvers draw from
+  it, so different seeds must never share an entry).
+
+Mappings without a stable structure key (arbitrary callables) and
+stateful :class:`numpy.random.Generator` seeds are *unfingerprintable*:
+lookups skip the cache entirely and are counted separately, so the
+diagnostics distinguish "no reuse available" from "reuse missed".
+
+A process-wide default cache can be installed (the CLI does this unless
+``--no-cache`` is given); :func:`~repro.core.radius.compute_radius`
+consults it whenever no explicit cache decision is passed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.exceptions import SpecificationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.core.radius import RadiusProblem, RadiusResult
+
+__all__ = [
+    "RadiusCache",
+    "install_default_cache",
+    "uninstall_default_cache",
+    "get_default_cache",
+    "resolve_cache",
+]
+
+
+def _digest_array(arr: np.ndarray | None) -> str:
+    """Exact, shape-aware digest of an array (``-`` for ``None``)."""
+    if arr is None:
+        return "-"
+    arr = np.ascontiguousarray(arr)
+    h = hashlib.sha256()
+    h.update(str(arr.dtype).encode())
+    h.update(str(arr.shape).encode())
+    h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+class RadiusCache:
+    """Memoisation of radius solves keyed by problem fingerprint.
+
+    Parameters
+    ----------
+    max_entries:
+        Optional size bound; when full, the oldest entry is evicted
+        (insertion order).  ``None`` means unbounded.
+
+    Notes
+    -----
+    Cached :class:`~repro.core.radius.RadiusResult` objects are returned
+    as-is (they are frozen dataclasses); callers must not mutate the
+    arrays they carry.  The cache is thread-safe; it is *not* shared
+    across worker processes — each worker builds its own, and the solves
+    a worker performs are deterministic, so cross-process reuse is a pure
+    wall-clock optimisation, never a correctness concern.
+    """
+
+    def __init__(self, max_entries: int | None = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise SpecificationError(
+                f"max_entries must be >= 1 or None, got {max_entries}")
+        self.max_entries = max_entries
+        self._store: dict[str, "RadiusResult"] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        #: Lookups that could not be fingerprinted (callable mappings,
+        #: stateful Generator seeds) and therefore bypassed the cache.
+        self.skips = 0
+
+    # ------------------------------------------------------------------
+    # fingerprinting
+    # ------------------------------------------------------------------
+    def key(self, problem: "RadiusProblem", *, method: str = "auto",
+            seed=None) -> str | None:
+        """Stable cache key for a problem, or ``None`` if unfingerprintable.
+
+        ``None`` is returned (and counted as a skip) when the mapping has
+        no structure key or the seed is a stateful
+        :class:`numpy.random.Generator` whose stream position cannot be
+        fingerprinted.
+        """
+        structure = problem.mapping.structure_key()
+        if structure is None or isinstance(seed, np.random.Generator):
+            with self._lock:
+                self.skips += 1
+            return None
+        h = hashlib.sha256()
+        h.update(repr(structure).encode())
+        h.update(_digest_array(problem.origin).encode())
+        h.update(repr((float(problem.bounds.beta_min),
+                       float(problem.bounds.beta_max))).encode())
+        h.update(repr(problem.norm).encode())
+        h.update(_digest_array(problem.lower).encode())
+        h.update(_digest_array(problem.upper).encode())
+        h.update(repr(method).encode())
+        h.update(repr(seed).encode())
+        return h.hexdigest()
+
+    # ------------------------------------------------------------------
+    # storage
+    # ------------------------------------------------------------------
+    def get(self, key: str | None) -> "RadiusResult | None":
+        """Look a key up, counting the hit or miss (``None`` key: no-op)."""
+        if key is None:
+            return None
+        with self._lock:
+            result = self._store.get(key)
+            if result is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return result
+
+    def put(self, key: str | None, result: "RadiusResult") -> None:
+        """Store a solved result (``None`` key: no-op)."""
+        if key is None:
+            return
+        with self._lock:
+            if self.max_entries is not None \
+                    and key not in self._store \
+                    and len(self._store) >= self.max_entries:
+                self._store.pop(next(iter(self._store)))
+            self._store[key] = result
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        with self._lock:
+            self._store.clear()
+            self.hits = self.misses = self.skips = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def stats(self) -> dict:
+        """Hit/miss/skip counters for diagnostics and benchmark payloads."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "skips": self.skips,
+                "entries": len(self._store),
+                "hit_rate": (self.hits / total) if total else 0.0,
+            }
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (f"RadiusCache(entries={s['entries']}, hits={s['hits']}, "
+                f"misses={s['misses']}, skips={s['skips']})")
+
+
+# ----------------------------------------------------------------------
+# process-wide default cache
+# ----------------------------------------------------------------------
+_default_cache: RadiusCache | None = None
+
+
+def install_default_cache(cache: RadiusCache | None = None) -> RadiusCache:
+    """Install (or replace) the process-wide default radius cache.
+
+    ``compute_radius`` and :class:`~repro.core.fepia.RobustnessAnalysis`
+    consult the default cache whenever no explicit cache decision is made.
+    Returns the installed cache (a fresh one when ``cache`` is ``None``).
+    """
+    global _default_cache
+    _default_cache = cache if cache is not None else RadiusCache()
+    return _default_cache
+
+
+def uninstall_default_cache() -> None:
+    """Remove the process-wide default cache (radius solves stop caching)."""
+    global _default_cache
+    _default_cache = None
+
+
+def get_default_cache() -> RadiusCache | None:
+    """The installed process-wide default cache, or ``None``."""
+    return _default_cache
+
+
+def resolve_cache(cache) -> RadiusCache | None:
+    """Resolve the tri-state cache convention used across the library.
+
+    ``None``
+        defer to the installed default cache (possibly none);
+    ``False``
+        caching explicitly disabled for this call;
+    a :class:`RadiusCache`
+        use exactly that cache.
+    """
+    if cache is None:
+        return _default_cache
+    if cache is False:
+        return None
+    if isinstance(cache, RadiusCache):
+        return cache
+    raise SpecificationError(
+        f"cache must be a RadiusCache, None or False, got {type(cache).__name__}")

@@ -40,6 +40,13 @@ logger = logging.getLogger(__name__)
 _FORMAT = "repro-checkpoint-v1"
 
 
+def _process_umask() -> int:
+    """The process umask (os offers no read-only accessor)."""
+    current = os.umask(0)
+    os.umask(current)
+    return current
+
+
 class Checkpoint:
     """Atomic JSON persistence of a partially-completed keyed run.
 
@@ -79,11 +86,20 @@ class Checkpoint:
         if not isinstance(state, dict) or state.get("format") != _FORMAT:
             raise CheckpointError(
                 f"{self.path} is not a {_FORMAT} checkpoint")
-        if expect_meta is not None and state.get("meta") != expect_meta:
-            raise CheckpointError(
-                f"checkpoint {self.path} was written by a different run: "
-                f"stored meta {state.get('meta')!r} != expected "
-                f"{expect_meta!r}; delete the file to start over")
+        if expect_meta is not None:
+            # The stored meta went through a JSON round-trip (tuples become
+            # lists, int keys become strings); canonicalize the expectation
+            # the same way or identical runs would never match.
+            try:
+                expect_meta = json.loads(json.dumps(expect_meta))
+            except (TypeError, ValueError) as exc:
+                raise CheckpointError(
+                    f"expect_meta is not JSON-serialisable: {exc}") from exc
+            if state.get("meta") != expect_meta:
+                raise CheckpointError(
+                    f"checkpoint {self.path} was written by a different run: "
+                    f"stored meta {state.get('meta')!r} != expected "
+                    f"{expect_meta!r}; delete the file to start over")
         completed = state.get("completed", {})
         logger.info("resuming from %s: %d completed item(s)", self.path,
                     len(completed))
@@ -98,6 +114,10 @@ class Checkpoint:
         fd, tmp = tempfile.mkstemp(dir=self.path.parent,
                                    prefix=self.path.name + ".", suffix=".tmp")
         try:
+            # mkstemp creates the file 0600 regardless of the umask, and
+            # os.replace preserves that — give the final checkpoint the
+            # permissions a regular open() would have produced.
+            os.fchmod(fd, 0o666 & ~_process_umask())
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 json.dump(state, fh)
             os.replace(tmp, self.path)
@@ -123,6 +143,7 @@ def run_checkpointed(
     resume: bool = True,
     encode: Callable[[Any], Any] = lambda x: x,
     decode: Callable[[Any], Any] = lambda x: x,
+    executor=None,
 ) -> dict[str, Any]:
     """Run keyed thunks in order with periodic checkpointing.
 
@@ -134,7 +155,9 @@ def run_checkpointed(
         Checkpoint file, or ``None`` to run without persistence.
     meta:
         Run metadata stored in (and verified against) the checkpoint —
-        put the seed and scale parameters here.
+        put the seed and scale parameters here.  Deliberately *not* the
+        worker count: a checkpoint written serially resumes under any
+        parallelism and vice versa.
     every:
         Save after this many completed thunks (a final save always runs).
     resume:
@@ -143,6 +166,16 @@ def run_checkpointed(
     encode, decode:
         Payload (de)serialisers bridging thunk results and JSON — e.g.
         :func:`repro.io.serialize.to_dict` / ``from_dict``.
+    executor:
+        Optional :class:`~repro.parallel.executor.ParallelExecutor`.
+        Pending thunks then run in waves of ``max(every, workers)``
+        concurrent tasks, checkpointing after each wave; a kill loses at
+        most the in-flight wave, and the resumed run recomputes exactly
+        those items (bit-identically, as long as each thunk derives its
+        randomness from its own key — the same contract the serial path
+        already requires).  Thunks that cross the process boundary must
+        be picklable (use :class:`~repro.parallel.executor.Task`); the
+        executor transparently falls back to serial when they are not.
 
     Returns
     -------
@@ -163,6 +196,22 @@ def run_checkpointed(
             ckpt.delete()
         else:
             stored = ckpt.load(expect_meta=meta)
+
+    if executor is not None and getattr(executor, "workers", 1) > 1:
+        fresh: dict[str, Any] = {}
+        pending = [(key, thunk) for key, thunk in items if key not in stored]
+        wave = max(every, executor.workers)
+        for start in range(0, len(pending), wave):
+            batch = pending[start:start + wave]
+            logger.debug("running checkpoint wave of %d item(s)", len(batch))
+            values = executor.run([thunk for _, thunk in batch])
+            for (key, _), value in zip(batch, values):
+                fresh[key] = value
+                stored[key] = encode(value)
+            if ckpt is not None:
+                ckpt.save(stored, meta)
+        return {key: fresh[key] if key in fresh else decode(stored[key])
+                for key, _ in items}
 
     results: dict[str, Any] = {}
     pending_since_save = 0

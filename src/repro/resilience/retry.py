@@ -63,5 +63,10 @@ class RetryPolicy:
         if retry_index < 0:
             raise SpecificationError(
                 f"retry_index must be >= 0, got {retry_index}")
-        base = min(self.backoff_cap, self.backoff_base * (2.0 ** retry_index))
-        return float(base * (1.0 + self.jitter * rng.random()))
+        base = self.backoff_base * (2.0 ** retry_index)
+        # The cap bounds the *actual* sleep, so it must be applied after
+        # jitter — otherwise the sleep can exceed it by up to ``jitter``x
+        # and the documented ``max_retries * backoff_cap`` stall bound
+        # no longer holds.
+        return float(min(self.backoff_cap,
+                         base * (1.0 + self.jitter * rng.random())))

@@ -1,0 +1,1 @@
+"""Tests for the parallel execution engine and radius cache."""

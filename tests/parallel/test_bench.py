@@ -1,0 +1,123 @@
+"""Tests for the parallel benchmark harness and its payload schema."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.parallel.bench import (
+    BENCH_SCHEMA,
+    run_parallel_benchmark,
+    validate_bench_payload,
+    write_benchmark,
+)
+
+
+def _good_payload() -> dict:
+    return {
+        "schema": BENCH_SCHEMA,
+        "workers": 2,
+        "seed": 2005,
+        "ids": ["E11", "E16"],
+        "serial_seconds": 1.5,
+        "parallel_seconds": 1.0,
+        "speedup": 1.5,
+        "identical": True,
+        "executor": {"workers": 2, "dispatched": 2, "fallbacks": 0,
+                     "last_fallback_reason": None},
+        "cache": {"hits": 3, "misses": 5, "skips": 0, "entries": 5,
+                  "hit_rate": 0.375},
+    }
+
+
+class TestValidateBenchPayload:
+    def test_accepts_good_payload(self):
+        payload = _good_payload()
+        assert validate_bench_payload(payload) is payload
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(SpecificationError, match="must be a dict"):
+            validate_bench_payload([1, 2, 3])
+
+    @pytest.mark.parametrize("field,value,match", [
+        ("schema", "repro-bench-v0", "'schema'"),
+        ("workers", 0, "'workers'"),
+        ("ids", [], "'ids'"),
+        ("ids", ["E11", 16], "'ids'"),
+        ("serial_seconds", "fast", "'serial_seconds'"),
+        ("parallel_seconds", -1.0, "'parallel_seconds'"),
+        ("identical", "yes", "'identical'"),
+        ("executor", None, "'executor'"),
+        ("cache", None, "'cache'"),
+    ])
+    def test_rejects_bad_field(self, field, value, match):
+        payload = _good_payload()
+        payload[field] = value
+        with pytest.raises(SpecificationError, match=match):
+            validate_bench_payload(payload)
+
+    def test_rejects_missing_field(self):
+        payload = _good_payload()
+        del payload["speedup"]
+        with pytest.raises(SpecificationError, match="'speedup'"):
+            validate_bench_payload(payload)
+
+    def test_rejects_hit_rate_above_one(self):
+        payload = _good_payload()
+        payload["cache"]["hit_rate"] = 1.5
+        with pytest.raises(SpecificationError, match="hit_rate"):
+            validate_bench_payload(payload)
+
+    def test_collects_every_problem(self):
+        payload = _good_payload()
+        payload["workers"] = 0
+        payload["identical"] = "yes"
+        with pytest.raises(SpecificationError) as excinfo:
+            validate_bench_payload(payload)
+        assert "'workers'" in str(excinfo.value)
+        assert "'identical'" in str(excinfo.value)
+
+    def test_bools_are_not_numbers(self):
+        payload = _good_payload()
+        payload["serial_seconds"] = True
+        with pytest.raises(SpecificationError, match="'serial_seconds'"):
+            validate_bench_payload(payload)
+
+
+class TestWriteBenchmark:
+    def test_writes_valid_json(self, tmp_path):
+        out = tmp_path / "BENCH_parallel.json"
+        write_benchmark(_good_payload(), out)
+        assert json.loads(out.read_text()) == _good_payload()
+
+    def test_refuses_invalid_payload(self, tmp_path):
+        payload = _good_payload()
+        payload["schema"] = "nope"
+        with pytest.raises(SpecificationError):
+            write_benchmark(payload, tmp_path / "x.json")
+        assert not (tmp_path / "x.json").exists()
+
+
+class TestRunParallelBenchmark:
+    def test_tiny_run_emits_valid_identical_payload(self, tmp_path):
+        payload = run_parallel_benchmark(workers=2, seed=7,
+                                         ids=["E11", "E16"])
+        validate_bench_payload(payload)
+        assert payload["identical"] is True
+        assert payload["workers"] == 2
+        assert payload["ids"] == ["E11", "E16"]
+        assert payload["executor"]["dispatched"] == 2
+        # end-to-end: the payload must survive the JSON round-trip CI does
+        out = tmp_path / "BENCH_parallel.json"
+        write_benchmark(payload, out)
+        validate_bench_payload(json.loads(out.read_text()))
+
+    def test_rejects_bad_ids(self):
+        with pytest.raises(SpecificationError):
+            run_parallel_benchmark(workers=2, ids=["E99"])
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(SpecificationError):
+            run_parallel_benchmark(workers=0)

@@ -1,0 +1,124 @@
+"""Unit tests for :mod:`repro.parallel.executor`."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.parallel.executor import (
+    ParallelExecutor,
+    Task,
+    default_workers,
+    executor_scope,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _add(x, y, offset=0):
+    return x + y + offset
+
+
+def _boom():
+    raise RuntimeError("task exploded")
+
+
+class TestTask:
+    def test_call_runs_function(self):
+        assert Task(_square, (3,))() == 9
+
+    def test_kwargs(self):
+        assert Task(_add, (1, 2), {"offset": 10})() == 13
+
+    def test_picklable(self):
+        task = Task(_add, (1, 2), {"offset": 10})
+        assert pickle.loads(pickle.dumps(task))() == 13
+
+
+class TestParallelExecutor:
+    def test_workers_must_be_positive(self):
+        with pytest.raises(SpecificationError):
+            ParallelExecutor(0)
+
+    def test_serial_run_preserves_order(self):
+        with ParallelExecutor(1) as pool:
+            assert pool.run([Task(_square, (i,)) for i in range(6)]) \
+                == [i * i for i in range(6)]
+            assert pool.dispatched == 0  # never touched a pool
+
+    def test_parallel_run_preserves_order(self):
+        with ParallelExecutor(2) as pool:
+            assert pool.run([Task(_square, (i,)) for i in range(6)]) \
+                == [i * i for i in range(6)]
+            assert pool.dispatched == 6
+            assert pool.fallbacks == 0
+
+    def test_single_task_batch_runs_in_process(self):
+        with ParallelExecutor(4) as pool:
+            assert pool.run([Task(_square, (5,))]) == [25]
+            assert pool.dispatched == 0
+
+    def test_non_picklable_batch_falls_back_serially(self):
+        with ParallelExecutor(2) as pool:
+            results = pool.run([lambda: 1, lambda: 2])
+            assert results == [1, 2]
+            assert pool.fallbacks == 1
+            assert "non-picklable" in pool.last_fallback_reason
+
+    def test_task_exception_propagates(self):
+        with ParallelExecutor(2) as pool:
+            with pytest.raises(RuntimeError, match="task exploded"):
+                pool.run([Task(_boom), Task(_boom)])
+
+    def test_map(self):
+        with ParallelExecutor(2) as pool:
+            assert pool.map(_square, [(i,) for i in range(4)]) == [0, 1, 4, 9]
+
+    def test_pickled_executor_degrades_to_serial(self):
+        with ParallelExecutor(4) as pool:
+            clone = pickle.loads(pickle.dumps(pool))
+        assert clone.workers == 1
+        assert clone.run([Task(_square, (2,)), Task(_square, (3,))]) == [4, 9]
+
+    def test_stats_shape(self):
+        with ParallelExecutor(2) as pool:
+            pool.run([Task(_square, (i,)) for i in range(3)])
+            stats = pool.stats()
+        assert stats["workers"] == 2
+        assert stats["dispatched"] == 3
+        assert stats["fallbacks"] == 0
+
+    def test_close_is_idempotent(self):
+        pool = ParallelExecutor(2)
+        pool.run([Task(_square, (i,)) for i in range(3)])
+        pool.close()
+        pool.close()
+
+    def test_default_workers_is_positive(self):
+        assert default_workers() >= 1
+
+
+class TestExecutorScope:
+    def test_given_executor_is_reused_and_not_closed(self):
+        owned = ParallelExecutor(2)
+        with executor_scope(owned, 1) as pool:
+            assert pool is owned
+            pool.run([Task(_square, (i,)) for i in range(3)])
+        # the scope must not have shut the caller's pool down
+        assert owned.run([Task(_square, (i,)) for i in range(3)]) == [0, 1, 4]
+        owned.close()
+
+    def test_workers_create_owned_executor(self):
+        with executor_scope(None, 3) as pool:
+            assert isinstance(pool, ParallelExecutor)
+            assert pool.workers == 3
+
+    def test_serial_yields_none(self):
+        with executor_scope(None, 1) as pool:
+            assert pool is None
+        with executor_scope(None, None) as pool:
+            assert pool is None

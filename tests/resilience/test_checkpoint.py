@@ -223,3 +223,54 @@ class TestCheckpointedValidation:
                                      checkpoint_path=tmp_path / "inf.json")
         assert validation.sound
         assert validation.n_samples == 1000
+
+
+class TestCheckpointRegressions:
+    """Regression tests for PR-1 checkpoint bugs."""
+
+    def test_tuple_valued_meta_resumes(self, tmp_path):
+        # Regression: stored meta goes through a JSON round-trip, so tuple
+        # values come back as lists; comparing the raw expectation made
+        # resume with tuple-valued meta *always* fail.
+        ckpt = Checkpoint(tmp_path / "ck.json")
+        meta = {"seed": 7, "shape": (3, 2), "scales": ((1.0, 2.0), (3.0, 4.0))}
+        ckpt.save({"a": 1}, meta)
+        assert ckpt.load(expect_meta=meta) == {"a": 1}
+
+    def test_tuple_valued_meta_mismatch_still_refuses(self, tmp_path):
+        ckpt = Checkpoint(tmp_path / "ck.json")
+        ckpt.save({"a": 1}, {"shape": (3, 2)})
+        with pytest.raises(CheckpointError, match="different run"):
+            ckpt.load(expect_meta={"shape": (3, 3)})
+
+    def test_unserialisable_expect_meta_raises_checkpoint_error(self, tmp_path):
+        ckpt = Checkpoint(tmp_path / "ck.json")
+        ckpt.save({"a": 1}, {"seed": 7})
+        with pytest.raises(CheckpointError, match="JSON"):
+            ckpt.load(expect_meta={"seed": object()})
+
+    def test_run_checkpointed_resumes_with_tuple_meta(self, tmp_path):
+        path = tmp_path / "ck.json"
+        meta = {"chunks": (4, 5), "seed": 3}
+        run_checkpointed([("a", lambda: 1)], path=path, meta=meta)
+        out = run_checkpointed(
+            [("a", lambda: pytest.fail("must resume, not rerun")),
+             ("b", lambda: 2)],
+            path=path, meta=meta)
+        assert out == {"a": 1, "b": 2}
+
+    @pytest.mark.parametrize("umask,expected", [(0o022, 0o644), (0o077, 0o600)])
+    def test_checkpoint_file_honors_umask(self, tmp_path, umask, expected):
+        # Regression: mkstemp creates the temp file 0600 and os.replace
+        # preserved that, so checkpoints ignored the umask and were
+        # unreadable by group CI caches.
+        import os
+
+        old = os.umask(umask)
+        try:
+            ckpt = Checkpoint(tmp_path / "ck.json")
+            ckpt.save({"a": 1}, None)
+            mode = ckpt.path.stat().st_mode & 0o777
+        finally:
+            os.umask(old)
+        assert mode == expected

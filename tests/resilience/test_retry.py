@@ -57,3 +57,22 @@ class TestDelay:
         a = [policy.delay(i, np.random.default_rng(3)) for i in range(4)]
         b = [policy.delay(i, np.random.default_rng(3)) for i in range(4)]
         assert a == b
+
+    def test_jittered_delay_never_exceeds_cap(self):
+        # Regression: the cap used to be applied to the exponential base
+        # *before* jitter, so the real sleep could exceed it by up to
+        # ``jitter``x once the base saturated the cap.
+        policy = RetryPolicy(backoff_base=1.0, backoff_cap=1.5, jitter=1.0)
+        rng = np.random.default_rng(11)
+        for i in range(8):
+            for _ in range(20):
+                assert policy.delay(i, rng) <= policy.backoff_cap
+
+    def test_stall_bound_holds_with_jitter(self):
+        # The module promises a persistent failure stalls at most
+        # ``max_retries * backoff_cap`` seconds per solver.
+        policy = RetryPolicy(max_retries=3, backoff_base=2.0,
+                             backoff_cap=0.5, jitter=0.9)
+        rng = np.random.default_rng(4)
+        total = sum(policy.delay(i, rng) for i in range(policy.max_retries))
+        assert total <= policy.max_retries * policy.backoff_cap
