@@ -17,7 +17,10 @@ The library implements:
 * allocation **heuristics** (OLB/MET/MCT/min-min/max-min/sufferage and
   robustness-maximising local search) used as comparison baselines;
 * a **Monte-Carlo validation** harness and the experiment/benchmark layer
-  (:mod:`repro.montecarlo`, :mod:`repro.analysis`, :mod:`repro.reporting`).
+  (:mod:`repro.montecarlo`, :mod:`repro.analysis`, :mod:`repro.reporting`);
+* an **observability** subsystem — spans, metrics, and an event log woven
+  through the solver, parallel, and resilience stacks
+  (:mod:`repro.observability`, ``repro --trace`` / ``repro stats``).
 
 Quickstart::
 
@@ -90,6 +93,13 @@ from repro.exceptions import (
     SpecificationError,
     UnitMismatchError,
 )
+from repro.observability import (
+    Observability,
+    emit_event,
+    get_metrics,
+    observing,
+    span,
+)
 from repro.parallel import (
     ParallelExecutor,
     RadiusCache,
@@ -152,6 +162,12 @@ __all__ = [
     "RadiusCache",
     "install_default_cache",
     "uninstall_default_cache",
+    # observability
+    "Observability",
+    "observing",
+    "span",
+    "emit_event",
+    "get_metrics",
     # resilience
     "Quality",
     "SolverAttempt",

@@ -14,6 +14,7 @@ from typing import Callable, Mapping, Sequence
 
 from repro.analysis.experiments import ExperimentResult
 from repro.exceptions import SpecificationError
+from repro.observability import span
 from repro.parallel.executor import Task, executor_scope
 from repro.resilience.checkpoint import run_checkpointed
 
@@ -124,7 +125,8 @@ def run_experiment(experiment_id: str, *, seed: int = 2005
             f"unknown experiment {experiment_id!r}; registered: "
             f"{sorted(EXPERIMENT_REGISTRY)}") from exc
     logger.info("running experiment %s (seed=%s)", experiment_id, seed)
-    return fn(seed)
+    with span("experiment", id=experiment_id, seed=seed):
+        return fn(seed)
 
 
 def run_all_experiments(

@@ -22,7 +22,9 @@ fault-tolerant :class:`~repro.resilience.SolverCascade`, ``--workers N``
 to fan independent work out over worker processes (results are
 bit-identical to a serial run — see ``docs/PERFORMANCE.md``), and
 ``--no-cache`` to disable the process-wide radius cache installed by
-default.  The ``experiments`` command additionally supports
+default, and ``--trace PATH`` to record an observability trace
+(``repro-events-v1`` JSON-lines; render it with ``repro stats PATH``).
+The ``experiments`` command additionally supports
 ``--checkpoint``/``--resume`` for kill-safe sweeps, and
 ``bench-parallel`` times the sweep serially vs in parallel, writing a
 ``repro-bench-parallel-v1`` JSON payload.
@@ -58,8 +60,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "bit-identical for any value)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the process-wide radius result cache")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="record spans, metrics and events of this run "
+                             "to a repro-events-v1 JSON-lines file "
+                             "(inspect it with 'repro stats PATH')")
     parser.add_argument("-v", "--verbose", action="count", default=0,
-                        help="-v logs solver WARNINGs, -vv full DEBUG trail")
+                        help="-v logs INFO progress, -vv full DEBUG trail")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("demo", help="quickstart two-kind analysis")
@@ -123,6 +129,14 @@ def build_parser() -> argparse.ArgumentParser:
                               "generated HiPer-D system")
     top.add_argument("--latency-slack", type=float, default=1.4)
     top.add_argument("--top", type=int, default=5)
+
+    sta = sub.add_parser("stats",
+                         help="render the span tree, metric table and "
+                              "event tail of a --trace capture")
+    sta.add_argument("trace_file", metavar="TRACE",
+                     help="repro-events-v1 file written by --trace")
+    sta.add_argument("--events", type=int, default=15, metavar="N",
+                     help="show the last N events (default 15)")
     return parser
 
 
@@ -316,6 +330,13 @@ def _cmd_topology(args) -> int:
     return 0
 
 
+def _cmd_stats(args) -> int:
+    from repro.observability import render_report
+
+    print(render_report(args.trace_file, events_tail=args.events))
+    return 0
+
+
 _COMMANDS = {
     "demo": _cmd_demo,
     "degeneracy": _cmd_degeneracy,
@@ -327,21 +348,44 @@ _COMMANDS = {
     "experiments": _cmd_experiments,
     "bench-parallel": _cmd_bench_parallel,
     "topology": _cmd_topology,
+    "stats": _cmd_stats,
 }
+
+
+def log_level(verbosity: int) -> int | None:
+    """Map the ``-v`` count to a logging level.
+
+    ``0`` leaves logging unconfigured (``None``), ``1`` (-v) enables
+    INFO progress lines, ``2`` or more (-vv) the full DEBUG trail.
+    """
+    import logging
+
+    if verbosity <= 0:
+        return None
+    return logging.INFO if verbosity == 1 else logging.DEBUG
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    if args.verbose:
+    level = log_level(args.verbose)
+    if level is not None:
         import logging
-        level = logging.DEBUG if args.verbose > 1 else logging.WARNING
         logging.basicConfig(
             level=level,
             format="%(levelname)s %(name)s: %(message)s")
     if not args.no_cache:
         from repro.parallel.cache import install_default_cache
         install_default_cache()
+    if args.trace:
+        from repro.observability import Observability, observing, span
+        obs = Observability()
+        with observing(obs):
+            with span(f"cli.{args.command}", seed=args.seed):
+                code = _COMMANDS[args.command](args)
+        path = obs.write(args.trace, command=args.command, seed=args.seed)
+        print(f"trace written to {path}", file=sys.stderr)
+        return code
     return _COMMANDS[args.command](args)
 
 

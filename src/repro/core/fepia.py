@@ -33,6 +33,7 @@ from repro.core.pspace import ConcatenatedPerturbation
 from repro.core.radius import RadiusProblem, RadiusResult, compute_radius
 from repro.core.weighting import NormalizedWeighting, WeightingScheme
 from repro.exceptions import SpecificationError
+from repro.observability import span
 from repro.parallel.cache import resolve_cache
 from repro.parallel.executor import ParallelExecutor, Task
 
@@ -324,13 +325,15 @@ class RobustnessAnalysis:
         spec = self._get_spec(feature)
         pending = [p for p in self.params
                    if (spec.name, p.name) not in self._per_param_cache]
-        if len(pending) > 1 and self._can_fan_out():
-            problems = [self._single_parameter_problem(spec, p)
-                        for p in pending]
-            for p, result in zip(pending, self._fan_out(problems)):
-                self._per_param_cache[(spec.name, p.name)] = result
-        return {p.name: self.single_parameter_radius(spec, p).radius
-                for p in self.params}
+        with span("analysis.per_parameter_radii", feature=spec.name,
+                  pending=len(pending)):
+            if len(pending) > 1 and self._can_fan_out():
+                problems = [self._single_parameter_problem(spec, p)
+                            for p in pending]
+                for p, result in zip(pending, self._fan_out(problems)):
+                    self._per_param_cache[(spec.name, p.name)] = result
+            return {p.name: self.single_parameter_radius(spec, p).radius
+                    for p in self.params}
 
     # ------------------------------------------------------------------
     # Section 3 — P-space and Eq. 2 radii
@@ -403,20 +406,21 @@ class RobustnessAnalysis:
         """
         pending = [s for s in self.features
                    if s.name not in self._radius_cache]
-        if len(pending) > 1 and self._can_fan_out():
-            solvable: list[FeatureSpec] = []
-            problems: list[RadiusProblem] = []
-            for spec in pending:
-                if self.weighting.requires_radii \
-                        and not self._effective_params(spec)[0]:
-                    self._radius_cache[spec.name] = \
-                        self._insensitive_result(spec)
-                    continue
-                solvable.append(spec)
-                problems.append(self.pspace_problem(spec))
-            for spec, result in zip(solvable, self._fan_out(problems)):
-                self._radius_cache[spec.name] = result
-        return {spec.name: self.radius(spec) for spec in self.features}
+        with span("analysis.radii", pending=len(pending)):
+            if len(pending) > 1 and self._can_fan_out():
+                solvable: list[FeatureSpec] = []
+                problems: list[RadiusProblem] = []
+                for spec in pending:
+                    if self.weighting.requires_radii \
+                            and not self._effective_params(spec)[0]:
+                        self._radius_cache[spec.name] = \
+                            self._insensitive_result(spec)
+                        continue
+                    solvable.append(spec)
+                    problems.append(self.pspace_problem(spec))
+                for spec, result in zip(solvable, self._fan_out(problems)):
+                    self._radius_cache[spec.name] = result
+            return {spec.name: self.radius(spec) for spec in self.features}
 
     def pspace_problem(self, feature: "FeatureSpec | str") -> RadiusProblem:
         """The exact P-space :class:`RadiusProblem` behind :meth:`radius`.
@@ -474,13 +478,14 @@ class RobustnessAnalysis:
             per_bound={})
 
     def _compute_pspace_radius(self, spec: FeatureSpec) -> RadiusResult:
-        if self.weighting.requires_radii:
-            params, _ = self._effective_params(spec)
-            if not params:
-                # Insensitive to everything: no perturbation of any kind
-                # can violate the feature.
-                return self._insensitive_result(spec)
-        return self._solve(self.pspace_problem(spec))
+        with span("analysis.radius", feature=spec.name):
+            if self.weighting.requires_radii:
+                params, _ = self._effective_params(spec)
+                if not params:
+                    # Insensitive to everything: no perturbation of any
+                    # kind can violate the feature.
+                    return self._insensitive_result(spec)
+            return self._solve(self.pspace_problem(spec))
 
     def rho(self) -> float:
         """The robustness metric ``rho_mu(Phi, P) = min_i r_mu(phi_i, P)``."""

@@ -42,6 +42,7 @@ from repro.exceptions import (
     InfeasibleAllocationError,
     SpecificationError,
 )
+from repro.observability import get_metrics, span
 from repro.parallel.cache import resolve_cache
 from repro.parallel.executor import Task
 from repro.utils.validation import as_1d_float_array, check_finite
@@ -273,7 +274,11 @@ def _solve_bound_task(problem: RadiusProblem, bound: float, method: Method,
                                      list[SolverAttempt]]:
     """One bound's solve as a self-contained, picklable unit of work."""
     trail: list[SolverAttempt] = []
-    crossing, used = _solve_one_bound(problem, bound, method, seed, trail)
+    with span("radius.bound", bound=float(bound)) as sp:
+        crossing, used = _solve_one_bound(problem, bound, method, seed, trail)
+        if sp is not None:
+            sp.tags["solver"] = used
+            sp.tags["found"] = crossing is not None
     return crossing, used, trail
 
 
@@ -312,6 +317,17 @@ def compute_radius(problem: RadiusProblem, *, method: Method = "auto",
         If the feature already violates its tolerance interval at the
         original point — there is no robust region to measure.
     """
+    with span("radius.solve", method=method, dim=problem.origin.size) as sp:
+        result = _compute_radius_inner(problem, method=method, seed=seed,
+                                       cache=cache, executor=executor)
+        if sp is not None:
+            sp.tags["solver"] = result.method
+            sp.tags["quality"] = result.quality.name
+    return result
+
+
+def _compute_radius_inner(problem: RadiusProblem, *, method: Method,
+                          seed, cache, executor) -> RadiusResult:
     cache = resolve_cache(cache)
     cache_key = None
     if cache is not None:
@@ -319,6 +335,7 @@ def compute_radius(problem: RadiusProblem, *, method: Method = "auto",
         cached = cache.get(cache_key)
         if cached is not None:
             return cached
+    get_metrics().inc("radius.solves")
     value0 = problem.original_value
     if not problem.bounds.contains(value0):
         raise InfeasibleAllocationError(
@@ -354,7 +371,12 @@ def compute_radius(problem: RadiusProblem, *, method: Method = "auto",
             crossing, used, sub_trail = fanned_out[i]
             trail.extend(sub_trail)
         else:
-            crossing, used = _solve_one_bound(problem, b, method, seed, trail)
+            with span("radius.bound", bound=float(b)) as sp:
+                crossing, used = _solve_one_bound(problem, b, method, seed,
+                                                  trail)
+                if sp is not None:
+                    sp.tags["solver"] = used
+                    sp.tags["found"] = crossing is not None
         methods_used.append(used)
         per_bound[b] = crossing.distance if crossing is not None else math.inf
         if crossing is not None and (best is None or crossing.distance < best.distance):
@@ -376,6 +398,7 @@ def compute_radius(problem: RadiusProblem, *, method: Method = "auto",
             bound_hit=best.bound, method=best_method,
             original_value=value0, per_bound=per_bound,
             quality=quality, diagnostics=tuple(trail))
+    get_metrics().inc(f"radius.method.{result.method}")
     if cache is not None:
         cache.put(cache_key, result)
     return result

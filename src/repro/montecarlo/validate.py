@@ -24,6 +24,7 @@ from repro.core.fepia import RobustnessAnalysis
 from repro.core.radius import RadiusProblem, RadiusResult
 from repro.core.solvers.sampling import SamplingReport, sampling_upper_bound
 from repro.exceptions import SpecificationError
+from repro.observability import span
 from repro.parallel.executor import Task, executor_scope
 from repro.resilience.checkpoint import run_checkpointed
 from repro.utils.linalg import vector_norm
@@ -98,11 +99,12 @@ def _report_from_payload(payload: dict) -> SamplingReport:
 def _sampling_chunk(problem: RadiusProblem, max_distance: float,
                     size: int, rng) -> SamplingReport:
     """One soundness-sampling chunk (picklable for the process pool)."""
-    return sampling_upper_bound(
-        problem.mapping, problem.origin, problem.bounds,
-        max_distance=max_distance, n_samples=size,
-        norm=problem.norm, lower=problem.lower, upper=problem.upper,
-        seed=rng)
+    with span("validate.chunk", samples=size):
+        return sampling_upper_bound(
+            problem.mapping, problem.origin, problem.bounds,
+            max_distance=max_distance, n_samples=size,
+            norm=problem.norm, lower=problem.lower, upper=problem.upper,
+            seed=rng)
 
 
 def _soundness_reports(
@@ -303,17 +305,19 @@ def _validate_feature(analysis: RobustnessAnalysis, feature_name: str,
                       n_samples: int, seed) -> RadiusValidation:
     """Validate one feature of an analysis (picklable unit of work)."""
     logger.debug("validating feature %r", feature_name)
-    result = analysis.radius(feature_name)
-    try:
-        problem = analysis.pspace_problem(feature_name)
-    except SpecificationError:
-        # Feature insensitive to every parameter (empty P-space under
-        # sensitivity weighting): infinite radius, vacuously valid.
-        return RadiusValidation(
-            sound=True, tight=True, n_samples=0,
-            min_violation_distance=math.inf,
-            witness_value_error=0.0, witness_distance_error=0.0)
-    return validate_radius(problem, result, n_samples=n_samples, seed=seed)
+    with span("validate.feature", feature=feature_name):
+        result = analysis.radius(feature_name)
+        try:
+            problem = analysis.pspace_problem(feature_name)
+        except SpecificationError:
+            # Feature insensitive to every parameter (empty P-space under
+            # sensitivity weighting): infinite radius, vacuously valid.
+            return RadiusValidation(
+                sound=True, tight=True, n_samples=0,
+                min_violation_distance=math.inf,
+                witness_value_error=0.0, witness_distance_error=0.0)
+        return validate_radius(problem, result, n_samples=n_samples,
+                               seed=seed)
 
 
 def validate_analysis(

@@ -1,0 +1,94 @@
+"""Tracing, metrics, and event-log observability for the whole stack.
+
+The subsystem answers "where did this run spend its time, which solver
+tiers fired, what was the cache hit rate, which chunks were retried?"
+without changing a single computed number:
+
+* :mod:`~repro.observability.trace` — nestable, mergeable spans;
+* :mod:`~repro.observability.metrics` — counters / gauges / fixed-bucket
+  histograms with a no-op null backend, so instrumented hot paths cost
+  ~nothing while observability is disabled (the default);
+* :mod:`~repro.observability.events` — an append-only event log and the
+  schema-versioned ``repro-events-v1`` JSON-lines sink;
+* :mod:`~repro.observability.runtime` — the process-wide session and the
+  ``span`` / ``emit_event`` / ``get_metrics`` helpers the instrumented
+  layers call;
+* :mod:`~repro.observability.report` — the ``repro stats`` renderer.
+
+Quick use::
+
+    from repro.observability import Observability, observing
+
+    obs = Observability()
+    with observing(obs):
+        analysis.rho()                 # instrumented layers record
+    obs.write("run.jsonl")             # repro stats run.jsonl
+
+Every CLI command accepts ``--trace PATH`` to do exactly this.
+See ``docs/OBSERVABILITY.md`` for the schema and a walkthrough.
+"""
+
+from repro.observability.events import (
+    EVENTS_SCHEMA,
+    Event,
+    EventLog,
+    TraceFile,
+    read_trace_file,
+    validate_trace_file,
+)
+from repro.observability.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from repro.observability.report import render_report
+from repro.observability.runtime import (
+    Observability,
+    disable_observability,
+    emit_event,
+    enable_observability,
+    get_metrics,
+    get_observability,
+    observed_call,
+    observing,
+    span,
+)
+from repro.observability.trace import Span, TraceRecorder
+
+__all__ = [
+    # session
+    "Observability",
+    "observing",
+    "enable_observability",
+    "disable_observability",
+    "get_observability",
+    # instrumentation helpers
+    "span",
+    "emit_event",
+    "get_metrics",
+    "observed_call",
+    # tracing
+    "Span",
+    "TraceRecorder",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_METRICS",
+    "DEFAULT_BUCKETS",
+    # events + sink
+    "Event",
+    "EventLog",
+    "EVENTS_SCHEMA",
+    "TraceFile",
+    "read_trace_file",
+    "validate_trace_file",
+    # reporting
+    "render_report",
+]

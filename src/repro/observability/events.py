@@ -1,0 +1,254 @@
+"""Append-only event log and the ``repro-events-v1`` JSON-lines sink.
+
+Events are the discrete happenings a trace's spans do not capture:
+solver-tier transitions, fault injections, retries, checkpoint
+saves/resumes, cache hits/misses/evictions, pool fallbacks.  An
+:class:`EventLog` collects them in memory (cheap, append-only); the sink
+functions serialise a whole observability session — header line, then
+span / metric / event records, one JSON object per line — to a file that
+:func:`read_trace_file` and ``repro stats`` consume.
+
+Schema (``repro-events-v1``)
+----------------------------
+Line 1 is a header: ``{"schema": "repro-events-v1", ...}``.  Every
+subsequent line carries a ``"type"`` of ``"span"``, ``"metric"`` or
+``"event"``:
+
+* span — ``id``, ``parent``, ``name``, ``start``, ``elapsed``, ``tags``;
+* metric — ``name`` plus the metric's snapshot (``kind``, ``value`` /
+  bucket state);
+* event — ``seq``, ``t`` (seconds since the log's epoch), ``kind``,
+  ``fields``.
+
+:func:`validate_trace_file` is the single source of truth for
+well-formedness; CI runs it against a freshly captured trace so schema
+drift fails loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.exceptions import SpecificationError
+
+__all__ = ["EVENTS_SCHEMA", "Event", "EventLog", "TraceFile",
+           "read_trace_file", "validate_trace_file"]
+
+EVENTS_SCHEMA = "repro-events-v1"
+
+#: Event kinds the instrumented layers emit.  The set is advisory — the
+#: schema accepts any kind string — but keeping it here documents the
+#: vocabulary in one place.
+KNOWN_EVENT_KINDS = frozenset({
+    "cascade.tier", "cascade.degraded",
+    "fault.injected", "retry",
+    "checkpoint.save", "checkpoint.resume",
+    "cache.hit", "cache.miss", "cache.skip", "cache.evict",
+    "pool.fallback",
+})
+
+
+@dataclass(frozen=True)
+class Event:
+    """One discrete happening.
+
+    Attributes
+    ----------
+    seq:
+        Log-local sequence number (re-assigned on merge, preserving
+        submission order).
+    t:
+        Seconds since the owning log's monotonic epoch (observational).
+    kind:
+        Dotted event kind, e.g. ``"cache.hit"``.
+    fields:
+        JSON-safe payload describing the happening.
+    """
+
+    seq: int
+    t: float
+    kind: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def to_record(self) -> dict:
+        """JSON-safe encoding of this event (an ``"event"`` trace record)."""
+        return {"type": "event", "seq": self.seq, "t": self.t,
+                "kind": self.kind, "fields": dict(self.fields)}
+
+    @classmethod
+    def from_record(cls, record: Mapping) -> "Event":
+        """Inverse of :meth:`to_record`."""
+        return cls(seq=int(record["seq"]), t=float(record.get("t", 0.0)),
+                   kind=str(record["kind"]),
+                   fields=dict(record.get("fields", {})))
+
+
+class EventLog:
+    """Append-only, thread-safe in-memory event collection."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._epoch = time.perf_counter()
+        self._events: list[Event] = []
+
+    def emit(self, kind: str, /, **fields: Any) -> Event:
+        """Append one event and return it.
+
+        ``kind`` is positional-only so a field may itself be named
+        ``kind`` (e.g. ``fault.injected`` events carry the fault kind).
+        """
+        t = time.perf_counter() - self._epoch
+        with self._lock:
+            event = Event(seq=len(self._events), t=t, kind=kind,
+                          fields=fields)
+            self._events.append(event)
+        return event
+
+    def events(self) -> list[Event]:
+        """Snapshot of every event, in emission order."""
+        with self._lock:
+            return list(self._events)
+
+    def tail(self, n: int) -> list[Event]:
+        """The last ``n`` events."""
+        with self._lock:
+            return list(self._events[-n:]) if n > 0 else []
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def to_records(self) -> list[dict]:
+        """Every event as a JSON-safe record, in emission order."""
+        return [e.to_record() for e in self.events()]
+
+    def absorb(self, records: Iterable[Mapping]) -> None:
+        """Merge events captured in another process (re-sequenced).
+
+        Foreign timestamps are relative to the *worker's* epoch and are
+        kept as-is; only the sequence numbers are re-assigned so the
+        merged log stays totally ordered in absorption order.
+        """
+        foreign = [Event.from_record(r) for r in records]
+        with self._lock:
+            for event in foreign:
+                self._events.append(Event(
+                    seq=len(self._events), t=event.t, kind=event.kind,
+                    fields=event.fields))
+
+    def __repr__(self) -> str:
+        return f"EventLog(events={len(self._events)})"
+
+
+# ----------------------------------------------------------------------
+# JSON-lines sink
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TraceFile:
+    """A parsed ``repro-events-v1`` file: header plus typed records."""
+
+    header: dict
+    spans: list[dict]
+    metrics: dict[str, dict]
+    events: list[dict]
+
+
+def write_trace_records(path, header_extra: Mapping[str, Any],
+                        span_records: Iterable[Mapping],
+                        metric_snapshot: Mapping[str, Mapping],
+                        event_records: Iterable[Mapping]) -> pathlib.Path:
+    """Write one ``repro-events-v1`` JSON-lines file.
+
+    The higher-level entry point is
+    :meth:`repro.observability.runtime.Observability.write`; this function
+    only knows about records, which keeps the schema in one module.
+    """
+    path = pathlib.Path(path)
+    header = {"schema": EVENTS_SCHEMA, "written_at": time.time()}
+    header.update(header_extra)
+    lines = [json.dumps(header)]
+    lines.extend(json.dumps(dict(r)) for r in span_records)
+    lines.extend(json.dumps({"type": "metric", "name": name, **dict(state)})
+                 for name, state in metric_snapshot.items())
+    lines.extend(json.dumps(dict(r)) for r in event_records)
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+def read_trace_file(path) -> TraceFile:
+    """Parse (and validate) a ``repro-events-v1`` file."""
+    path = pathlib.Path(path)
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except OSError as exc:
+        raise SpecificationError(f"unreadable trace file {path}: {exc}") \
+            from exc
+    problems: list[str] = []
+    records: list[dict] = []
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"line {i + 1}: not valid JSON ({exc})")
+            continue
+        if not isinstance(record, dict):
+            problems.append(f"line {i + 1}: expected an object, "
+                            f"got {type(record).__name__}")
+            continue
+        records.append(record)
+    if not records:
+        raise SpecificationError(f"{path} is empty; not a {EVENTS_SCHEMA} "
+                                 "trace")
+    header, body = records[0], records[1:]
+    if header.get("schema") != EVENTS_SCHEMA:
+        problems.append(f"header 'schema' must be {EVENTS_SCHEMA!r}, "
+                        f"got {header.get('schema')!r}")
+    spans: list[dict] = []
+    metrics: dict[str, dict] = {}
+    events: list[dict] = []
+    for i, record in enumerate(body):
+        rtype = record.get("type")
+        where = f"record {i + 1}"
+        if rtype == "span":
+            missing = [f for f in ("id", "name", "tags") if f not in record]
+            if missing:
+                problems.append(f"{where}: span missing field(s) {missing}")
+            else:
+                spans.append(record)
+        elif rtype == "metric":
+            if "name" not in record or record.get("kind") not in (
+                    "counter", "gauge", "histogram"):
+                problems.append(f"{where}: metric needs a 'name' and a "
+                                "known 'kind'")
+            else:
+                metrics[record["name"]] = record
+        elif rtype == "event":
+            missing = [f for f in ("seq", "kind") if f not in record]
+            if missing:
+                problems.append(f"{where}: event missing field(s) {missing}")
+            else:
+                events.append(record)
+        else:
+            problems.append(f"{where}: unknown record type {rtype!r}")
+    if problems:
+        raise SpecificationError(
+            f"invalid {EVENTS_SCHEMA} trace {path}: " + "; ".join(problems))
+    return TraceFile(header=header, spans=spans, metrics=metrics,
+                     events=events)
+
+
+def validate_trace_file(path) -> TraceFile:
+    """Validate a trace file, returning the parsed records.
+
+    Alias of :func:`read_trace_file` under the name CI and external
+    tooling look for; raises
+    :class:`~repro.exceptions.SpecificationError` listing every problem
+    found.
+    """
+    return read_trace_file(path)

@@ -1,0 +1,231 @@
+"""Process-wide counters, gauges, and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` names metrics lazily — ``registry.inc("cache.hits")``
+creates the counter on first touch — so instrumented call sites never
+declare anything up front.  When observability is disabled the call sites
+talk to :data:`NULL_METRICS` instead, whose every operation is a bare
+``pass``: the instrumented hot paths (cache lookups, solver invocations)
+cost one attribute call and nothing else.
+
+Registries are mergeable: worker processes snapshot theirs into the task
+result and the parent :meth:`MetricsRegistry.absorb`\\s them — counters
+and histogram buckets add, gauges take the incoming value (last write
+wins, matching their point-in-time semantics).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Mapping, Sequence
+
+from repro.exceptions import SpecificationError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "NullMetricsRegistry", "NULL_METRICS", "DEFAULT_BUCKETS"]
+
+#: Default histogram bucket upper bounds, in seconds — tuned for solver
+#: and dispatch latencies (an implicit +inf bucket always exists).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        """Add ``n`` (must be non-negative) to the count."""
+        if n < 0:
+            raise SpecificationError(
+                f"counters only increase; got increment {n}")
+        self.value += n
+
+    def snapshot(self) -> dict:
+        """JSON-safe state of this counter."""
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = float(value)
+
+    def snapshot(self) -> dict:
+        """JSON-safe state of this gauge."""
+        return {"kind": self.kind, "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket distribution of observed values.
+
+    ``buckets`` are sorted upper bounds; an implicit overflow bucket
+    catches everything beyond the last bound.  Only counts, the total,
+    and the observation count are kept — no per-sample storage, so a
+    histogram's memory cost is constant regardless of traffic.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise SpecificationError(
+                f"buckets must be non-empty and strictly increasing, "
+                f"got {buckets!r}")
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # + overflow
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        """Mean of the observed values (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        """JSON-safe state of this histogram."""
+        return {"kind": self.kind, "buckets": list(self.buckets),
+                "counts": list(self.counts), "count": self.count,
+                "total": self.total}
+
+
+class MetricsRegistry:
+    """Named metrics, created lazily on first touch.
+
+    A name is bound to one metric kind for the registry's lifetime;
+    touching ``"x"`` as a counter and later as a gauge raises, because a
+    silent kind change would corrupt the merged numbers.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls, *args):
+        metric = self._metrics.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.setdefault(name, cls(*args))
+        if not isinstance(metric, cls):
+            raise SpecificationError(
+                f"metric {name!r} is a {metric.kind}, not a "
+                f"{cls.kind}")
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name`` (created on first touch)."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name`` (created on first touch)."""
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        """The histogram named ``name`` (created on first touch)."""
+        return self._get(name, Histogram, buckets)
+
+    # convenience single-call forms used by instrumented call sites ------
+    def inc(self, name: str, n: float = 1.0) -> None:
+        """Increment the counter ``name`` by ``n``."""
+        self.counter(name).inc(n)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to ``value``."""
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float,
+                buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        """Record ``value`` into the histogram ``name``."""
+        self.histogram(name, buckets).observe(value)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, dict]:
+        """Immutable JSON-safe copy of every metric, keyed by name.
+
+        The returned structure shares nothing with the live registry;
+        callers holding a snapshot never observe later mutation.
+        """
+        with self._lock:
+            items = list(self._metrics.items())
+        return {name: metric.snapshot() for name, metric in sorted(items)}
+
+    def absorb(self, snapshot: Mapping[str, Mapping]) -> None:
+        """Merge a foreign snapshot (e.g. from a worker process).
+
+        Counters add; histogram buckets and totals add (bucket layouts
+        must match); gauges take the incoming value.
+        """
+        for name, state in snapshot.items():
+            kind = state.get("kind")
+            if kind == "counter":
+                self.counter(name).inc(float(state["value"]))
+            elif kind == "gauge":
+                self.gauge(name).set(float(state["value"]))
+            elif kind == "histogram":
+                hist = self.histogram(name, state["buckets"])
+                if list(hist.buckets) != [float(b) for b in state["buckets"]]:
+                    raise SpecificationError(
+                        f"histogram {name!r} bucket layouts differ; "
+                        "cannot merge")
+                for i, c in enumerate(state["counts"]):
+                    hist.counts[i] += int(c)
+                hist.count += int(state["count"])
+                hist.total += float(state["total"])
+            else:
+                raise SpecificationError(
+                    f"unknown metric kind {kind!r} for {name!r}")
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry(metrics={len(self._metrics)})"
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """The disabled backend: every operation is a no-op.
+
+    Instrumented call sites always talk to *some* registry; when
+    observability is off they get this one, so the hot-path cost of an
+    instrumented line is a method call that immediately returns.
+    """
+
+    def inc(self, name: str, n: float = 1.0) -> None:  # noqa: ARG002
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:  # noqa: ARG002
+        pass
+
+    def observe(self, name: str, value: float,
+                buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        pass
+
+    def snapshot(self) -> dict[str, dict]:
+        return {}
+
+    def absorb(self, snapshot: Mapping[str, Mapping]) -> None:
+        pass
+
+
+#: Shared no-op registry handed out while observability is disabled.
+NULL_METRICS = NullMetricsRegistry()

@@ -1,0 +1,144 @@
+"""Render a captured trace file as a human-readable run summary.
+
+``repro stats out.jsonl`` goes through :func:`render_report`, which reads
+a ``repro-events-v1`` file and prints three sections:
+
+* **span tree** — spans aggregated by name along their parent chain, with
+  call counts and *total* vs *self* time (self = total minus the time
+  spent in child spans), so "where did this run spend its time" is one
+  glance: cascade tiers under radius solves under executor dispatch;
+* **metric table** — every counter/gauge/histogram the run touched;
+* **event tail** — the last N discrete events (tier transitions, cache
+  traffic, retries, checkpoint saves ...).
+
+Aggregation by name keeps the output bounded: a sweep with ten thousand
+radius solves prints one ``radius.solve`` row per tree position, not ten
+thousand lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.observability.events import TraceFile, read_trace_file
+from repro.utils.tables import format_table
+
+__all__ = ["render_report", "render_span_tree", "render_metrics",
+           "render_events"]
+
+
+@dataclass
+class _Node:
+    """One aggregated position in the span tree."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    child_time: float = 0.0
+    children: dict[str, "_Node"] = field(default_factory=dict)
+    first_id: int = 0  # for stable, chronological-ish ordering
+
+    @property
+    def self_time(self) -> float:
+        return max(0.0, self.total - self.child_time)
+
+
+def _build_tree(spans: list[Mapping]) -> _Node:
+    """Aggregate raw span records into a name-keyed tree."""
+    by_id = {s["id"]: s for s in spans}
+    root = _Node(name="<run>")
+    # Node lookup is by the *path* of names from the root, found by
+    # walking each span's parent chain.
+    node_of: dict[int, _Node] = {}
+    for s in sorted(spans, key=lambda s: s["id"]):
+        parent = s.get("parent")
+        parent_node = node_of.get(parent, root) if parent is not None \
+            else root
+        node = parent_node.children.get(s["name"])
+        if node is None:
+            node = _Node(name=s["name"], first_id=s["id"])
+            parent_node.children[s["name"]] = node
+        node.count += 1
+        elapsed = s.get("elapsed") or 0.0
+        node.total += elapsed
+        if parent is not None and parent in by_id:
+            parent_node.child_time += elapsed
+        node_of[s["id"]] = node
+    return root
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 100:
+        return f"{seconds:.1f}s"
+    if seconds >= 0.1:
+        return f"{seconds:.3f}s"
+    return f"{seconds * 1000:.2f}ms"
+
+
+def render_span_tree(spans: list[Mapping]) -> str:
+    """The aggregated span tree with per-position count/total/self time."""
+    if not spans:
+        return "span tree: (no spans recorded)"
+    root = _build_tree(spans)
+    lines = [f"{'span':<44} {'count':>6} {'total':>10} {'self':>10}"]
+
+    def walk(node: _Node, depth: int) -> None:
+        label = "  " * depth + node.name
+        lines.append(f"{label:<44} {node.count:>6} "
+                     f"{_fmt_seconds(node.total):>10} "
+                     f"{_fmt_seconds(node.self_time):>10}")
+        for child in sorted(node.children.values(),
+                            key=lambda n: n.first_id):
+            walk(child, depth + 1)
+
+    for top in sorted(root.children.values(), key=lambda n: n.first_id):
+        walk(top, 0)
+    return "span tree (total / self wall-clock time)\n" + "\n".join(lines)
+
+
+def render_metrics(metrics: Mapping[str, Mapping]) -> str:
+    """The metric table (counters, gauges, histogram summaries)."""
+    if not metrics:
+        return "metrics: (none recorded)"
+    rows = []
+    for name in sorted(metrics):
+        state = metrics[name]
+        kind = state.get("kind", "?")
+        if kind == "histogram":
+            count = int(state.get("count", 0))
+            mean = (float(state.get("total", 0.0)) / count) if count else 0.0
+            value = f"n={count} mean={_fmt_seconds(mean)}"
+        else:
+            value = f"{float(state.get('value', 0.0)):g}"
+        rows.append([name, kind, value])
+    return format_table(["metric", "kind", "value"], rows, title="metrics")
+
+
+def render_events(events: list[Mapping], *, tail: int = 15) -> str:
+    """The last ``tail`` events, one line each."""
+    if not events:
+        return "events: (none recorded)"
+    shown = events[-tail:] if tail > 0 else []
+    lines = [f"events (last {len(shown)} of {len(events)})"]
+    for e in shown:
+        fields = e.get("fields", {})
+        detail = " ".join(f"{k}={v}" for k, v in fields.items())
+        lines.append(f"  #{e.get('seq', '?'):>5}  {e.get('kind', '?'):<20} "
+                     f"{detail}")
+    return "\n".join(lines)
+
+
+def render_report(path, *, events_tail: int = 15) -> str:
+    """Full ``repro stats`` report for one ``repro-events-v1`` file."""
+    trace: TraceFile = read_trace_file(path)
+    header = trace.header
+    intro = (f"trace {path} (schema {header.get('schema')}, "
+             f"pid {header.get('pid', '?')}, {len(trace.spans)} spans, "
+             f"{len(trace.events)} events)")
+    return "\n\n".join([
+        intro,
+        render_span_tree(trace.spans),
+        render_metrics(trace.metrics),
+        render_events(trace.events, tail=events_tail),
+    ])

@@ -1,0 +1,221 @@
+"""The process-wide observability session and its zero-cost-off helpers.
+
+An :class:`Observability` bundles the three collectors — a
+:class:`~repro.observability.trace.TraceRecorder`, a
+:class:`~repro.observability.metrics.MetricsRegistry`, and an
+:class:`~repro.observability.events.EventLog` — into one session that the
+instrumented layers feed through three module-level helpers:
+
+``span("radius.solve", feature=...)``
+    context manager *and* decorator timing a nested operation;
+``emit_event("cache.hit", key=...)``
+    appends a discrete event;
+``get_metrics().inc("cache.hits")``
+    touches a named counter/gauge/histogram.
+
+When no session is active (the default) all three are near-free: ``span``
+yields ``None`` without touching a recorder, ``emit_event`` returns
+immediately, and ``get_metrics`` hands out the shared no-op
+:data:`~repro.observability.metrics.NULL_METRICS` registry — so the
+instrumentation can live permanently on the hot paths.
+
+Worker processes get their own session per task
+(:func:`observed_call`), whose captured payload rides home inside the
+task result; the parent merges payloads in submission order
+(:meth:`Observability.absorb`), preserving the library's determinism
+contract — timings are observational metadata, never inputs.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import ContextDecorator, contextmanager
+from typing import Any, Callable, Mapping
+
+from repro.exceptions import SpecificationError
+from repro.observability.events import EventLog, write_trace_records
+from repro.observability.metrics import (
+    NULL_METRICS,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from repro.observability.trace import Span, TraceRecorder
+
+__all__ = [
+    "Observability",
+    "enable_observability",
+    "disable_observability",
+    "get_observability",
+    "observing",
+    "span",
+    "emit_event",
+    "get_metrics",
+    "observed_call",
+]
+
+_active: "Observability | None" = None
+
+
+class Observability:
+    """One observability session: trace recorder + metrics + event log."""
+
+    def __init__(self) -> None:
+        self.recorder = TraceRecorder()
+        self.metrics = MetricsRegistry()
+        self.events = EventLog()
+
+    # ------------------------------------------------------------------
+    # cross-process merge
+    # ------------------------------------------------------------------
+    def capture(self) -> dict:
+        """Picklable payload of everything this session collected.
+
+        Worker processes return this alongside their task result so the
+        parent can merge it (:meth:`absorb`).
+        """
+        return {
+            "pid": os.getpid(),
+            "spans": self.recorder.to_records(),
+            "metrics": self.metrics.snapshot(),
+            "events": self.events.to_records(),
+        }
+
+    def absorb(self, payload: Mapping | None) -> None:
+        """Merge a worker's captured payload into this session.
+
+        Foreign spans are re-parented under the currently open span and
+        tagged with the worker pid; counters/histograms add, gauges take
+        the incoming value; events append in absorption order.  Absorbing
+        payloads in task-submission order keeps the merged trace
+        deterministic in structure.
+        """
+        if not payload:
+            return
+        extra = {"worker_pid": payload.get("pid")}
+        self.recorder.absorb(payload.get("spans", ()), extra_tags=extra)
+        self.metrics.absorb(payload.get("metrics", {}))
+        self.events.absorb(payload.get("events", ()))
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def write(self, path, **header_extra: Any):
+        """Persist the session as a ``repro-events-v1`` JSON-lines file."""
+        return write_trace_records(
+            path, dict(header_extra, pid=os.getpid()),
+            self.recorder.to_records(), self.metrics.snapshot(),
+            self.events.to_records())
+
+    def __repr__(self) -> str:
+        return (f"Observability(spans={len(self.recorder)}, "
+                f"metrics={len(self.metrics)}, events={len(self.events)})")
+
+
+# ----------------------------------------------------------------------
+# active-session management
+# ----------------------------------------------------------------------
+def enable_observability(obs: Observability | None = None) -> Observability:
+    """Install ``obs`` (or a fresh session) as the active session."""
+    global _active
+    if obs is None:
+        obs = Observability()
+    if not isinstance(obs, Observability):
+        raise SpecificationError(
+            f"obs must be an Observability, got {type(obs).__name__}")
+    _active = obs
+    return obs
+
+
+def disable_observability() -> None:
+    """Deactivate observability (the helpers go back to no-ops)."""
+    global _active
+    _active = None
+
+
+def get_observability() -> Observability | None:
+    """The active session, or ``None`` when observability is disabled."""
+    return _active
+
+
+@contextmanager
+def observing(obs: Observability | None = None):
+    """Activate a session for the duration of a ``with`` block.
+
+    Re-entrant: the previously active session (if any) is restored on
+    exit, so nested scopes — a test inside a traced CLI run, a worker
+    task — compose.
+    """
+    global _active
+    previous = _active
+    current = enable_observability(obs)
+    try:
+        yield current
+    finally:
+        _active = previous
+
+
+def get_metrics() -> MetricsRegistry | NullMetricsRegistry:
+    """The active session's metrics registry, or the no-op registry."""
+    return _active.metrics if _active is not None else NULL_METRICS
+
+
+def emit_event(kind: str, /, **fields: Any) -> None:
+    """Append an event to the active session (no-op when disabled).
+
+    ``kind`` is positional-only so a field may itself be named ``kind``.
+    """
+    if _active is not None:
+        _active.events.emit(kind, **fields)
+
+
+class span(ContextDecorator):
+    """Time a nested operation: ``with span("radius.solve", feature=f):``.
+
+    Usable as a context manager (yields the open
+    :class:`~repro.observability.trace.Span`, or ``None`` when
+    observability is disabled — guard before mutating ``tags``) and as a
+    decorator (``@span("validate.feature")``), in which case activation
+    is re-checked on every call, so decorating at import time is free.
+    """
+
+    def __init__(self, name: str, **tags: Any) -> None:
+        self.name = name
+        self.tags = tags
+        self._span: Span | None = None
+        self._recorder: TraceRecorder | None = None
+
+    def _recreate_cm(self) -> "span":
+        # ContextDecorator hook: a fresh instance per decorated call, so
+        # one decorator object is safe under recursion and threads.
+        return span(self.name, **self.tags)
+
+    def __enter__(self) -> Span | None:
+        if _active is not None:
+            self._recorder = _active.recorder
+            self._span = self._recorder.start_span(self.name, self.tags)
+        return self._span
+
+    def __exit__(self, *exc_info) -> bool:
+        if self._span is not None and self._recorder is not None:
+            # Close against the recorder that opened the span, even if
+            # the active session was swapped mid-span.
+            self._recorder.end_span(self._span)
+        self._span = None
+        self._recorder = None
+        return False
+
+
+def observed_call(task: Callable[[], Any]) -> tuple[Any, dict | None]:
+    """Run a task under a fresh observability session and capture it.
+
+    The worker-side trampoline of the parallel executor: returns
+    ``(result, payload)`` where ``payload`` is the session's
+    :meth:`Observability.capture` (or ``None`` if nothing was recorded).
+    Module-level so it pickles.
+    """
+    local = Observability()
+    with observing(local):
+        with span("parallel.task", pid=os.getpid()):
+            result = task()
+    payload = local.capture()
+    return result, payload

@@ -1,0 +1,189 @@
+"""Nestable spans with monotonic timings, recorded per process.
+
+A :class:`Span` times one logical operation — a radius solve, a cascade
+tier, a parallel dispatch — and remembers its parent, so a run unrolls
+into a tree: *where did the time go?*  Spans record into a
+:class:`TraceRecorder`, which is deliberately per-process: worker
+processes each build their own recorder around the task they execute and
+ship the finished spans home inside the task result, where the parent
+recorder merges them **in submission order** (see
+:meth:`TraceRecorder.absorb`).  That keeps the library's determinism
+contract intact — the wall-clock numbers a trace carries are
+observational metadata and never feed back into any computed result.
+
+The module holds no global state; :mod:`repro.observability.runtime`
+owns the process-wide active recorder and the zero-cost-when-disabled
+``span(...)`` helper that instrumented call sites use.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+__all__ = ["Span", "TraceRecorder"]
+
+
+@dataclass
+class Span:
+    """One timed operation in the trace tree.
+
+    Attributes
+    ----------
+    name:
+        Dotted operation label, e.g. ``"radius.solve"``.
+    span_id:
+        Recorder-local id; ids are assigned in span *start* order, and a
+        merge re-assigns them so ordering stays meaningful.
+    parent_id:
+        Enclosing span's id (``None`` for a root span).
+    start:
+        Seconds since the owning recorder's monotonic epoch.
+    elapsed:
+        Wall-clock duration in seconds (``None`` while the span is open).
+    tags:
+        Free-form annotations (feature name, solver, worker pid, ...).
+        Call sites may add outcome tags to the yielded span before it
+        closes.
+    """
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start: float
+    elapsed: float | None = None
+    tags: dict[str, Any] = field(default_factory=dict)
+
+    def to_record(self) -> dict:
+        """JSON-safe encoding of this span (a ``"span"`` trace record)."""
+        return {
+            "type": "span",
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "elapsed": self.elapsed,
+            "tags": dict(self.tags),
+        }
+
+    @classmethod
+    def from_record(cls, record: Mapping) -> "Span":
+        """Inverse of :meth:`to_record`."""
+        return cls(
+            name=str(record["name"]),
+            span_id=int(record["id"]),
+            parent_id=(None if record.get("parent") is None
+                       else int(record["parent"])),
+            start=float(record.get("start", 0.0)),
+            elapsed=(None if record.get("elapsed") is None
+                     else float(record["elapsed"])),
+            tags=dict(record.get("tags", {})),
+        )
+
+
+class TraceRecorder:
+    """Per-process span collector with a shared nesting stack.
+
+    The stack is process-wide rather than thread-local on purpose: the
+    resilience layer runs solver bodies on helper threads while the
+    calling thread blocks on the result
+    (:func:`~repro.resilience.timeouts.call_with_timeout`), and the
+    blocked caller's open span *is* the logical parent of whatever the
+    helper thread does.  All mutation happens under one lock.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._epoch = time.perf_counter()
+        self._spans: list[Span] = []
+        self._stack: list[Span] = []
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def start_span(self, name: str, tags: Mapping[str, Any] | None = None
+                   ) -> Span:
+        """Open a span nested under the currently active one."""
+        t = time.perf_counter() - self._epoch
+        with self._lock:
+            span = Span(
+                name=name,
+                span_id=self._next_id,
+                parent_id=self._stack[-1].span_id if self._stack else None,
+                start=t,
+                tags=dict(tags) if tags else {},
+            )
+            self._next_id += 1
+            self._spans.append(span)
+            self._stack.append(span)
+        return span
+
+    def end_span(self, span: Span) -> None:
+        """Close a span (tolerates out-of-order closes from helper threads)."""
+        elapsed = time.perf_counter() - self._epoch - span.start
+        with self._lock:
+            span.elapsed = elapsed
+            if span in self._stack:
+                # Pop everything above it too: a helper thread that
+                # abandoned an inner span must not re-parent later spans.
+                while self._stack and self._stack[-1] is not span:
+                    self._stack.pop()
+                if self._stack:
+                    self._stack.pop()
+
+    def current_span(self) -> Span | None:
+        """The innermost open span, or ``None`` at the top level."""
+        with self._lock:
+            return self._stack[-1] if self._stack else None
+
+    # ------------------------------------------------------------------
+    # inspection / merge
+    # ------------------------------------------------------------------
+    def spans(self) -> list[Span]:
+        """Snapshot of every recorded span, in start order."""
+        with self._lock:
+            return list(self._spans)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def to_records(self) -> list[dict]:
+        """Every span as a JSON-safe record, in start order."""
+        return [s.to_record() for s in self.spans()]
+
+    def absorb(self, records: Iterable[Mapping], *,
+               extra_tags: Mapping[str, Any] | None = None) -> None:
+        """Merge spans captured in another process into this recorder.
+
+        Ids are re-assigned (preserving the foreign start order) and the
+        foreign roots are re-parented under this recorder's currently
+        open span, so a worker's sub-tree hangs off the dispatch span
+        that shipped it.  Callers absorb worker payloads in submission
+        order, which keeps the merged trace deterministic in structure;
+        the foreign ``start`` offsets are relative to the *worker's*
+        epoch and are kept as-is (observational metadata only).
+        """
+        spans = [Span.from_record(r) for r in records]
+        with self._lock:
+            anchor = self._stack[-1].span_id if self._stack else None
+            remap: dict[int, int] = {}
+            for span in spans:
+                remap[span.span_id] = self._next_id
+                span.span_id = self._next_id
+                self._next_id += 1
+            for span in spans:
+                if span.parent_id is not None and span.parent_id in remap:
+                    span.parent_id = remap[span.parent_id]
+                else:
+                    span.parent_id = anchor
+                if extra_tags:
+                    for k, v in extra_tags.items():
+                        span.tags.setdefault(k, v)
+                self._spans.append(span)
+
+    def __repr__(self) -> str:
+        return (f"TraceRecorder(spans={len(self._spans)}, "
+                f"open={len(self._stack)})")

@@ -28,6 +28,7 @@ import time
 from typing import Sequence
 
 from repro.exceptions import SpecificationError
+from repro.observability import get_observability
 from repro.parallel.cache import (
     RadiusCache,
     get_default_cache,
@@ -121,7 +122,7 @@ def run_parallel_benchmark(
     identical = _canonical(serial) == _canonical(parallel)
     if not identical:  # pragma: no cover - determinism contract violation
         logger.error("parallel results DIFFER from serial results")
-    return {
+    payload = {
         "schema": BENCH_SCHEMA,
         "workers": int(workers),
         "seed": int(seed),
@@ -134,6 +135,16 @@ def run_parallel_benchmark(
         "executor": executor_stats,
         "cache": cache_stats,
     }
+    obs = get_observability()
+    if obs is not None:
+        # Observational extras only: the metric snapshot of the session so
+        # far, never consulted by the identity check above.
+        payload["observability"] = {
+            "metrics": obs.metrics.snapshot(),
+            "spans": len(obs.recorder.spans()),
+            "events": len(obs.events.events()),
+        }
+    return payload
 
 
 _CACHE_FIELDS = ("hits", "misses", "skips", "entries", "hit_rate")
@@ -195,6 +206,18 @@ def validate_bench_payload(payload) -> dict:
         if isinstance(rate, numbers.Real) and not isinstance(rate, bool) \
                 and rate > 1.0:
             problems.append(f"cache.'hit_rate' must be <= 1, got {rate!r}")
+    observability = payload.get("observability")
+    if observability is not None:  # optional: only present on traced runs
+        if not isinstance(observability, dict):
+            problems.append(f"'observability' must be a dict when present, "
+                            f"got {observability!r}")
+        else:
+            if not isinstance(observability.get("metrics"), dict):
+                problems.append(
+                    f"observability.'metrics' must be a dict, "
+                    f"got {observability.get('metrics')!r}")
+            for field in ("spans", "events"):
+                check_number(observability, field, "observability.")
     if problems:
         raise SpecificationError(
             "invalid benchmark payload: " + "; ".join(problems))

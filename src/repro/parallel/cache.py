@@ -36,6 +36,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.exceptions import SpecificationError
+from repro.observability import emit_event, get_metrics
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.core.radius import RadiusProblem, RadiusResult
@@ -109,6 +110,10 @@ class RadiusCache:
         if structure is None or isinstance(seed, np.random.Generator):
             with self._lock:
                 self.skips += 1
+            get_metrics().inc("cache.skips")
+            emit_event("cache.skip",
+                       reason=("no structure key" if structure is None
+                               else "stateful Generator seed"))
             return None
         h = hashlib.sha256()
         h.update(repr(structure).encode())
@@ -135,18 +140,29 @@ class RadiusCache:
                 self.misses += 1
             else:
                 self.hits += 1
-            return result
+        if result is None:
+            get_metrics().inc("cache.misses")
+            emit_event("cache.miss", key=key[:12])
+        else:
+            get_metrics().inc("cache.hits")
+            emit_event("cache.hit", key=key[:12])
+        return result
 
     def put(self, key: str | None, result: "RadiusResult") -> None:
         """Store a solved result (``None`` key: no-op)."""
         if key is None:
             return
+        evicted = None
         with self._lock:
             if self.max_entries is not None \
                     and key not in self._store \
                     and len(self._store) >= self.max_entries:
-                self._store.pop(next(iter(self._store)))
+                evicted = next(iter(self._store))
+                self._store.pop(evicted)
             self._store[key] = result
+        if evicted is not None:
+            get_metrics().inc("cache.evictions")
+            emit_event("cache.evict", key=evicted[:12])
 
     def clear(self) -> None:
         """Drop every entry and reset the counters."""
@@ -158,7 +174,15 @@ class RadiusCache:
         return len(self._store)
 
     def stats(self) -> dict:
-        """Hit/miss/skip counters for diagnostics and benchmark payloads."""
+        """Hit/miss/skip counters for diagnostics and benchmark payloads.
+
+        Returns an immutable *snapshot* taken under the lock: a fresh
+        dict of plain values decoupled from the live cache, so callers
+        holding a stats dict never observe later mutation.  With an
+        observability session active the same traffic also lands in the
+        ``cache.*`` metrics and as ``cache.hit``/``cache.miss``/
+        ``cache.skip``/``cache.evict`` events.
+        """
         with self._lock:
             total = self.hits + self.misses
             return {

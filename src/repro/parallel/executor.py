@@ -35,6 +35,13 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.exceptions import SpecificationError
+from repro.observability import (
+    emit_event,
+    get_metrics,
+    get_observability,
+    observed_call,
+    span,
+)
 
 __all__ = ["Task", "ParallelExecutor", "default_workers", "executor_scope"]
 
@@ -137,9 +144,12 @@ class ParallelExecutor:
                   reason: str) -> list[Any]:
         self.fallbacks += 1
         self.last_fallback_reason = reason
+        get_metrics().inc("executor.fallbacks")
+        emit_event("pool.fallback", tasks=len(tasks), reason=reason)
         logger.debug("parallel batch of %d task(s) running serially: %s",
                      len(tasks), reason)
-        return [task() for task in tasks]
+        with span("parallel.fallback", tasks=len(tasks)):
+            return [task() for task in tasks]
 
     def run(self, tasks: Sequence[Callable[[], Any]]) -> list[Any]:
         """Execute zero-argument tasks, returning results in task order.
@@ -148,6 +158,12 @@ class ParallelExecutor:
         and the batch survives a pickling pre-flight; otherwise they run
         serially in-process.  Either way the result list matches the task
         order, and a task's exception propagates to the caller.
+
+        With an observability session active, parallel batches dispatch
+        through :func:`~repro.observability.observed_call`: each worker
+        records its own spans/metrics/events and ships them home inside
+        the result, where they are merged in submission order — results
+        stay bit-identical with tracing on or off, for any worker count.
         """
         tasks = list(tasks)
         if self.workers <= 1 or len(tasks) <= 1:
@@ -156,12 +172,25 @@ class ParallelExecutor:
             pickle.dumps(tasks)
         except Exception as exc:  # pickling failures are wildly varied
             return self._fallback(tasks, f"non-picklable task batch: {exc!r}")
-        try:
-            results = list(self._ensure_pool().map(_call_task, tasks))
-        except BrokenProcessPool as exc:
-            self._pool = None  # a fresh pool will be built next batch
-            return self._fallback(tasks, f"broken process pool: {exc!r}")
+        obs = get_observability()
+        with span("parallel.dispatch", tasks=len(tasks),
+                  workers=self.workers):
+            try:
+                if obs is None:
+                    results = list(self._ensure_pool().map(_call_task, tasks))
+                else:
+                    pairs = list(self._ensure_pool().map(observed_call,
+                                                         tasks))
+                    results = []
+                    for result, payload in pairs:  # submission order
+                        obs.absorb(payload)
+                        results.append(result)
+            except BrokenProcessPool as exc:
+                self._pool = None  # a fresh pool will be built next batch
+                return self._fallback(tasks,
+                                      f"broken process pool: {exc!r}")
         self.dispatched += len(tasks)
+        get_metrics().inc("executor.dispatched", len(tasks))
         return results
 
     def map(self, fn: Callable[..., Any],
@@ -170,7 +199,12 @@ class ParallelExecutor:
         return self.run([Task(fn, tuple(args)) for args in argtuples])
 
     def stats(self) -> dict:
-        """Executor counters for diagnostics and benchmark payloads."""
+        """Executor counters for diagnostics and benchmark payloads.
+
+        Returns an immutable *snapshot*: a fresh dict of plain values,
+        decoupled from the live executor — callers holding a stats dict
+        never observe later mutation of the counters.
+        """
         return {
             "workers": self.workers,
             "dispatched": self.dispatched,

@@ -55,6 +55,7 @@ from repro.exceptions import (
     SolverTimeoutError,
     SpecificationError,
 )
+from repro.observability import emit_event, get_metrics, span
 from repro.resilience.retry import RetryPolicy
 from repro.resilience.timeouts import call_with_timeout
 
@@ -172,24 +173,29 @@ class SolverCascade:
         if self._fault_injector is not None:
             call = self._fault_injector.wrap_callable(fn, name=solver)
         t0 = time.perf_counter()
-        try:
-            value = call_with_timeout(
-                lambda: call(rng), timeout=self.config.solver_timeout,
-                name=solver)
-        except BoundaryNotFoundError as exc:
-            self._record(trail, solver, bound, attempt, t0, "unreachable",
-                         str(exc))
-            return "unreachable", None
-        except SolverTimeoutError as exc:
-            self._record(trail, solver, bound, attempt, t0, "timeout",
-                         str(exc))
-            return "timeout", None
-        except Exception as exc:  # injected or numerical: degrade, not die
-            self._record(trail, solver, bound, attempt, t0, "error",
-                         f"{type(exc).__name__}: {exc}")
-            return "error", None
-        self._record(trail, solver, bound, attempt, t0, "ok")
-        return "ok", value
+        with span("cascade.tier", solver=solver,
+                  bound=None if bound is None else float(bound),
+                  attempt=attempt) as sp:
+            try:
+                value = call_with_timeout(
+                    lambda: call(rng), timeout=self.config.solver_timeout,
+                    name=solver)
+            except BoundaryNotFoundError as exc:
+                outcome, value, detail = "unreachable", None, str(exc)
+            except SolverTimeoutError as exc:
+                outcome, value, detail = "timeout", None, str(exc)
+            except Exception as exc:  # injected or numerical: degrade
+                outcome, value = "error", None
+                detail = f"{type(exc).__name__}: {exc}"
+            else:
+                outcome, detail = "ok", ""
+            if sp is not None:
+                sp.tags["outcome"] = outcome
+        self._record(trail, solver, bound, attempt, t0, outcome, detail)
+        get_metrics().inc(f"cascade.tier.{outcome}")
+        emit_event("cascade.tier", solver=solver, bound=bound,
+                   attempt=attempt, outcome=outcome)
+        return outcome, value
 
     @staticmethod
     def _record(trail: list[SolverAttempt], solver: str, bound: float | None,
@@ -220,6 +226,9 @@ class SolverCascade:
                 return outcome, value
             if i + 1 < attempts:
                 delay = policy.delay(i, jitter_rng)
+                get_metrics().inc("cascade.retries")
+                emit_event("retry", solver=solver, attempt=i + 1,
+                           delay=delay)
                 logger.warning(
                     "solver %s failed (attempt %d/%d); retrying in %.3g s",
                     solver, i + 1, attempts, delay)
@@ -391,6 +400,10 @@ class SolverCascade:
                 method: str = "auto") -> RadiusResult:
         """Compute a radius, degrading gracefully instead of raising.
 
+        One ``cascade.compute`` span (with per-tier ``cascade.tier``
+        child spans), a ``cascade.quality.*`` counter, and per-tier
+        events are recorded when an observability session is active.
+
         Parameters
         ----------
         problem:
@@ -423,6 +436,15 @@ class SolverCascade:
             raise SpecificationError(
                 f"problem must be a RadiusProblem, got "
                 f"{type(problem).__name__}")
+        with span("cascade.compute") as sp:
+            result = self._compute(problem)
+            if sp is not None:
+                sp.tags["quality"] = result.quality.name
+                sp.tags["method"] = result.method
+        get_metrics().inc(f"cascade.quality.{result.quality.name}")
+        return result
+
+    def _compute(self, problem: RadiusProblem) -> RadiusResult:
         call_ss = self._root_ss.spawn(1)[0]
         jitter_rng = np.random.default_rng(call_ss.spawn(1)[0])
         trail: list[SolverAttempt] = []
@@ -519,6 +541,11 @@ class SolverCascade:
 
     def _finish(self, result: RadiusResult) -> RadiusResult:
         if result.is_degraded:
+            emit_event("cascade.degraded", quality=result.quality.name,
+                       radius=(result.radius
+                               if math.isfinite(result.radius) else
+                               repr(result.radius)),
+                       method=result.method)
             logger.warning("radius computation degraded to %s (radius=%g)",
                            result.quality, result.radius)
             if self.config.warn_on_degraded:

@@ -32,6 +32,7 @@ import tempfile
 from typing import Any, Callable, Sequence
 
 from repro.exceptions import CheckpointError, SpecificationError
+from repro.observability import emit_event, get_metrics, span
 
 __all__ = ["Checkpoint", "run_checkpointed"]
 
@@ -101,6 +102,9 @@ class Checkpoint:
                     f"stored meta {state.get('meta')!r} != expected "
                     f"{expect_meta!r}; delete the file to start over")
         completed = state.get("completed", {})
+        get_metrics().inc("checkpoint.resumes")
+        emit_event("checkpoint.resume", path=str(self.path),
+                   completed=len(completed))
         logger.info("resuming from %s: %d completed item(s)", self.path,
                     len(completed))
         return dict(completed)
@@ -125,6 +129,9 @@ class Checkpoint:
             with contextlib.suppress(OSError):
                 os.unlink(tmp)
             raise
+        get_metrics().inc("checkpoint.saves")
+        emit_event("checkpoint.save", path=str(self.path),
+                   completed=len(completed))
         logger.debug("checkpointed %d item(s) to %s", len(completed),
                      self.path)
 
@@ -204,12 +211,14 @@ def run_checkpointed(
         for start in range(0, len(pending), wave):
             batch = pending[start:start + wave]
             logger.debug("running checkpoint wave of %d item(s)", len(batch))
-            values = executor.run([thunk for _, thunk in batch])
-            for (key, _), value in zip(batch, values):
-                fresh[key] = value
-                stored[key] = encode(value)
-            if ckpt is not None:
-                ckpt.save(stored, meta)
+            with span("checkpoint.wave", items=len(batch),
+                      wave=start // wave):
+                values = executor.run([thunk for _, thunk in batch])
+                for (key, _), value in zip(batch, values):
+                    fresh[key] = value
+                    stored[key] = encode(value)
+                if ckpt is not None:
+                    ckpt.save(stored, meta)
         return {key: fresh[key] if key in fresh else decode(stored[key])
                 for key, _ in items}
 

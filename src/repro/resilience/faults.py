@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.core.mappings import FeatureMapping
 from repro.exceptions import ConvergenceError, SolverError, SpecificationError
+from repro.observability import emit_event, get_metrics
 from repro.utils.rng import default_rng
 
 __all__ = ["FaultSpec", "FaultInjector", "InjectedFaultError"]
@@ -121,6 +122,8 @@ class FaultInjector:
 
     def _fire(self, site: str, kind: str) -> None:
         self.counts[f"{site}:{kind}"] += 1
+        get_metrics().inc(f"faults.{kind}")
+        emit_event("fault.injected", site=site, kind=kind)
         logger.debug("injected %s fault at %s", kind, site)
 
     def total_injected(self) -> int:

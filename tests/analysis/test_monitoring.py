@@ -77,3 +77,48 @@ class TestMonitoringExperiment:
         out = monitoring_experiment(system, analysis, n_steps=20,
                                     seed=0).to_table()
         assert "E9" in out and "ramp" in out
+
+
+class TestLeadTimePerShape:
+    """Satellite coverage: lead time is reported per drift shape and the
+    soundness flag means exactly 'alarm never after violation'."""
+
+    def test_every_shape_reports_a_row(self, monitor_setup):
+        system, analysis = monitor_setup
+        result = monitoring_experiment(system, analysis, n_steps=40, seed=0)
+        assert [r[0] for r in result.rows] == [
+            "ramp", "spike", "random walk", "sinusoid"]
+        assert all(r[5] == "yes" for r in result.rows)
+
+    def test_lead_time_column_consistent_with_steps(self, monitor_setup):
+        system, analysis = monitor_setup
+        result = monitoring_experiment(system, analysis, n_steps=40,
+                                       ramp_factor=3.0, seed=0)
+        for row in result.rows:
+            _, _, alarm, violation, lead, _ = row
+            if alarm != "-" and violation != "-":
+                assert lead == violation - alarm
+                assert lead >= 0  # soundness: warning, never hindsight
+            else:
+                assert lead == "-"
+
+    def test_alarm_without_violation_is_sound_with_no_lead_time(
+            self, monitor_setup):
+        # Falling loads leave the radius ball (alarm) but only improve the
+        # QoS (no violation): sound, and lead time stays undefined.
+        system, analysis = monitor_setup
+        down = np.linspace(1.0, 0.01, 30)[:, None] * system.original_loads()
+        outcome = replay_trace(analysis, down, name="down")
+        assert outcome.alarm_step is not None
+        assert outcome.violation_step is None
+        assert outcome.lead_time is None
+        assert outcome.sound
+
+    def test_never_violating_flat_trace_never_alarms(self, monitor_setup):
+        system, analysis = monitor_setup
+        flat = np.tile(system.original_loads(), (25, 1))
+        outcome = replay_trace(analysis, flat)
+        assert outcome.alarm_step is None
+        assert outcome.violation_step is None
+        assert outcome.lead_time is None
+        assert outcome.sound

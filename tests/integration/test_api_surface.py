@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.systems.hiperd",
     "repro.systems.heuristics",
     "repro.montecarlo",
+    "repro.observability",
     "repro.resilience",
     "repro.analysis",
     "repro.reporting",

@@ -1,0 +1,91 @@
+"""End-to-end CLI tests: --trace capture, repro stats, and -v levels."""
+
+import logging
+
+import pytest
+
+from repro.cli import build_parser, log_level, main
+from repro.observability import validate_trace_file
+
+
+class TestVerbosityLevels:
+    """Regression: a single -v used to map to WARNING (a no-op)."""
+
+    def test_zero_leaves_logging_unconfigured(self):
+        assert log_level(0) is None
+
+    def test_single_v_means_info(self):
+        assert log_level(1) == logging.INFO
+
+    def test_double_v_means_debug(self):
+        assert log_level(2) == logging.DEBUG
+
+    def test_more_than_two_stays_debug(self):
+        assert log_level(5) == logging.DEBUG
+
+    @pytest.mark.parametrize("flags,count", [
+        ([], 0), (["-v"], 1), (["-vv"], 2), (["-v", "-v"], 2)])
+    def test_parser_counts_flags(self, flags, count):
+        args = build_parser().parse_args([*flags, "demo"])
+        assert args.verbose == count
+
+
+class TestTraceFlag:
+    def test_experiments_trace_writes_valid_file(self, tmp_path, capsys):
+        out = tmp_path / "run.jsonl"
+        assert main(["--trace", str(out), "experiments",
+                     "--only", "E11"]) == 0
+        trace = validate_trace_file(out)
+        assert trace.header["command"] == "experiments"
+        names = {s["name"] for s in trace.spans}
+        assert {"cli.experiments", "experiment", "radius.solve",
+                "radius.bound"} <= names
+        assert "radius.solves" in trace.metrics
+
+    def test_cascade_tiers_appear_under_solver_timeout(self, tmp_path,
+                                                       capsys):
+        out = tmp_path / "demo.jsonl"
+        assert main(["--solver-timeout", "10", "--trace", str(out),
+                     "demo"]) == 0
+        names = {s["name"] for s in validate_trace_file(out).spans}
+        assert "cascade.compute" in names
+        assert "cascade.tier" in names
+
+    def test_parallel_trace_merges_worker_spans(self, tmp_path, capsys):
+        out = tmp_path / "par.jsonl"
+        assert main(["--workers", "2", "--trace", str(out), "experiments",
+                     "--only", "E11,E16"]) == 0
+        names = {s["name"] for s in validate_trace_file(out).spans}
+        assert {"parallel.dispatch", "parallel.task", "experiment"} <= names
+
+    def test_no_trace_flag_writes_nothing(self, tmp_path, capsys):
+        assert main(["experiments", "--only", "E16"]) == 0
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestStatsCommand:
+    def test_stats_renders_captured_trace(self, tmp_path, capsys):
+        out = tmp_path / "run.jsonl"
+        main(["--trace", str(out), "experiments", "--only", "E11"])
+        capsys.readouterr()
+        assert main(["stats", str(out)]) == 0
+        report = capsys.readouterr().out
+        assert "span tree" in report
+        assert "cli.experiments" in report
+        assert "radius.solve" in report
+        assert "metrics" in report
+        assert "cache.misses" in report
+
+    def test_stats_events_tail_option(self, tmp_path, capsys):
+        out = tmp_path / "run.jsonl"
+        main(["--trace", str(out), "experiments", "--only", "E11"])
+        capsys.readouterr()
+        assert main(["stats", str(out), "--events", "2"]) == 0
+        assert "last 2 of" in capsys.readouterr().out
+
+    def test_stats_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{\"schema\": \"nope\"}\n")
+        from repro.exceptions import SpecificationError
+        with pytest.raises(SpecificationError):
+            main(["stats", str(bad)])

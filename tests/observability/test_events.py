@@ -1,0 +1,123 @@
+"""Tests for the event log and the repro-events-v1 JSON-lines sink."""
+
+import json
+
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.observability.events import (
+    EVENTS_SCHEMA,
+    Event,
+    EventLog,
+    read_trace_file,
+    validate_trace_file,
+    write_trace_records,
+)
+
+
+class TestEventLog:
+    def test_emit_sequences_and_snapshots(self):
+        log = EventLog()
+        log.emit("cache.hit", key="abc")
+        log.emit("cache.miss", key="def")
+        events = log.events()
+        assert [e.seq for e in events] == [0, 1]
+        assert [e.kind for e in events] == ["cache.hit", "cache.miss"]
+        assert events[0].fields == {"key": "abc"}
+        assert len(log) == 2
+
+    def test_tail(self):
+        log = EventLog()
+        for i in range(5):
+            log.emit("retry", attempt=i)
+        assert [e.seq for e in log.tail(2)] == [3, 4]
+        assert log.tail(0) == []
+
+    def test_round_trip(self):
+        event = Event(seq=2, t=0.5, kind="pool.fallback", fields={"n": 3})
+        assert Event.from_record(event.to_record()) == event
+
+    def test_absorb_resequences(self):
+        worker = EventLog()
+        worker.emit("cache.hit")
+        worker.emit("cache.miss")
+        parent = EventLog()
+        parent.emit("checkpoint.save")
+        parent.absorb(worker.to_records())
+        assert [(e.seq, e.kind) for e in parent.events()] == [
+            (0, "checkpoint.save"), (1, "cache.hit"), (2, "cache.miss")]
+
+
+class TestTraceFileSink:
+    def _write(self, path, **kwargs):
+        defaults = dict(
+            header_extra={"command": "test"},
+            span_records=[{"type": "span", "id": 0, "parent": None,
+                           "name": "root", "start": 0.0, "elapsed": 0.1,
+                           "tags": {}}],
+            metric_snapshot={"cache.hits": {"kind": "counter", "value": 2.0}},
+            event_records=[{"type": "event", "seq": 0, "t": 0.05,
+                            "kind": "cache.hit", "fields": {}}],
+        )
+        defaults.update(kwargs)
+        return write_trace_records(path, **defaults)
+
+    def test_write_read_round_trip(self, tmp_path):
+        path = self._write(tmp_path / "t.jsonl")
+        trace = read_trace_file(path)
+        assert trace.header["schema"] == EVENTS_SCHEMA
+        assert trace.header["command"] == "test"
+        assert [s["name"] for s in trace.spans] == ["root"]
+        assert trace.metrics["cache.hits"]["value"] == 2.0
+        assert [e["kind"] for e in trace.events] == ["cache.hit"]
+
+    def test_validate_alias(self, tmp_path):
+        path = self._write(tmp_path / "t.jsonl")
+        assert validate_trace_file(path).header["schema"] == EVENTS_SCHEMA
+
+    def test_every_line_is_json(self, tmp_path):
+        path = self._write(tmp_path / "t.jsonl")
+        for line in path.read_text().splitlines():
+            assert isinstance(json.loads(line), dict)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"schema": "other-v9"}) + "\n")
+        with pytest.raises(SpecificationError, match="schema"):
+            read_trace_file(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(SpecificationError, match="empty"):
+            read_trace_file(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(SpecificationError, match="unreadable"):
+            read_trace_file(tmp_path / "nope.jsonl")
+
+    def test_problems_are_collected_not_first_only(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        lines = [
+            json.dumps({"schema": EVENTS_SCHEMA}),
+            json.dumps({"type": "span"}),          # missing id/name/tags
+            json.dumps({"type": "mystery"}),       # unknown type
+            "not json at all",
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(SpecificationError) as err:
+            read_trace_file(path)
+        message = str(err.value)
+        assert "span missing" in message
+        assert "mystery" in message
+        assert "not valid JSON" in message
+
+    def test_malformed_metric_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        lines = [
+            json.dumps({"schema": EVENTS_SCHEMA}),
+            json.dumps({"type": "metric", "name": "x", "kind": "exotic"}),
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(SpecificationError, match="known 'kind'"):
+            read_trace_file(path)

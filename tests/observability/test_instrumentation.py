@@ -1,0 +1,145 @@
+"""The instrumented layers actually record: spans, metrics, events.
+
+Each test runs a real slice of the stack under an observability session
+and asserts on what the session collected — the contract the
+``repro stats`` report and the CI trace smoke-test depend on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.features import ToleranceBounds
+from repro.core.mappings import LinearMapping
+from repro.core.radius import RadiusProblem, compute_radius
+from repro.observability import observing
+from repro.parallel.cache import RadiusCache
+from repro.parallel.executor import ParallelExecutor, Task
+from repro.resilience.cascade import SolverCascade
+from repro.resilience.checkpoint import Checkpoint
+from repro.resilience.faults import FaultInjector, FaultSpec, InjectedFaultError
+
+
+def _problem() -> RadiusProblem:
+    return RadiusProblem(LinearMapping([1.0, 2.0]), np.array([2.0, 1.0]),
+                         ToleranceBounds(beta_min=1.0, beta_max=9.0))
+
+
+class TestRadiusInstrumentation:
+    def test_solve_records_spans_and_metrics(self):
+        with observing() as obs:
+            compute_radius(_problem(), cache=False)
+        names = [s.name for s in obs.recorder.spans()]
+        assert "radius.solve" in names
+        assert "radius.bound" in names
+        snap = obs.metrics.snapshot()
+        assert snap["radius.solves"]["value"] == 1
+        assert snap["radius.method.analytic"]["value"] == 1
+
+    def test_bound_spans_nest_under_solve(self):
+        with observing() as obs:
+            compute_radius(_problem(), cache=False)
+        spans = {s.name: s for s in obs.recorder.spans()}
+        assert spans["radius.bound"].parent_id == \
+            spans["radius.solve"].span_id
+
+    def test_cache_miss_then_hit_events(self):
+        cache = RadiusCache()
+        with observing() as obs:
+            compute_radius(_problem(), cache=cache)
+            compute_radius(_problem(), cache=cache)
+        kinds = [e.kind for e in obs.events.events()]
+        assert kinds.count("cache.miss") == 1
+        assert kinds.count("cache.hit") == 1
+        snap = obs.metrics.snapshot()
+        assert snap["cache.misses"]["value"] == 1
+        assert snap["cache.hits"]["value"] == 1
+        # the cached replay does not re-solve
+        assert snap["radius.solves"]["value"] == 1
+
+
+class TestCascadeInstrumentation:
+    def test_tier_spans_and_quality_counter(self):
+        with observing() as obs:
+            result = SolverCascade(seed=0).compute(_problem())
+        spans = {s.name for s in obs.recorder.spans()}
+        assert "cascade.compute" in spans
+        assert "cascade.tier" in spans
+        snap = obs.metrics.snapshot()
+        assert snap[f"cascade.quality.{result.quality.name}"]["value"] == 1
+        tier_events = [e for e in obs.events.events()
+                       if e.kind == "cascade.tier"]
+        assert tier_events and all(
+            "outcome" in e.fields for e in tier_events)
+
+
+class TestFaultInstrumentation:
+    def test_injection_emits_event_and_metric(self):
+        injector = FaultInjector(FaultSpec(exception_rate=1.0), seed=1)
+        faulty = injector.wrap_callable(lambda: 1.0, name="numeric")
+        with observing() as obs:
+            with pytest.raises(InjectedFaultError):
+                faulty()
+        events = obs.events.events()
+        assert [e.kind for e in events] == ["fault.injected"]
+        assert events[0].fields == {"site": "numeric", "kind": "exception"}
+        assert obs.metrics.snapshot()["faults.exception"]["value"] == 1
+
+
+class TestCheckpointInstrumentation:
+    def test_save_and_resume_events(self, tmp_path):
+        ckpt = Checkpoint(tmp_path / "run.json")
+        with observing() as obs:
+            ckpt.save({"k0": 1}, {"kind": "t"})
+            ckpt.load(expect_meta={"kind": "t"})
+        kinds = [e.kind for e in obs.events.events()]
+        assert kinds == ["checkpoint.save", "checkpoint.resume"]
+        snap = obs.metrics.snapshot()
+        assert snap["checkpoint.saves"]["value"] == 1
+        assert snap["checkpoint.resumes"]["value"] == 1
+
+
+class TestExecutorInstrumentation:
+    def test_parallel_dispatch_merges_worker_spans(self):
+        with observing() as obs:
+            with ParallelExecutor(2) as pool:
+                results = pool.run([Task(_noop_work, (i,))
+                                    for i in range(3)])
+        assert results == [0, 10, 20]
+        names = [s.name for s in obs.recorder.spans()]
+        assert "parallel.dispatch" in names
+        assert names.count("parallel.task") == 3
+        spans = {s.name: s for s in obs.recorder.spans()}
+        assert spans["parallel.task"].tags.get("worker_pid") is not None
+        assert obs.metrics.snapshot()["executor.dispatched"]["value"] == 3
+
+    def test_unpicklable_task_records_fallback(self):
+        with observing() as obs:
+            with ParallelExecutor(2) as pool:
+                # closures cannot pickle (two tasks, so the batch does
+                # reach the pickling pre-flight)
+                results = pool.run([lambda: 5, lambda: 6])
+        assert results == [5, 6]
+        events = [e for e in obs.events.events()
+                  if e.kind == "pool.fallback"]
+        assert len(events) == 1
+        assert obs.metrics.snapshot()["executor.fallbacks"]["value"] == 1
+        assert "parallel.fallback" in \
+            [s.name for s in obs.recorder.spans()]
+
+
+def _noop_work(i: int) -> int:
+    return i * 10
+
+
+class TestValidationInstrumentation:
+    def test_validate_radius_records_chunk_spans(self):
+        from repro.montecarlo.validate import validate_radius
+        problem = _problem()
+        result = compute_radius(problem, cache=False)
+        with observing() as obs:
+            validate_radius(problem, result, n_samples=300, chunk_size=100,
+                            seed=3)
+        chunk_spans = [s for s in obs.recorder.spans()
+                       if s.name == "validate.chunk"]
+        assert len(chunk_spans) == 3
+        assert all(s.tags["samples"] == 100 for s in chunk_spans)

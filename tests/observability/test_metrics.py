@@ -1,0 +1,126 @@
+"""Tests for counters, gauges, histograms, and the registry merge."""
+
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.observability.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+
+
+class TestPrimitives:
+    def test_counter_increments(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(SpecificationError, match="only increase"):
+            Counter().inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge()
+        g.set(3.0)
+        g.set(1.5)
+        assert g.value == 1.5
+
+    def test_histogram_buckets_and_overflow(self):
+        h = Histogram(buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 0.5, 100.0):
+            h.observe(v)
+        assert h.counts == [1, 2, 1]
+        assert h.count == 4
+        assert h.mean == pytest.approx((0.05 + 0.5 + 0.5 + 100.0) / 4)
+
+    def test_histogram_rejects_bad_buckets(self):
+        with pytest.raises(SpecificationError, match="strictly increasing"):
+            Histogram(buckets=(1.0, 1.0))
+        with pytest.raises(SpecificationError, match="strictly increasing"):
+            Histogram(buckets=())
+
+
+class TestRegistry:
+    def test_lazy_creation_and_reuse(self):
+        reg = MetricsRegistry()
+        reg.inc("cache.hits")
+        reg.inc("cache.hits", 2)
+        assert reg.counter("cache.hits").value == 3
+        assert len(reg) == 1
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.inc("x")
+        with pytest.raises(SpecificationError, match="counter"):
+            reg.set_gauge("x", 1.0)
+
+    def test_snapshot_is_immutable(self):
+        reg = MetricsRegistry()
+        reg.inc("a", 5)
+        reg.observe("lat", 0.2)
+        snap = reg.snapshot()
+        reg.inc("a", 10)
+        reg.observe("lat", 0.3)
+        assert snap["a"]["value"] == 5
+        assert snap["lat"]["count"] == 1
+        # mutating the snapshot must not touch the registry either
+        snap["a"]["value"] = -99
+        assert reg.counter("a").value == 15
+
+    def test_snapshot_sorted_by_name(self):
+        reg = MetricsRegistry()
+        reg.inc("zz")
+        reg.inc("aa")
+        assert list(reg.snapshot()) == ["aa", "zz"]
+
+
+class TestAbsorb:
+    def test_counters_add_gauges_overwrite(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("n", 2)
+        a.set_gauge("g", 1.0)
+        b.inc("n", 3)
+        b.set_gauge("g", 7.0)
+        a.absorb(b.snapshot())
+        assert a.counter("n").value == 5
+        assert a.gauge("g").value == 7.0
+
+    def test_histograms_add_bucketwise(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe("lat", 0.002, buckets=(0.01, 1.0))
+        b.observe("lat", 0.5, buckets=(0.01, 1.0))
+        b.observe("lat", 2.0, buckets=(0.01, 1.0))
+        a.absorb(b.snapshot())
+        merged = a.histogram("lat", (0.01, 1.0))
+        assert merged.counts == [1, 1, 1]
+        assert merged.count == 3
+
+    def test_bucket_layout_mismatch_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe("lat", 0.5, buckets=(0.01, 1.0))
+        b.observe("lat", 0.5, buckets=(0.5, 2.0))
+        with pytest.raises(SpecificationError, match="bucket layouts"):
+            a.absorb(b.snapshot())
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(SpecificationError, match="unknown metric kind"):
+            MetricsRegistry().absorb({"x": {"kind": "exotic"}})
+
+
+class TestNullRegistry:
+    def test_every_operation_is_a_no_op(self):
+        null = NullMetricsRegistry()
+        null.inc("a")
+        null.set_gauge("b", 1.0)
+        null.observe("c", 0.5)
+        null.absorb({"x": {"kind": "counter", "value": 3}})
+        assert null.snapshot() == {}
+
+    def test_shared_singleton_never_accumulates(self):
+        NULL_METRICS.inc("leak", 100)
+        assert NULL_METRICS.snapshot() == {}

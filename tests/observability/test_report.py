@@ -1,0 +1,90 @@
+"""Tests for the repro stats renderer."""
+
+from repro.observability import Observability, get_metrics, observing, span
+from repro.observability.report import (
+    render_events,
+    render_metrics,
+    render_report,
+    render_span_tree,
+)
+
+
+def _span(id, name, parent=None, elapsed=0.0, start=0.0):
+    return {"type": "span", "id": id, "parent": parent, "name": name,
+            "start": start, "elapsed": elapsed, "tags": {}}
+
+
+class TestSpanTree:
+    def test_aggregates_same_name_same_position(self):
+        spans = [
+            _span(0, "sweep", elapsed=1.0),
+            _span(1, "solve", parent=0, elapsed=0.3),
+            _span(2, "solve", parent=0, elapsed=0.2),
+        ]
+        out = render_span_tree(spans)
+        assert out.count("solve") == 1  # one aggregated row, not two
+        lines = [l for l in out.splitlines() if "solve" in l]
+        assert "2" in lines[0].split()  # count column
+
+    def test_self_time_is_total_minus_children(self):
+        spans = [
+            _span(0, "outer", elapsed=1.0),
+            _span(1, "inner", parent=0, elapsed=0.4),
+        ]
+        out = render_span_tree(spans)
+        outer_line = next(l for l in out.splitlines() if "outer" in l)
+        assert "0.600s" in outer_line  # 1.0s total - 0.4s child
+
+    def test_same_name_different_parent_stays_separate(self):
+        spans = [
+            _span(0, "a", elapsed=1.0),
+            _span(1, "b", elapsed=1.0),
+            _span(2, "solve", parent=0, elapsed=0.1),
+            _span(3, "solve", parent=1, elapsed=0.1),
+        ]
+        assert render_span_tree(spans).count("solve") == 2
+
+    def test_empty_spans(self):
+        assert "no spans" in render_span_tree([])
+
+
+class TestMetricsAndEvents:
+    def test_metric_table_lists_kinds_and_values(self):
+        out = render_metrics({
+            "cache.hits": {"kind": "counter", "value": 12.0},
+            "pool.size": {"kind": "gauge", "value": 4.0},
+            "lat": {"kind": "histogram", "buckets": [1.0],
+                    "counts": [2, 0], "count": 2, "total": 0.5},
+        })
+        assert "cache.hits" in out and "12" in out
+        assert "gauge" in out
+        assert "n=2" in out
+
+    def test_empty_metrics(self):
+        assert "none recorded" in render_metrics({})
+
+    def test_event_tail_shows_only_last_n(self):
+        events = [{"type": "event", "seq": i, "t": 0.0, "kind": "retry",
+                   "fields": {"attempt": i}} for i in range(20)]
+        out = render_events(events, tail=3)
+        assert "last 3 of 20" in out
+        assert "attempt=19" in out
+        assert "attempt=0" not in out
+
+    def test_empty_events(self):
+        assert "none recorded" in render_events([])
+
+
+class TestFullReport:
+    def test_report_of_captured_session(self, tmp_path):
+        obs = Observability()
+        with observing(obs):
+            with span("cli.demo"):
+                with span("radius.solve"):
+                    get_metrics().inc("cache.misses")
+        path = obs.write(tmp_path / "run.jsonl", command="demo")
+        out = render_report(path, events_tail=5)
+        assert "repro-events-v1" in out
+        assert "cli.demo" in out
+        assert "  radius.solve" in out  # indented under its parent
+        assert "cache.misses" in out

@@ -1,0 +1,159 @@
+"""Tests for the active-session helpers: span / emit_event / get_metrics."""
+
+import os
+
+from repro.observability import (
+    NULL_METRICS,
+    Observability,
+    disable_observability,
+    emit_event,
+    get_metrics,
+    get_observability,
+    observed_call,
+    observing,
+    span,
+    validate_trace_file,
+)
+
+
+class TestDisabledDefaults:
+    def test_no_session_by_default(self):
+        assert get_observability() is None
+
+    def test_get_metrics_hands_out_null_registry(self):
+        assert get_metrics() is NULL_METRICS
+
+    def test_span_yields_none_and_records_nothing(self):
+        with span("radius.solve", solver="analytic") as open_span:
+            assert open_span is None
+
+    def test_emit_event_is_a_no_op(self):
+        emit_event("cache.hit", key="x")  # must not raise
+
+
+class TestObserving:
+    def test_activates_and_restores(self):
+        obs = Observability()
+        with observing(obs) as active:
+            assert active is obs
+            assert get_observability() is obs
+            assert get_metrics() is obs.metrics
+        assert get_observability() is None
+
+    def test_nested_scopes_restore_the_outer_session(self):
+        outer, inner = Observability(), Observability()
+        with observing(outer):
+            with observing(inner):
+                assert get_observability() is inner
+            assert get_observability() is outer
+
+    def test_fresh_session_created_when_none_given(self):
+        with observing() as obs:
+            assert isinstance(obs, Observability)
+        assert get_observability() is None
+
+    def test_disable_observability_clears(self):
+        with observing():
+            disable_observability()
+            assert get_observability() is None
+
+
+class TestSpanHelper:
+    def test_records_into_active_session(self):
+        with observing() as obs:
+            with span("outer", feature="latency") as outer:
+                assert outer.tags == {"feature": "latency"}
+                with span("inner"):
+                    pass
+        spans = obs.recorder.spans()
+        assert [s.name for s in spans] == ["outer", "inner"]
+        assert spans[1].parent_id == spans[0].span_id
+        assert all(s.elapsed is not None for s in spans)
+
+    def test_outcome_tags_added_before_close_persist(self):
+        with observing() as obs:
+            with span("cascade.tier") as sp:
+                sp.tags["outcome"] = "accepted"
+        assert obs.recorder.spans()[0].tags["outcome"] == "accepted"
+
+    def test_decorator_rechecks_activation_per_call(self):
+        @span("decorated")
+        def work():
+            return 7
+
+        assert work() == 7  # disabled: no session, still runs
+        with observing() as obs:
+            assert work() == 7
+            assert work() == 7
+        assert [s.name for s in obs.recorder.spans()] == ["decorated"] * 2
+        assert work() == 7  # disabled again, nothing new recorded
+        assert len(obs.recorder.spans()) == 2
+
+    def test_span_closes_against_the_recorder_that_opened_it(self):
+        first, second = Observability(), Observability()
+        with observing(first):
+            sp = span("swapped")
+            sp.__enter__()
+            with observing(second):
+                sp.__exit__(None, None, None)
+        spans = first.recorder.spans()
+        assert len(spans) == 1 and spans[0].elapsed is not None
+        assert second.recorder.spans() == []
+
+
+class TestCaptureAbsorb:
+    def _worker_payload(self):
+        local = Observability()
+        with observing(local):
+            with span("task"):
+                get_metrics().inc("radius.solves", 2)
+                emit_event("cache.miss", key="k")
+        return local.capture()
+
+    def test_capture_is_picklable_plain_data(self):
+        import pickle
+        payload = self._worker_payload()
+        assert pickle.loads(pickle.dumps(payload)) == payload
+        assert payload["pid"] == os.getpid()
+
+    def test_absorb_merges_all_three_collectors(self):
+        parent = Observability()
+        with observing(parent):
+            with span("dispatch") as dispatch:
+                parent.absorb(self._worker_payload())
+        spans = {s.name: s for s in parent.recorder.spans()}
+        assert spans["task"].parent_id == dispatch.span_id
+        assert spans["task"].tags["worker_pid"] == os.getpid()
+        assert parent.metrics.counter("radius.solves").value == 2
+        assert [e.kind for e in parent.events.events()] == ["cache.miss"]
+
+    def test_absorb_none_or_empty_is_a_no_op(self):
+        parent = Observability()
+        parent.absorb(None)
+        parent.absorb({})
+        assert len(parent.recorder) == 0
+
+    def test_observed_call_returns_result_and_payload(self):
+        result, payload = observed_call(lambda: 41 + 1)
+        assert result == 42
+        assert payload["pid"] == os.getpid()
+        assert [s["name"] for s in payload["spans"]] == ["parallel.task"]
+
+    def test_observed_call_does_not_leak_a_session(self):
+        observed_call(lambda: None)
+        assert get_observability() is None
+
+
+class TestWrite:
+    def test_written_file_validates(self, tmp_path):
+        obs = Observability()
+        with observing(obs):
+            with span("root"):
+                get_metrics().inc("n")
+                emit_event("checkpoint.save", path="x")
+        path = obs.write(tmp_path / "out.jsonl", command="test")
+        trace = validate_trace_file(path)
+        assert trace.header["command"] == "test"
+        assert [s["name"] for s in trace.spans] == ["root"]
+        assert trace.metrics["n"]["value"] == 1
+        assert [e["kind"] for e in trace.events] == ["checkpoint.save"]

@@ -1,0 +1,114 @@
+"""Tests for spans and the per-process trace recorder."""
+
+import threading
+
+from repro.observability.trace import Span, TraceRecorder
+
+
+class TestSpanRecords:
+    def test_round_trip(self):
+        span = Span(name="radius.solve", span_id=3, parent_id=1,
+                    start=0.25, elapsed=0.5, tags={"solver": "analytic"})
+        assert Span.from_record(span.to_record()) == span
+
+    def test_open_span_round_trips_none_elapsed(self):
+        span = Span(name="x", span_id=0, parent_id=None, start=0.0)
+        record = span.to_record()
+        assert record["elapsed"] is None
+        assert Span.from_record(record).elapsed is None
+
+
+class TestNesting:
+    def test_children_nest_under_open_parent(self):
+        rec = TraceRecorder()
+        outer = rec.start_span("outer")
+        inner = rec.start_span("inner")
+        assert inner.parent_id == outer.span_id
+        rec.end_span(inner)
+        sibling = rec.start_span("sibling")
+        assert sibling.parent_id == outer.span_id
+        rec.end_span(sibling)
+        rec.end_span(outer)
+        assert outer.parent_id is None
+        assert all(s.elapsed is not None for s in rec.spans())
+
+    def test_ids_assigned_in_start_order(self):
+        rec = TraceRecorder()
+        ids = [rec.start_span(f"s{i}").span_id for i in range(4)]
+        assert ids == [0, 1, 2, 3]
+
+    def test_closing_outer_pops_abandoned_inner(self):
+        rec = TraceRecorder()
+        outer = rec.start_span("outer")
+        rec.start_span("abandoned")  # never closed explicitly
+        rec.end_span(outer)
+        assert rec.current_span() is None
+        fresh = rec.start_span("fresh")
+        assert fresh.parent_id is None
+
+    def test_helper_thread_nests_under_blocked_caller(self):
+        # The resilience layer runs solver bodies on helper threads while
+        # the caller blocks; the shared (non-thread-local) stack makes the
+        # blocked caller's span the logical parent.
+        rec = TraceRecorder()
+        outer = rec.start_span("caller")
+        child_parent = []
+
+        def body():
+            inner = rec.start_span("helper")
+            child_parent.append(inner.parent_id)
+            rec.end_span(inner)
+
+        t = threading.Thread(target=body)
+        t.start()
+        t.join()
+        rec.end_span(outer)
+        assert child_parent == [outer.span_id]
+
+
+class TestAbsorb:
+    def _worker_records(self):
+        worker = TraceRecorder()
+        root = worker.start_span("task", {"n": 1})
+        leaf = worker.start_span("leaf")
+        worker.end_span(leaf)
+        worker.end_span(root)
+        return worker.to_records()
+
+    def test_reparents_roots_under_open_span(self):
+        parent = TraceRecorder()
+        dispatch = parent.start_span("dispatch")
+        parent.absorb(self._worker_records())
+        parent.end_span(dispatch)
+        spans = {s.name: s for s in parent.spans()}
+        assert spans["task"].parent_id == dispatch.span_id
+        assert spans["leaf"].parent_id == spans["task"].span_id
+
+    def test_remaps_ids_without_collisions(self):
+        parent = TraceRecorder()
+        parent.start_span("a")
+        parent.absorb(self._worker_records())
+        ids = [s.span_id for s in parent.spans()]
+        assert len(ids) == len(set(ids))
+
+    def test_extra_tags_do_not_override_existing(self):
+        parent = TraceRecorder()
+        parent.absorb(self._worker_records(),
+                      extra_tags={"worker_pid": 42, "n": 9})
+        spans = {s.name: s for s in parent.spans()}
+        assert spans["task"].tags["worker_pid"] == 42
+        assert spans["task"].tags["n"] == 1  # original wins
+        assert spans["leaf"].tags["worker_pid"] == 42
+
+    def test_absorb_at_top_level_keeps_foreign_roots_rootless(self):
+        parent = TraceRecorder()
+        parent.absorb(self._worker_records())
+        spans = {s.name: s for s in parent.spans()}
+        assert spans["task"].parent_id is None
+
+    def test_submission_order_is_preserved(self):
+        parent = TraceRecorder()
+        parent.absorb(self._worker_records())
+        parent.absorb(self._worker_records())
+        names = [s.name for s in parent.spans()]
+        assert names == ["task", "leaf", "task", "leaf"]

@@ -121,3 +121,39 @@ class TestRunParallelBenchmark:
     def test_rejects_bad_workers(self):
         with pytest.raises(SpecificationError):
             run_parallel_benchmark(workers=0)
+
+
+class TestObservabilityPayloadKey:
+    def test_absent_key_stays_valid(self):
+        payload = _good_payload()
+        assert "observability" not in payload
+        validate_bench_payload(payload)
+
+    def test_present_key_is_validated(self):
+        payload = _good_payload()
+        payload["observability"] = {
+            "metrics": {"radius.solves": {"kind": "counter", "value": 4.0}},
+            "spans": 12, "events": 3}
+        validate_bench_payload(payload)
+
+    def test_malformed_key_rejected(self):
+        payload = _good_payload()
+        payload["observability"] = "lots"
+        with pytest.raises(SpecificationError, match="observability"):
+            validate_bench_payload(payload)
+        payload["observability"] = {"metrics": [], "spans": 1, "events": 1}
+        with pytest.raises(SpecificationError, match="'metrics'"):
+            validate_bench_payload(payload)
+
+    def test_traced_benchmark_carries_the_key(self):
+        from repro.observability import observing
+        with observing():
+            payload = run_parallel_benchmark(workers=2, seed=7, ids=["E16"])
+        validate_bench_payload(payload)
+        assert payload["observability"]["spans"] > 0
+        assert isinstance(payload["observability"]["metrics"], dict)
+        # untraced runs stay schema-identical to the previous release
+        untraced = run_parallel_benchmark(workers=2, seed=7, ids=["E16"])
+        assert "observability" not in untraced
+        # and tracing never changes the measured numbers' identity verdict
+        assert payload["identical"] and untraced["identical"]

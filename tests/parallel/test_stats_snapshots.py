@@ -1,0 +1,68 @@
+"""stats() snapshot semantics: immutable, decoupled from live counters."""
+
+import numpy as np
+
+from repro.core.features import ToleranceBounds
+from repro.core.mappings import LinearMapping
+from repro.core.radius import RadiusProblem, compute_radius
+from repro.parallel.cache import RadiusCache
+from repro.parallel.executor import ParallelExecutor, Task
+
+
+def _tenfold(x: int) -> int:
+    return x * 10
+
+
+def _problem(slope: float = 1.0) -> RadiusProblem:
+    return RadiusProblem(LinearMapping([slope, 2.0]), np.array([2.0, 1.0]),
+                         ToleranceBounds(beta_min=1.0, beta_max=9.0))
+
+
+class TestExecutorStatsSnapshot:
+    def test_snapshot_does_not_track_later_dispatches(self):
+        with ParallelExecutor(2) as pool:
+            pool.run([Task(_tenfold, (1,)), Task(_tenfold, (2,))])
+            before = pool.stats()
+            pool.run([Task(_tenfold, (3,)), Task(_tenfold, (4,))])
+            after = pool.stats()
+        assert before["dispatched"] == 2
+        assert after["dispatched"] == 4
+
+    def test_mutating_the_snapshot_leaves_the_executor_alone(self):
+        with ParallelExecutor(2) as pool:
+            pool.run([Task(_tenfold, (1,)), Task(_tenfold, (2,))])
+            snap = pool.stats()
+            snap["dispatched"] = -999
+            snap["workers"] = 0
+            assert pool.stats()["dispatched"] == 2
+            assert pool.stats()["workers"] == 2
+
+    def test_each_call_returns_a_fresh_dict(self):
+        with ParallelExecutor(2) as pool:
+            assert pool.stats() is not pool.stats()
+
+
+class TestCacheStatsSnapshot:
+    def test_snapshot_does_not_track_later_traffic(self):
+        cache = RadiusCache()
+        compute_radius(_problem(), cache=cache)       # miss
+        before = cache.stats()
+        compute_radius(_problem(), cache=cache)       # hit
+        compute_radius(_problem(3.0), cache=cache)    # miss
+        after = cache.stats()
+        assert (before["hits"], before["misses"]) == (0, 1)
+        assert (after["hits"], after["misses"]) == (1, 2)
+        assert after["entries"] == 2
+
+    def test_mutating_the_snapshot_leaves_the_cache_alone(self):
+        cache = RadiusCache()
+        compute_radius(_problem(), cache=cache)
+        snap = cache.stats()
+        snap["misses"] = 1000
+        snap["hit_rate"] = 2.0
+        assert cache.stats()["misses"] == 1
+        assert cache.stats()["hit_rate"] == 0.0
+
+    def test_each_call_returns_a_fresh_dict(self):
+        cache = RadiusCache()
+        assert cache.stats() is not cache.stats()
