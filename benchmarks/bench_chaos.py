@@ -1,0 +1,36 @@
+"""Chaos harness — recovery overhead under a seeded fault schedule.
+
+Runs the experiment sweep three times (plain executor, fault-free
+supervised, supervised under a seeded chaos schedule), asserts
+bit-identical recovery, and writes the stable ``repro-bench-chaos-v1``
+payload to ``benchmarks/results/BENCH_chaos.json`` so supervision and
+recovery overheads can be tracked across commits.  CI runs the same
+harness at tiny scale through ``python -m repro chaos``.
+"""
+
+import json
+import pathlib
+
+from repro.parallel.bench import validate_bench_payload, write_benchmark
+from repro.resilience.chaos import ChaosPolicy, run_chaos_benchmark
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Every fault kind fires somewhere in the sweep, yet each task stays
+#: recoverable by construction (the cap bounds fatal injections per task).
+POLICY = ChaosPolicy(kill_rate=0.1, exception_rate=0.15, latency_rate=0.2,
+                     latency=0.002, corrupt_rate=0.1, seed=2005,
+                     max_injections_per_task=1)
+
+
+def test_chaos_benchmark(benchmark, show):
+    payload = benchmark.pedantic(
+        lambda: run_chaos_benchmark(
+            workers=2, ids=["E2", "E3", "E5", "E11", "E16"], policy=POLICY),
+        rounds=1, iterations=1)
+    validate_bench_payload(payload)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    write_benchmark(payload, RESULTS_DIR / "BENCH_chaos.json")
+    show(json.dumps(payload, indent=2))
+    assert payload["identical"], "chaos run diverged from the plain sweep"
+    assert payload["executor"]["quarantined"] == 0

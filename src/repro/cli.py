@@ -24,10 +24,20 @@ bit-identical to a serial run — see ``docs/PERFORMANCE.md``), and
 ``--no-cache`` to disable the process-wide radius cache installed by
 default, and ``--trace PATH`` to record an observability trace
 (``repro-events-v1`` JSON-lines; render it with ``repro stats PATH``).
+
+Fan-out can be *supervised* (see ``docs/CHAOS.md``): ``--task-timeout``
+gives every task a wall-clock deadline, ``--max-task-retries`` bounds
+per-task retries before quarantine, and ``--chaos SPEC`` injects a
+deterministic fault schedule (worker kills, latency, exception storms,
+pickling corruption) at the dispatch boundary — any of these routes the
+sweep through a :class:`~repro.resilience.SupervisedExecutor`.
+
 The ``experiments`` command additionally supports
-``--checkpoint``/``--resume`` for kill-safe sweeps, and
-``bench-parallel`` times the sweep serially vs in parallel, writing a
-``repro-bench-parallel-v1`` JSON payload.
+``--checkpoint``/``--resume`` for kill-safe sweeps; ``bench-parallel``
+times the sweep serially vs in parallel, writing a
+``repro-bench-parallel-v1`` JSON payload; and ``chaos`` replays a seeded
+chaos schedule against the sweep, verifying bit-identical recovery and
+writing a ``repro-bench-chaos-v1`` payload.
 """
 
 from __future__ import annotations
@@ -60,6 +70,21 @@ def build_parser() -> argparse.ArgumentParser:
                              "bit-identical for any value)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the process-wide radius result cache")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock deadline per fanned-out task; "
+                             "implies supervised execution (timed-out "
+                             "tasks are retried, then quarantined)")
+    parser.add_argument("--max-task-retries", type=int, default=None,
+                        metavar="N",
+                        help="retries per fanned-out task before it is "
+                             "quarantined (default 2; implies supervised "
+                             "execution)")
+    parser.add_argument("--chaos", default=None, metavar="SPEC",
+                        help="inject a deterministic fault schedule at the "
+                             "executor boundary, e.g. 'kill=0.1,"
+                             "latency=0.2:0.005,exception=0.2,corrupt=0.1,"
+                             "seed=7,cap=1' (implies supervised execution)")
     parser.add_argument("--trace", default=None, metavar="PATH",
                         help="record spans, metrics and events of this run "
                              "to a repro-events-v1 JSON-lines file "
@@ -123,6 +148,20 @@ def build_parser() -> argparse.ArgumentParser:
     ben.add_argument("--out", default="BENCH_parallel.json", metavar="PATH",
                      help="benchmark payload destination "
                           "(default BENCH_parallel.json)")
+
+    cha = sub.add_parser("chaos",
+                         help="replay a seeded chaos schedule against the "
+                              "experiment sweep, verify bit-identical "
+                              "recovery, and write a JSON payload")
+    cha.add_argument("--only", default=None,
+                     help="comma-separated experiment ids (default: all)")
+    cha.add_argument("--spec", default=None, metavar="SPEC",
+                     help="chaos schedule (same format as --chaos; default: "
+                          "a modest kill/latency/exception/corrupt mix "
+                          "seeded from --seed)")
+    cha.add_argument("--out", default="BENCH_chaos.json", metavar="PATH",
+                     help="benchmark payload destination "
+                          "(default BENCH_chaos.json)")
 
     top = sub.add_parser("topology",
                          help="path-slack and bottleneck analysis of a "
@@ -274,7 +313,35 @@ def _cmd_placement(args) -> int:
     return 0
 
 
+def _make_executor(args):
+    """The supervised executor the global flags ask for, or ``None``.
+
+    Plain ``--workers`` keeps the historical behaviour (a
+    :class:`~repro.parallel.executor.ParallelExecutor` built by the
+    callee); any of ``--task-timeout`` / ``--max-task-retries`` /
+    ``--chaos`` upgrades the run to a
+    :class:`~repro.resilience.SupervisedExecutor` with per-task fault
+    domains.  The caller owns the returned executor's lifetime.
+    """
+    if (args.task_timeout is None and args.max_task_retries is None
+            and args.chaos is None):
+        return None
+    from repro.resilience.chaos import ChaosPolicy
+    from repro.resilience.supervisor import (SupervisedExecutor,
+                                             SupervisorConfig)
+
+    config = SupervisorConfig(
+        task_timeout=args.task_timeout,
+        max_task_retries=(args.max_task_retries
+                          if args.max_task_retries is not None else 2))
+    chaos = ChaosPolicy.parse(args.chaos) if args.chaos else None
+    return SupervisedExecutor(max(1, args.workers), config=config,
+                              chaos=chaos, seed=args.seed)
+
+
 def _cmd_experiments(args) -> int:
+    import contextlib
+
     from repro.analysis.runner import run_all_experiments
     from repro.reporting.markdown import experiment_to_markdown
 
@@ -282,9 +349,13 @@ def _cmd_experiments(args) -> int:
         ids = [e.strip().upper() for e in args.only.split(",") if e.strip()]
     else:
         ids = None
-    results = run_all_experiments(
-        seed=args.seed, ids=ids, checkpoint_path=args.checkpoint,
-        resume=args.resume, workers=args.workers)
+    executor = _make_executor(args)
+    with executor if executor is not None else contextlib.nullcontext():
+        results = run_all_experiments(
+            seed=args.seed, ids=ids, checkpoint_path=args.checkpoint,
+            resume=args.resume, workers=args.workers, executor=executor)
+    if executor is not None and executor.last_report is not None:
+        print(f"supervision: {executor.stats()}", file=sys.stderr)
     for result in results.values():
         if args.markdown:
             print(experiment_to_markdown(result))
@@ -317,6 +388,39 @@ def _cmd_bench_parallel(args) -> int:
     return 0 if payload["identical"] else 1
 
 
+def _cmd_chaos(args) -> int:
+    from repro.parallel.bench import write_benchmark
+    from repro.resilience.chaos import ChaosPolicy, run_chaos_benchmark
+
+    if args.only:
+        ids = [e.strip().upper() for e in args.only.split(",") if e.strip()]
+    else:
+        ids = None
+    spec = args.spec if args.spec is not None else args.chaos
+    policy = ChaosPolicy.parse(spec) if spec else None
+    # --workers 1 (the global default) would skip the process pool and
+    # never exercise worker kills; use every core unless told otherwise.
+    workers = args.workers if args.workers > 1 else None
+    payload = run_chaos_benchmark(workers=workers, seed=args.seed, ids=ids,
+                                  policy=policy)
+    write_benchmark(payload, args.out)
+    print(f"plain      {payload['plain_seconds']:.3f}s "
+          f"({payload['workers']} workers)")
+    print(f"supervised {payload['supervised_seconds']:.3f}s "
+          f"({payload['supervision_overhead']:.2f}x)")
+    print(f"chaos      {payload['chaos_seconds']:.3f}s "
+          f"({payload['recovery_overhead']:.2f}x vs supervised)")
+    print(f"schedule: {payload['chaos']}")
+    ex = payload["executor"]
+    print(f"recovery: {ex['retries']} retries, {ex['pool_breaks']} pool "
+          f"breaks, {ex['respawns']} respawns, "
+          f"{ex['quarantined']} quarantined, "
+          f"breaker {ex['breaker']['state']}")
+    print(f"identical results: {payload['identical']}")
+    print(f"written to {args.out}")
+    return 0 if payload["identical"] and not ex["quarantined"] else 1
+
+
 def _cmd_topology(args) -> int:
     from repro.systems.hiperd import QoSSpec, generate_hiperd_system
     from repro.systems.hiperd.topology import topology_report
@@ -347,6 +451,7 @@ _COMMANDS = {
     "placement": _cmd_placement,
     "experiments": _cmd_experiments,
     "bench-parallel": _cmd_bench_parallel,
+    "chaos": _cmd_chaos,
     "topology": _cmd_topology,
     "stats": _cmd_stats,
 }

@@ -36,6 +36,12 @@ class Quality(str, enum.Enum):
         At least one bound only yielded a rigorous upper bound (a verified
         boundary crossing or a sampled violation); the true radius is
         **at most** the reported value.
+    DEGRADED:
+        The computation did not produce a value at all, but the failure
+        was *contained*: a supervised task exhausted its retries and was
+        quarantined, yielding a
+        :class:`~repro.resilience.supervisor.TaskFailure` sentinel in
+        place of a result while the rest of the batch completed normally.
     FAILED:
         No solver produced any usable value; the reported radius is NaN.
     """
@@ -43,6 +49,7 @@ class Quality(str, enum.Enum):
     EXACT = "exact"
     CONVERGED = "converged"
     UPPER_BOUND = "upper_bound"
+    DEGRADED = "degraded"
     FAILED = "failed"
 
     def __str__(self) -> str:  # stable rendering across Python versions
@@ -51,7 +58,7 @@ class Quality(str, enum.Enum):
     @property
     def is_usable(self) -> bool:
         """Whether the result carries a meaningful radius value."""
-        return self is not Quality.FAILED
+        return self not in (Quality.DEGRADED, Quality.FAILED)
 
 
 @dataclass(frozen=True)

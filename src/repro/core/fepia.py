@@ -231,9 +231,19 @@ class RobustnessAnalysis:
         results: list[RadiusResult | None] = [
             cache.get(k) if cache is not None else None for k in keys]
         pending = [i for i, r in enumerate(results) if r is None]
-        solved = self.executor.run([
+        # Imported lazily to avoid a cycle (resilience reaches this
+        # package through the cascade's radius imports).
+        from repro.resilience.supervisor import resolve_task_failures
+
+        radius_tasks = [
             Task(_solve_radius_task, (problems[i], self.method, self.seed))
-            for i in pending])
+            for i in pending]
+        # A supervised executor quarantines permanently-failing tasks
+        # into TaskFailure sentinels; the analysis needs real results
+        # (and the cache must never store a sentinel), so survivors are
+        # re-run in-process, re-raising genuine failures serially.
+        solved = resolve_task_failures(self.executor.run(radius_tasks),
+                                       radius_tasks)
         for i, result in zip(pending, solved):
             results[i] = result
             if cache is not None:

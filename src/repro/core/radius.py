@@ -363,9 +363,18 @@ def _compute_radius_inner(problem: RadiusProblem, *, method: Method,
         # Independent per-bound solves: each worker re-derives its solver
         # randomness from the same stateless seed, so the merged answer
         # (including trail order, merged in bound order) matches serial.
-        fanned_out = executor.run([
-            Task(_solve_bound_task, (problem, b, method, seed))
-            for b in finite_bounds])
+        # Imported lazily to avoid a cycle (resilience imports this
+        # module through the cascade).
+        from repro.resilience.supervisor import resolve_task_failures
+
+        bound_tasks = [Task(_solve_bound_task, (problem, b, method, seed))
+                       for b in finite_bounds]
+        # A supervised executor quarantines permanently-failing tasks
+        # into TaskFailure sentinels; the radius needs every bound's real
+        # answer, so sentinels are re-run in-process (re-raising genuine
+        # failures exactly like the serial loop below would).
+        fanned_out = resolve_task_failures(executor.run(bound_tasks),
+                                           bound_tasks)
     for i, b in enumerate(finite_bounds):
         if fanned_out is not None:
             crossing, used, sub_trail = fanned_out[i]

@@ -210,7 +210,12 @@ def validate_radius(
         scheduling, defines the randomness.
     executor:
         An explicit :class:`~repro.parallel.executor.ParallelExecutor`
-        to reuse (overrides ``workers``).
+        to reuse (overrides ``workers``).  A
+        :class:`~repro.resilience.SupervisedExecutor` adds per-chunk
+        deadlines, retries and quarantine; chunks it quarantines are
+        transparently re-run in-process by the checkpoint waves, so the
+        validation verdict never rests on a
+        :class:`~repro.resilience.TaskFailure` sentinel.
     """
     if not 0 <= margin < 1:
         raise SpecificationError(f"margin must be in [0, 1), got {margin}")
@@ -345,7 +350,10 @@ def validate_analysis(
     sampling derives its randomness from the same stateless ``seed``
     independently, the outcome is bit-identical for any worker count.
     Analyses whose mappings cannot be pickled fall back to serial
-    execution transparently.
+    execution transparently.  A supervised executor (see
+    :class:`~repro.resilience.SupervisedExecutor`) additionally retries
+    and quarantines failing features — quarantined slots are re-run
+    in-process so every returned validation is real.
     """
     items = [
         (spec.name,

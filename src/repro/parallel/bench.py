@@ -39,6 +39,7 @@ from repro.parallel.executor import ParallelExecutor, default_workers
 
 __all__ = [
     "BENCH_SCHEMA",
+    "CHAOS_BENCH_SCHEMA",
     "run_parallel_benchmark",
     "validate_bench_payload",
     "write_benchmark",
@@ -47,6 +48,9 @@ __all__ = [
 logger = logging.getLogger(__name__)
 
 BENCH_SCHEMA = "repro-bench-parallel-v1"
+#: Payloads of :func:`repro.resilience.chaos.run_chaos_benchmark` (defined
+#: here so this module stays the single source of truth for bench schemas).
+CHAOS_BENCH_SCHEMA = "repro-bench-chaos-v1"
 
 
 def _canonical(results) -> str:
@@ -149,59 +153,57 @@ def run_parallel_benchmark(
 
 _CACHE_FIELDS = ("hits", "misses", "skips", "entries", "hit_rate")
 _EXECUTOR_FIELDS = ("workers", "dispatched", "fallbacks")
+_SUPERVISOR_FIELDS = ("retries", "quarantined", "pool_breaks", "respawns")
+_CHAOS_RATE_FIELDS = ("kill_rate", "exception_rate", "latency_rate",
+                      "corrupt_rate")
 
 
-def validate_bench_payload(payload) -> dict:
-    """Check a benchmark payload against the ``repro-bench-parallel-v1`` schema.
+def _check_number(problems: list[str], container: dict, field: str,
+                  where: str, minimum: float = 0.0) -> None:
+    value = container.get(field)
+    if isinstance(value, bool) or not isinstance(value, numbers.Real):
+        problems.append(f"{where}{field!r} must be a number, got {value!r}")
+    elif value < minimum:
+        problems.append(f"{where}{field!r} must be >= {minimum}, "
+                        f"got {value!r}")
 
-    Returns the payload unchanged when valid; raises
-    :class:`~repro.exceptions.SpecificationError` listing every problem
-    found otherwise.  CI runs this against the freshly emitted
-    ``BENCH_parallel.json`` so schema drift fails loudly.
-    """
-    problems: list[str] = []
-    if not isinstance(payload, dict):
-        raise SpecificationError(
-            f"payload must be a dict, got {type(payload).__name__}")
 
-    def check_number(container: dict, field: str, where: str,
-                     minimum: float = 0.0) -> None:
-        value = container.get(field)
-        if isinstance(value, bool) or not isinstance(value, numbers.Real):
-            problems.append(f"{where}{field!r} must be a number, "
-                            f"got {value!r}")
-        elif value < minimum:
-            problems.append(f"{where}{field!r} must be >= {minimum}, "
-                            f"got {value!r}")
-
-    if payload.get("schema") != BENCH_SCHEMA:
-        problems.append(f"'schema' must be {BENCH_SCHEMA!r}, "
-                        f"got {payload.get('schema')!r}")
-    check_number(payload, "workers", "", minimum=1)
-    check_number(payload, "seed", "")
+def _check_common(problems: list[str], payload: dict) -> None:
+    """Fields shared by every bench schema: workers, seed, ids, identical."""
+    _check_number(problems, payload, "workers", "", minimum=1)
+    _check_number(problems, payload, "seed", "")
     ids = payload.get("ids")
     if not isinstance(ids, list) or not ids \
             or not all(isinstance(e, str) for e in ids):
         problems.append(f"'ids' must be a non-empty list of strings, "
                         f"got {ids!r}")
-    for field in ("serial_seconds", "parallel_seconds", "speedup"):
-        check_number(payload, field, "")
     if not isinstance(payload.get("identical"), bool):
         problems.append(f"'identical' must be a bool, "
                         f"got {payload.get('identical')!r}")
+
+
+def _check_executor(problems: list[str], payload: dict) -> dict | None:
     executor = payload.get("executor")
     if not isinstance(executor, dict):
         problems.append(f"'executor' must be a dict, got {executor!r}")
-    else:
-        for field in _EXECUTOR_FIELDS:
-            check_number(executor, field, "executor.",
-                         minimum=1 if field == "workers" else 0)
+        return None
+    for field in _EXECUTOR_FIELDS:
+        _check_number(problems, executor, field, "executor.",
+                      minimum=1 if field == "workers" else 0)
+    return executor
+
+
+def _validate_parallel_payload(problems: list[str], payload: dict) -> None:
+    _check_common(problems, payload)
+    for field in ("serial_seconds", "parallel_seconds", "speedup"):
+        _check_number(problems, payload, field, "")
+    _check_executor(problems, payload)
     cache = payload.get("cache")
     if not isinstance(cache, dict):
         problems.append(f"'cache' must be a dict, got {cache!r}")
     else:
         for field in _CACHE_FIELDS:
-            check_number(cache, field, "cache.")
+            _check_number(problems, cache, field, "cache.")
         rate = cache.get("hit_rate")
         if isinstance(rate, numbers.Real) and not isinstance(rate, bool) \
                 and rate > 1.0:
@@ -217,7 +219,61 @@ def validate_bench_payload(payload) -> dict:
                     f"observability.'metrics' must be a dict, "
                     f"got {observability.get('metrics')!r}")
             for field in ("spans", "events"):
-                check_number(observability, field, "observability.")
+                _check_number(problems, observability, field,
+                              "observability.")
+
+
+def _validate_chaos_payload(problems: list[str], payload: dict) -> None:
+    _check_common(problems, payload)
+    for field in ("plain_seconds", "supervised_seconds", "chaos_seconds",
+                  "supervision_overhead", "recovery_overhead"):
+        _check_number(problems, payload, field, "")
+    chaos = payload.get("chaos")
+    if not isinstance(chaos, dict):
+        problems.append(f"'chaos' must be a dict, got {chaos!r}")
+    else:
+        for field in _CHAOS_RATE_FIELDS:
+            _check_number(problems, chaos, field, "chaos.")
+            rate = chaos.get(field)
+            if isinstance(rate, numbers.Real) and not isinstance(rate, bool) \
+                    and rate > 1.0:
+                problems.append(f"chaos.{field!r} must be <= 1, got {rate!r}")
+        _check_number(problems, chaos, "latency", "chaos.")
+        _check_number(problems, chaos, "seed", "chaos.")
+        _check_number(problems, chaos, "max_injections_per_task", "chaos.")
+    executor = _check_executor(problems, payload)
+    if executor is not None:
+        for field in _SUPERVISOR_FIELDS:
+            _check_number(problems, executor, field, "executor.")
+        if not isinstance(executor.get("breaker"), dict):
+            problems.append(f"executor.'breaker' must be a dict, "
+                            f"got {executor.get('breaker')!r}")
+
+
+def validate_bench_payload(payload) -> dict:
+    """Check a benchmark payload against its declared schema.
+
+    Dispatches on ``payload["schema"]``: ``repro-bench-parallel-v1``
+    (:func:`run_parallel_benchmark`) and ``repro-bench-chaos-v1``
+    (:func:`repro.resilience.chaos.run_chaos_benchmark`) are accepted.
+    Returns the payload unchanged when valid; raises
+    :class:`~repro.exceptions.SpecificationError` listing every problem
+    found otherwise.  CI runs this against the freshly emitted
+    ``BENCH_parallel.json`` / ``BENCH_chaos.json`` so schema drift fails
+    loudly.
+    """
+    if not isinstance(payload, dict):
+        raise SpecificationError(
+            f"payload must be a dict, got {type(payload).__name__}")
+    problems: list[str] = []
+    schema = payload.get("schema")
+    if schema == BENCH_SCHEMA:
+        _validate_parallel_payload(problems, payload)
+    elif schema == CHAOS_BENCH_SCHEMA:
+        _validate_chaos_payload(problems, payload)
+    else:
+        problems.append(f"'schema' must be {BENCH_SCHEMA!r} or "
+                        f"{CHAOS_BENCH_SCHEMA!r}, got {schema!r}")
     if problems:
         raise SpecificationError(
             "invalid benchmark payload: " + "; ".join(problems))

@@ -173,22 +173,30 @@ class ParallelExecutor:
         except Exception as exc:  # pickling failures are wildly varied
             return self._fallback(tasks, f"non-picklable task batch: {exc!r}")
         obs = get_observability()
+        # Completed results are collected (and their worker payloads
+        # absorbed) incrementally, in submission order.  When the pool
+        # breaks mid-batch only the *unfinished* tail is re-run in
+        # process — re-running finished tasks would double-absorb their
+        # spans/metrics/events and double-count executor.dispatched.
+        results: list[Any] = []
         with span("parallel.dispatch", tasks=len(tasks),
                   workers=self.workers):
             try:
                 if obs is None:
-                    results = list(self._ensure_pool().map(_call_task, tasks))
+                    for result in self._ensure_pool().map(_call_task, tasks):
+                        results.append(result)
                 else:
-                    pairs = list(self._ensure_pool().map(observed_call,
-                                                         tasks))
-                    results = []
-                    for result, payload in pairs:  # submission order
+                    for result, payload in self._ensure_pool().map(
+                            observed_call, tasks):  # submission order
                         obs.absorb(payload)
                         results.append(result)
             except BrokenProcessPool as exc:
                 self._pool = None  # a fresh pool will be built next batch
-                return self._fallback(tasks,
-                                      f"broken process pool: {exc!r}")
+                self.dispatched += len(results)
+                get_metrics().inc("executor.dispatched", len(results))
+                remaining = tasks[len(results):]
+                return results + self._fallback(
+                    remaining, f"broken process pool: {exc!r}")
         self.dispatched += len(tasks)
         get_metrics().inc("executor.dispatched", len(tasks))
         return results

@@ -12,20 +12,50 @@ makes the measurement pipeline itself survive them:
   for mappings and solver callables (NaN/Inf returns, raised exceptions,
   artificial latency, fake non-convergence), used to *prove* every
   degradation path;
+* :mod:`repro.resilience.supervisor` — :class:`SupervisedExecutor`,
+  per-task fault domains over the process pool: individual submission
+  with wall-clock deadlines, seeded retries, poison-task quarantine
+  (:class:`TaskFailure` sentinels tagged ``Quality.DEGRADED``), a
+  :class:`CircuitBreaker` that degrades a repeatedly-broken pool to
+  serial and recovers through deterministic half-open probes, and pool
+  respawn between waves;
+* :mod:`repro.resilience.chaos` — the deterministic chaos harness:
+  :class:`ChaosPolicy` injects worker kills, latency, exception storms
+  and pickling corruption at the dispatch boundary on a seeded schedule,
+  and :class:`ChaosRunner` asserts recovery is bit-identical to a
+  fault-free run;
 * :mod:`repro.resilience.checkpoint` — atomic JSON checkpoint/resume for
   long chunked runs (Monte-Carlo validation, experiment sweeps);
 * :mod:`repro.resilience.timeouts` / :mod:`repro.resilience.retry` — the
   wall-clock and backoff primitives the cascade is built from.
 
-See ``docs/RESILIENCE.md`` for the full design.
+See ``docs/RESILIENCE.md`` and ``docs/CHAOS.md`` for the full design.
 """
 
 from repro.core.diagnostics import Quality, SolverAttempt
 from repro.resilience.cascade import CascadeConfig, SolverCascade
+from repro.resilience.chaos import (
+    ChaosError,
+    ChaosPolicy,
+    ChaosReport,
+    ChaosRunner,
+    bit_identical,
+    run_chaos_benchmark,
+)
 from repro.resilience.checkpoint import Checkpoint, run_checkpointed
 from repro.resilience.faults import FaultInjector, FaultSpec, InjectedFaultError
 from repro.resilience.retry import RetryPolicy
-from repro.resilience.timeouts import call_with_timeout
+from repro.resilience.supervisor import (
+    BatchReport,
+    BreakerConfig,
+    CircuitBreaker,
+    SupervisedExecutor,
+    SupervisorConfig,
+    TaskFailure,
+    TaskOutcome,
+    resolve_task_failures,
+)
+from repro.resilience.timeouts import abandoned_thread_count, call_with_timeout
 
 __all__ = [
     "Quality",
@@ -39,4 +69,19 @@ __all__ = [
     "InjectedFaultError",
     "RetryPolicy",
     "call_with_timeout",
+    "abandoned_thread_count",
+    "BatchReport",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "SupervisedExecutor",
+    "SupervisorConfig",
+    "TaskFailure",
+    "TaskOutcome",
+    "resolve_task_failures",
+    "ChaosError",
+    "ChaosPolicy",
+    "ChaosReport",
+    "ChaosRunner",
+    "bit_identical",
+    "run_chaos_benchmark",
 ]

@@ -1,0 +1,621 @@
+"""Deterministic chaos harness for the supervised executor.
+
+Cusick's resiliency survey (PAPERS.md) argues recovery paths must be
+*exercised*, not assumed.  This module injects infrastructure-level
+faults — worker SIGKILL, task latency, exception storms, result-pickling
+corruption — at the executor dispatch boundary, on a schedule that is a
+pure function of ``(seed, task index, attempt number)``:
+
+* a :class:`ChaosPolicy` (the executor-level sibling of
+  :class:`~repro.resilience.faults.FaultSpec` /
+  :class:`~repro.resilience.faults.FaultInjector`, which perturbs
+  mappings and solvers *inside* a task) decides, for every task attempt,
+  which faults fire.  The decision draws come from a
+  :class:`numpy.random.SeedSequence` spawned at ``(index, attempt)``, so
+  they do not depend on worker count, scheduling order, or how other
+  tasks fared — the same attempt always meets the same fault;
+* ``max_injections_per_task`` caps how many *fatal* faults (kill,
+  exception, corruption) a single task can meet, so a chaos schedule is
+  recoverable by construction: give the
+  :class:`~repro.resilience.supervisor.SupervisedExecutor` a retry
+  budget of at least the cap (plus headroom for collateral pool breaks,
+  which charge an attempt to every task in flight) and every task
+  eventually yields its fault-free result.  Latency faults are never
+  fatal and are not capped;
+* process-killing and result-corrupting faults only make sense on a
+  worker process; when the schedule fires one while the attempt runs
+  in-process (serial path, open circuit breaker), it downgrades to a
+  raised :class:`ChaosError` — still a failed attempt, still recoverable;
+* a :class:`ChaosRunner` replays a policy against a task batch and
+  compares the recovered results **bit-for-bit** with an in-process
+  fault-free baseline, turning the determinism contract of
+  :mod:`repro.resilience.supervisor` into an executable assertion; and
+* :func:`run_chaos_benchmark` measures what the hardening costs: the
+  experiment suite on a plain executor, under fault-free supervision,
+  and under chaos, with a ``repro-bench-chaos-v1`` payload recording
+  overheads, recovery counters, and the byte-identity verdict.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import pickle
+import signal
+import time
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ReproError, SpecificationError
+from repro.observability import emit_event, get_metrics
+from repro.resilience.retry import RetryPolicy
+from repro.resilience.supervisor import (
+    SupervisedExecutor,
+    SupervisorConfig,
+    TaskFailure,
+)
+
+__all__ = [
+    "ChaosError",
+    "ChaosPolicy",
+    "ChaosReport",
+    "ChaosRunner",
+    "run_chaos_benchmark",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Fatal fault kinds, in the order the schedule resolves ties.
+_FATAL_KINDS = ("kill", "exception", "corrupt")
+
+
+class ChaosError(ReproError):
+    """An artificial failure raised by the chaos harness.
+
+    Typed so tests and retry accounting can tell injected chaos from
+    genuine task bugs, exactly like
+    :class:`~repro.resilience.faults.InjectedFaultError` does for
+    solver-level faults.
+    """
+
+
+@dataclass(frozen=True)
+class ChaosPolicy:
+    """A seeded schedule of executor-boundary faults.
+
+    Every task attempt draws four independent uniforms from an RNG
+    spawned at ``(index, attempt)``, checked against the rates below in
+    a fixed order (kill, exception, latency, corruption).  At most one
+    *fatal* fault fires per attempt — kill wins over exception wins over
+    corruption — and at most :attr:`max_injections_per_task` fatal
+    faults ever fire against one task; latency is independent and
+    uncapped.
+
+    Attributes
+    ----------
+    kill_rate:
+        Probability an attempt SIGKILLs its worker process mid-task
+        (breaking the pool; in-process attempts downgrade to a raised
+        :class:`ChaosError`).
+    exception_rate:
+        Probability an attempt raises :class:`ChaosError` before the
+        task body runs (an "exception storm" when set high).
+    latency_rate:
+        Probability an attempt sleeps :attr:`latency` seconds first.
+    latency:
+        Artificial delay in seconds for latency faults (used to trip
+        per-task deadlines).
+    corrupt_rate:
+        Probability the attempt's *result* is wrapped so it cannot be
+        pickled back from the worker (in-process attempts downgrade to
+        a raised :class:`ChaosError`).
+    seed:
+        Non-negative entropy for the decision draws.  Equal policies
+        fire identical schedules — on any machine, any worker count.
+    max_injections_per_task:
+        Fatal-fault budget per task; the recoverability guarantee.
+    """
+
+    kill_rate: float = 0.0
+    exception_rate: float = 0.0
+    latency_rate: float = 0.0
+    latency: float = 0.01
+    corrupt_rate: float = 0.0
+    seed: int = 0
+    max_injections_per_task: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("kill_rate", "exception_rate", "latency_rate",
+                     "corrupt_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise SpecificationError(
+                    f"{name} must be in [0, 1], got {rate}")
+        if self.latency < 0:
+            raise SpecificationError(
+                f"latency must be non-negative, got {self.latency}")
+        if not isinstance(self.seed, (int, np.integer)) or self.seed < 0:
+            raise SpecificationError(
+                f"seed must be a non-negative int, got {self.seed!r}")
+        if self.max_injections_per_task < 0:
+            raise SpecificationError(
+                f"max_injections_per_task must be >= 0, got "
+                f"{self.max_injections_per_task}")
+
+    # ------------------------------------------------------------------
+    # parsing (CLI `--chaos SPEC`)
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, spec: str) -> "ChaosPolicy":
+        """Build a policy from a compact CLI spec string.
+
+        The spec is a comma-separated list of ``key=value`` entries::
+
+            kill=0.2,exception=0.3,latency=0.1:0.05,corrupt=0.1,seed=7,cap=2
+
+        Keys: ``kill``, ``exception`` (alias ``exc``), ``corrupt``
+        (rates in ``[0, 1]``); ``latency`` as ``rate`` or
+        ``rate:seconds``; ``seed`` (int); ``cap`` (alias ``max``) for
+        :attr:`max_injections_per_task`.
+        """
+        if not isinstance(spec, str) or not spec.strip():
+            raise SpecificationError(
+                "chaos spec must be a non-empty string like "
+                "'kill=0.1,exception=0.2,seed=7'")
+        kwargs: dict[str, Any] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, eq, value = part.partition("=")
+            if not eq or not value.strip():
+                raise SpecificationError(
+                    f"chaos spec entry {part!r} must look like key=value")
+            key, value = key.strip().lower(), value.strip()
+            try:
+                if key == "kill":
+                    kwargs["kill_rate"] = float(value)
+                elif key in ("exception", "exc"):
+                    kwargs["exception_rate"] = float(value)
+                elif key == "corrupt":
+                    kwargs["corrupt_rate"] = float(value)
+                elif key == "latency":
+                    rate, _, seconds = value.partition(":")
+                    kwargs["latency_rate"] = float(rate)
+                    if seconds:
+                        kwargs["latency"] = float(seconds)
+                elif key == "seed":
+                    kwargs["seed"] = int(value)
+                elif key in ("cap", "max"):
+                    kwargs["max_injections_per_task"] = int(value)
+                else:
+                    raise SpecificationError(
+                        f"unknown chaos spec key {key!r} (expected kill, "
+                        f"exception, latency, corrupt, seed, or cap)")
+            except ValueError:
+                raise SpecificationError(
+                    f"invalid chaos spec value in {part!r}") from None
+        return cls(**kwargs)
+
+    # ------------------------------------------------------------------
+    # the deterministic schedule
+    # ------------------------------------------------------------------
+    def _draws(self, index: int, attempt: int) -> np.ndarray:
+        """The four uniforms for one ``(task, attempt)`` pair."""
+        ss = np.random.SeedSequence(entropy=int(self.seed),
+                                    spawn_key=(int(index), int(attempt)))
+        return np.random.default_rng(ss).random(4)
+
+    def _fatal_raw(self, u: np.ndarray) -> str | None:
+        """The fatal kind the draws select, ignoring the per-task cap."""
+        if u[0] < self.kill_rate:
+            return "kill"
+        if u[1] < self.exception_rate:
+            return "exception"
+        if u[3] < self.corrupt_rate:
+            return "corrupt"
+        return None
+
+    def fatal_injections_before(self, index: int, attempt: int) -> int:
+        """Fatal faults fired against ``index`` in attempts before this one.
+
+        Recomputed from the seed rather than remembered, so the answer
+        is available in any process without shared state.
+        """
+        count = 0
+        for a in range(1, attempt):
+            if count >= self.max_injections_per_task:
+                break
+            if self._fatal_raw(self._draws(index, a)) is not None:
+                count += 1
+        return count
+
+    def fatal_kind(self, index: int, attempt: int) -> str | None:
+        """The fatal fault this attempt meets (``None`` once capped)."""
+        before = self.fatal_injections_before(index, attempt)
+        if before >= self.max_injections_per_task:
+            return None
+        return self._fatal_raw(self._draws(index, attempt))
+
+    def latency_decision(self, index: int, attempt: int) -> bool:
+        """Whether this attempt sleeps :attr:`latency` seconds first."""
+        return (self.latency_rate > 0 and self.latency > 0
+                and self._draws(index, attempt)[2] < self.latency_rate)
+
+    def scheduled_injections(self, attempts: Sequence[int]) -> dict:
+        """Faults the schedule fired, given per-task attempt counts.
+
+        Because the schedule is a pure function, the injections a run
+        met can be *recomputed* afterwards from its
+        :class:`~repro.resilience.supervisor.BatchReport` attempt
+        counts — no feedback channel from (possibly killed) workers is
+        needed.  Attempts charged collaterally by another task's pool
+        break count as attempts here too, exactly as the supervisor
+        charged them.
+        """
+        counts: Counter[str] = Counter()
+        for index, n_attempts in enumerate(attempts):
+            for a in range(1, int(n_attempts) + 1):
+                kind = self.fatal_kind(index, a)
+                if kind is not None:
+                    counts[kind] += 1
+                if self.latency_decision(index, a):
+                    counts["latency"] += 1
+        return dict(counts)
+
+    # ------------------------------------------------------------------
+    # executor integration
+    # ------------------------------------------------------------------
+    def wrap(self, task: Callable[[], Any], *, index: int,
+             attempt: int) -> "_ChaosCall":
+        """The faulting callable dispatched for one task attempt.
+
+        Called by :class:`~repro.resilience.supervisor.SupervisedExecutor`
+        at the dispatch boundary; the wrapper is picklable whenever the
+        task is, and captures the submitting process's PID so
+        process-level faults only ever fire on a *worker*.
+        """
+        if index < 0 or attempt < 1:
+            raise SpecificationError(
+                f"need index >= 0 and attempt >= 1, got "
+                f"index={index}, attempt={attempt}")
+        return _ChaosCall(task=task, policy=self, index=int(index),
+                          attempt=int(attempt), parent_pid=os.getpid())
+
+    def to_dict(self) -> dict:
+        """JSON-safe policy description (for benchmark payloads)."""
+        return {
+            "kill_rate": float(self.kill_rate),
+            "exception_rate": float(self.exception_rate),
+            "latency_rate": float(self.latency_rate),
+            "latency": float(self.latency),
+            "corrupt_rate": float(self.corrupt_rate),
+            "seed": int(self.seed),
+            "max_injections_per_task": int(self.max_injections_per_task),
+        }
+
+
+class _Unpicklable:
+    """A result wrapper that refuses to cross the process boundary.
+
+    Returned by a corruption fault in a worker: the pool's attempt to
+    pickle the result fails, the parent sees the error on the future,
+    and the supervisor retries — a faithful stand-in for a task whose
+    payload got mangled in transit.
+    """
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __reduce__(self):
+        raise ChaosError("injected result corruption: this object "
+                         "deliberately cannot be pickled")
+
+
+@dataclass
+class _ChaosCall:
+    """One task attempt with its scheduled faults applied."""
+
+    task: Callable[[], Any]
+    policy: ChaosPolicy
+    index: int
+    attempt: int
+    parent_pid: int
+
+    def _fire(self, kind: str) -> None:
+        get_metrics().inc(f"chaos.{kind}")
+        emit_event("chaos.injected", kind=kind, index=self.index,
+                   attempt=self.attempt)
+        logger.debug("chaos %s fault: task %d attempt %d", kind,
+                     self.index, self.attempt)
+
+    def __call__(self) -> Any:
+        policy, index, attempt = self.policy, self.index, self.attempt
+        in_worker = os.getpid() != self.parent_pid
+        if policy.latency_decision(index, attempt):
+            self._fire("latency")
+            time.sleep(policy.latency)
+        fatal = policy.fatal_kind(index, attempt)
+        if fatal == "kill":
+            self._fire("kill")
+            if in_worker:
+                os.kill(os.getpid(), signal.SIGKILL)
+            raise ChaosError(
+                f"injected worker kill for task {index} attempt "
+                f"{attempt} (downgraded to an exception in-process)")
+        if fatal == "exception":
+            self._fire("exception")
+            raise ChaosError(
+                f"injected exception for task {index} attempt {attempt}")
+        value = self.task()
+        if fatal == "corrupt":
+            self._fire("corrupt")
+            if in_worker:
+                return _Unpicklable(value)
+            raise ChaosError(
+                f"injected result corruption for task {index} attempt "
+                f"{attempt} (downgraded to an exception in-process)")
+        return value
+
+
+# ----------------------------------------------------------------------
+# replay + assertion
+# ----------------------------------------------------------------------
+def bit_identical(a: Any, b: Any) -> bool:
+    """Byte-level equality via pickling (``repr`` when unpicklable).
+
+    Pickled floats carry their exact bit patterns, so this is a genuine
+    bit-identity check for the numeric results the library produces.
+    """
+    try:
+        return pickle.dumps(a, protocol=4) == pickle.dumps(b, protocol=4)
+    except Exception:
+        return repr(a) == repr(b)
+
+
+@dataclass(frozen=True)
+class ChaosReport:
+    """Verdict of one chaos replay (see :class:`ChaosRunner`).
+
+    Attributes
+    ----------
+    identical:
+        Every slot produced a real result bit-identical to the
+        fault-free baseline's.
+    quarantined:
+        Tasks that exhausted their retry budget under chaos.
+    baseline_seconds / chaos_seconds:
+        Wall-clock of the in-process baseline and the chaos leg.
+    scheduled:
+        Faults the policy fired, per kind, recomputed from the batch's
+        attempt counts (see :meth:`ChaosPolicy.scheduled_injections`).
+    batch:
+        The chaos leg's :class:`~repro.resilience.supervisor.BatchReport`
+        as a dict.
+    executor:
+        The chaos executor's :meth:`stats` snapshot (retries, pool
+        breaks, respawns, breaker state).
+    """
+
+    identical: bool
+    quarantined: int
+    baseline_seconds: float
+    chaos_seconds: float
+    scheduled: dict
+    batch: dict
+    executor: dict
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run fully recovered (no quarantine, bit-identical)."""
+        return self.identical and self.quarantined == 0
+
+    def assert_recovered(self) -> None:
+        """Raise :class:`ChaosError` unless the run fully recovered."""
+        if self.ok:
+            return
+        problems = []
+        if self.quarantined:
+            problems.append(f"{self.quarantined} task(s) quarantined")
+        if not self.identical:
+            problems.append("results differ from the fault-free baseline")
+        raise ChaosError("chaos replay did not recover: "
+                         + "; ".join(problems)
+                         + f" (scheduled faults: {self.scheduled})")
+
+    def to_dict(self) -> dict:
+        """JSON-safe report (used by the CLI and benchmark payloads)."""
+        return {
+            "identical": bool(self.identical),
+            "quarantined": int(self.quarantined),
+            "baseline_seconds": float(self.baseline_seconds),
+            "chaos_seconds": float(self.chaos_seconds),
+            "scheduled": dict(self.scheduled),
+            "batch": dict(self.batch),
+            "executor": dict(self.executor),
+        }
+
+
+class ChaosRunner:
+    """Replays a chaos schedule and checks the recovery was perfect.
+
+    The runner executes a task batch twice: once in-process with no
+    faults (the ground truth) and once on a fresh
+    :class:`~repro.resilience.supervisor.SupervisedExecutor` with the
+    policy injected at the dispatch boundary.  The two result lists must
+    match bit-for-bit — :meth:`ChaosReport.assert_recovered` turns any
+    divergence or leftover quarantine into a :class:`ChaosError`.
+
+    Parameters
+    ----------
+    policy:
+        The chaos schedule to replay.
+    workers:
+        Worker processes for the chaos leg (``1`` exercises the
+        in-process downgrades, ``> 1`` real worker kills).
+    config:
+        Supervision tuning for the chaos leg.  The default allows
+        ``max_injections_per_task + 6`` retries with near-zero backoff:
+        enough budget for every scheduled fault plus collateral pool
+        breaks, without making tests slow.
+    seed:
+        Retry-jitter seed for the supervised executor.
+    """
+
+    def __init__(self, policy: ChaosPolicy, *, workers: int = 1,
+                 config: SupervisorConfig | None = None,
+                 seed: int = 0) -> None:
+        if not isinstance(policy, ChaosPolicy):
+            raise SpecificationError(
+                f"policy must be a ChaosPolicy, got "
+                f"{type(policy).__name__}")
+        self.policy = policy
+        self.workers = int(workers)
+        self.config = config if config is not None else SupervisorConfig(
+            max_task_retries=policy.max_injections_per_task + 6,
+            retry=RetryPolicy(backoff_base=1e-4, backoff_cap=1e-3))
+        self.seed = seed
+
+    def run(self, tasks: Sequence[Callable[[], Any]]
+            ) -> tuple[list[Any], ChaosReport]:
+        """Run the baseline and the chaos leg; return (results, report)."""
+        tasks = list(tasks)
+        t0 = time.perf_counter()
+        baseline = [task() for task in tasks]
+        baseline_seconds = time.perf_counter() - t0
+        with SupervisedExecutor(self.workers, config=self.config,
+                                chaos=self.policy, seed=self.seed) as ex:
+            t0 = time.perf_counter()
+            results, batch = ex.run_report(tasks)
+            chaos_seconds = time.perf_counter() - t0
+            stats = ex.stats()
+        identical = (len(results) == len(baseline) and all(
+            not isinstance(r, TaskFailure) and bit_identical(r, b)
+            for r, b in zip(results, baseline)))
+        report = ChaosReport(
+            identical=identical,
+            quarantined=batch.n_quarantined,
+            baseline_seconds=baseline_seconds,
+            chaos_seconds=chaos_seconds,
+            scheduled=self.policy.scheduled_injections(
+                [o.attempts for o in batch.outcomes]),
+            batch=batch.to_dict(),
+            executor=stats)
+        logger.info("chaos replay: %d task(s), faults %s, identical=%s, "
+                    "quarantined=%d", len(tasks), report.scheduled,
+                    identical, report.quarantined)
+        return results, report
+
+
+# ----------------------------------------------------------------------
+# benchmark
+# ----------------------------------------------------------------------
+def _canonical(results: dict) -> str:
+    """Canonical JSON of an experiment-suite result dict (identity check)."""
+    from repro.io.serialize import to_dict
+
+    return json.dumps({eid: to_dict(res) for eid, res in results.items()},
+                      sort_keys=True)
+
+
+def run_chaos_benchmark(
+    *,
+    workers: int | None = None,
+    seed: int = 2005,
+    ids: Sequence[str] | None = None,
+    policy: ChaosPolicy | None = None,
+    config: SupervisorConfig | None = None,
+) -> dict:
+    """Measure what chaos-hardening costs on the experiment suite.
+
+    Runs the registered experiments three times — on a plain
+    :class:`~repro.parallel.executor.ParallelExecutor`, on a fault-free
+    :class:`~repro.resilience.supervisor.SupervisedExecutor` (the
+    supervision overhead), and under a seeded :class:`ChaosPolicy` (the
+    recovery overhead) — and emits a ``repro-bench-chaos-v1`` payload.
+    All three legs must produce byte-identical serialized results; the
+    payload records the verdict rather than assuming it.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes for every leg; defaults to
+        :func:`~repro.parallel.executor.default_workers`.
+    seed:
+        Master seed shared by all legs (and the default chaos policy).
+    ids:
+        Optional experiment-id subset; defaults to the full registry.
+    policy:
+        Chaos schedule for the third leg; the default kills, delays,
+        blows up and corrupts at modest rates so every recovery path is
+        exercised without dominating the wall-clock.
+    config:
+        Supervision tuning for the supervised legs; the default allows
+        generous retries with near-zero backoff.
+    """
+    from repro.analysis.runner import EXPERIMENT_REGISTRY, run_all_experiments
+    from repro.parallel.bench import CHAOS_BENCH_SCHEMA
+    from repro.parallel.executor import ParallelExecutor, default_workers
+
+    if workers is None:
+        workers = default_workers()
+    if workers < 1:
+        raise SpecificationError(f"workers must be >= 1, got {workers}")
+    if ids is None:
+        ids = sorted(EXPERIMENT_REGISTRY,
+                     key=lambda e: int(e[1:].rstrip("ab")))
+    ids = list(ids)
+    if policy is None:
+        policy = ChaosPolicy(kill_rate=0.05, exception_rate=0.1,
+                             latency_rate=0.1, latency=0.002,
+                             corrupt_rate=0.05, seed=int(seed))
+    if config is None:
+        config = SupervisorConfig(
+            max_task_retries=policy.max_injections_per_task + 6,
+            retry=RetryPolicy(backoff_base=1e-4, backoff_cap=1e-3))
+
+    logger.info("chaos benchmark: plain leg, %d worker(s)", workers)
+    with ParallelExecutor(workers) as pool:
+        t0 = time.perf_counter()
+        plain = run_all_experiments(seed=seed, ids=ids, executor=pool)
+        plain_seconds = time.perf_counter() - t0
+
+    logger.info("chaos benchmark: supervised (fault-free) leg")
+    with SupervisedExecutor(workers, config=config, seed=seed) as sup:
+        t0 = time.perf_counter()
+        supervised = run_all_experiments(seed=seed, ids=ids, executor=sup)
+        supervised_seconds = time.perf_counter() - t0
+
+    logger.info("chaos benchmark: chaos leg (%s)", policy.to_dict())
+    with SupervisedExecutor(workers, config=config, chaos=policy,
+                            seed=seed) as cha:
+        t0 = time.perf_counter()
+        chaotic = run_all_experiments(seed=seed, ids=ids, executor=cha)
+        chaos_seconds = time.perf_counter() - t0
+        chaos_stats = cha.stats()
+
+    canonical = _canonical(plain)
+    identical = (canonical == _canonical(supervised)
+                 and canonical == _canonical(chaotic))
+    if not identical:  # pragma: no cover - determinism contract violation
+        logger.error("chaos-leg results DIFFER from the plain executor's")
+    return {
+        "schema": CHAOS_BENCH_SCHEMA,
+        "workers": int(workers),
+        "seed": int(seed),
+        "ids": ids,
+        "plain_seconds": float(plain_seconds),
+        "supervised_seconds": float(supervised_seconds),
+        "chaos_seconds": float(chaos_seconds),
+        "supervision_overhead": (float(supervised_seconds / plain_seconds)
+                                 if plain_seconds > 0 else 0.0),
+        "recovery_overhead": (float(chaos_seconds / supervised_seconds)
+                              if supervised_seconds > 0 else 0.0),
+        "identical": bool(identical),
+        "chaos": policy.to_dict(),
+        "executor": chaos_stats,
+    }

@@ -213,7 +213,18 @@ def run_checkpointed(
             logger.debug("running checkpoint wave of %d item(s)", len(batch))
             with span("checkpoint.wave", items=len(batch),
                       wave=start // wave):
-                values = executor.run([thunk for _, thunk in batch])
+                # Imported lazily: this module is part of the resilience
+                # package the supervisor lives in, and an eager top-level
+                # import would cycle through the package __init__.
+                from repro.resilience.supervisor import resolve_task_failures
+
+                thunks = [thunk for _, thunk in batch]
+                # A supervised executor yields TaskFailure sentinels for
+                # quarantined tasks instead of raising; checkpoints must
+                # store real values, so surviving sentinels are re-run
+                # in-process (propagating any genuine exception exactly
+                # like the serial path below would).
+                values = resolve_task_failures(executor.run(thunks), thunks)
                 for (key, _), value in zip(batch, values):
                     fresh[key] = value
                     stored[key] = encode(value)

@@ -12,7 +12,11 @@ The abandoned thread is a daemon and cannot be killed — it finishes (or
 hangs) in the background without blocking interpreter exit.  This is the
 standard CPython trade-off for timing out uncancellable code; the cascade
 bounds how many such threads can pile up by refusing to retry timed-out
-solvers.
+solvers.  Each abandonment emits a ``solver.abandoned`` event and updates
+the ``timeouts.abandoned_threads`` gauge (the number of abandoned threads
+*currently alive* — it decrements when a leaked thread eventually
+finishes), so leaked threads are visible in ``repro stats`` instead of
+only a log line.
 """
 
 from __future__ import annotations
@@ -22,12 +26,34 @@ import threading
 from typing import Any, Callable, TypeVar
 
 from repro.exceptions import SolverTimeoutError, SpecificationError
+from repro.observability import emit_event, get_metrics
 
-__all__ = ["call_with_timeout"]
+__all__ = ["call_with_timeout", "abandoned_thread_count"]
 
 logger = logging.getLogger(__name__)
 
 T = TypeVar("T")
+
+_abandoned_lock = threading.Lock()
+_abandoned_alive = 0
+
+
+def abandoned_thread_count() -> int:
+    """Abandoned timeout-worker threads that are still running."""
+    with _abandoned_lock:
+        return _abandoned_alive
+
+
+def _mark_abandoned() -> None:
+    global _abandoned_alive
+    _abandoned_alive += 1
+    get_metrics().set_gauge("timeouts.abandoned_threads", _abandoned_alive)
+
+
+def _mark_finished() -> None:
+    global _abandoned_alive
+    _abandoned_alive -= 1
+    get_metrics().set_gauge("timeouts.abandoned_threads", _abandoned_alive)
 
 
 def call_with_timeout(fn: Callable[[], T], *, timeout: float | None,
@@ -53,7 +79,9 @@ def call_with_timeout(fn: Callable[[], T], *, timeout: float | None,
     SolverTimeoutError
         If ``fn`` does not finish within ``timeout`` seconds.  The worker
         thread keeps running as a daemon but its eventual result is
-        discarded.
+        discarded.  A ``solver.abandoned`` event is emitted and the
+        ``timeouts.abandoned_threads`` gauge tracks how many such threads
+        are still alive.
     """
     if timeout is not None and timeout != timeout:  # NaN guard
         raise SpecificationError("timeout must not be NaN")
@@ -64,19 +92,38 @@ def call_with_timeout(fn: Callable[[], T], *, timeout: float | None,
 
     def _worker() -> None:
         try:
-            outcome["value"] = fn()
-        except BaseException as exc:  # propagated to the caller below
-            outcome["error"] = exc
+            try:
+                outcome["value"] = fn()
+            except BaseException as exc:  # propagated to the caller below
+                outcome["error"] = exc
+        finally:
+            # Handshake with the parent: if we were abandoned, the leaked
+            # thread just ended — decrement the live-leak gauge.  `done`
+            # and `abandoned` are flipped under one lock so exactly one
+            # side performs the accounting whichever way the race goes.
+            with _abandoned_lock:
+                outcome["done"] = True
+                if outcome.get("abandoned"):
+                    _mark_finished()
 
     thread = threading.Thread(target=_worker, name=f"timeout-{name}",
                               daemon=True)
     thread.start()
     thread.join(timeout)
     if thread.is_alive():
-        logger.warning("%s exceeded its %.3g s wall-clock budget; "
-                       "abandoning the worker thread", name, timeout)
-        raise SolverTimeoutError(
-            f"{name} exceeded its wall-clock budget of {timeout:g} s")
+        with _abandoned_lock:
+            if not outcome.get("done"):
+                outcome["abandoned"] = True
+                _mark_abandoned()
+        if outcome.get("abandoned"):
+            emit_event("solver.abandoned", name=name, timeout=float(timeout))
+            logger.warning("%s exceeded its %.3g s wall-clock budget; "
+                           "abandoning the worker thread", name, timeout)
+            raise SolverTimeoutError(
+                f"{name} exceeded its wall-clock budget of {timeout:g} s")
+        # The worker slipped in between join() and the check: a result
+        # (or error) is available after all — fall through and use it.
+        thread.join()
     if "error" in outcome:
         raise outcome["error"]
     return outcome["value"]

@@ -9,6 +9,7 @@ import pytest
 from repro.exceptions import SpecificationError
 from repro.parallel.bench import (
     BENCH_SCHEMA,
+    CHAOS_BENCH_SCHEMA,
     run_parallel_benchmark,
     validate_bench_payload,
     write_benchmark,
@@ -84,6 +85,86 @@ class TestValidateBenchPayload:
         payload["serial_seconds"] = True
         with pytest.raises(SpecificationError, match="'serial_seconds'"):
             validate_bench_payload(payload)
+
+
+def _good_chaos_payload() -> dict:
+    return {
+        "schema": CHAOS_BENCH_SCHEMA,
+        "workers": 2,
+        "seed": 2005,
+        "ids": ["E2"],
+        "plain_seconds": 1.0,
+        "supervised_seconds": 1.1,
+        "chaos_seconds": 1.4,
+        "supervision_overhead": 0.1,
+        "recovery_overhead": 0.3,
+        "identical": True,
+        "chaos": {"kill_rate": 0.05, "exception_rate": 0.1,
+                  "latency_rate": 0.1, "latency": 0.002,
+                  "corrupt_rate": 0.05, "seed": 11,
+                  "max_injections_per_task": 1},
+        "executor": {"workers": 2, "dispatched": 8, "fallbacks": 0,
+                     "last_fallback_reason": None, "retries": 3,
+                     "quarantined": 0, "pool_breaks": 1, "respawns": 1,
+                     "breaker": {"state": "closed", "opens": 0,
+                                 "consecutive_failures": 0}},
+    }
+
+
+class TestValidateChaosPayload:
+    def test_accepts_good_payload(self):
+        payload = _good_chaos_payload()
+        assert validate_bench_payload(payload) is payload
+
+    @pytest.mark.parametrize("field", [
+        "plain_seconds", "supervised_seconds", "chaos_seconds",
+        "supervision_overhead", "recovery_overhead",
+    ])
+    def test_rejects_missing_timing(self, field):
+        payload = _good_chaos_payload()
+        del payload[field]
+        with pytest.raises(SpecificationError, match=f"'{field}'"):
+            validate_bench_payload(payload)
+
+    def test_rejects_rate_above_one(self):
+        payload = _good_chaos_payload()
+        payload["chaos"]["kill_rate"] = 1.5
+        with pytest.raises(SpecificationError, match="kill_rate.*<= 1"):
+            validate_bench_payload(payload)
+
+    def test_rejects_non_dict_chaos(self):
+        payload = _good_chaos_payload()
+        payload["chaos"] = "lots"
+        with pytest.raises(SpecificationError, match="'chaos'"):
+            validate_bench_payload(payload)
+
+    @pytest.mark.parametrize("field", [
+        "retries", "quarantined", "pool_breaks", "respawns",
+    ])
+    def test_rejects_missing_supervisor_counter(self, field):
+        payload = _good_chaos_payload()
+        del payload["executor"][field]
+        with pytest.raises(SpecificationError, match=f"'{field}'"):
+            validate_bench_payload(payload)
+
+    def test_rejects_missing_breaker(self):
+        payload = _good_chaos_payload()
+        del payload["executor"]["breaker"]
+        with pytest.raises(SpecificationError, match="'breaker'"):
+            validate_bench_payload(payload)
+
+    def test_unknown_schema_error_names_both_schemas(self):
+        payload = _good_chaos_payload()
+        payload["schema"] = "repro-bench-v0"
+        with pytest.raises(SpecificationError) as excinfo:
+            validate_bench_payload(payload)
+        assert BENCH_SCHEMA in str(excinfo.value)
+        assert CHAOS_BENCH_SCHEMA in str(excinfo.value)
+
+    def test_write_benchmark_accepts_chaos_payload(self, tmp_path):
+        out = tmp_path / "BENCH_chaos.json"
+        write_benchmark(_good_chaos_payload(), out)
+        assert json.loads(out.read_text()) == _good_chaos_payload()
 
 
 class TestWriteBenchmark:

@@ -1,0 +1,184 @@
+"""Failure-path coverage for the parallel executor.
+
+The happy paths live in ``test_executor.py``; these tests break the pool
+mid-batch (via a synthetic pool, so no real processes die) and assert
+the fallback accounting stays honest:
+
+* worker payloads absorbed before the break are **not** absorbed again
+  when the unfinished tail re-runs in-process (the double-absorb
+  regression), and ``executor.dispatched`` only counts tasks that really
+  ran on a worker;
+* ``executor_scope`` releases an owned pool even when the scoped batch
+  raises;
+* ``stats()`` and ``close()`` behave after fallbacks and broken pools.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro.observability import get_metrics, observing
+from repro.parallel.executor import ParallelExecutor, Task, executor_scope
+
+
+def _tick(x):
+    """A task that leaves a fingerprint in the active metrics session."""
+    get_metrics().inc("test.task_runs")
+    return x * 10
+
+
+def _boom():
+    raise RuntimeError("scoped batch failure")
+
+
+class _BreakingPool:
+    """A fake process pool that dies after ``good`` completed tasks.
+
+    Runs tasks in-process through the real trampoline, so worker-side
+    payload capture behaves exactly as on a live pool — which is what
+    the double-absorb regression is about.
+    """
+
+    def __init__(self, good: int) -> None:
+        self.good = good
+        self.shutdowns = 0
+
+    def map(self, fn, tasks):
+        def _results():
+            for i, task in enumerate(tasks):
+                if i >= self.good:
+                    raise BrokenProcessPool("synthetic pool break")
+                yield fn(task)
+        return _results()
+
+    def shutdown(self, wait=True):  # noqa: ARG002 - pool API
+        self.shutdowns += 1
+
+
+def _broken_executor(good: int, workers: int = 2):
+    """A ParallelExecutor whose pool breaks after ``good`` tasks."""
+    executor = ParallelExecutor(workers)
+    pool = _BreakingPool(good)
+    executor._pool = pool  # _ensure_pool returns it as-is
+    return executor, pool
+
+
+class TestBrokenPoolMidBatch:
+    def test_unfinished_tail_reruns_and_results_stay_ordered(self):
+        executor, _ = _broken_executor(good=2)
+        tasks = [Task(_tick, (i,)) for i in range(5)]
+        assert executor.run(tasks) == [0, 10, 20, 30, 40]
+        assert executor.fallbacks == 1
+        assert "broken process pool" in executor.last_fallback_reason
+        # only the two tasks that finished on the "pool" count as
+        # dispatched; the re-run tail is fallback work
+        assert executor.dispatched == 2
+        # the broken pool was dropped so the next batch gets a fresh one
+        assert executor._pool is None
+
+    def test_no_double_absorb_of_worker_payloads(self):
+        # Regression: payloads absorbed before the break used to be
+        # absorbed again when the *full* batch re-ran in-process,
+        # double-counting every span, metric and event.
+        executor, _ = _broken_executor(good=2)
+        tasks = [Task(_tick, (i,)) for i in range(5)]
+        with observing() as obs:
+            results = executor.run(tasks)
+        assert results == [0, 10, 20, 30, 40]
+        snap = obs.metrics.snapshot()
+        # each task fingerprinted exactly once: 2 via absorbed worker
+        # payloads + 3 in-process, never 2 + 5
+        assert snap["test.task_runs"]["value"] == 5
+        assert snap["executor.dispatched"]["value"] == 2
+        assert snap["executor.fallbacks"]["value"] == 1
+        # one worker-task span per *completed* pool task
+        names = [s.name for s in obs.recorder.spans()]
+        assert names.count("parallel.task") == 2
+        kinds = [e.kind for e in obs.events.events()]
+        assert kinds.count("pool.fallback") == 1
+
+    def test_traced_break_matches_serial_task_accounting(self):
+        # The merged session must agree with a plain serial run on
+        # everything the tasks themselves record.
+        with observing() as serial_obs:
+            serial = ParallelExecutor(1).run(
+                [Task(_tick, (i,)) for i in range(5)])
+        executor, _ = _broken_executor(good=3)
+        with observing() as broken_obs:
+            broken = executor.run([Task(_tick, (i,)) for i in range(5)])
+        assert broken == serial
+        assert broken_obs.metrics.snapshot()["test.task_runs"] == \
+            serial_obs.metrics.snapshot()["test.task_runs"]
+
+    def test_immediate_break_reruns_everything(self):
+        executor, _ = _broken_executor(good=0)
+        assert executor.run([Task(_tick, (i,)) for i in range(3)]) \
+            == [0, 10, 20]
+        assert executor.dispatched == 0
+        assert executor.fallbacks == 1
+
+    def test_close_after_broken_pool_is_safe(self):
+        executor, pool = _broken_executor(good=1)
+        executor.run([Task(_tick, (i,)) for i in range(3)])
+        executor.close()  # nothing to shut down: pool already dropped
+        executor.close()
+        assert pool.shutdowns == 0  # the dead pool is abandoned, not
+        # re-shutdown — ProcessPoolExecutor already tore itself down
+
+    def test_next_batch_after_break_builds_a_fresh_pool(self):
+        executor, _ = _broken_executor(good=1)
+        executor.run([Task(_tick, (i,)) for i in range(3)])
+        with executor:
+            assert executor.run([Task(_tick, (i,)) for i in range(3)]) \
+                == [0, 10, 20]
+        assert executor.dispatched == 1 + 3
+
+
+class TestStatsOnFailurePaths:
+    def test_stats_after_fallback(self):
+        with ParallelExecutor(2) as pool:
+            pool.run([lambda: 1, lambda: 2])  # non-picklable -> fallback
+            stats = pool.stats()
+        assert stats["fallbacks"] == 1
+        assert stats["dispatched"] == 0
+        assert "non-picklable" in stats["last_fallback_reason"]
+
+    def test_stats_after_broken_pool(self):
+        executor, _ = _broken_executor(good=2)
+        executor.run([Task(_tick, (i,)) for i in range(4)])
+        stats = executor.stats()
+        assert stats["dispatched"] == 2
+        assert stats["fallbacks"] == 1
+        assert "broken process pool" in stats["last_fallback_reason"]
+
+    def test_stats_snapshot_is_decoupled_from_later_runs(self):
+        executor, _ = _broken_executor(good=1)
+        executor.run([Task(_tick, (i,)) for i in range(3)])
+        before = executor.stats()
+        with executor:
+            executor.run([Task(_tick, (i,)) for i in range(3)])
+        assert executor.stats()["dispatched"] == 4
+        assert before["dispatched"] == 1
+
+
+class TestExecutorScopeFailurePaths:
+    def test_owned_executor_closed_when_batch_raises(self):
+        scope = executor_scope(None, 2)
+        with pytest.raises(RuntimeError, match="scoped batch failure"):
+            with scope as pool:
+                owned = pool
+                pool.run([Task(_boom), Task(_boom)])
+        assert scope._owned is None  # scope released its executor
+        assert owned._pool is None  # and the process pool is gone
+
+    def test_given_executor_survives_a_raising_batch(self):
+        caller_owned = ParallelExecutor(2)
+        with pytest.raises(RuntimeError):
+            with executor_scope(caller_owned, None) as pool:
+                pool.run([Task(_boom), Task(_boom)])
+        # the caller's executor still works afterwards
+        assert caller_owned.run([Task(_tick, (1,)), Task(_tick, (2,))]) \
+            == [10, 20]
+        caller_owned.close()

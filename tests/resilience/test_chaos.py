@@ -1,0 +1,254 @@
+"""Tests for the deterministic chaos harness."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.parallel.bench import CHAOS_BENCH_SCHEMA, validate_bench_payload
+from repro.parallel.executor import Task
+from repro.resilience.chaos import (
+    ChaosError,
+    ChaosPolicy,
+    ChaosReport,
+    ChaosRunner,
+    bit_identical,
+    run_chaos_benchmark,
+)
+from repro.resilience.chaos import _Unpicklable
+from repro.resilience.retry import RetryPolicy
+from repro.resilience.supervisor import SupervisorConfig
+
+
+def _square(x):
+    return x * x
+
+
+class TestChaosPolicyParse:
+    def test_full_spec(self):
+        policy = ChaosPolicy.parse(
+            "kill=0.2,exception=0.3,latency=0.1:0.05,corrupt=0.1,"
+            "seed=7,cap=2")
+        assert policy == ChaosPolicy(kill_rate=0.2, exception_rate=0.3,
+                                     latency_rate=0.1, latency=0.05,
+                                     corrupt_rate=0.1, seed=7,
+                                     max_injections_per_task=2)
+
+    def test_aliases_and_defaults(self):
+        policy = ChaosPolicy.parse("exc=0.5,max=3,latency=0.2")
+        assert policy.exception_rate == 0.5
+        assert policy.max_injections_per_task == 3
+        assert policy.latency_rate == 0.2
+        assert policy.latency == ChaosPolicy().latency  # default seconds
+
+    @pytest.mark.parametrize("spec", [
+        "", "   ", "kill", "kill=", "frobnicate=0.5", "kill=high",
+        "kill=0.1,,exception",
+    ])
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(SpecificationError):
+            ChaosPolicy.parse(spec)
+
+    def test_non_string_rejected(self):
+        with pytest.raises(SpecificationError):
+            ChaosPolicy.parse(None)
+
+
+class TestChaosPolicyValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"kill_rate": -0.1}, {"exception_rate": 1.5},
+        {"latency_rate": 2.0}, {"corrupt_rate": -1.0},
+        {"latency": -0.5}, {"seed": -1}, {"seed": "seven"},
+        {"max_injections_per_task": -1},
+    ])
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(SpecificationError):
+            ChaosPolicy(**kwargs)
+
+    def test_wrap_rejects_bad_coordinates(self):
+        policy = ChaosPolicy()
+        with pytest.raises(SpecificationError):
+            policy.wrap(lambda: 1, index=-1, attempt=1)
+        with pytest.raises(SpecificationError):
+            policy.wrap(lambda: 1, index=0, attempt=0)
+
+
+class TestDeterministicSchedule:
+    def test_decisions_are_pure_functions(self):
+        a = ChaosPolicy(kill_rate=0.3, exception_rate=0.3,
+                        latency_rate=0.5, corrupt_rate=0.2, seed=42)
+        b = ChaosPolicy(kill_rate=0.3, exception_rate=0.3,
+                        latency_rate=0.5, corrupt_rate=0.2, seed=42)
+        for index in range(6):
+            for attempt in range(1, 5):
+                assert a.fatal_kind(index, attempt) == \
+                    b.fatal_kind(index, attempt)
+                assert a.latency_decision(index, attempt) == \
+                    b.latency_decision(index, attempt)
+
+    def test_seed_changes_the_schedule(self):
+        kinds = set()
+        for seed in range(20):
+            policy = ChaosPolicy(kill_rate=0.5, exception_rate=0.5,
+                                 seed=seed)
+            kinds.add(policy.fatal_kind(0, 1))
+        assert len(kinds) > 1  # not the same decision for every seed
+
+    def test_cap_limits_fatal_injections(self):
+        policy = ChaosPolicy(kill_rate=1.0, seed=0,
+                             max_injections_per_task=2)
+        assert policy.fatal_kind(5, 1) == "kill"
+        assert policy.fatal_kind(5, 2) == "kill"
+        assert policy.fatal_kind(5, 3) is None
+        assert policy.fatal_injections_before(5, 3) == 2
+        assert policy.fatal_injections_before(5, 10) == 2
+
+    def test_zero_cap_means_no_fatal_faults(self):
+        policy = ChaosPolicy(kill_rate=1.0, exception_rate=1.0,
+                             corrupt_rate=1.0, seed=0,
+                             max_injections_per_task=0)
+        assert policy.fatal_kind(0, 1) is None
+
+    def test_kill_takes_priority_over_exception(self):
+        policy = ChaosPolicy(kill_rate=1.0, exception_rate=1.0, seed=3)
+        assert policy.fatal_kind(0, 1) == "kill"
+
+    def test_scheduled_injections_recounts_the_run(self):
+        policy = ChaosPolicy(kill_rate=0.4, exception_rate=0.4,
+                             latency_rate=0.5, latency=0.001,
+                             corrupt_rate=0.3, seed=9,
+                             max_injections_per_task=1)
+        attempts = [3, 1, 2, 4]
+        scheduled = policy.scheduled_injections(attempts)
+        expected: dict[str, int] = {}
+        for index, n in enumerate(attempts):
+            for a in range(1, n + 1):
+                kind = policy.fatal_kind(index, a)
+                if kind is not None:
+                    expected[kind] = expected.get(kind, 0) + 1
+                if policy.latency_decision(index, a):
+                    expected["latency"] = expected.get("latency", 0) + 1
+        assert scheduled == expected
+
+
+class TestInProcessDowngrades:
+    def test_kill_downgrades_to_chaos_error_in_process(self):
+        policy = ChaosPolicy(kill_rate=1.0, seed=0)
+        call = policy.wrap(Task(_square, (2,)), index=0, attempt=1)
+        with pytest.raises(ChaosError, match="downgraded"):
+            call()
+
+    def test_exception_fault_raises_before_the_task_runs(self):
+        ran = []
+        policy = ChaosPolicy(exception_rate=1.0, seed=0)
+        call = policy.wrap(lambda: ran.append(1), index=0, attempt=1)
+        with pytest.raises(ChaosError, match="injected exception"):
+            call()
+        assert not ran
+
+    def test_corrupt_downgrades_to_chaos_error_in_process(self):
+        policy = ChaosPolicy(corrupt_rate=1.0, seed=0)
+        call = policy.wrap(Task(_square, (2,)), index=0, attempt=1)
+        with pytest.raises(ChaosError, match="corruption"):
+            call()
+
+    def test_capped_attempt_runs_clean(self):
+        policy = ChaosPolicy(exception_rate=1.0, seed=0,
+                             max_injections_per_task=1)
+        assert policy.wrap(Task(_square, (3,)), index=0, attempt=2)() == 9
+
+    def test_unpicklable_wrapper_refuses_pickling(self):
+        with pytest.raises(ChaosError, match="corruption"):
+            pickle.dumps(_Unpicklable(42))
+
+    def test_chaos_call_is_picklable_when_the_task_is(self):
+        policy = ChaosPolicy(exception_rate=1.0, seed=0)
+        call = policy.wrap(Task(_square, (4,)), index=0, attempt=1)
+        clone = pickle.loads(pickle.dumps(call))
+        with pytest.raises(ChaosError):
+            clone()
+
+
+class TestBitIdentical:
+    def test_floats_and_arrays(self):
+        assert bit_identical(0.1 + 0.2, 0.1 + 0.2)
+        assert not bit_identical(0.1 + 0.2, 0.3)
+        assert bit_identical(np.arange(4.0), np.arange(4.0))
+        assert not bit_identical(np.arange(4.0), np.arange(4.0) + 1e-16)
+
+    def test_unpicklable_falls_back_to_repr(self):
+        assert bit_identical(_Unpicklable(1), _Unpicklable(2)) in \
+            (True, False)  # must not raise
+
+
+class TestChaosRunner:
+    def test_rejects_non_policy(self):
+        with pytest.raises(SpecificationError, match="ChaosPolicy"):
+            ChaosRunner(object())
+
+    def test_serial_replay_recovers_bit_identically(self):
+        policy = ChaosPolicy(kill_rate=0.3, exception_rate=0.3,
+                             latency_rate=0.4, latency=0.0005,
+                             corrupt_rate=0.25, seed=17,
+                             max_injections_per_task=1)
+        runner = ChaosRunner(policy, workers=1, seed=0)
+        tasks = [Task(_square, (i,)) for i in range(8)]
+        results, report = runner.run(tasks)
+        assert results == [i * i for i in range(8)]
+        assert report.ok
+        report.assert_recovered()
+        assert report.batch["tasks"] == 8
+        # faults actually fired, otherwise the replay proves nothing
+        assert sum(report.scheduled.values()) > 0
+
+    def test_report_round_trips_to_dict(self):
+        runner = ChaosRunner(ChaosPolicy(exception_rate=1.0, seed=1,
+                                         max_injections_per_task=1),
+                             workers=1, seed=0)
+        _, report = runner.run([Task(_square, (2,))])
+        payload = report.to_dict()
+        assert payload["identical"] is True
+        assert payload["quarantined"] == 0
+        assert payload["scheduled"] == {"exception": 1}
+
+    def test_assert_recovered_raises_on_divergence(self):
+        report = ChaosReport(identical=False, quarantined=2,
+                             baseline_seconds=0.0, chaos_seconds=0.0,
+                             scheduled={"kill": 2}, batch={}, executor={})
+        with pytest.raises(ChaosError, match="2 task\\(s\\) quarantined"):
+            report.assert_recovered()
+
+    def test_unrecoverable_schedule_is_reported_honestly(self):
+        # Retry budget below the injection cap: the task cannot recover.
+        policy = ChaosPolicy(exception_rate=1.0, seed=5,
+                             max_injections_per_task=10)
+        config = SupervisorConfig(
+            max_task_retries=2,
+            retry=RetryPolicy(backoff_base=1e-5, backoff_cap=1e-4))
+        runner = ChaosRunner(policy, workers=1, config=config, seed=0)
+        _, report = runner.run([Task(_square, (2,))])
+        assert not report.ok
+        assert report.quarantined == 1
+        with pytest.raises(ChaosError):
+            report.assert_recovered()
+
+
+class TestChaosBenchmark:
+    def test_payload_validates_and_recovers(self):
+        payload = run_chaos_benchmark(
+            workers=2, seed=2005, ids=["E2"],
+            policy=ChaosPolicy(kill_rate=0.2, exception_rate=0.3,
+                               latency_rate=0.3, latency=0.001,
+                               corrupt_rate=0.2, seed=11,
+                               max_injections_per_task=1))
+        assert payload["schema"] == CHAOS_BENCH_SCHEMA
+        assert validate_bench_payload(payload) is payload
+        assert payload["identical"] is True
+        assert payload["executor"]["quarantined"] == 0
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(SpecificationError, match="workers"):
+            run_chaos_benchmark(workers=0, ids=["E2"])

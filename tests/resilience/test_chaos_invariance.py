@@ -1,0 +1,95 @@
+"""Acceptance: determinism under chaos.
+
+For a fixed seed, any chaos schedule that leaves every task recoverable
+within its retry budget must yield results **bit-identical** to the
+fault-free run — for workers in {1, 4}, with tracing on or off.  This is
+the contract ``docs/CHAOS.md`` documents and the supervisor's module
+docstring promises; here it is exercised rather than assumed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.observability import observing
+from repro.parallel.executor import Task
+from repro.resilience.chaos import ChaosPolicy, bit_identical
+from repro.resilience.retry import RetryPolicy
+from repro.resilience.supervisor import SupervisedExecutor, SupervisorConfig
+
+#: Seeded schedules covering every fault kind plus two storm shapes.
+SCHEDULES = {
+    "mixed": ChaosPolicy(kill_rate=0.3, exception_rate=0.3,
+                         latency_rate=0.3, latency=0.001,
+                         corrupt_rate=0.25, seed=101,
+                         max_injections_per_task=1),
+    "exception-storm": ChaosPolicy(exception_rate=0.9, seed=7,
+                                   max_injections_per_task=2),
+    "kill-heavy": ChaosPolicy(kill_rate=0.6, seed=13,
+                              max_injections_per_task=1),
+    "latency+corrupt": ChaosPolicy(latency_rate=0.8, latency=0.001,
+                                   corrupt_rate=0.5, seed=29,
+                                   max_injections_per_task=1),
+}
+
+#: Generous retry budget: every scheduled fatal fault plus headroom for
+#: collateral pool breaks (a worker kill fails every task in flight).
+CONFIG = SupervisorConfig(
+    max_task_retries=20,
+    retry=RetryPolicy(backoff_base=1e-5, backoff_cap=1e-4))
+
+
+def _noisy_stat(seed: int, n: int) -> float:
+    """A seeded numeric task: same seed, same bits, any process."""
+    rng = np.random.default_rng(seed)
+    return float(rng.standard_normal(n) @ rng.standard_normal(n))
+
+
+def _tasks() -> list[Task]:
+    return [Task(_noisy_stat, (1000 + i, 64)) for i in range(8)]
+
+
+BASELINE = [task() for task in _tasks()]
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+@pytest.mark.parametrize("traced", [False, True], ids=["untraced", "traced"])
+@pytest.mark.parametrize("name", sorted(SCHEDULES))
+class TestChaosInvariance:
+    def test_recovered_results_are_bit_identical(self, name, traced,
+                                                 workers):
+        policy = SCHEDULES[name]
+        with SupervisedExecutor(workers, config=CONFIG, chaos=policy,
+                                seed=0) as ex:
+            if traced:
+                with observing():
+                    results, report = ex.run_report(_tasks())
+            else:
+                results, report = ex.run_report(_tasks())
+        assert report.ok, report.to_dict()
+        assert len(results) == len(BASELINE)
+        for got, want in zip(results, BASELINE):
+            assert bit_identical(got, want)
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_supervision_alone_changes_nothing(workers):
+    """Fault-free supervised execution matches plain in-process results."""
+    with SupervisedExecutor(workers, config=CONFIG, seed=0) as ex:
+        results, report = ex.run_report(_tasks())
+    assert report.ok
+    assert report.total_retries == 0
+    assert results == BASELINE
+
+
+def test_tracing_does_not_change_chaos_results():
+    """The traced and untraced replays of one schedule agree exactly."""
+    policy = SCHEDULES["mixed"]
+    with SupervisedExecutor(4, config=CONFIG, chaos=policy, seed=0) as ex:
+        untraced, _ = ex.run_report(_tasks())
+    with observing():
+        with SupervisedExecutor(4, config=CONFIG, chaos=policy,
+                                seed=0) as ex:
+            traced, _ = ex.run_report(_tasks())
+    assert all(bit_identical(a, b) for a, b in zip(untraced, traced))

@@ -1,11 +1,13 @@
 """Tests for wall-clock timeout enforcement."""
 
+import threading
 import time
 
 import pytest
 
 from repro.exceptions import SolverTimeoutError, SpecificationError
-from repro.resilience import call_with_timeout
+from repro.observability import observing
+from repro.resilience import abandoned_thread_count, call_with_timeout
 
 
 class TestCallWithTimeout:
@@ -52,3 +54,36 @@ class TestCallWithTimeout:
 
     def test_fast_call_under_budget(self):
         assert call_with_timeout(lambda: sum(range(10)), timeout=10.0) == 45
+
+
+class TestAbandonedThreadAccounting:
+    def test_gauge_and_event_on_abandonment(self):
+        release = threading.Event()
+        before = abandoned_thread_count()
+        with observing() as obs:
+            with pytest.raises(SolverTimeoutError):
+                call_with_timeout(release.wait, timeout=0.05, name="hung")
+            # the worker is still blocked on the event: one live leak
+            assert abandoned_thread_count() == before + 1
+            snap = obs.metrics.snapshot()
+            assert snap["timeouts.abandoned_threads"]["value"] == before + 1
+            events = [e for e in obs.events.events()
+                      if e.kind == "solver.abandoned"]
+            assert len(events) == 1
+            assert events[0].fields["name"] == "hung"
+            assert events[0].fields["timeout"] == pytest.approx(0.05)
+        # once released, the leaked thread finishes and the gauge drops
+        release.set()
+        deadline = time.perf_counter() + 5.0
+        while abandoned_thread_count() > before:
+            if time.perf_counter() > deadline:
+                pytest.fail("abandoned-thread gauge never decremented")
+            time.sleep(0.01)
+
+    def test_fast_path_emits_no_abandonment(self):
+        before = abandoned_thread_count()
+        with observing() as obs:
+            assert call_with_timeout(lambda: 7, timeout=5.0) == 7
+        assert abandoned_thread_count() == before
+        assert not [e for e in obs.events.events()
+                    if e.kind == "solver.abandoned"]
