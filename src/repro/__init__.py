@@ -70,6 +70,7 @@ from repro.core import (
     SolverAttempt,
     ToleranceBounds,
     WeightingScheme,
+    compute_radii,
     compute_radius,
     robustness_metric,
 )
@@ -133,6 +134,7 @@ __all__ = [
     # radii
     "RadiusProblem",
     "RadiusResult",
+    "compute_radii",
     "compute_radius",
     # weighting / P-space
     "WeightingScheme",

@@ -35,9 +35,11 @@ sweep through a :class:`~repro.resilience.SupervisedExecutor`.
 The ``experiments`` command additionally supports
 ``--checkpoint``/``--resume`` for kill-safe sweeps; ``bench-parallel``
 times the sweep serially vs in parallel, writing a
-``repro-bench-parallel-v1`` JSON payload; and ``chaos`` replays a seeded
-chaos schedule against the sweep, verifying bit-identical recovery and
-writing a ``repro-bench-chaos-v1`` payload.
+``repro-bench-parallel-v1`` JSON payload; ``bench-solvers`` times the
+scalar vs batched solver kernels, writing a ``repro-bench-solvers-v1``
+payload; and ``chaos`` replays a seeded chaos schedule against the
+sweep, verifying bit-identical recovery and writing a
+``repro-bench-chaos-v1`` payload.
 """
 
 from __future__ import annotations
@@ -148,6 +150,17 @@ def build_parser() -> argparse.ArgumentParser:
     ben.add_argument("--out", default="BENCH_parallel.json", metavar="PATH",
                      help="benchmark payload destination "
                           "(default BENCH_parallel.json)")
+
+    sol = sub.add_parser("bench-solvers",
+                         help="time the scalar vs batched solver kernels "
+                              "and write a JSON benchmark payload")
+    sol.add_argument("--dimension", type=int, default=32, metavar="N",
+                     help="perturbation-space dimension (default 32)")
+    sol.add_argument("--directions", type=int, default=128, metavar="N",
+                     help="random bisection directions (default 128)")
+    sol.add_argument("--out", default="BENCH_solvers.json", metavar="PATH",
+                     help="benchmark payload destination "
+                          "(default BENCH_solvers.json)")
 
     cha = sub.add_parser("chaos",
                          help="replay a seeded chaos schedule against the "
@@ -388,6 +401,34 @@ def _cmd_bench_parallel(args) -> int:
     return 0 if payload["identical"] else 1
 
 
+def _cmd_bench_solvers(args) -> int:
+    from repro.core.solvers.bench import run_solver_kernel_benchmark
+    from repro.parallel.bench import write_benchmark
+
+    payload = run_solver_kernel_benchmark(dimension=args.dimension,
+                                          directions=args.directions,
+                                          seed=args.seed)
+    write_benchmark(payload, args.out)
+    bis, grad = payload["bisection"], payload["gradient"]
+    print(f"bisection scalar  {bis['scalar_seconds']:.4f}s "
+          f"({bis['scalar_evals']} evals)")
+    print(f"bisection batched {bis['batched_seconds']:.4f}s "
+          f"({bis['batched_evals']} evals, "
+          f"{bis['eval_reduction']:.1f}x fewer, "
+          f"{bis['speedup']:.2f}x faster)")
+    print(f"gradient scalar   {grad['scalar_seconds']:.4f}s "
+          f"({grad['scalar_evals']} evals)")
+    print(f"gradient stencil  {grad['batched_seconds']:.4f}s "
+          f"({grad['batched_evals']} evals, "
+          f"{grad['eval_reduction']:.1f}x fewer, "
+          f"{grad['speedup']:.2f}x faster)")
+    print(f"identical results: {payload['identical']}")
+    print(f"written to {args.out}")
+    ok = (payload["identical"] and bis["speedup"] > 1.0
+          and bis["eval_reduction"] >= 5.0)
+    return 0 if ok else 1
+
+
 def _cmd_chaos(args) -> int:
     from repro.parallel.bench import write_benchmark
     from repro.resilience.chaos import ChaosPolicy, run_chaos_benchmark
@@ -451,6 +492,7 @@ _COMMANDS = {
     "placement": _cmd_placement,
     "experiments": _cmd_experiments,
     "bench-parallel": _cmd_bench_parallel,
+    "bench-solvers": _cmd_bench_solvers,
     "chaos": _cmd_chaos,
     "topology": _cmd_topology,
     "stats": _cmd_stats,

@@ -33,7 +33,12 @@ from repro.core.mappings import (
     ReweightedMapping,
 )
 from repro.core.diagnostics import Quality, SolverAttempt
-from repro.core.radius import RadiusProblem, RadiusResult, compute_radius
+from repro.core.radius import (
+    RadiusProblem,
+    RadiusResult,
+    compute_radii,
+    compute_radius,
+)
 from repro.core.weighting import (
     WeightingScheme,
     IdentityWeighting,
@@ -61,6 +66,7 @@ __all__ = [
     "ReweightedMapping",
     "RadiusProblem",
     "RadiusResult",
+    "compute_radii",
     "compute_radius",
     "Quality",
     "SolverAttempt",

@@ -30,25 +30,19 @@ from repro.core.features import PerformanceFeature
 from repro.core.mappings import FeatureMapping, RestrictedMapping
 from repro.core.perturbation import PerturbationParameter
 from repro.core.pspace import ConcatenatedPerturbation
-from repro.core.radius import RadiusProblem, RadiusResult, compute_radius
+from repro.core.radius import (
+    RadiusProblem,
+    RadiusResult,
+    compute_radii,
+    compute_radius,
+)
 from repro.core.weighting import NormalizedWeighting, WeightingScheme
 from repro.exceptions import SpecificationError
 from repro.observability import span
 from repro.parallel.cache import resolve_cache
-from repro.parallel.executor import ParallelExecutor, Task
+from repro.parallel.executor import ParallelExecutor
 
 __all__ = ["FeatureSpec", "RobustnessAnalysis"]
-
-
-def _solve_radius_task(problem: RadiusProblem, method: str,
-                       seed) -> RadiusResult:
-    """Picklable worker body for one independent radius solve.
-
-    Each worker process keeps its own default radius cache (if one is
-    installed there); the parent consults *its* cache before dispatching,
-    so caching never changes which answer comes back, only how fast.
-    """
-    return compute_radius(problem, method=method, seed=seed)
 
 
 @dataclass(frozen=True)
@@ -205,50 +199,29 @@ class RobustnessAnalysis:
             cache.put(key, result)
         return result
 
-    def _can_fan_out(self) -> bool:
-        """Whether independent solves may run on the process pool.
+    def _can_batch(self) -> bool:
+        """Whether independent solves may go through the batched frontend.
 
         The cascade path stays serial (its timeout threads and retry
-        state are not worth shipping across processes), and a stateful
-        Generator seed must consume its stream in serial order.
+        state are not worth shipping across processes); everything else
+        routes through :func:`~repro.core.radius.compute_radii`, which
+        itself decides whether to fan groups out (executor present,
+        stateless seed) or solve them in-process.
         """
-        return (self.executor is not None
-                and self.executor.workers > 1
-                and self.cascade is None
-                and not isinstance(self.seed, np.random.Generator))
+        return self.cascade is None
 
     def _fan_out(self, problems: Sequence[RadiusProblem]
                  ) -> list[RadiusResult]:
-        """Solve independent problems on the pool, caching the answers.
+        """Solve independent problems through the batched radius frontend.
 
-        The cache is consulted in the parent (worker processes keep their
-        own caches), so sweeps revisiting operating points skip the
-        dispatch entirely.
+        The whole batch is fingerprinted against the cache first (worker
+        processes keep their own caches), the misses are grouped by
+        solver structure, and each group ships as a single task — so
+        sweeps revisiting operating points skip the dispatch entirely
+        and fresh solves amortise the pickling of the shared mapping.
         """
-        cache = resolve_cache(self.radius_cache)
-        keys = [cache.key(p, method=self.method, seed=self.seed)
-                if cache is not None else None for p in problems]
-        results: list[RadiusResult | None] = [
-            cache.get(k) if cache is not None else None for k in keys]
-        pending = [i for i, r in enumerate(results) if r is None]
-        # Imported lazily to avoid a cycle (resilience reaches this
-        # package through the cascade's radius imports).
-        from repro.resilience.supervisor import resolve_task_failures
-
-        radius_tasks = [
-            Task(_solve_radius_task, (problems[i], self.method, self.seed))
-            for i in pending]
-        # A supervised executor quarantines permanently-failing tasks
-        # into TaskFailure sentinels; the analysis needs real results
-        # (and the cache must never store a sentinel), so survivors are
-        # re-run in-process, re-raising genuine failures serially.
-        solved = resolve_task_failures(self.executor.run(radius_tasks),
-                                       radius_tasks)
-        for i, result in zip(pending, solved):
-            results[i] = result
-            if cache is not None:
-                cache.put(keys[i], result)
-        return results
+        return compute_radii(problems, method=self.method, seed=self.seed,
+                             cache=self.radius_cache, executor=self.executor)
 
     # ------------------------------------------------------------------
     # flat-space helpers
@@ -337,7 +310,7 @@ class RobustnessAnalysis:
                    if (spec.name, p.name) not in self._per_param_cache]
         with span("analysis.per_parameter_radii", feature=spec.name,
                   pending=len(pending)):
-            if len(pending) > 1 and self._can_fan_out():
+            if len(pending) > 1 and self._can_batch():
                 problems = [self._single_parameter_problem(spec, p)
                             for p in pending]
                 for p, result in zip(pending, self._fan_out(problems)):
@@ -417,7 +390,7 @@ class RobustnessAnalysis:
         pending = [s for s in self.features
                    if s.name not in self._radius_cache]
         with span("analysis.radii", pending=len(pending)):
-            if len(pending) > 1 and self._can_fan_out():
+            if len(pending) > 1 and self._can_batch():
                 solvable: list[FeatureSpec] = []
                 problems: list[RadiusProblem] = []
                 for spec in pending:

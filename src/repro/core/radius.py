@@ -20,7 +20,7 @@ import logging
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Literal
+from typing import Literal, Sequence
 
 import numpy as np
 
@@ -47,7 +47,7 @@ from repro.parallel.cache import resolve_cache
 from repro.parallel.executor import Task
 from repro.utils.validation import as_1d_float_array, check_finite
 
-__all__ = ["RadiusProblem", "RadiusResult", "compute_radius"]
+__all__ = ["RadiusProblem", "RadiusResult", "compute_radius", "compute_radii"]
 
 logger = logging.getLogger(__name__)
 
@@ -411,3 +411,112 @@ def _compute_radius_inner(problem: RadiusProblem, *, method: Method,
     if cache is not None:
         cache.put(cache_key, result)
     return result
+
+
+def _solve_problems_task(problems: list[RadiusProblem], method: Method,
+                         seed) -> list[RadiusResult]:
+    """Picklable worker body solving one structural group of problems.
+
+    One task per *group* (instead of per problem) amortises the per-task
+    pickling of the shared mapping/analysis objects the group's problems
+    reference.  Workers consult their own default cache, exactly like a
+    single-problem dispatch would.
+    """
+    return [compute_radius(p, method=method, seed=seed) for p in problems]
+
+
+def _solver_structure(problem: RadiusProblem, method: Method) -> tuple:
+    """Fingerprint of the solver path a problem will take.
+
+    Problems sharing this key exercise the same solver tier over the
+    same dimensionality, so batching them into one worker task keeps the
+    per-task workloads comparable (no group dominated by one slow
+    numeric solve sitting behind many instant analytic ones).
+    """
+    if method in ("auto", "analytic") and as_linear(problem.mapping) is not None:
+        tier = "analytic"
+    elif method == "auto" and problem.norm == 2 and problem.lower is None \
+            and problem.upper is None \
+            and as_diagonal_quadratic(problem.mapping) is not None:
+        tier = "ellipsoid"
+    elif method == "bisection" or problem.norm != 2:
+        tier = "bisection"
+    else:
+        tier = "numeric"
+    return (tier, problem.origin.size, len(problem.bounds.finite_bounds))
+
+
+def compute_radii(problems: Sequence[RadiusProblem], *,
+                  method: Method = "auto", seed=None, cache=None,
+                  executor=None) -> list[RadiusResult]:
+    """Batched frontend over :func:`compute_radius`, in problem order.
+
+    The whole batch is fingerprinted against the cache first; the misses
+    are grouped by :func:`_solver_structure` and each group is dispatched
+    as a *single* executor task (amortising the pickling of shared
+    mappings), falling back to an in-process loop without an executor.
+    Serial, batched, and fanned-out paths return identical
+    :class:`RadiusResult`\\s — element ``i`` is bit-identical to
+    ``compute_radius(problems[i], ...)``.
+
+    Parameters
+    ----------
+    problems:
+        The radius computations to perform.
+    method, seed:
+        Forwarded to every solve, as in :func:`compute_radius`.
+    cache:
+        Tri-state cache selection (``None`` default cache / ``False``
+        off / a :class:`~repro.parallel.cache.RadiusCache`).  Hits are
+        served without dispatching; fresh solves are stored back.
+    executor:
+        Optional :class:`~repro.parallel.executor.ParallelExecutor`;
+        groups fan out when it has workers and the seed is stateless.
+    """
+    problems = list(problems)
+    cache = resolve_cache(cache)
+    with span("radius.batch", problems=len(problems)) as sp:
+        keys: list[str | None] = [None] * len(problems)
+        results: list[RadiusResult | None] = [None] * len(problems)
+        if cache is not None:
+            for i, problem in enumerate(problems):
+                keys[i] = cache.key(problem, method=method, seed=seed)
+                results[i] = cache.get(keys[i])
+        pending = [i for i, r in enumerate(results) if r is None]
+        groups: dict[tuple, list[int]] = {}
+        for i in pending:
+            groups.setdefault(_solver_structure(problems[i], method),
+                              []).append(i)
+        if sp is not None:
+            sp.tags["hits"] = len(problems) - len(pending)
+            sp.tags["groups"] = len(groups)
+        get_metrics().inc("radius.batches")
+        if executor is not None and getattr(executor, "workers", 1) > 1 \
+                and len(groups) > 1 \
+                and not isinstance(seed, np.random.Generator):
+            # Imported lazily to avoid a cycle (resilience imports this
+            # module through the cascade).
+            from repro.resilience.supervisor import resolve_task_failures
+
+            group_indices = list(groups.values())
+            tasks = [Task(_solve_problems_task,
+                          ([problems[i] for i in idxs], method, seed))
+                     for idxs in group_indices]
+            # A supervised executor quarantines permanently-failing tasks
+            # into TaskFailure sentinels; the batch needs real results
+            # (and the cache must never store a sentinel), so survivors
+            # re-run in-process, re-raising genuine failures serially.
+            solved = resolve_task_failures(executor.run(tasks), tasks)
+            for idxs, group_results in zip(group_indices, solved):
+                for i, result in zip(idxs, group_results):
+                    results[i] = result
+        else:
+            for i in pending:
+                # The cache pass above already ran; solving with the
+                # cache re-enabled would double-count its misses.
+                results[i] = compute_radius(problems[i], method=method,
+                                            seed=seed, cache=False)
+        if cache is not None:
+            for i in pending:
+                cache.put(keys[i], results[i])
+    return results

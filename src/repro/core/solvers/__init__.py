@@ -16,7 +16,11 @@ Four complementary strategies:
 
 from repro.core.solvers.analytic import solve_linear_radius
 from repro.core.solvers.numeric import solve_numeric_radius
-from repro.core.solvers.bisection import solve_bisection_radius, directional_crossing
+from repro.core.solvers.bisection import (
+    directional_crossing,
+    directional_crossings,
+    solve_bisection_radius,
+)
 from repro.core.solvers.sampling import sampling_upper_bound
 
 __all__ = [
@@ -24,5 +28,6 @@ __all__ = [
     "solve_numeric_radius",
     "solve_bisection_radius",
     "directional_crossing",
+    "directional_crossings",
     "sampling_upper_bound",
 ]

@@ -11,6 +11,21 @@ robustness radius that converges to it as directions are added.
 This solver is derivative-free and therefore works with any
 :class:`~repro.core.mappings.CallableMapping`; it also seeds the numeric
 projection solver with good starting points.
+
+Two equivalent kernels compute the crossings:
+
+* :func:`directional_crossing` — the scalar reference: one direction at a
+  time, one ``mapping.value`` call per bracket-expansion step;
+* :func:`directional_crossings` — the batched kernel: every direction's
+  bracket advances in lock-step, one ``mapping.value_many`` call per
+  iteration over the still-active directions.
+
+The batched kernel only replaces *where* the bracket probes are evaluated
+(a vectorised batch instead of a Python loop); the probe parameters, the
+sign decisions they feed, and the final Brent refinement (always scalar
+``mapping.value`` calls) are the same arithmetic, so the two kernels
+return bit-identical crossings — a contract pinned by
+``tests/core/test_solver_kernels.py``.
 """
 
 from __future__ import annotations
@@ -23,10 +38,15 @@ from scipy.optimize import brentq
 from repro.core.boundary import BoundaryCrossing
 from repro.core.mappings import FeatureMapping
 from repro.exceptions import BoundaryNotFoundError, SpecificationError
+from repro.observability import get_metrics
 from repro.utils.linalg import sample_on_sphere
 from repro.utils.rng import default_rng
 
-__all__ = ["directional_crossing", "solve_bisection_radius"]
+__all__ = [
+    "directional_crossing",
+    "directional_crossings",
+    "solve_bisection_radius",
+]
 
 logger = logging.getLogger(__name__)
 
@@ -45,6 +65,23 @@ def _ray_exit_t(origin: np.ndarray, direction: np.ndarray,
             ts = np.where(move > 0, slack / move, np.inf)
         t_exit = min(t_exit, float(np.min(ts)))
     return max(t_exit, 0.0)
+
+
+def _ray_exit_ts(origin: np.ndarray, directions: np.ndarray,
+                 lower: np.ndarray | None, upper: np.ndarray | None,
+                 t_max: float) -> np.ndarray:
+    """Per-direction box-exit parameters, elementwise-identical to
+    :func:`_ray_exit_t` (same divisions, same exact min reductions)."""
+    t_exit = np.full(directions.shape[0], float(t_max))
+    for bound, side in ((lower, -1.0), (upper, 1.0)):
+        if bound is None:
+            continue
+        slack = side * (np.asarray(bound) - origin)
+        move = side * directions
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ts = np.where(move > 0, slack / move, np.inf)
+        t_exit = np.minimum(t_exit, np.min(ts, axis=1))
+    return np.maximum(t_exit, 0.0)
 
 
 def directional_crossing(
@@ -116,6 +153,152 @@ def directional_crossing(
     return float(brentq(h, t_lo, t_hi, xtol=xtol))
 
 
+def _batch_h(mapping: FeatureMapping, points: np.ndarray,
+             bound: float) -> tuple[np.ndarray, np.ndarray]:
+    """Evaluate ``f - bound`` for a batch of probe points.
+
+    Returns ``(values, in_domain)``.  The fast path is one
+    ``mapping.value_many`` call (counted in the ``solver.batch_evals``
+    metric).  A mapping with a restricted domain raises
+    :class:`SpecificationError` for the *whole* batch when any row has
+    left it; the scalar kernel instead drops only the offending
+    directions, so on such a failure the batch degrades to per-row
+    scalar evaluation and marks the out-of-domain rows — preserving the
+    scalar kernel's per-direction semantics exactly.
+    """
+    try:
+        values = mapping.value_many(points)
+    except SpecificationError:
+        values = np.empty(points.shape[0])
+        in_domain = np.ones(points.shape[0], dtype=bool)
+        for i, row in enumerate(points):
+            try:
+                values[i] = mapping.value(row)
+            except SpecificationError:
+                values[i] = np.nan
+                in_domain[i] = False
+        get_metrics().inc("solver.batch_evals")
+        get_metrics().inc("solver.batch_points", points.shape[0])
+        return values - bound, in_domain
+    get_metrics().inc("solver.batch_evals")
+    get_metrics().inc("solver.batch_points", points.shape[0])
+    return values - bound, np.ones(points.shape[0], dtype=bool)
+
+
+def _directional_brackets(
+    mapping: FeatureMapping,
+    origin: np.ndarray,
+    directions: np.ndarray,
+    bound: float,
+    *,
+    t_max: float,
+    t_init: float,
+    lower: np.ndarray | None,
+    upper: np.ndarray | None,
+) -> tuple[float, list[tuple[int, float, float, float]]]:
+    """Lock-step bracket expansion over rows of ``directions``.
+
+    Each iteration evaluates the still-active directions' probe points
+    with a single ``mapping.value_many`` call, so the Python-level
+    evaluation cost is ``O(iterations)`` instead of
+    ``O(directions x iterations)``.  Returns ``(h0, brackets)`` where
+    ``brackets`` holds one ``(row, t_lo, t_hi, h_hi)`` tuple per
+    direction whose bracket showed a sign change, sorted by ascending
+    ``(t_lo, row)`` — the order the pruned refinement in
+    :func:`solve_bisection_radius` consumes.  When ``h0 == 0.0`` the
+    origin itself is on the boundary and no expansion runs.
+    """
+    m = directions.shape[0]
+    h0 = mapping.value(origin) - bound
+    if h0 == 0.0:
+        return h0, []
+    t_stop = _ray_exit_ts(origin, directions, lower, upper, t_max)
+    active = t_stop > 0.0
+    t_lo = np.zeros(m)
+    t_hi = np.minimum(t_init, t_stop)
+    brackets: list[tuple[int, float, float, float]] = []
+    idx_all = np.arange(m)
+    while np.any(active):
+        rows = idx_all[active]
+        points = origin + t_hi[rows, None] * directions[rows]
+        h_hi, in_domain = _batch_h(mapping, points, bound)
+        # Out-of-domain probes end their rays exactly like the scalar
+        # kernel's per-direction SpecificationError: no crossing.
+        active[rows[~in_domain]] = False
+        with np.errstate(invalid="ignore"):
+            flipped = in_domain & (h0 * h_hi <= 0.0)
+        for row, hv in zip(rows[flipped], h_hi[flipped]):
+            brackets.append((int(row), float(t_lo[row]), float(t_hi[row]),
+                             float(hv)))
+        active[rows[flipped]] = False
+        # Directions at the segment end without a sign flip: no crossing.
+        exhausted = active[rows] & (t_hi[rows] >= t_stop[rows])
+        active[rows[exhausted]] = False
+        still = idx_all[active]
+        t_lo[still] = t_hi[still]
+        t_hi[still] = np.minimum(4.0 * t_hi[still], t_stop[still])
+    brackets.sort(key=lambda b: (b[1], b[0]))
+    return h0, brackets
+
+
+def _refine_bracket(mapping: FeatureMapping, origin: np.ndarray,
+                    direction: np.ndarray, bound: float,
+                    lo: float, hi: float, h_hi: float, xtol: float) -> float:
+    """Brent refinement of one bracket — the same scalar ``mapping.value``
+    calls the scalar kernel makes on the same bracket, hence bit-identical
+    crossings."""
+    if h_hi == 0.0:
+        return float(hi)
+
+    def h(t: float) -> float:
+        return mapping.value(origin + t * direction) - bound
+
+    return float(brentq(h, lo, hi, xtol=xtol))
+
+
+def directional_crossings(
+    mapping: FeatureMapping,
+    origin: np.ndarray,
+    directions: np.ndarray,
+    bound: float,
+    *,
+    t_max: float = 1e6,
+    t_init: float = 1e-3,
+    lower: np.ndarray | None = None,
+    upper: np.ndarray | None = None,
+    xtol: float = 1e-12,
+) -> np.ndarray:
+    """Batched :func:`directional_crossing` over rows of ``directions``.
+
+    Advances every direction's bracket in lock-step (see
+    :func:`_directional_brackets`), then refines every bracket with
+    scalar Brent — the same call the scalar kernel makes on the same
+    bracket, so the returned distances are bit-identical to calling
+    :func:`directional_crossing` per row.
+
+    Returns
+    -------
+    numpy.ndarray
+        Crossing distance per direction; ``nan`` where the feature does
+        not cross ``bound`` within the reachable segment.
+    """
+    origin = np.asarray(origin, dtype=np.float64)
+    directions = np.asarray(directions, dtype=np.float64)
+    out = np.full(directions.shape[0], np.nan)
+    if directions.shape[0] == 0:
+        return out
+    h0, brackets = _directional_brackets(mapping, origin, directions, bound,
+                                         t_max=t_max, t_init=t_init,
+                                         lower=lower, upper=upper)
+    if h0 == 0.0:
+        out[:] = 0.0
+        return out
+    for row, lo, hi, h_hi in brackets:
+        out[row] = _refine_bracket(mapping, origin, directions[row], bound,
+                                   lo, hi, h_hi, xtol)
+    return out
+
+
 def solve_bisection_radius(
     mapping: FeatureMapping,
     origin: np.ndarray,
@@ -128,12 +311,20 @@ def solve_bisection_radius(
     lower: np.ndarray | None = None,
     upper: np.ndarray | None = None,
     seed=None,
+    batch: bool = True,
 ) -> BoundaryCrossing:
     """Upper-bound the radius by the best crossing over many directions.
 
     Directions comprise the ``2n`` signed coordinate axes (optional) plus
     ``n_random_directions`` uniform sphere samples, each normalised to unit
     length in ``norm`` so crossing parameters are distances.
+
+    ``batch=True`` (the default) advances every direction's bracket in
+    lock-step through :func:`directional_crossings` — one ``value_many``
+    call per expansion step instead of one ``value`` call per direction
+    per step.  ``batch=False`` keeps the scalar reference kernel; the two
+    produce bit-identical results (pinned by
+    ``tests/core/test_solver_kernels.py``).
 
     Raises
     ------
@@ -165,12 +356,41 @@ def solve_bisection_radius(
                  bound, directions.shape[0])
     best_t = np.inf
     best_dir = None
-    for d in directions:
-        t = directional_crossing(mapping, origin, d, bound,
-                                 t_max=t_max, lower=lower, upper=upper)
-        if t is not None and t < best_t:
-            best_t = t
-            best_dir = d
+    if batch:
+        h0, brackets = _directional_brackets(mapping, origin, directions,
+                                             bound, t_max=t_max, t_init=1e-3,
+                                             lower=lower, upper=upper)
+        if h0 == 0.0:
+            best_t, best_dir = 0.0, directions[0]
+        else:
+            # Refine in ascending (t_lo, row) order, skipping brackets that
+            # can no longer win: Brent's result always lies inside its
+            # bracket, so once `lo > best_t` neither this bracket nor any
+            # later one (they are sorted) can produce a strictly smaller —
+            # or row-tie-winning — crossing.  Combined with the (t, row)
+            # lexicographic update below, this selects exactly the scalar
+            # loop's first strict minimiser.
+            best_row = -1
+            pruned = 0
+            for i, (row, lo, hi, h_hi) in enumerate(brackets):
+                if lo > best_t:
+                    pruned = len(brackets) - i
+                    break
+                t = _refine_bracket(mapping, origin, directions[row], bound,
+                                    lo, hi, h_hi, xtol=1e-12)
+                if t < best_t or (t == best_t and row < best_row):
+                    best_t, best_row = t, row
+            if pruned:
+                get_metrics().inc("solver.pruned_brackets", pruned)
+            if best_row >= 0:
+                best_dir = directions[best_row]
+    else:
+        for d in directions:
+            t = directional_crossing(mapping, origin, d, bound,
+                                     t_max=t_max, lower=lower, upper=upper)
+            if t is not None and t < best_t:
+                best_t = t
+                best_dir = d
     if best_dir is None:
         logger.debug("no crossing at level %g within t_max=%g", bound, t_max)
         raise BoundaryNotFoundError(

@@ -40,6 +40,7 @@ from repro.parallel.executor import ParallelExecutor, default_workers
 __all__ = [
     "BENCH_SCHEMA",
     "CHAOS_BENCH_SCHEMA",
+    "SOLVER_BENCH_SCHEMA",
     "run_parallel_benchmark",
     "validate_bench_payload",
     "write_benchmark",
@@ -51,6 +52,9 @@ BENCH_SCHEMA = "repro-bench-parallel-v1"
 #: Payloads of :func:`repro.resilience.chaos.run_chaos_benchmark` (defined
 #: here so this module stays the single source of truth for bench schemas).
 CHAOS_BENCH_SCHEMA = "repro-bench-chaos-v1"
+#: Payloads of
+#: :func:`repro.core.solvers.bench.run_solver_kernel_benchmark`.
+SOLVER_BENCH_SCHEMA = "repro-bench-solvers-v1"
 
 
 def _canonical(results) -> str:
@@ -250,17 +254,43 @@ def _validate_chaos_payload(problems: list[str], payload: dict) -> None:
                             f"got {executor.get('breaker')!r}")
 
 
+_KERNEL_SECTION_FIELDS = ("scalar_seconds", "batched_seconds", "speedup",
+                          "scalar_evals", "batched_evals", "eval_reduction",
+                          "batched_rows")
+
+
+def _validate_solvers_payload(problems: list[str], payload: dict) -> None:
+    _check_number(problems, payload, "seed", "")
+    _check_number(problems, payload, "dimension", "", minimum=2)
+    _check_number(problems, payload, "directions", "", minimum=1)
+    if not isinstance(payload.get("identical"), bool):
+        problems.append(f"'identical' must be a bool, "
+                        f"got {payload.get('identical')!r}")
+    for name in ("bisection", "gradient"):
+        section = payload.get(name)
+        if not isinstance(section, dict):
+            problems.append(f"{name!r} must be a dict, got {section!r}")
+            continue
+        for field in _KERNEL_SECTION_FIELDS:
+            _check_number(problems, section, field, f"{name}.")
+        if not isinstance(section.get("identical"), bool):
+            problems.append(f"{name}.'identical' must be a bool, "
+                            f"got {section.get('identical')!r}")
+
+
 def validate_bench_payload(payload) -> dict:
     """Check a benchmark payload against its declared schema.
 
     Dispatches on ``payload["schema"]``: ``repro-bench-parallel-v1``
-    (:func:`run_parallel_benchmark`) and ``repro-bench-chaos-v1``
-    (:func:`repro.resilience.chaos.run_chaos_benchmark`) are accepted.
-    Returns the payload unchanged when valid; raises
+    (:func:`run_parallel_benchmark`), ``repro-bench-chaos-v1``
+    (:func:`repro.resilience.chaos.run_chaos_benchmark`), and
+    ``repro-bench-solvers-v1``
+    (:func:`repro.core.solvers.bench.run_solver_kernel_benchmark`) are
+    accepted.  Returns the payload unchanged when valid; raises
     :class:`~repro.exceptions.SpecificationError` listing every problem
     found otherwise.  CI runs this against the freshly emitted
-    ``BENCH_parallel.json`` / ``BENCH_chaos.json`` so schema drift fails
-    loudly.
+    ``BENCH_parallel.json`` / ``BENCH_chaos.json`` / ``BENCH_solvers.json``
+    so schema drift fails loudly.
     """
     if not isinstance(payload, dict):
         raise SpecificationError(
@@ -271,9 +301,12 @@ def validate_bench_payload(payload) -> dict:
         _validate_parallel_payload(problems, payload)
     elif schema == CHAOS_BENCH_SCHEMA:
         _validate_chaos_payload(problems, payload)
+    elif schema == SOLVER_BENCH_SCHEMA:
+        _validate_solvers_payload(problems, payload)
     else:
-        problems.append(f"'schema' must be {BENCH_SCHEMA!r} or "
-                        f"{CHAOS_BENCH_SCHEMA!r}, got {schema!r}")
+        problems.append(f"'schema' must be {BENCH_SCHEMA!r}, "
+                        f"{CHAOS_BENCH_SCHEMA!r} or "
+                        f"{SOLVER_BENCH_SCHEMA!r}, got {schema!r}")
     if problems:
         raise SpecificationError(
             "invalid benchmark payload: " + "; ".join(problems))

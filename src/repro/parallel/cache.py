@@ -15,12 +15,18 @@ reuse across repeated radius evaluations at nearby operating points.
   coefficient bytes, recursively for composite mappings;
 * the origin vector, tolerance bounds, norm, and box constraints;
 * the solver ``method`` and the ``seed`` (stochastic solvers draw from
-  it, so different seeds must never share an entry).
+  it, so different seeds must never share an entry) — *except* for
+  structurally deterministic solves (an affine mapping, or a
+  diagonal-quadratic under ``method="auto"`` with no box and the
+  Euclidean norm), whose dispatch can never reach a seeded solver: those
+  are keyed on a ``deterministic`` marker instead, so repeated
+  ``validate_radius`` sweeps across seeds share one entry.
 
-Mappings without a stable structure key (arbitrary callables) and
-stateful :class:`numpy.random.Generator` seeds are *unfingerprintable*:
-lookups skip the cache entirely and are counted separately, so the
-diagnostics distinguish "no reuse available" from "reuse missed".
+Mappings without a stable structure key (arbitrary callables) and — for
+seed-dependent solves only — stateful :class:`numpy.random.Generator`
+seeds are *unfingerprintable*: lookups skip the cache entirely and are
+counted separately, so the diagnostics distinguish "no reuse available"
+from "reuse missed".
 
 A process-wide default cache can be installed (the CLI does this unless
 ``--no-cache`` is given); :func:`~repro.core.radius.compute_radius`
@@ -48,6 +54,35 @@ __all__ = [
     "get_default_cache",
     "resolve_cache",
 ]
+
+
+def _is_deterministic_solve(problem: "RadiusProblem", method: str) -> bool:
+    """Whether the dispatch for ``problem`` can never reach a seeded solver.
+
+    Mirrors the dispatch rules of
+    :func:`~repro.core.radius._solve_one_bound`: an affine mapping is
+    handled entirely by the closed-form solvers unless a box forces the
+    non-Euclidean fall-through to directional bisection, and a
+    diagonal-quadratic goes to the exact ellipsoid projection under
+    ``method="auto"`` with the Euclidean norm and no box.  Every other
+    path (numeric multistart, bisection) draws from the seed.
+    """
+    if method == "analytic":
+        return True
+    if method != "auto":
+        return False
+    # Imported lazily: repro.core.boundary is cheap but repro.core.radius
+    # imports this module at import time.
+    from repro.core.boundary import as_diagonal_quadratic, as_linear
+
+    if as_linear(problem.mapping) is not None:
+        has_box = problem.lower is not None or problem.upper is not None
+        # Affine + box + non-Euclidean norm can fall through to the
+        # seeded directional solver when the hyperplane is unreachable.
+        return problem.norm == 2 or not has_box
+    return (problem.norm == 2
+            and problem.lower is None and problem.upper is None
+            and as_diagonal_quadratic(problem.mapping) is not None)
 
 
 def _digest_array(arr: np.ndarray | None) -> str:
@@ -102,12 +137,18 @@ class RadiusCache:
         """Stable cache key for a problem, or ``None`` if unfingerprintable.
 
         ``None`` is returned (and counted as a skip) when the mapping has
-        no structure key or the seed is a stateful
-        :class:`numpy.random.Generator` whose stream position cannot be
-        fingerprinted.
+        no structure key, or when the solve is seed-dependent and the
+        seed is a stateful :class:`numpy.random.Generator` whose stream
+        position cannot be fingerprinted.  Structurally deterministic
+        solves (see :func:`_is_deterministic_solve`) replace the seed
+        with a fixed marker, so every seed shares their entries — no
+        randomness is ever drawn for them.
         """
         structure = problem.mapping.structure_key()
-        if structure is None or isinstance(seed, np.random.Generator):
+        deterministic = (structure is not None
+                         and _is_deterministic_solve(problem, method))
+        if structure is None or (not deterministic
+                                 and isinstance(seed, np.random.Generator)):
             with self._lock:
                 self.skips += 1
             get_metrics().inc("cache.skips")
@@ -124,7 +165,7 @@ class RadiusCache:
         h.update(_digest_array(problem.lower).encode())
         h.update(_digest_array(problem.upper).encode())
         h.update(repr(method).encode())
-        h.update(repr(seed).encode())
+        h.update(b"deterministic" if deterministic else repr(seed).encode())
         return h.hexdigest()
 
     # ------------------------------------------------------------------

@@ -1,0 +1,250 @@
+"""Property-style equivalence tests for the vectorised solver kernels.
+
+The batched kernels (lock-step directional bisection, stencil finite
+differences, closed-form ``gradient_many``) promise *bit-identical*
+results to the scalar reference paths they replace.  These tests sweep
+mapping types, norms, boxes, and seeds and compare the two paths with
+exact equality — any last-ulp divergence is a regression.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.features import ToleranceBounds
+from repro.core.mappings import (
+    CallableMapping,
+    LinearMapping,
+    MaxMapping,
+    ProductMapping,
+    QuadraticMapping,
+    RestrictedMapping,
+    ReweightedMapping,
+    SumMapping,
+)
+from repro.core.solvers.bisection import (
+    directional_crossing,
+    directional_crossings,
+    solve_bisection_radius,
+)
+from repro.core.solvers.numeric import (
+    _finite_diff_gradient,
+    _finite_diff_gradient_scalar,
+)
+from repro.exceptions import BoundaryNotFoundError
+
+N = 6
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def _make_mapping(kind: str):
+    """A named mapping plus a valid origin for it."""
+    rng = _rng(42)
+    if kind == "linear":
+        return LinearMapping(rng.standard_normal(N), 0.3), np.zeros(N)
+    if kind == "quadratic":
+        a = rng.standard_normal((N, N))
+        return QuadraticMapping(a @ a.T / N, rng.standard_normal(N)), np.zeros(N)
+    if kind == "product":
+        powers = np.concatenate([np.array([1.0, 0.5]), np.zeros(N - 2)])
+        return ProductMapping(powers, 2.0), np.full(N, 1.5)
+    if kind == "max":
+        comps = [LinearMapping(rng.standard_normal(N), float(i)) for i in range(4)]
+        return MaxMapping(comps), np.zeros(N)
+    if kind == "sum":
+        comps = [LinearMapping(rng.standard_normal(N)),
+                 QuadraticMapping(np.eye(N))]
+        return SumMapping(comps), np.zeros(N)
+    if kind == "reweighted":
+        base = LinearMapping(rng.standard_normal(N), 0.1)
+        return ReweightedMapping(base, 1.0 + rng.random(N)), np.zeros(N)
+    if kind == "restricted":
+        base = QuadraticMapping(np.eye(N + 2))
+        return (RestrictedMapping(base, [0, 1, 2, 3, 4, 5], np.zeros(N + 2)),
+                np.zeros(N))
+    if kind == "callable":
+        return (CallableMapping(
+            lambda x: float(np.sum(np.sin(x)) + 0.5 * (x @ x)), N), np.zeros(N))
+    raise AssertionError(kind)
+
+
+MAPPING_KINDS = ["linear", "quadratic", "product", "max", "sum",
+                 "reweighted", "restricted", "callable"]
+
+
+class TestBatchedBisectionIdentity:
+    """``solve_bisection_radius(batch=True)`` == the scalar loop, bitwise."""
+
+    @pytest.mark.parametrize("kind", MAPPING_KINDS)
+    @pytest.mark.parametrize("norm", [1, 2, np.inf])
+    def test_batched_equals_scalar(self, kind, norm):
+        mapping, origin = _make_mapping(kind)
+        bound = mapping.value(origin) + 4.0
+        kw = dict(norm=norm, n_random_directions=48, seed=11)
+        batched = solve_bisection_radius(mapping, origin, bound,
+                                         batch=True, **kw)
+        scalar = solve_bisection_radius(mapping, origin, bound,
+                                        batch=False, **kw)
+        assert batched.distance == scalar.distance
+        np.testing.assert_array_equal(batched.point, scalar.point)
+        assert batched.bound == scalar.bound
+
+    @pytest.mark.parametrize("kind", ["linear", "quadratic", "product", "max"])
+    @pytest.mark.parametrize("seed", [0, 7, 123])
+    def test_batched_equals_scalar_with_box(self, kind, seed):
+        mapping, origin = _make_mapping(kind)
+        bound = mapping.value(origin) + 3.0
+        kw = dict(norm=2, n_random_directions=32, seed=seed,
+                  lower=origin - 2.5, upper=origin + 2.5)
+        batched = solve_bisection_radius(mapping, origin, bound,
+                                         batch=True, **kw)
+        scalar = solve_bisection_radius(mapping, origin, bound,
+                                        batch=False, **kw)
+        assert batched.distance == scalar.distance
+        np.testing.assert_array_equal(batched.point, scalar.point)
+
+    def test_not_found_raised_identically(self):
+        # A bound the mapping never reaches inside a tight box: both paths
+        # must raise BoundaryNotFoundError.
+        mapping = LinearMapping([1.0, 1.0])
+        origin = np.zeros(2)
+        for batch in (True, False):
+            with pytest.raises(BoundaryNotFoundError):
+                solve_bisection_radius(mapping, origin, 100.0, batch=batch,
+                                       n_random_directions=16, seed=0,
+                                       lower=origin - 1.0, upper=origin + 1.0)
+
+
+class TestDirectionalCrossingsKernel:
+    """The batched kernel agrees per-direction with the scalar routine."""
+
+    @pytest.mark.parametrize("kind", MAPPING_KINDS)
+    def test_per_direction_agreement(self, kind):
+        mapping, origin = _make_mapping(kind)
+        bound = mapping.value(origin) + 4.0
+        rng = _rng(5)
+        dirs = rng.standard_normal((24, N))
+        dirs /= np.linalg.norm(dirs, axis=1, keepdims=True)
+        ts = directional_crossings(mapping, origin, dirs, bound)
+        assert ts.shape == (24,)
+        for d, t in zip(dirs, ts):
+            s = directional_crossing(mapping, origin, d, bound)
+            if s is None:
+                assert np.isnan(t)
+            else:
+                assert t == s
+
+    def test_out_of_domain_directions_yield_nan(self):
+        # ProductMapping leaves its domain along -e_i; the scalar path drops
+        # those directions, the batched path must report NaN for them.
+        mapping, origin = _make_mapping("product")
+        bound = mapping.value(origin) + 5.0
+        dirs = np.vstack([np.eye(N), -np.eye(N)])
+        ts = directional_crossings(mapping, origin, dirs, bound)
+        for d, t in zip(dirs, ts):
+            s = directional_crossing(mapping, origin, d, bound)
+            assert (s is None and np.isnan(t)) or t == s
+
+    def test_box_capping_matches_scalar(self):
+        mapping, origin = _make_mapping("quadratic")
+        bound = mapping.value(origin) + 2.0
+        rng = _rng(9)
+        dirs = rng.standard_normal((16, N))
+        dirs /= np.linalg.norm(dirs, axis=1, keepdims=True)
+        lo, hi = origin - 1.0, origin + 1.0
+        ts = directional_crossings(mapping, origin, dirs, bound,
+                                   lower=lo, upper=hi)
+        for d, t in zip(dirs, ts):
+            s = directional_crossing(mapping, origin, d, bound,
+                                     lower=lo, upper=hi)
+            assert (s is None and np.isnan(t)) or t == s
+
+
+class TestStencilGradientIdentity:
+    """The one-shot stencil FD equals the per-coordinate scalar loop."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_callable_mapping_bit_identical(self, seed):
+        mapping, _ = _make_mapping("callable")
+        x = _rng(seed).standard_normal(N) * (1.0 + seed)
+        batched = _finite_diff_gradient(mapping, x)
+        scalar = _finite_diff_gradient_scalar(mapping, x)
+        np.testing.assert_array_equal(batched, scalar)
+
+    def test_large_magnitude_point(self):
+        # The step scales with |x|; exercise the np.maximum branch.
+        mapping, _ = _make_mapping("callable")
+        x = np.array([1e6, -1e6, 0.0, 1.0, -3.0, 2e4])
+        np.testing.assert_array_equal(_finite_diff_gradient(mapping, x),
+                                      _finite_diff_gradient_scalar(mapping, x))
+
+
+class TestGradientMany:
+    """Closed-form ``gradient_many`` matches per-row ``gradient``."""
+
+    @pytest.mark.parametrize("kind", ["linear", "product"])
+    def test_bit_identical_kinds(self, kind):
+        mapping, origin = _make_mapping(kind)
+        xs = origin + 0.25 * np.abs(_rng(3).standard_normal((20, N)))
+        got = mapping.gradient_many(xs)
+        want = np.array([mapping.gradient(row) for row in xs])
+        np.testing.assert_array_equal(got, want)
+
+    @pytest.mark.parametrize("kind", ["quadratic", "max", "sum",
+                                      "reweighted", "restricted"])
+    def test_blas_backed_kinds_close(self, kind):
+        # These batch through gemm instead of per-row gemv, which may differ
+        # in the last ulp; the solvers that consume them are FD-free.
+        mapping, origin = _make_mapping(kind)
+        xs = origin + 0.25 * _rng(4).standard_normal((20, N))
+        got = mapping.gradient_many(xs)
+        want = np.array([mapping.gradient(row) for row in xs])
+        np.testing.assert_allclose(got, want, rtol=1e-12, atol=1e-12)
+
+    def test_gradient_free_mapping_returns_none(self):
+        mapping = CallableMapping(lambda x: 2.0 * float(x.sum()), 3)
+        assert mapping.gradient_many(np.zeros((4, 3))) is None
+        comps = [LinearMapping([1.0, 1.0, 1.0]), mapping]
+        # SumMapping needs every component's gradient.
+        assert SumMapping(comps).gradient_many(np.ones((4, 3))) is None
+        # MaxMapping mirrors the scalar rule: only *winning* components
+        # need gradients.  The callable wins at ones (6 > 3) -> None; the
+        # linear wins at -ones (-3 > -6) -> its gradient.
+        assert MaxMapping(comps).gradient_many(np.ones((4, 3))) is None
+        got = MaxMapping(comps).gradient_many(-np.ones((4, 3)))
+        np.testing.assert_array_equal(got, np.ones((4, 3)))
+
+    def test_max_mapping_tie_break_matches_scalar(self):
+        # Exact ties between components: both paths take the first argmax.
+        comps = [LinearMapping([1.0, 0.0]), LinearMapping([1.0, 0.0]),
+                 LinearMapping([0.0, 1.0])]
+        mapping = MaxMapping(comps)
+        xs = np.array([[1.0, 0.0], [0.0, 1.0], [0.5, 0.5]])
+        got = mapping.gradient_many(xs)
+        want = np.array([mapping.gradient(row) for row in xs])
+        np.testing.assert_array_equal(got, want)
+
+
+class TestSamplingRegression:
+    """The vectorised violation scan pins the exact former report."""
+
+    def test_report_bit_identical_to_scalar_scan(self):
+        from repro.core.solvers.sampling import sampling_upper_bound
+        from repro.utils.linalg import vector_norm
+
+        mapping = QuadraticMapping(np.eye(3))
+        origin = np.zeros(3)
+        bounds = ToleranceBounds.upper(1.0)
+        for norm in (1, 2, np.inf):
+            rep = sampling_upper_bound(mapping, origin, bounds,
+                                       max_distance=3.0, n_samples=4000,
+                                       norm=norm, seed=7)
+            assert rep.n_violations > 0
+            # Re-derive the minimum with the scalar per-point formulation
+            # the scan replaced; the report must match it exactly.
+            d = vector_norm(rep.closest_violation - origin, norm)
+            assert rep.min_violation_distance == d

@@ -37,6 +37,16 @@ def _problem(coeffs=(1.0, 1.0), origin=(2.0, 3.0), upper_factor=1.3):
                          ToleranceBounds.relative(phi0, upper_factor))
 
 
+def _seeded_problem(coeffs=(1.0, 1.0), origin=(2.0, 3.0), upper_factor=1.3):
+    """An affine problem whose l1 + box dispatch *can* reach seeded solvers."""
+    mapping = LinearMapping(list(coeffs))
+    origin = np.asarray(origin, dtype=float)
+    phi0 = mapping.value(origin)
+    return RadiusProblem(mapping, origin,
+                         ToleranceBounds.relative(phi0, upper_factor),
+                         lower=origin - 10.0, upper=origin + 10.0, norm=1)
+
+
 class TestFingerprint:
     def test_same_problem_same_key(self):
         cache = RadiusCache()
@@ -59,9 +69,36 @@ class TestFingerprint:
 
     def test_method_and_seed_partition_the_key(self):
         cache = RadiusCache()
+        base = cache.key(_seeded_problem())
+        assert cache.key(_seeded_problem(), method="sampling") != base
+        assert cache.key(_seeded_problem(), seed=7) != base
+
+    def test_deterministic_solve_ignores_seed(self):
+        # An unboxed affine problem under method="auto" is handled entirely
+        # by the closed-form solvers: no randomness is ever drawn, so every
+        # seed — including a stateful Generator — shares one entry.
+        cache = RadiusCache()
         base = cache.key(_problem())
-        assert cache.key(_problem(), method="sampling") != base
-        assert cache.key(_problem(), seed=7) != base
+        assert base is not None
+        assert cache.key(_problem(), seed=7) == base
+        assert cache.key(_problem(), seed=np.random.default_rng(3)) == base
+        assert cache.stats()["skips"] == 0
+
+    def test_explicit_method_is_treated_as_seeded(self):
+        # Forcing method="numeric" bypasses the deterministic dispatch, so
+        # the seed must partition the key again.
+        cache = RadiusCache()
+        assert cache.key(_problem(), method="numeric", seed=1) \
+            != cache.key(_problem(), method="numeric", seed=2)
+
+    def test_seed_sweep_hits_deterministic_entry(self):
+        cache = RadiusCache()
+        result = compute_radius(_problem(), cache=cache, seed=0)
+        for seed in (1, 2, np.random.default_rng(3)):
+            assert compute_radius(_problem(), cache=cache, seed=seed) is result
+        stats = cache.stats()
+        assert (stats["hits"], stats["misses"], stats["skips"]) == (3, 1, 0)
+        assert stats["hit_rate"] == pytest.approx(0.75)
 
     def test_callable_mapping_is_unfingerprintable(self):
         mapping = CallableMapping(lambda x: float(x.sum()), 2)
@@ -71,9 +108,10 @@ class TestFingerprint:
         assert cache.key(problem) is None
         assert cache.stats()["skips"] == 1
 
-    def test_generator_seed_is_unfingerprintable(self):
+    def test_generator_seed_is_unfingerprintable_when_seeded(self):
         cache = RadiusCache()
-        assert cache.key(_problem(), seed=np.random.default_rng(3)) is None
+        assert cache.key(_seeded_problem(),
+                         seed=np.random.default_rng(3)) is None
         assert cache.stats()["skips"] == 1
 
 

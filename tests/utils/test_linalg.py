@@ -14,6 +14,7 @@ from repro.utils.linalg import (
     sample_on_sphere,
     unit_vector,
     vector_norm,
+    vector_norm_many,
 )
 
 finite_floats = st.floats(min_value=-1e6, max_value=1e6,
@@ -89,6 +90,26 @@ class TestVectorNorm:
     def test_unsupported_order(self):
         with pytest.raises(SpecificationError, match="unsupported"):
             vector_norm(np.ones(2), 3)
+
+
+class TestVectorNormMany:
+    @pytest.mark.parametrize("order", [1, 2, np.inf, "inf"])
+    def test_bit_identical_to_scalar(self, order, rng):
+        xs = rng.standard_normal((200, 7)) * 10.0 ** rng.integers(-3, 4, 200)[:, None]
+        got = vector_norm_many(xs, order)
+        want = np.array([vector_norm(row, order) for row in xs])
+        np.testing.assert_array_equal(got, want)
+
+    def test_empty_batch(self):
+        assert vector_norm_many(np.empty((0, 3))).shape == (0,)
+
+    def test_rejects_1d(self):
+        with pytest.raises(DimensionMismatchError):
+            vector_norm_many(np.ones(3))
+
+    def test_unsupported_order(self):
+        with pytest.raises(SpecificationError, match="unsupported"):
+            vector_norm_many(np.ones((2, 2)), 3)
 
 
 class TestUnitVector:
