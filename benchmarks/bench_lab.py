@@ -1,0 +1,32 @@
+"""Scenario lab — replay throughput, serial vs supervised fan-out.
+
+Replays the makespan shock catalogue both in-process and through a
+:class:`~repro.resilience.SupervisedExecutor`, asserts the trajectories
+come back bit-identical, and writes the ``repro-bench-lab-v1`` payload
+to ``benchmarks/results/BENCH_lab.json`` so replay throughput
+(steps/sec) can be tracked across commits.  CI runs the lab itself at
+tiny scale through ``python -m repro lab`` (the ``lab-smoke`` job).
+"""
+
+import json
+import pathlib
+
+from repro.parallel.bench import validate_bench_payload, write_benchmark
+from repro.scenarios.bench import run_lab_benchmark
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def test_lab_benchmark(benchmark, show):
+    payload = benchmark.pedantic(
+        lambda: run_lab_benchmark(workers=2, tasks=24, machines=6,
+                                  n_trajectories=8, n_steps=60),
+        rounds=1, iterations=1)
+    validate_bench_payload(payload)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    write_benchmark(payload, RESULTS_DIR / "BENCH_lab.json")
+    show(json.dumps(payload, indent=2))
+    assert payload["identical"], \
+        "supervised replay diverged from the serial replay"
+    assert payload["serial_steps_per_sec"] > 0
+    assert payload["supervised_steps_per_sec"] > 0

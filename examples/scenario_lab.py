@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Scenario lab: stochastic shock replay against the analytic radius.
+
+Builds a makespan instance, runs the full lab pipeline — shock
+catalogue, seeded trajectory replay, block-bootstrap confidence
+intervals, pass/fail robustness gates, perturbation-kind ablation — and
+shows the headline result: along the system's *critical direction* the
+empirical violation rate matches the radius-based FePIA prediction step
+for step, and the bootstrap CI brackets it.
+
+Everything is a pure function of the seed, so re-running this script
+(or fanning it out over worker processes with ``executor=``) reproduces
+the artifact byte for byte.
+
+Run:  python examples/scenario_lab.py
+"""
+
+import json
+
+from repro.parallel.bench import validate_bench_payload
+from repro.scenarios import RobustnessGates, parse_shock_spec, run_lab
+from repro.systems.heuristics import MCT
+from repro.systems.independent import generate_etc_gamma
+from repro.systems.independent.makespan import MakespanSystem
+from repro.systems.independent.scenarios import makespan_scenario_catalogue
+
+SEED = 2005
+BETA = 1.2
+
+
+def main() -> None:
+    etc = generate_etc_gamma(24, 6, seed=SEED)
+    system = MakespanSystem(etc, MCT().allocate(etc))
+    analysis = system.robustness_analysis(beta=BETA, seed=SEED)
+
+    # --- the catalogue, plus one custom shock from a CLI-style spec --
+    catalogue = makespan_scenario_catalogue(system, BETA, n_steps=30)
+    catalogue.append(parse_shock_spec(
+        "kind=spike,magnitude=40,rate=0.5,steps=30,name=burst"))
+    print("catalogue:", ", ".join(sc.name for sc in catalogue))
+
+    # --- gates: what "robust enough" means for this run --------------
+    gates = RobustnessGates({"violation_rate": ("<=", 0.75),
+                             "worst_drawdown": ("<", 10.0)})
+
+    payload = run_lab(analysis, catalogue, seed=SEED, n_trajectories=8,
+                      n_boot=200, block=10, gates=gates,
+                      system="makespan")
+    validate_bench_payload(payload)
+
+    print(f"\nanalytic rho = {payload['rho']:.4g} "
+          f"(weighting {payload['weighting']})")
+    for entry in payload["scenarios"]:
+        sc, ci = entry["scenario"], entry["bootstrap"]
+        print(f"  {sc['name']:<16} empirical {entry['violation_rate']:.3f} "
+              f"CI [{ci['lo']:.3f}, {ci['hi']:.3f}]  "
+              f"predicted {entry['predicted_violation_rate']:.3f}  "
+              f"brackets={entry['ci_brackets_prediction']}  "
+              f"gates={'PASS' if entry['gates']['passed'] else 'FAIL'}")
+
+    abl = payload["ablation"]
+    dominant = next(e for e in abl["entries"]
+                    if e["param"] == abl["dominant_param"])
+    print(f"\nablation of {abl['scenario']}: freezing "
+          f"{abl['dominant_param']} removes "
+          f"{dominant['delta_violation_rate']:.3f} of the violation "
+          f"rate (Eq. 1 rank agreement: {abl['rank_agreement']})")
+    print(f"gates passed overall: {payload['gates_passed']}")
+
+    with open("LAB.json", "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    print("full artifact written to LAB.json")
+
+
+if __name__ == "__main__":
+    main()

@@ -176,6 +176,48 @@ def build_parser() -> argparse.ArgumentParser:
                      help="benchmark payload destination "
                           "(default BENCH_chaos.json)")
 
+    lab = sub.add_parser("lab",
+                         help="scenario lab: shock replay, bootstrap "
+                              "confidence gates and perturbation-kind "
+                              "ablation; writes a repro-lab-v1 artifact")
+    lab.add_argument("--system", choices=("makespan", "hiperd"),
+                     default="makespan",
+                     help="which substrate to analyse (default makespan)")
+    lab.add_argument("--beta", type=float, default=1.2,
+                     help="relative makespan requirement (default 1.2)")
+    lab.add_argument("--tasks", type=int, default=24)
+    lab.add_argument("--machines", type=int, default=6)
+    lab.add_argument("--latency-slack", type=float, default=1.4,
+                     help="QoS latency slack for --system hiperd")
+    lab.add_argument("--scenarios", default=None, metavar="NAMES",
+                     help="comma-separated catalogue subset "
+                          "(default: the full catalogue)")
+    lab.add_argument("--shock", action="append", default=None,
+                     metavar="SPEC",
+                     help="append a custom scenario, e.g. 'kind=spike,"
+                          "magnitude=0.3,rate=0.25,name=surge' (same "
+                          "key=value grammar as --chaos; repeatable)")
+    lab.add_argument("--trajectories", type=int, default=8, metavar="N",
+                     help="trajectories per scenario (default 8)")
+    lab.add_argument("--steps", type=int, default=40, metavar="N",
+                     help="steps per trajectory for catalogue scenarios "
+                          "(default 40)")
+    lab.add_argument("--boot", type=int, default=200, metavar="N",
+                     help="bootstrap replicates (default 200)")
+    lab.add_argument("--block", type=int, default=10, metavar="N",
+                     help="bootstrap circular block length (default 10)")
+    lab.add_argument("--gate", action="append", default=None,
+                     metavar="EXPR",
+                     help="pass/fail threshold like 'violation_rate<=0.6' "
+                          "(repeatable; metrics: violation_rate, ci_lo, "
+                          "ci_hi, predicted_violation_rate, "
+                          "worst_drawdown)")
+    lab.add_argument("--ablate", default=None, metavar="NAME",
+                     help="scenario to ablate parameter-by-parameter "
+                          "(default: first scenario with violations)")
+    lab.add_argument("--out", default="LAB.json", metavar="PATH",
+                     help="artifact destination (default LAB.json)")
+
     top = sub.add_parser("topology",
                          help="path-slack and bottleneck analysis of a "
                               "generated HiPer-D system")
@@ -462,6 +504,99 @@ def _cmd_chaos(args) -> int:
     return 0 if payload["identical"] and not ex["quarantined"] else 1
 
 
+def _lab_fixture(args):
+    """The ``(analysis, catalogue, label)`` for ``repro lab --system``."""
+    if args.system == "hiperd":
+        from repro.systems.hiperd import (QoSSpec, build_analysis,
+                                          generate_hiperd_system)
+        from repro.systems.hiperd.scenarios import hiperd_scenario_catalogue
+
+        system = generate_hiperd_system(seed=args.seed)
+        qos = QoSSpec(latency_slack=args.latency_slack)
+        analysis = build_analysis(system, qos, seed=args.seed,
+                                  solver_timeout=args.solver_timeout)
+        catalogue = hiperd_scenario_catalogue(analysis, n_steps=args.steps)
+        return analysis, catalogue, "hiperd"
+
+    from repro.systems.heuristics import MCT
+    from repro.systems.independent import generate_etc_gamma
+    from repro.systems.independent.makespan import MakespanSystem
+    from repro.systems.independent.scenarios import (
+        makespan_scenario_catalogue,
+    )
+
+    etc = generate_etc_gamma(args.tasks, args.machines, seed=args.seed)
+    system = MakespanSystem(etc, MCT().allocate(etc))
+    analysis = system.robustness_analysis(beta=args.beta, seed=args.seed)
+    catalogue = makespan_scenario_catalogue(system, args.beta,
+                                            n_steps=args.steps)
+    return analysis, catalogue, "makespan"
+
+
+def _cmd_lab(args) -> int:
+    import contextlib
+
+    from repro.exceptions import SpecificationError
+    from repro.parallel.bench import write_benchmark
+    from repro.scenarios import (
+        RobustnessGates,
+        parse_gate,
+        parse_shock_spec,
+        run_lab,
+    )
+
+    analysis, catalogue, label = _lab_fixture(args)
+    if args.scenarios:
+        wanted = [n.strip() for n in args.scenarios.split(",") if n.strip()]
+        have = {sc.name: sc for sc in catalogue}
+        unknown = [n for n in wanted if n not in have]
+        if unknown:
+            raise SpecificationError(
+                f"unknown scenario(s) {unknown}; catalogue has "
+                f"{sorted(have)}")
+        catalogue = [have[n] for n in wanted]
+    for spec in args.shock or ():
+        catalogue.append(parse_shock_spec(spec))
+    gates = None
+    if args.gate:
+        gates = RobustnessGates(dict(parse_gate(g) for g in args.gate))
+
+    executor = _make_executor(args)
+    if executor is None and args.workers > 1:
+        from repro.resilience.supervisor import (SupervisedExecutor,
+                                                 SupervisorConfig)
+        executor = SupervisedExecutor(args.workers, config=SupervisorConfig(),
+                                      seed=args.seed)
+    with executor if executor is not None else contextlib.nullcontext():
+        payload = run_lab(
+            analysis, catalogue, seed=args.seed,
+            n_trajectories=args.trajectories, n_boot=args.boot,
+            block=args.block, gates=gates, executor=executor,
+            system=label, ablate=args.ablate)
+    write_benchmark(payload, args.out)
+
+    print(f"system {label}: rho = {payload['rho']} "
+          f"(weighting {payload['weighting']}, norm {payload['norm']:g})")
+    for entry in payload["scenarios"]:
+        ci = entry["bootstrap"]
+        verdict = ""
+        if entry["gates"] is not None:
+            verdict = ("  gates PASS" if entry["gates"]["passed"]
+                       else "  gates FAIL")
+        sc = entry["scenario"]
+        print(f"  {sc['name']:<18} ({sc['kind']:<10}) "
+              f"violation rate {entry['violation_rate']:.3f} "
+              f"CI [{ci['lo']:.3f}, {ci['hi']:.3f}] "
+              f"predicted {entry['predicted_violation_rate']:.3f} "
+              f"brackets={entry['ci_brackets_prediction']}{verdict}")
+    abl = payload["ablation"]
+    print(f"ablation of {abl['scenario']}: dominant kind "
+          f"{abl['dominant_param']} (rank agreement with per-parameter "
+          f"radii: {abl['rank_agreement']})")
+    print(f"written to {args.out}")
+    return 0 if payload["gates_passed"] else 1
+
+
 def _cmd_topology(args) -> int:
     from repro.systems.hiperd import QoSSpec, generate_hiperd_system
     from repro.systems.hiperd.topology import topology_report
@@ -494,6 +629,7 @@ _COMMANDS = {
     "bench-parallel": _cmd_bench_parallel,
     "bench-solvers": _cmd_bench_solvers,
     "chaos": _cmd_chaos,
+    "lab": _cmd_lab,
     "topology": _cmd_topology,
     "stats": _cmd_stats,
 }
@@ -514,6 +650,8 @@ def log_level(verbosity: int) -> int | None:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
+    from repro.exceptions import SpecGrammarError
+
     args = build_parser().parse_args(argv)
     level = log_level(args.verbose)
     if level is not None:
@@ -524,16 +662,21 @@ def main(argv: Sequence[str] | None = None) -> int:
     if not args.no_cache:
         from repro.parallel.cache import install_default_cache
         install_default_cache()
-    if args.trace:
-        from repro.observability import Observability, observing, span
-        obs = Observability()
-        with observing(obs):
-            with span(f"cli.{args.command}", seed=args.seed):
-                code = _COMMANDS[args.command](args)
-        path = obs.write(args.trace, command=args.command, seed=args.seed)
-        print(f"trace written to {path}", file=sys.stderr)
-        return code
-    return _COMMANDS[args.command](args)
+    try:
+        if args.trace:
+            from repro.observability import Observability, observing, span
+            obs = Observability()
+            with observing(obs):
+                with span(f"cli.{args.command}", seed=args.seed):
+                    code = _COMMANDS[args.command](args)
+            path = obs.write(args.trace, command=args.command, seed=args.seed)
+            print(f"trace written to {path}", file=sys.stderr)
+            return code
+        return _COMMANDS[args.command](args)
+    except SpecGrammarError as exc:
+        # A malformed --chaos/--shock spec is a usage error, not a crash.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

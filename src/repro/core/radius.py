@@ -374,7 +374,7 @@ def _compute_radius_inner(problem: RadiusProblem, *, method: Method,
         # answer, so sentinels are re-run in-process (re-raising genuine
         # failures exactly like the serial loop below would).
         fanned_out = resolve_task_failures(executor.run(bound_tasks),
-                                           bound_tasks)
+                                           bound_tasks, executor=executor)
     for i, b in enumerate(finite_bounds):
         if fanned_out is not None:
             crossing, used, sub_trail = fanned_out[i]
@@ -506,7 +506,8 @@ def compute_radii(problems: Sequence[RadiusProblem], *,
             # into TaskFailure sentinels; the batch needs real results
             # (and the cache must never store a sentinel), so survivors
             # re-run in-process, re-raising genuine failures serially.
-            solved = resolve_task_failures(executor.run(tasks), tasks)
+            solved = resolve_task_failures(executor.run(tasks), tasks,
+                                           executor=executor)
             for idxs, group_results in zip(group_indices, solved):
                 for i, result in zip(idxs, group_results):
                     results[i] = result

@@ -11,6 +11,7 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "SpecificationError",
+    "SpecGrammarError",
     "DimensionMismatchError",
     "UnitMismatchError",
     "SolverError",
@@ -35,6 +36,35 @@ class SpecificationError(ReproError):
     normalized weighting is requested, or when a mapping is attached to a
     perturbation parameter of the wrong dimension.
     """
+
+
+class SpecGrammarError(SpecificationError, ValueError):
+    """A compact CLI spec string (``--chaos``, ``--shock``) failed to parse.
+
+    Carries the offending token and the grammar in its message so the
+    user sees what was wrong and what would have been accepted, instead
+    of an internal traceback.  Derives from :class:`ValueError` so
+    generic argument-validation handlers catch it too.
+
+    Attributes
+    ----------
+    token:
+        The exact spec fragment that failed to parse (``None`` when the
+        whole spec is unusable, e.g. empty or not a string).
+    grammar:
+        One-line description of the accepted grammar.
+    """
+
+    def __init__(self, message: str, *, token: str | None = None,
+                 grammar: str | None = None) -> None:
+        detail = message
+        if token is not None:
+            detail += f" (bad token: {token!r})"
+        if grammar:
+            detail += f"; expected {grammar}"
+        super().__init__(detail)
+        self.token = token
+        self.grammar = grammar
 
 
 class DimensionMismatchError(SpecificationError):

@@ -41,6 +41,8 @@ __all__ = [
     "BENCH_SCHEMA",
     "CHAOS_BENCH_SCHEMA",
     "SOLVER_BENCH_SCHEMA",
+    "LAB_SCHEMA",
+    "LAB_BENCH_SCHEMA",
     "run_parallel_benchmark",
     "validate_bench_payload",
     "write_benchmark",
@@ -55,6 +57,12 @@ CHAOS_BENCH_SCHEMA = "repro-bench-chaos-v1"
 #: Payloads of
 #: :func:`repro.core.solvers.bench.run_solver_kernel_benchmark`.
 SOLVER_BENCH_SCHEMA = "repro-bench-solvers-v1"
+#: Artifacts of :func:`repro.scenarios.lab.run_lab` — deliberately free
+#: of wall-clock timings and worker counts, so ``repro lab --seed S`` is
+#: byte-identical for any worker count, traced or untraced.
+LAB_SCHEMA = "repro-lab-v1"
+#: Payloads of :func:`repro.scenarios.bench.run_lab_benchmark`.
+LAB_BENCH_SCHEMA = "repro-bench-lab-v1"
 
 
 def _canonical(results) -> str:
@@ -278,19 +286,151 @@ def _validate_solvers_payload(problems: list[str], payload: dict) -> None:
                             f"got {section.get('identical')!r}")
 
 
+def _check_rate(problems: list[str], container: dict, field: str,
+                where: str) -> None:
+    """A number in ``[0, 1]``."""
+    _check_number(problems, container, field, where)
+    value = container.get(field)
+    if isinstance(value, numbers.Real) and not isinstance(value, bool) \
+            and value > 1.0:
+        problems.append(f"{where}{field!r} must be <= 1, got {value!r}")
+
+
+def _check_optional_number(problems: list[str], container: dict,
+                           field: str, where: str) -> None:
+    """A number or ``None`` (the JSON spelling of an infinite radius)."""
+    if container.get(field) is not None:
+        _check_number(problems, container, field, where)
+
+
+def _validate_lab_scenario(problems: list[str], entry, where: str) -> None:
+    if not isinstance(entry, dict):
+        problems.append(f"{where} must be a dict, got {entry!r}")
+        return
+    scenario = entry.get("scenario")
+    if not isinstance(scenario, dict) or not scenario.get("name") \
+            or not scenario.get("kind"):
+        problems.append(f"{where}'scenario' must be a dict with name and "
+                        f"kind, got {scenario!r}")
+    _check_number(problems, entry, "trajectories", where, minimum=1)
+    _check_rate(problems, entry, "violation_rate", where)
+    _check_rate(problems, entry, "predicted_violation_rate", where)
+    boot = entry.get("bootstrap")
+    if not isinstance(boot, dict):
+        problems.append(f"{where}'bootstrap' must be a dict, got {boot!r}")
+    else:
+        for field in ("mean", "lo", "hi"):
+            _check_rate(problems, boot, field, where + "bootstrap.")
+        _check_number(problems, boot, "n_boot", where + "bootstrap.",
+                      minimum=1)
+        _check_number(problems, boot, "block", where + "bootstrap.",
+                      minimum=1)
+    if not isinstance(entry.get("ci_brackets_prediction"), bool):
+        problems.append(f"{where}'ci_brackets_prediction' must be a bool, "
+                        f"got {entry.get('ci_brackets_prediction')!r}")
+    gates = entry.get("gates")
+    if gates is not None and (not isinstance(gates, dict)
+                              or not isinstance(gates.get("passed"), bool)):
+        problems.append(f"{where}'gates' must be null or a dict with a "
+                        f"bool 'passed', got {gates!r}")
+
+
+def _validate_lab_payload(problems: list[str], payload: dict) -> None:
+    """The ``repro-lab-v1`` artifact: derived statistics only.
+
+    Deliberately has **no** timing or worker fields — their absence is
+    what makes the byte-identity contract checkable — so this validator
+    does not reuse :func:`_check_common`.
+    """
+    _check_number(problems, payload, "seed", "")
+    for field in ("system", "weighting"):
+        if not isinstance(payload.get(field), str) or not payload.get(field):
+            problems.append(f"{field!r} must be a non-empty string, "
+                            f"got {payload.get(field)!r}")
+    _check_number(problems, payload, "norm", "", minimum=1)
+    _check_optional_number(problems, payload, "rho", "")
+    for field in ("radii", "per_parameter_radii"):
+        radii = payload.get(field)
+        if not isinstance(radii, dict) or not radii:
+            problems.append(f"{field!r} must be a non-empty dict, "
+                            f"got {radii!r}")
+        else:
+            for name in radii:
+                _check_optional_number(problems, radii, name, f"{field}.")
+    _check_number(problems, payload, "trajectories", "", minimum=1)
+    boot = payload.get("bootstrap")
+    if not isinstance(boot, dict):
+        problems.append(f"'bootstrap' must be a dict, got {boot!r}")
+    else:
+        _check_number(problems, boot, "n_boot", "bootstrap.", minimum=1)
+        _check_number(problems, boot, "block", "bootstrap.", minimum=1)
+    scenarios = payload.get("scenarios")
+    if not isinstance(scenarios, list) or not scenarios:
+        problems.append(f"'scenarios' must be a non-empty list, "
+                        f"got {scenarios!r}")
+    else:
+        for i, entry in enumerate(scenarios):
+            _validate_lab_scenario(problems, entry, f"scenarios[{i}].")
+    ablation = payload.get("ablation")
+    if not isinstance(ablation, dict):
+        problems.append(f"'ablation' must be a dict, got {ablation!r}")
+    else:
+        if not isinstance(ablation.get("entries"), list):
+            problems.append(f"ablation.'entries' must be a list, "
+                            f"got {ablation.get('entries')!r}")
+        if not isinstance(ablation.get("rank_agreement"), bool):
+            problems.append(f"ablation.'rank_agreement' must be a bool, "
+                            f"got {ablation.get('rank_agreement')!r}")
+        _check_rate(problems, ablation, "full_violation_rate", "ablation.")
+    if not isinstance(payload.get("gates_passed"), bool):
+        problems.append(f"'gates_passed' must be a bool, "
+                        f"got {payload.get('gates_passed')!r}")
+    for forbidden in ("workers", "serial_seconds", "supervised_seconds"):
+        if forbidden in payload:
+            problems.append(
+                f"{forbidden!r} must not appear in a {LAB_SCHEMA} artifact "
+                "(it would break the byte-identity contract)")
+
+
+def _validate_lab_bench_payload(problems: list[str], payload: dict) -> None:
+    _check_number(problems, payload, "workers", "", minimum=1)
+    _check_number(problems, payload, "seed", "")
+    _check_number(problems, payload, "trajectories", "", minimum=1)
+    _check_number(problems, payload, "steps_total", "", minimum=1)
+    for field in ("serial_seconds", "supervised_seconds",
+                  "serial_steps_per_sec", "supervised_steps_per_sec",
+                  "speedup"):
+        _check_number(problems, payload, field, "")
+    if not isinstance(payload.get("identical"), bool):
+        problems.append(f"'identical' must be a bool, "
+                        f"got {payload.get('identical')!r}")
+    scenarios = payload.get("scenarios")
+    if not isinstance(scenarios, list) or not scenarios \
+            or not all(isinstance(s, str) for s in scenarios):
+        problems.append(f"'scenarios' must be a non-empty list of strings, "
+                        f"got {scenarios!r}")
+    executor = _check_executor(problems, payload)
+    if executor is not None:
+        for field in _SUPERVISOR_FIELDS:
+            _check_number(problems, executor, field, "executor.")
+
+
 def validate_bench_payload(payload) -> dict:
     """Check a benchmark payload against its declared schema.
 
     Dispatches on ``payload["schema"]``: ``repro-bench-parallel-v1``
     (:func:`run_parallel_benchmark`), ``repro-bench-chaos-v1``
-    (:func:`repro.resilience.chaos.run_chaos_benchmark`), and
+    (:func:`repro.resilience.chaos.run_chaos_benchmark`),
     ``repro-bench-solvers-v1``
-    (:func:`repro.core.solvers.bench.run_solver_kernel_benchmark`) are
-    accepted.  Returns the payload unchanged when valid; raises
+    (:func:`repro.core.solvers.bench.run_solver_kernel_benchmark`),
+    ``repro-lab-v1`` (:func:`repro.scenarios.lab.run_lab`), and
+    ``repro-bench-lab-v1``
+    (:func:`repro.scenarios.bench.run_lab_benchmark`) are accepted.
+    Returns the payload unchanged when valid; raises
     :class:`~repro.exceptions.SpecificationError` listing every problem
     found otherwise.  CI runs this against the freshly emitted
     ``BENCH_parallel.json`` / ``BENCH_chaos.json`` / ``BENCH_solvers.json``
-    so schema drift fails loudly.
+    / ``LAB.json`` so schema drift fails loudly.
     """
     if not isinstance(payload, dict):
         raise SpecificationError(
@@ -303,10 +443,15 @@ def validate_bench_payload(payload) -> dict:
         _validate_chaos_payload(problems, payload)
     elif schema == SOLVER_BENCH_SCHEMA:
         _validate_solvers_payload(problems, payload)
+    elif schema == LAB_SCHEMA:
+        _validate_lab_payload(problems, payload)
+    elif schema == LAB_BENCH_SCHEMA:
+        _validate_lab_bench_payload(problems, payload)
     else:
         problems.append(f"'schema' must be {BENCH_SCHEMA!r}, "
-                        f"{CHAOS_BENCH_SCHEMA!r} or "
-                        f"{SOLVER_BENCH_SCHEMA!r}, got {schema!r}")
+                        f"{CHAOS_BENCH_SCHEMA!r}, {SOLVER_BENCH_SCHEMA!r}, "
+                        f"{LAB_SCHEMA!r} or {LAB_BENCH_SCHEMA!r}, "
+                        f"got {schema!r}")
     if problems:
         raise SpecificationError(
             "invalid benchmark payload: " + "; ".join(problems))

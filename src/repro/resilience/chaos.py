@@ -52,6 +52,7 @@ import numpy as np
 
 from repro.exceptions import ReproError, SpecificationError
 from repro.observability import emit_event, get_metrics
+from repro.utils.specs import SpecField, parse_kv_spec
 from repro.resilience.retry import RetryPolicy
 from repro.resilience.supervisor import (
     SupervisedExecutor,
@@ -81,6 +82,23 @@ class ChaosError(ReproError):
     :class:`~repro.resilience.faults.InjectedFaultError` does for
     solver-level faults.
     """
+
+
+def _parse_latency(value: str) -> tuple[float, float | None]:
+    """Parse the ``rate`` / ``rate:seconds`` form of ``latency=``."""
+    rate, _, seconds = value.partition(":")
+    return float(rate), (float(seconds) if seconds else None)
+
+
+#: Grammar of the CLI ``--chaos`` spec (shared parser: repro.utils.specs).
+_CHAOS_SPEC_FIELDS = (
+    SpecField("kill", float, dest="kill_rate"),
+    SpecField("exception", float, aliases=("exc",), dest="exception_rate"),
+    SpecField("latency", _parse_latency, dest="latency_spec"),
+    SpecField("corrupt", float, dest="corrupt_rate"),
+    SpecField("seed", int),
+    SpecField("cap", int, aliases=("max",), dest="max_injections_per_task"),
+)
 
 
 @dataclass(frozen=True)
@@ -161,45 +179,20 @@ class ChaosPolicy:
         (rates in ``[0, 1]``); ``latency`` as ``rate`` or
         ``rate:seconds``; ``seed`` (int); ``cap`` (alias ``max``) for
         :attr:`max_injections_per_task`.
+
+        Malformed specs raise
+        :class:`~repro.exceptions.SpecGrammarError` (a
+        :class:`ValueError`) naming the offending token and the accepted
+        grammar; the same grammar machinery backs ``repro lab --shock``
+        (see :func:`repro.scenarios.shocks.parse_shock_spec`).
         """
-        if not isinstance(spec, str) or not spec.strip():
-            raise SpecificationError(
-                "chaos spec must be a non-empty string like "
-                "'kill=0.1,exception=0.2,seed=7'")
-        kwargs: dict[str, Any] = {}
-        for part in spec.split(","):
-            part = part.strip()
-            if not part:
-                continue
-            key, eq, value = part.partition("=")
-            if not eq or not value.strip():
-                raise SpecificationError(
-                    f"chaos spec entry {part!r} must look like key=value")
-            key, value = key.strip().lower(), value.strip()
-            try:
-                if key == "kill":
-                    kwargs["kill_rate"] = float(value)
-                elif key in ("exception", "exc"):
-                    kwargs["exception_rate"] = float(value)
-                elif key == "corrupt":
-                    kwargs["corrupt_rate"] = float(value)
-                elif key == "latency":
-                    rate, _, seconds = value.partition(":")
-                    kwargs["latency_rate"] = float(rate)
-                    if seconds:
-                        kwargs["latency"] = float(seconds)
-                elif key == "seed":
-                    kwargs["seed"] = int(value)
-                elif key in ("cap", "max"):
-                    kwargs["max_injections_per_task"] = int(value)
-                else:
-                    raise SpecificationError(
-                        f"unknown chaos spec key {key!r} (expected kill, "
-                        f"exception, latency, corrupt, seed, or cap)")
-            except ValueError:
-                raise SpecificationError(
-                    f"invalid chaos spec value in {part!r}") from None
-        return cls(**kwargs)
+        parsed = parse_kv_spec(spec, _CHAOS_SPEC_FIELDS, name="chaos spec")
+        latency_spec = parsed.pop("latency_spec", None)
+        if latency_spec is not None:
+            parsed["latency_rate"] = latency_spec[0]
+            if latency_spec[1] is not None:
+                parsed["latency"] = latency_spec[1]
+        return cls(**parsed)
 
     # ------------------------------------------------------------------
     # the deterministic schedule

@@ -224,7 +224,8 @@ def run_checkpointed(
                 # store real values, so surviving sentinels are re-run
                 # in-process (propagating any genuine exception exactly
                 # like the serial path below would).
-                values = resolve_task_failures(executor.run(thunks), thunks)
+                values = resolve_task_failures(executor.run(thunks), thunks,
+                                               executor=executor)
                 for (key, _), value in zip(batch, values):
                     fresh[key] = value
                     stored[key] = encode(value)

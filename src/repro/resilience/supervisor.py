@@ -45,7 +45,7 @@ import pickle
 import time
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Sequence
 
 import numpy as np
@@ -180,6 +180,16 @@ class BatchReport:
         return sum(1 for o in self.outcomes if o.status == "quarantined")
 
     @property
+    def n_recovered(self) -> int:
+        """Quarantined tasks later resolved by an in-process re-run.
+
+        Set by :func:`resolve_task_failures`: the sentinel was replaced
+        with a real value, but the task still went through quarantine,
+        so its (and the batch's) quality stays ``DEGRADED``.
+        """
+        return sum(1 for o in self.outcomes if o.status == "recovered")
+
+    @property
     def total_retries(self) -> int:
         """Re-invocations across the whole batch."""
         return sum(o.retries for o in self.outcomes)
@@ -187,7 +197,8 @@ class BatchReport:
     @property
     def quality(self) -> Quality:
         """Worst per-task quality (``EXACT`` when everything succeeded)."""
-        return (Quality.DEGRADED if self.n_quarantined else Quality.EXACT)
+        degraded = self.n_quarantined or self.n_recovered
+        return Quality.DEGRADED if degraded else Quality.EXACT
 
     @property
     def ok(self) -> bool:
@@ -200,6 +211,7 @@ class BatchReport:
             "tasks": len(self.outcomes),
             "ok": self.n_ok,
             "quarantined": self.n_quarantined,
+            "recovered": self.n_recovered,
             "retries": self.total_retries,
             "waves": self.waves,
             "pool_breaks": self.pool_breaks,
@@ -655,21 +667,41 @@ def _call_direct(task: Callable[[], Any]) -> Any:
 
 
 def resolve_task_failures(results: Sequence[Any],
-                          tasks: Sequence[Callable[[], Any]]) -> list[Any]:
+                          tasks: Sequence[Callable[[], Any]],
+                          executor: "SupervisedExecutor | None" = None,
+                          ) -> list[Any]:
     """Replace :class:`TaskFailure` sentinels by in-process re-runs.
 
     Library fan-out sites that need *real* values (radius solves,
-    checkpoint waves) call this after a supervised batch: a transient
-    infrastructure fault was already retried away by the supervisor, so
-    a surviving sentinel means the task genuinely fails — re-running it
-    here propagates the genuine exception exactly as the serial path
-    would have.  Batches without sentinels pass through untouched.
+    checkpoint waves, scenario replays) call this after a supervised
+    batch: a transient infrastructure fault was already retried away by
+    the supervisor, so a surviving sentinel means the task genuinely
+    fails — re-running it here propagates the genuine exception exactly
+    as the serial path would have.  Batches without sentinels pass
+    through untouched.
+
+    When ``executor`` is given, its :attr:`~SupervisedExecutor.last_report`
+    is rewritten so each resolved slot's outcome carries status
+    ``"recovered"`` while **keeping** ``Quality.DEGRADED`` — the value is
+    real now, but it did go through quarantine, and downstream summaries
+    (:attr:`BatchReport.quality`, benchmark payloads) must not launder
+    that into ``EXACT``.
     """
     if not any(isinstance(r, TaskFailure) for r in results):
         return list(results)
     resolved = list(results)
+    recovered: list[int] = []
     for i, r in enumerate(resolved):
         if isinstance(r, TaskFailure):
             logger.warning("re-running quarantined task %d in-process", i)
             resolved[i] = tasks[i]()
+            recovered.append(i)
+    report = getattr(executor, "last_report", None)
+    if report is not None:
+        outcomes = list(report.outcomes)
+        for i in recovered:
+            if i < len(outcomes) and outcomes[i].status == "quarantined":
+                outcomes[i] = replace(outcomes[i], status="recovered",
+                                      quality=Quality.DEGRADED)
+        executor.last_report = replace(report, outcomes=tuple(outcomes))
     return resolved

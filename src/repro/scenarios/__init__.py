@@ -1,0 +1,68 @@
+"""Scenario lab: stochastic shock replay over the FePIA perturbation space.
+
+The paper's robustness radius is a *point estimate*: the smallest
+perturbation that can violate a requirement.  This package wraps that
+number in a stochastic harness that shows what it means under *realized*
+perturbation trajectories:
+
+* :mod:`~repro.scenarios.shocks` — a catalogue of named, seeded shock
+  generators (spikes, drifts, correlated multi-kind shocks), each a pure
+  function of ``(seed, scenario, trajectory, step)`` via
+  :class:`numpy.random.SeedSequence` spawn keys — the same determinism
+  discipline as :class:`~repro.resilience.chaos.ChaosPolicy`.
+* :mod:`~repro.scenarios.replay` — applies a shock trajectory to an
+  allocation and records per-step feature values, violation events,
+  worst-case drawdown against each requirement ``beta``, and
+  time-to-first-violation; trajectories fan out through a
+  :class:`~repro.resilience.SupervisedExecutor`.
+* :mod:`~repro.scenarios.bootstrap` — block-bootstrap confidence
+  intervals for the empirical violation rate, and pass/fail
+  :class:`~repro.scenarios.bootstrap.RobustnessGates` with a threshold
+  grammar like ``{"violation_rate": ("<=", 0.6)}``.
+* :mod:`~repro.scenarios.ablation` — freezes one perturbation kind at a
+  time to rank which kind dominates, cross-checked against the paper's
+  per-parameter radii (Eq. 1).
+* :mod:`~repro.scenarios.lab` — the ``repro lab`` orchestration:
+  catalogue → replay → bootstrap → ablation, emitting a ``repro-lab-v1``
+  artifact that is bit-identical under seed for any worker count, traced
+  or untraced.
+
+See ``docs/SCENARIOS.md`` for the full tour.
+"""
+
+from repro.scenarios.ablation import run_ablation
+from repro.scenarios.bootstrap import (
+    GateResult,
+    RobustnessGates,
+    block_bootstrap_violation_rate,
+    parse_gate,
+)
+from repro.scenarios.lab import LAB_SCHEMA, run_lab
+from repro.scenarios.replay import (
+    ReplayContext,
+    ReplayResult,
+    TrajectoryResult,
+    replay_scenario,
+)
+from repro.scenarios.shocks import (
+    SHOCK_KINDS,
+    ShockScenario,
+    parse_shock_spec,
+)
+
+__all__ = [
+    "SHOCK_KINDS",
+    "ShockScenario",
+    "parse_shock_spec",
+    "ReplayContext",
+    "ReplayResult",
+    "TrajectoryResult",
+    "replay_scenario",
+    "block_bootstrap_violation_rate",
+    "parse_gate",
+    "GateResult",
+    "RobustnessGates",
+    "run_ablation",
+    "LAB_SCHEMA",
+    "run_lab",
+]

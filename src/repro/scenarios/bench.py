@@ -1,0 +1,125 @@
+"""Replay-throughput benchmark: serial vs supervised fan-out.
+
+:func:`run_lab_benchmark` replays the makespan shock catalogue twice —
+once in-process, once fanned out through a
+:class:`~repro.resilience.SupervisedExecutor` — and emits a
+``repro-bench-lab-v1`` payload with steps-per-second throughput for both
+legs plus a byte-identity verdict over the trajectory results (the lab's
+determinism contract, measured rather than assumed).
+
+Like the other bench modules this one is import-heavy (it pulls in the
+systems layer) and is meant to be imported explicitly::
+
+    from repro.scenarios.bench import run_lab_benchmark
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.exceptions import SpecificationError
+from repro.parallel.bench import LAB_BENCH_SCHEMA
+from repro.parallel.executor import default_workers
+from repro.resilience.chaos import bit_identical
+from repro.resilience.supervisor import SupervisedExecutor, SupervisorConfig
+from repro.scenarios.replay import ReplayContext, replay_scenario
+
+__all__ = ["run_lab_benchmark"]
+
+
+def _bench_fixture(seed: int, tasks: int, machines: int, beta: float,
+                   n_steps: int):
+    """A makespan system, its replay context, rho, and the catalogue."""
+    from repro.systems.heuristics import MCT
+    from repro.systems.independent import generate_etc_gamma
+    from repro.systems.independent.makespan import MakespanSystem
+    from repro.systems.independent.scenarios import (
+        makespan_scenario_catalogue,
+    )
+
+    etc = generate_etc_gamma(tasks, machines, seed=seed)
+    system = MakespanSystem(etc, MCT().allocate(etc))
+    analysis = system.robustness_analysis(beta=beta, seed=seed)
+    ctx = ReplayContext.from_analysis(analysis)
+    rho = float(min(system.analytic_radii(beta)))
+    catalogue = makespan_scenario_catalogue(system, beta, n_steps=n_steps)
+    return ctx, rho, catalogue
+
+
+def run_lab_benchmark(
+    *,
+    workers: int | None = None,
+    seed: int = 2005,
+    n_trajectories: int = 8,
+    n_steps: int = 60,
+    tasks: int = 24,
+    machines: int = 6,
+    beta: float = 1.2,
+) -> dict:
+    """Benchmark scenario replay serially vs supervised fan-out.
+
+    Parameters
+    ----------
+    workers:
+        Worker count for the supervised leg; defaults to
+        :func:`~repro.parallel.executor.default_workers`.
+    seed:
+        Seed for both the generated system and every replay (both legs
+        must share it for the identity verdict to be meaningful).
+    n_trajectories, n_steps:
+        Replay volume per scenario.
+    tasks, machines, beta:
+        Shape of the generated makespan instance.
+
+    Returns
+    -------
+    dict
+        A ``repro-bench-lab-v1`` payload (see
+        :func:`repro.parallel.bench.validate_bench_payload`).
+    """
+    if workers is None:
+        workers = default_workers()
+    if workers < 1:
+        raise SpecificationError(f"workers must be >= 1, got {workers}")
+    ctx, rho, catalogue = _bench_fixture(seed, tasks, machines, beta,
+                                         n_steps)
+
+    t0 = time.perf_counter()
+    serial = [replay_scenario(ctx, sc, seed=seed,
+                              n_trajectories=n_trajectories, rho=rho)
+              for sc in catalogue]
+    serial_seconds = time.perf_counter() - t0
+
+    with SupervisedExecutor(workers, config=SupervisorConfig(),
+                            seed=seed) as ex:
+        t0 = time.perf_counter()
+        supervised = [replay_scenario(ctx, sc, seed=seed,
+                                      n_trajectories=n_trajectories,
+                                      rho=rho, executor=ex)
+                      for sc in catalogue]
+        supervised_seconds = time.perf_counter() - t0
+        executor_stats = ex.stats()
+
+    steps_total = sum(r.n_steps_total for r in serial)
+    identical = all(
+        bit_identical(a.trajectories, b.trajectories)
+        for a, b in zip(serial, supervised))
+    return {
+        "schema": LAB_BENCH_SCHEMA,
+        "workers": int(workers),
+        "seed": int(seed),
+        "trajectories": int(n_trajectories),
+        "steps_total": int(steps_total),
+        "scenarios": [sc.name for sc in catalogue],
+        "serial_seconds": float(serial_seconds),
+        "supervised_seconds": float(supervised_seconds),
+        "serial_steps_per_sec": (float(steps_total / serial_seconds)
+                                 if serial_seconds > 0 else 0.0),
+        "supervised_steps_per_sec": (
+            float(steps_total / supervised_seconds)
+            if supervised_seconds > 0 else 0.0),
+        "speedup": (float(serial_seconds / supervised_seconds)
+                    if supervised_seconds > 0 else 0.0),
+        "identical": bool(identical),
+        "executor": executor_stats,
+    }

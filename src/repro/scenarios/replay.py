@@ -1,0 +1,358 @@
+"""Replay engine: drive an allocation through a shock trajectory.
+
+For each step of a :class:`~repro.scenarios.shocks.ShockScenario` the
+engine applies the drawn displacement to the perturbation parameters
+(clipped into their physical boxes), evaluates every performance
+feature, and records:
+
+* the **violation series** — whether any feature left its tolerance
+  interval at that step;
+* the **P-space distance** from the original operating point (the
+  paper's step (b)), comparable against the analytic radius ``rho``;
+* per-feature **drawdown** — the worst fraction of the margin to
+  ``beta`` consumed along the trajectory (1.0 = the bound was reached);
+* **time-to-first-violation**.
+
+Trajectories are independent and fan out through a
+:class:`~repro.resilience.SupervisedExecutor`; each is a pure function
+of ``(seed, scenario, trajectory)``, so the merged result is
+bit-identical for any worker count, traced or untraced.
+
+The lab measures distances in a *shared* P-space (one weighting for all
+features), so radius-dependent weightings (sensitivity) are rejected —
+their per-feature alphas would give one trajectory several incomparable
+distances.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.fepia import FeatureSpec, RobustnessAnalysis
+from repro.core.perturbation import PerturbationParameter
+from repro.core.pspace import ConcatenatedPerturbation
+from repro.exceptions import SpecificationError
+from repro.observability import emit_event, span
+from repro.parallel.executor import Task
+from repro.scenarios.shocks import ShockScenario
+
+__all__ = [
+    "ReplayContext",
+    "TrajectoryResult",
+    "ReplayResult",
+    "replay_scenario",
+]
+
+
+@dataclass(frozen=True)
+class ReplayContext:
+    """The picklable slice of an analysis a replay worker needs.
+
+    Built once per lab run with :meth:`from_analysis` and shipped to
+    worker processes alongside each trajectory task; everything in it is
+    plain data (parameters, feature specs, the shared P-space alphas and
+    the norm), so the supervised executor can fan trajectories out.
+    """
+
+    params: tuple[PerturbationParameter, ...]
+    features: tuple[FeatureSpec, ...]
+    alphas: np.ndarray
+    norm: float
+
+    @classmethod
+    def from_analysis(cls, analysis: RobustnessAnalysis) -> "ReplayContext":
+        """Extract the replay context of an analysis.
+
+        Raises
+        ------
+        SpecificationError
+            For radius-dependent weightings (sensitivity): their
+            P-space is per-feature, so a single trajectory distance is
+            undefined.  Use identity/normalized/custom weightings.
+        """
+        if analysis.weighting.requires_radii:
+            raise SpecificationError(
+                f"the scenario lab needs a shared P-space, but "
+                f"{type(analysis.weighting).__name__} builds one per "
+                "feature; use an identity/normalized/custom weighting")
+        pspace = analysis.pspace(None)
+        return cls(params=tuple(analysis.params),
+                   features=tuple(analysis.features),
+                   alphas=np.array(pspace.alphas, dtype=np.float64),
+                   norm=float(analysis.norm))
+
+    def pspace(self) -> ConcatenatedPerturbation:
+        """Rebuild the shared P-space (cheap, done once per trajectory)."""
+        return ConcatenatedPerturbation(list(self.params), self.alphas,
+                                        weighting_name="lab")
+
+
+@dataclass(frozen=True)
+class TrajectoryResult:
+    """One replayed trajectory, step by step.
+
+    Attributes
+    ----------
+    scenario:
+        Name of the scenario that generated the trajectory.
+    trajectory:
+        Trajectory index within its scenario.
+    violations:
+        Per-step flag: did *any* feature leave its tolerance interval?
+    distances:
+        Per-step P-space distance from the original operating point.
+    first_violation_step:
+        Index of the first violating step, or ``None``.
+    max_drawdown:
+        Per feature, the worst fraction of the margin to its ``beta``
+        bound consumed along the trajectory (can exceed 1 on violation).
+    """
+
+    scenario: str
+    trajectory: int
+    violations: tuple[bool, ...]
+    distances: tuple[float, ...]
+    first_violation_step: int | None
+    max_drawdown: dict[str, float]
+
+    @property
+    def n_steps(self) -> int:
+        """Trajectory length."""
+        return len(self.violations)
+
+    @property
+    def n_violations(self) -> int:
+        """Number of violating steps."""
+        return sum(1 for v in self.violations if v)
+
+    @property
+    def violation_rate(self) -> float:
+        """Fraction of violating steps."""
+        return self.n_violations / self.n_steps if self.n_steps else 0.0
+
+
+def _margin_used(value: float, original: float, beta_min: float,
+                 beta_max: float) -> float:
+    """Fraction of the margin from the original value to a bound consumed.
+
+    Computed against whichever finite bound the value moved towards;
+    0 when it moved away from every finite bound, > 1 once violated.
+    """
+    used = 0.0
+    if math.isfinite(beta_max) and beta_max > original and value > original:
+        used = max(used, (value - original) / (beta_max - original))
+    if math.isfinite(beta_min) and beta_min < original and value < original:
+        used = max(used, (original - value) / (original - beta_min))
+    return used
+
+
+def _replay_trajectory_task(ctx: ReplayContext, scenario: ShockScenario,
+                            seed: int, trajectory: int,
+                            frozen: str | None = None) -> TrajectoryResult:
+    """Replay one trajectory — a pure, picklable, module-level task.
+
+    ``frozen`` names one perturbation parameter whose displacement is
+    suppressed (held at its original value) — the ablation lever.
+    """
+    pspace = ctx.pspace()
+    originals = {spec.name: spec.mapping.value(pspace.pi_orig)
+                 for spec in ctx.features}
+    order = np.inf if ctx.norm in (np.inf, "inf") else ctx.norm
+    violations: list[bool] = []
+    distances: list[float] = []
+    drawdown = {name: 0.0 for name in originals}
+    first_violation: int | None = None
+    for step in range(scenario.n_steps):
+        disp = scenario.displacements(seed, trajectory, step, ctx.params)
+        if frozen is not None:
+            disp.pop(frozen, None)
+        values = {}
+        for p in ctx.params:
+            block = disp.get(p.name)
+            if block is None:
+                continue
+            values[p.name] = p.clip_to_bounds(p.original + block)
+        flat = pspace.flatten_values(values)
+        distances.append(float(np.linalg.norm(
+            pspace.to_p(flat) - pspace.p_orig, ord=order)))
+        violated = False
+        for spec in ctx.features:
+            value = float(spec.mapping.value(flat))
+            bounds = spec.feature.bounds
+            drawdown[spec.name] = max(
+                drawdown[spec.name],
+                _margin_used(value, originals[spec.name],
+                             bounds.beta_min, bounds.beta_max))
+            if not spec.feature.is_satisfied(value):
+                violated = True
+        violations.append(violated)
+        if violated and first_violation is None:
+            first_violation = step
+    return TrajectoryResult(
+        scenario=scenario.name,
+        trajectory=trajectory,
+        violations=tuple(violations),
+        distances=tuple(distances),
+        first_violation_step=first_violation,
+        max_drawdown=drawdown,
+    )
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """All trajectories of one scenario, plus the radius to compare to.
+
+    Attributes
+    ----------
+    scenario:
+        The generating scenario.
+    trajectories:
+        Per-trajectory results, in trajectory order.
+    rho:
+        The analytic FePIA robustness metric of the analysed allocation
+        (``min_i r(phi_i, P)``), against which the realized P-space
+        distances are judged.
+    """
+
+    scenario: ShockScenario
+    trajectories: tuple[TrajectoryResult, ...]
+    rho: float
+
+    @property
+    def n_steps_total(self) -> int:
+        """Total replayed steps across trajectories."""
+        return sum(t.n_steps for t in self.trajectories)
+
+    @property
+    def violation_rate(self) -> float:
+        """Pooled fraction of violating (trajectory, step) cells."""
+        total = self.n_steps_total
+        if not total:
+            return 0.0
+        return sum(t.n_violations for t in self.trajectories) / total
+
+    @property
+    def predicted_violation_rate(self) -> float:
+        """The radius-based prediction on the same trajectories.
+
+        FePIA guarantees no violation strictly inside the radius ball;
+        the fraction of steps whose realized P-distance exceeds ``rho``
+        is therefore an *upper bound* on the violation rate — and exact
+        along a critical direction.  Comparing the bootstrap CI of the
+        empirical rate against this number is the lab's confidence gate.
+        """
+        total = self.n_steps_total
+        if not total:
+            return 0.0
+        outside = sum(1 for t in self.trajectories
+                      for d in t.distances if d > self.rho)
+        return outside / total
+
+    @property
+    def mean_first_violation_step(self) -> float | None:
+        """Mean time-to-first-violation over violating trajectories."""
+        firsts = [t.first_violation_step for t in self.trajectories
+                  if t.first_violation_step is not None]
+        if not firsts:
+            return None
+        return sum(firsts) / len(firsts)
+
+    @property
+    def worst_drawdown(self) -> dict[str, float]:
+        """Per feature, the worst drawdown over all trajectories."""
+        out: dict[str, float] = {}
+        for t in self.trajectories:
+            for name, value in t.max_drawdown.items():
+                out[name] = max(out.get(name, 0.0), value)
+        return out
+
+    def violation_series(self) -> list[np.ndarray]:
+        """Per-trajectory boolean violation series (bootstrap input)."""
+        return [np.asarray(t.violations, dtype=bool)
+                for t in self.trajectories]
+
+    def to_dict(self) -> dict:
+        """JSON-safe summary — derived statistics only, fully seeded."""
+        mean_first = self.mean_first_violation_step
+        return {
+            "scenario": self.scenario.to_dict(),
+            "trajectories": len(self.trajectories),
+            "violation_rate": float(self.violation_rate),
+            "predicted_violation_rate": float(self.predicted_violation_rate),
+            "mean_first_violation_step": (
+                None if mean_first is None else float(mean_first)),
+            "worst_drawdown": {k: float(v)
+                               for k, v in self.worst_drawdown.items()},
+        }
+
+
+def replay_scenario(
+    ctx: ReplayContext,
+    scenario: ShockScenario,
+    *,
+    seed: int,
+    n_trajectories: int = 8,
+    rho: float,
+    executor=None,
+    frozen: str | None = None,
+) -> ReplayResult:
+    """Replay a scenario's trajectories, optionally fanned out.
+
+    Parameters
+    ----------
+    ctx:
+        The analysis slice (see :meth:`ReplayContext.from_analysis`).
+    scenario:
+        The shock process to realize.
+    seed:
+        Lab seed; trajectory ``t`` draws from spawn keys
+        ``(scenario_key, t, step)`` under this entropy.
+    n_trajectories:
+        Independent trajectories to replay.
+    rho:
+        Analytic robustness metric for the prediction comparison.
+    executor:
+        Optional executor (typically a
+        :class:`~repro.resilience.SupervisedExecutor`) to fan
+        trajectories out through; quarantined trajectories are re-run
+        in-process so the result never contains sentinels.
+    frozen:
+        Optional parameter name whose displacements are suppressed
+        (the ablation lever).
+    """
+    if n_trajectories < 1:
+        raise SpecificationError(
+            f"n_trajectories must be >= 1, got {n_trajectories}")
+    scenario.active_params(ctx.params)  # validate names up front
+    tasks = [Task(_replay_trajectory_task,
+                  (ctx, scenario, int(seed), t, frozen))
+             for t in range(n_trajectories)]
+    with span("lab.replay", scenario=scenario.name,
+              trajectories=n_trajectories, frozen=frozen or ""):
+        if executor is not None:
+            # Imported lazily (resilience imports core modules this
+            # package sits next to; avoid any chance of a cycle).
+            from repro.resilience.supervisor import resolve_task_failures
+
+            results = resolve_task_failures(executor.run(tasks), tasks,
+                                            executor=executor)
+        else:
+            results = [task() for task in tasks]
+    # Workers return private copies of the scenario-name and feature-name
+    # strings; re-point every trajectory at the caller's instances so the
+    # merged result pickles byte-identically to a serial run (pickle
+    # memoizes shared references, so copies change the bytes).
+    results = [
+        replace(t, scenario=scenario.name,
+                max_drawdown={spec.name: t.max_drawdown[spec.name]
+                              for spec in ctx.features})
+        for t in results]
+    result = ReplayResult(scenario=scenario,
+                          trajectories=tuple(results), rho=float(rho))
+    emit_event("lab.replayed", scenario=scenario.name,
+               trajectories=n_trajectories,
+               violation_rate=result.violation_rate)
+    return result

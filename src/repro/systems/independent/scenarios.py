@@ -1,0 +1,112 @@
+"""Shock catalogue for the independent-task makespan system.
+
+The star of the catalogue is ``critical-drift``: a deterministic ramp
+along the system's *closed-form critical direction*.  For the
+identity-weighted Euclidean case the TPDS 2004 radius of machine ``j``
+is ``(tau - F_j)/sqrt(n_j)``; the minimising machine ``c`` is the
+critical one, and the unit direction that realizes its radius puts
+``1/sqrt(n_c)`` on each of its tasks and zero elsewhere.  Along that
+direction a perturbation violates the makespan requirement **exactly**
+when its P-space length exceeds ``rho`` — so the lab's empirical
+violation rate must match the radius-based prediction step for step,
+and the bootstrap CI brackets the analytic prediction by construction.
+That is the acceptance check wired into ``tests/scenarios/``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.scenarios.shocks import ShockScenario
+from repro.systems.independent.makespan import MakespanSystem
+
+__all__ = ["critical_drift_scenario", "makespan_scenario_catalogue"]
+
+
+def critical_drift_scenario(
+    system: MakespanSystem,
+    beta: float | None = None,
+    *,
+    tau: float | None = None,
+    n_steps: int = 40,
+    overshoot: float = 2.0,
+    jitter: float = 0.0,
+) -> ShockScenario:
+    """The ramp along the closed-form critical direction.
+
+    The drift reaches ``overshoot * rho`` at the final step, so with the
+    default ``overshoot=2`` roughly the second half of every trajectory
+    violates — enough mass on both sides of the boundary for the
+    bootstrap CI to be informative.  An even ``n_steps`` is bumped to
+    odd: with ``overshoot=2`` the midpoint step would otherwise land
+    *exactly* on the boundary, where solver epsilon could make the
+    empirical and predicted counts disagree by one step.
+    """
+    if n_steps % 2 == 0:
+        n_steps += 1
+    radii = system.analytic_radii(beta, tau=tau)
+    rho = float(np.min(radii))
+    critical = int(np.argmin(radii))
+    tasks = system.allocation.tasks_on(critical)
+    direction = np.zeros(system.n_tasks)
+    direction[tasks] = 1.0 / math.sqrt(tasks.size)
+    return ShockScenario(
+        name="critical-drift",
+        kind="drift",
+        magnitude=overshoot * rho,
+        n_steps=n_steps,
+        jitter=jitter,
+        params=("exec_times",),
+        directions={"exec_times": tuple(direction)},
+        description=(f"ramp along machine {critical}'s unit critical "
+                     "direction; violation occurs exactly when the "
+                     "P-distance exceeds rho"))
+
+
+def makespan_scenario_catalogue(
+    system: MakespanSystem,
+    beta: float | None = None,
+    *,
+    tau: float | None = None,
+    n_steps: int = 40,
+) -> list[ShockScenario]:
+    """The shipped scenarios for a makespan system.
+
+    All magnitudes are scaled by the analytic ``rho`` of the allocation,
+    so the catalogue is meaningful for any instance size: shocks probe
+    the neighbourhood of the robustness boundary rather than some fixed
+    absolute displacement.
+    """
+    rho = float(np.min(system.analytic_radii(beta, tau=tau)))
+    catalogue = [
+        critical_drift_scenario(system, beta, tau=tau, n_steps=n_steps),
+        ShockScenario(
+            name="exec-spike",
+            kind="spike",
+            magnitude=rho,
+            n_steps=n_steps,
+            rate=0.3,
+            params=("exec_times",),
+            description="sporadic per-task execution-time spikes at "
+                        "radius scale"),
+        ShockScenario(
+            name="uniform-drift",
+            kind="drift",
+            magnitude=1.5 * rho,
+            n_steps=n_steps,
+            jitter=0.1,
+            params=("exec_times",),
+            description="jittered uniform inflation of every execution "
+                        "time"),
+    ]
+    if system.background_loads is not None:
+        catalogue.append(ShockScenario(
+            name="correlated-surge",
+            kind="correlated",
+            magnitude=rho,
+            n_steps=n_steps,
+            description="one latent factor co-moving execution times "
+                        "and background loads (multi-kind)"))
+    return catalogue

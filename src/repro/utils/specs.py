@@ -1,0 +1,126 @@
+"""Shared grammar for compact CLI spec strings (``--chaos``, ``--shock``).
+
+Several CLI flags take a comma-separated ``key=value`` mini-language::
+
+    kill=0.2,exception=0.3,latency=0.1:0.05,seed=7,cap=2      (--chaos)
+    kind=spike,magnitude=0.3,steps=40,rate=0.25,name=surge    (--shock)
+
+:func:`parse_kv_spec` is the single parser behind all of them.  A
+:class:`SpecField` declares one accepted key (with aliases and a value
+converter); every parse failure raises a typed
+:class:`~repro.exceptions.SpecGrammarError` — a :class:`ValueError`
+subclass — that names the offending token and restates the accepted
+grammar, so a CLI typo reads as a usage message rather than a traceback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.exceptions import SpecGrammarError
+
+__all__ = ["SpecField", "parse_kv_spec", "spec_grammar"]
+
+
+@dataclass(frozen=True)
+class SpecField:
+    """One key accepted by a ``key=value`` spec grammar.
+
+    Attributes
+    ----------
+    key:
+        Canonical key name (also the name used in the parsed dict unless
+        ``dest`` overrides it).
+    convert:
+        Callable turning the raw value string into the final value;
+        a :class:`ValueError` from it is reported as a bad token.
+    aliases:
+        Alternative spellings accepted for this key.
+    dest:
+        Name of the entry in the parsed dict (defaults to ``key``).
+    """
+
+    key: str
+    convert: Callable[[str], Any] = str
+    aliases: tuple[str, ...] = ()
+    dest: str | None = None
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Every spelling this field answers to."""
+        return (self.key, *self.aliases)
+
+    @property
+    def target(self) -> str:
+        """The parsed-dict key this field fills."""
+        return self.dest if self.dest is not None else self.key
+
+
+def spec_grammar(fields: Sequence[SpecField]) -> str:
+    """One-line description of a spec grammar (for error messages)."""
+    keys = ", ".join(f.key for f in fields)
+    return f"a comma-separated list of key=value entries with keys: {keys}"
+
+
+def parse_kv_spec(spec: str, fields: Sequence[SpecField], *,
+                  name: str = "spec") -> dict[str, Any]:
+    """Parse a compact ``key=value[,key=value...]`` spec string.
+
+    Parameters
+    ----------
+    spec:
+        The raw spec string.  Empty entries (``a=1,,b=2``) are rejected —
+        a stray comma usually means a typo the user wants to hear about.
+    fields:
+        The accepted keys (see :class:`SpecField`).  Duplicate keys in
+        the spec are rejected.
+    name:
+        Label for error messages (e.g. ``"chaos spec"``).
+
+    Returns
+    -------
+    dict
+        ``{field.target: converted value}`` for every entry present.
+
+    Raises
+    ------
+    SpecGrammarError
+        On any malformed entry; the message names the bad token and the
+        accepted grammar.
+    """
+    grammar = spec_grammar(fields)
+    if not isinstance(spec, str) or not spec.strip():
+        raise SpecGrammarError(
+            f"{name} must be a non-empty string", grammar=grammar)
+    by_name = {alias: f for f in fields for alias in f.names}
+    parsed: dict[str, Any] = {}
+    seen: set[str] = set()
+    for part in spec.split(","):
+        token = part.strip()
+        if not token:
+            raise SpecGrammarError(
+                f"{name} has an empty entry", token=part, grammar=grammar)
+        key, eq, value = token.partition("=")
+        key, value = key.strip().lower(), value.strip()
+        if not eq or not value:
+            raise SpecGrammarError(
+                f"{name} entry must look like key=value", token=token,
+                grammar=grammar)
+        field = by_name.get(key)
+        if field is None:
+            raise SpecGrammarError(
+                f"{name} has an unknown key {key!r}", token=token,
+                grammar=grammar)
+        if field.target in seen:
+            raise SpecGrammarError(
+                f"{name} repeats the key {field.key!r}", token=token,
+                grammar=grammar)
+        seen.add(field.target)
+        try:
+            parsed[field.target] = field.convert(value)
+        except ValueError:
+            raise SpecGrammarError(
+                f"{name} has an invalid value for {field.key!r}",
+                token=token, grammar=grammar) from None
+    return parsed

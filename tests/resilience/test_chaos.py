@@ -56,6 +56,35 @@ class TestChaosPolicyParse:
         with pytest.raises(SpecificationError):
             ChaosPolicy.parse(None)
 
+    def test_parse_errors_are_typed_value_errors(self):
+        # Satellite contract: a malformed spec raises a typed ValueError
+        # (SpecGrammarError) naming the bad token and the valid grammar.
+        from repro.exceptions import SpecGrammarError
+
+        with pytest.raises(ValueError) as excinfo:
+            ChaosPolicy.parse("kill=0.1,frobnicate=0.5")
+        err = excinfo.value
+        assert isinstance(err, SpecGrammarError)
+        assert err.token == "frobnicate=0.5"
+        assert "frobnicate" in str(err)
+        assert "kill" in err.grammar and "latency" in err.grammar
+
+    def test_parse_error_names_bad_value_token(self):
+        from repro.exceptions import SpecGrammarError
+
+        with pytest.raises(SpecGrammarError) as excinfo:
+            ChaosPolicy.parse("kill=high")
+        assert excinfo.value.token == "kill=high"
+        assert "kill=high" in str(excinfo.value)
+
+    def test_duplicate_keys_rejected(self):
+        from repro.exceptions import SpecGrammarError
+
+        with pytest.raises(SpecGrammarError):
+            ChaosPolicy.parse("kill=0.1,kill=0.2")
+        with pytest.raises(SpecGrammarError):
+            ChaosPolicy.parse("exception=0.1,exc=0.2")
+
 
 class TestChaosPolicyValidation:
     @pytest.mark.parametrize("kwargs", [

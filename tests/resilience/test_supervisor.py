@@ -326,8 +326,8 @@ class TestBatchReport:
             waves=3, pool_breaks=1, respawns=1, breaker_state="closed")
         payload = report.to_dict()
         assert payload == {
-            "tasks": 2, "ok": 1, "quarantined": 1, "retries": 2,
-            "waves": 3, "pool_breaks": 1, "respawns": 1,
+            "tasks": 2, "ok": 1, "quarantined": 1, "recovered": 0,
+            "retries": 2, "waves": 3, "pool_breaks": 1, "respawns": 1,
             "breaker_state": "closed", "quality": "DEGRADED",
         }
 
@@ -347,3 +347,39 @@ class TestResolveTaskFailures:
         results = [TaskFailure(index=0, error="ValueError", attempts=3)]
         with pytest.raises(ValueError, match="task exploded"):
             resolve_task_failures(results, tasks)
+
+    def test_resolution_keeps_degraded_tag_in_report(self):
+        # Regression: a quarantined task that resolve_task_failures
+        # re-runs successfully must stay DEGRADED in the batch report —
+        # the value is real, but it did go through quarantine, and the
+        # summary must not launder that into EXACT.
+        with SupervisedExecutor(1, config=_fast_config(max_task_retries=1),
+                                seed=0) as ex:
+            results, report = ex.run_report([_boom, Task(_square, (5,))])
+            assert isinstance(results[0], TaskFailure)
+            assert report.quality is Quality.DEGRADED
+            tasks = [Task(_square, (7,)), Task(_square, (5,))]
+            resolved = resolve_task_failures(results, tasks, executor=ex)
+        assert resolved == [49, 25]
+        updated = report if ex.last_report is None else ex.last_report
+        assert updated.n_quarantined == 0
+        assert updated.n_recovered == 1
+        assert updated.outcomes[0].status == "recovered"
+        assert updated.outcomes[0].quality is Quality.DEGRADED
+        assert updated.quality is Quality.DEGRADED
+        assert updated.to_dict()["recovered"] == 1
+        assert updated.to_dict()["quality"] == "DEGRADED"
+
+    def test_resolution_without_executor_keeps_old_signature(self):
+        results = [TaskFailure(index=0, error="transient", attempts=2)]
+        assert resolve_task_failures(results, [Task(_square, (3,))]) == [9]
+
+    def test_resolution_tolerates_plain_executor(self):
+        # Checkpoint waves may hand a plain ParallelExecutor (no
+        # last_report attribute); resolution must not blow up on it.
+        from repro.parallel.executor import ParallelExecutor
+
+        results = [TaskFailure(index=0, error="transient", attempts=2)]
+        with ParallelExecutor(1) as ex:
+            assert resolve_task_failures(
+                results, [Task(_square, (3,))], executor=ex) == [9]

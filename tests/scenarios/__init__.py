@@ -1,0 +1,1 @@
+"""Tests for the scenario lab (repro.scenarios)."""

@@ -1,0 +1,44 @@
+"""Shared fixtures for the scenario-lab tests.
+
+Everything here is small on purpose: the lab's contracts (determinism,
+bracketing, ablation agreement) do not depend on instance size, and the
+suite replays hundreds of steps per test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.scenarios.replay import ReplayContext
+from repro.systems.heuristics import MCT
+from repro.systems.independent import generate_etc_gamma
+from repro.systems.independent.makespan import MakespanSystem
+
+SEED = 2005
+BETA = 1.2
+
+
+@pytest.fixture(scope="module")
+def lab_system() -> MakespanSystem:
+    """A small MCT-allocated makespan instance."""
+    etc = generate_etc_gamma(12, 4, seed=SEED)
+    return MakespanSystem(etc, MCT().allocate(etc))
+
+
+@pytest.fixture(scope="module")
+def lab_analysis(lab_system):
+    """The identity-weighted FePIA analysis of the instance."""
+    return lab_system.robustness_analysis(beta=BETA, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def lab_ctx(lab_analysis) -> ReplayContext:
+    """The picklable replay slice of the analysis."""
+    return ReplayContext.from_analysis(lab_analysis)
+
+
+@pytest.fixture(scope="module")
+def lab_rho(lab_system) -> float:
+    """The analytic robustness metric (min over machines)."""
+    return float(np.min(lab_system.analytic_radii(BETA)))

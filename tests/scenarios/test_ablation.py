@@ -1,0 +1,57 @@
+"""Perturbation-kind ablation and its analytic cross-check."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.scenarios.ablation import run_ablation
+from repro.scenarios.replay import replay_scenario
+from repro.systems.independent.scenarios import critical_drift_scenario
+from tests.scenarios.conftest import BETA, SEED
+
+
+@pytest.fixture(scope="module")
+def ablation(lab_ctx, lab_system, lab_analysis, lab_rho):
+    scenario = critical_drift_scenario(lab_system, BETA, n_steps=20)
+    full = replay_scenario(lab_ctx, scenario, seed=SEED,
+                           n_trajectories=3, rho=lab_rho)
+    per_param = {p.name: math.inf for p in lab_analysis.params}
+    for spec in lab_analysis.features:
+        radii = lab_analysis.per_parameter_radii(spec)
+        for name, r in radii.items():
+            per_param[name] = min(per_param[name], r)
+    return run_ablation(lab_ctx, scenario, seed=SEED, n_trajectories=3,
+                        rho=lab_rho, full=full,
+                        per_parameter_radii=per_param)
+
+
+def test_freezing_the_only_kind_removes_all_violations(ablation):
+    (entry,) = [e for e in ablation["entries"]
+                if e["param"] == "exec_times"]
+    assert entry["frozen_violation_rate"] == 0.0
+    assert entry["delta_violation_rate"] == \
+        pytest.approx(ablation["full_violation_rate"])
+    assert ablation["full_violation_rate"] > 0
+
+
+def test_dominant_param_agrees_with_eq1_radii(ablation):
+    """The stochastically dominant kind is also the analytically most
+    fragile one (smallest min-over-features Eq. 1 radius)."""
+    assert ablation["dominant_param"] == "exec_times"
+    assert ablation["radius_ranking"][0] == "exec_times"
+    assert ablation["rank_agreement"] is True
+
+
+def test_rankings_cover_every_parameter(ablation, lab_analysis):
+    names = sorted(p.name for p in lab_analysis.params)
+    assert sorted(ablation["dominance_ranking"]) == names
+    assert sorted(e["param"] for e in ablation["entries"]) == names
+
+
+def test_payload_is_json_safe(ablation):
+    import json
+
+    encoded = json.dumps(ablation)
+    assert json.loads(encoded) == ablation
