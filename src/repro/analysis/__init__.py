@@ -7,10 +7,17 @@ companion paper's evaluation style.
 * :mod:`repro.analysis.comparison` — allocation-heuristic robustness
   comparisons on the independent-task substrate (E5) and weighting-scheme /
   norm ablations (E6/E8);
+* :mod:`repro.analysis.degradation` — warm-started degradation curves
+  ``rho(beta)`` walking a requirement sweep with shared solver state;
 * :mod:`repro.analysis.experiments` — the result container shared by the
   benchmark harness.
 """
 
+from repro.analysis.degradation import (
+    CurvePoint,
+    DegradationCurve,
+    degradation_curve,
+)
 from repro.analysis.experiments import ExperimentResult
 from repro.analysis.linear_case import (
     normalized_dependence_sweep,
@@ -50,6 +57,9 @@ from repro.analysis.runner import (
 )
 
 __all__ = [
+    "CurvePoint",
+    "DegradationCurve",
+    "degradation_curve",
     "ExperimentResult",
     "random_linear_case",
     "sensitivity_degeneracy_sweep",

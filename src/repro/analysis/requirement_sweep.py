@@ -7,11 +7,21 @@ linearly in ``beta - 1``; the sensitivity-weighted radius **does not move
 at all** ("the fact that an increase in the robustness requirement does
 not change the robustness value is troubling").  This module sweeps
 ``beta`` through both pipelines and returns the two curves.
+
+The sweep rides on :func:`~repro.analysis.degradation.degradation_curve`:
+one template analysis per weighting is built once and walked through the
+betas (bounds are the only thing that moves), instead of rebuilding the
+whole ``LinearCase`` pipeline per operating point.  The default bounds of
+a degradation curve — ``<-inf, beta * phi_orig>`` — are exactly the
+``LinearCase`` requirement, so the reported radii are bit-identical to
+the per-beta rebuild this module used to do.
 """
 
 from __future__ import annotations
 
+import math
 
+from repro.analysis.degradation import degradation_curve
 from repro.analysis.experiments import ExperimentResult
 from repro.analysis.linear_case import analysis_for_case
 from repro.core.degeneracy import LinearCase
@@ -20,6 +30,19 @@ from repro.exceptions import SpecificationError
 from repro.utils.ascii_plot import line_plot
 
 __all__ = ["requirement_sweep"]
+
+
+def _growth_factor(values: list[float]) -> "float | str":
+    """Ratio of last to first curve value, guarded against degeneracy.
+
+    At the feasibility boundary the first value can be 0 (or a curve can
+    carry non-finite radii); dividing would put ``inf``/``nan`` into the
+    summary, so such sweeps report a description instead of a number.
+    """
+    first, last = values[0], values[-1]
+    if first == 0.0 or not (math.isfinite(first) and math.isfinite(last)):
+        return "undefined (degenerate curve endpoint)"
+    return last / first
 
 
 def requirement_sweep(
@@ -36,7 +59,8 @@ def requirement_sweep(
     coefficients, originals:
         The linear case's ``k_j`` and ``pi_j^orig``.
     betas:
-        Requirement values to sweep (all ``> 1``).
+        Requirement values to sweep (all ``> 1``).  A single-element
+        sweep is valid and degrades to table-only output (no plot).
     seed:
         Unused (the computation is deterministic) but accepted for
         interface uniformity with the other experiments.
@@ -45,41 +69,44 @@ def requirement_sweep(
     -------
     ExperimentResult
         Rows ``[beta, rho_sensitivity, rho_normalized]`` plus an ASCII
-        plot of the normalized curve; the summary records the spread of
-        each curve (sensitivity must be exactly flat).
+        plot of the normalized curve (omitted for single-point sweeps);
+        the summary records the spread of each curve (sensitivity must
+        be exactly flat).
     """
     betas = sorted(float(b) for b in betas)
     if not betas or betas[0] <= 1.0:
         raise SpecificationError("betas must be non-empty and all > 1")
 
-    rows = []
-    sens_values = []
-    norm_values = []
-    for beta in betas:
-        case = LinearCase(coefficients, originals, beta)
-        rho_sens = analysis_for_case(case, SensitivityWeighting()).rho()
-        rho_norm = analysis_for_case(case, NormalizedWeighting()).rho()
-        sens_values.append(rho_sens)
-        norm_values.append(rho_norm)
-        rows.append([beta, rho_sens, rho_norm])
+    case = LinearCase(coefficients, originals, betas[0])
+    sens_curve = degradation_curve(
+        analysis_for_case(case, SensitivityWeighting()), "phi", betas)
+    norm_curve = degradation_curve(
+        analysis_for_case(case, NormalizedWeighting()), "phi", betas)
+    sens_values = sens_curve.rhos()
+    norm_values = norm_curve.rhos()
+    rows = [[beta, rho_sens, rho_norm]
+            for beta, rho_sens, rho_norm
+            in zip(betas, sens_values, norm_values)]
 
     sens_spread = max(sens_values) - min(sens_values)
-    norm_growth = norm_values[-1] / norm_values[0]
-    plot = line_plot(
-        betas, norm_values, xlabel="beta",
-        ylabel="rho",
-        title="normalized rho grows with beta; sensitivity rho is the "
-              f"flat line at {sens_values[0]:.4g}",
-        width=64, height=16)
+    summary = {
+        "sensitivity curve spread (paper: exactly 0)": sens_spread,
+        "normalized growth factor over the sweep":
+            _growth_factor(norm_values),
+    }
+    if len(betas) >= 2:
+        plot = line_plot(
+            betas, norm_values, xlabel="beta",
+            ylabel="rho",
+            title="normalized rho grows with beta; sensitivity rho is the "
+                  f"flat line at {sens_values[0]:.4g}",
+            width=64, height=16)
+        summary["plot"] = "\n" + plot
     return ExperimentResult(
         experiment_id="E11",
         title=("rho vs requirement beta: the sensitivity measure ignores "
                "the requirement, the normalized one responds to it"),
         headers=["beta", "rho (sensitivity)", "rho (normalized)"],
         rows=rows,
-        summary={
-            "sensitivity curve spread (paper: exactly 0)": sens_spread,
-            "normalized growth factor over the sweep": norm_growth,
-            "plot": "\n" + plot,
-        },
+        summary=summary,
     )

@@ -37,9 +37,13 @@ The ``experiments`` command additionally supports
 times the sweep serially vs in parallel, writing a
 ``repro-bench-parallel-v1`` JSON payload; ``bench-solvers`` times the
 scalar vs batched solver kernels, writing a ``repro-bench-solvers-v1``
-payload; and ``chaos`` replays a seeded chaos schedule against the
+payload; ``chaos`` replays a seeded chaos schedule against the
 sweep, verifying bit-identical recovery and writing a
-``repro-bench-chaos-v1`` payload.
+``repro-bench-chaos-v1`` payload; ``curve`` walks a warm-started
+degradation curve over the makespan substrate, writing a
+``repro-curve-v1`` artifact; and ``bench-sweep`` times that warm walk
+against the cold per-point baseline, writing a ``repro-bench-sweep-v1``
+payload.
 """
 
 from __future__ import annotations
@@ -161,6 +165,37 @@ def build_parser() -> argparse.ArgumentParser:
     sol.add_argument("--out", default="BENCH_solvers.json", metavar="PATH",
                      help="benchmark payload destination "
                           "(default BENCH_solvers.json)")
+
+    cur = sub.add_parser("curve",
+                         help="degradation curve rho(beta) of the makespan "
+                              "max-feature via warm-started incremental "
+                              "re-solve; writes a repro-curve-v1 artifact")
+    cur.add_argument("--tasks", type=int, default=24)
+    cur.add_argument("--machines", type=int, default=6)
+    cur.add_argument("--points", type=int, default=40, metavar="N",
+                     help="operating points in the sweep (default 40)")
+    cur.add_argument("--beta-lo", type=float, default=1.05, metavar="B",
+                     help="first requirement value, > 1 (default 1.05)")
+    cur.add_argument("--beta-hi", type=float, default=2.0, metavar="B",
+                     help="last requirement value (default 2.0)")
+    cur.add_argument("--out", default="CURVE.json", metavar="PATH",
+                     help="artifact destination (default CURVE.json)")
+
+    swe = sub.add_parser("bench-sweep",
+                         help="time the warm-started sweep against the cold "
+                              "per-point baseline and write a JSON "
+                              "benchmark payload")
+    swe.add_argument("--points", type=int, default=100, metavar="N",
+                     help="operating points in the sweep (default 100)")
+    swe.add_argument("--tasks", type=int, default=32)
+    swe.add_argument("--machines", type=int, default=8)
+    swe.add_argument("--beta-lo", type=float, default=1.05, metavar="B",
+                     help="first requirement value, > 1 (default 1.05)")
+    swe.add_argument("--beta-hi", type=float, default=2.0, metavar="B",
+                     help="last requirement value (default 2.0)")
+    swe.add_argument("--out", default="BENCH_sweep.json", metavar="PATH",
+                     help="benchmark payload destination "
+                          "(default BENCH_sweep.json)")
 
     cha = sub.add_parser("chaos",
                          help="replay a seeded chaos schedule against the "
@@ -471,6 +506,93 @@ def _cmd_bench_solvers(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_curve(args) -> int:
+    import contextlib
+    import math
+
+    from repro.analysis import degradation_curve
+    from repro.parallel.bench import CURVE_SCHEMA, write_benchmark
+    from repro.systems.heuristics import MCT
+    from repro.systems.independent import generate_etc_gamma
+    from repro.systems.independent.makespan import MakespanSystem
+    from repro.utils.tables import format_table
+
+    etc = generate_etc_gamma(args.tasks, args.machines, seed=args.seed)
+    system = MakespanSystem(etc, MCT().allocate(etc))
+    analysis = system.makespan_analysis(beta=args.beta_lo,
+                                        method="bisection", seed=args.seed)
+    betas = np.linspace(args.beta_lo, args.beta_hi, args.points)
+
+    executor = _make_executor(args)
+    if executor is None and args.workers > 1:
+        from repro.resilience.supervisor import (SupervisedExecutor,
+                                                 SupervisorConfig)
+        executor = SupervisedExecutor(args.workers, config=SupervisorConfig(),
+                                      seed=args.seed)
+    with executor if executor is not None else contextlib.nullcontext():
+        curve = degradation_curve(analysis, "makespan", betas,
+                                  executor=executor)
+
+    payload = {
+        "schema": CURVE_SCHEMA,
+        "seed": int(args.seed),
+        "system": "makespan",
+        "feature": curve.feature,
+        "points": len(curve.points),
+        "curve": [
+            {
+                "beta": float(p.beta),
+                "rho": float(p.rho) if math.isfinite(p.rho) else None,
+                "feasible": bool(p.feasible),
+                "critical": p.critical,
+            }
+            for p in curve.points
+        ],
+        "stats": {k: int(v) for k, v in curve.stats.items()},
+    }
+    write_benchmark(payload, args.out)
+
+    rows = [[p.beta, p.rho, "yes" if p.feasible else "NO"]
+            for p in curve.points]
+    print(format_table(
+        ["beta", "rho", "feasible"], rows,
+        title=(f"degradation curve of '{curve.feature}' "
+               f"({args.tasks} tasks on {args.machines} machines)")))
+    if len(curve.points) >= 2:
+        print()
+        print(curve.plot())
+    stats = curve.stats
+    print(f"\n{stats['solves']} solves over {stats['points']} points "
+          f"({stats['warm_starts']} warm-started, "
+          f"{stats['warm_hits']} served entirely from the ray table)")
+    print(f"written to {args.out}")
+    return 0
+
+
+def _cmd_bench_sweep(args) -> int:
+    from repro.analysis.sweep_bench import run_sweep_benchmark
+    from repro.parallel.bench import write_benchmark
+
+    payload = run_sweep_benchmark(points=args.points, tasks=args.tasks,
+                                  machines=args.machines,
+                                  beta_lo=args.beta_lo,
+                                  beta_hi=args.beta_hi, seed=args.seed)
+    write_benchmark(payload, args.out)
+    print(f"cold sweep {payload['cold_seconds']:.4f}s "
+          f"({payload['cold_evals']} evals)")
+    print(f"warm sweep {payload['warm_seconds']:.4f}s "
+          f"({payload['warm_evals']} evals, "
+          f"{payload['eval_reduction']:.1f}x fewer, "
+          f"{payload['speedup']:.2f}x faster)")
+    print(f"warm starts: {payload['warm_starts']}, served entirely from "
+          f"the ray table: {payload['warm_hits']}")
+    print(f"identical results: {payload['identical']}")
+    print(f"written to {args.out}")
+    ok = (payload["identical"] and payload["speedup"] > 1.0
+          and payload["eval_reduction"] >= 5.0)
+    return 0 if ok else 1
+
+
 def _cmd_chaos(args) -> int:
     from repro.parallel.bench import write_benchmark
     from repro.resilience.chaos import ChaosPolicy, run_chaos_benchmark
@@ -628,6 +750,8 @@ _COMMANDS = {
     "experiments": _cmd_experiments,
     "bench-parallel": _cmd_bench_parallel,
     "bench-solvers": _cmd_bench_solvers,
+    "curve": _cmd_curve,
+    "bench-sweep": _cmd_bench_sweep,
     "chaos": _cmd_chaos,
     "lab": _cmd_lab,
     "topology": _cmd_topology,

@@ -21,7 +21,7 @@ for the identity/normalized/custom schemes it is shared.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -180,6 +180,40 @@ class RobustnessAnalysis:
         self._per_param_cache: dict[tuple[str, str], RadiusResult] = {}
         self._pspace_cache: dict[str, ConcatenatedPerturbation] = {}
         self._radius_cache: dict[str, RadiusResult] = {}
+
+    def with_feature_bounds(
+        self, bounds: Mapping[str, "ToleranceBounds"]
+    ) -> "RobustnessAnalysis":
+        """A sibling analysis with some features' tolerance bounds replaced.
+
+        Everything else — parameters, weighting, solver configuration,
+        norm, seed, cascade, and the radius cache — is shared with this
+        analysis; the executor is *not* (the clone solves serially unless
+        the caller wires its own).  This is the operating-point move of a
+        degradation curve: walking the requirement ``beta`` only moves
+        the boundary level sets, so sibling analyses share every mapping
+        and origin and their solves can warm-start each other (see
+        :func:`repro.analysis.degradation.degradation_curve`).
+        """
+        unknown = set(bounds) - {s.name for s in self.features}
+        if unknown:
+            raise SpecificationError(
+                f"unknown feature(s) {sorted(unknown)}; have "
+                f"{[s.name for s in self.features]}")
+        specs = [
+            replace(spec, feature=replace(spec.feature,
+                                          bounds=bounds[spec.name]))
+            if spec.name in bounds else spec
+            for spec in self.features
+        ]
+        return RobustnessAnalysis(
+            specs, self.params,
+            weighting=self.weighting,
+            respect_physical_bounds=self.respect_physical_bounds,
+            method=self.method, norm=self.norm, seed=self.seed,
+            cascade=self.cascade,
+            radius_cache=self.radius_cache,
+        )
 
     def _solve(self, problem: RadiusProblem) -> RadiusResult:
         """Route a radius computation through the configured solver path."""

@@ -192,13 +192,15 @@ def _timed_solve(solver: str, bound: float, fn,
 
 
 def _solve_one_bound(problem: RadiusProblem, bound: float, method: Method,
-                     seed, trail: list[SolverAttempt]
+                     seed, trail: list[SolverAttempt], warm=None
                      ) -> tuple[BoundaryCrossing | None, str]:
     """Distance to one bound's level set; returns (crossing | None, method).
 
     Every solver invocation — including the ones whose
     :class:`BoundaryNotFoundError` is absorbed into an infinite per-bound
-    distance — is appended to ``trail``.
+    distance — is appended to ``trail``.  ``warm`` threads an optional
+    :class:`~repro.core.solvers.warm.WarmStart` into the directional
+    solvers; the closed-form tiers ignore it (they have nothing to warm).
     """
     linear = as_linear(problem.mapping)
     if method in ("auto", "analytic") and linear is not None:
@@ -253,7 +255,8 @@ def _solve_one_bound(problem: RadiusProblem, bound: float, method: Method,
                 "bisection", bound,
                 lambda: solve_bisection_radius(
                     problem.mapping, problem.origin, bound, norm=problem.norm,
-                    lower=problem.lower, upper=problem.upper, seed=seed),
+                    lower=problem.lower, upper=problem.upper, seed=seed,
+                    warm=warm),
                 trail),
             "bisection",
         )
@@ -263,7 +266,8 @@ def _solve_one_bound(problem: RadiusProblem, bound: float, method: Method,
             "numeric", bound,
             lambda: solve_numeric_radius(
                 problem.mapping, problem.origin, bound,
-                lower=problem.lower, upper=problem.upper, seed=seed),
+                lower=problem.lower, upper=problem.upper, seed=seed,
+                warm=warm),
             trail),
         "numeric",
     )
@@ -283,7 +287,8 @@ def _solve_bound_task(problem: RadiusProblem, bound: float, method: Method,
 
 
 def compute_radius(problem: RadiusProblem, *, method: Method = "auto",
-                   seed=None, cache=None, executor=None) -> RadiusResult:
+                   seed=None, cache=None, executor=None,
+                   warm=None) -> RadiusResult:
     """Compute the robustness radius for ``problem``.
 
     Parameters
@@ -306,6 +311,17 @@ def compute_radius(problem: RadiusProblem, *, method: Method = "auto",
         the interval has two finite bounds and the seed is stateless, the
         per-bound solves fan out in parallel.  Results (including the
         diagnostics trail order) are identical to the serial path.
+    warm:
+        Optional :class:`~repro.core.solvers.warm.WarmStart` shared by a
+        family of solves that differ only in their bounds (a degradation
+        curve walking one problem through its operating points).  The
+        directional solvers replay memoised ray probes instead of
+        re-evaluating the mapping; results are bit-identical to cold
+        solves, which is why warm state never enters cache keys — a
+        warm-started solve records (and hits) the *same*
+        :class:`~repro.parallel.cache.RadiusCache` entry as its cold
+        twin.  A warm solve runs its bounds serially (the shared table
+        cannot cross process boundaries).
 
     Returns
     -------
@@ -319,7 +335,8 @@ def compute_radius(problem: RadiusProblem, *, method: Method = "auto",
     """
     with span("radius.solve", method=method, dim=problem.origin.size) as sp:
         result = _compute_radius_inner(problem, method=method, seed=seed,
-                                       cache=cache, executor=executor)
+                                       cache=cache, executor=executor,
+                                       warm=warm)
         if sp is not None:
             sp.tags["solver"] = result.method
             sp.tags["quality"] = result.quality.name
@@ -327,7 +344,7 @@ def compute_radius(problem: RadiusProblem, *, method: Method = "auto",
 
 
 def _compute_radius_inner(problem: RadiusProblem, *, method: Method,
-                          seed, cache, executor) -> RadiusResult:
+                          seed, cache, executor, warm=None) -> RadiusResult:
     cache = resolve_cache(cache)
     cache_key = None
     if cache is not None:
@@ -357,7 +374,8 @@ def _compute_radius_inner(problem: RadiusProblem, *, method: Method,
     trail: list[SolverAttempt] = []
     methods_used: list[str] = []
     fanned_out = None
-    if executor is not None and getattr(executor, "workers", 1) > 1 \
+    if warm is None and executor is not None \
+            and getattr(executor, "workers", 1) > 1 \
             and len(finite_bounds) > 1 \
             and not isinstance(seed, np.random.Generator):
         # Independent per-bound solves: each worker re-derives its solver
@@ -382,7 +400,7 @@ def _compute_radius_inner(problem: RadiusProblem, *, method: Method,
         else:
             with span("radius.bound", bound=float(b)) as sp:
                 crossing, used = _solve_one_bound(problem, b, method, seed,
-                                                  trail)
+                                                  trail, warm)
                 if sp is not None:
                     sp.tags["solver"] = used
                     sp.tags["found"] = crossing is not None

@@ -22,6 +22,7 @@ from repro.core.solvers.bisection import (
     solve_bisection_radius,
 )
 from repro.core.solvers.sampling import sampling_upper_bound
+from repro.core.solvers.warm import RayTable, WarmStart, is_ray_convex
 
 __all__ = [
     "solve_linear_radius",
@@ -30,4 +31,7 @@ __all__ = [
     "directional_crossing",
     "directional_crossings",
     "sampling_upper_bound",
+    "RayTable",
+    "WarmStart",
+    "is_ray_convex",
 ]

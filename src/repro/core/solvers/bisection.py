@@ -153,9 +153,9 @@ def directional_crossing(
     return float(brentq(h, t_lo, t_hi, xtol=xtol))
 
 
-def _batch_h(mapping: FeatureMapping, points: np.ndarray,
-             bound: float) -> tuple[np.ndarray, np.ndarray]:
-    """Evaluate ``f - bound`` for a batch of probe points.
+def _batch_values(mapping: FeatureMapping,
+                  points: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Evaluate raw ``f`` for a batch of probe points.
 
     Returns ``(values, in_domain)``.  The fast path is one
     ``mapping.value_many`` call (counted in the ``solver.batch_evals``
@@ -165,6 +165,12 @@ def _batch_h(mapping: FeatureMapping, points: np.ndarray,
     directions, so on such a failure the batch degrades to per-row
     scalar evaluation and marks the out-of-domain rows — preserving the
     scalar kernel's per-direction semantics exactly.
+
+    Callers subtract the bound themselves: the raw values are what the
+    warm-start :class:`~repro.core.solvers.warm.RayTable` memoises
+    (bound-independent), and ``(values - bound)[i]`` is elementwise
+    identical to ``values[i] - bound``, so cold and warm sign tests see
+    the same floats.
     """
     try:
         values = mapping.value_many(points)
@@ -179,10 +185,10 @@ def _batch_h(mapping: FeatureMapping, points: np.ndarray,
                 in_domain[i] = False
         get_metrics().inc("solver.batch_evals")
         get_metrics().inc("solver.batch_points", points.shape[0])
-        return values - bound, in_domain
+        return values, in_domain
     get_metrics().inc("solver.batch_evals")
     get_metrics().inc("solver.batch_points", points.shape[0])
-    return values - bound, np.ones(points.shape[0], dtype=bool)
+    return values, np.ones(points.shape[0], dtype=bool)
 
 
 def _directional_brackets(
@@ -195,6 +201,7 @@ def _directional_brackets(
     t_init: float,
     lower: np.ndarray | None,
     upper: np.ndarray | None,
+    table=None,
 ) -> tuple[float, list[tuple[int, float, float, float]]]:
     """Lock-step bracket expansion over rows of ``directions``.
 
@@ -207,12 +214,24 @@ def _directional_brackets(
     ``(t_lo, row)`` — the order the pruned refinement in
     :func:`solve_bisection_radius` consumes.  When ``h0 == 0.0`` the
     origin itself is on the boundary and no expansion runs.
+
+    With a bound :class:`~repro.core.solvers.warm.RayTable` in ``table``,
+    stored raw values replay the same expansion schedule without
+    re-evaluating the mapping (see :func:`_brackets_from_table`); fresh
+    probes are only spent where a ladder runs out, and are recorded for
+    the next bound.
     """
     m = directions.shape[0]
-    h0 = mapping.value(origin) - bound
+    if table is not None:
+        h0 = table.ensure_g0(mapping, origin) - bound
+    else:
+        h0 = mapping.value(origin) - bound
     if h0 == 0.0:
         return h0, []
     t_stop = _ray_exit_ts(origin, directions, lower, upper, t_max)
+    if table is not None:
+        return h0, _brackets_from_table(mapping, origin, directions, bound,
+                                        h0, t_stop, t_init, table)
     active = t_stop > 0.0
     t_lo = np.zeros(m)
     t_hi = np.minimum(t_init, t_stop)
@@ -221,7 +240,8 @@ def _directional_brackets(
     while np.any(active):
         rows = idx_all[active]
         points = origin + t_hi[rows, None] * directions[rows]
-        h_hi, in_domain = _batch_h(mapping, points, bound)
+        values, in_domain = _batch_values(mapping, points)
+        h_hi = values - bound
         # Out-of-domain probes end their rays exactly like the scalar
         # kernel's per-direction SpecificationError: no crossing.
         active[rows[~in_domain]] = False
@@ -239,6 +259,84 @@ def _directional_brackets(
         t_hi[still] = np.minimum(4.0 * t_hi[still], t_stop[still])
     brackets.sort(key=lambda b: (b[1], b[0]))
     return h0, brackets
+
+
+def _brackets_from_table(
+    mapping: FeatureMapping,
+    origin: np.ndarray,
+    directions: np.ndarray,
+    bound: float,
+    h0: float,
+    t_stop: np.ndarray,
+    t_init: float,
+    table,
+) -> list[tuple[int, float, float, float]]:
+    """Bracket location that replays a ray table before evaluating.
+
+    Walks each ray's canonical probe grid — ``t_1 = min(t_init, t_stop)``,
+    ``t_{k+1} = min(4 t_k, t_stop)`` — consuming stored raw values first.
+    The sign test ``h0 * (g - bound) <= 0.0`` sees the same floats as the
+    cold batch (which computes ``values - bound`` elementwise), and a
+    stored ``nan`` terminates the ray exactly like the cold kernel's
+    out-of-domain deactivation, so the located brackets are identical to
+    a cold run's.  Rays whose ladders run out advance together through
+    batched fresh probes, each recorded in the table for the next bound.
+    """
+    brackets: list[tuple[int, float, float, float]] = []
+    pending: list[int] = []
+    cursor_lo: dict[int, float] = {}
+    cursor_hi: dict[int, float] = {}
+    for row in range(directions.shape[0]):
+        stop = float(t_stop[row])
+        if not stop > 0.0:
+            continue
+        t_lo, t_hi = 0.0, min(t_init, stop)
+        ts, gs = table.ladder(row)
+        resolved = False
+        for g in gs:
+            if np.isnan(g):
+                # Terminal marker: the cold kernel deactivates the ray at
+                # an out-of-domain probe regardless of the bound.
+                resolved = True
+                break
+            h_hi = g - bound
+            if h0 * h_hi <= 0.0:
+                brackets.append((row, t_lo, t_hi, float(h_hi)))
+                resolved = True
+                break
+            if t_hi >= stop:
+                resolved = True
+                break
+            t_lo, t_hi = t_hi, min(4.0 * t_hi, stop)
+        if not resolved:
+            cursor_lo[row] = t_lo
+            cursor_hi[row] = t_hi
+            pending.append(row)
+    while pending:
+        rows = np.asarray(pending, dtype=np.intp)
+        probe_ts = np.asarray([cursor_hi[r] for r in pending])
+        points = origin + probe_ts[:, None] * directions[rows]
+        values, in_domain = _batch_values(mapping, points)
+        table.fresh_evals += 1
+        still: list[int] = []
+        for row, t_hi, g, ok in zip(pending, probe_ts, values, in_domain):
+            table.append(row, t_hi, g if ok else np.nan)
+            if not ok:
+                continue
+            h_hi = g - bound
+            if h0 * h_hi <= 0.0:
+                brackets.append((row, cursor_lo[row], float(t_hi),
+                                 float(h_hi)))
+                continue
+            stop = float(t_stop[row])
+            if t_hi >= stop:
+                continue
+            cursor_lo[row] = float(t_hi)
+            cursor_hi[row] = min(4.0 * float(t_hi), stop)
+            still.append(row)
+        pending = still
+    brackets.sort(key=lambda b: (b[1], b[0]))
+    return brackets
 
 
 def _refine_bracket(mapping: FeatureMapping, origin: np.ndarray,
@@ -267,6 +365,7 @@ def directional_crossings(
     lower: np.ndarray | None = None,
     upper: np.ndarray | None = None,
     xtol: float = 1e-12,
+    table=None,
 ) -> np.ndarray:
     """Batched :func:`directional_crossing` over rows of ``directions``.
 
@@ -274,7 +373,9 @@ def directional_crossings(
     :func:`_directional_brackets`), then refines every bracket with
     scalar Brent — the same call the scalar kernel makes on the same
     bracket, so the returned distances are bit-identical to calling
-    :func:`directional_crossing` per row.
+    :func:`directional_crossing` per row.  ``table`` optionally threads a
+    :class:`~repro.core.solvers.warm.RayTable` into the bracket location
+    (the caller is responsible for having bound it to this geometry).
 
     Returns
     -------
@@ -289,7 +390,8 @@ def directional_crossings(
         return out
     h0, brackets = _directional_brackets(mapping, origin, directions, bound,
                                          t_max=t_max, t_init=t_init,
-                                         lower=lower, upper=upper)
+                                         lower=lower, upper=upper,
+                                         table=table)
     if h0 == 0.0:
         out[:] = 0.0
         return out
@@ -297,6 +399,71 @@ def directional_crossings(
         out[row] = _refine_bracket(mapping, origin, directions[row], bound,
                                    lo, hi, h_hi, xtol)
     return out
+
+
+def _refine_with_certificate(
+    mapping: FeatureMapping,
+    origin: np.ndarray,
+    directions: np.ndarray,
+    bound: float,
+    brackets: list[tuple[int, float, float, float]],
+    hint: int | None,
+    xtol: float = 1e-12,
+) -> tuple[float, int]:
+    """Warm bracket refinement for convex mappings on the upper-bound side.
+
+    With ``h0 < 0`` and ``f`` ray-convex, each ray's ``h`` crosses zero
+    once and is strictly increasing past the crossing.  Refine the hinted
+    candidate bracket first (the previous operating point's argmin ray);
+    every other bracket is then either
+
+    * pruned outright when ``lo > t_cand`` (its crossing exceeds ``lo``),
+    * *certified* away by one probe at ``t_guard`` slightly beyond
+      ``t_cand``: ``h(t_guard) < 0`` proves the crossing lies beyond
+      ``t_guard > t_cand`` and cannot win, or
+    * refined with the same scalar Brent call the cold path makes.
+
+    The guard margin (``1e-9`` relative) dwarfs the Brent tolerance, so a
+    ray whose crossing *ties* the candidate (e.g. duplicated component
+    geometry under a max) sees ``h(t_guard) >= 0``, is force-refined, and
+    the final lexicographic ``(t, row)`` minimum matches the cold scan's
+    bit-for-bit.  Guard probes are off the canonical grid and are *not*
+    recorded in the ray table.
+    """
+    cand = brackets[0]
+    if hint is not None:
+        for b in brackets:
+            if b[0] == hint:
+                cand = b
+                break
+    t_cand = _refine_bracket(mapping, origin, directions[cand[0]], bound,
+                             cand[1], cand[2], cand[3], xtol)
+    best_t, best_row = t_cand, cand[0]
+    t_guard = t_cand + 1e-9 * (1.0 + t_cand)
+    must: list[tuple[int, float, float, float]] = []
+    guardable: list[tuple[int, float, float, float]] = []
+    for b in brackets:
+        if b is cand or b[1] > t_cand:
+            continue
+        (guardable if t_guard < b[2] else must).append(b)
+    certified = 0
+    if guardable:
+        rows = np.asarray([b[0] for b in guardable], dtype=np.intp)
+        points = origin + t_guard * directions[rows]
+        values, in_domain = _batch_values(mapping, points)
+        for b, g, ok in zip(guardable, values, in_domain):
+            if ok and g - bound < 0.0:
+                certified += 1
+            else:
+                must.append(b)
+    for row, lo, hi, h_hi in must:
+        t = _refine_bracket(mapping, origin, directions[row], bound,
+                            lo, hi, h_hi, xtol)
+        if t < best_t or (t == best_t and row < best_row):
+            best_t, best_row = t, row
+    if certified:
+        get_metrics().inc("solver.certified_brackets", certified)
+    return best_t, best_row
 
 
 def solve_bisection_radius(
@@ -312,6 +479,7 @@ def solve_bisection_radius(
     upper: np.ndarray | None = None,
     seed=None,
     batch: bool = True,
+    warm=None,
 ) -> BoundaryCrossing:
     """Upper-bound the radius by the best crossing over many directions.
 
@@ -325,6 +493,16 @@ def solve_bisection_radius(
     per step.  ``batch=False`` keeps the scalar reference kernel; the two
     produce bit-identical results (pinned by
     ``tests/core/test_solver_kernels.py``).
+
+    ``warm`` optionally carries a
+    :class:`~repro.core.solvers.warm.WarmStart` shared with neighbouring
+    solves of the same geometry (a sweep walking the bound): stored ray
+    values replay the bracket expansion without fresh evaluations, and
+    for ray-convex mappings on the upper-bound side the previous argmin
+    direction seeds a certified refinement that skips provably-losing
+    brackets.  Warm results are bit-identical to cold ones (pinned by
+    ``tests/core/test_warm_solvers.py``); ``batch=False`` ignores
+    ``warm``.
 
     Raises
     ------
@@ -354,14 +532,34 @@ def solve_bisection_radius(
 
     logger.debug("bisection search at level %g over %d directions",
                  bound, directions.shape[0])
+    table = None
+    if warm is not None and batch:
+        table = warm.table("bisection")
+        table.bind(origin, directions, lower, upper, t_max, 1e-3)
+        warm.warm_starts += 1
+        get_metrics().inc("solver.warm_starts")
     best_t = np.inf
     best_dir = None
     if batch:
+        fresh_before = table.fresh_evals if table is not None else 0
         h0, brackets = _directional_brackets(mapping, origin, directions,
                                              bound, t_max=t_max, t_init=1e-3,
-                                             lower=lower, upper=upper)
+                                             lower=lower, upper=upper,
+                                             table=table)
+        if table is not None and table.fresh_evals == fresh_before:
+            # Every bracket came straight out of the table: a warm hit.
+            warm.warm_hits += 1
+            get_metrics().inc("solver.warm_hits")
+        side = "upper" if h0 < 0.0 else "lower"
         if h0 == 0.0:
             best_t, best_dir = 0.0, directions[0]
+        elif (table is not None and brackets and h0 < 0.0
+                and warm.ray_convex(mapping)):
+            best_t, best_row = _refine_with_certificate(
+                mapping, origin, directions, bound, brackets,
+                warm.hints.get(side))
+            best_dir = directions[best_row]
+            warm.hints[side] = best_row
         else:
             # Refine in ascending (t_lo, row) order, skipping brackets that
             # can no longer win: Brent's result always lies inside its
@@ -384,6 +582,8 @@ def solve_bisection_radius(
                 get_metrics().inc("solver.pruned_brackets", pruned)
             if best_row >= 0:
                 best_dir = directions[best_row]
+                if warm is not None and batch:
+                    warm.hints[side] = best_row
     else:
         for d in directions:
             t = directional_crossing(mapping, origin, d, bound,

@@ -91,6 +91,7 @@ def solve_numeric_radius(
     constraint_tol: float = 1e-7,
     t_max: float = 1e6,
     seed=None,
+    warm=None,
 ) -> BoundaryCrossing:
     """Best boundary projection over a multistart SLSQP sweep.
 
@@ -112,6 +113,14 @@ def solve_numeric_radius(
         Bracket limit for the seeding pre-pass.
     seed:
         RNG seed for the multistart.
+    warm:
+        Optional :class:`~repro.core.solvers.warm.WarmStart` shared with
+        neighbouring solves of the same geometry.  Only the seeding
+        pre-pass consumes it (its ray table replays bracket expansion
+        without fresh evaluations, so the crossing seeds — and through
+        them the multistart — come from the previous operating point);
+        the SLSQP start schedule and RNG stream are untouched, keeping
+        warm results bit-identical to cold ones.
 
     Returns
     -------
@@ -140,8 +149,19 @@ def solve_numeric_radius(
     crossings: list[BoundaryCrossing] = []
     dirs = np.vstack([np.eye(n), -np.eye(n),
                       sample_on_sphere(rng, n_seed_directions, n)])
+    table = None
+    if warm is not None:
+        table = warm.table("numeric")
+        table.bind(origin, dirs, lower, upper, t_max, 1e-3)
+        warm.warm_starts += 1
+        get_metrics().inc("solver.warm_starts")
+        fresh_before = table.fresh_evals
     ts = directional_crossings(mapping, origin, dirs, bound,
-                               t_max=t_max, lower=lower, upper=upper)
+                               t_max=t_max, lower=lower, upper=upper,
+                               table=table)
+    if table is not None and table.fresh_evals == fresh_before:
+        warm.warm_hits += 1
+        get_metrics().inc("solver.warm_hits")
     for d, t in zip(dirs, ts):
         if not np.isnan(t):
             pt = origin + float(t) * d

@@ -43,6 +43,8 @@ __all__ = [
     "SOLVER_BENCH_SCHEMA",
     "LAB_SCHEMA",
     "LAB_BENCH_SCHEMA",
+    "CURVE_SCHEMA",
+    "SWEEP_BENCH_SCHEMA",
     "run_parallel_benchmark",
     "validate_bench_payload",
     "write_benchmark",
@@ -63,6 +65,12 @@ SOLVER_BENCH_SCHEMA = "repro-bench-solvers-v1"
 LAB_SCHEMA = "repro-lab-v1"
 #: Payloads of :func:`repro.scenarios.bench.run_lab_benchmark`.
 LAB_BENCH_SCHEMA = "repro-bench-lab-v1"
+#: Artifacts of the CLI's ``repro curve`` — a degradation curve's operating
+#: points and warm-start counters; like :data:`LAB_SCHEMA` it is free of
+#: timing/worker fields so the artifact is byte-stable per seed.
+CURVE_SCHEMA = "repro-curve-v1"
+#: Payloads of :func:`repro.analysis.sweep_bench.run_sweep_benchmark`.
+SWEEP_BENCH_SCHEMA = "repro-bench-sweep-v1"
 
 
 def _canonical(results) -> str:
@@ -163,7 +171,8 @@ def run_parallel_benchmark(
     return payload
 
 
-_CACHE_FIELDS = ("hits", "misses", "skips", "entries", "hit_rate")
+_CACHE_FIELDS = ("hits", "misses", "skips", "evictions", "entries",
+                 "hit_rate")
 _EXECUTOR_FIELDS = ("workers", "dispatched", "fallbacks")
 _SUPERVISOR_FIELDS = ("retries", "quarantined", "pool_breaks", "respawns")
 _CHAOS_RATE_FIELDS = ("kill_rate", "exception_rate", "latency_rate",
@@ -415,6 +424,68 @@ def _validate_lab_bench_payload(problems: list[str], payload: dict) -> None:
             _check_number(problems, executor, field, "executor.")
 
 
+def _validate_curve_payload(problems: list[str], payload: dict) -> None:
+    """The ``repro-curve-v1`` artifact: a degradation curve's points.
+
+    Like ``repro-lab-v1`` it carries derived values only — no timing or
+    worker fields — so ``repro curve --seed S`` is byte-identical across
+    machines and worker counts.
+    """
+    _check_number(problems, payload, "seed", "")
+    for field in ("system", "feature"):
+        if not isinstance(payload.get(field), str) or not payload.get(field):
+            problems.append(f"{field!r} must be a non-empty string, "
+                            f"got {payload.get(field)!r}")
+    _check_number(problems, payload, "points", "", minimum=1)
+    curve = payload.get("curve")
+    if not isinstance(curve, list) or not curve:
+        problems.append(f"'curve' must be a non-empty list, got {curve!r}")
+    else:
+        for i, entry in enumerate(curve):
+            where = f"curve[{i}]."
+            if not isinstance(entry, dict):
+                problems.append(f"curve[{i}] must be a dict, got {entry!r}")
+                continue
+            _check_number(problems, entry, "beta", where, minimum=1)
+            _check_optional_number(problems, entry, "rho", where)
+            if not isinstance(entry.get("feasible"), bool):
+                problems.append(f"{where}'feasible' must be a bool, "
+                                f"got {entry.get('feasible')!r}")
+            critical = entry.get("critical")
+            if critical is not None and (not isinstance(critical, str)
+                                         or not critical):
+                problems.append(f"{where}'critical' must be null or a "
+                                f"non-empty string, got {critical!r}")
+    stats = payload.get("stats")
+    if not isinstance(stats, dict):
+        problems.append(f"'stats' must be a dict, got {stats!r}")
+    else:
+        for field in ("feasible", "families", "warm_starts", "warm_hits",
+                      "solves"):
+            _check_number(problems, stats, field, "stats.")
+    for forbidden in ("workers", "cold_seconds", "warm_seconds"):
+        if forbidden in payload:
+            problems.append(
+                f"{forbidden!r} must not appear in a {CURVE_SCHEMA} artifact "
+                "(it would break the byte-identity contract)")
+
+
+def _validate_sweep_bench_payload(problems: list[str], payload: dict) -> None:
+    _check_number(problems, payload, "seed", "")
+    _check_number(problems, payload, "points", "", minimum=2)
+    _check_number(problems, payload, "tasks", "", minimum=1)
+    _check_number(problems, payload, "machines", "", minimum=1)
+    for field in ("beta_lo", "beta_hi"):
+        _check_number(problems, payload, field, "", minimum=1)
+    for field in ("cold_seconds", "warm_seconds", "speedup",
+                  "cold_evals", "warm_evals", "eval_reduction",
+                  "warm_starts", "warm_hits", "rho_first", "rho_last"):
+        _check_number(problems, payload, field, "")
+    if not isinstance(payload.get("identical"), bool):
+        problems.append(f"'identical' must be a bool, "
+                        f"got {payload.get('identical')!r}")
+
+
 def validate_bench_payload(payload) -> dict:
     """Check a benchmark payload against its declared schema.
 
@@ -423,14 +494,18 @@ def validate_bench_payload(payload) -> dict:
     (:func:`repro.resilience.chaos.run_chaos_benchmark`),
     ``repro-bench-solvers-v1``
     (:func:`repro.core.solvers.bench.run_solver_kernel_benchmark`),
-    ``repro-lab-v1`` (:func:`repro.scenarios.lab.run_lab`), and
+    ``repro-lab-v1`` (:func:`repro.scenarios.lab.run_lab`),
     ``repro-bench-lab-v1``
-    (:func:`repro.scenarios.bench.run_lab_benchmark`) are accepted.
-    Returns the payload unchanged when valid; raises
+    (:func:`repro.scenarios.bench.run_lab_benchmark`),
+    ``repro-curve-v1`` (the CLI's ``repro curve`` artifact), and
+    ``repro-bench-sweep-v1``
+    (:func:`repro.analysis.sweep_bench.run_sweep_benchmark`) are
+    accepted.  Returns the payload unchanged when valid; raises
     :class:`~repro.exceptions.SpecificationError` listing every problem
     found otherwise.  CI runs this against the freshly emitted
     ``BENCH_parallel.json`` / ``BENCH_chaos.json`` / ``BENCH_solvers.json``
-    / ``LAB.json`` so schema drift fails loudly.
+    / ``LAB.json`` / ``CURVE.json`` / ``BENCH_sweep.json`` so schema
+    drift fails loudly.
     """
     if not isinstance(payload, dict):
         raise SpecificationError(
@@ -447,10 +522,15 @@ def validate_bench_payload(payload) -> dict:
         _validate_lab_payload(problems, payload)
     elif schema == LAB_BENCH_SCHEMA:
         _validate_lab_bench_payload(problems, payload)
+    elif schema == CURVE_SCHEMA:
+        _validate_curve_payload(problems, payload)
+    elif schema == SWEEP_BENCH_SCHEMA:
+        _validate_sweep_bench_payload(problems, payload)
     else:
         problems.append(f"'schema' must be {BENCH_SCHEMA!r}, "
                         f"{CHAOS_BENCH_SCHEMA!r}, {SOLVER_BENCH_SCHEMA!r}, "
-                        f"{LAB_SCHEMA!r} or {LAB_BENCH_SCHEMA!r}, "
+                        f"{LAB_SCHEMA!r}, {LAB_BENCH_SCHEMA!r}, "
+                        f"{CURVE_SCHEMA!r} or {SWEEP_BENCH_SCHEMA!r}, "
                         f"got {schema!r}")
     if problems:
         raise SpecificationError(

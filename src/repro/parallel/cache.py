@@ -128,6 +128,8 @@ class RadiusCache:
         #: Lookups that could not be fingerprinted (callable mappings,
         #: stateful Generator seeds) and therefore bypassed the cache.
         self.skips = 0
+        #: Entries dropped to make room under ``max_entries``.
+        self.evictions = 0
 
     # ------------------------------------------------------------------
     # fingerprinting
@@ -200,6 +202,7 @@ class RadiusCache:
                     and len(self._store) >= self.max_entries:
                 evicted = next(iter(self._store))
                 self._store.pop(evicted)
+                self.evictions += 1
             self._store[key] = result
         if evicted is not None:
             get_metrics().inc("cache.evictions")
@@ -209,13 +212,13 @@ class RadiusCache:
         """Drop every entry and reset the counters."""
         with self._lock:
             self._store.clear()
-            self.hits = self.misses = self.skips = 0
+            self.hits = self.misses = self.skips = self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._store)
 
     def stats(self) -> dict:
-        """Hit/miss/skip counters for diagnostics and benchmark payloads.
+        """Hit/miss/skip/eviction counters for diagnostics and payloads.
 
         Returns an immutable *snapshot* taken under the lock: a fresh
         dict of plain values decoupled from the live cache, so callers
@@ -230,6 +233,7 @@ class RadiusCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "skips": self.skips,
+                "evictions": self.evictions,
                 "entries": len(self._store),
                 "hit_rate": (self.hits / total) if total else 0.0,
             }
@@ -237,7 +241,8 @@ class RadiusCache:
     def __repr__(self) -> str:
         s = self.stats()
         return (f"RadiusCache(entries={s['entries']}, hits={s['hits']}, "
-                f"misses={s['misses']}, skips={s['skips']})")
+                f"misses={s['misses']}, skips={s['skips']}, "
+                f"evictions={s['evictions']})")
 
 
 # ----------------------------------------------------------------------

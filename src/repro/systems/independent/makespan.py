@@ -32,7 +32,7 @@ import numpy as np
 
 from repro.core.features import PerformanceFeature, ToleranceBounds
 from repro.core.fepia import FeatureSpec, RobustnessAnalysis
-from repro.core.mappings import LinearMapping
+from repro.core.mappings import LinearMapping, MaxMapping
 from repro.core.perturbation import PerturbationParameter
 from repro.core.weighting import IdentityWeighting, WeightingScheme
 from repro.exceptions import SpecificationError
@@ -169,6 +169,57 @@ class MakespanSystem:
         if not specs:
             raise SpecificationError("no machine has any load; nothing to bound")
         return specs
+
+    def makespan_spec(self, beta: float | None = None,
+                      *, tau: float | None = None,
+                      include_background: bool = False) -> FeatureSpec:
+        """The makespan itself as a single max-of-finish-times feature.
+
+        Where :meth:`finish_time_specs` bounds each machine separately,
+        this folds them into one :class:`~repro.core.mappings.MaxMapping`
+        feature ``max_j F_j <= tau`` — the natural substrate for
+        degradation curves (one feature, one curve) and for exercising
+        the piecewise-linear solver paths on a real system.
+        """
+        tau = self._resolve_tau(beta, tau)
+        components = [spec.mapping for spec in self.finish_time_specs(
+            tau=tau, include_background=include_background)]
+        feature = PerformanceFeature(
+            name="makespan",
+            bounds=ToleranceBounds.upper(tau),
+            unit="s",
+            description="max machine finish time")
+        return FeatureSpec(feature, MaxMapping(components))
+
+    def makespan_analysis(
+        self,
+        beta: float | None = None,
+        *,
+        tau: float | None = None,
+        weighting: WeightingScheme | None = None,
+        include_background: bool = False,
+        respect_physical_bounds: bool = False,
+        method: str = "auto",
+        norm: float = 2,
+        seed=None,
+    ) -> RobustnessAnalysis:
+        """FePIA analysis over the single max-feature :meth:`makespan_spec`.
+
+        Same knobs as :meth:`robustness_analysis` plus ``method`` (the
+        max mapping is not analytic, so the solver choice matters; the
+        CLI's curve benchmark forces ``"bisection"``).
+        """
+        params = [self.execution_time_parameter()]
+        if include_background:
+            params.append(self.background_parameter())
+        if weighting is None:
+            weighting = IdentityWeighting()
+        spec = self.makespan_spec(beta, tau=tau,
+                                  include_background=include_background)
+        return RobustnessAnalysis(
+            [spec], params, weighting=weighting,
+            respect_physical_bounds=respect_physical_bounds,
+            method=method, norm=norm, seed=seed)
 
     def _resolve_tau(self, beta: float | None, tau: float | None) -> float:
         """Validate and resolve the (beta | tau) makespan-limit choice."""

@@ -1,8 +1,10 @@
 """Tests for the rho-vs-beta requirement sweep (E11)."""
 
+import math
+
 import pytest
 
-from repro.analysis.requirement_sweep import requirement_sweep
+from repro.analysis.requirement_sweep import _growth_factor, requirement_sweep
 from repro.exceptions import SpecificationError
 
 
@@ -42,3 +44,50 @@ class TestRequirementSweep:
             requirement_sweep([1.0], [1.0], betas=(1.0, 2.0))
         with pytest.raises(SpecificationError):
             requirement_sweep([1.0], [1.0], betas=())
+
+
+class TestSingleElementSweep:
+    """Regression: a one-point sweep used to crash building the plot."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return requirement_sweep([2.0, 3.0, 0.5], [4.0, 2.0, 10.0],
+                                 betas=(1.5,))
+
+    def test_table_only_output(self, result):
+        assert len(result.rows) == 1
+        assert result.rows[0][0] == 1.5
+        assert "plot" not in result.summary
+
+    def test_values_match_multi_point_sweep(self, result):
+        multi = requirement_sweep([2.0, 3.0, 0.5], [4.0, 2.0, 10.0],
+                                  betas=(1.5, 2.0))
+        assert result.rows[0] == multi.rows[0]
+
+    def test_growth_factor_degenerates_to_one(self, result):
+        factor = result.summary["normalized growth factor over the sweep"]
+        assert factor == 1.0
+
+
+class TestGrowthFactorGuard:
+    """Regression: a zero or non-finite endpoint used to put inf/nan
+    (or a ZeroDivisionError) into the summary."""
+
+    def test_normal_ratio(self):
+        assert _growth_factor([2.0, 3.0, 8.0]) == 4.0
+
+    def test_zero_first_value(self):
+        assert _growth_factor([0.0, 5.0]) \
+            == "undefined (degenerate curve endpoint)"
+
+    def test_non_finite_endpoints(self):
+        inf, nan = float("inf"), float("nan")
+        for values in ([inf, 2.0], [2.0, inf], [nan, 2.0], [2.0, nan]):
+            assert _growth_factor(values) \
+                == "undefined (degenerate curve endpoint)"
+
+    def test_summary_is_finite_for_regular_sweeps(self):
+        result = requirement_sweep([2.0, 3.0, 0.5], [4.0, 2.0, 10.0],
+                                   betas=(1.1, 2.0))
+        factor = result.summary["normalized growth factor over the sweep"]
+        assert isinstance(factor, float) and math.isfinite(factor)

@@ -10,6 +10,8 @@ from repro.exceptions import SpecificationError
 from repro.parallel.bench import (
     BENCH_SCHEMA,
     CHAOS_BENCH_SCHEMA,
+    CURVE_SCHEMA,
+    SWEEP_BENCH_SCHEMA,
     run_parallel_benchmark,
     validate_bench_payload,
     write_benchmark,
@@ -28,8 +30,8 @@ def _good_payload() -> dict:
         "identical": True,
         "executor": {"workers": 2, "dispatched": 2, "fallbacks": 0,
                      "last_fallback_reason": None},
-        "cache": {"hits": 3, "misses": 5, "skips": 0, "entries": 5,
-                  "hit_rate": 0.375},
+        "cache": {"hits": 3, "misses": 5, "skips": 0, "evictions": 0,
+                  "entries": 5, "hit_rate": 0.375},
     }
 
 
@@ -238,3 +240,132 @@ class TestObservabilityPayloadKey:
         assert "observability" not in untraced
         # and tracing never changes the measured numbers' identity verdict
         assert payload["identical"] and untraced["identical"]
+
+
+def _good_curve_payload() -> dict:
+    return {
+        "schema": CURVE_SCHEMA,
+        "seed": 2005,
+        "system": "makespan/MCT gamma ETC 24x6",
+        "feature": "makespan",
+        "points": 2,
+        "curve": [
+            {"beta": 1.05, "rho": 1.25, "feasible": True,
+             "critical": "makespan"},
+            {"beta": 2.0, "rho": None, "feasible": False, "critical": None},
+        ],
+        "stats": {"feasible": 1, "families": 1, "warm_starts": 1,
+                  "warm_hits": 0, "solves": 1},
+    }
+
+
+def _good_sweep_payload() -> dict:
+    return {
+        "schema": SWEEP_BENCH_SCHEMA,
+        "seed": 2005,
+        "points": 100,
+        "tasks": 32,
+        "machines": 8,
+        "beta_lo": 1.05,
+        "beta_hi": 2.0,
+        "cold_seconds": 2.0,
+        "warm_seconds": 1.0,
+        "speedup": 2.0,
+        "cold_evals": 3000,
+        "warm_evals": 200,
+        "eval_reduction": 15.0,
+        "warm_starts": 100,
+        "warm_hits": 27,
+        "rho_first": 1.2,
+        "rho_last": 24.5,
+        "identical": True,
+    }
+
+
+class TestValidateCurvePayload:
+    def test_accepts_good_payload(self):
+        payload = _good_curve_payload()
+        assert validate_bench_payload(payload) is payload
+
+    @pytest.mark.parametrize("field", ["system", "feature"])
+    def test_rejects_empty_strings(self, field):
+        payload = _good_curve_payload()
+        payload[field] = ""
+        with pytest.raises(SpecificationError, match=field):
+            validate_bench_payload(payload)
+
+    def test_rejects_empty_curve(self):
+        payload = _good_curve_payload()
+        payload["curve"] = []
+        with pytest.raises(SpecificationError, match="'curve'"):
+            validate_bench_payload(payload)
+
+    def test_rejects_bad_point(self):
+        payload = _good_curve_payload()
+        payload["curve"][0]["beta"] = 0.5
+        with pytest.raises(SpecificationError, match=r"curve\[0\]"):
+            validate_bench_payload(payload)
+        payload = _good_curve_payload()
+        payload["curve"][1]["feasible"] = "no"
+        with pytest.raises(SpecificationError, match="feasible"):
+            validate_bench_payload(payload)
+        payload = _good_curve_payload()
+        payload["curve"][0]["critical"] = ""
+        with pytest.raises(SpecificationError, match="critical"):
+            validate_bench_payload(payload)
+
+    @pytest.mark.parametrize("field", ["warm_starts", "warm_hits", "solves"])
+    def test_rejects_missing_stat(self, field):
+        payload = _good_curve_payload()
+        del payload["stats"][field]
+        with pytest.raises(SpecificationError, match=field):
+            validate_bench_payload(payload)
+
+    @pytest.mark.parametrize("field",
+                             ["workers", "cold_seconds", "warm_seconds"])
+    def test_rejects_timing_and_worker_fields(self, field):
+        # The curve artifact is byte-stable across machines and worker
+        # counts; any timing field would break that contract.
+        payload = _good_curve_payload()
+        payload[field] = 1
+        with pytest.raises(SpecificationError, match="byte-identity"):
+            validate_bench_payload(payload)
+
+    def test_write_benchmark_accepts_curve_payload(self, tmp_path):
+        out = tmp_path / "CURVE.json"
+        write_benchmark(_good_curve_payload(), out)
+        assert json.loads(out.read_text()) == _good_curve_payload()
+
+
+class TestValidateSweepBenchPayload:
+    def test_accepts_good_payload(self):
+        payload = _good_sweep_payload()
+        assert validate_bench_payload(payload) is payload
+
+    def test_rejects_single_point_sweep(self):
+        payload = _good_sweep_payload()
+        payload["points"] = 1
+        with pytest.raises(SpecificationError, match="points"):
+            validate_bench_payload(payload)
+
+    @pytest.mark.parametrize("field", ["cold_seconds", "eval_reduction",
+                                       "warm_hits", "rho_first"])
+    def test_rejects_missing_measurement(self, field):
+        payload = _good_sweep_payload()
+        del payload[field]
+        with pytest.raises(SpecificationError, match=field):
+            validate_bench_payload(payload)
+
+    def test_rejects_non_bool_identical(self):
+        payload = _good_sweep_payload()
+        payload["identical"] = 1
+        with pytest.raises(SpecificationError, match="identical"):
+            validate_bench_payload(payload)
+
+    def test_unknown_schema_error_names_new_schemas(self):
+        payload = _good_sweep_payload()
+        payload["schema"] = "repro-bench-v0"
+        with pytest.raises(SpecificationError) as excinfo:
+            validate_bench_payload(payload)
+        assert CURVE_SCHEMA in str(excinfo.value)
+        assert SWEEP_BENCH_SCHEMA in str(excinfo.value)

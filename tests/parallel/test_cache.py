@@ -143,19 +143,41 @@ class TestStorage:
         assert cache.get(keys[0]) is None  # oldest evicted
         assert cache.get(keys[2]) is result
 
+    def test_eviction_counter(self):
+        cache = RadiusCache(max_entries=2)
+        result = compute_radius(_problem(), cache=False)
+        keys = [cache.key(_problem(origin=(2.0 + i, 3.0))) for i in range(5)]
+        assert cache.stats()["evictions"] == 0
+        for key in keys:
+            cache.put(key, result)
+        assert cache.stats()["evictions"] == 3
+        # Re-putting a resident key does not evict.
+        cache.put(keys[-1], result)
+        assert cache.stats()["evictions"] == 3
+
+    def test_unbounded_cache_never_evicts(self):
+        cache = RadiusCache()
+        result = compute_radius(_problem(), cache=False)
+        for i in range(10):
+            cache.put(cache.key(_problem(origin=(2.0 + i, 3.0))), result)
+        assert cache.stats()["evictions"] == 0
+
     def test_max_entries_validation(self):
         with pytest.raises(SpecificationError):
             RadiusCache(max_entries=0)
 
     def test_clear_resets_everything(self):
-        cache = RadiusCache()
-        key = cache.key(_problem())
-        cache.put(key, compute_radius(_problem(), cache=False))
+        cache = RadiusCache(max_entries=1)
+        result = compute_radius(_problem(), cache=False)
+        for i in range(2):
+            key = cache.key(_problem(origin=(2.0 + i, 3.0)))
+            cache.put(key, result)
         cache.get(key)
         cache.clear()
         assert len(cache) == 0
         assert cache.stats() == {"hits": 0, "misses": 0, "skips": 0,
-                                 "entries": 0, "hit_rate": 0.0}
+                                 "evictions": 0, "entries": 0,
+                                 "hit_rate": 0.0}
 
 
 class TestDefaultCache:
@@ -186,7 +208,8 @@ class TestDefaultCache:
         cache = install_default_cache()
         compute_radius(_problem(), cache=False)
         assert cache.stats() == {"hits": 0, "misses": 0, "skips": 0,
-                                 "entries": 0, "hit_rate": 0.0}
+                                 "evictions": 0, "entries": 0,
+                                 "hit_rate": 0.0}
 
     def test_cached_result_is_numerically_identical(self):
         install_default_cache()
