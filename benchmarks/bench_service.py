@@ -1,0 +1,40 @@
+"""Radius service — persistent pool vs per-call pools vs serial.
+
+Replays one seeded stream of radius requests through the three serving
+architectures (:func:`repro.service.bench.run_service_benchmark`),
+asserts the determinism contract (bit-identical results on all three
+paths) and the headline claim of the serving layer — the persistent
+service beats building a pool per call by at least 1.5× — and writes
+the stable ``repro-bench-service-v1`` payload to
+``benchmarks/results/BENCH_service.json`` so the speedup can be tracked
+across commits.  CI runs the same harness at tiny scale through
+``python -m repro bench-service``.
+"""
+
+import json
+import pathlib
+
+from repro.parallel.bench import validate_bench_payload, write_benchmark
+from repro.service import assert_no_leaked_segments
+from repro.service.bench import run_service_benchmark
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def test_service_benchmark(benchmark, show):
+    payload = benchmark.pedantic(
+        lambda: run_service_benchmark(workers=2, requests=10,
+                                      problems_per_request=8),
+        rounds=1, iterations=1)
+    validate_bench_payload(payload)
+    assert_no_leaked_segments()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    write_benchmark(payload, RESULTS_DIR / "BENCH_service.json")
+    show(json.dumps(payload, indent=2))
+    assert payload["identical"], "service results diverged from serial"
+    assert payload["service"]["shed"] == 0
+    assert payload["service"]["completed"] == payload["requests"]
+    # the point of the persistent pool: most requests reuse warm workers
+    assert payload["executor"]["pool_reuses"] >= payload["requests"] - 1
+    assert payload["speedup"] >= 1.5, (
+        f"service only {payload['speedup']:.2f}x of the per-call pool")

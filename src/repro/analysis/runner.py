@@ -15,7 +15,7 @@ from typing import Callable, Mapping, Sequence
 from repro.analysis.experiments import ExperimentResult
 from repro.exceptions import SpecificationError
 from repro.observability import span
-from repro.parallel.executor import Task, executor_scope
+from repro.parallel.executor import Task, shared_executor
 from repro.resilience.checkpoint import run_checkpointed
 
 __all__ = ["EXPERIMENT_REGISTRY", "run_experiment", "run_all_experiments"]
@@ -161,10 +161,14 @@ def run_all_experiments(
         Every experiment seeds itself from the master ``seed``
         independently, so the results are bit-identical to a serial run;
         checkpoints written under either mode resume under the other.
+        The worker pool comes from
+        :func:`~repro.parallel.executor.shared_executor` — repeated
+        sweeps in one process reuse a single warm pool instead of paying
+        process spawning per call.
     executor:
         Explicit :class:`~repro.parallel.executor.ParallelExecutor` to
-        use instead of creating one from ``workers`` (the caller keeps
-        ownership and must close it).
+        use instead of the shared one (the caller keeps ownership and
+        must close it).
     """
     from repro.io.serialize import from_dict, to_dict
 
@@ -181,7 +185,12 @@ def run_all_experiments(
              for eid in ids]
     meta = {"kind": "experiment-sweep", "seed": int(seed),
             "ids": list(ids)}
-    with executor_scope(executor, workers) as pool:
-        return run_checkpointed(
-            items, path=checkpoint_path, meta=meta, every=checkpoint_every,
-            resume=resume, encode=to_dict, decode=from_dict, executor=pool)
+    if executor is not None:
+        pool = executor
+    elif workers > 1:
+        pool = shared_executor(workers)
+    else:
+        pool = None
+    return run_checkpointed(
+        items, path=checkpoint_path, meta=meta, every=checkpoint_every,
+        resume=resume, encode=to_dict, decode=from_dict, executor=pool)

@@ -197,6 +197,37 @@ def build_parser() -> argparse.ArgumentParser:
                      help="benchmark payload destination "
                           "(default BENCH_sweep.json)")
 
+    srv = sub.add_parser("serve",
+                         help="run the radius service against a seeded "
+                              "request stream and report service stats "
+                              "(soak/smoke harness; no network layer)")
+    srv.add_argument("--requests", type=int, default=10, metavar="N",
+                     help="requests in the seeded stream (default 10)")
+    srv.add_argument("--problems-per-request", type=int, default=8,
+                     metavar="N",
+                     help="radius problems per request (default 8)")
+    srv.add_argument("--queue-limit", type=int, default=32, metavar="N",
+                     help="bounded request queue size (default 32)")
+    srv.add_argument("--local-cache", action="store_true",
+                     help="use an in-process RadiusCache instead of the "
+                          "cross-process SharedRadiusCache")
+    srv.add_argument("--repeat", type=int, default=2, metavar="N",
+                     help="times the stream is replayed (default 2; "
+                          "replays exercise the shared cache)")
+
+    bsv = sub.add_parser("bench-service",
+                         help="time per-call pools vs the persistent "
+                              "radius service on a seeded request stream "
+                              "and write a JSON benchmark payload")
+    bsv.add_argument("--requests", type=int, default=10, metavar="N",
+                     help="requests in the seeded stream (default 10)")
+    bsv.add_argument("--problems-per-request", type=int, default=8,
+                     metavar="N",
+                     help="radius problems per request (default 8)")
+    bsv.add_argument("--out", default="BENCH_service.json", metavar="PATH",
+                     help="benchmark payload destination "
+                          "(default BENCH_service.json)")
+
     cha = sub.add_parser("chaos",
                          help="replay a seeded chaos schedule against the "
                               "experiment sweep, verify bit-identical "
@@ -593,6 +624,74 @@ def _cmd_bench_sweep(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_serve(args) -> int:
+    from repro.core.radius import compute_radii
+    from repro.service import RadiusService, ServiceConfig
+    from repro.service.bench import _canonical, build_workload
+
+    workload = build_workload(
+        seed=args.seed, requests=args.requests,
+        problems_per_request=args.problems_per_request)
+    solve_seed = args.seed + 1
+    config = ServiceConfig(
+        queue_limit=args.queue_limit,
+        cache="local" if args.local_cache else "shared")
+    identical = True
+    with RadiusService(args.workers, config=config,
+                       seed=args.seed) as service:
+        for round_no in range(1, args.repeat + 1):
+            tickets = [service.submit(batch, seed=solve_seed)
+                       for batch in workload]
+            gathered = service.gather(tickets)
+            flat = [r for leg in gathered for r in leg]
+            want = [r for batch in workload
+                    for r in compute_radii(batch, seed=solve_seed,
+                                           cache=False)]
+            round_identical = _canonical(flat) == _canonical(want)
+            identical = identical and round_identical
+            print(f"round {round_no}: {len(tickets)} request(s), "
+                  f"{len(flat)} radii, identical to library path: "
+                  f"{round_identical}")
+        stats = service.stats()
+    print(f"service: {stats['completed']} completed, {stats['shed']} shed, "
+          f"{stats['failed']} failed "
+          f"(queue limit {stats['queue_limit']}, admission breaker "
+          f"{stats['admission']['state']})")
+    ex = stats["executor"]
+    print(f"executor: {ex['workers']} workers, {ex['dispatched']} "
+          f"dispatched, {ex['pool_reuses']} pool reuses, "
+          f"{ex['quarantined']} quarantined")
+    if stats["cache"] is not None:
+        print(f"cache: {stats['cache']}")
+    print(f"identical results: {identical}")
+    return 0 if identical else 1
+
+
+def _cmd_bench_service(args) -> int:
+    from repro.parallel.bench import write_benchmark
+    from repro.service.bench import run_service_benchmark
+
+    # --workers 1 (the global default) would serve in-process; a service
+    # exists to own a pool, so use every core unless told otherwise.
+    workers = args.workers if args.workers > 1 else None
+    payload = run_service_benchmark(
+        workers=workers, seed=args.seed, requests=args.requests,
+        problems_per_request=args.problems_per_request)
+    write_benchmark(payload, args.out)
+    print(f"serial        {payload['serial_seconds']:.4f}s")
+    print(f"per-call pool {payload['per_call_seconds']:.4f}s "
+          f"({payload['workers']} workers/call)")
+    print(f"service       {payload['service_seconds']:.4f}s "
+          f"({payload['speedup']:.2f}x vs per-call)")
+    ex = payload["executor"]
+    print(f"pool reuses: {ex['pool_reuses']}, dispatched: "
+          f"{ex['dispatched']}, quarantined: {ex['quarantined']}")
+    print(f"identical results: {payload['identical']}")
+    print(f"written to {args.out}")
+    ok = payload["identical"] and payload["speedup"] >= 1.5
+    return 0 if ok else 1
+
+
 def _cmd_chaos(args) -> int:
     from repro.parallel.bench import write_benchmark
     from repro.resilience.chaos import ChaosPolicy, run_chaos_benchmark
@@ -752,6 +851,8 @@ _COMMANDS = {
     "bench-solvers": _cmd_bench_solvers,
     "curve": _cmd_curve,
     "bench-sweep": _cmd_bench_sweep,
+    "serve": _cmd_serve,
+    "bench-service": _cmd_bench_service,
     "chaos": _cmd_chaos,
     "lab": _cmd_lab,
     "topology": _cmd_topology,

@@ -113,6 +113,11 @@ class RobustnessAnalysis:
     executor:
         An explicit :class:`~repro.parallel.executor.ParallelExecutor`
         to reuse (overrides ``workers``); the caller owns its lifetime.
+    service:
+        A running :class:`~repro.service.RadiusService` to route every
+        batched radius solve through (overrides ``executor`` and
+        ``workers`` for those solves; the caller owns its lifetime).
+        Results stay bit-identical to the in-process path.
     radius_cache:
         A :class:`~repro.parallel.cache.RadiusCache` consulted before
         every radius solve, ``None`` to defer to the installed default
@@ -133,6 +138,7 @@ class RobustnessAnalysis:
         cascade=None,
         workers: int = 1,
         executor: ParallelExecutor | None = None,
+        service=None,
         radius_cache=None,
     ) -> None:
         self.features = list(features)
@@ -162,6 +168,7 @@ class RobustnessAnalysis:
         if executor is None and workers > 1:
             executor = ParallelExecutor(workers)
         self.executor = executor
+        self.service = service
         self.radius_cache = radius_cache
 
         self._dim = sum(p.dimension for p in self.params)
@@ -188,8 +195,8 @@ class RobustnessAnalysis:
 
         Everything else — parameters, weighting, solver configuration,
         norm, seed, cascade, and the radius cache — is shared with this
-        analysis; the executor is *not* (the clone solves serially unless
-        the caller wires its own).  This is the operating-point move of a
+        analysis; the executor and service are *not* (the clone solves
+        serially unless the caller wires its own).  This is the operating-point move of a
         degradation curve: walking the requirement ``beta`` only moves
         the boundary level sets, so sibling analyses share every mapping
         and origin and their solves can warm-start each other (see
@@ -253,9 +260,12 @@ class RobustnessAnalysis:
         solver structure, and each group ships as a single task — so
         sweeps revisiting operating points skip the dispatch entirely
         and fresh solves amortise the pickling of the shared mapping.
+        With a :class:`~repro.service.RadiusService` wired, the batch is
+        submitted there instead (same results, persistent pool).
         """
         return compute_radii(problems, method=self.method, seed=self.seed,
-                             cache=self.radius_cache, executor=self.executor)
+                             cache=self.radius_cache, executor=self.executor,
+                             service=self.service)
 
     # ------------------------------------------------------------------
     # flat-space helpers

@@ -466,7 +466,7 @@ def _solver_structure(problem: RadiusProblem, method: Method) -> tuple:
 
 def compute_radii(problems: Sequence[RadiusProblem], *,
                   method: Method = "auto", seed=None, cache=None,
-                  executor=None) -> list[RadiusResult]:
+                  executor=None, service=None) -> list[RadiusResult]:
     """Batched frontend over :func:`compute_radius`, in problem order.
 
     The whole batch is fingerprinted against the cache first; the misses
@@ -490,7 +490,14 @@ def compute_radii(problems: Sequence[RadiusProblem], *,
     executor:
         Optional :class:`~repro.parallel.executor.ParallelExecutor`;
         groups fan out when it has workers and the seed is stateless.
+    service:
+        Optional running :class:`~repro.service.RadiusService`; the
+        batch is submitted there instead of being solved in-process
+        (``cache`` and ``executor`` are then ignored — the service owns
+        its own).  Results stay bit-identical to the in-process path.
     """
+    if service is not None:
+        return service.compute(problems, method=method, seed=seed)
     problems = list(problems)
     cache = resolve_cache(cache)
     with span("radius.batch", problems=len(problems)) as sp:

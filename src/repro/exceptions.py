@@ -21,6 +21,8 @@ __all__ = [
     "SolverTimeoutError",
     "CheckpointError",
     "DegradedResultWarning",
+    "ServiceOverloadError",
+    "ServiceClosedError",
 ]
 
 
@@ -123,6 +125,20 @@ class DegradedResultWarning(UserWarning):
     ``UPPER_BOUND`` or ``FAILED`` quality result instead of an exact or
     converged radius, so non-interactive sweeps leave an audit trail
     without aborting."""
+
+
+class ServiceOverloadError(ReproError):
+    """The radius service shed a request under overload.
+
+    Raised by :meth:`repro.service.RadiusService.submit` when the bounded
+    request queue is full or the admission circuit breaker is open.  The
+    request was *not* enqueued; the caller may retry later or fall back
+    to the in-process library path (``compute_radii`` without a service),
+    which always works."""
+
+
+class ServiceClosedError(ReproError):
+    """An operation was attempted on a closed :class:`RadiusService`."""
 
 
 class InfeasibleAllocationError(ReproError):

@@ -45,6 +45,7 @@ __all__ = [
     "LAB_BENCH_SCHEMA",
     "CURVE_SCHEMA",
     "SWEEP_BENCH_SCHEMA",
+    "SERVICE_BENCH_SCHEMA",
     "run_parallel_benchmark",
     "validate_bench_payload",
     "write_benchmark",
@@ -71,6 +72,10 @@ LAB_BENCH_SCHEMA = "repro-bench-lab-v1"
 CURVE_SCHEMA = "repro-curve-v1"
 #: Payloads of :func:`repro.analysis.sweep_bench.run_sweep_benchmark`.
 SWEEP_BENCH_SCHEMA = "repro-bench-sweep-v1"
+#: Payloads of :func:`repro.service.bench.run_service_benchmark` — the
+#: per-call-pool vs persistent-:class:`~repro.service.RadiusService`
+#: comparison.
+SERVICE_BENCH_SCHEMA = "repro-bench-service-v1"
 
 
 def _canonical(results) -> str:
@@ -486,6 +491,41 @@ def _validate_sweep_bench_payload(problems: list[str], payload: dict) -> None:
                         f"got {payload.get('identical')!r}")
 
 
+def _validate_service_payload(problems: list[str], payload: dict) -> None:
+    """The ``repro-bench-service-v1`` payload: per-call pool vs service."""
+    _check_number(problems, payload, "workers", "", minimum=1)
+    _check_number(problems, payload, "seed", "")
+    _check_number(problems, payload, "requests", "", minimum=1)
+    _check_number(problems, payload, "problems", "", minimum=1)
+    for field in ("serial_seconds", "per_call_seconds", "service_seconds",
+                  "speedup", "speedup_vs_serial"):
+        _check_number(problems, payload, field, "")
+    if not isinstance(payload.get("identical"), bool):
+        problems.append(f"'identical' must be a bool, "
+                        f"got {payload.get('identical')!r}")
+    executor = _check_executor(problems, payload)
+    if executor is not None:
+        for field in _SUPERVISOR_FIELDS + ("pool_reuses",):
+            _check_number(problems, executor, field, "executor.")
+    service = payload.get("service")
+    if not isinstance(service, dict):
+        problems.append(f"'service' must be a dict, got {service!r}")
+    else:
+        for field in ("admitted", "shed", "completed", "failed",
+                      "queue_depth", "queue_limit"):
+            _check_number(problems, service, field, "service.")
+        if not isinstance(service.get("admission"), dict):
+            problems.append(f"service.'admission' must be a dict, "
+                            f"got {service.get('admission')!r}")
+    cache = payload.get("cache")
+    if cache is not None:  # null when the bench ran the service cache-off
+        if not isinstance(cache, dict):
+            problems.append(f"'cache' must be null or a dict, got {cache!r}")
+        else:
+            for field in _CACHE_FIELDS + ("warm_hits",):
+                _check_number(problems, cache, field, "cache.")
+
+
 def validate_bench_payload(payload) -> dict:
     """Check a benchmark payload against its declared schema.
 
@@ -497,10 +537,11 @@ def validate_bench_payload(payload) -> dict:
     ``repro-lab-v1`` (:func:`repro.scenarios.lab.run_lab`),
     ``repro-bench-lab-v1``
     (:func:`repro.scenarios.bench.run_lab_benchmark`),
-    ``repro-curve-v1`` (the CLI's ``repro curve`` artifact), and
+    ``repro-curve-v1`` (the CLI's ``repro curve`` artifact),
     ``repro-bench-sweep-v1``
-    (:func:`repro.analysis.sweep_bench.run_sweep_benchmark`) are
-    accepted.  Returns the payload unchanged when valid; raises
+    (:func:`repro.analysis.sweep_bench.run_sweep_benchmark`), and
+    ``repro-bench-service-v1``
+    (:func:`repro.service.bench.run_service_benchmark`) are accepted.  Returns the payload unchanged when valid; raises
     :class:`~repro.exceptions.SpecificationError` listing every problem
     found otherwise.  CI runs this against the freshly emitted
     ``BENCH_parallel.json`` / ``BENCH_chaos.json`` / ``BENCH_solvers.json``
@@ -526,12 +567,14 @@ def validate_bench_payload(payload) -> dict:
         _validate_curve_payload(problems, payload)
     elif schema == SWEEP_BENCH_SCHEMA:
         _validate_sweep_bench_payload(problems, payload)
+    elif schema == SERVICE_BENCH_SCHEMA:
+        _validate_service_payload(problems, payload)
     else:
         problems.append(f"'schema' must be {BENCH_SCHEMA!r}, "
                         f"{CHAOS_BENCH_SCHEMA!r}, {SOLVER_BENCH_SCHEMA!r}, "
                         f"{LAB_SCHEMA!r}, {LAB_BENCH_SCHEMA!r}, "
-                        f"{CURVE_SCHEMA!r} or {SWEEP_BENCH_SCHEMA!r}, "
-                        f"got {schema!r}")
+                        f"{CURVE_SCHEMA!r}, {SWEEP_BENCH_SCHEMA!r} or "
+                        f"{SERVICE_BENCH_SCHEMA!r}, got {schema!r}")
     if problems:
         raise SpecificationError(
             "invalid benchmark payload: " + "; ".join(problems))

@@ -26,6 +26,7 @@ plain zero-argument callable for the serial path.
 
 from __future__ import annotations
 
+import atexit
 import logging
 import os
 import pickle
@@ -43,7 +44,8 @@ from repro.observability import (
     span,
 )
 
-__all__ = ["Task", "ParallelExecutor", "default_workers", "executor_scope"]
+__all__ = ["Task", "ParallelExecutor", "default_workers", "executor_scope",
+           "shared_executor", "reset_shared_executor"]
 
 logger = logging.getLogger(__name__)
 
@@ -105,6 +107,10 @@ class ParallelExecutor:
         self.dispatched = 0
         #: Batches that degraded to the in-process serial path.
         self.fallbacks = 0
+        #: Parallel batches served by an already-warm pool (no process
+        #: spawn).  High reuse is the point of sharing an executor across
+        #: calls; 0 on a fresh executor or after every batch broke it.
+        self.pool_reuses = 0
         #: Why the most recent serial fallback happened (diagnostics).
         self.last_fallback_reason: str | None = None
 
@@ -114,6 +120,9 @@ class ParallelExecutor:
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        else:
+            self.pool_reuses += 1
+            get_metrics().inc("executor.pool_reuses")
         return self._pool
 
     def close(self) -> None:
@@ -132,7 +141,8 @@ class ParallelExecutor:
         # Crossing a process boundary degrades to serial: nested pools
         # oversubscribe and can deadlock under fork.
         return {"workers": 1, "_pool": None, "dispatched": 0,
-                "fallbacks": 0, "last_fallback_reason": None}
+                "fallbacks": 0, "pool_reuses": 0,
+                "last_fallback_reason": None}
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
@@ -217,11 +227,67 @@ class ParallelExecutor:
             "workers": self.workers,
             "dispatched": self.dispatched,
             "fallbacks": self.fallbacks,
+            "pool_reuses": self.pool_reuses,
             "last_fallback_reason": self.last_fallback_reason,
         }
 
     def __repr__(self) -> str:
         return f"ParallelExecutor(workers={self.workers})"
+
+
+#: Process-wide executor reused across library calls (see
+#: :func:`shared_executor`).
+_shared: ParallelExecutor | None = None
+_shared_atexit_registered = False
+
+
+def reset_shared_executor() -> None:
+    """Close the process-wide executor so the next use forks fresh workers.
+
+    Forked workers snapshot module-level state (notably an installed
+    default :class:`~repro.parallel.cache.RadiusCache`) at fork
+    time and keep it for the pool's lifetime.  Code that changes such
+    process-global state and needs the *next* parallel call to see the
+    change — primarily tests — must reset the shared pool first.
+    """
+    global _shared
+    if _shared is not None:
+        _shared.close()
+        _shared = None
+
+
+# Backwards-compatible private alias used by atexit registration.
+_close_shared_executor = reset_shared_executor
+
+
+def shared_executor(workers: int) -> ParallelExecutor:
+    """The process-wide executor for ``workers``, created on first use.
+
+    Library entry points that take a plain ``workers`` count used to
+    build (and tear down) a fresh pool *per call* — the dominant cost of
+    short parallel calls is then process spawning, not solving.  Call
+    sites that route through this helper instead share one long-lived
+    executor per process: the first call pays the spawn, every later
+    call with the same ``workers`` reuses the warm pool (visible as
+    ``pool_reuses`` in :meth:`ParallelExecutor.stats`).
+
+    Asking for a different ``workers`` count closes the previous shared
+    executor and builds a new one — there is exactly one shared pool at
+    a time.  The pool is closed automatically at interpreter exit;
+    callers must **not** close it themselves (an explicit ``executor=``
+    argument remains the way to own a pool's lifetime).
+    """
+    global _shared, _shared_atexit_registered
+    if workers < 1:
+        raise SpecificationError(f"workers must be >= 1, got {workers}")
+    if _shared is None or _shared.workers != workers:
+        if _shared is not None:
+            _shared.close()
+        _shared = ParallelExecutor(workers)
+        if not _shared_atexit_registered:
+            atexit.register(_close_shared_executor)
+            _shared_atexit_registered = True
+    return _shared
 
 
 class executor_scope:

@@ -1,0 +1,176 @@
+"""Benchmark harness: per-call pools vs the persistent radius service.
+
+:func:`run_service_benchmark` replays one seeded stream of radius
+requests three ways —
+
+* **serial**: in-process :func:`~repro.core.radius.compute_radii` per
+  request (the reference for the identity check);
+* **per-call pool**: a fresh :class:`~repro.parallel.executor.ParallelExecutor`
+  built and torn down around every request, which is what every library
+  entry point did before the service existed (the architecture that
+  measured 0.92× of serial in ``repro-bench-parallel-v1``);
+* **service**: one :class:`~repro.service.RadiusService` processing the
+  same requests through its persistent pool and shared-memory dispatch
+  (service construction and shutdown are *included* in its timing, so
+  the reported speedup is end to end, not steady-state-only)
+
+— and emits a ``repro-bench-service-v1`` payload.  Every problem in the
+workload is distinct, so caching cannot inflate the comparison; the
+service leg runs cache-off for the same reason.  CI gates on
+``speedup >= 1.5`` (service vs per-call pool) and ``identical``.
+
+Like :mod:`repro.parallel.bench`, this module is imported explicitly —
+``repro.service`` does not pull it in.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+
+import numpy as np
+
+from repro.core.features import ToleranceBounds
+from repro.core.mappings import LinearMapping, QuadraticMapping
+from repro.core.radius import RadiusProblem, compute_radii
+from repro.exceptions import SpecificationError
+from repro.parallel.bench import SERVICE_BENCH_SCHEMA
+from repro.parallel.executor import ParallelExecutor, default_workers
+from repro.service.service import RadiusService, ServiceConfig
+
+__all__ = ["build_workload", "run_service_benchmark"]
+
+logger = logging.getLogger(__name__)
+
+
+def build_workload(*, seed: int = 2005, requests: int = 10,
+                   problems_per_request: int = 8, dimension: int = 4
+                   ) -> list[list[RadiusProblem]]:
+    """A seeded stream of mixed radius requests.
+
+    Every request mixes analytic-tier (linear) and ellipsoid-tier
+    (diagonal-quadratic) problems, so the batched frontend forms at
+    least two structural groups and genuinely exercises the dispatch
+    path.  All coefficients and origins are distinct draws — no two
+    problems share a cache fingerprint.
+    """
+    if requests < 1 or problems_per_request < 2:
+        raise SpecificationError(
+            f"need requests >= 1 and problems_per_request >= 2, got "
+            f"{requests} and {problems_per_request}")
+    rng = np.random.default_rng(seed)
+    workload: list[list[RadiusProblem]] = []
+    for _ in range(requests):
+        batch: list[RadiusProblem] = []
+        for j in range(problems_per_request):
+            origin = rng.normal(size=dimension) * 0.1
+            if j % 2 == 0:
+                mapping = LinearMapping(
+                    rng.normal(size=dimension) + 0.1, 1.0)
+                bounds = ToleranceBounds(-12.0, 12.0)
+            else:
+                diag = np.abs(rng.normal(size=dimension)) + 0.5
+                mapping = QuadraticMapping(np.diag(diag))
+                bounds = ToleranceBounds(-6.0, 6.0)
+            batch.append(RadiusProblem(mapping=mapping, origin=origin,
+                                       bounds=bounds))
+        workload.append(batch)
+    return workload
+
+
+def _canonical(results) -> str:
+    """Canonical JSON of results with wall-clock diagnostics neutralised.
+
+    ``SolverAttempt.elapsed`` is the one field of a
+    :class:`~repro.core.radius.RadiusResult` that is *not* covered by the
+    determinism contract (it is wall-clock time); it is zeroed before
+    serialization so the identity check measures exactly what the
+    contract promises.
+    """
+    from repro.io.serialize import to_dict
+
+    dicts = [to_dict(r) for r in results]
+    for d in dicts:
+        for attempt in d.get("diagnostics", []):
+            attempt["elapsed"] = 0.0
+    return json.dumps(dicts, sort_keys=True)
+
+
+def run_service_benchmark(*, workers: int | None = None, seed: int = 2005,
+                          requests: int = 10,
+                          problems_per_request: int = 8) -> dict:
+    """Benchmark the request stream through all three serving paths.
+
+    Returns a ``repro-bench-service-v1`` payload; see the module
+    docstring for what the legs measure and
+    :func:`~repro.parallel.bench.validate_bench_payload` for the schema.
+    """
+    if workers is None:
+        # The bench compares pool *architectures* (per-call spawn vs
+        # persistent); workers=1 would make both legs serial and compare
+        # nothing, so the default floors at 2 even on one-core machines.
+        workers = max(2, default_workers())
+    if workers < 1:
+        raise SpecificationError(f"workers must be >= 1, got {workers}")
+    workload = build_workload(seed=seed, requests=requests,
+                              problems_per_request=problems_per_request)
+    solve_seed = seed + 1  # solver randomness, distinct from workload draw
+
+    logger.info("service benchmark: serial leg over %d request(s)",
+                requests)
+    t0 = time.perf_counter()
+    serial = [compute_radii(batch, seed=solve_seed, cache=False)
+              for batch in workload]
+    serial_seconds = time.perf_counter() - t0
+
+    logger.info("service benchmark: per-call pool leg (%d workers/call)",
+                workers)
+    t0 = time.perf_counter()
+    per_call = []
+    for batch in workload:
+        with ParallelExecutor(workers) as pool:
+            per_call.append(compute_radii(batch, seed=solve_seed,
+                                          cache=False, executor=pool))
+    per_call_seconds = time.perf_counter() - t0
+
+    logger.info("service benchmark: persistent service leg")
+    t0 = time.perf_counter()
+    with RadiusService(workers,
+                       config=ServiceConfig(queue_limit=max(32, requests),
+                                            cache=False)) as service:
+        tickets = [service.submit(batch, seed=solve_seed)
+                   for batch in workload]
+        served = service.gather(tickets)
+        service_stats = service.stats()
+    service_seconds = time.perf_counter() - t0
+
+    flat_serial = [r for leg in serial for r in leg]
+    flat_served = [r for leg in served for r in leg]
+    flat_per_call = [r for leg in per_call for r in leg]
+    want = _canonical(flat_serial)
+    identical = (want == _canonical(flat_served)
+                 and want == _canonical(flat_per_call))
+    if not identical:  # pragma: no cover - determinism contract violation
+        logger.error("service results DIFFER from the serial path")
+
+    executor_stats = service_stats.pop("executor")
+    cache_stats = service_stats.pop("cache")
+    return {
+        "schema": SERVICE_BENCH_SCHEMA,
+        "workers": int(workers),
+        "seed": int(seed),
+        "requests": int(requests),
+        "problems": int(requests * problems_per_request),
+        "serial_seconds": float(serial_seconds),
+        "per_call_seconds": float(per_call_seconds),
+        "service_seconds": float(service_seconds),
+        "speedup": (float(per_call_seconds / service_seconds)
+                    if service_seconds > 0 else 0.0),
+        "speedup_vs_serial": (float(serial_seconds / service_seconds)
+                              if service_seconds > 0 else 0.0),
+        "identical": bool(identical),
+        "service": service_stats,
+        "executor": executor_stats,
+        "cache": cache_stats,
+    }

@@ -60,12 +60,16 @@ class TestSweepInvariance:
             install_default_cache,
             uninstall_default_cache,
         )
+        from repro.parallel.executor import reset_shared_executor
         # A process-wide default cache (e.g. installed by a CLI test in
         # this pytest process) is inherited by forked workers and would
         # turn every solve into a cache hit; clear it so the solves
-        # demonstrably happen inside the workers.
+        # demonstrably happen inside the workers.  The shared pool must
+        # also be reset: its workers forked earlier in this pytest
+        # process and carry whatever cache was installed at fork time.
         previous = get_default_cache()
         uninstall_default_cache()
+        reset_shared_executor()
         try:
             _, obs = _run_sweep(traced=True, workers=4)
         finally:

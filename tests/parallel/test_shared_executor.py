@@ -1,0 +1,79 @@
+"""The process-wide shared executor and its pool-reuse accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.parallel import executor as executor_mod
+from repro.parallel.executor import (
+    ParallelExecutor,
+    Task,
+    reset_shared_executor,
+    shared_executor,
+)
+
+
+def _double(x):
+    return 2 * x
+
+
+@pytest.fixture(autouse=True)
+def _fresh_shared_pool():
+    reset_shared_executor()
+    yield
+    reset_shared_executor()
+
+
+class TestSharedExecutor:
+    def test_same_workers_reuse_one_executor(self):
+        first = shared_executor(2)
+        assert shared_executor(2) is first
+
+    def test_different_workers_rebuild(self):
+        first = shared_executor(2)
+        second = shared_executor(3)
+        assert second is not first
+        assert second.workers == 3
+
+    def test_workers_validated(self):
+        with pytest.raises(SpecificationError):
+            shared_executor(0)
+
+    def test_reset_closes_and_forgets(self):
+        shared_executor(2)
+        reset_shared_executor()
+        assert executor_mod._shared is None
+
+    def test_pool_reuses_counts_warm_runs(self):
+        pool = shared_executor(2)
+        tasks = [Task(_double, (i,)) for i in range(3)]
+        assert pool.run(tasks) == [0, 2, 4]  # first run spawns the pool
+        assert pool.stats()["pool_reuses"] == 0
+        assert pool.run(tasks) == [0, 2, 4]  # second run reuses it
+        assert pool.stats()["pool_reuses"] == 1
+
+    def test_per_call_executors_are_unaffected(self):
+        with ParallelExecutor(2) as pool:
+            assert pool is not shared_executor(2)
+            assert pool.stats()["pool_reuses"] == 0
+
+
+class TestRunnerReuse:
+    def test_run_all_experiments_shares_one_pool(self):
+        from repro.analysis.runner import run_all_experiments
+        # two experiments: single-task batches run in-process and would
+        # never touch (or warm) the pool
+        ids = ["E2", "E11"]
+        first = run_all_experiments(seed=2005, ids=ids, workers=2)
+        second = run_all_experiments(seed=2005, ids=ids, workers=2)
+        assert set(first) == set(second) == set(ids)
+        pool = executor_mod._shared
+        assert pool is not None
+        assert pool.workers == 2
+        assert pool.stats()["pool_reuses"] >= 1
+
+    def test_serial_runs_do_not_build_a_pool(self):
+        from repro.analysis.runner import run_all_experiments
+        run_all_experiments(seed=2005, ids=["E2"], workers=1)
+        assert executor_mod._shared is None

@@ -1,0 +1,69 @@
+"""The service benchmark and its ``repro-bench-service-v1`` payload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.parallel.bench import SERVICE_BENCH_SCHEMA, validate_bench_payload
+from repro.service import assert_no_leaked_segments
+from repro.service.bench import build_workload, run_service_benchmark
+
+
+class TestWorkload:
+    def test_workload_is_seeded_and_mixed(self):
+        a = build_workload(seed=5, requests=2, problems_per_request=4)
+        b = build_workload(seed=5, requests=2, problems_per_request=4)
+        assert len(a) == 2
+        assert all(len(batch) == 4 for batch in a)
+        for batch_a, batch_b in zip(a, b):
+            for pa, pb in zip(batch_a, batch_b):
+                assert pa.mapping.structure_key() == \
+                    pb.mapping.structure_key()
+        # both tiers present, so dispatch forms >= 2 structural groups
+        kinds = {type(p.mapping).__name__ for p in a[0]}
+        assert kinds == {"LinearMapping", "QuadraticMapping"}
+
+    def test_workload_validation(self):
+        with pytest.raises(SpecificationError):
+            build_workload(requests=0)
+        with pytest.raises(SpecificationError):
+            build_workload(problems_per_request=1)
+
+
+class TestBenchmarkPayload:
+    @pytest.fixture(scope="class")
+    def payload(self):
+        result = run_service_benchmark(workers=2, requests=2,
+                                       problems_per_request=2)
+        assert_no_leaked_segments()
+        return result
+
+    def test_payload_validates_against_schema(self, payload):
+        assert payload["schema"] == SERVICE_BENCH_SCHEMA
+        validate_bench_payload(payload)
+
+    def test_all_three_legs_are_identical(self, payload):
+        assert payload["identical"] is True
+
+    def test_counters_are_coherent(self, payload):
+        assert payload["requests"] == 2
+        assert payload["problems"] == 4
+        assert payload["service"]["admitted"] == 2
+        assert payload["service"]["completed"] == 2
+        assert payload["service"]["shed"] == 0
+        assert payload["cache"] is None  # the bench runs cache-off
+        assert payload["executor"]["dispatched"] > 0
+
+    def test_validator_rejects_corrupt_payload(self, payload):
+        broken = dict(payload)
+        del broken["service"]
+        with pytest.raises(SpecificationError):
+            validate_bench_payload(broken)
+        broken = dict(payload, speedup="fast")
+        with pytest.raises(SpecificationError):
+            validate_bench_payload(broken)
+
+    def test_workers_validation(self):
+        with pytest.raises(SpecificationError):
+            run_service_benchmark(workers=0)

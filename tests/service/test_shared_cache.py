@@ -1,0 +1,184 @@
+"""The cross-process radius cache: same fingerprints, shared entries.
+
+Three contracts.  Fingerprint equality: a :class:`SharedRadiusCache`
+keys a problem exactly as the local :class:`RadiusCache` would, so the
+two stores are interchangeable for any given problem stream.  Sharing:
+an entry stored by one client is served to every other client — and
+counted as a ``warm_hit``, the number a serving deployment exists for.
+Safety: concurrent clients racing puts and gets never corrupt the store
+or the accounting.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.features import ToleranceBounds
+from repro.core.mappings import LinearMapping
+from repro.core.radius import RadiusProblem, compute_radius
+from repro.parallel.cache import RadiusCache
+from repro.service import SharedRadiusCache
+
+
+@pytest.fixture(scope="module")
+def shared_cache():
+    """One manager process for the whole module (startup is not free)."""
+    with SharedRadiusCache() as cache:
+        yield cache
+
+
+@pytest.fixture(autouse=True)
+def _fresh_store(shared_cache):
+    shared_cache.clear()
+    yield
+
+
+def _problem(i: int = 0) -> RadiusProblem:
+    rng = np.random.default_rng(100 + i)
+    coeffs = rng.standard_normal(3)
+    origin = rng.standard_normal(3)
+    phi0 = LinearMapping(coeffs).value(origin)
+    return RadiusProblem(LinearMapping(coeffs), origin,
+                         ToleranceBounds.upper(phi0 + 1.0))
+
+
+class TestFingerprintEquality:
+    def test_same_keys_as_local_cache(self, shared_cache):
+        local = RadiusCache()
+        for i in range(3):
+            problem = _problem(i)
+            for method, seed in (("auto", None), ("auto", 7),
+                                 ("bisection", 3)):
+                assert shared_cache.key(problem, method=method, seed=seed) \
+                    == local.key(problem, method=method, seed=seed)
+
+    def test_unfingerprintable_is_skipped_like_local(self, shared_cache):
+        from repro.core.mappings import CallableMapping
+        # an arbitrary callable has no structure key: both stores refuse
+        # to fingerprint it
+        mapping = CallableMapping(lambda x: float(np.sum(x)), 3)
+        origin = np.array([0.1, 0.2, 0.3])
+        problem = RadiusProblem(mapping, origin, ToleranceBounds.upper(5.0))
+        key = shared_cache.key(problem)
+        assert key is None
+        assert RadiusCache().key(problem) is None
+        assert shared_cache.get(None) is None  # no-op, like the local cache
+        before = len(shared_cache)
+        shared_cache.put(None, compute_radius(problem, cache=False))
+        assert len(shared_cache) == before
+
+    def test_roundtrip_returns_identical_result(self, shared_cache):
+        problem = _problem()
+        want = compute_radius(problem, cache=False)
+        key = shared_cache.key(problem)
+        shared_cache.put(key, want)
+        got = shared_cache.get(key)
+        assert got.radius == want.radius
+        assert got.method == want.method
+        np.testing.assert_array_equal(got.boundary_point,
+                                      want.boundary_point)
+
+
+class TestCrossClientWarming:
+    def test_other_clients_entries_count_as_warm_hits(self, shared_cache):
+        problem = _problem()
+        result = compute_radius(problem, cache=False)
+        key = shared_cache.key(problem)
+        shared_cache.put(key, result)
+
+        # own entry: a hit, but not a warm one
+        assert shared_cache.get(key) is not None
+        assert shared_cache.hits == 1
+        assert shared_cache.warm_hits == 0
+
+        # a pickled copy is the same store under a fresh client identity
+        client = pickle.loads(pickle.dumps(shared_cache))
+        assert client.get(key).radius == result.radius
+        assert client.hits == 1
+        assert client.warm_hits == 1
+        stats = client.stats()
+        assert stats["warm_hits"] == 1
+        assert stats["shared"] is True
+        assert stats["entries"] == 1
+
+    def test_unpickled_client_starts_with_zeroed_counters(self, shared_cache):
+        key = shared_cache.key(_problem())
+        shared_cache.get(key)  # a miss on the original client
+        client = pickle.loads(pickle.dumps(shared_cache))
+        assert (client.hits, client.misses, client.warm_hits) == (0, 0, 0)
+        assert client._client != shared_cache._client
+
+    def test_writes_propagate_both_directions(self, shared_cache):
+        client = pickle.loads(pickle.dumps(shared_cache))
+        a, b = _problem(1), _problem(2)
+        ra = compute_radius(a, cache=False)
+        rb = compute_radius(b, cache=False)
+        shared_cache.put(shared_cache.key(a), ra)
+        client.put(client.key(b), rb)
+        assert client.get(client.key(a)).radius == ra.radius
+        assert shared_cache.get(shared_cache.key(b)).radius == rb.radius
+        assert len(shared_cache) == 2
+
+
+class TestConcurrency:
+    def test_racing_puts_and_gets_stay_coherent(self, shared_cache):
+        problems = [_problem(i) for i in range(6)]
+        results = [compute_radius(p, cache=False) for p in problems]
+        keys = [shared_cache.key(p) for p in problems]
+        errors: list[BaseException] = []
+
+        def hammer(worker: int) -> None:
+            try:
+                client = pickle.loads(pickle.dumps(shared_cache))
+                for round_ in range(15):
+                    i = (worker + round_) % len(problems)
+                    client.put(keys[i], results[i])
+                    got = client.get(keys[i])
+                    assert got is not None
+                    assert got.radius == results[i].radius
+                assert client.hits + client.misses == 15
+            except BaseException as exc:  # surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(w,))
+                   for w in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        assert len(shared_cache) == len(problems)
+
+    def test_bounded_store_evicts_oldest(self):
+        with SharedRadiusCache(2) as cache:
+            results = [compute_radius(_problem(i), cache=False)
+                       for i in range(3)]
+            keys = [cache.key(_problem(i)) for i in range(3)]
+            for key, result in zip(keys, results):
+                cache.put(key, result)
+            assert len(cache) == 2
+            assert cache.evictions == 1
+            assert cache.get(keys[0]) is None  # the oldest went
+            assert cache.get(keys[2]) is not None
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self):
+        cache = SharedRadiusCache()
+        cache.put(cache.key(_problem()), compute_radius(_problem(),
+                                                        cache=False))
+        cache.close()
+        cache.close()
+
+    def test_clear_resets_store_and_counters(self, shared_cache):
+        key = shared_cache.key(_problem())
+        shared_cache.put(key, compute_radius(_problem(), cache=False))
+        shared_cache.get(key)
+        shared_cache.clear()
+        assert len(shared_cache) == 0
+        assert shared_cache.hits == 0
+        assert shared_cache.warm_hits == 0
