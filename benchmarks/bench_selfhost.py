@@ -1,0 +1,39 @@
+"""Self-hosting closed loop — radius-predicted chaos recovery.
+
+Runs :func:`~repro.resilience.calibrate.run_selfhost_loop` end to end
+(radius solve on the executor's own dispatch policy → supervisor
+calibration → real chaos legs inside/outside the radius), asserts the
+loop closes, re-runs it with a different runtime worker count, and
+asserts the two ``repro-selfhost-v1`` artifacts are byte-identical —
+the worker-invariance contract the acceptance suite pins.  The payload
+lands in ``benchmarks/results/SELFHOST.json`` so the loop's verdicts
+can be tracked across commits.  CI exercises the same loop at the same
+scale through ``python -m repro selfhost`` (the ``selfhost-smoke`` job).
+"""
+
+import json
+import pathlib
+
+from repro.parallel.bench import validate_bench_payload, write_benchmark
+from repro.resilience.calibrate import run_selfhost_loop
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def test_selfhost_loop_benchmark(benchmark, show):
+    payload = benchmark.pedantic(
+        lambda: run_selfhost_loop(seed=7, runtime_workers=1),
+        rounds=1, iterations=1)
+    validate_bench_payload(payload)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    write_benchmark(payload, RESULTS_DIR / "SELFHOST.json")
+    show(json.dumps({k: payload[k] for k in
+                     ("rho", "critical_feature", "in_radius_recovered",
+                      "out_of_radius_violates", "closed_loop")}, indent=2))
+    assert payload["closed_loop"], \
+        "the analytic-empirical loop did not close at the pinned seed"
+
+    pooled = run_selfhost_loop(seed=7, runtime_workers=2)
+    assert json.dumps(payload, sort_keys=True) \
+        == json.dumps(pooled, sort_keys=True), \
+        "artifact differs across runtime worker counts"

@@ -41,9 +41,13 @@ payload; ``chaos`` replays a seeded chaos schedule against the
 sweep, verifying bit-identical recovery and writing a
 ``repro-bench-chaos-v1`` payload; ``curve`` walks a warm-started
 degradation curve over the makespan substrate, writing a
-``repro-curve-v1`` artifact; and ``bench-sweep`` times that warm walk
+``repro-curve-v1`` artifact; ``bench-sweep`` times that warm walk
 against the cold per-point baseline, writing a ``repro-bench-sweep-v1``
-payload.
+payload; and ``selfhost`` closes the analytic-empirical loop — it solves
+the radius of the executor's *own* dispatch policy, calibrates the
+supervisor from the boundary witness, replays real chaos schedules
+inside and outside the predicted radius, and writes a
+``repro-selfhost-v1`` artifact (see ``docs/SELFHOST.md``).
 """
 
 from __future__ import annotations
@@ -246,7 +250,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="scenario lab: shock replay, bootstrap "
                               "confidence gates and perturbation-kind "
                               "ablation; writes a repro-lab-v1 artifact")
-    lab.add_argument("--system", choices=("makespan", "hiperd"),
+    lab.add_argument("--system", choices=("makespan", "hiperd", "selfhost"),
                      default="makespan",
                      help="which substrate to analyse (default makespan)")
     lab.add_argument("--beta", type=float, default=1.2,
@@ -283,6 +287,34 @@ def build_parser() -> argparse.ArgumentParser:
                           "(default: first scenario with violations)")
     lab.add_argument("--out", default="LAB.json", metavar="PATH",
                      help="artifact destination (default LAB.json)")
+
+    sfh = sub.add_parser("selfhost",
+                         help="closed analytic-empirical loop: solve the "
+                              "radius of the executor's own dispatch "
+                              "policy, calibrate the supervisor from it, "
+                              "run real chaos schedules inside and outside "
+                              "the radius; writes a repro-selfhost-v1 "
+                              "artifact")
+    sfh.add_argument("--beta", type=float, default=2.0,
+                     help="relative requirement on every feature "
+                          "(default 2.0)")
+    sfh.add_argument("--tasks", type=int, default=96,
+                     help="batch size of the modelled workload (default 96)")
+    sfh.add_argument("--model-workers", type=int, default=3, metavar="W",
+                     help="modelled pool size — the allocation under "
+                          "study, independent of the runtime --workers "
+                          "(default 3)")
+    sfh.add_argument("--ratios", default="0.4,1.8", metavar="R1,R2",
+                     help="boundary-direction scalings of the chaos legs; "
+                          "<1 is inside the radius, >1 outside "
+                          "(default '0.4,1.8')")
+    sfh.add_argument("--quarantine-budget", type=float, default=0.5,
+                     metavar="TASKS",
+                     help="fluid quarantined mass the calibrated retry "
+                          "budget must keep the boundary point under "
+                          "(default 0.5)")
+    sfh.add_argument("--out", default="SELFHOST.json", metavar="PATH",
+                     help="artifact destination (default SELFHOST.json)")
 
     top = sub.add_parser("topology",
                          help="path-slack and bottleneck analysis of a "
@@ -653,6 +685,7 @@ def _cmd_serve(args) -> int:
                   f"{len(flat)} radii, identical to library path: "
                   f"{round_identical}")
         stats = service.stats()
+        last_report = service.executor.last_report
     print(f"service: {stats['completed']} completed, {stats['shed']} shed, "
           f"{stats['failed']} failed "
           f"(queue limit {stats['queue_limit']}, admission breaker "
@@ -661,6 +694,11 @@ def _cmd_serve(args) -> int:
     print(f"executor: {ex['workers']} workers, {ex['dispatched']} "
           f"dispatched, {ex['pool_reuses']} pool reuses, "
           f"{ex['quarantined']} quarantined")
+    brk = ex["breaker"]
+    print(f"pool breaker: state {brk['state']}, {brk['opens']} open(s), "
+          f"{brk['consecutive_failures']} consecutive failure(s)")
+    if last_report is not None:
+        print(f"last batch: {last_report.to_dict()}")
     if stats["cache"] is not None:
         print(f"cache: {stats['cache']}")
     print(f"identical results: {identical}")
@@ -718,8 +756,12 @@ def _cmd_chaos(args) -> int:
     ex = payload["executor"]
     print(f"recovery: {ex['retries']} retries, {ex['pool_breaks']} pool "
           f"breaks, {ex['respawns']} respawns, "
-          f"{ex['quarantined']} quarantined, "
-          f"breaker {ex['breaker']['state']}")
+          f"{ex['quarantined']} quarantined")
+    brk = ex["breaker"]
+    print(f"breaker: state {brk['state']}, {brk['opens']} open(s), "
+          f"{brk['consecutive_failures']} consecutive failure(s)")
+    if payload["report"] is not None:
+        print(f"last batch: {payload['report']}")
     print(f"identical results: {payload['identical']}")
     print(f"written to {args.out}")
     return 0 if payload["identical"] and not ex["quarantined"] else 1
@@ -738,6 +780,16 @@ def _lab_fixture(args):
                                   solver_timeout=args.solver_timeout)
         catalogue = hiperd_scenario_catalogue(analysis, n_steps=args.steps)
         return analysis, catalogue, "hiperd"
+
+    if args.system == "selfhost":
+        from repro.systems.selfhost import (SelfhostSystem,
+                                            selfhost_scenario_catalogue)
+
+        system = SelfhostSystem.baseline(seed=args.seed)
+        analysis = system.robustness_analysis(
+            args.beta, seed=args.seed, solver_timeout=args.solver_timeout)
+        catalogue = selfhost_scenario_catalogue(system, n_steps=args.steps)
+        return analysis, catalogue, "selfhost"
 
     from repro.systems.heuristics import MCT
     from repro.systems.independent import generate_etc_gamma
@@ -818,6 +870,61 @@ def _cmd_lab(args) -> int:
     return 0 if payload["gates_passed"] else 1
 
 
+def _cmd_selfhost(args) -> int:
+    from repro.exceptions import SpecificationError
+    from repro.parallel.bench import write_benchmark
+    from repro.resilience.calibrate import run_selfhost_loop
+    from repro.systems.selfhost import SelfhostSystem
+
+    try:
+        ratios = tuple(float(r) for r in args.ratios.split(",") if r.strip())
+    except ValueError:
+        raise SpecificationError(
+            f"--ratios must be comma-separated numbers, got {args.ratios!r}")
+    system = SelfhostSystem.baseline(args.tasks, args.model_workers,
+                                     seed=args.seed)
+    payload = run_selfhost_loop(
+        system, beta=args.beta, seed=args.seed, ratios=ratios,
+        quarantine_budget=args.quarantine_budget,
+        runtime_workers=max(1, args.workers),
+        solver_workers=max(1, args.workers))
+    write_benchmark(payload, args.out)
+
+    print(f"selfhost ({args.tasks} tasks on {args.model_workers} modelled "
+          f"workers): rho = {payload['rho']:.4f}, critical feature "
+          f"{payload['critical_feature']} (beta {payload['beta']:g})")
+    for name, entry in payload["radii"].items():
+        radius = entry["radius"]
+        shown = "inf" if radius is None else f"{radius:.4f}"
+        print(f"  radius {name:<22} {shown:>8} "
+              f"({entry['method']}, {entry['quality']})")
+    cal = payload["calibration"]
+    print(f"calibration: max_task_retries {cal['max_task_retries']} "
+          f"(boundary needs {cal['required_retries']}), quarantined mass at "
+          f"boundary {cal['boundary_quarantined_mass']:.3f} < budget "
+          f"{cal['quarantine_budget']:g}")
+    crit = payload["critical_feature"]
+    for leg in payload["legs"]:
+        side = "IN " if leg["inside_radius"] else "OUT"
+        rep = leg["report"]
+        inj = ", ".join(f"{k}={v}"
+                        for k, v in leg["injections"].items()) or "none"
+        mf = leg["measured_features"][crit]
+        pred = "feasible" if leg["predicted_feasible"] else "VIOLATES"
+        meas = "feasible" if leg["measured_feasible"] else "VIOLATES"
+        print(f"  {side} ratio {leg['ratio']:g}: predicted {pred}, "
+              f"measured {meas} ({crit} {mf['value']:.3f} vs bound "
+              f"{mf['bound']:.3f})")
+        print(f"      injections: {inj}; report: {rep['ok']}/{rep['tasks']} "
+              f"ok, {rep['retries']} retries over {rep['waves']} wave(s), "
+              f"{rep['quarantined']} quarantined, quality {rep['quality']}")
+    print(f"in-radius recovered:    {payload['in_radius_recovered']}")
+    print(f"out-of-radius violates: {payload['out_of_radius_violates']}")
+    print(f"closed loop:            {payload['closed_loop']}")
+    print(f"written to {args.out}")
+    return 0 if payload["closed_loop"] else 1
+
+
 def _cmd_topology(args) -> int:
     from repro.systems.hiperd import QoSSpec, generate_hiperd_system
     from repro.systems.hiperd.topology import topology_report
@@ -855,6 +962,7 @@ _COMMANDS = {
     "bench-service": _cmd_bench_service,
     "chaos": _cmd_chaos,
     "lab": _cmd_lab,
+    "selfhost": _cmd_selfhost,
     "topology": _cmd_topology,
     "stats": _cmd_stats,
 }

@@ -46,6 +46,7 @@ __all__ = [
     "CURVE_SCHEMA",
     "SWEEP_BENCH_SCHEMA",
     "SERVICE_BENCH_SCHEMA",
+    "SELFHOST_SCHEMA",
     "run_parallel_benchmark",
     "validate_bench_payload",
     "write_benchmark",
@@ -76,6 +77,12 @@ SWEEP_BENCH_SCHEMA = "repro-bench-sweep-v1"
 #: per-call-pool vs persistent-:class:`~repro.service.RadiusService`
 #: comparison.
 SERVICE_BENCH_SCHEMA = "repro-bench-service-v1"
+#: Artifacts of :func:`repro.resilience.calibrate.run_selfhost_loop` — the
+#: closed analytic-empirical loop (radius solve → supervisor calibration →
+#: real chaos runs inside/outside the radius).  Like :data:`LAB_SCHEMA` it
+#: carries derived values only — no timing or worker-count fields — so the
+#: artifact is byte-identical for any runtime worker count, traced or not.
+SELFHOST_SCHEMA = "repro-selfhost-v1"
 
 
 def _canonical(results) -> str:
@@ -274,6 +281,17 @@ def _validate_chaos_payload(problems: list[str], payload: dict) -> None:
         if not isinstance(executor.get("breaker"), dict):
             problems.append(f"executor.'breaker' must be a dict, "
                             f"got {executor.get('breaker')!r}")
+    report = payload.get("report")
+    if report is not None:  # null when the chaos leg ran no batches
+        if not isinstance(report, dict):
+            problems.append(f"'report' must be null or a BatchReport dict, "
+                            f"got {report!r}")
+        else:
+            for field in ("tasks", "ok", "quarantined", "retries", "waves"):
+                _check_number(problems, report, field, "report.", minimum=0)
+            if not isinstance(report.get("quality"), str):
+                problems.append(f"report.'quality' must be a string, "
+                                f"got {report.get('quality')!r}")
 
 
 _KERNEL_SECTION_FIELDS = ("scalar_seconds", "batched_seconds", "speedup",
@@ -526,6 +544,128 @@ def _validate_service_payload(problems: list[str], payload: dict) -> None:
                 _check_number(problems, cache, field, "cache.")
 
 
+def _validate_selfhost_leg(problems: list[str], entry, where: str) -> None:
+    if not isinstance(entry, dict):
+        problems.append(f"{where} must be a dict, got {entry!r}")
+        return
+    _check_number(problems, entry, "ratio", where, minimum=0)
+    _check_number(problems, entry, "chaos_seed", where)
+    for field in ("inside_radius", "predicted_feasible", "measured_feasible"):
+        if not isinstance(entry.get(field), bool):
+            problems.append(f"{where}{field!r} must be a bool, "
+                            f"got {entry.get(field)!r}")
+    point = entry.get("operating_point")
+    if not isinstance(point, dict) \
+            or not isinstance(point.get("task_costs"), list) \
+            or not isinstance(point.get("worker_fail_rates"), list):
+        problems.append(f"{where}'operating_point' must be a dict with "
+                        f"task_costs and worker_fail_rates lists, "
+                        f"got {point!r}")
+    for field in ("predicted_features", "expected_metrics",
+                  "measured_metrics", "injections"):
+        if not isinstance(entry.get(field), dict):
+            problems.append(f"{where}{field!r} must be a dict, "
+                            f"got {entry.get(field)!r}")
+    measured = entry.get("measured_features")
+    if not isinstance(measured, dict) or not measured:
+        problems.append(f"{where}'measured_features' must be a non-empty "
+                        f"dict, got {measured!r}")
+    else:
+        for name, feat in measured.items():
+            inner = f"{where}measured_features[{name!r}]."
+            if not isinstance(feat, dict):
+                problems.append(f"{inner[:-1]} must be a dict, got {feat!r}")
+                continue
+            _check_number(problems, feat, "value", inner)
+            _check_number(problems, feat, "bound", inner)
+            if not isinstance(feat.get("satisfied"), bool):
+                problems.append(f"{inner}'satisfied' must be a bool, "
+                                f"got {feat.get('satisfied')!r}")
+    report = entry.get("report")
+    if not isinstance(report, dict):
+        problems.append(f"{where}'report' must be a BatchReport dict, "
+                        f"got {report!r}")
+    else:
+        for field in ("tasks", "ok", "quarantined", "retries", "waves"):
+            _check_number(problems, report, field, where + "report.",
+                          minimum=0)
+        for field in ("breaker_state", "quality"):
+            if not isinstance(report.get(field), str):
+                problems.append(f"{where}report.{field!r} must be a string, "
+                                f"got {report.get(field)!r}")
+
+
+def _validate_selfhost_payload(problems: list[str], payload: dict) -> None:
+    """The ``repro-selfhost-v1`` artifact: the closed analytic-empirical loop.
+
+    Derived values only — no wall-clock timings and no worker counts, so
+    ``repro selfhost --seed S`` is byte-identical across runtime worker
+    counts and tracing modes (the contract the acceptance suite checks).
+    """
+    _check_number(problems, payload, "seed", "")
+    _check_number(problems, payload, "beta", "", minimum=1)
+    _check_number(problems, payload, "norm", "", minimum=1)
+    _check_number(problems, payload, "rho", "", minimum=0)
+    for field in ("weighting", "critical_feature"):
+        if not isinstance(payload.get(field), str) or not payload.get(field):
+            problems.append(f"{field!r} must be a non-empty string, "
+                            f"got {payload.get(field)!r}")
+    system = payload.get("system")
+    if not isinstance(system, dict) \
+            or not isinstance(system.get("model"), dict) \
+            or not isinstance(system.get("origin_metrics"), dict):
+        problems.append(f"'system' must be a dict with 'model' and "
+                        f"'origin_metrics' dicts, got {system!r}")
+    radii = payload.get("radii")
+    if not isinstance(radii, dict) or not radii:
+        problems.append(f"'radii' must be a non-empty dict, got {radii!r}")
+    else:
+        for name, entry in radii.items():
+            where = f"radii[{name!r}]."
+            if not isinstance(entry, dict):
+                problems.append(f"{where[:-1]} must be a dict, got {entry!r}")
+                continue
+            _check_optional_number(problems, entry, "radius", where)
+            for field in ("method", "quality"):
+                if not isinstance(entry.get(field), str):
+                    problems.append(f"{where}{field!r} must be a string, "
+                                    f"got {entry.get(field)!r}")
+    per_param = payload.get("per_parameter_radii")
+    if not isinstance(per_param, dict) or not per_param:
+        problems.append(f"'per_parameter_radii' must be a non-empty dict, "
+                        f"got {per_param!r}")
+    else:
+        for name in per_param:
+            _check_optional_number(problems, per_param, name,
+                                   "per_parameter_radii.")
+    calibration = payload.get("calibration")
+    if not isinstance(calibration, dict):
+        problems.append(f"'calibration' must be a dict, got {calibration!r}")
+    else:
+        for field in ("required_retries", "max_task_retries"):
+            _check_number(problems, calibration, field, "calibration.",
+                          minimum=0)
+        _check_number(problems, calibration, "quarantine_budget",
+                      "calibration.")
+    legs = payload.get("legs")
+    if not isinstance(legs, list) or not legs:
+        problems.append(f"'legs' must be a non-empty list, got {legs!r}")
+    else:
+        for i, entry in enumerate(legs):
+            _validate_selfhost_leg(problems, entry, f"legs[{i}].")
+    for field in ("in_radius_recovered", "out_of_radius_violates",
+                  "closed_loop"):
+        if not isinstance(payload.get(field), bool):
+            problems.append(f"{field!r} must be a bool, "
+                            f"got {payload.get(field)!r}")
+    for forbidden in ("workers", "runtime_workers", "solve_seconds",
+                      "chaos_seconds"):
+        if forbidden in payload:
+            problems.append(
+                f"{forbidden!r} must not appear in a {SELFHOST_SCHEMA} "
+                "artifact (it would break the byte-identity contract)")
+
+
 def validate_bench_payload(payload) -> dict:
     """Check a benchmark payload against its declared schema.
 
@@ -539,9 +679,11 @@ def validate_bench_payload(payload) -> dict:
     (:func:`repro.scenarios.bench.run_lab_benchmark`),
     ``repro-curve-v1`` (the CLI's ``repro curve`` artifact),
     ``repro-bench-sweep-v1``
-    (:func:`repro.analysis.sweep_bench.run_sweep_benchmark`), and
+    (:func:`repro.analysis.sweep_bench.run_sweep_benchmark`),
     ``repro-bench-service-v1``
-    (:func:`repro.service.bench.run_service_benchmark`) are accepted.  Returns the payload unchanged when valid; raises
+    (:func:`repro.service.bench.run_service_benchmark`), and
+    ``repro-selfhost-v1``
+    (:func:`repro.resilience.calibrate.run_selfhost_loop`) are accepted.  Returns the payload unchanged when valid; raises
     :class:`~repro.exceptions.SpecificationError` listing every problem
     found otherwise.  CI runs this against the freshly emitted
     ``BENCH_parallel.json`` / ``BENCH_chaos.json`` / ``BENCH_solvers.json``
@@ -569,12 +711,15 @@ def validate_bench_payload(payload) -> dict:
         _validate_sweep_bench_payload(problems, payload)
     elif schema == SERVICE_BENCH_SCHEMA:
         _validate_service_payload(problems, payload)
+    elif schema == SELFHOST_SCHEMA:
+        _validate_selfhost_payload(problems, payload)
     else:
         problems.append(f"'schema' must be {BENCH_SCHEMA!r}, "
                         f"{CHAOS_BENCH_SCHEMA!r}, {SOLVER_BENCH_SCHEMA!r}, "
                         f"{LAB_SCHEMA!r}, {LAB_BENCH_SCHEMA!r}, "
-                        f"{CURVE_SCHEMA!r}, {SWEEP_BENCH_SCHEMA!r} or "
-                        f"{SERVICE_BENCH_SCHEMA!r}, got {schema!r}")
+                        f"{CURVE_SCHEMA!r}, {SWEEP_BENCH_SCHEMA!r}, "
+                        f"{SERVICE_BENCH_SCHEMA!r} or {SELFHOST_SCHEMA!r}, "
+                        f"got {schema!r}")
     if problems:
         raise SpecificationError(
             "invalid benchmark payload: " + "; ".join(problems))

@@ -24,6 +24,13 @@ makes the measurement pipeline itself survive them:
   and pickling corruption at the dispatch boundary on a seeded schedule,
   and :class:`ChaosRunner` asserts recovery is bit-identical to a
   fault-free run;
+* :mod:`repro.resilience.calibrate` — the closed analytic-empirical
+  loop: invert a self-host radius
+  (:mod:`repro.systems.selfhost`) into concrete
+  :class:`SupervisorConfig` retry parameters, replay the *real* chaos
+  harness inside and outside the predicted radius, and emit the
+  byte-stable ``repro-selfhost-v1`` artifact comparing predicted vs
+  measured feasibility;
 * :mod:`repro.resilience.checkpoint` — atomic JSON checkpoint/resume for
   long chunked runs (Monte-Carlo validation, experiment sweeps);
 * :mod:`repro.resilience.timeouts` / :mod:`repro.resilience.retry` — the
@@ -33,6 +40,12 @@ See ``docs/RESILIENCE.md`` and ``docs/CHAOS.md`` for the full design.
 """
 
 from repro.core.diagnostics import Quality, SolverAttempt
+from repro.resilience.calibrate import (
+    SELFHOST_SCHEMA,
+    PerTaskChaosPolicy,
+    calibrate_supervisor,
+    run_selfhost_loop,
+)
 from repro.resilience.cascade import CascadeConfig, SolverCascade
 from repro.resilience.chaos import (
     ChaosError,
@@ -84,4 +97,8 @@ __all__ = [
     "ChaosRunner",
     "bit_identical",
     "run_chaos_benchmark",
+    "SELFHOST_SCHEMA",
+    "PerTaskChaosPolicy",
+    "calibrate_supervisor",
+    "run_selfhost_loop",
 ]

@@ -1,0 +1,357 @@
+"""Radius → supervisor-config calibration: the closed analytic-empirical loop.
+
+The self-host system (:mod:`repro.systems.selfhost`) predicts, from a
+fluid model, how much simultaneous task-cost and worker-failure
+perturbation the :class:`~repro.resilience.supervisor.SupervisedExecutor`
+policy tolerates.  This module *tests* that prediction on the real
+executor:
+
+1. solve the two-kind FePIA analysis for the radius ``rho`` and the
+   boundary witness ``pi*`` of the critical feature;
+2. **invert** the radius into a concrete
+   :class:`~repro.resilience.supervisor.SupervisorConfig` — the smallest
+   retry budget whose fluid-predicted quarantined mass at the boundary
+   operating point stays under a budget (never below the policy the
+   radius was computed for);
+3. replay the *real* chaos harness at operating points scaled along the
+   boundary direction — inside the radius (ratio < 1) and outside
+   (ratio > 1) — with a :class:`PerTaskChaosPolicy` whose per-task
+   exception rates equal each task's perturbed worker failure rate;
+4. replay the measured per-task attempt counts through the *same* wave
+   accounting the prediction used
+   (:meth:`~repro.systems.selfhost.model.DispatchModel.replay`), and
+   compare predicted against measured feasibility feature by feature.
+
+Everything is wall-clock free: probe tasks return instantly and the
+measured features are recomputed from attempt counts, so the emitted
+``repro-selfhost-v1`` artifact is byte-identical for any runtime worker
+count, with tracing on or off (the acceptance contract every subsystem
+here carries).  Chaos schedules are pure functions of ``(seed, index,
+attempt)``, so a pinned seed pins the whole loop.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import SpecificationError
+from repro.parallel.bench import SELFHOST_SCHEMA
+from repro.resilience.chaos import ChaosPolicy
+from repro.resilience.retry import RetryPolicy
+from repro.resilience.supervisor import SupervisedExecutor, SupervisorConfig
+from repro.systems.selfhost.model import DispatchModel
+from repro.systems.selfhost.system import SelfhostSystem
+
+__all__ = [
+    "SELFHOST_SCHEMA",
+    "PerTaskChaosPolicy",
+    "calibrate_supervisor",
+    "run_selfhost_loop",
+]
+
+
+@dataclass(frozen=True)
+class PerTaskChaosPolicy(ChaosPolicy):
+    """A chaos schedule whose exception rate varies per task.
+
+    The calibration loop maps each task's *perturbed worker failure
+    rate* onto its exception probability, turning an abstract operating
+    point of the self-host system into a concrete fault schedule for the
+    real executor.  Draws stay a pure function of ``(seed, index,
+    attempt)`` exactly like the base policy — only the threshold the
+    second uniform is compared against becomes per-task.
+
+    Only exception faults are scheduled (kill/latency/corrupt stay 0 in
+    :meth:`from_rates`): exceptions never break the pool or charge
+    collateral attempts, which is what makes the measured
+    :class:`~repro.resilience.supervisor.BatchReport` — and hence the
+    artifact — identical for any runtime worker count.
+    """
+
+    task_exception_rates: tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        for rate in self.task_exception_rates:
+            if not 0.0 <= rate <= 1.0:
+                raise SpecificationError(
+                    f"per-task exception rates must be in [0, 1], got {rate}")
+
+    @classmethod
+    def from_rates(cls, model: DispatchModel, worker_rates, *,
+                   seed: int, max_injections_per_task: int
+                   ) -> "PerTaskChaosPolicy":
+        """The schedule realising one operating point of ``model``.
+
+        Task ``i`` draws exceptions at its round-robin worker's rate,
+        clipped to ``[0, 1]`` (boundary directions may overshoot the
+        physical box before clipping).
+        """
+        rates = np.clip(np.asarray(worker_rates, dtype=np.float64).ravel(),
+                        0.0, 1.0)
+        if rates.size != model.workers:
+            raise SpecificationError(
+                f"worker_rates must have length {model.workers}, got "
+                f"{rates.size}")
+        per_task = tuple(float(rates[w]) for w in model.worker_of())
+        return cls(seed=int(seed),
+                   max_injections_per_task=int(max_injections_per_task),
+                   task_exception_rates=per_task)
+
+    def _rate_for(self, index: int) -> float:
+        if not self.task_exception_rates:
+            return self.exception_rate
+        if not 0 <= index < len(self.task_exception_rates):
+            raise SpecificationError(
+                f"task index {index} outside the {len(self.task_exception_rates)}"
+                f"-task schedule")
+        return self.task_exception_rates[index]
+
+    def _fatal_raw_at(self, index: int, u: np.ndarray) -> str | None:
+        """Like the base ``_fatal_raw`` but with the per-task threshold."""
+        if u[0] < self.kill_rate:
+            return "kill"
+        if u[1] < self._rate_for(index):
+            return "exception"
+        if u[3] < self.corrupt_rate:
+            return "corrupt"
+        return None
+
+    def fatal_injections_before(self, index: int, attempt: int) -> int:
+        count = 0
+        for a in range(1, attempt):
+            if count >= self.max_injections_per_task:
+                break
+            if self._fatal_raw_at(index, self._draws(index, a)) is not None:
+                count += 1
+        return count
+
+    def fatal_kind(self, index: int, attempt: int) -> str | None:
+        before = self.fatal_injections_before(index, attempt)
+        if before >= self.max_injections_per_task:
+            return None
+        return self._fatal_raw_at(index, self._draws(index, attempt))
+
+    def to_dict(self) -> dict:
+        out = super().to_dict()
+        out["task_exception_rates"] = [float(r)
+                                       for r in self.task_exception_rates]
+        return out
+
+
+def calibrate_supervisor(
+    model: DispatchModel,
+    boundary_costs,
+    boundary_rates,
+    *,
+    quarantine_budget: float = 0.5,
+    retry_cap: int = 10,
+) -> tuple[SupervisorConfig, dict]:
+    """Invert a radius boundary point into supervisor retry parameters.
+
+    Finds the smallest ``max_task_retries`` whose fluid-predicted
+    quarantined mass *at the boundary operating point* — the worst
+    schedule the radius promises to tolerate — stays under
+    ``quarantine_budget`` tasks, then never goes below the retry budget
+    the radius was computed for (running a weaker policy than the one
+    analysed would invalidate the prediction).
+
+    Returns the config (near-zero retry backoff, the model's deadline as
+    ``task_timeout``) plus a diagnostics dict for the artifact.
+    """
+    if not quarantine_budget > 0:
+        raise SpecificationError(
+            f"quarantine_budget must be positive, got {quarantine_budget}")
+    required = None
+    for retries in range(retry_cap + 1):
+        candidate = DispatchModel(
+            n_tasks=model.n_tasks, workers=model.workers,
+            max_task_retries=retries, deadline=model.deadline,
+            breaker_threshold=model.breaker_threshold,
+            breaker_cooldown=model.breaker_cooldown)
+        mass = candidate.simulate(boundary_costs,
+                                  boundary_rates).quarantined_mass
+        if mass < quarantine_budget:
+            required = retries
+            break
+    if required is None:
+        raise SpecificationError(
+            f"no retry budget <= {retry_cap} keeps the boundary operating "
+            f"point under {quarantine_budget} quarantined task(s); the "
+            "requirement is not recoverable by retries alone")
+    chosen = max(required, model.max_task_retries)
+    config = SupervisorConfig(
+        task_timeout=model.deadline,
+        max_task_retries=chosen,
+        retry=RetryPolicy(backoff_base=1e-4, backoff_cap=1e-3))
+    diagnostics = {
+        "required_retries": int(required),
+        "model_retries": int(model.max_task_retries),
+        "max_task_retries": int(chosen),
+        "task_timeout": None if model.deadline is None
+        else float(model.deadline),
+        "quarantine_budget": float(quarantine_budget),
+        "boundary_quarantined_mass": float(mass),
+    }
+    return config, diagnostics
+
+
+def _selfhost_probe(index: int, cost: float):
+    """One schedulable unit of the closed-loop batch (picklable, instant).
+
+    The cost is *virtual* — measured features are recomputed from
+    attempt counts, never from wall clock — so the probe only echoes its
+    identity deterministically.
+    """
+    return (int(index), float(cost))
+
+
+def _clip_point(system: SelfhostSystem, flat: np.ndarray) -> np.ndarray:
+    """Clip a flat operating point into the physical box."""
+    n = system.n_tasks
+    out = np.array(flat, dtype=np.float64)
+    out[:n] = np.clip(out[:n], 0.0, None)
+    out[n:] = np.clip(out[n:], 0.0, 1.0)
+    return out
+
+
+def run_selfhost_loop(
+    system: SelfhostSystem | None = None,
+    *,
+    beta: float = 2.0,
+    seed: int = 2005,
+    ratios: tuple[float, ...] = (0.4, 1.8),
+    quarantine_budget: float = 0.5,
+    runtime_workers: int = 1,
+    solver_workers: int = 1,
+    executor=None,
+    service=None,
+) -> dict:
+    """Run the full closed loop and return the ``repro-selfhost-v1`` payload.
+
+    ``runtime_workers`` controls how many OS processes the chaos legs
+    dispatch over; it deliberately appears nowhere in the payload — the
+    artifact is byte-identical for any value (see the acceptance suite).
+    ``solver_workers``/``executor``/``service`` are the usual radius
+    fan-out seams.
+    """
+    if system is None:
+        system = SelfhostSystem.baseline(seed=seed)
+    if not ratios:
+        raise SpecificationError("need at least one leg ratio")
+    analysis = system.robustness_analysis(
+        beta, seed=seed, workers=solver_workers, executor=executor,
+        service=service)
+    radii = analysis.radii()
+    critical = analysis.critical_feature()
+    rho = analysis.rho()
+    result = radii[critical.name]
+    if result.boundary_point is None or not np.isfinite(result.radius):
+        raise SpecificationError(
+            f"critical feature {critical.name!r} has no finite boundary "
+            "witness; nothing to calibrate against")
+    pspace = analysis.pspace(critical)
+    pi_star = _clip_point(system, pspace.from_p(result.boundary_point))
+    pi_orig = system.pi_orig()
+    direction = pi_star - pi_orig
+
+    n = system.n_tasks
+    config, calibration = calibrate_supervisor(
+        system.model, pi_star[:n], pi_star[n:],
+        quarantine_budget=quarantine_budget)
+
+    origin = system.origin_metrics()
+    legs = []
+    in_ok = True
+    out_violates = True
+    for leg_index, ratio in enumerate(ratios):
+        point = _clip_point(system, pi_orig + float(ratio) * direction)
+        costs_q, rates_q = point[:n], point[n:]
+        predicted_values = analysis.feature_values(point)
+        predicted_feasible = analysis.all_satisfied(point)
+        expected = system.model.simulate(costs_q, rates_q)
+
+        policy = PerTaskChaosPolicy.from_rates(
+            system.model, rates_q, seed=seed * 100 + leg_index,
+            max_injections_per_task=config.max_task_retries)
+        tasks = [functools.partial(_selfhost_probe, i, float(costs_q[i]))
+                 for i in range(n)]
+        with SupervisedExecutor(runtime_workers, config=config,
+                                chaos=policy, seed=seed) as ex:
+            _, report = ex.run_report(tasks)
+        attempts = [o.attempts for o in report.outcomes]
+        quarantined = [o.status == "quarantined" for o in report.outcomes]
+        measured = system.model.replay(costs_q, attempts, quarantined)
+
+        measured_features = {}
+        measured_feasible = True
+        for spec in analysis.features:
+            metric = spec.name.removeprefix("selfhost_")
+            value = measured.value(metric)
+            satisfied = spec.feature.is_satisfied(value)
+            measured_features[spec.name] = {
+                "value": float(value),
+                "satisfied": bool(satisfied),
+                "bound": float(spec.feature.bounds.beta_max),
+            }
+            measured_feasible = measured_feasible and satisfied
+
+        legs.append({
+            "ratio": float(ratio),
+            "inside_radius": bool(ratio < 1.0),
+            "operating_point": {
+                "task_costs": [float(c) for c in costs_q],
+                "worker_fail_rates": [float(r) for r in rates_q],
+            },
+            "predicted_feasible": bool(predicted_feasible),
+            "predicted_features": {k: float(v)
+                                   for k, v in predicted_values.items()},
+            "expected_metrics": expected.to_dict(),
+            "measured_feasible": bool(measured_feasible),
+            "measured_features": measured_features,
+            "measured_metrics": measured.to_dict(),
+            "report": report.to_dict(),
+            "injections": {k: int(v) for k, v in sorted(
+                policy.scheduled_injections(attempts).items())},
+            "chaos_seed": int(policy.seed),
+        })
+        if ratio < 1.0:
+            in_ok = in_ok and predicted_feasible and measured_feasible \
+                and report.ok
+        else:
+            out_violates = out_violates and not predicted_feasible \
+                and not measured_feasible
+
+    per_parameter = analysis.per_parameter_radii(critical)
+    payload = {
+        "schema": SELFHOST_SCHEMA,
+        "seed": int(seed),
+        "beta": float(beta),
+        "norm": float(analysis.norm),
+        "weighting": type(analysis.weighting).__name__,
+        "system": {
+            "model": system.model.to_dict(),
+            "origin_metrics": origin.to_dict(),
+        },
+        "radii": {
+            name: {
+                "radius": float(r.radius),
+                "method": r.method,
+                "quality": r.quality.name,
+            }
+            for name, r in sorted(radii.items())
+        },
+        "per_parameter_radii": {k: float(v)
+                                for k, v in sorted(per_parameter.items())},
+        "rho": float(rho),
+        "critical_feature": critical.name,
+        "calibration": dict(calibration, policy_kind="PerTaskChaosPolicy"),
+        "legs": legs,
+        "in_radius_recovered": bool(in_ok),
+        "out_of_radius_violates": bool(out_violates),
+        "closed_loop": bool(in_ok and out_violates),
+    }
+    return payload

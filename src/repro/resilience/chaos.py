@@ -92,12 +92,17 @@ def _parse_latency(value: str) -> tuple[float, float | None]:
 
 #: Grammar of the CLI ``--chaos`` spec (shared parser: repro.utils.specs).
 _CHAOS_SPEC_FIELDS = (
-    SpecField("kill", float, dest="kill_rate"),
-    SpecField("exception", float, aliases=("exc",), dest="exception_rate"),
-    SpecField("latency", _parse_latency, dest="latency_spec"),
-    SpecField("corrupt", float, dest="corrupt_rate"),
-    SpecField("seed", int),
-    SpecField("cap", int, aliases=("max",), dest="max_injections_per_task"),
+    SpecField("kill", float, dest="kill_rate",
+              hint="a worker-kill rate in [0, 1]"),
+    SpecField("exception", float, aliases=("exc",), dest="exception_rate",
+              hint="an exception rate in [0, 1]"),
+    SpecField("latency", _parse_latency, dest="latency_spec",
+              hint="RATE or RATE:SECONDS, e.g. 0.2:0.005"),
+    SpecField("corrupt", float, dest="corrupt_rate",
+              hint="a pickling-corruption rate in [0, 1]"),
+    SpecField("seed", int, hint="an integer RNG seed"),
+    SpecField("cap", int, aliases=("max",), dest="max_injections_per_task",
+              hint="a per-task fatal-injection cap"),
 )
 
 
@@ -611,4 +616,6 @@ def run_chaos_benchmark(
         "identical": bool(identical),
         "chaos": policy.to_dict(),
         "executor": chaos_stats,
+        "report": (cha.last_report.to_dict()
+                   if cha.last_report is not None else None),
     }

@@ -250,12 +250,15 @@ def _parse_params(value: str) -> tuple[str, ...]:
 
 #: Grammar of the CLI ``--shock`` spec — same parser as ``--chaos``.
 _SHOCK_SPEC_FIELDS = (
-    SpecField("kind", str),
-    SpecField("magnitude", float, aliases=("mag",)),
-    SpecField("steps", int, dest="n_steps"),
-    SpecField("rate", float),
-    SpecField("jitter", float),
-    SpecField("params", _parse_params),
+    SpecField("kind", str, choices=SHOCK_KINDS),
+    SpecField("magnitude", float, aliases=("mag",),
+              hint="a shock scale in pi-space units"),
+    SpecField("steps", int, dest="n_steps",
+              hint="a positive trajectory length"),
+    SpecField("rate", float, hint="a per-step firing probability in [0, 1]"),
+    SpecField("jitter", float, hint="a non-negative noise scale"),
+    SpecField("params", _parse_params,
+              hint="colon-separated parameter names, e.g. a:b"),
     SpecField("name", str),
 )
 

@@ -11,7 +11,12 @@
 * :mod:`repro.systems.heuristics` — resource-allocation heuristics used as
   comparison baselines (OLB, MET, MCT, min-min, max-min, sufferage,
   random, and robustness-maximising local search / simulated annealing /
-  a genetic algorithm).
+  a genetic algorithm);
+* :mod:`repro.systems.selfhost` — the self-hosting workload: the
+  library's own :class:`~repro.resilience.supervisor.SupervisedExecutor`
+  dispatch policy modelled as an allocation with two perturbation kinds
+  (task costs, worker failure rates), closing the analytic-to-empirical
+  loop via :mod:`repro.resilience.calibrate`.
 """
 
 from repro.systems.independent import (
@@ -22,6 +27,7 @@ from repro.systems.independent import (
     generate_etc_range_based,
 )
 from repro.systems.hiperd import HiPerDSystem, generate_hiperd_system
+from repro.systems.selfhost import DispatchModel, SelfhostSystem
 
 __all__ = [
     "Allocation",
@@ -31,4 +37,6 @@ __all__ = [
     "generate_etc_range_based",
     "HiPerDSystem",
     "generate_hiperd_system",
+    "DispatchModel",
+    "SelfhostSystem",
 ]

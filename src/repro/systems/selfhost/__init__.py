@@ -1,0 +1,28 @@
+"""The self-hosting executor system: the reproduction measuring itself.
+
+Models the :class:`~repro.resilience.supervisor.SupervisedExecutor`
+dispatch policy (waves, deadlines, bounded retries, quarantine drain,
+breaker-degraded serial mode) as a third FePIA example system with two
+perturbation kinds — per-task costs and per-worker failure rates — and
+feeds it through the generic radius machinery.  The companion
+calibration layer (:mod:`repro.resilience.calibrate`) closes the loop
+by running the *real* chaos harness at operating points chosen inside
+and outside the computed radius.  See ``docs/SELFHOST.md``.
+"""
+
+from repro.systems.selfhost.model import (
+    SELFHOST_FEATURES,
+    DispatchModel,
+    SelfhostMetrics,
+)
+from repro.systems.selfhost.scenarios import selfhost_scenario_catalogue
+from repro.systems.selfhost.system import SelfhostMapping, SelfhostSystem
+
+__all__ = [
+    "SELFHOST_FEATURES",
+    "DispatchModel",
+    "SelfhostMetrics",
+    "SelfhostMapping",
+    "SelfhostSystem",
+    "selfhost_scenario_catalogue",
+]

@@ -1,0 +1,368 @@
+"""Deterministic fluid model of the :class:`SupervisedExecutor` dispatch policy.
+
+The self-hosting system closes the loop the ROADMAP asks for: the
+executor that *computes* robustness radii is itself modelled as a
+resource allocation whose robustness is measured.  The model reproduces
+the supervisor's dispatch semantics — wave scheduling, per-task
+deadlines, bounded retries, quarantine with an in-process drain
+(:func:`~repro.resilience.supervisor.resolve_task_failures`), and the
+circuit breaker's serial degraded mode — as a *fluid* recursion over
+per-task retry mass:
+
+* tasks are assigned round-robin (task ``i`` to worker ``i mod W``),
+  the supervisor's dispatch order;
+* each task starts wave 1 with retry mass ``1``; after a wave the mass
+  is multiplied by the task's effective failure probability (its
+  worker's failure rate, or ``1`` when the task's cost exceeds the
+  per-attempt deadline — a timeout fails *every* attempt);
+* a wave lasts as long as its most loaded worker (parallel dispatch) or
+  the sum of all loads (serial breaker-degraded dispatch); the breaker
+  trips when the failed mass of a wave reaches ``breaker_threshold``
+  and holds serial mode for ``breaker_cooldown`` waves, mirroring
+  :class:`~repro.resilience.supervisor.CircuitBreaker` event counting;
+* mass surviving all ``max_task_retries + 1`` waves is quarantined and
+  drained serially at full (undeadlined) cost, exactly like
+  ``resolve_task_failures`` re-running sentinels in-process.
+
+The same wave accounting evaluates a *measured* run: given the per-task
+attempt counts of a real :class:`~repro.resilience.supervisor.BatchReport`,
+:meth:`DispatchModel.replay` uses indicator masses (task ``i`` present in
+waves ``1..attempts_i``) instead of fluid expectations, producing the
+same three features from observed behaviour — wall-clock free, hence
+byte-stable across worker counts.
+
+Features (all monotone non-decreasing in every cost and failure rate,
+which keeps boundary searches well-posed):
+
+* ``makespan`` — total batch time: wave durations plus quarantine drain;
+* ``max_load`` — the largest cumulative load any single worker
+  processes (the max queue backlog of the rDLB setting);
+* ``recovery`` — time spent past the ideal first wave (retry waves plus
+  drain): how long the batch takes to *recover* from its failures.
+
+Every public entry point routes through one batched kernel
+(:meth:`DispatchModel._account_many`) whose per-row arithmetic is
+independent of the batch size, so a single :meth:`simulate` is
+bit-identical to the corresponding row of a :meth:`simulate_many` —
+the contract the solver kernels and the radius cache rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import SpecificationError
+
+__all__ = ["DispatchModel", "SelfhostMetrics", "SELFHOST_FEATURES"]
+
+#: Metric names exposed by :class:`SelfhostMetrics`, in canonical order.
+SELFHOST_FEATURES = ("makespan", "max_load", "recovery")
+
+
+@dataclass(frozen=True)
+class SelfhostMetrics:
+    """Performance features of one (simulated or replayed) batch.
+
+    Attributes
+    ----------
+    makespan:
+        Total batch completion time: every wave's duration plus the
+        serial quarantine drain.
+    max_load:
+        Largest cumulative load processed by any single worker across
+        all waves (the maximum queue backlog).
+    recovery:
+        Time past the ideal single-wave run — retry waves plus drain;
+        zero for a fault-free batch.
+    drain:
+        Serial in-process time re-running quarantined mass at full cost.
+    quarantined_mass:
+        Retry mass left after the final wave (fractional for the fluid
+        model, a task count for a replay).
+    wave_durations:
+        Per-wave durations, in dispatch order.
+    serial_waves:
+        Waves executed in breaker-degraded serial mode.
+    """
+
+    makespan: float
+    max_load: float
+    recovery: float
+    drain: float
+    quarantined_mass: float
+    wave_durations: tuple[float, ...]
+    serial_waves: int
+
+    def value(self, feature: str) -> float:
+        """The named feature (``makespan`` | ``max_load`` | ``recovery``)."""
+        if feature not in SELFHOST_FEATURES:
+            raise SpecificationError(
+                f"unknown selfhost feature {feature!r}; expected one of "
+                f"{SELFHOST_FEATURES}")
+        return getattr(self, feature)
+
+    def to_dict(self) -> dict:
+        """JSON-safe summary (used by the selfhost artifact)."""
+        return {
+            "makespan": float(self.makespan),
+            "max_load": float(self.max_load),
+            "recovery": float(self.recovery),
+            "drain": float(self.drain),
+            "quarantined_mass": float(self.quarantined_mass),
+            "waves": len(self.wave_durations),
+            "serial_waves": int(self.serial_waves),
+        }
+
+
+@dataclass(frozen=True)
+class DispatchModel:
+    """The supervisor's dispatch policy as a deterministic allocation model.
+
+    Attributes
+    ----------
+    n_tasks:
+        Batch size.
+    workers:
+        Modelled pool size ``W``; tasks are assigned round-robin.  This
+        is the *allocation under study*, independent of how many OS
+        processes a real run happens to use.
+    max_task_retries:
+        Re-invocations allowed per task after its first attempt
+        (:class:`~repro.resilience.supervisor.SupervisorConfig` field of
+        the same name); the model runs ``max_task_retries + 1`` waves.
+    deadline:
+        Optional per-attempt wall-clock deadline (``task_timeout``).  A
+        task whose cost exceeds it fails every attempt and is drained at
+        full cost after quarantine.
+    breaker_threshold:
+        Failed mass within one wave that trips the modelled breaker
+        (mirrors ``BreakerConfig.failure_threshold`` counting events;
+        scale it with the batch size — the real breaker counts
+        pool-level incidents, not individual task failures).
+    breaker_cooldown:
+        Waves the breaker holds serial mode once tripped
+        (mirrors ``BreakerConfig.cooldown``).
+    """
+
+    n_tasks: int
+    workers: int
+    max_task_retries: int = 2
+    deadline: float | None = None
+    breaker_threshold: float = 3.0
+    breaker_cooldown: int = 2
+
+    def __post_init__(self) -> None:
+        if self.n_tasks < 1:
+            raise SpecificationError(
+                f"n_tasks must be >= 1, got {self.n_tasks}")
+        if self.workers < 1:
+            raise SpecificationError(
+                f"workers must be >= 1, got {self.workers}")
+        if self.max_task_retries < 0:
+            raise SpecificationError(
+                f"max_task_retries must be >= 0, got {self.max_task_retries}")
+        if self.deadline is not None and not self.deadline > 0:
+            raise SpecificationError(
+                f"deadline must be positive, got {self.deadline}")
+        if not self.breaker_threshold > 0:
+            raise SpecificationError(
+                f"breaker_threshold must be positive, got "
+                f"{self.breaker_threshold}")
+        if self.breaker_cooldown < 1:
+            raise SpecificationError(
+                f"breaker_cooldown must be >= 1, got {self.breaker_cooldown}")
+
+    # ------------------------------------------------------------------
+    # assignment
+    # ------------------------------------------------------------------
+    def worker_of(self) -> np.ndarray:
+        """Round-robin worker index of every task."""
+        return np.arange(self.n_tasks) % self.workers
+
+    def tasks_on(self, worker: int) -> np.ndarray:
+        """Indices of the tasks assigned to ``worker``."""
+        return np.arange(worker, self.n_tasks, self.workers)
+
+    # ------------------------------------------------------------------
+    # the shared batched wave accounting
+    # ------------------------------------------------------------------
+    def _check_costs_rows(self, costs) -> np.ndarray:
+        costs = np.atleast_2d(np.asarray(costs, dtype=np.float64))
+        if costs.shape[-1] != self.n_tasks:
+            raise SpecificationError(
+                f"costs must have length {self.n_tasks}, got "
+                f"{costs.shape[-1]}")
+        # Boundary searches probe outside the physical box; clip so the
+        # features stay defined (and monotone) on all of pi-space.
+        return np.clip(costs, 0.0, None)
+
+    def _account_many(self, costs_rows: np.ndarray, mass_cube: np.ndarray,
+                      residual_rows: np.ndarray) -> dict:
+        """Fold per-wave task masses into feature arrays, row by row.
+
+        ``mass_cube[r, v, i]`` is task ``i``'s retry mass dispatched in
+        wave ``v`` of row ``r`` (fractional for the fluid model, 0/1 for
+        a replay); ``residual_rows[r]`` is the quarantined mass drained
+        after the last wave.  Per-row reductions run over fixed-shape
+        lanes, so results are bit-identical whether a row is evaluated
+        alone or inside a batch.
+        """
+        m, n_waves, _ = mass_cube.shape
+        attempt_cost = costs_rows if self.deadline is None \
+            else np.minimum(costs_rows, self.deadline)
+        contrib = mass_cube * attempt_cost[:, None, :]
+        # (m, n_waves, W) per-wave per-worker loads; a small loop over
+        # workers keeps every row's reduction order batch-independent.
+        loads = np.stack([contrib[:, :, self.tasks_on(w)].sum(axis=2)
+                          for w in range(self.workers)], axis=2)
+        worker_totals = loads.sum(axis=1)
+        makespan = np.zeros(m)
+        first_wave = np.zeros(m)
+        serial_waves = np.zeros(m, dtype=np.int64)
+        serial_remaining = np.zeros(m, dtype=np.int64)
+        durations = np.empty((m, n_waves))
+        for v in range(n_waves):
+            wave_loads = loads[:, v, :]
+            serial_now = serial_remaining > 0
+            dur = np.where(serial_now, wave_loads.sum(axis=1),
+                           wave_loads.max(axis=1))
+            durations[:, v] = dur
+            makespan += dur
+            if v == 0:
+                first_wave = dur.copy()
+            serial_waves += serial_now
+            serial_remaining = np.maximum(serial_remaining - 1, 0)
+            failed = mass_cube[:, v + 1, :].sum(axis=1) if v + 1 < n_waves \
+                else residual_rows.sum(axis=1)
+            serial_remaining = np.where(failed >= self.breaker_threshold,
+                                        self.breaker_cooldown,
+                                        serial_remaining)
+        drain = (residual_rows * costs_rows).sum(axis=1)
+        makespan = makespan + drain
+        return {
+            "makespan": makespan,
+            "max_load": worker_totals.max(axis=1),
+            "recovery": makespan - first_wave,
+            "drain": drain,
+            "quarantined_mass": residual_rows.sum(axis=1),
+            "durations": durations,
+            "serial_waves": serial_waves,
+        }
+
+    def _metrics_from_row(self, accounted: dict, row: int) -> SelfhostMetrics:
+        return SelfhostMetrics(
+            makespan=float(accounted["makespan"][row]),
+            max_load=float(accounted["max_load"][row]),
+            recovery=float(accounted["recovery"][row]),
+            drain=float(accounted["drain"][row]),
+            quarantined_mass=float(accounted["quarantined_mass"][row]),
+            wave_durations=tuple(float(d)
+                                 for d in accounted["durations"][row]),
+            serial_waves=int(accounted["serial_waves"][row]))
+
+    def _fluid_masses(self, costs_rows: np.ndarray, rates_rows: np.ndarray
+                      ) -> tuple[np.ndarray, np.ndarray]:
+        """Expected per-wave masses and quarantined residual, per row."""
+        f_eff = rates_rows[:, self.worker_of()]
+        if self.deadline is not None:
+            f_eff = np.where(costs_rows > self.deadline, 1.0, f_eff)
+        n_waves = self.max_task_retries + 1
+        m = costs_rows.shape[0]
+        mass_cube = np.empty((m, n_waves, self.n_tasks))
+        mass_cube[:, 0, :] = 1.0
+        for v in range(1, n_waves):
+            mass_cube[:, v, :] = mass_cube[:, v - 1, :] * f_eff
+        residual = mass_cube[:, -1, :] * f_eff
+        return mass_cube, residual
+
+    def _check_rates_rows(self, rates) -> np.ndarray:
+        rates = np.atleast_2d(np.asarray(rates, dtype=np.float64))
+        if rates.shape[-1] != self.workers:
+            raise SpecificationError(
+                f"fail_rates must have length {self.workers}, got "
+                f"{rates.shape[-1]}")
+        return np.clip(rates, 0.0, 1.0)
+
+    # ------------------------------------------------------------------
+    # fluid prediction and measured replay
+    # ------------------------------------------------------------------
+    def simulate(self, costs, fail_rates) -> SelfhostMetrics:
+        """Expected-behaviour features at ``(costs, fail_rates)``.
+
+        ``fail_rates`` is per *worker* (length ``W``); both inputs are
+        clipped to their physical ranges first so the mapping is total.
+        """
+        costs_rows = self._check_costs_rows(costs)
+        rates_rows = self._check_rates_rows(fail_rates)
+        if costs_rows.shape[0] != 1 or rates_rows.shape[0] != 1:
+            raise SpecificationError(
+                "simulate takes one operating point; use simulate_many "
+                "for batches")
+        mass_cube, residual = self._fluid_masses(costs_rows, rates_rows)
+        return self._metrics_from_row(
+            self._account_many(costs_rows, mass_cube, residual), 0)
+
+    def simulate_many(self, costs_rows, rates_rows) -> dict:
+        """Vectorised :meth:`simulate` over row batches.
+
+        Returns the feature arrays (``makespan``, ``max_load``,
+        ``recovery``, each shape ``(m,)``); row ``r`` is bit-identical
+        to ``simulate(costs_rows[r], rates_rows[r])`` — the solver
+        kernels' batching contract.
+        """
+        costs_rows = self._check_costs_rows(costs_rows)
+        rates_rows = self._check_rates_rows(rates_rows)
+        if costs_rows.shape[0] != rates_rows.shape[0]:
+            raise SpecificationError(
+                f"row counts differ: {costs_rows.shape[0]} cost rows vs "
+                f"{rates_rows.shape[0]} rate rows")
+        mass_cube, residual = self._fluid_masses(costs_rows, rates_rows)
+        out = self._account_many(costs_rows, mass_cube, residual)
+        return {name: out[name] for name in SELFHOST_FEATURES}
+
+    def replay(self, costs, attempts, quarantined=None) -> SelfhostMetrics:
+        """Measured features from a real run's per-task attempt counts.
+
+        ``attempts[i]`` is the invocations a
+        :class:`~repro.resilience.supervisor.BatchReport` charged to task
+        ``i``; ``quarantined[i]`` marks tasks that never succeeded (their
+        cost is drained at full price, like ``resolve_task_failures``).
+        Indicator masses feed the identical accounting as
+        :meth:`simulate`, so predicted and measured features are in the
+        same unit and directly comparable.
+        """
+        costs_rows = self._check_costs_rows(costs)
+        attempts = np.asarray(attempts, dtype=np.int64).ravel()
+        if attempts.size != self.n_tasks:
+            raise SpecificationError(
+                f"attempts must have length {self.n_tasks}, got "
+                f"{attempts.size}")
+        if np.any(attempts < 1):
+            raise SpecificationError("every task has at least one attempt")
+        if quarantined is None:
+            quarantined = np.zeros(self.n_tasks, dtype=bool)
+        else:
+            quarantined = np.asarray(quarantined, dtype=bool).ravel()
+            if quarantined.size != self.n_tasks:
+                raise SpecificationError(
+                    f"quarantined must have length {self.n_tasks}, got "
+                    f"{quarantined.size}")
+        n_waves = int(attempts.max())
+        waves = np.arange(1, n_waves + 1)[:, None]
+        mass_cube = (attempts[None, :] >= waves).astype(np.float64)[None]
+        residual = quarantined.astype(np.float64)[None]
+        return self._metrics_from_row(
+            self._account_many(costs_rows, mass_cube, residual), 0)
+
+    def to_dict(self) -> dict:
+        """JSON-safe model description (used by the selfhost artifact)."""
+        return {
+            "n_tasks": int(self.n_tasks),
+            "workers": int(self.workers),
+            "max_task_retries": int(self.max_task_retries),
+            "deadline": None if self.deadline is None else float(self.deadline),
+            "breaker_threshold": float(self.breaker_threshold),
+            "breaker_cooldown": int(self.breaker_cooldown),
+        }

@@ -1,0 +1,75 @@
+"""Shock catalogue for the self-hosting executor system.
+
+The self-host substrate has two genuinely different kinds — per-task
+costs in seconds and per-worker failure probabilities — so the star
+entry is ``retry-storm``: a correlated burst co-moving both kinds at
+once, the regime where the executor's retry waves and breaker matter.
+Magnitudes are scaled from the mean original value of each kind, the
+same convention as the HiPer-D catalogue (the generic solvers provide
+the radius to the lab at run time).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.scenarios.shocks import ShockScenario
+from repro.systems.selfhost.system import SelfhostSystem
+
+__all__ = ["selfhost_scenario_catalogue"]
+
+
+def selfhost_scenario_catalogue(
+    system: SelfhostSystem,
+    *,
+    n_steps: int = 40,
+    relative_magnitude: float = 0.4,
+) -> list[ShockScenario]:
+    """The shipped scenarios for a self-host system.
+
+    Parameters
+    ----------
+    system:
+        The :class:`~repro.systems.selfhost.system.SelfhostSystem` under
+        study; the catalogue reads its original costs and failure rates.
+    n_steps:
+        Trajectory length for every scenario.
+    relative_magnitude:
+        Shock scale as a fraction of the mean original value of the
+        touched kind(s).
+    """
+    mean_cost = float(np.mean(system.costs))
+    mean_rate = float(np.mean(system.fail_rates))
+    return [
+        ShockScenario(
+            name="retry-storm",
+            kind="correlated",
+            magnitude=relative_magnitude * mean_cost,
+            n_steps=n_steps,
+            description="one latent factor co-moving task costs and "
+                        "worker failure rates (multi-kind)"),
+        ShockScenario(
+            name="cost-spike",
+            kind="spike",
+            magnitude=relative_magnitude * mean_cost,
+            n_steps=n_steps,
+            rate=0.25,
+            params=("task_costs",),
+            description="sporadic per-task cost spikes (stragglers)"),
+        ShockScenario(
+            name="cost-drift",
+            kind="drift",
+            magnitude=relative_magnitude * mean_cost,
+            n_steps=n_steps,
+            jitter=0.1,
+            params=("task_costs",),
+            description="jittered uniform task-cost inflation"),
+        ShockScenario(
+            name="failure-surge",
+            kind="drift",
+            magnitude=4.0 * mean_rate,
+            n_steps=n_steps,
+            params=("worker_fail_rates",),
+            description="steady growth of every worker's failure "
+                        "probability toward the retry budget"),
+    ]

@@ -6,11 +6,13 @@ Several CLI flags take a comma-separated ``key=value`` mini-language::
     kind=spike,magnitude=0.3,steps=40,rate=0.25,name=surge    (--shock)
 
 :func:`parse_kv_spec` is the single parser behind all of them.  A
-:class:`SpecField` declares one accepted key (with aliases and a value
-converter); every parse failure raises a typed
+:class:`SpecField` declares one accepted key (with aliases, a value
+converter, an optional closed set of ``choices``, and an optional value
+``hint``); every parse failure raises a typed
 :class:`~repro.exceptions.SpecGrammarError` — a :class:`ValueError`
-subclass — that names the offending token and restates the accepted
-grammar, so a CLI typo reads as a usage message rather than a traceback.
+subclass — that names the offending token, lists what *would* have been
+accepted at that position, and restates the full grammar, so a CLI typo
+reads as a usage message rather than a traceback.
 """
 
 from __future__ import annotations
@@ -39,12 +41,22 @@ class SpecField:
         Alternative spellings accepted for this key.
     dest:
         Name of the entry in the parsed dict (defaults to ``key``).
+    choices:
+        Optional closed set of accepted *raw* values (checked before
+        ``convert``, case-insensitively); an out-of-set value is
+        rejected with a message listing the set.
+    hint:
+        Optional one-phrase description of the expected value shape,
+        appended to invalid-value messages (e.g. ``"a rate in [0, 1]"``
+        or ``"RATE[:SECONDS]"``).
     """
 
     key: str
     convert: Callable[[str], Any] = str
     aliases: tuple[str, ...] = ()
     dest: str | None = None
+    choices: tuple[str, ...] | None = None
+    hint: str | None = None
 
     @property
     def names(self) -> tuple[str, ...]:
@@ -56,10 +68,19 @@ class SpecField:
         """The parsed-dict key this field fills."""
         return self.dest if self.dest is not None else self.key
 
+    def describe(self) -> str:
+        """The key as shown in grammar/usage lines: aliases and choices."""
+        shown = self.key
+        if self.aliases:
+            shown += f" (alias {', '.join(self.aliases)})"
+        if self.choices:
+            shown += f"={'|'.join(self.choices)}"
+        return shown
+
 
 def spec_grammar(fields: Sequence[SpecField]) -> str:
     """One-line description of a spec grammar (for error messages)."""
-    keys = ", ".join(f.key for f in fields)
+    keys = ", ".join(f.describe() for f in fields)
     return f"a comma-separated list of key=value entries with keys: {keys}"
 
 
@@ -74,7 +95,9 @@ def parse_kv_spec(spec: str, fields: Sequence[SpecField], *,
         a stray comma usually means a typo the user wants to hear about.
     fields:
         The accepted keys (see :class:`SpecField`).  Duplicate keys in
-        the spec are rejected.
+        the spec are rejected; a field's ``choices`` set is enforced
+        here, centrally, so every grammar gets the same actionable
+        message.
     name:
         Label for error messages (e.g. ``"chaos spec"``).
 
@@ -86,8 +109,8 @@ def parse_kv_spec(spec: str, fields: Sequence[SpecField], *,
     Raises
     ------
     SpecGrammarError
-        On any malformed entry; the message names the bad token and the
-        accepted grammar.
+        On any malformed entry; the message names the bad token, what
+        was accepted at that position, and the full grammar.
     """
     grammar = spec_grammar(fields)
     if not isinstance(spec, str) or not spec.strip():
@@ -109,18 +132,26 @@ def parse_kv_spec(spec: str, fields: Sequence[SpecField], *,
                 grammar=grammar)
         field = by_name.get(key)
         if field is None:
+            valid = ", ".join(f.describe() for f in fields)
             raise SpecGrammarError(
-                f"{name} has an unknown key {key!r}", token=token,
-                grammar=grammar)
+                f"{name} has an unknown key {key!r}; valid keys: {valid}",
+                token=token, grammar=grammar)
         if field.target in seen:
             raise SpecGrammarError(
                 f"{name} repeats the key {field.key!r}", token=token,
                 grammar=grammar)
         seen.add(field.target)
+        if field.choices is not None and value.lower() not in field.choices:
+            raise SpecGrammarError(
+                f"{name} has an invalid value for {field.key!r}: {value!r} "
+                f"is not one of {', '.join(field.choices)}",
+                token=token, grammar=grammar)
         try:
             parsed[field.target] = field.convert(value)
         except ValueError:
+            detail = f"{name} has an invalid value for {field.key!r}"
+            if field.hint:
+                detail += f" (expected {field.hint})"
             raise SpecGrammarError(
-                f"{name} has an invalid value for {field.key!r}",
-                token=token, grammar=grammar) from None
+                detail, token=token, grammar=grammar) from None
     return parsed

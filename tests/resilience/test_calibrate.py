@@ -1,0 +1,136 @@
+"""Tests for the radius -> supervisor-config calibration layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.resilience.calibrate import (
+    PerTaskChaosPolicy,
+    calibrate_supervisor,
+    run_selfhost_loop,
+)
+from repro.systems.selfhost.model import DispatchModel
+
+
+@pytest.fixture
+def model():
+    return DispatchModel(n_tasks=4, workers=2, max_task_retries=2)
+
+
+class TestPerTaskChaosPolicy:
+    def test_from_rates_maps_round_robin(self, model):
+        policy = PerTaskChaosPolicy.from_rates(
+            model, [0.2, 0.7], seed=3, max_injections_per_task=2)
+        assert policy.task_exception_rates == (0.2, 0.7, 0.2, 0.7)
+        assert policy.seed == 3
+
+    def test_from_rates_clips_overshooting_directions(self, model):
+        policy = PerTaskChaosPolicy.from_rates(
+            model, [1.4, -0.2], seed=0, max_injections_per_task=1)
+        assert policy.task_exception_rates == (1.0, 0.0, 1.0, 0.0)
+
+    def test_from_rates_checks_length(self, model):
+        with pytest.raises(SpecificationError, match="length 2"):
+            PerTaskChaosPolicy.from_rates(model, [0.1],
+                                          seed=0, max_injections_per_task=1)
+
+    def test_direct_construction_validates_rates(self):
+        with pytest.raises(SpecificationError, match="per-task"):
+            PerTaskChaosPolicy(seed=0, max_injections_per_task=1,
+                               task_exception_rates=(1.5,))
+
+    def test_rate_one_task_faults_until_cap(self, model):
+        policy = PerTaskChaosPolicy.from_rates(
+            model, [1.0, 0.0], seed=5, max_injections_per_task=2)
+        # task 0 draws at rate 1: attempts 1 and 2 are exceptions, then
+        # the per-task cap silences the schedule.
+        assert policy.fatal_kind(0, 1) == "exception"
+        assert policy.fatal_kind(0, 2) == "exception"
+        assert policy.fatal_kind(0, 3) is None
+        assert policy.fatal_injections_before(0, 3) == 2
+        # task 1 draws at rate 0: never faulted.
+        for attempt in (1, 2, 3):
+            assert policy.fatal_kind(1, attempt) is None
+
+    def test_draws_are_pure_in_seed_index_attempt(self, model):
+        a = PerTaskChaosPolicy.from_rates(model, [0.5, 0.5], seed=11,
+                                          max_injections_per_task=3)
+        b = PerTaskChaosPolicy.from_rates(model, [0.5, 0.5], seed=11,
+                                          max_injections_per_task=3)
+        schedule_a = [a.fatal_kind(i, t) for i in range(4)
+                      for t in range(1, 5)]
+        schedule_b = [b.fatal_kind(i, t) for i in range(4)
+                      for t in range(1, 5)]
+        assert schedule_a == schedule_b
+
+    def test_index_outside_schedule_rejected(self, model):
+        policy = PerTaskChaosPolicy.from_rates(
+            model, [0.5, 0.5], seed=0, max_injections_per_task=1)
+        with pytest.raises(SpecificationError, match="task index"):
+            policy.fatal_kind(4, 1)
+
+    def test_to_dict_round_trips_rates(self, model):
+        policy = PerTaskChaosPolicy.from_rates(
+            model, [0.25, 0.5], seed=9, max_injections_per_task=2)
+        payload = policy.to_dict()
+        assert payload["task_exception_rates"] == [0.25, 0.5, 0.25, 0.5]
+        clone = PerTaskChaosPolicy(
+            seed=payload["seed"],
+            max_injections_per_task=payload["max_injections_per_task"],
+            task_exception_rates=tuple(payload["task_exception_rates"]))
+        assert clone == policy
+
+
+class TestCalibrateSupervisor:
+    def test_finds_smallest_sufficient_retry_budget(self):
+        model = DispatchModel(n_tasks=10, workers=1, max_task_retries=0)
+        # rate 0.5: residual mass is 10 * 0.5^(R+1); budget 0.5 task
+        # needs 10 * 0.5^(R+1) < 0.5, i.e. R >= 4.
+        config, diag = calibrate_supervisor(
+            model, np.ones(10), [0.5], quarantine_budget=0.5)
+        assert diag["required_retries"] == 4
+        assert config.max_task_retries == 4
+        assert diag["boundary_quarantined_mass"] < 0.5
+
+    def test_never_weakens_the_analysed_policy(self):
+        model = DispatchModel(n_tasks=4, workers=1, max_task_retries=6)
+        config, diag = calibrate_supervisor(
+            model, np.ones(4), [0.1], quarantine_budget=0.5)
+        # one retry would suffice at rate 0.1, but the radius was
+        # computed for a 6-retry policy; calibration must keep it.
+        assert diag["required_retries"] <= 1
+        assert config.max_task_retries == 6
+
+    def test_harsher_boundary_needs_more_retries(self):
+        model = DispatchModel(n_tasks=10, workers=1, max_task_retries=0)
+        _, mild = calibrate_supervisor(model, np.ones(10), [0.3],
+                                       quarantine_budget=0.5)
+        _, harsh = calibrate_supervisor(model, np.ones(10), [0.6],
+                                        quarantine_budget=0.5)
+        assert harsh["required_retries"] > mild["required_retries"]
+
+    def test_unrecoverable_boundary_is_an_error(self):
+        model = DispatchModel(n_tasks=2, workers=1, max_task_retries=0)
+        with pytest.raises(SpecificationError, match="not recoverable"):
+            calibrate_supervisor(model, np.ones(2), [1.0],
+                                 quarantine_budget=0.5)
+
+    def test_budget_must_be_positive(self):
+        model = DispatchModel(n_tasks=2, workers=1)
+        with pytest.raises(SpecificationError, match="quarantine_budget"):
+            calibrate_supervisor(model, np.ones(2), [0.1],
+                                 quarantine_budget=0.0)
+
+    def test_deadline_becomes_task_timeout(self):
+        model = DispatchModel(n_tasks=2, workers=1, deadline=3.0)
+        config, diag = calibrate_supervisor(model, np.ones(2), [0.2])
+        assert config.task_timeout == 3.0
+        assert diag["task_timeout"] == 3.0
+
+
+class TestRunSelfhostLoop:
+    def test_empty_ratios_rejected(self):
+        with pytest.raises(SpecificationError, match="leg ratio"):
+            run_selfhost_loop(ratios=())

@@ -77,6 +77,30 @@ class TestChaosPolicyParse:
         assert excinfo.value.token == "kill=high"
         assert "kill=high" in str(excinfo.value)
 
+    def test_invalid_value_message_includes_hint(self):
+        # Regression: a bad value must say what shape was expected, not
+        # just that conversion failed.
+        from repro.exceptions import SpecGrammarError
+
+        with pytest.raises(SpecGrammarError) as excinfo:
+            ChaosPolicy.parse("latency=often")
+        msg = str(excinfo.value)
+        assert "RATE or RATE:SECONDS" in msg
+        assert excinfo.value.token == "latency=often"
+        with pytest.raises(SpecGrammarError) as excinfo:
+            ChaosPolicy.parse("kill=high")
+        assert "a worker-kill rate in [0, 1]" in str(excinfo.value)
+
+    def test_unknown_key_message_lists_described_keys(self):
+        from repro.exceptions import SpecGrammarError
+
+        with pytest.raises(SpecGrammarError) as excinfo:
+            ChaosPolicy.parse("kaboom=1")
+        msg = str(excinfo.value)
+        assert "unknown key 'kaboom'" in msg
+        assert "exception (alias exc)" in msg
+        assert "cap (alias max)" in msg
+
     def test_duplicate_keys_rejected(self):
         from repro.exceptions import SpecGrammarError
 

@@ -153,6 +153,18 @@ class TestCircuitBreaker:
         assert snap == {"state": "closed", "opens": 0,
                         "consecutive_failures": 0}
 
+    def test_snapshot_tracks_half_open_retrip(self):
+        # The snapshot surfaced by `repro serve`/`repro chaos` must show
+        # the full half-open -> re-trip history, not just boolean health.
+        breaker = CircuitBreaker(BreakerConfig(failure_threshold=1,
+                                               cooldown=1))
+        breaker.record_pool_failure()
+        breaker.record_serial_execution(1)
+        assert breaker.snapshot()["state"] == "half_open"
+        breaker.record_pool_failure()
+        assert breaker.snapshot() == {"state": "open", "opens": 2,
+                                      "consecutive_failures": 2}
+
 
 class TestSupervisedRun:
     @pytest.mark.parametrize("workers", [1, 2])
@@ -331,6 +343,21 @@ class TestBatchReport:
             "breaker_state": "closed", "quality": "DEGRADED",
         }
 
+    def test_quality_tag_round_trips_through_to_dict(self):
+        # Satellite contract: the serialized quality tag must rebuild
+        # the exact Quality member, for clean and degraded batches.
+        exact = BatchReport(
+            outcomes=(TaskOutcome(0, "ok", 1, None, Quality.EXACT),),
+            waves=1, pool_breaks=0, respawns=0, breaker_state="closed")
+        assert exact.quality is Quality.EXACT
+        assert Quality[exact.to_dict()["quality"]] is Quality.EXACT
+        degraded = BatchReport(
+            outcomes=(TaskOutcome(0, "recovered", 2, None,
+                                  Quality.DEGRADED),),
+            waves=2, pool_breaks=0, respawns=0, breaker_state="closed")
+        assert Quality[degraded.to_dict()["quality"]] is degraded.quality
+        assert degraded.quality is Quality.DEGRADED
+
 
 class TestResolveTaskFailures:
     def test_passthrough_without_sentinels(self):
@@ -369,6 +396,31 @@ class TestResolveTaskFailures:
         assert updated.quality is Quality.DEGRADED
         assert updated.to_dict()["recovered"] == 1
         assert updated.to_dict()["quality"] == "DEGRADED"
+
+    def test_all_quarantined_batch_does_not_report_ok(self):
+        # An all-degraded batch must not silently report ok: every task
+        # quarantined -> ok is False, and even after resolution re-runs
+        # every sentinel successfully the DEGRADED tag must survive.
+        with SupervisedExecutor(1, config=_fast_config(max_task_retries=1),
+                                seed=0) as ex:
+            results, report = ex.run_report([_boom, _boom, _boom])
+            assert all(isinstance(r, TaskFailure) for r in results)
+            assert not report.ok
+            assert report.n_quarantined == 3
+            assert all(o.status == "quarantined" for o in report.outcomes)
+            assert report.quality is Quality.DEGRADED
+            payload = report.to_dict()
+            assert payload["ok"] == 0 and payload["quarantined"] == 3
+            assert Quality[payload["quality"]] is Quality.DEGRADED
+            tasks = [Task(_square, (i,)) for i in range(3)]
+            resolved = resolve_task_failures(results, tasks, executor=ex)
+        assert resolved == [0, 1, 4]
+        updated = ex.last_report
+        assert updated.ok  # values are real now...
+        assert updated.n_quarantined == 0
+        assert updated.n_recovered == 3
+        assert updated.quality is Quality.DEGRADED  # ...but history stays
+        assert Quality[updated.to_dict()["quality"]] is Quality.DEGRADED
 
     def test_resolution_without_executor_keeps_old_signature(self):
         results = [TaskFailure(index=0, error="transient", attempts=2)]

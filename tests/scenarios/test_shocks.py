@@ -156,3 +156,28 @@ class TestSpecGrammar:
                             parse_shock_spec, "kind=vortex,magnitude=1")
         assert isinstance(err.value, ValueError)
         assert "vortex" in str(err.value)
+
+    def test_invalid_kind_lists_valid_kinds_and_token(self):
+        # Regression: the message must name every accepted kind and the
+        # offending token, so a CLI typo reads as a usage line.
+        with pytest.raises(SpecGrammarError) as err:
+            parse_shock_spec("kind=frobnicate,magnitude=1")
+        msg = str(err.value)
+        for kind in ("spike", "drift", "correlated"):
+            assert kind in msg
+        assert err.value.token == "kind=frobnicate"
+        assert "kind=frobnicate" in msg
+
+    def test_unknown_key_message_lists_described_keys(self):
+        with pytest.raises(SpecGrammarError) as err:
+            parse_shock_spec("kind=spike,magnitude=1,wibble=2")
+        msg = str(err.value)
+        assert "unknown key 'wibble'" in msg
+        assert "magnitude (alias mag)" in msg
+        assert "kind=spike|drift|correlated" in msg
+
+    def test_invalid_value_message_includes_hint(self):
+        with pytest.raises(SpecGrammarError) as err:
+            parse_shock_spec("kind=spike,magnitude=big")
+        assert "a shock scale in pi-space units" in str(err.value)
+        assert err.value.token == "magnitude=big"

@@ -1,0 +1,200 @@
+"""Tests for the self-hosting dispatch-policy fluid model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SpecificationError
+from repro.systems.selfhost.model import (
+    SELFHOST_FEATURES,
+    DispatchModel,
+    SelfhostMetrics,
+)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs, match", [
+        (dict(n_tasks=0, workers=1), "n_tasks"),
+        (dict(n_tasks=1, workers=0), "workers"),
+        (dict(n_tasks=1, workers=1, max_task_retries=-1), "max_task_retries"),
+        (dict(n_tasks=1, workers=1, deadline=0.0), "deadline"),
+        (dict(n_tasks=1, workers=1, breaker_threshold=0.0),
+         "breaker_threshold"),
+        (dict(n_tasks=1, workers=1, breaker_cooldown=0), "breaker_cooldown"),
+    ])
+    def test_bad_policy_rejected(self, kwargs, match):
+        with pytest.raises(SpecificationError, match=match):
+            DispatchModel(**kwargs)
+
+    def test_costs_length_checked(self):
+        model = DispatchModel(n_tasks=3, workers=2)
+        with pytest.raises(SpecificationError, match="length 3"):
+            model.simulate([1.0, 2.0], [0.0, 0.0])
+
+    def test_rates_length_checked(self):
+        model = DispatchModel(n_tasks=3, workers=2)
+        with pytest.raises(SpecificationError, match="length 2"):
+            model.simulate([1.0, 2.0, 3.0], [0.0])
+
+    def test_simulate_rejects_batches(self):
+        model = DispatchModel(n_tasks=2, workers=1)
+        with pytest.raises(SpecificationError, match="one operating point"):
+            model.simulate([[1.0, 2.0], [3.0, 4.0]], [0.1])
+
+    def test_row_count_mismatch_rejected(self):
+        model = DispatchModel(n_tasks=2, workers=1)
+        with pytest.raises(SpecificationError, match="row counts"):
+            model.simulate_many(np.ones((3, 2)), np.full((2, 1), 0.1))
+
+    def test_metrics_unknown_feature_rejected(self):
+        metrics = DispatchModel(n_tasks=1, workers=1).simulate([1.0], [0.0])
+        with pytest.raises(SpecificationError, match="unknown selfhost"):
+            metrics.value("latency")
+
+
+class TestAssignment:
+    def test_round_robin(self):
+        model = DispatchModel(n_tasks=5, workers=2)
+        np.testing.assert_array_equal(model.worker_of(), [0, 1, 0, 1, 0])
+        np.testing.assert_array_equal(model.tasks_on(0), [0, 2, 4])
+        np.testing.assert_array_equal(model.tasks_on(1), [1, 3])
+
+
+class TestFluidSimulation:
+    def test_zero_rates_degenerate_to_single_wave_makespan(self):
+        # Worker 0 gets costs {2, 9} (load 11), worker 1 gets {4}.
+        model = DispatchModel(n_tasks=3, workers=2, max_task_retries=2)
+        m = model.simulate([2.0, 4.0, 9.0], [0.0, 0.0])
+        assert m.makespan == 11.0
+        assert m.max_load == 11.0
+        assert m.recovery == 0.0
+        assert m.drain == 0.0
+        assert m.quarantined_mass == 0.0
+        assert m.serial_waves == 0
+        assert m.wave_durations == (11.0, 0.0, 0.0)
+
+    def test_geometric_retry_mass(self):
+        # One worker, one unit task, rate 1/2, one retry:
+        # waves carry mass 1 then 1/2; residual 1/4 drains at full cost.
+        model = DispatchModel(n_tasks=1, workers=1, max_task_retries=1)
+        m = model.simulate([1.0], [0.5])
+        assert m.wave_durations == (1.0, 0.5)
+        assert m.drain == 0.25
+        assert m.makespan == 1.75
+        assert m.recovery == 0.75
+        assert m.max_load == 1.5  # drain is serial, not a worker load
+        assert m.quarantined_mass == 0.25
+
+    def test_breaker_serial_wave_sums_loads(self):
+        # Wave-2 failed mass 1.0 trips a 0.9 threshold: the retry wave
+        # runs serially (0.5 + 0.5) instead of in parallel (max 0.5).
+        serial = DispatchModel(n_tasks=2, workers=2, max_task_retries=1,
+                               breaker_threshold=0.9, breaker_cooldown=1)
+        parallel = DispatchModel(n_tasks=2, workers=2, max_task_retries=1,
+                                 breaker_threshold=100.0)
+        ms = serial.simulate([1.0, 1.0], [0.5, 0.5])
+        mp = parallel.simulate([1.0, 1.0], [0.5, 0.5])
+        assert ms.serial_waves == 1 and mp.serial_waves == 0
+        assert ms.wave_durations == (1.0, 1.0)
+        assert mp.wave_durations == (1.0, 0.5)
+        assert ms.makespan == mp.makespan + 0.5
+
+    def test_deadline_fails_oversized_task_every_wave(self):
+        # Cost 2 > deadline 1: every attempt times out at the deadline,
+        # the task is quarantined and drained at its full cost.
+        model = DispatchModel(n_tasks=1, workers=1, max_task_retries=1,
+                              deadline=1.0)
+        m = model.simulate([2.0], [0.0])
+        assert m.wave_durations == (1.0, 1.0)
+        assert m.quarantined_mass == 1.0
+        assert m.drain == 2.0
+        assert m.makespan == 4.0
+
+    def test_inputs_clipped_to_physical_box(self):
+        # Boundary searches probe outside the box; the mapping stays
+        # total: negative costs clip to 0, rates clip into [0, 1].
+        model = DispatchModel(n_tasks=2, workers=1, max_task_retries=0)
+        m = model.simulate([-1.0, 2.0], [1.5])
+        assert m.makespan == m.wave_durations[0] + m.drain
+        assert m.quarantined_mass == 2.0  # clipped rate 1.0 fails all
+
+    def test_monotone_in_costs_and_rates(self):
+        model = DispatchModel(n_tasks=4, workers=2, max_task_retries=2)
+        base = model.simulate([1.0, 2.0, 3.0, 4.0], [0.2, 0.3])
+        costlier = model.simulate([1.5, 2.0, 3.0, 4.0], [0.2, 0.3])
+        flakier = model.simulate([1.0, 2.0, 3.0, 4.0], [0.2, 0.5])
+        for name in SELFHOST_FEATURES:
+            assert costlier.value(name) >= base.value(name)
+            assert flakier.value(name) >= base.value(name)
+
+
+class TestBatchingContract:
+    def test_simulate_many_rows_bit_identical_to_simulate(self):
+        model = DispatchModel(n_tasks=7, workers=3, max_task_retries=2,
+                              breaker_threshold=1.5)
+        rng = np.random.default_rng(42)
+        costs_rows = rng.gamma(2.0, 1.0, size=(11, 7))
+        rates_rows = rng.random((11, 3)) * 0.6
+        batched = model.simulate_many(costs_rows, rates_rows)
+        for r in range(11):
+            single = model.simulate(costs_rows[r], rates_rows[r])
+            for name in SELFHOST_FEATURES:
+                assert batched[name][r] == single.value(name), \
+                    f"row {r} feature {name} differs from scalar evaluation"
+
+
+class TestReplay:
+    def test_single_attempt_replay_matches_faultless_fluid(self):
+        model = DispatchModel(n_tasks=3, workers=2)
+        costs = [2.0, 4.0, 9.0]
+        replayed = model.replay(costs, [1, 1, 1])
+        fluid = model.simulate(costs, [0.0, 0.0])
+        for name in SELFHOST_FEATURES:
+            assert replayed.value(name) == fluid.value(name)
+
+    def test_attempt_counts_become_indicator_waves(self):
+        model = DispatchModel(n_tasks=2, workers=2)
+        m = model.replay([1.0, 3.0], [2, 1])
+        # wave 1 runs both tasks (max 3), wave 2 only task 0 (1.0)
+        assert m.wave_durations == (3.0, 1.0)
+        assert m.makespan == 4.0
+        assert m.recovery == 1.0
+
+    def test_quarantined_tasks_drain_at_full_cost(self):
+        model = DispatchModel(n_tasks=2, workers=2, deadline=1.0)
+        m = model.replay([1.0, 5.0], [1, 2], quarantined=[False, True])
+        assert m.drain == 5.0
+        assert m.quarantined_mass == 1.0
+
+    @pytest.mark.parametrize("attempts, quarantined, match", [
+        ([1], None, "length 2"),
+        ([1, 0], None, "at least one attempt"),
+        ([1, 1], [True], "length 2"),
+    ])
+    def test_replay_validation(self, attempts, quarantined, match):
+        model = DispatchModel(n_tasks=2, workers=1)
+        with pytest.raises(SpecificationError, match=match):
+            model.replay([1.0, 1.0], attempts, quarantined)
+
+
+class TestSerialization:
+    def test_model_to_dict(self):
+        model = DispatchModel(n_tasks=4, workers=2, max_task_retries=1,
+                              deadline=2.5, breaker_threshold=2.0,
+                              breaker_cooldown=3)
+        assert model.to_dict() == {
+            "n_tasks": 4, "workers": 2, "max_task_retries": 1,
+            "deadline": 2.5, "breaker_threshold": 2.0,
+            "breaker_cooldown": 3,
+        }
+
+    def test_metrics_to_dict_is_json_safe(self):
+        import json
+
+        m = DispatchModel(n_tasks=2, workers=1,
+                          max_task_retries=1).simulate([1.0, 2.0], [0.25])
+        payload = m.to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["waves"] == 2
+        assert isinstance(m, SelfhostMetrics)

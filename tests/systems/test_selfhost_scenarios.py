@@ -1,0 +1,62 @@
+"""Tests for the self-host shock catalogue."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.systems.selfhost import (
+    SelfhostSystem,
+    selfhost_scenario_catalogue,
+)
+
+
+@pytest.fixture
+def system():
+    return SelfhostSystem.baseline(n_tasks=12, workers=2, seed=5)
+
+
+class TestCatalogue:
+    def test_names_and_kinds(self, system):
+        catalogue = selfhost_scenario_catalogue(system)
+        by_name = {sc.name: sc for sc in catalogue}
+        assert set(by_name) == {"retry-storm", "cost-spike", "cost-drift",
+                                "failure-surge"}
+        assert by_name["retry-storm"].kind == "correlated"
+        assert by_name["cost-spike"].kind == "spike"
+        assert by_name["cost-drift"].kind == "drift"
+        assert by_name["failure-surge"].kind == "drift"
+
+    def test_multi_kind_star_entry_touches_everything(self, system):
+        catalogue = selfhost_scenario_catalogue(system)
+        storm = next(sc for sc in catalogue if sc.name == "retry-storm")
+        assert storm.params == ()  # empty means all parameters
+        params = system.perturbation_parameters()
+        moved = storm.displacements(seed=3, trajectory=0, step=1,
+                                    params=params)
+        assert set(moved) == {"task_costs", "worker_fail_rates"}
+        assert moved["task_costs"].shape == (system.n_tasks,)
+        assert moved["worker_fail_rates"].shape == (system.workers,)
+
+    def test_single_kind_entries_scope_their_parameter(self, system):
+        catalogue = selfhost_scenario_catalogue(system)
+        surge = next(sc for sc in catalogue if sc.name == "failure-surge")
+        moved = surge.displacements(seed=3, trajectory=0, step=0,
+                                    params=system.perturbation_parameters())
+        assert set(moved) == {"worker_fail_rates"}
+
+    def test_magnitudes_scale_with_the_system(self, system):
+        small = selfhost_scenario_catalogue(system,
+                                            relative_magnitude=0.1)
+        large = selfhost_scenario_catalogue(system,
+                                            relative_magnitude=0.8)
+        for a, b in zip(small, large):
+            if a.name == "failure-surge":
+                continue  # scaled from the mean rate, not the knob
+            assert b.magnitude == pytest.approx(8.0 * a.magnitude)
+        mean_cost = float(np.mean(system.costs))
+        assert small[0].magnitude == pytest.approx(0.1 * mean_cost)
+
+    def test_steps_knob_propagates(self, system):
+        for sc in selfhost_scenario_catalogue(system, n_steps=7):
+            assert sc.n_steps == 7
