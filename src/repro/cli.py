@@ -37,6 +37,8 @@ The ``experiments`` command additionally supports
 times the sweep serially vs in parallel, writing a
 ``repro-bench-parallel-v1`` JSON payload; ``bench-solvers`` times the
 scalar vs batched solver kernels, writing a ``repro-bench-solvers-v1``
+payload; ``bench-radii`` times the per-problem radius loop against the
+cross-problem tensor kernel, writing a ``repro-bench-radii-v1``
 payload; ``chaos`` replays a seeded chaos schedule against the
 sweep, verifying bit-identical recovery and writing a
 ``repro-bench-chaos-v1`` payload; ``curve`` walks a warm-started
@@ -169,6 +171,19 @@ def build_parser() -> argparse.ArgumentParser:
     sol.add_argument("--out", default="BENCH_solvers.json", metavar="PATH",
                      help="benchmark payload destination "
                           "(default BENCH_solvers.json)")
+
+    rad = sub.add_parser("bench-radii",
+                         help="time the per-problem radius loop vs the "
+                              "cross-problem tensor kernel and write a "
+                              "JSON benchmark payload")
+    rad.add_argument("--problems", type=int, default=32, metavar="N",
+                     help="radius problems in the structural group "
+                          "(default 32)")
+    rad.add_argument("--dimension", type=int, default=12, metavar="N",
+                     help="perturbation-space dimension (default 12)")
+    rad.add_argument("--out", default="BENCH_radii.json", metavar="PATH",
+                     help="benchmark payload destination "
+                          "(default BENCH_radii.json)")
 
     cur = sub.add_parser("curve",
                          help="degradation curve rho(beta) of the makespan "
@@ -569,6 +584,28 @@ def _cmd_bench_solvers(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_bench_radii(args) -> int:
+    from repro.core.solvers.radii_bench import run_radius_batch_benchmark
+    from repro.parallel.bench import write_benchmark
+
+    payload = run_radius_batch_benchmark(problems=args.problems,
+                                         dimension=args.dimension,
+                                         seed=args.seed)
+    write_benchmark(payload, args.out)
+    print(f"per-problem loop {payload['scalar_seconds']:.4f}s "
+          f"({payload['scalar_evals']} evals over "
+          f"{payload['problems']} problems)")
+    print(f"tensor kernel    {payload['tensor_seconds']:.4f}s "
+          f"({payload['tensor_evals']} evals, "
+          f"{payload['eval_reduction']:.1f}x fewer, "
+          f"{payload['speedup']:.2f}x faster)")
+    print(f"identical results: {payload['identical']}")
+    print(f"written to {args.out}")
+    ok = (payload["identical"] and payload["speedup"] >= 3.0
+          and payload["eval_reduction"] >= 10.0)
+    return 0 if ok else 1
+
+
 def _cmd_curve(args) -> int:
     import contextlib
     import math
@@ -956,6 +993,7 @@ _COMMANDS = {
     "experiments": _cmd_experiments,
     "bench-parallel": _cmd_bench_parallel,
     "bench-solvers": _cmd_bench_solvers,
+    "bench-radii": _cmd_bench_radii,
     "curve": _cmd_curve,
     "bench-sweep": _cmd_bench_sweep,
     "serve": _cmd_serve,

@@ -1,0 +1,149 @@
+"""Array-backend seam for the solver kernels.
+
+The solver kernels under :mod:`repro.core.solvers` never import NumPy
+directly (a lint-gated rule); they import the :data:`xp` proxy from this
+module instead::
+
+    from repro.core.backend import xp
+
+    points = xp.asarray(origin) + ts[:, None] * directions
+
+``xp`` forwards every attribute access to the *active* array module —
+NumPy by default — so the kernels are written once against the NumPy API
+and an API-compatible accelerator backend (numba's ``numpy`` shim, JAX's
+``jax.numpy``, CuPy, ...) can be dropped in later without touching
+solver logic.  Backends register under a short name and activate via
+:func:`set_backend` or the :func:`use_backend` context manager::
+
+    import repro.core.backend as backend
+
+    backend.register_backend("jax", "jax.numpy")   # import is lazy
+    with backend.use_backend("jax"):
+        ...  # solver kernels now call jax.numpy
+
+Two caveats the kernels rely on:
+
+* **Bit-identity is a NumPy-backend contract.**  The batched/scalar
+  bit-identity promises pinned across ``tests/core`` hold for the default
+  NumPy backend; an alternate backend may legitimately produce different
+  last-bit floats (different reduction orders, fused multiply-adds) and
+  is expected to be validated against its own tolerance, not bitwise.
+* **The proxy is attribute-level.**  ``xp.float64``, ``xp.errstate``,
+  ``xp.linalg.norm`` … all resolve on the active module at call time, so
+  switching backends affects subsequent calls immediately; values already
+  produced by the previous backend are plain arrays and remain valid
+  inputs wherever the APIs interoperate.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import importlib
+from types import ModuleType
+
+import numpy as _numpy
+
+from repro.exceptions import SpecificationError
+
+__all__ = [
+    "xp",
+    "ArrayBackend",
+    "active_backend",
+    "available_backends",
+    "backend_module",
+    "register_backend",
+    "set_backend",
+    "use_backend",
+]
+
+#: Registered backends: name -> module object or lazy import path.
+_REGISTRY: dict[str, ModuleType | str] = {"numpy": _numpy}
+_active_name: str = "numpy"
+_active_module: ModuleType = _numpy
+
+
+class ArrayBackend:
+    """Attribute proxy forwarding to the active array module."""
+
+    __slots__ = ()
+
+    def __getattr__(self, name: str):
+        return getattr(_active_module, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<xp backend={_active_name!r} ({_active_module.__name__})>"
+
+
+#: The provider the solver kernels import instead of ``numpy``.
+xp = ArrayBackend()
+
+
+def active_backend() -> str:
+    """Name of the backend ``xp`` currently forwards to."""
+    return _active_name
+
+
+def backend_module() -> ModuleType:
+    """The module object behind ``xp`` (default: ``numpy``)."""
+    return _active_module
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted; registration != importable."""
+    return tuple(sorted(_REGISTRY))
+
+
+def register_backend(name: str, module: ModuleType | str) -> None:
+    """Register an array backend under ``name``.
+
+    ``module`` is either an imported module object or a dotted import
+    path resolved lazily on first :func:`set_backend` — registering a
+    backend whose dependency is absent is free and safe.
+    """
+    if not name or not isinstance(name, str):
+        raise SpecificationError(f"backend name must be a non-empty string, "
+                                 f"got {name!r}")
+    if not isinstance(module, (ModuleType, str)):
+        raise SpecificationError(
+            f"backend {name!r} must register a module or an import path, "
+            f"got {type(module).__name__}")
+    _REGISTRY[name] = module
+
+
+def set_backend(name: str) -> str:
+    """Activate a registered backend; returns the previous backend's name.
+
+    Raises :class:`~repro.exceptions.SpecificationError` for an unknown
+    name or a lazily-registered backend whose import fails — in both
+    cases the active backend is left unchanged.
+    """
+    global _active_name, _active_module
+    try:
+        entry = _REGISTRY[name]
+    except KeyError:
+        raise SpecificationError(
+            f"unknown array backend {name!r}; registered: "
+            f"{', '.join(available_backends())}") from None
+    if isinstance(entry, str):
+        try:
+            entry = importlib.import_module(entry)
+        except ImportError as exc:
+            raise SpecificationError(
+                f"array backend {name!r} is registered but not importable: "
+                f"{exc}") from exc
+        _REGISTRY[name] = entry
+    previous = _active_name
+    _active_name = name
+    _active_module = entry
+    return previous
+
+
+@contextlib.contextmanager
+def use_backend(name: str):
+    """Context manager activating ``name`` and restoring the previous
+    backend on exit; yields the :data:`xp` proxy."""
+    previous = set_backend(name)
+    try:
+        yield xp
+    finally:
+        set_backend(previous)

@@ -42,7 +42,7 @@ from repro.exceptions import (
     InfeasibleAllocationError,
     SpecificationError,
 )
-from repro.observability import get_metrics, span
+from repro.observability import emit_event, get_metrics, span
 from repro.parallel.cache import resolve_cache
 from repro.parallel.executor import Task
 from repro.utils.validation import as_1d_float_array, check_finite
@@ -438,9 +438,33 @@ def _solve_problems_task(problems: list[RadiusProblem], method: Method,
     One task per *group* (instead of per problem) amortises the per-task
     pickling of the shared mapping/analysis objects the group's problems
     reference.  Workers consult their own default cache, exactly like a
-    single-problem dispatch would.
+    single-problem dispatch would.  Kept as the scalar reference body;
+    the dispatcher sends shards through the tensorised
+    :func:`~repro.core.solvers.tensor._solve_group_task` instead.
     """
     return [compute_radius(p, method=method, seed=seed) for p in problems]
+
+
+def _worker_shards(group_indices: list[list[int]],
+                   workers: int) -> list[list[int]]:
+    """Split structural groups into executor shards.
+
+    Every group is at least one shard; when there are fewer groups than
+    workers, the groups are cut into contiguous slices so idle workers
+    get pieces of the same tensor instead of sitting out the batch (the
+    old dispatcher fell back to a serial loop whenever the batch was one
+    homogeneous group).  Slicing is deterministic and order-preserving;
+    shard boundaries never change results (element ``i`` is bit-identical
+    to ``compute_radius(problems[i])`` regardless of grouping).
+    """
+    shards: list[list[int]] = []
+    per_group = max(1, workers // max(1, len(group_indices)))
+    for idxs in group_indices:
+        cuts = min(per_group, len(idxs))
+        size = -(-len(idxs) // cuts)  # ceil division
+        for start in range(0, len(idxs), size):
+            shards.append(idxs[start:start + size])
+    return shards
 
 
 def _solver_structure(problem: RadiusProblem, method: Method) -> tuple:
@@ -495,8 +519,23 @@ def compute_radii(problems: Sequence[RadiusProblem], *,
         batch is submitted there instead of being solved in-process
         (``cache`` and ``executor`` are then ignored — the service owns
         its own).  Results stay bit-identical to the in-process path.
+
+        **Cache-bypass contract**: on the service path the ``cache``
+        argument (and any installed process-wide default cache) is
+        *neither consulted nor populated* — the service's worker pool
+        owns the caching story, and its cross-process cache entries do
+        not flow back into the caller's local :class:`RadiusCache`.  A
+        later in-process call with the same problems therefore starts
+        cold.  The bypass is observable: a ``cache.bypass`` event (with
+        the batch size) and a ``radius.cache_bypass`` metric are emitted
+        whenever a cache *would* have been consulted but the batch went
+        to the service instead.
     """
     if service is not None:
+        if resolve_cache(cache) is not None:
+            emit_event("cache.bypass", reason="service",
+                       problems=len(problems))
+            get_metrics().inc("radius.cache_bypass")
         return service.compute(problems, method=method, seed=seed)
     problems = list(problems)
     cache = resolve_cache(cache)
@@ -516,32 +555,40 @@ def compute_radii(problems: Sequence[RadiusProblem], *,
             sp.tags["hits"] = len(problems) - len(pending)
             sp.tags["groups"] = len(groups)
         get_metrics().inc("radius.batches")
+        # Imported lazily: the tensor kernel imports this module for
+        # result assembly, so the edge must point this way at call time.
+        from repro.core.solvers.tensor import _solve_group_task, solve_group
+
         if executor is not None and getattr(executor, "workers", 1) > 1 \
-                and len(groups) > 1 \
+                and len(pending) > 1 \
                 and not isinstance(seed, np.random.Generator):
             # Imported lazily to avoid a cycle (resilience imports this
             # module through the cascade).
             from repro.resilience.supervisor import resolve_task_failures
 
-            group_indices = list(groups.values())
-            tasks = [Task(_solve_problems_task,
+            shards = _worker_shards(list(groups.values()),
+                                    executor.workers)
+            if sp is not None:
+                sp.tags["shards"] = len(shards)
+            tasks = [Task(_solve_group_task,
                           ([problems[i] for i in idxs], method, seed))
-                     for idxs in group_indices]
+                     for idxs in shards]
             # A supervised executor quarantines permanently-failing tasks
             # into TaskFailure sentinels; the batch needs real results
             # (and the cache must never store a sentinel), so survivors
             # re-run in-process, re-raising genuine failures serially.
             solved = resolve_task_failures(executor.run(tasks), tasks,
                                            executor=executor)
-            for idxs, group_results in zip(group_indices, solved):
-                for i, result in zip(idxs, group_results):
+            for idxs, shard_results in zip(shards, solved):
+                for i, result in zip(idxs, shard_results):
                     results[i] = result
         else:
-            for i in pending:
-                # The cache pass above already ran; solving with the
-                # cache re-enabled would double-count its misses.
-                results[i] = compute_radius(problems[i], method=method,
-                                            seed=seed, cache=False)
+            # The cache pass above already ran; solving with the cache
+            # re-enabled would double-count its misses.
+            solved = solve_group([problems[i] for i in pending],
+                                 method=method, seed=seed, cache=False)
+            for i, result in zip(pending, solved):
+                results[i] = result
         if cache is not None:
             for i in pending:
                 cache.put(keys[i], results[i])

@@ -17,9 +17,9 @@ from __future__ import annotations
 
 import logging
 
-import numpy as np
 from scipy import optimize
 
+from repro.core.backend import xp
 from repro.core.boundary import BoundaryCrossing
 from repro.core.mappings import FeatureMapping
 from repro.core.solvers.bisection import directional_crossings
@@ -33,24 +33,24 @@ __all__ = ["solve_numeric_radius"]
 logger = logging.getLogger(__name__)
 
 
-def _finite_diff_gradient_scalar(mapping: FeatureMapping, x: np.ndarray,
-                                 eps: float = 1e-7) -> np.ndarray:
+def _finite_diff_gradient_scalar(mapping: FeatureMapping, x: xp.ndarray,
+                                 eps: float = 1e-7) -> xp.ndarray:
     """Scalar reference for :func:`_finite_diff_gradient` (one
     ``mapping.value`` call per stencil point), retained for the kernel
     equivalence suite."""
-    g = np.empty_like(x)
+    g = xp.empty_like(x)
     for i in range(x.size):
         h = eps * max(1.0, abs(x[i]))
-        xp = x.copy()
-        xm = x.copy()
-        xp[i] += h
-        xm[i] -= h
-        g[i] = (mapping.value(xp) - mapping.value(xm)) / (2.0 * h)
+        x_plus = x.copy()
+        x_minus = x.copy()
+        x_plus[i] += h
+        x_minus[i] -= h
+        g[i] = (mapping.value(x_plus) - mapping.value(x_minus)) / (2.0 * h)
     return g
 
 
-def _finite_diff_gradient(mapping: FeatureMapping, x: np.ndarray,
-                          eps: float = 1e-7) -> np.ndarray:
+def _finite_diff_gradient(mapping: FeatureMapping, x: xp.ndarray,
+                          eps: float = 1e-7) -> xp.ndarray:
     """Central finite-difference gradient, used when no analytic one exists.
 
     The full ``2n``-point central-difference stencil is built as one
@@ -62,8 +62,8 @@ def _finite_diff_gradient(mapping: FeatureMapping, x: np.ndarray,
     reference and the gradient is bit-identical to it.
     """
     n = x.size
-    h = eps * np.maximum(1.0, np.abs(x))
-    stencil = np.vstack([x + np.diag(h), x - np.diag(h)])
+    h = eps * xp.maximum(1.0, xp.abs(x))
+    stencil = xp.vstack([x + xp.diag(h), x - xp.diag(h)])
     values = mapping.value_many(stencil)
     get_metrics().inc("solver.batch_evals")
     get_metrics().inc("solver.batch_points", 2 * n)
@@ -71,7 +71,7 @@ def _finite_diff_gradient(mapping: FeatureMapping, x: np.ndarray,
 
 
 def _constraint_jac(mapping: FeatureMapping):
-    def jac(x: np.ndarray) -> np.ndarray:
+    def jac(x: xp.ndarray) -> xp.ndarray:
         g = mapping.gradient(x)
         if g is None:
             g = _finite_diff_gradient(mapping, x)
@@ -81,17 +81,18 @@ def _constraint_jac(mapping: FeatureMapping):
 
 def solve_numeric_radius(
     mapping: FeatureMapping,
-    origin: np.ndarray,
+    origin: xp.ndarray,
     bound: float,
     *,
-    lower: np.ndarray | None = None,
-    upper: np.ndarray | None = None,
+    lower: xp.ndarray | None = None,
+    upper: xp.ndarray | None = None,
     n_starts: int = 8,
     n_seed_directions: int = 32,
     constraint_tol: float = 1e-7,
     t_max: float = 1e6,
     seed=None,
     warm=None,
+    crossings_ts=None,
 ) -> BoundaryCrossing:
     """Best boundary projection over a multistart SLSQP sweep.
 
@@ -121,6 +122,16 @@ def solve_numeric_radius(
         them the multistart — come from the previous operating point);
         the SLSQP start schedule and RNG stream are untouched, keeping
         warm results bit-identical to cold ones.
+    crossings_ts:
+        Optional precomputed per-direction crossing distances (the array
+        :func:`~repro.core.solvers.bisection.directional_crossings` would
+        return for this problem's rays), supplied by the tensorised group
+        kernel which expands all problems' brackets in one flattened
+        batch.  The directions are still derived from ``seed`` — they
+        position the seeds and keep the RNG stream aligned — but the
+        seeding pre-pass is skipped.  Must contain the scalar reference
+        floats: the crossings seed the multistart, so any drift would
+        change the SLSQP trajectory.  ``warm`` is ignored alongside it.
 
     Returns
     -------
@@ -133,41 +144,44 @@ def solve_numeric_radius(
         If no start converges to a verified boundary point — treated by the
         dispatcher as an infinite radius for this bound.
     """
-    origin = np.asarray(origin, dtype=np.float64)
+    origin = xp.asarray(origin, dtype=xp.float64)
     n = origin.size
     if mapping.n_inputs != n:
         raise SpecificationError(
             f"origin has length {n} but mapping expects {mapping.n_inputs}")
     rng = default_rng(seed)
-    scale = max(1.0, float(np.linalg.norm(origin)))
+    scale = max(1.0, float(xp.linalg.norm(origin)))
 
     # --- seed with directional crossings (true boundary points) ---------
     # The batched kernel probes all 2n + n_seed_directions rays in
     # lock-step; crossings come back in direction order, exactly as the
     # scalar per-direction loop produced them.
-    starts: list[np.ndarray] = []
+    starts: list[xp.ndarray] = []
     crossings: list[BoundaryCrossing] = []
-    dirs = np.vstack([np.eye(n), -np.eye(n),
+    dirs = xp.vstack([xp.eye(n), -xp.eye(n),
                       sample_on_sphere(rng, n_seed_directions, n)])
-    table = None
-    if warm is not None:
-        table = warm.table("numeric")
-        table.bind(origin, dirs, lower, upper, t_max, 1e-3)
-        warm.warm_starts += 1
-        get_metrics().inc("solver.warm_starts")
-        fresh_before = table.fresh_evals
-    ts = directional_crossings(mapping, origin, dirs, bound,
-                               t_max=t_max, lower=lower, upper=upper,
-                               table=table)
-    if table is not None and table.fresh_evals == fresh_before:
-        warm.warm_hits += 1
-        get_metrics().inc("solver.warm_hits")
+    if crossings_ts is not None:
+        ts = xp.asarray(crossings_ts, dtype=xp.float64)
+    else:
+        table = None
+        if warm is not None:
+            table = warm.table("numeric")
+            table.bind(origin, dirs, lower, upper, t_max, 1e-3)
+            warm.warm_starts += 1
+            get_metrics().inc("solver.warm_starts")
+            fresh_before = table.fresh_evals
+        ts = directional_crossings(mapping, origin, dirs, bound,
+                                   t_max=t_max, lower=lower, upper=upper,
+                                   table=table)
+        if table is not None and table.fresh_evals == fresh_before:
+            warm.warm_hits += 1
+            get_metrics().inc("solver.warm_hits")
     for d, t in zip(dirs, ts):
-        if not np.isnan(t):
+        if not xp.isnan(t):
             pt = origin + float(t) * d
             crossings.append(BoundaryCrossing(pt, bound, float(t)))
             starts.append(pt)
-    starts.sort(key=lambda p: float(np.linalg.norm(p - origin)))
+    starts.sort(key=lambda p: float(xp.linalg.norm(p - origin)))
     starts = starts[:max(4, n_starts)]
     starts.append(origin.copy())
     for _ in range(n_starts):
@@ -177,15 +191,15 @@ def solve_numeric_radius(
     if lower is None and upper is None:
         slsqp_bounds = None
     else:
-        lo = np.full(n, -np.inf) if lower is None else np.asarray(lower, float)
-        hi = np.full(n, np.inf) if upper is None else np.asarray(upper, float)
+        lo = xp.full(n, -xp.inf) if lower is None else xp.asarray(lower, float)
+        hi = xp.full(n, xp.inf) if upper is None else xp.asarray(upper, float)
         slsqp_bounds = list(zip(lo, hi))
 
-    def objective(x: np.ndarray) -> float:
+    def objective(x: xp.ndarray) -> float:
         dx = x - origin
         return float(dx @ dx)
 
-    def objective_grad(x: np.ndarray) -> np.ndarray:
+    def objective_grad(x: xp.ndarray) -> xp.ndarray:
         return 2.0 * (x - origin)
 
     cons = {
@@ -202,7 +216,7 @@ def solve_numeric_radius(
     n_failed = 0
     for x0 in starts:
         if slsqp_bounds is not None:
-            x0 = np.clip(x0, [b[0] for b in slsqp_bounds],
+            x0 = xp.clip(x0, [b[0] for b in slsqp_bounds],
                          [b[1] for b in slsqp_bounds])
         try:
             res = optimize.minimize(
@@ -217,15 +231,15 @@ def solve_numeric_radius(
             n_failed += 1
             logger.debug("SLSQP start failed at level %g: %s", bound, exc)
             continue
-        x = np.asarray(res.x, dtype=np.float64)
-        if not np.all(np.isfinite(x)):
+        x = xp.asarray(res.x, dtype=xp.float64)
+        if not xp.all(xp.isfinite(x)):
             continue
         try:
             if abs(mapping.value(x) - bound) > accept:
                 continue
         except SpecificationError:
             continue
-        dist = float(np.linalg.norm(x - origin))
+        dist = float(xp.linalg.norm(x - origin))
         if best is None or dist < best.distance:
             best = BoundaryCrossing(point=x, bound=float(bound), distance=dist)
     if n_failed:

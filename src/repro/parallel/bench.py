@@ -41,6 +41,7 @@ __all__ = [
     "BENCH_SCHEMA",
     "CHAOS_BENCH_SCHEMA",
     "SOLVER_BENCH_SCHEMA",
+    "RADII_BENCH_SCHEMA",
     "LAB_SCHEMA",
     "LAB_BENCH_SCHEMA",
     "CURVE_SCHEMA",
@@ -61,6 +62,11 @@ CHAOS_BENCH_SCHEMA = "repro-bench-chaos-v1"
 #: Payloads of
 #: :func:`repro.core.solvers.bench.run_solver_kernel_benchmark`.
 SOLVER_BENCH_SCHEMA = "repro-bench-solvers-v1"
+#: Payloads of
+#: :func:`repro.core.solvers.radii_bench.run_radius_batch_benchmark` —
+#: the per-problem ``compute_radius`` loop vs the cross-problem tensor
+#: kernel over one structural group.
+RADII_BENCH_SCHEMA = "repro-bench-radii-v1"
 #: Artifacts of :func:`repro.scenarios.lab.run_lab` — deliberately free
 #: of wall-clock timings and worker counts, so ``repro lab --seed S`` is
 #: byte-identical for any worker count, traced or untraced.
@@ -316,6 +322,36 @@ def _validate_solvers_payload(problems: list[str], payload: dict) -> None:
         if not isinstance(section.get("identical"), bool):
             problems.append(f"{name}.'identical' must be a bool, "
                             f"got {section.get('identical')!r}")
+
+
+def _validate_radii_payload(problems: list[str], payload: dict) -> None:
+    """The ``repro-bench-radii-v1`` payload: per-problem loop vs tensor."""
+    _check_number(problems, payload, "seed", "")
+    _check_number(problems, payload, "problems", "", minimum=2)
+    _check_number(problems, payload, "dimension", "", minimum=2)
+    _check_number(problems, payload, "directions", "", minimum=1)
+    for field in ("scalar_seconds", "tensor_seconds", "speedup",
+                  "scalar_evals", "tensor_evals", "eval_reduction",
+                  "tensor_rows"):
+        _check_number(problems, payload, field, "")
+    if not isinstance(payload.get("identical"), bool):
+        problems.append(f"'identical' must be a bool, "
+                        f"got {payload.get('identical')!r}")
+    radii = payload.get("radii")
+    if not isinstance(radii, list) or not radii:
+        problems.append(f"'radii' must be a non-empty list, got {radii!r}")
+    else:
+        if isinstance(payload.get("problems"), numbers.Real) \
+                and not isinstance(payload.get("problems"), bool) \
+                and len(radii) != payload["problems"]:
+            problems.append(f"'radii' must have one entry per problem, "
+                            f"got {len(radii)} for {payload['problems']}")
+        for i, r in enumerate(radii):
+            # null is the JSON spelling of an infinite radius.
+            if r is not None and (isinstance(r, bool)
+                                  or not isinstance(r, numbers.Real)):
+                problems.append(f"radii[{i}] must be a number or null, "
+                                f"got {r!r}")
 
 
 def _check_rate(problems: list[str], container: dict, field: str,
@@ -674,6 +710,8 @@ def validate_bench_payload(payload) -> dict:
     (:func:`repro.resilience.chaos.run_chaos_benchmark`),
     ``repro-bench-solvers-v1``
     (:func:`repro.core.solvers.bench.run_solver_kernel_benchmark`),
+    ``repro-bench-radii-v1``
+    (:func:`repro.core.solvers.radii_bench.run_radius_batch_benchmark`),
     ``repro-lab-v1`` (:func:`repro.scenarios.lab.run_lab`),
     ``repro-bench-lab-v1``
     (:func:`repro.scenarios.bench.run_lab_benchmark`),
@@ -701,6 +739,8 @@ def validate_bench_payload(payload) -> dict:
         _validate_chaos_payload(problems, payload)
     elif schema == SOLVER_BENCH_SCHEMA:
         _validate_solvers_payload(problems, payload)
+    elif schema == RADII_BENCH_SCHEMA:
+        _validate_radii_payload(problems, payload)
     elif schema == LAB_SCHEMA:
         _validate_lab_payload(problems, payload)
     elif schema == LAB_BENCH_SCHEMA:
@@ -716,6 +756,7 @@ def validate_bench_payload(payload) -> dict:
     else:
         problems.append(f"'schema' must be {BENCH_SCHEMA!r}, "
                         f"{CHAOS_BENCH_SCHEMA!r}, {SOLVER_BENCH_SCHEMA!r}, "
+                        f"{RADII_BENCH_SCHEMA!r}, "
                         f"{LAB_SCHEMA!r}, {LAB_BENCH_SCHEMA!r}, "
                         f"{CURVE_SCHEMA!r}, {SWEEP_BENCH_SCHEMA!r}, "
                         f"{SERVICE_BENCH_SCHEMA!r} or {SELFHOST_SCHEMA!r}, "

@@ -54,8 +54,8 @@ from repro.core.radius import (
     RadiusProblem,
     RadiusResult,
     _solver_structure,
-    compute_radius,
 )
+from repro.core.solvers.tensor import solve_group
 from repro.exceptions import (
     ServiceClosedError,
     ServiceOverloadError,
@@ -200,17 +200,16 @@ def _solve_group_shm(descriptor: BatchDescriptor, indices: list[int],
     ``None`` for cache-off solving — the frontend then stores results.
     """
     batch = attach_batch(descriptor)
-    return [compute_radius(batch.problem(i), method=method, seed=seed,
-                           cache=cache if cache is not None else False)
-            for i in indices]
+    return solve_group([batch.problem(i) for i in indices], method=method,
+                       seed=seed,
+                       cache=cache if cache is not None else False)
 
 
 def _solve_group_pickled(problems: list[RadiusProblem], method: str,
                          seed, cache) -> list[RadiusResult]:
     """Worker body for ``use_shm=False``: problems pickled into the task."""
-    return [compute_radius(p, method=method, seed=seed,
-                           cache=cache if cache is not None else False)
-            for p in problems]
+    return solve_group(problems, method=method, seed=seed,
+                       cache=cache if cache is not None else False)
 
 
 class RadiusService:

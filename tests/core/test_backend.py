@@ -1,0 +1,106 @@
+"""The array-backend seam: proxy semantics, switching, and the
+solver-kernel import ban (mirrored by the ruff TID251 rule)."""
+
+import pathlib
+import re
+import types
+
+import numpy as np
+import pytest
+
+import repro.core.backend as backend
+from repro.core.backend import (
+    active_backend,
+    available_backends,
+    backend_module,
+    register_backend,
+    set_backend,
+    use_backend,
+    xp,
+)
+from repro.exceptions import SpecificationError
+
+SOLVERS_DIR = (pathlib.Path(__file__).resolve().parents[2]
+               / "src" / "repro" / "core" / "solvers")
+
+
+class TestProxy:
+    def test_default_backend_is_numpy(self):
+        assert active_backend() == "numpy"
+        assert backend_module() is np
+
+    def test_attributes_forward_to_numpy(self):
+        assert xp.float64 is np.float64
+        assert xp.inf == np.inf
+        out = xp.asarray([1.0, 2.0]) + xp.ones(2)
+        assert isinstance(out, np.ndarray)
+        assert out.tolist() == [2.0, 3.0]
+
+    def test_nested_attributes_forward(self):
+        assert xp.linalg.norm(np.array([3.0, 4.0])) == 5.0
+        assert isinstance(xp.random.default_rng(0), np.random.Generator)
+
+    def test_missing_attribute_raises_attribute_error(self):
+        with pytest.raises(AttributeError):
+            xp.definitely_not_an_array_api_function
+
+
+class TestSwitching:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SpecificationError, match="unknown array backend"):
+            set_backend("no-such-backend")
+        assert active_backend() == "numpy"
+
+    def test_lazy_registration_of_missing_dependency(self):
+        register_backend("definitely-absent", "definitely_absent_module")
+        assert "definitely-absent" in available_backends()
+        with pytest.raises(SpecificationError, match="not importable"):
+            set_backend("definitely-absent")
+        assert active_backend() == "numpy"
+
+    def test_use_backend_round_trip(self):
+        stub = types.ModuleType("stub_backend")
+        stub.asarray = lambda x: ("stub", x)
+        register_backend("stub", stub)
+        with use_backend("stub") as provider:
+            assert provider is xp
+            assert active_backend() == "stub"
+            assert xp.asarray(3) == ("stub", 3)
+        assert active_backend() == "numpy"
+        assert isinstance(xp.asarray(3), np.ndarray)
+
+    def test_use_backend_restores_on_error(self):
+        stub = types.ModuleType("stub_backend2")
+        register_backend("stub2", stub)
+        with pytest.raises(RuntimeError):
+            with use_backend("stub2"):
+                raise RuntimeError("boom")
+        assert active_backend() == "numpy"
+
+    def test_register_backend_validates(self):
+        with pytest.raises(SpecificationError):
+            register_backend("", np)
+        with pytest.raises(SpecificationError):
+            register_backend("bad", 42)
+
+
+class TestSolverImportBan:
+    """Local mirror of the ruff banned-api gate: the solver kernels must
+    reach NumPy only through the seam."""
+
+    def test_no_direct_numpy_import_in_solver_kernels(self):
+        pattern = re.compile(r"^\s*(import numpy\b|from numpy\b)",
+                             re.MULTILINE)
+        offenders = [path.name for path in sorted(SOLVERS_DIR.glob("*.py"))
+                     if pattern.search(path.read_text())]
+        assert offenders == [], \
+            f"solver kernels import numpy directly: {offenders}; " \
+            f"use `from repro.core.backend import xp`"
+
+    def test_solver_kernels_import_the_seam(self):
+        uses = [path.name for path in sorted(SOLVERS_DIR.glob("*.py"))
+                if "from repro.core.backend import xp" in path.read_text()]
+        assert "bisection.py" in uses
+        assert "numeric.py" in uses
+        assert "tensor.py" in uses
+        assert "brent.py" in uses

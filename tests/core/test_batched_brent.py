@@ -1,0 +1,155 @@
+"""`batched_brentq` is a float-for-float port of SciPy's brentq kernel:
+every row's root must equal `scipy.optimize.brentq` on the same bracket,
+bit for bit, while the whole batch spends one evaluation call per
+lock-step iteration."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy.optimize import brentq
+
+from repro.core.solvers.brent import SCIPY_RTOL, batched_brentq
+
+
+def _function_family(kind: int, rng: np.random.Generator):
+    if kind == 0:
+        a, b, c = rng.standard_normal(3)
+        return lambda t: t * t * t * a + t * b + c
+    if kind == 1:
+        w = rng.standard_normal(4)
+        off = np.arange(4) * 0.1
+        return lambda t: float(np.max(w * t + off)) - 1.0
+    if kind == 2:
+        k = rng.uniform(0.5, 3.0)
+        return lambda t: math.exp(k * t) - 2.0
+    if kind == 3:
+        k = rng.uniform(0.5, 4.0)
+        return lambda t: math.sin(k * t) - 0.3 + 0.05 * t
+    w = rng.standard_normal(6)
+    return lambda t: float(np.sum(np.abs(w) * t * t) - np.sum(w) * t) - 1.0
+
+
+def _random_brackets(n_rows: int, seed: int):
+    """Assorted bracketed scalar functions with their endpoints."""
+    rng = np.random.default_rng(seed)
+    fns, los, his = [], [], []
+    while len(fns) < n_rows:
+        f = _function_family(len(fns) % 5, rng)
+        lo = rng.uniform(-2.0, 0.0)
+        hi = lo + rng.uniform(1e-6, 5.0)
+        try:
+            flo, fhi = f(lo), f(hi)
+        except (OverflowError, ValueError):
+            continue
+        if not (np.isfinite(flo) and np.isfinite(fhi)) or flo * fhi > 0:
+            continue
+        fns.append(f)
+        los.append(lo)
+        his.append(hi)
+    return fns, np.asarray(los), np.asarray(his)
+
+
+def _evaluate_rows(fns):
+    calls = {"n": 0}
+
+    def evaluate(ts, rows):
+        calls["n"] += 1
+        return np.asarray([fns[int(r)](float(t))
+                           for t, r in zip(ts, rows)])
+    return evaluate, calls
+
+
+class TestBitIdentityAgainstScipy:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5, 6, 7])
+    def test_roots_match_scipy_bitwise(self, seed):
+        fns, lo, hi = _random_brackets(64, seed)
+        f_lo = np.asarray([f(t) for f, t in zip(fns, lo)])
+        f_hi = np.asarray([f(t) for f, t in zip(fns, hi)])
+        evaluate, calls = _evaluate_rows(fns)
+        roots, ok = batched_brentq(evaluate, lo, hi, f_lo, f_hi, xtol=1e-12)
+        assert ok.all()
+        expected = np.asarray([brentq(f, a, b, xtol=1e-12)
+                               for f, a, b in zip(fns, lo, hi)])
+        assert np.array_equal(roots, expected)
+        # lock-step: one batched call per Brent iteration, not per row
+        assert calls["n"] <= 100
+
+    def test_tight_xtol_still_bitwise(self):
+        fns, lo, hi = _random_brackets(32, seed=99)
+        f_lo = np.asarray([f(t) for f, t in zip(fns, lo)])
+        f_hi = np.asarray([f(t) for f, t in zip(fns, hi)])
+        evaluate, _ = _evaluate_rows(fns)
+        roots, ok = batched_brentq(evaluate, lo, hi, f_lo, f_hi,
+                                   xtol=1e-14, rtol=SCIPY_RTOL)
+        assert ok.all()
+        expected = np.asarray([brentq(f, a, b, xtol=1e-14)
+                               for f, a, b in zip(fns, lo, hi)])
+        assert np.array_equal(roots, expected)
+
+
+class TestEndpointsAndFlags:
+    def test_zero_at_lower_endpoint_returns_it(self):
+        f = [lambda t: t]
+        evaluate, calls = _evaluate_rows(f)
+        roots, ok = batched_brentq(evaluate, np.array([0.0]),
+                                   np.array([1.0]), np.array([0.0]),
+                                   np.array([1.0]))
+        assert ok.all() and roots[0] == 0.0 and calls["n"] == 0
+
+    def test_zero_at_upper_endpoint_returns_it(self):
+        f = [lambda t: t - 1.0]
+        evaluate, calls = _evaluate_rows(f)
+        roots, ok = batched_brentq(evaluate, np.array([0.0]),
+                                   np.array([1.0]), np.array([-1.0]),
+                                   np.array([0.0]))
+        assert ok.all() and roots[0] == 1.0 and calls["n"] == 0
+
+    def test_sign_violation_flagged_not_raised(self):
+        f = [lambda t: t + 10.0]
+        evaluate, _ = _evaluate_rows(f)
+        roots, ok = batched_brentq(evaluate, np.array([0.0]),
+                                   np.array([1.0]), np.array([10.0]),
+                                   np.array([11.0]))
+        assert not ok[0]
+
+    def test_maxiter_exhaustion_matches_scipy_iterate(self):
+        fns, lo, hi = _random_brackets(8, seed=5)
+        f_lo = np.asarray([f(t) for f, t in zip(fns, lo)])
+        f_hi = np.asarray([f(t) for f, t in zip(fns, hi)])
+        evaluate, _ = _evaluate_rows(fns)
+        roots, ok = batched_brentq(evaluate, lo, hi, f_lo, f_hi,
+                                   xtol=1e-12, maxiter=2)
+        # not converged in 2 steps, but the iterate equals SciPy's
+        expected = np.asarray([brentq(f, a, b, xtol=1e-12, maxiter=2,
+                                      disp=False)
+                               for f, a, b in zip(fns, lo, hi)])
+        assert np.array_equal(roots, expected)
+        assert not ok.any()
+
+    def test_empty_batch(self):
+        evaluate, calls = _evaluate_rows([])
+        roots, ok = batched_brentq(evaluate, np.empty(0), np.empty(0),
+                                   np.empty(0), np.empty(0))
+        assert roots.size == 0 and ok.size == 0 and calls["n"] == 0
+
+    def test_mixed_convergence_only_evaluates_active_rows(self):
+        fns = [lambda t: t - 0.5, lambda t: math.tan(t) - 1.0]
+        lo = np.array([0.0, 0.0])
+        hi = np.array([1.0, 1.5])
+        f_lo = np.asarray([f(t) for f, t in zip(fns, lo)])
+        f_hi = np.asarray([f(t) for f, t in zip(fns, hi)])
+        seen_rows = []
+
+        def evaluate(ts, rows):
+            seen_rows.append(np.asarray(rows).copy())
+            return np.asarray([fns[int(r)](float(t))
+                               for t, r in zip(ts, rows)])
+
+        roots, ok = batched_brentq(evaluate, lo, hi, f_lo, f_hi)
+        assert ok.all()
+        expected = np.asarray([brentq(f, a, b, xtol=1e-12)
+                               for f, a, b in zip(fns, lo, hi)])
+        assert np.array_equal(roots, expected)
+        # the linear row converges first; later calls only carry row 1
+        assert any(rows.tolist() == [1] for rows in seen_rows)
